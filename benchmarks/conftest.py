@@ -1,0 +1,25 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper artifact end to end and asserts its
+headline shape, so `pytest benchmarks/ --benchmark-only` doubles as a
+timed full reproduction.  The trained pipeline is shared (memoized) so
+individual benchmarks time their own experiment, not the bootstrap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import AcicContext, default_context
+
+
+@pytest.fixture(scope="session")
+def context() -> AcicContext:
+    ctx = default_context()
+    # Warm the nine ground-truth sweeps so per-figure benchmarks measure
+    # the experiment logic rather than first-touch sweep construction.
+    from repro.experiments.context import NINE_RUNS
+
+    for app, scale in NINE_RUNS:
+        ctx.sweep(app, scale)
+    return ctx

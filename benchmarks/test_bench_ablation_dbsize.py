@@ -1,0 +1,48 @@
+"""Ablation: training-database size vs recommendation quality.
+
+The crowdsourcing premise (Section 2): "With more user-contributed IOR
+training data points, ACIC achieves higher prediction accuracy."  This
+benchmark trains on nested subsets of the database and tracks the mean
+measured cost saving of the resulting recommendations.
+"""
+
+import numpy as np
+
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal, cost_saving
+from repro.experiments.context import NINE_RUNS
+
+
+def saving_with_fraction(context, fraction: float) -> float:
+    rng = np.random.default_rng(20130917)
+    records = list(context.database.records)
+    keep = max(50, int(len(records) * fraction))
+    subset_indices = rng.choice(len(records), size=keep, replace=False)
+    subset = TrainingDatabase(context.platform.name)
+    subset.extend(records[i] for i in subset_indices)
+    acic = Acic(
+        subset,
+        goal=Goal.COST,
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m]),
+    ).train()
+    savings = []
+    for app, scale in NINE_RUNS:
+        sweep = context.sweep(app, scale)
+        chars = context.characteristics(app, scale)
+        champions = acic.co_champions(chars)
+        values = sorted(sweep.value_of(c, Goal.COST) for c in champions)
+        savings.append(
+            100.0 * cost_saving(sweep.baseline_value(Goal.COST), values[len(values) // 2])
+        )
+    return sum(savings) / len(savings)
+
+
+def test_bench_ablation_dbsize(benchmark, context):
+    full = benchmark.pedantic(
+        saving_with_fraction, args=(context, 1.0), rounds=1, iterations=1
+    )
+    sparse = saving_with_fraction(context, 0.02)
+    # more community data should not hurt, and usually helps
+    assert full >= sparse - 3.0
+    assert full > 0

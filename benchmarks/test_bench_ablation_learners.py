@@ -1,0 +1,44 @@
+"""Ablation: CART vs the alternative plug-in learners (k-NN, ridge).
+
+ACIC's learner interface is pluggable; this benchmark fits each learner
+on the shared training database and scores the measured quality of its
+top recommendation across the nine application runs.  CART (or the
+instance-memorizing k-NN) should beat the linear model, whose additive
+structure cannot express the space's interactions.
+"""
+
+import pytest
+
+from repro.core.configurator import Acic
+from repro.core.objectives import Goal, cost_saving
+from repro.experiments.context import NINE_RUNS
+
+
+def mean_saving(context, learner_name: str) -> float:
+    acic = Acic(
+        context.database,
+        goal=Goal.COST,
+        learner_name=learner_name,
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m]),
+    ).train()
+    savings = []
+    for app, scale in NINE_RUNS:
+        sweep = context.sweep(app, scale)
+        chars = context.characteristics(app, scale)
+        champions = acic.co_champions(chars)
+        values = sorted(sweep.value_of(c, Goal.COST) for c in champions)
+        measured = values[len(values) // 2]
+        savings.append(100.0 * cost_saving(sweep.baseline_value(Goal.COST), measured))
+    return sum(savings) / len(savings)
+
+
+@pytest.mark.parametrize("learner_name", ["cart", "knn", "ridge"])
+def test_bench_ablation_learner(benchmark, context, learner_name):
+    saving = benchmark.pedantic(
+        mean_saving, args=(context, learner_name), rounds=1, iterations=1
+    )
+    assert saving > 0.0
+
+
+def test_cart_beats_linear_model(context):
+    assert mean_saving(context, "cart") > mean_saving(context, "ridge")

@@ -1,0 +1,59 @@
+"""Ablation: relative-improvement target vs absolute-time target.
+
+ACIC learns *improvement over the baseline configuration* rather than
+absolute time (Section 4.2) — the device that makes IOR training data
+transferable to applications with arbitrary compute content.  This
+benchmark trains both variants and compares the measured quality of
+their picks: the relative target should be at least as good on average.
+"""
+
+import numpy as np
+
+from repro.core.objectives import Goal, speedup
+from repro.experiments.context import NINE_RUNS
+from repro.ml.encoding import FeatureEncoder, point_values
+from repro.ml.registry import make_learner
+from repro.space.grid import candidate_configs
+
+
+def measured_speedups(context, use_relative_target: bool) -> float:
+    """Mean measured speedup over baseline of the argmax pick per run."""
+    encoder = FeatureEncoder(tuple(context.screening.ranked_names()[: context.top_m]))
+    records = context.database.records
+    X = encoder.encode_many([r.values for r in records])
+    if use_relative_target:
+        y = np.log([r.perf_improvement for r in records])
+        best_is = "max"
+    else:
+        y = np.log([r.seconds for r in records])
+        best_is = "min"
+    model = make_learner("cart").fit(X, y)
+
+    speedups = []
+    for app, scale in NINE_RUNS:
+        sweep = context.sweep(app, scale)
+        chars = context.characteristics(app, scale)
+        scored = []
+        for config in candidate_configs(chars):
+            x = encoder.encode_values(point_values(config, chars))
+            scored.append((float(model.predict(x[None, :])[0]), config))
+        if best_is == "max":
+            pick = max(scored, key=lambda pair: pair[0])[1]
+        else:
+            pick = min(scored, key=lambda pair: pair[0])[1]
+        speedups.append(
+            speedup(
+                sweep.baseline_value(Goal.PERFORMANCE),
+                sweep.value_of(pick, Goal.PERFORMANCE),
+            )
+        )
+    return float(np.mean(speedups))
+
+
+def test_bench_ablation_target(benchmark, context):
+    relative = benchmark.pedantic(
+        measured_speedups, args=(context, True), rounds=1, iterations=1
+    )
+    absolute = measured_speedups(context, False)
+    assert relative >= absolute - 0.05
+    assert relative > 1.0

@@ -1,0 +1,43 @@
+"""Benchmarks: the three extension experiments (Section 2 / Section 8 claims)."""
+
+import pytest
+
+from repro.experiments import ext_accuracy, ext_expandability, ext_upgrade
+
+
+@pytest.mark.benchmark(min_rounds=1, warmup=False)
+def test_bench_ext_expandability(benchmark, context):
+    result = benchmark.pedantic(
+        ext_expandability.run, args=(context,), rounds=1, iterations=1
+    )
+    assert result.extension_adopted >= 2
+
+
+@pytest.mark.benchmark(min_rounds=1, warmup=False)
+def test_bench_ext_upgrade(benchmark, context):
+    result = benchmark.pedantic(
+        ext_upgrade.run, args=(context,), rounds=1, iterations=1
+    )
+    assert result.recovered
+
+
+@pytest.mark.benchmark(min_rounds=1, warmup=False)
+def test_bench_ext_accuracy(benchmark, context):
+    result = benchmark.pedantic(
+        ext_accuracy.run, args=(context,), rounds=1, iterations=1
+    )
+    assert all(score.rank_correlation > 0.5 for score in result.scores)
+
+
+def test_bench_ext_pareto(benchmark, context):
+    from repro.experiments import ext_pareto
+
+    result = benchmark(ext_pareto.run, context)
+    assert result.disagreements >= 5
+
+
+def test_bench_ext_residual(benchmark, context):
+    from repro.experiments import ext_residual
+
+    result = benchmark(ext_residual.run, context)
+    assert result.free_verifications >= 7

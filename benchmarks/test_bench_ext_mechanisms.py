@@ -1,0 +1,8 @@
+"""Benchmark: mechanism-ablation causal checks (DESIGN.md §5)."""
+
+from repro.experiments import ext_mechanisms
+
+
+def test_bench_ext_mechanisms(benchmark):
+    result = benchmark(ext_mechanisms.run)
+    assert result.all_causal

@@ -1,0 +1,17 @@
+"""Benchmark: seed-robustness of the headline results.
+
+Rebuilds the entire pipeline (screening, training, sweeps, queries) per
+seed, so this is the most expensive bench after Figure 8.
+"""
+
+import pytest
+
+from repro.experiments import ext_robustness
+
+
+@pytest.mark.benchmark(min_rounds=1, warmup=False)
+def test_bench_ext_robustness(benchmark):
+    result = benchmark.pedantic(
+        ext_robustness.run, kwargs={"seeds": (20130917, 42)}, rounds=1, iterations=1
+    )
+    assert result.stable

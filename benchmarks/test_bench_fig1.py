@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (BTIO motivation sweep)."""
+
+from repro.experiments import fig1_motivation
+
+
+def test_bench_fig1(benchmark, context):
+    result = benchmark(fig1_motivation.run, context.platform)
+    # six configuration series over six scales, with crossing winners
+    assert len(result.seconds) == 6
+    winners = set()
+    for i in range(len(result.scales)):
+        at_scale = {
+            label: series[i]
+            for label, series in result.seconds.items()
+            if series[i] is not None
+        }
+        winners.add(min(at_scale, key=at_scale.get))
+    assert len(winners) > 1

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 10 (user study: manual picks vs ACIC)."""
+
+from repro.experiments import fig10_userstudy
+
+
+def test_bench_fig10(benchmark, context):
+    result = benchmark(fig10_userstudy.run, context)
+    assert len(result.cells) == 6
+    assert result.acic_beats_user_by > 0  # paper: +37.4 pp over the user

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 4 (sample CART tree rendering)."""
+
+from repro.experiments import fig4_sample_tree
+
+
+def test_bench_fig4(benchmark, context):
+    result = benchmark(fig4_sample_tree.run, context)
+    assert result.n_leaves > 50
+    assert "avg=" in result.rendering

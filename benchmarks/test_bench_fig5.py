@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (execution time, nine app runs)."""
+
+from repro.experiments import fig5_performance
+
+
+def test_bench_fig5(benchmark, context):
+    result = benchmark(fig5_performance.run, context)
+    assert len(result.rows) == 9
+    # ACIC improves on the median configuration in every run and lands the
+    # paper's ballpark aggregate (3.0x average over baseline)
+    assert all(row.speedup_m >= 1.0 for row in result.rows)
+    assert 1.5 <= result.geometric_mean_b <= 6.0

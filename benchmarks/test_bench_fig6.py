@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (monetary cost, nine app runs)."""
+
+from repro.experiments import fig6_cost
+
+
+def test_bench_fig6(benchmark, context):
+    result = benchmark(fig6_cost.run, context)
+    assert len(result.rows) == 9
+    # paper headline: 53% average cost saving over baseline
+    assert 35.0 <= result.mean_saving_b_pct <= 75.0

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (top-k recommendation accuracy)."""
+
+from repro.experiments import fig7_topk
+
+
+def test_bench_fig7(benchmark, context):
+    result = benchmark(fig7_topk.run, context)
+    assert all(row.monotone for row in result.time_rows + result.cost_rows)
+    assert result.gain_beyond_top3 < 5.0  # "little further gain beyond top 3"

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 8 (saving vs trained dimensions + bill).
+
+The heaviest experiment: re-collects training campaigns for the top-7
+through top-10 dimension levels, so it is benchmarked with a single round.
+"""
+
+import pytest
+
+from repro.experiments import fig8_training_cost
+
+
+@pytest.mark.benchmark(min_rounds=1, warmup=False)
+def test_bench_fig8(benchmark, context):
+    result = benchmark.pedantic(
+        fig8_training_cost.run, args=(context,), rounds=1, iterations=1
+    )
+    costs = result.costs()
+    assert all(a < b for a, b in zip(costs, costs[1:]))  # exponential growth
+    assert [level.top_m for level in result.levels] == list(range(7, 16))

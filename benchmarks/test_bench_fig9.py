@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (walking vs CART comparison).
+
+Runs 10 random walks + the PB walk + the CART query for eight app runs.
+"""
+
+import pytest
+
+from repro.experiments import fig9_walking
+
+
+@pytest.mark.benchmark(min_rounds=1, warmup=False)
+def test_bench_fig9(benchmark, context):
+    result = benchmark.pedantic(
+        fig9_walking.run, args=(context,), rounds=1, iterations=1
+    )
+    random_mean, pb_mean, cart_mean = result.mean_savings
+    assert cart_mean >= pb_mean and cart_mean >= random_mean
+    assert result.cart_wins >= 6

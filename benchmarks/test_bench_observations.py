@@ -1,0 +1,8 @@
+"""Benchmark: validate the Section 5.6 training-experience observations."""
+
+from repro.experiments import observations
+
+
+def test_bench_observations(benchmark, context):
+    result = benchmark(observations.run, context.platform)
+    assert result.all_hold

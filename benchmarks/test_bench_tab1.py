@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1's PB ranking (32 IOR screening runs)."""
+
+from repro.experiments import tab1_ranking
+
+
+def test_bench_tab1(benchmark, context):
+    result = benchmark(tab1_ranking.run, context.platform)
+    assert sorted(result.measured_ranks.values()) == list(range(1, 16))
+    assert result.spearman > 0.0

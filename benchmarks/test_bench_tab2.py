@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 2's sample PB design (exact paper match)."""
+
+from repro.experiments import tab2_pb_demo
+
+
+def test_bench_tab2(benchmark):
+    result = benchmark(tab2_pb_demo.run)
+    assert result.matches_paper

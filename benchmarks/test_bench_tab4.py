@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 4 (optimal configs for the nine runs)."""
+
+from repro.experiments import tab4_optimal
+
+
+def test_bench_tab4(benchmark, context):
+    result = benchmark(tab4_optimal.run, context)
+    assert len(result.rows) == 9
+    assert result.unique_optima >= 3          # no one-size-fits-all
+    assert result.mean_agreement >= 2.5       # majority column agreement

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation in one go.
+
+Equivalent to running ``acic experiment <name>`` for each artifact, but
+sharing one trained pipeline, so the whole evaluation reproduces in well
+under a minute.  See EXPERIMENTS.md for the paper-vs-measured commentary.
+
+Run:  python examples/paper_figures.py
+"""
+
+import time
+
+from repro.experiments import (
+    ext_accuracy,
+    ext_expandability,
+    ext_upgrade,
+    fig1_motivation,
+    fig4_sample_tree,
+    fig5_performance,
+    fig6_cost,
+    fig7_topk,
+    fig8_training_cost,
+    fig9_walking,
+    fig10_userstudy,
+    observations,
+    tab1_ranking,
+    tab2_pb_demo,
+    tab4_optimal,
+)
+from repro.experiments.context import default_context
+
+
+def main() -> None:
+    start = time.time()
+    context = default_context()
+    print(
+        f"[pipeline: {len(context.database)} training records, "
+        f"${context.campaign.run_cost:,.0f} simulated collection bill]\n"
+    )
+
+    artifacts = [
+        ("Figure 1", fig1_motivation, {"platform": context.platform}),
+        ("Table 1", tab1_ranking, {"platform": context.platform}),
+        ("Table 2", tab2_pb_demo, {}),
+        ("Table 4", tab4_optimal, {"context": context}),
+        ("Figure 4", fig4_sample_tree, {"context": context}),
+        ("Figure 5", fig5_performance, {"context": context}),
+        ("Figure 6", fig6_cost, {"context": context}),
+        ("Figure 7", fig7_topk, {"context": context}),
+        ("Figure 8", fig8_training_cost, {"context": context}),
+        ("Figure 9", fig9_walking, {"context": context}),
+        ("Figure 10", fig10_userstudy, {"context": context}),
+        ("Observations", observations, {"platform": context.platform}),
+        ("Extension: expandability", ext_expandability, {"context": context}),
+        ("Extension: hardware upgrade", ext_upgrade, {"context": context}),
+        ("Extension: learner accuracy", ext_accuracy, {"context": context}),
+    ]
+    for label, module, kwargs in artifacts:
+        print(f"{'=' * 70}\n{label}\n{'=' * 70}")
+        print(module.render(module.run(**kwargs)))
+        print()
+    print(f"full evaluation regenerated in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Profile a black-box application's I/O trace, then ask ACIC to configure it.
+
+This is the workflow Figure 2's left edge describes for users who cannot
+state their application's I/O characteristics: run once under a tracing
+library, parse the trace, feed the summary to the configurator.  Here the
+"application" is the mpiBLAST model emitting a realistic trace; swap in
+any JSON-lines trace produced by your own instrumentation.
+
+Run:  python examples/profile_and_recommend.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Acic,
+    Goal,
+    TrainingCollector,
+    TrainingDatabase,
+    TrainingPlan,
+    get_app,
+    screen_parameters,
+    summarize_trace,
+)
+from repro.profiler import TraceReader, TraceWriter
+
+
+def main() -> None:
+    app = get_app("mpiBLAST")
+    scale = 64
+
+    # --- 1. the application runs under the tracing library -------------
+    print(f"=== tracing one {app.name} run at {scale} I/O processes ===")
+    events = app.synthetic_trace(scale)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "mpiblast.trace.jsonl"
+        with TraceWriter(trace_path) as writer:
+            for event in events:
+                writer.record(event)
+        print(f"trace: {len(writer.events)} events -> {trace_path.name}")
+
+        # --- 2. parse + summarize the trace ---------------------------
+        replayed = list(TraceReader(trace_path))
+    truth = app.characteristics(scale)
+    summary = summarize_trace(replayed, num_processes=truth.num_processes)
+    chars = summary.characteristics
+    print("profiled characteristics:", chars.describe())
+    print(
+        f"  read {summary.read_bytes / 2**30:.1f} GiB over {summary.files} files; "
+        f"request p50={summary.request_bytes_p50 / 2**10:.0f} KiB "
+        f"p95={summary.request_bytes_p95 / 2**10:.0f} KiB"
+    )
+    assert chars == truth, "profiler should recover the model's characteristics"
+
+    # --- 3. train ACIC for the *cost* goal and query ------------------
+    print("\n=== training ACIC (cost objective) ===")
+    screening = screen_parameters()
+    database = TrainingDatabase()
+    TrainingCollector(database).collect(
+        TrainingPlan.build(screening.ranked_names(), top_m=8)
+    )
+    acic = Acic(
+        database,
+        goal=Goal.COST,
+        feature_names=tuple(screening.ranked_names()[:8]),
+    ).train()
+
+    print("top-3 cost-optimized configurations:")
+    for rec in acic.recommend(chars, top_k=3):
+        print(
+            f"  #{rec.rank}: {rec.config.describe()}"
+            f"  [{rec.predicted_improvement:.2f}x cheaper than baseline]"
+        )
+
+
+if __name__ == "__main__":
+    main()

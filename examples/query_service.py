@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The ACIC query service: host a database, answer JSON queries.
+
+Implements the paper's future-work scenario ("web-based ACIC query
+service") end to end, offline: a provider trains and hosts a database,
+clients send JSON requests, contributions arrive and invalidate stale
+models, and identical queries hit the cache.
+
+Run:  python examples/query_service.py
+"""
+
+import json
+
+from repro import (
+    Goal,
+    TrainingCollector,
+    TrainingDatabase,
+    TrainingPlan,
+    get_app,
+    screen_parameters,
+)
+from repro.service import AcicService, QueryRequest
+
+
+def main() -> None:
+    # --- provider side: bootstrap and host a platform database ---------
+    screening = screen_parameters()
+    database = TrainingDatabase()
+    TrainingCollector(database).collect(
+        TrainingPlan.build(screening.ranked_names(), 8)
+    )
+    service = AcicService(feature_names=tuple(screening.ranked_names()[:8]))
+    service.host_database(database)
+    print(f"hosting {len(database)} training points for 'ec2-us-east'\n")
+
+    # --- client side: JSON query for a MADbench2-like job ---------------
+    chars = get_app("MADbench2").characteristics(256)
+    request = QueryRequest(characteristics=chars, goal=Goal.COST, top_k=3)
+    print("client request:")
+    print(" ", request.to_json()[:110], "...\n")
+
+    response_json = service.handle_json(request.to_json())
+    response = json.loads(response_json)
+    print(f"response (model: {response['model']['points']} points):")
+    for rec in response["recommendations"]:
+        print(
+            f"  #{rec['rank']}: {rec['config']:30s} "
+            f"predicted {rec['predicted_improvement']:.2f}x cheaper"
+        )
+
+    # --- identical query: served from cache -----------------------------
+    again = json.loads(service.handle_json(request.to_json()))
+    print(f"\nsame query again -> cached: {again['cached']}")
+
+    # --- a contribution arrives: models retrain lazily ------------------
+    contribution = TrainingDatabase()
+    TrainingCollector(contribution).collect(
+        TrainingPlan.build(screening.ranked_names(), 9), epoch=2
+    )
+    accepted = service.contribute("ec2-us-east", contribution)
+    refreshed = json.loads(service.handle_json(request.to_json()))
+    print(
+        f"contribution merged ({accepted} new points) -> cache invalidated, "
+        f"cached={refreshed['cached']}, model now "
+        f"{refreshed['model']['points']} points"
+    )
+
+    stats = service.stats()
+    print(
+        f"\nservice stats: {stats.queries_served} queries, "
+        f"{stats.cache_hits} cache hits, {stats.models_trained} models trained"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: screen, train, and get an I/O configuration recommendation.
+
+Walks the full ACIC pipeline on the simulated EC2 platform in under a
+minute:
+
+1. rank the 15 exploration-space dimensions with a foldover
+   Plackett-Burman screening (32 IOR runs),
+2. collect IOR training data over the top-7 ranked dimensions,
+3. train the CART model on improvement-over-baseline targets,
+4. ask for the best configuration for a BTIO-like application, and
+5. verify the recommendation against an exhaustive sweep.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Acic,
+    BASELINE_CONFIG,
+    Goal,
+    TrainingCollector,
+    TrainingDatabase,
+    TrainingPlan,
+    candidate_configs,
+    get_app,
+    screen_parameters,
+    simulate_run,
+)
+
+
+def main() -> None:
+    # 1. Plackett-Burman screening: which dimensions matter most?
+    print("=== 1. PB screening (32 IOR runs) ===")
+    screening = screen_parameters()
+    ranked = screening.ranked_names()
+    print("most influential dimensions:", ", ".join(ranked[:5]))
+    print(f"screening bill: ${screening.run_cost:.0f} (Eq. 1)\n")
+
+    # 2. Training-data collection over the top-7 dimensions.
+    print("=== 2. IOR training collection (top-7 dimensions) ===")
+    database = TrainingDatabase()
+    plan = TrainingPlan.build(ranked, top_m=7)
+    campaign = TrainingCollector(database).collect(plan)
+    print(
+        f"{campaign.new_records} training points, "
+        f"${campaign.run_cost:,.0f} collection bill\n"
+    )
+
+    # 3. Fit the CART model (performance goal).
+    print("=== 3. Train CART on improvement-over-baseline ===")
+    acic = Acic(
+        database, goal=Goal.PERFORMANCE, feature_names=tuple(ranked[:7])
+    ).train()
+    print(f"tree: {acic.model.n_leaves()} leaves, depth {acic.model.depth()}\n")
+
+    # 4. Query: the BTIO application at 256 processes.
+    print("=== 4. Recommend for BTIO-256 ===")
+    app = get_app("BTIO")
+    chars = app.characteristics(256)
+    print("query:", chars.describe())
+    recommendations = acic.recommend(chars, top_k=3)
+    for rec in recommendations:
+        print(
+            f"  #{rec.rank}: {rec.config.key:30s} "
+            f"predicted {rec.predicted_improvement:.2f}x over baseline"
+        )
+
+    # 5. Verify against the exhaustively measured ground truth.
+    print("\n=== 5. Verify against exhaustive sweep ===")
+    workload = app.workload(256)
+    measured = sorted(
+        (simulate_run(workload, config).seconds, config.key)
+        for config in candidate_configs(chars)
+    )
+    rank_of = {key: i + 1 for i, (_, key) in enumerate(measured)}
+    baseline_seconds = simulate_run(workload, BASELINE_CONFIG).seconds
+    pick = recommendations[0].config
+    pick_seconds = simulate_run(workload, pick).seconds
+    print(f"ACIC's pick is measured rank {rank_of[pick.key]} of {len(measured)}")
+    print(
+        f"speedup over baseline: {baseline_seconds / pick_seconds:.2f}x "
+        f"({baseline_seconds:.0f}s -> {pick_seconds:.0f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — a full reproduction of *ACIC: Automatic Cloud I/O Configurator
+for HPC Applications* (Liu et al., SC 2013).
+
+Quick tour of the public API::
+
+    from repro import (
+        screen_parameters,        # PB screening of the 15-D space
+        TrainingDatabase, TrainingCollector, TrainingPlan,
+        Acic, Goal,               # the configurator
+        AppCharacteristics,       # query input
+        get_app,                  # bundled application models
+        simulate_run,             # the simulated-cloud ground truth
+    )
+
+    screening = screen_parameters()
+    db = TrainingDatabase()
+    TrainingCollector(db).collect(TrainingPlan.build(screening.ranked_names(), 10))
+    acic = Acic(db, goal=Goal.COST,
+                feature_names=tuple(screening.ranked_names()[:10])).train()
+    chars = get_app("BTIO").characteristics(256)
+    for rec in acic.recommend(chars, top_k=3):
+        print(rec.rank, rec.config.key, rec.predicted_improvement)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.apps import SyntheticApp, get_app
+from repro.cloud import CloudPlatform, DEFAULT_PLATFORM
+from repro.core import (
+    Acic,
+    Goal,
+    Recommendation,
+    SpaceWalker,
+    TrainingCollector,
+    TrainingDatabase,
+    TrainingPlan,
+    TrainingRecord,
+    WalkResult,
+    check_database,
+)
+from repro.deploy import build_plan, render_script
+from repro.iosim import IOSimulator, RunResult, Workload, simulate_run
+from repro.ior import IorRunner, IorSpec
+from repro.pb import PBDesign, screen_parameters
+from repro.profiler import summarize_trace
+from repro.space import (
+    AppCharacteristics,
+    BASELINE_CONFIG,
+    IOInterface,
+    OpKind,
+    SystemConfig,
+    candidate_configs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_app",
+    "SyntheticApp",
+    "check_database",
+    "build_plan",
+    "render_script",
+    "CloudPlatform",
+    "DEFAULT_PLATFORM",
+    "Acic",
+    "Goal",
+    "Recommendation",
+    "SpaceWalker",
+    "TrainingCollector",
+    "TrainingDatabase",
+    "TrainingPlan",
+    "TrainingRecord",
+    "WalkResult",
+    "IOSimulator",
+    "RunResult",
+    "Workload",
+    "simulate_run",
+    "IorRunner",
+    "IorSpec",
+    "PBDesign",
+    "screen_parameters",
+    "summarize_trace",
+    "AppCharacteristics",
+    "BASELINE_CONFIG",
+    "IOInterface",
+    "OpKind",
+    "SystemConfig",
+    "candidate_configs",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Models of the paper's four evaluation applications (Section 5.1, Table 3).
+
+Each model produces, for a given job scale: the application's nine I/O
+characteristics, a full :class:`~repro.iosim.Workload` (adding the
+compute/communication phases Table 3 classifies), and a synthetic I/O
+trace in the profiler's format so the profile-then-recommend loop can be
+exercised end to end.
+"""
+
+from repro.apps.base import AppModel, Table3Row, APP_REGISTRY, get_app
+from repro.apps.btio import Btio
+from repro.apps.flashio import FlashIO
+from repro.apps.mpiblast import MpiBlast
+from repro.apps.madbench import MadBench2
+from repro.apps.synthetic import SyntheticApp
+
+__all__ = [
+    "AppModel",
+    "Table3Row",
+    "APP_REGISTRY",
+    "get_app",
+    "Btio",
+    "FlashIO",
+    "MpiBlast",
+    "MadBench2",
+    "SyntheticApp",
+]

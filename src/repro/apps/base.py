@@ -1,0 +1,185 @@
+"""Common machinery for application models.
+
+An :class:`AppModel` is scale-parameterized by the number of I/O processes
+(the "NP" column of the paper's Table 4).  Subclasses define the I/O
+characteristics and phase costs; the base class provides workload
+assembly, synthetic-trace generation and the registry used by experiments
+and the CLI.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.iosim.workload import Workload
+from repro.profiler.trace import IOEvent
+from repro.space.characteristics import AppCharacteristics, OpKind
+
+__all__ = ["Table3Row", "AppModel", "APP_REGISTRY", "get_app"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """The paper's Table 3 classification of a test application.
+
+    Intensity levels are H/M/L exactly as printed; ``rw`` is R, W or RW.
+    """
+
+    field: str
+    cpu: str
+    comm: str
+    rw: str
+    api: str
+
+    _LEVELS = ("L", "M", "H")
+
+    def __post_init__(self) -> None:
+        if self.cpu not in self._LEVELS or self.comm not in self._LEVELS:
+            raise ValueError(f"intensity levels must be in {self._LEVELS}")
+        if self.rw not in ("R", "W", "RW"):
+            raise ValueError(f"rw must be R, W or RW, got {self.rw!r}")
+
+    @staticmethod
+    def intensity(level: str) -> float:
+        """Map an H/M/L label to a [0, 1] intensity for the simulator."""
+        return {"L": 0.25, "M": 0.55, "H": 0.9}[level]
+
+
+class AppModel(abc.ABC):
+    """One evaluation application, scale-parameterized.
+
+    Attributes:
+        name: short identifier ("BTIO", "FLASHIO", ...).
+        table3: the paper's resource-usage classification.
+        scales: the I/O-process counts evaluated in the paper.
+    """
+
+    name: str = "abstract"
+    table3: Table3Row
+    scales: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def characteristics(self, num_io_processes: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+
+    @abc.abstractmethod
+    def compute_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Computation between I/O bursts (strong-scaling with the job)."""
+
+    @abc.abstractmethod
+    def comm_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Communication per iteration."""
+
+    # ------------------------------------------------------------------
+    def workload(self, num_io_processes: int, strict: bool = True) -> Workload:
+        """The executable workload for the simulator.
+
+        Args:
+            num_io_processes: job scale (Table 4's "NP" column).
+            strict: when True, only the paper-evaluated scales are
+                accepted; Figure 1's wider BTIO sweep passes False.
+        """
+        if strict:
+            self._check_scale(num_io_processes)
+        chars = self.characteristics(num_io_processes)
+        return Workload(
+            name=f"{self.name}-{num_io_processes}",
+            chars=chars,
+            compute_seconds_per_iteration=self.compute_seconds_per_iteration(num_io_processes),
+            comm_seconds_per_iteration=self.comm_seconds_per_iteration(num_io_processes),
+            cpu_intensity=Table3Row.intensity(self.table3.cpu),
+            comm_intensity=Table3Row.intensity(self.table3.comm),
+            startup_seconds=3.0,
+        )
+
+    def synthetic_trace(
+        self, num_io_processes: int, max_ranks: int | None = None
+    ) -> list[IOEvent]:
+        """A representative I/O trace of one run, in the profiler format.
+
+        Emits every rank and iteration by default, so the analyzer
+        recovers the characteristics exactly; pass ``max_ranks`` to model
+        a sampling tracer (the analyzer will then see fewer I/O ranks).
+        """
+        chars = self.characteristics(num_io_processes)
+        events: list[IOEvent] = []
+        limit = chars.num_io_processes if max_ranks is None else min(
+            chars.num_io_processes, max_ranks
+        )
+        ranks = range(limit)
+        clock = 0.0
+        for iteration in range(1, chars.iterations + 1):
+            clock += self.compute_seconds_per_iteration(num_io_processes) + 2.0
+            for rank in ranks:
+                file_name = (
+                    "output.dat" if chars.shared_file else f"output.{rank:04d}.dat"
+                )
+                events.append(
+                    IOEvent(
+                        rank=rank, op="open", file=file_name, timestamp=clock,
+                        interface=chars.interface, iteration=iteration,
+                    )
+                )
+                offset_clock = clock
+                for op, share in _op_events(chars.op):
+                    # mixed workloads do a write phase then a read phase,
+                    # each moving its share in full-size requests
+                    remaining = int(chars.data_bytes * share)
+                    while remaining > 0:
+                        nbytes = min(chars.request_bytes, remaining)
+                        events.append(
+                            IOEvent(
+                                rank=rank,
+                                op=op,
+                                file=file_name,
+                                nbytes=nbytes,
+                                timestamp=offset_clock,
+                                duration=1e-3,
+                                interface=chars.interface,
+                                collective=chars.collective,
+                                iteration=iteration,
+                            )
+                        )
+                        remaining -= nbytes
+                        offset_clock += 1e-3
+                events.append(
+                    IOEvent(
+                        rank=rank, op="close", file=file_name, timestamp=offset_clock,
+                        interface=chars.interface, iteration=iteration,
+                    )
+                )
+        return events
+
+    # ------------------------------------------------------------------
+    def _check_scale(self, num_io_processes: int) -> None:
+        if self.scales and num_io_processes not in self.scales:
+            raise ValueError(
+                f"{self.name} is evaluated at scales {self.scales}, "
+                f"got {num_io_processes}"
+            )
+
+
+def _op_events(op: OpKind) -> list[tuple[str, float]]:
+    if op is OpKind.READWRITE:
+        return [("write", 0.5), ("read", 0.5)]
+    return [("read" if op is OpKind.READ else "write", 1.0)]
+
+
+APP_REGISTRY: dict[str, type["AppModel"]] = {}
+
+
+def register_app(cls: type[AppModel]) -> type[AppModel]:
+    """Class decorator adding an application to the registry."""
+    APP_REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+def get_app(name: str) -> AppModel:
+    """Instantiate a registered application model by (case-free) name."""
+    try:
+        return APP_REGISTRY[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(APP_REGISTRY))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

@@ -1,0 +1,56 @@
+"""BTIO — the NAS NPB BT benchmark with I/O (paper Section 5.1).
+
+Class C, collective MPI-IO into one shared file: 200 time steps writing
+every 5 steps (40 I/O iterations) for a ~6.4 GB aggregate output.  High
+CPU and communication intensity (Table 3).  The per-process data volume
+per iteration follows directly: 6.4 GB / 40 iterations split across the
+I/O processes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, Table3Row, register_app
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import GIB, MIB
+
+__all__ = ["Btio"]
+
+_TOTAL_OUTPUT_BYTES = int(6.4 * GIB)
+_IO_ITERATIONS = 40  # 200 steps, output every 5
+#: Class C BT compute cost (core-seconds per I/O iteration across the job).
+_COMPUTE_CORE_SECONDS = 160.0
+_COMM_CORE_SECONDS = 20.0
+
+
+@register_app
+class Btio(AppModel):
+    """NPB BTIO class C."""
+
+    name = "BTIO"
+    table3 = Table3Row(field="Physics", cpu="H", comm="H", rw="W", api="MPI-IO")
+    scales = (64, 256)
+
+    def characteristics(self, num_io_processes: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+        per_process = max(1, _TOTAL_OUTPUT_BYTES // (_IO_ITERATIONS * num_io_processes))
+        return AppCharacteristics(
+            num_processes=num_io_processes,
+            num_io_processes=num_io_processes,
+            interface=IOInterface.MPIIO,
+            iterations=_IO_ITERATIONS,
+            data_bytes=per_process,
+            # BT writes its solution array in a handful of large calls per
+            # dump; the per-call size tracks the per-process volume.
+            request_bytes=min(per_process, 4 * MIB),
+            op=OpKind.WRITE,
+            collective=True,
+            shared_file=True,
+        )
+
+    def compute_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Computation between I/O bursts at this scale."""
+        return _COMPUTE_CORE_SECONDS / num_io_processes
+
+    def comm_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Communication per iteration at this scale."""
+        return _COMM_CORE_SECONDS / num_io_processes

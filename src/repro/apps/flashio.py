@@ -1,0 +1,56 @@
+"""FLASHIO — the FLASH adaptive-mesh astrophysics I/O kernel.
+
+Writes a ~15 GB checkpoint file through parallel HDF5 into one shared
+file, with low CPU and communication intensity (Table 3).  The kernel
+checkpoints twice per run in this model ("periodically"); HDF5's rank-0
+metadata stream is what separates file systems here — parallel file
+systems without client caches pay dearly for it, which is why the paper
+measured NFS as near-optimal for FLASHIO.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, Table3Row, register_app
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import GIB, MIB
+
+__all__ = ["FlashIO"]
+
+_CHECKPOINT_BYTES = 15 * GIB
+_CHECKPOINTS = 2
+_COMPUTE_CORE_SECONDS = 320.0
+_COMM_CORE_SECONDS = 48.0
+
+
+@register_app
+class FlashIO(AppModel):
+    """FLASH I/O benchmark (parallel HDF5)."""
+
+    name = "FLASHIO"
+    table3 = Table3Row(field="Astro", cpu="L", comm="L", rw="W", api="MPI-IO")
+    scales = (64, 256)
+
+    def characteristics(self, num_io_processes: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+        per_process = max(1, _CHECKPOINT_BYTES // num_io_processes)
+        return AppCharacteristics(
+            num_processes=num_io_processes,
+            num_io_processes=num_io_processes,
+            interface=IOInterface.HDF5,
+            iterations=_CHECKPOINTS,
+            data_bytes=per_process,
+            # FLASH writes per-block chunks; HDF5 chunking keeps calls
+            # well below the collective buffer size.
+            request_bytes=min(per_process, 1 * MIB),
+            op=OpKind.WRITE,
+            collective=True,
+            shared_file=True,
+        )
+
+    def compute_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Computation between I/O bursts at this scale."""
+        return _COMPUTE_CORE_SECONDS / num_io_processes
+
+    def comm_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Communication per iteration at this scale."""
+        return _COMM_CORE_SECONDS / num_io_processes

@@ -1,0 +1,54 @@
+"""MADbench2 — the MADspec CMB analysis kernel.
+
+Matrix out-of-core pattern: large matrices are written to one shared file
+after each computation step and read back on demand — "the output file is
+up to 32 GB, accessed four times throughout the execution" — producing a
+mixed read/write workload of very large independent MPI-IO requests, with
+low CPU and medium communication intensity (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, Table3Row, register_app
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import GIB, MIB
+
+__all__ = ["MadBench2"]
+
+_FILE_BYTES = 32 * GIB
+_ACCESS_PHASES = 4
+_COMPUTE_CORE_SECONDS = 1280.0
+_COMM_CORE_SECONDS = 320.0
+
+
+@register_app
+class MadBench2(AppModel):
+    """MADbench2 out-of-core CMB matrix kernel."""
+
+    name = "MADbench2"
+    table3 = Table3Row(field="Cosmology", cpu="L", comm="M", rw="RW", api="MPI-IO")
+    scales = (64, 256)
+
+    def characteristics(self, num_io_processes: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+        per_process = max(1, _FILE_BYTES // num_io_processes)
+        return AppCharacteristics(
+            num_processes=num_io_processes,
+            num_io_processes=num_io_processes,
+            interface=IOInterface.MPIIO,
+            iterations=_ACCESS_PHASES,
+            data_bytes=per_process,
+            # each process moves its matrix panel in a few huge calls
+            request_bytes=min(per_process, 32 * MIB),
+            op=OpKind.READWRITE,
+            collective=False,
+            shared_file=True,
+        )
+
+    def compute_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Computation between I/O bursts at this scale."""
+        return _COMPUTE_CORE_SECONDS / (_ACCESS_PHASES * num_io_processes)
+
+    def comm_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Communication per iteration at this scale."""
+        return _COMM_CORE_SECONDS / (_ACCESS_PHASES * num_io_processes)

@@ -1,0 +1,56 @@
+"""mpiBLAST — parallel NCBI BLAST sequence search.
+
+The odd one out: read-intensive POSIX I/O (Table 3), scanning a large
+partitioned sequence database (the paper uses the 84 GB ``wgs`` database
+in 32 segments) from per-process files, driven by ~1K query sequences.
+The scale knob is the number of database-reading processes ("I/O
+processes", tuned in the paper via ``use-virtual-frags`` and
+``replica-group-size``); the job carries additional non-I/O worker ranks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, Table3Row, register_app
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import GIB, MIB
+
+__all__ = ["MpiBlast"]
+
+_DATABASE_BYTES = 84 * GIB
+#: Query batches per run; each batch re-scans the (uncached) database.
+_QUERY_BATCHES = 4
+_COMPUTE_CORE_SECONDS = 24000.0
+_COMM_CORE_SECONDS = 2400.0
+
+
+@register_app
+class MpiBlast(AppModel):
+    """mpiBLAST with the wgs database."""
+
+    name = "mpiBLAST"
+    table3 = Table3Row(field="Biology", cpu="M", comm="M", rw="R", api="POSIX")
+    scales = (32, 64, 128)
+
+    def characteristics(self, num_io_processes: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+        per_process = max(1, _DATABASE_BYTES // (_QUERY_BATCHES * num_io_processes))
+        return AppCharacteristics(
+            # master/worker layout: half the ranks search without reading.
+            num_processes=num_io_processes * 2,
+            num_io_processes=num_io_processes,
+            interface=IOInterface.POSIX,
+            iterations=_QUERY_BATCHES,
+            data_bytes=per_process,
+            request_bytes=min(per_process, 1 * MIB),
+            op=OpKind.READ,
+            collective=False,
+            shared_file=False,  # each process scans its own DB fragments
+        )
+
+    def compute_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Computation between I/O bursts at this scale."""
+        return _COMPUTE_CORE_SECONDS / (_QUERY_BATCHES * num_io_processes)
+
+    def comm_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Communication per iteration at this scale."""
+        return _COMM_CORE_SECONDS / (_QUERY_BATCHES * num_io_processes)

@@ -1,0 +1,128 @@
+"""User-defined application models.
+
+The four bundled models cover the paper's evaluation; downstream users
+bring their own codes.  :class:`SyntheticApp` builds a full
+:class:`~repro.apps.base.AppModel` from a characteristics template plus
+scaling laws, so custom applications get everything the bundled ones have
+— workloads, synthetic traces, profiler round-trips, sweeps — without
+subclassing.
+
+Example::
+
+    app = SyntheticApp(
+        name="my-cfd",
+        table3=Table3Row(field="CFD", cpu="H", comm="M", rw="W", api="MPI-IO"),
+        template=AppCharacteristics(... num_io_processes=64 ...),
+        compute_core_seconds=900.0,
+        comm_core_seconds=90.0,
+        scaling="weak",
+    )
+    workload = app.workload(128)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.base import AppModel, Table3Row
+from repro.space.characteristics import AppCharacteristics
+
+__all__ = ["SyntheticApp"]
+
+_SCALING_MODES = ("weak", "strong")
+
+
+class SyntheticApp(AppModel):
+    """An application model assembled from a template.
+
+    Args:
+        name: label used in workload names.
+        table3: resource-usage classification (drives interference).
+        template: I/O characteristics at the template's own scale.
+        compute_core_seconds: computation per iteration summed over all
+            processes (divided by the process count at run scale).
+        comm_core_seconds: same for communication.
+        scaling: "weak" keeps per-process data constant across scales
+            (simulation checkpoints); "strong" keeps the *total* volume
+            constant (fixed dataset scanned by more readers).
+        scales: optionally restrict to evaluated scales (empty = any).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table3: Table3Row,
+        template: AppCharacteristics,
+        compute_core_seconds: float = 0.0,
+        comm_core_seconds: float = 0.0,
+        scaling: str = "weak",
+        scales: tuple[int, ...] = (),
+    ) -> None:
+        if not name:
+            raise ValueError("synthetic app needs a name")
+        if scaling not in _SCALING_MODES:
+            raise ValueError(f"scaling must be one of {_SCALING_MODES}, got {scaling!r}")
+        if compute_core_seconds < 0 or comm_core_seconds < 0:
+            raise ValueError("phase costs must be >= 0")
+        self.name = name
+        self.table3 = table3
+        self.template = template
+        self.compute_core_seconds = compute_core_seconds
+        self.comm_core_seconds = comm_core_seconds
+        self.scaling = scaling
+        self.scales = scales
+
+    # ------------------------------------------------------------------
+    def characteristics(self, num_io_processes: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+        template = self.template
+        ranks_ratio = template.num_processes / template.num_io_processes
+        num_processes = max(num_io_processes, int(num_io_processes * ranks_ratio))
+        if self.scaling == "weak":
+            data_bytes = template.data_bytes
+        else:
+            total = template.data_bytes * template.num_io_processes
+            data_bytes = max(1, total // num_io_processes)
+        return dataclasses.replace(
+            template,
+            num_processes=num_processes,
+            num_io_processes=num_io_processes,
+            data_bytes=data_bytes,
+            request_bytes=min(template.request_bytes, data_bytes),
+        )
+
+    def compute_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Computation between I/O bursts at this scale."""
+        chars = self.characteristics(num_io_processes)
+        return self.compute_core_seconds / chars.num_processes
+
+    def comm_seconds_per_iteration(self, num_io_processes: int) -> float:
+        """Communication per iteration at this scale."""
+        chars = self.characteristics(num_io_processes)
+        return self.comm_core_seconds / chars.num_processes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(
+        cls,
+        name: str,
+        chars: AppCharacteristics,
+        table3: Table3Row | None = None,
+        compute_core_seconds: float = 0.0,
+        comm_core_seconds: float = 0.0,
+        scaling: str = "weak",
+    ) -> "SyntheticApp":
+        """Build an app model straight from profiler output.
+
+        The profile-then-model loop: trace one run, summarize it, and get
+        a scalable model for what-if queries at other job sizes.
+        """
+        default_row = Table3Row(field="user", cpu="M", comm="M", rw="W", api="MPI-IO")
+        return cls(
+            name=name,
+            table3=table3 or default_row,
+            template=chars,
+            compute_core_seconds=compute_core_seconds,
+            comm_core_seconds=comm_core_seconds,
+            scaling=scaling,
+        )

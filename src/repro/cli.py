@@ -1,0 +1,341 @@
+"""Command-line interface: ``acic`` (or ``python -m repro.cli``).
+
+Subcommands mirror the released tool's workflow:
+
+* ``acic screen``                     — run the PB screening, print Table 1.
+* ``acic train --top-m 10 --out db.json`` — collect IOR training data.
+* ``acic profile --app BTIO --scale 64 [--detail]`` — trace + summarize.
+* ``acic recommend --app BTIO --scale 64 --goal cost --top-k 3``
+* ``acic walk --app FLASHIO --scale 256`` — PB-guided space walk.
+* ``acic experiment fig5``            — regenerate any paper artifact.
+* ``acic deploy --app ... --config pvfs.4.D.eph.cc2.4MB`` — emit the
+  deployment script for a recommendation.
+* ``acic serve --db db.json --queries q.jsonl`` — the query service.
+* ``acic report --out report.md``     — full reproduction report.
+* ``acic dbcheck --db db.json``       — audit a training database.
+* ``acic apps``                       — list the bundled application models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.apps import APP_REGISTRY, get_app
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.pb.ranking import screen_parameters
+from repro.profiler.analyze import summarize_trace
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "fig1", "tab1", "tab2", "tab4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "observations", "ext-expandability", "ext-upgrade", "ext-accuracy",
+    "ext-mechanisms", "ext-robustness", "ext-pareto", "ext-residual",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``acic`` argument parser (all subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="acic",
+        description="ACIC: Automatic Cloud I/O Configurator (SC'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("screen", help="run the foldover PB screening (Table 1)")
+
+    train = sub.add_parser("train", help="collect IOR training data")
+    train.add_argument("--top-m", type=int, default=10,
+                       help="train the top-m PB-ranked dimensions")
+    train.add_argument("--out", default="acic-training.json",
+                       help="path for the saved training database")
+
+    profile = sub.add_parser("profile", help="profile an application's I/O")
+    profile.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
+    profile.add_argument("--scale", type=int, required=True,
+                         help="number of I/O processes")
+    profile.add_argument("--detail", action="store_true",
+                         help="also print per-rank/burst trace statistics")
+
+    rec = sub.add_parser("recommend", help="recommend an I/O configuration")
+    rec.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
+    rec.add_argument("--scale", type=int, required=True)
+    rec.add_argument("--goal", choices=[g.value for g in Goal],
+                     default=Goal.PERFORMANCE.value)
+    rec.add_argument("--top-k", type=int, default=3)
+    rec.add_argument("--db", default=None,
+                     help="training database JSON (default: train in-process)")
+    rec.add_argument("--learner", default="cart",
+                     help="plug-in learner (cart, knn, ridge)")
+
+    walk = sub.add_parser(
+        "walk", help="PB-guided space walk (cheap, application-specific)"
+    )
+    walk.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
+    walk.add_argument("--scale", type=int, required=True)
+    walk.add_argument("--goal", choices=[g.value for g in Goal],
+                      default=Goal.PERFORMANCE.value)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+
+    deploy = sub.add_parser(
+        "deploy", help="emit deployment artifacts for a configuration"
+    )
+    deploy.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
+    deploy.add_argument("--scale", type=int, required=True)
+    deploy.add_argument(
+        "--config", required=True,
+        help="configuration key, e.g. pvfs.4.D.eph.cc2.4MB (see 'recommend')",
+    )
+    deploy.add_argument("--manifest", action="store_true",
+                        help="emit the JSON manifest instead of the script")
+
+    serve = sub.add_parser(
+        "serve", help="answer JSONL configuration queries (the query service)"
+    )
+    serve.add_argument("--db", required=True, help="training database JSON")
+    serve.add_argument(
+        "--queries", required=True,
+        help="file of JSON query requests, one per line; '-' for stdin",
+    )
+
+    report = sub.add_parser("report", help="write the full reproduction report")
+    report.add_argument("--out", default="acic-report.md",
+                        help="markdown output path")
+
+    dbcheck = sub.add_parser("dbcheck", help="audit a training database")
+    dbcheck.add_argument("--db", required=True, help="training database JSON")
+
+    sub.add_parser("apps", help="list bundled application models (Table 3)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "screen": _cmd_screen,
+        "train": _cmd_train,
+        "profile": _cmd_profile,
+        "recommend": _cmd_recommend,
+        "experiment": _cmd_experiment,
+        "walk": _cmd_walk,
+        "deploy": _cmd_deploy,
+        "serve": _cmd_serve,
+        "report": _cmd_report,
+        "dbcheck": _cmd_dbcheck,
+        "apps": _cmd_apps,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+def _cmd_screen(args: argparse.Namespace) -> int:
+    from repro.experiments import tab1_ranking
+
+    print(tab1_ranking.render(tab1_ranking.run()))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    screening = screen_parameters()
+    database = TrainingDatabase()
+    collector = TrainingCollector(database)
+    plan = TrainingPlan.build(screening.ranked_names(), args.top_m)
+    print(f"collecting {plan.size} IOR training points (top-{args.top_m} dimensions)...")
+    campaign = collector.collect(plan)
+    database.save(args.out)
+    print(
+        f"done: {campaign.new_records} records, "
+        f"{campaign.run_seconds / 3600:.1f} simulated machine-hours, "
+        f"${campaign.run_cost:,.0f} (Eq. 1); saved to {args.out}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    trace = app.synthetic_trace(args.scale)
+    chars = app.characteristics(args.scale)
+    summary = summarize_trace(trace, num_processes=chars.num_processes)
+    print(f"{app.name} at {args.scale} I/O processes — profiled characteristics:")
+    print("  " + summary.characteristics.describe())
+    print(
+        f"  trace: {summary.events} data events over {summary.files} file(s); "
+        f"read {summary.read_bytes:,} B, wrote {summary.write_bytes:,} B"
+    )
+    if args.detail:
+        from repro.profiler.statistics import compute_statistics, render_statistics
+
+        print(render_statistics(compute_statistics(trace)))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    goal = Goal(args.goal)
+    if args.db:
+        database = TrainingDatabase.load(args.db)
+        ranked = None
+    else:
+        print("no --db given; bootstrapping screening + training in-process...")
+        screening = screen_parameters()
+        database = TrainingDatabase()
+        TrainingCollector(database).collect(
+            TrainingPlan.build(screening.ranked_names(), 10)
+        )
+        ranked = tuple(screening.ranked_names()[:10])
+    acic = Acic(database, goal=goal, learner_name=args.learner,
+                feature_names=ranked).train()
+    chars = get_app(args.app).characteristics(args.scale)
+    print(f"query: {chars.describe()}")
+    for rec in acic.recommend(chars, top_k=args.top_k):
+        print(
+            f"  #{rec.rank}: {rec.config.key:30s} predicted {goal.value} "
+            f"improvement over baseline: {rec.predicted_improvement:.2f}x"
+            + ("  (co-champion)" if rec.co_champion_group == 1 and rec.rank > 1 else "")
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ext_accuracy,
+        ext_expandability,
+        ext_mechanisms,
+        ext_pareto,
+        ext_residual,
+        ext_robustness,
+        ext_upgrade,
+        fig1_motivation,
+        fig4_sample_tree,
+        fig5_performance,
+        fig6_cost,
+        fig7_topk,
+        fig8_training_cost,
+        fig9_walking,
+        fig10_userstudy,
+        observations,
+        tab1_ranking,
+        tab2_pb_demo,
+        tab4_optimal,
+    )
+
+    modules = {
+        "fig1": fig1_motivation,
+        "tab1": tab1_ranking,
+        "tab2": tab2_pb_demo,
+        "tab4": tab4_optimal,
+        "fig4": fig4_sample_tree,
+        "fig5": fig5_performance,
+        "fig6": fig6_cost,
+        "fig7": fig7_topk,
+        "fig8": fig8_training_cost,
+        "fig9": fig9_walking,
+        "fig10": fig10_userstudy,
+        "observations": observations,
+        "ext-expandability": ext_expandability,
+        "ext-upgrade": ext_upgrade,
+        "ext-accuracy": ext_accuracy,
+        "ext-mechanisms": ext_mechanisms,
+        "ext-robustness": ext_robustness,
+        "ext-pareto": ext_pareto,
+        "ext-residual": ext_residual,
+    }
+    module = modules[args.name]
+    print(module.render(module.run()))
+    return 0
+
+
+def _cmd_walk(args: argparse.Namespace) -> int:
+    from repro.core.walking import SpaceWalker
+
+    goal = Goal(args.goal)
+    chars = get_app(args.app).characteristics(args.scale)
+    print(f"walking the configuration space for: {chars.describe()}")
+    ranked = screen_parameters().ranked_names()
+    result = SpaceWalker(goal=goal).pb_walk(chars, ranked)
+    for dimension, value, metric in result.trajectory:
+        print(f"  fixed {dimension:14s} = {value}  (best probe {metric:.2f})")
+    print(
+        f"heuristic solution: {result.config.key}  "
+        f"[{len(result.probes)} probes, ${result.probe_cost:.2f} probing bill]"
+    )
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy import build_plan, render_manifest, render_script
+    from repro.space.grid import candidate_configs
+
+    chars = get_app(args.app).characteristics(args.scale)
+    by_key = {config.key: config for config in candidate_configs(chars)}
+    config = by_key.get(args.config)
+    if config is None:
+        known = "\n  ".join(sorted(by_key))
+        print(f"unknown or infeasible configuration {args.config!r}; valid:\n  {known}")
+        return 1
+    plan = build_plan(config, chars)
+    print(render_manifest(plan) if args.manifest else render_script(plan), end="")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AcicService
+
+    service = AcicService()
+    platform = service.load_database(args.db)
+    print(f"# hosting platform {platform!r} from {args.db}", flush=True)
+
+    if args.queries == "-":
+        lines = sys.stdin
+    else:
+        lines = Path(args.queries).read_text().splitlines()
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        print(service.handle_json(line), flush=True)
+    stats = service.stats()
+    print(
+        f"# served {stats.queries_served} queries "
+        f"({stats.cache_hits} cache hits, {stats.models_trained} models trained)"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import write_report
+
+    path = write_report(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_dbcheck(args: argparse.Namespace) -> int:
+    from repro.core.quality import check_database, render_report
+
+    database = TrainingDatabase.load(args.db)
+    print(render_report(check_database(database)))
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'field':10s} {'CPU':>4s} {'Comm':>5s} {'R/W':>4s} {'API':>7s}  scales")
+    for key in sorted(APP_REGISTRY):
+        app = get_app(key)
+        t3 = app.table3
+        print(
+            f"{app.name:12s} {t3.field:10s} {t3.cpu:>4s} {t3.comm:>5s} "
+            f"{t3.rw:>4s} {t3.api:>7s}  {app.scales}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Simulated cloud platform substrate.
+
+The paper runs on Amazon EC2 Cluster Compute Instances.  This package is the
+offline stand-in: an analytic model of instances, storage devices, networks
+and pricing that serves as *ground truth* for both ACIC's IOR training runs
+and the evaluated applications.
+
+The model encodes the first-order effects the paper reports (Section 5.6):
+
+* ephemeral disks usually beat EBS once more than one I/O server is used,
+* part-time I/O servers trade compute/network interference for data
+  locality and lower instance counts,
+* scaling I/O servers scales aggregate bandwidth with mild efficiency loss,
+* cost follows Eq. (1): ``time x instances x unit price``.
+"""
+
+from repro.cloud.instances import InstanceType, INSTANCE_CATALOG, get_instance_type
+from repro.cloud.storage import (
+    DeviceKind,
+    DeviceModel,
+    DEVICE_CATALOG,
+    get_device_model,
+    Raid0Array,
+)
+from repro.cloud.network import NetworkModel
+from repro.cloud.pricing import PricingModel, run_cost
+from repro.cloud.cluster import ClusterSpec, Placement, provision
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.cloud.variability import VariabilityModel, FaultInjector
+
+__all__ = [
+    "InstanceType",
+    "INSTANCE_CATALOG",
+    "get_instance_type",
+    "DeviceKind",
+    "DeviceModel",
+    "DEVICE_CATALOG",
+    "get_device_model",
+    "Raid0Array",
+    "NetworkModel",
+    "PricingModel",
+    "run_cost",
+    "ClusterSpec",
+    "Placement",
+    "provision",
+    "CloudPlatform",
+    "DEFAULT_PLATFORM",
+    "VariabilityModel",
+    "FaultInjector",
+]

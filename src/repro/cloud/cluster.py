@@ -1,0 +1,99 @@
+"""Cluster provisioning: compute nodes plus I/O servers, with placement.
+
+The paper's configuration space includes the number of I/O servers and
+whether they are *dedicated* (their own instances — faster, pricier) or
+*part-time* (co-located with a subset of compute nodes — cheaper, but the
+file server competes with application processes for CPU and NIC, and gains
+a data-locality bonus for co-located collective aggregators).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cloud.instances import InstanceType
+
+__all__ = ["Placement", "ClusterSpec", "provision"]
+
+
+class Placement(str, enum.Enum):
+    """I/O server placement strategy (Table 1 / Table 4 "P/D" column)."""
+
+    DEDICATED = "dedicated"
+    PART_TIME = "part-time"
+
+    @property
+    def short(self) -> str:
+        """Single-letter code used in the paper's config names (D / P)."""
+        return "D" if self is Placement.DEDICATED else "P"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A provisioned virtual cluster for one application run.
+
+    Attributes:
+        instance: the instance type every node uses (homogeneous, as in
+            the paper's testbed).
+        compute_nodes: instances hosting application processes.
+        io_servers: file-system server daemons.
+        placement: where the server daemons run.
+    """
+
+    instance: InstanceType
+    compute_nodes: int
+    io_servers: int
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        if self.compute_nodes < 1:
+            raise ValueError(f"compute_nodes must be >= 1, got {self.compute_nodes}")
+        if self.io_servers < 1:
+            raise ValueError(f"io_servers must be >= 1, got {self.io_servers}")
+        if self.placement is Placement.PART_TIME and self.io_servers > self.compute_nodes:
+            raise ValueError(
+                f"part-time placement cannot host {self.io_servers} I/O servers "
+                f"on {self.compute_nodes} compute nodes"
+            )
+
+    @property
+    def total_instances(self) -> int:
+        """Instances billed for the run (drives Eq. 1)."""
+        if self.placement is Placement.DEDICATED:
+            return self.compute_nodes + self.io_servers
+        return self.compute_nodes
+
+    @property
+    def shared_nodes(self) -> int:
+        """Compute nodes that also host an I/O server daemon."""
+        if self.placement is Placement.PART_TIME:
+            return self.io_servers
+        return 0
+
+
+def provision(
+    instance: InstanceType,
+    num_processes: int,
+    io_servers: int,
+    placement: Placement,
+    processes_per_node: int | None = None,
+) -> ClusterSpec:
+    """Build the cluster needed to run ``num_processes`` ranks.
+
+    Compute nodes are fully packed (one rank per core by default), matching
+    how the paper sizes its EC2 jobs.
+
+    Raises:
+        ValueError: if the placement cannot accommodate the I/O servers.
+    """
+    nodes = instance.nodes_for(num_processes, processes_per_node)
+    return ClusterSpec(
+        instance=instance,
+        compute_nodes=nodes,
+        io_servers=io_servers,
+        placement=placement,
+    )

@@ -1,0 +1,97 @@
+"""EC2 Cluster Compute Instance catalog.
+
+The paper's exploration space (Table 1) offers two instance types:
+``cc1.4xlarge`` and ``cc2.8xlarge``.  Figures here follow public EC2
+specifications of the 2012-2013 era; prices are the on-demand us-east rates
+the paper's cost numbers are consistent with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GIB
+
+__all__ = ["InstanceType", "INSTANCE_CATALOG", "get_instance_type"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Static description of a cloud compute instance type.
+
+    Attributes:
+        name: catalog key, e.g. ``"cc2.8xlarge"``.
+        cores: physical cores available to application processes.
+        memory_bytes: RAM; bounds the file-server write-back cache.
+        network_gbps: raw NIC speed in gigabits per second.
+        local_disks: number of ephemeral volumes attached to the instance.
+        local_disk_bytes: capacity of each ephemeral volume.
+        has_ssd: whether the ephemeral volumes are SSD-backed.
+        hourly_price: on-demand price in dollars per instance-hour.
+    """
+
+    name: str
+    cores: int
+    memory_bytes: int
+    network_gbps: float
+    local_disks: int
+    local_disk_bytes: int
+    has_ssd: bool
+    hourly_price: float
+
+    @property
+    def network_bytes_per_s(self) -> float:
+        """Effective per-instance network bandwidth (bytes/s).
+
+        Applies a fixed 80% protocol/virtualization efficiency to the raw
+        link speed, consistent with measured EC2 10GbE TCP throughput.
+        """
+        return self.network_gbps * 1e9 / 8.0 * 0.80
+
+    def nodes_for(self, num_processes: int, processes_per_node: int | None = None) -> int:
+        """Number of instances needed to host ``num_processes`` MPI ranks."""
+        if num_processes <= 0:
+            raise ValueError(f"num_processes must be positive, got {num_processes}")
+        if processes_per_node is not None and processes_per_node <= 0:
+            raise ValueError(
+                f"processes_per_node must be positive, got {processes_per_node}"
+            )
+        ppn = processes_per_node if processes_per_node is not None else self.cores
+        return -(-num_processes // ppn)
+
+
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    "cc1.4xlarge": InstanceType(
+        name="cc1.4xlarge",
+        cores=8,
+        memory_bytes=23 * GIB,
+        network_gbps=10.0,
+        local_disks=2,
+        local_disk_bytes=840 * GIB,
+        has_ssd=False,
+        hourly_price=1.30,
+    ),
+    "cc2.8xlarge": InstanceType(
+        name="cc2.8xlarge",
+        cores=16,
+        memory_bytes=int(60.5 * GIB),
+        network_gbps=10.0,
+        local_disks=4,
+        local_disk_bytes=840 * GIB,
+        has_ssd=False,
+        hourly_price=2.40,
+    ),
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by name.
+
+    Raises:
+        KeyError: with the list of known types, if ``name`` is unknown.
+    """
+    try:
+        return INSTANCE_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(INSTANCE_CATALOG))
+        raise KeyError(f"unknown instance type {name!r}; known: {known}") from None

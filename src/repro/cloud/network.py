@@ -1,0 +1,60 @@
+"""Cluster network model.
+
+EC2 CCIs are connected by 10-Gigabit Ethernet (no InfiniBand), which the
+paper identifies as a key amplifier of the cloud I/O bottleneck.  We model
+the fabric as full-bisection with per-instance NIC caps: a transfer's rate
+is limited by the busiest endpoint, and background application
+communication steals a share of the NIC on nodes that host *part-time*
+I/O servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-instance NIC capacity plus fixed messaging overheads.
+
+    Attributes:
+        node_bytes_per_s: effective per-instance NIC bandwidth.
+        rtt_s: request/response round-trip latency between instances.
+        sigma: log-space noise of network throughput (multi-tenancy).
+    """
+
+    node_bytes_per_s: float
+    rtt_s: float = 2.0e-4
+    sigma: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.node_bytes_per_s <= 0:
+            raise ValueError("node_bytes_per_s must be positive")
+        if self.rtt_s < 0:
+            raise ValueError("rtt_s must be non-negative")
+
+    def transfer_time(self, total_bytes: float, endpoints: int) -> float:
+        """Time to move ``total_bytes`` spread across ``endpoints`` NICs.
+
+        Assumes the load is balanced over the participating instances so
+        the aggregate rate is ``endpoints * node_bytes_per_s``.
+        """
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        if endpoints < 1:
+            raise ValueError("endpoints must be >= 1")
+        if total_bytes == 0:
+            return 0.0
+        return total_bytes / (endpoints * self.node_bytes_per_s)
+
+    def effective_node_bandwidth(self, background_share: float = 0.0) -> float:
+        """NIC bandwidth left after background traffic takes its share.
+
+        ``background_share`` in [0, 1) is the fraction of NIC consumed by
+        application communication on a shared (part-time server) node.
+        """
+        if not 0.0 <= background_share < 1.0:
+            raise ValueError(f"background_share must be in [0, 1), got {background_share}")
+        return self.node_bytes_per_s * (1.0 - background_share)

@@ -1,0 +1,80 @@
+"""The assembled cloud platform: catalogues + policies under one handle.
+
+A :class:`CloudPlatform` is what the I/O simulation engine, the IOR runner
+and the experiment harness all receive; swapping it out retargets the whole
+stack (ACIC "can be applied to any platform-application combinations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cloud.instances import INSTANCE_CATALOG, InstanceType, get_instance_type
+from repro.cloud.network import NetworkModel
+from repro.cloud.pricing import PricingModel
+from repro.cloud.storage import DEVICE_CATALOG, DeviceKind, DeviceModel
+from repro.cloud.variability import FaultInjector, VariabilityModel
+
+__all__ = ["CloudPlatform", "DEFAULT_PLATFORM"]
+
+
+@dataclass(frozen=True)
+class CloudPlatform:
+    """Everything the simulator needs to know about the target cloud.
+
+    Attributes:
+        name: label used to key training databases (training data is
+            platform-specific, Section 2).
+        instances: instance-type catalog.
+        pricing: billing policy.
+        variability: multi-tenant noise model.
+        faults: rare-failure injector (off by default).
+        seed: root seed for all stochastic behaviour on this platform.
+    """
+
+    name: str = "ec2-us-east"
+    instances: dict[str, InstanceType] = field(default_factory=lambda: dict(INSTANCE_CATALOG))
+    devices: dict[DeviceKind, DeviceModel] = field(
+        default_factory=lambda: dict(DEVICE_CATALOG)
+    )
+    pricing: PricingModel = field(default_factory=PricingModel)
+    variability: VariabilityModel = field(default_factory=VariabilityModel)
+    faults: FaultInjector = field(default_factory=FaultInjector)
+    seed: int = 20130917
+
+    def instance_type(self, name: str) -> InstanceType:
+        """Look up an instance type hosted by this platform."""
+        if name in self.instances:
+            return self.instances[name]
+        return get_instance_type(name)
+
+    def device_model(self, kind: DeviceKind | str) -> DeviceModel:
+        """This platform's model for a device family.
+
+        Platform-scoped (not the global catalog) so hardware overhauls —
+        the scenario behind the training database's aging support — can be
+        expressed as a new platform generation.
+        """
+        return self.devices[DeviceKind(kind)]
+
+    def with_device(self, kind: DeviceKind, model: DeviceModel) -> "CloudPlatform":
+        """Copy of the platform with one device family upgraded."""
+        devices = dict(self.devices)
+        devices[DeviceKind(kind)] = model
+        return replace(self, devices=devices)
+
+    def network_for(self, instance: InstanceType) -> NetworkModel:
+        """Network model as seen from one instance type's NIC."""
+        return NetworkModel(node_bytes_per_s=instance.network_bytes_per_s)
+
+    def with_noise(self, enabled: bool) -> "CloudPlatform":
+        """Copy of the platform with variability toggled."""
+        return replace(self, variability=replace(self.variability, enabled=enabled))
+
+    def with_seed(self, seed: int) -> "CloudPlatform":
+        """Copy of the platform with a different root seed."""
+        return replace(self, seed=seed)
+
+
+#: Platform used throughout the reproduction unless a test overrides it.
+DEFAULT_PLATFORM = CloudPlatform()

@@ -1,0 +1,71 @@
+"""Monetary cost model — Eq. (1) of the paper.
+
+    cost = execution_time x num_instances x unit_price
+
+The paper evaluates with exact (pro-rated) cost; real EC2 bills at hourly
+granularity, which is what enables the "residual time" incremental-training
+trick (Section 2).  Both variants are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.instances import InstanceType
+
+__all__ = ["PricingModel", "run_cost"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Pricing policy for a platform.
+
+    Attributes:
+        hourly_granularity: when True, ``billed_cost`` rounds each
+            instance-reservation up to whole hours (EC2 on-demand policy).
+    """
+
+    hourly_granularity: bool = True
+
+    def exact_cost(self, seconds: float, num_instances: int, hourly_price: float) -> float:
+        """Pro-rated cost of a run — Eq. (1) with time in hours."""
+        _validate(seconds, num_instances, hourly_price)
+        return seconds / SECONDS_PER_HOUR * num_instances * hourly_price
+
+    def billed_cost(self, seconds: float, num_instances: int, hourly_price: float) -> float:
+        """Cost under the platform's billing granularity."""
+        _validate(seconds, num_instances, hourly_price)
+        if not self.hourly_granularity:
+            return self.exact_cost(seconds, num_instances, hourly_price)
+        hours = max(1, math.ceil(seconds / SECONDS_PER_HOUR))
+        return hours * num_instances * hourly_price
+
+    def residual_seconds(self, seconds: float) -> float:
+        """Paid-for-but-unused time at the end of a run.
+
+        This is the window into which users can piggy-back extra IOR
+        training runs "at no extra monetary cost" (Section 2).
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if not self.hourly_granularity:
+            return 0.0
+        hours = max(1, math.ceil(seconds / SECONDS_PER_HOUR))
+        return hours * SECONDS_PER_HOUR - seconds
+
+
+def run_cost(seconds: float, num_instances: int, instance: InstanceType) -> float:
+    """Convenience wrapper: exact Eq. (1) cost for a run on one instance type."""
+    return PricingModel().exact_cost(seconds, num_instances, instance.hourly_price)
+
+
+def _validate(seconds: float, num_instances: int, hourly_price: float) -> None:
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    if num_instances < 1:
+        raise ValueError(f"num_instances must be >= 1, got {num_instances}")
+    if hourly_price < 0:
+        raise ValueError(f"hourly_price must be non-negative, got {hourly_price}")

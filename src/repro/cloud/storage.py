@@ -1,0 +1,129 @@
+"""Storage device models: EBS, ephemeral HDD, ephemeral SSD, RAID-0.
+
+Bandwidth/latency figures follow the published micro-benchmarks of EC2 CCI
+storage from the paper's era (see e.g. the authors' earlier APSys'11 study):
+EBS volumes stream slower than local ephemeral disks and their traffic
+traverses the instance NIC, which is what makes ephemeral devices win once
+several I/O servers are provisioned (paper observation 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import MIB
+
+__all__ = [
+    "DeviceKind",
+    "DeviceModel",
+    "DEVICE_CATALOG",
+    "get_device_model",
+    "Raid0Array",
+    "RAID0_EFFICIENCY",
+]
+
+#: Per-extra-member efficiency of Linux md RAID-0 striping.  Aggregating k
+#: volumes yields ``k * bw * RAID0_EFFICIENCY**(k-1)`` rather than a perfect
+#: k-fold speedup (request splitting + md overhead).
+RAID0_EFFICIENCY: float = 0.95
+
+
+class DeviceKind(str, enum.Enum):
+    """The storage-device axis of the exploration space (Table 1)."""
+
+    EBS = "EBS"
+    EPHEMERAL = "ephemeral"
+    SSD = "ssd"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Analytic model of a single storage volume.
+
+    Attributes:
+        kind: which device family this models.
+        read_bytes_per_s / write_bytes_per_s: streaming bandwidth.
+        latency_s: per-operation service latency (seek + queue + stack).
+        sigma: log-space standard deviation of multi-tenant bandwidth noise.
+        network_attached: True when traffic shares the instance NIC (EBS).
+    """
+
+    kind: DeviceKind
+    read_bytes_per_s: float
+    write_bytes_per_s: float
+    latency_s: float
+    sigma: float
+    network_attached: bool
+
+    def bandwidth(self, is_write: bool) -> float:
+        """Streaming bandwidth for the given direction (bytes/s)."""
+        return self.write_bytes_per_s if is_write else self.read_bytes_per_s
+
+
+DEVICE_CATALOG: dict[DeviceKind, DeviceModel] = {
+    DeviceKind.EBS: DeviceModel(
+        kind=DeviceKind.EBS,
+        read_bytes_per_s=90.0 * MIB,
+        write_bytes_per_s=65.0 * MIB,
+        latency_s=1.2e-3,
+        sigma=0.12,
+        network_attached=True,
+    ),
+    DeviceKind.EPHEMERAL: DeviceModel(
+        kind=DeviceKind.EPHEMERAL,
+        read_bytes_per_s=105.0 * MIB,
+        write_bytes_per_s=95.0 * MIB,
+        latency_s=0.6e-3,
+        sigma=0.05,
+        network_attached=False,
+    ),
+    DeviceKind.SSD: DeviceModel(
+        kind=DeviceKind.SSD,
+        read_bytes_per_s=450.0 * MIB,
+        write_bytes_per_s=380.0 * MIB,
+        latency_s=0.08e-3,
+        sigma=0.04,
+        network_attached=False,
+    ),
+}
+
+
+def get_device_model(kind: DeviceKind | str) -> DeviceModel:
+    """Look up the model for a device kind (accepts enum or its value)."""
+    key = DeviceKind(kind)
+    return DEVICE_CATALOG[key]
+
+
+@dataclass(frozen=True)
+class Raid0Array:
+    """A software RAID-0 aggregation of identical volumes on one instance.
+
+    The paper's baseline mounts two EBS volumes in RAID-0; ephemeral
+    configurations stripe across all local disks of the instance.
+    """
+
+    device: DeviceModel
+    members: int
+
+    def __post_init__(self) -> None:
+        if self.members < 1:
+            raise ValueError(f"RAID-0 needs >=1 member, got {self.members}")
+
+    def bandwidth(self, is_write: bool) -> float:
+        """Aggregate streaming bandwidth of the array (bytes/s)."""
+        single = self.device.bandwidth(is_write)
+        return self.members * single * RAID0_EFFICIENCY ** (self.members - 1)
+
+    @property
+    def latency_s(self) -> float:
+        """Per-operation latency; striping does not reduce service latency."""
+        return self.device.latency_s
+
+    @property
+    def sigma(self) -> float:
+        """Noise of the array; averaging across members damps variance."""
+        return self.device.sigma / (self.members ** 0.5)

@@ -1,0 +1,153 @@
+"""The ACIC query engine (paper Figure 2, Section 4.2).
+
+Given a trained database, a learner and an optimization goal, a query
+joins the target application's I/O characteristics with every candidate
+system configuration, predicts each candidate's improvement over the
+baseline, and returns the top-k recommendations — with co-champion
+detection, since configurations differing only in dimensions the model
+was not trained on predict identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.ml.encoding import FeatureEncoder, point_values
+from repro.ml.registry import Learner, make_learner
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import SystemConfig
+from repro.space.grid import candidate_configs
+
+__all__ = ["Recommendation", "Acic"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked candidate configuration.
+
+    Attributes:
+        config: the candidate.
+        predicted_improvement: model-predicted ratio over baseline
+            (>1 = better), for the query's goal.
+        rank: 1-based position in the recommendation list.
+        co_champion_group: candidates with (numerically) identical
+            predictions share a group id; the paper reports the median
+            measurement across co-champions.
+    """
+
+    config: SystemConfig
+    predicted_improvement: float
+    rank: int
+    co_champion_group: int
+
+
+class Acic:
+    """Automatic Cloud I/O Configurator.
+
+    Args:
+        database: training database for the target platform.
+        goal: optimization objective (performance or cost).
+        learner_name: registered learner to use ("cart", "knn", "ridge").
+        feature_names: dimensions the model may use — normally the top-m
+            PB-ranked names the database was collected over; defaults to
+            all fifteen.
+        encoder: explicit feature encoder; overrides ``feature_names``
+            (used with extended spaces, where dimensions carry extra
+            values beyond Table 1).
+    """
+
+    def __init__(
+        self,
+        database: TrainingDatabase,
+        goal: Goal = Goal.PERFORMANCE,
+        learner_name: str = "cart",
+        feature_names: tuple[str, ...] | None = None,
+        encoder: FeatureEncoder | None = None,
+    ) -> None:
+        self.database = database
+        self.goal = goal
+        self.learner_name = learner_name
+        self.encoder = encoder if encoder is not None else FeatureEncoder(feature_names)
+        self._model: Learner | None = None
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Acic":
+        """Fit the plug-in learner on the database (log-ratio targets)."""
+        X, y = self.database.to_matrix(self.encoder, self.goal)
+        model = make_learner(self.learner_name)
+        if hasattr(model, "feature_names"):
+            model.feature_names = self.encoder.names
+        self._model = model.fit(X, y)
+        return self
+
+    @property
+    def model(self) -> Learner:
+        """The fitted learner (RuntimeError before train())."""
+        if self._model is None:
+            raise RuntimeError("call train() before querying")
+        return self._model
+
+    # ------------------------------------------------------------------
+    def predict_improvement(self, chars: AppCharacteristics, config: SystemConfig) -> float:
+        """Predicted improvement ratio of one configuration over baseline."""
+        x = self.encoder.encode_values(point_values(config, chars))
+        return float(np.exp(self.model.predict(x[None, :])[0]))
+
+    def recommend(
+        self,
+        chars: AppCharacteristics,
+        top_k: int = 1,
+        candidates: list[SystemConfig] | None = None,
+    ) -> list[Recommendation]:
+        """Top-k configurations for an application, best first.
+
+        Evaluates the full candidate configuration set (affordable: the
+        prediction cost is negligible next to training collection); pass
+        ``candidates`` explicitly to rank an extended or restricted set.
+        """
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        if candidates is None:
+            candidates = candidate_configs(chars)
+        scored = [
+            (self.predict_improvement(chars, config), config) for config in candidates
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1].key))
+
+        recommendations: list[Recommendation] = []
+        group = 0
+        previous_score: float | None = None
+        for rank, (score, config) in enumerate(scored[:top_k], start=1):
+            if previous_score is None or abs(score - previous_score) > 1e-9:
+                group += 1
+            previous_score = score
+            recommendations.append(
+                Recommendation(
+                    config=config,
+                    predicted_improvement=score,
+                    rank=rank,
+                    co_champion_group=group,
+                )
+            )
+        return recommendations
+
+    def co_champions(
+        self,
+        chars: AppCharacteristics,
+        candidates: list[SystemConfig] | None = None,
+    ) -> list[SystemConfig]:
+        """All candidates tied with the best prediction."""
+        if candidates is None:
+            candidates = candidate_configs(chars)
+        scored = [
+            (self.predict_improvement(chars, config), config) for config in candidates
+        ]
+        best = max(score for score, _ in scored)
+        return sorted(
+            (config for score, config in scored if abs(score - best) <= 1e-9),
+            key=lambda config: config.key,
+        )

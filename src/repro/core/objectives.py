@@ -1,0 +1,54 @@
+"""Optimization goals and improvement metrics.
+
+ACIC optimizes either execution time or monetary cost ("User-specified
+Optimization Goal", Figure 2) and reports improvement *relative to the
+baseline configuration* — the device that resolves the performance-
+reporting mismatch between IOR and applications (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Goal", "improvement", "speedup", "cost_saving"]
+
+
+class Goal(str, enum.Enum):
+    """What the user asked ACIC to optimize."""
+
+    PERFORMANCE = "performance"
+    COST = "cost"
+
+    def metric_of(self, seconds: float, cost: float) -> float:
+        """Pick this goal's raw metric out of a measurement pair."""
+        return seconds if self is Goal.PERFORMANCE else cost
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def improvement(baseline_value: float, candidate_value: float) -> float:
+    """Relative improvement ratio: >1 means the candidate is better.
+
+    Works for both goals because both metrics are lower-is-better; this
+    ratio is the CART training target.
+    """
+    if baseline_value <= 0 or candidate_value <= 0:
+        raise ValueError("metric values must be positive")
+    return baseline_value / candidate_value
+
+
+def speedup(reference_seconds: float, acic_seconds: float) -> float:
+    """Eq. (2): time(baseline or median) / time(ACIC)."""
+    return improvement(reference_seconds, acic_seconds)
+
+
+def cost_saving(reference_cost: float, acic_cost: float) -> float:
+    """Eq. (3): (cost_ref - cost_ACIC) / cost_ref, as a fraction.
+
+    Negative when ACIC's pick costs more than the reference (the paper's
+    FLASHIO-64 case).
+    """
+    if reference_cost <= 0:
+        raise ValueError("reference cost must be positive")
+    return (reference_cost - acic_cost) / reference_cost

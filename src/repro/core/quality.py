@@ -1,0 +1,178 @@
+"""Training-database quality checks.
+
+A crowdsourced database accumulates contributions of varying vintage and
+coverage; before trusting a model trained on it, an operator wants to
+know: how much of each dimension's value range is covered, how stale the
+data is, and whether any contributed measurements look like outliers
+(mis-measured or adversarial points).  ``acic dbcheck`` exposes this.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.ml.encoding import FeatureEncoder
+from repro.space.parameters import PARAMETERS
+
+__all__ = ["DimensionCoverage", "QualityReport", "check_database"]
+
+
+@dataclass(frozen=True)
+class DimensionCoverage:
+    """How well one dimension's sampled values are represented."""
+
+    name: str
+    covered_values: int
+    total_values: int
+    min_count: int
+
+    @property
+    def complete(self) -> bool:
+        """True when every sampled value is represented."""
+        return self.covered_values == self.total_values
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """The database health summary.
+
+    Attributes:
+        records: database size.
+        coverage: per-dimension value coverage.
+        epochs: {epoch: record count}.
+        sources: {source tag: record count}.
+        outliers: indices of records whose target is implausibly far from
+            comparable points (leave-one-out leaf-neighbour z-score).
+        duplicate_locations: 15-D points measured more than once (useful:
+            repeated measurements; suspicious: many exact repeats from one
+            source).
+    """
+
+    records: int
+    coverage: tuple[DimensionCoverage, ...]
+    epochs: dict[int, int]
+    sources: dict[str, int]
+    outliers: tuple[int, ...]
+    duplicate_locations: int
+
+    @property
+    def fully_covered(self) -> bool:
+        """True when all 15 dimensions are fully covered."""
+        return all(c.complete for c in self.coverage)
+
+    @property
+    def outlier_fraction(self) -> float:
+        """Flagged records as a fraction of the database."""
+        return len(self.outliers) / self.records if self.records else 0.0
+
+
+def check_database(
+    database: TrainingDatabase,
+    goal: Goal = Goal.PERFORMANCE,
+    outlier_z: float = 4.0,
+) -> QualityReport:
+    """Audit a training database.
+
+    Raises:
+        ValueError: on an empty database (nothing to audit).
+    """
+    if len(database) == 0:
+        raise ValueError("database is empty")
+
+    records = database.records
+    coverage = []
+    for parameter in PARAMETERS:
+        counts: Counter = Counter()
+        for record in records:
+            value = record.values.get(parameter.name)
+            if value is None:
+                continue  # inapplicable (NFS stripe)
+            counts[str(value)] += 1
+        sampled = {str(v) for v in parameter.values}
+        covered = len(sampled & set(counts))
+        coverage.append(
+            DimensionCoverage(
+                name=parameter.name,
+                covered_values=covered,
+                total_values=len(sampled),
+                min_count=min(
+                    (counts[value] for value in sampled if value in counts),
+                    default=0,
+                ),
+            )
+        )
+
+    epochs = dict(Counter(record.epoch for record in records))
+    sources = dict(Counter(record.source for record in records))
+
+    outliers = _find_outliers(database, goal, outlier_z)
+
+    location_counts: Counter = Counter()
+    for record in records:
+        location_counts[tuple(sorted((k, str(v)) for k, v in record.values.items()))] += 1
+    duplicates = sum(1 for count in location_counts.values() if count > 1)
+
+    return QualityReport(
+        records=len(records),
+        coverage=tuple(coverage),
+        epochs=epochs,
+        sources=sources,
+        outliers=outliers,
+        duplicate_locations=duplicates,
+    )
+
+
+def _find_outliers(
+    database: TrainingDatabase, goal: Goal, z_threshold: float
+) -> tuple[int, ...]:
+    """Flag records far from same-location/neighbouring measurements.
+
+    Groups records by identical feature vectors (measurement repeats and
+    collapsed dimensions); within each group of >= 4 a point more than
+    ``z_threshold`` robust z-scores from the group median is flagged.
+    """
+    encoder = FeatureEncoder()
+    X, y = database.to_matrix(encoder, goal)
+    groups: dict[tuple, list[int]] = defaultdict(list)
+    for index, row in enumerate(X):
+        groups[tuple(np.round(row, 9))].append(index)
+
+    flagged: list[int] = []
+    for indices in groups.values():
+        if len(indices) < 4:
+            continue
+        values = y[indices]
+        median = np.median(values)
+        mad = np.median(np.abs(values - median))
+        if mad <= 1e-12:
+            continue
+        robust_z = 0.6745 * np.abs(values - median) / mad
+        flagged.extend(
+            index for index, z in zip(indices, robust_z) if z > z_threshold
+        )
+    return tuple(sorted(flagged))
+
+
+def render_report(report: QualityReport) -> str:
+    """Human-readable audit output."""
+    lines = [
+        f"database audit: {report.records} records, "
+        f"{len(report.sources)} source(s), epochs {sorted(report.epochs)}",
+    ]
+    incomplete = [c for c in report.coverage if not c.complete]
+    if incomplete:
+        lines.append("incomplete dimension coverage:")
+        for c in incomplete:
+            lines.append(f"  {c.name:18s} {c.covered_values}/{c.total_values} values")
+    else:
+        lines.append("all 15 dimensions fully covered")
+    lines.append(
+        f"repeated locations: {report.duplicate_locations}; "
+        f"outliers: {len(report.outliers)} ({100 * report.outlier_fraction:.2f}%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""PB-guided space walking (paper Section 4.3) and the random-walk control.
+
+A cheap, application-specific alternative to full model training: starting
+from the baseline configuration ``s0``, walk the system-configuration
+dimensions one at a time — in PB-rank order (or random order, for the
+Figure 9 comparison) — probing each candidate value of the current
+dimension with an IOR run that mimics the application, and greedily fixing
+the best value before moving on.  Probe observations are generic IOR data
+points, so they flow into the shared training database.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.core.database import TrainingDatabase, TrainingRecord
+from repro.core.objectives import Goal
+from repro.ior.runner import IorObservation, IorRunner
+from repro.ior.spec import IorSpec
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import BASELINE_CONFIG, SystemConfig
+from repro.space.grid import coerce_valid, config_from_values
+from repro.space.parameters import SYSTEM_PARAMETERS, parameter_by_name
+from repro.util.rng import RngStream
+from repro.util.units import MIB
+
+__all__ = ["WalkResult", "SpaceWalker"]
+
+#: Walking start point s0 expressed as mutable dimension values; the
+#: stripe entry only materializes when the walk switches to PVFS2.
+_S0_VALUES: dict[str, object] = {
+    "device": BASELINE_CONFIG.device,
+    "file_system": BASELINE_CONFIG.file_system,
+    "instance_type": BASELINE_CONFIG.instance_type,
+    "io_servers": BASELINE_CONFIG.io_servers,
+    "placement": BASELINE_CONFIG.placement,
+    "stripe_bytes": 4 * MIB,
+}
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of one space walk.
+
+    Attributes:
+        config: the heuristic solution reached.
+        order: dimension names in the order they were walked.
+        probes: every IOR observation measured along the way.
+        probe_seconds / probe_cost: the walk's measurement bill.
+        trajectory: (dimension, chosen value, best metric) per *decided*
+            step; dimensions that stayed masked to the end (e.g. stripe
+            size when the walk settles on NFS) do not appear.
+    """
+
+    config: SystemConfig
+    order: tuple[str, ...]
+    probes: tuple[IorObservation, ...] = field(repr=False, default=())
+    probe_seconds: float = 0.0
+    probe_cost: float = 0.0
+    trajectory: tuple[tuple[str, object, float], ...] = ()
+
+
+class SpaceWalker:
+    """Greedy dimension-by-dimension configuration search.
+
+    Args:
+        platform: simulated cloud to probe on.
+        goal: metric the walk minimizes.
+        database: optional shared DB that probe observations feed
+            ("collected through the walking ... of generic interest").
+    """
+
+    def __init__(
+        self,
+        platform: CloudPlatform = DEFAULT_PLATFORM,
+        goal: Goal = Goal.PERFORMANCE,
+        database: TrainingDatabase | None = None,
+    ) -> None:
+        self.platform = platform
+        self.goal = goal
+        self.database = database
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    def pb_walk(self, chars: AppCharacteristics, ranked_names: Sequence[str]) -> WalkResult:
+        """Walk system dimensions in PB-rank order (most influential first)."""
+        order = [name for name in ranked_names if _is_system(name)]
+        return self._walk(chars, order)
+
+    def random_walk(self, chars: AppCharacteristics, seed_index: int = 0) -> WalkResult:
+        """Walk system dimensions in a seeded random order (Figure 9's
+        control; the paper averages ten such orderings)."""
+        rng = RngStream(self.platform.seed, "random-walk", chars.describe(), seed_index)
+        order = rng.shuffled([p.name for p in SYSTEM_PARAMETERS])
+        return self._walk(chars, order)
+
+    # ------------------------------------------------------------------
+    def _walk(self, chars: AppCharacteristics, order: Sequence[str]) -> WalkResult:
+        runner = IorRunner(platform=self.platform)
+        spec = IorSpec.from_characteristics(chars)
+        state = dict(_S0_VALUES)
+        self._epoch += 1
+
+        probes: list[IorObservation] = []
+        trajectory: list[tuple[str, object, float]] = []
+        measured: dict[str, float] = {}
+        total_seconds = 0.0
+        total_cost = 0.0
+
+        def probe(values: dict[str, object]) -> tuple[float, SystemConfig]:
+            nonlocal total_seconds, total_cost
+            config = coerce_valid(config_from_values(values), chars)
+            if config.key in measured:
+                return measured[config.key], config
+            observation = runner.measure(spec, config)
+            measured[config.key] = self.goal.metric_of(observation.seconds, observation.cost)
+            probes.append(observation)
+            total_seconds += observation.seconds
+            total_cost += observation.cost
+            if self.database is not None:
+                self.database.add(
+                    TrainingRecord.from_observation(
+                        observation, epoch=self._epoch, source="walk"
+                    )
+                )
+            return measured[config.key], config
+
+        def walk_dimension(name: str) -> bool:
+            """Probe one dimension; returns False when it is *masked*.
+
+            A dimension is masked when every candidate value realizes the
+            same configuration (e.g. the I/O-server count while the state
+            still says NFS): its probes carry zero information, so fixing
+            it now would be arbitrary.  Masked dimensions are deferred to
+            the end of the walk, where an earlier switch (NFS -> PVFS2)
+            may have unmasked them.
+            """
+            parameter = parameter_by_name(name)
+            realized_keys = set()
+            candidates = []
+            for value in parameter.values:
+                candidate = dict(state)
+                candidate[name] = value
+                realized_keys.add(coerce_valid(config_from_values(candidate), chars).key)
+                candidates.append((value, candidate))
+            if len(realized_keys) == 1:
+                return False
+            best_value = state[name]
+            best_metric = float("inf")
+            for value, candidate in candidates:
+                metric, _config = probe(candidate)
+                if metric < best_metric:
+                    best_metric = metric
+                    best_value = value
+            state[name] = best_value
+            trajectory.append((name, best_value, best_metric))
+            return True
+
+        deferred: list[str] = []
+        for name in order:
+            if not walk_dimension(name):
+                deferred.append(name)
+        for name in deferred:
+            walk_dimension(name)
+
+        final = coerce_valid(config_from_values(state), chars)
+        return WalkResult(
+            config=final,
+            order=tuple(order),
+            probes=tuple(probes),
+            probe_seconds=total_seconds,
+            probe_cost=total_cost,
+            trajectory=tuple(trajectory),
+        )
+
+
+def _is_system(name: str) -> bool:
+    return any(p.name == name for p in SYSTEM_PARAMETERS)

@@ -1,0 +1,14 @@
+"""Deployment artifact generation for recommended configurations.
+
+The released ACIC tool ships "provided scripts" that "configure EC2 to
+deploy the recommended I/O configuration" (Section 1).  This package
+reproduces that last mile: given a :class:`~repro.space.SystemConfig` and
+a job size, it emits the concrete deployment plan — instance requests,
+RAID assembly, file-system server setup, client mounts, and the MPI
+hostfile — as a reviewable shell script plus a machine-readable manifest.
+"""
+
+from repro.deploy.plan import DeploymentPlan, build_plan
+from repro.deploy.scripts import render_script, render_manifest
+
+__all__ = ["DeploymentPlan", "build_plan", "render_script", "render_manifest"]

@@ -1,0 +1,139 @@
+"""Deployment planning: configuration -> concrete node/volume layout.
+
+Resolves a recommended :class:`SystemConfig` against a job size into the
+exact resources an operator (or provisioning script) must request: how
+many instances of which type, which nodes host file-server daemons, which
+volumes each server assembles into RAID-0, and where clients mount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Placement, provision
+from repro.cloud.instances import get_instance_type
+from repro.cloud.storage import DeviceKind
+from repro.iosim.engine import EBS_VOLUMES_PER_SERVER
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import FileSystemKind, SystemConfig
+from repro.space.validity import explain_invalid
+
+__all__ = ["ServerLayout", "DeploymentPlan", "build_plan"]
+
+#: Mount point exported to application processes.
+MOUNT_POINT = "/mnt/acic"
+
+
+@dataclass(frozen=True)
+class ServerLayout:
+    """One file-server daemon's placement and storage.
+
+    Attributes:
+        node: 0-based node index hosting the daemon.
+        role: "nfs-server" | "pvfs2-server" | "lustre-oss".
+        volumes: device names assembled into the server's RAID-0 array.
+        shares_compute: True under part-time placement.
+    """
+
+    node: int
+    role: str
+    volumes: tuple[str, ...]
+    shares_compute: bool
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Everything needed to stand the configuration up.
+
+    Attributes:
+        config: the configuration being deployed.
+        instance_type: resolved instance type name.
+        total_instances: instances to request (Eq. 1's billing count).
+        compute_nodes: nodes running application ranks.
+        processes_per_node: MPI ranks per compute node.
+        servers: file-server layouts.
+        mount_point: client-side mount path.
+        estimated_hourly_cost: instance bill per hour of runtime.
+    """
+
+    config: SystemConfig
+    instance_type: str
+    total_instances: int
+    compute_nodes: int
+    processes_per_node: int
+    num_processes: int
+    servers: tuple[ServerLayout, ...]
+    mount_point: str
+    estimated_hourly_cost: float
+
+    @property
+    def server_nodes(self) -> tuple[int, ...]:
+        """Node indices hosting file-server daemons."""
+        return tuple(layout.node for layout in self.servers)
+
+    @property
+    def hostfile(self) -> str:
+        """MPI hostfile content: compute nodes with their slot counts."""
+        lines = [
+            f"node{idx:03d} slots={self.processes_per_node}"
+            for idx in range(self.compute_nodes)
+        ]
+        return "\n".join(lines) + "\n"
+
+
+_SERVER_ROLE = {
+    FileSystemKind.NFS: "nfs-server",
+    FileSystemKind.PVFS2: "pvfs2-server",
+    FileSystemKind.LUSTRE: "lustre-oss",
+}
+
+
+def build_plan(config: SystemConfig, chars: AppCharacteristics) -> DeploymentPlan:
+    """Resolve a configuration into a deployment plan.
+
+    Raises:
+        ValueError: when the configuration cannot host the job (same
+            validity rules as the simulator).
+    """
+    reason = explain_invalid(config, chars)
+    if reason is not None:
+        raise ValueError(f"cannot deploy {config.key}: {reason}")
+
+    instance = get_instance_type(config.instance_type)
+    cluster = provision(
+        instance, chars.num_processes, config.io_servers, config.placement
+    )
+
+    device = config.device
+    if device is DeviceKind.EBS:
+        volumes = tuple(f"/dev/xvd{chr(ord('f') + i)}" for i in range(EBS_VOLUMES_PER_SERVER))
+    else:
+        volumes = tuple(f"/dev/xvd{chr(ord('b') + i)}" for i in range(instance.local_disks))
+
+    part_time = config.placement is Placement.PART_TIME
+    servers = []
+    for index in range(config.io_servers):
+        # part-time servers co-locate on the first compute nodes (where the
+        # engine also assumes aggregators are pinned); dedicated servers
+        # occupy extra nodes appended after the compute ones.
+        node = index if part_time else cluster.compute_nodes + index
+        servers.append(
+            ServerLayout(
+                node=node,
+                role=_SERVER_ROLE[config.file_system],
+                volumes=volumes,
+                shares_compute=part_time,
+            )
+        )
+
+    return DeploymentPlan(
+        config=config,
+        instance_type=instance.name,
+        total_instances=cluster.total_instances,
+        compute_nodes=cluster.compute_nodes,
+        processes_per_node=min(instance.cores, chars.num_processes),
+        num_processes=chars.num_processes,
+        servers=tuple(servers),
+        mount_point=MOUNT_POINT,
+        estimated_hourly_cost=cluster.total_instances * instance.hourly_price,
+    )

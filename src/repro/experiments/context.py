@@ -1,0 +1,163 @@
+"""Shared experiment pipeline: screen -> train -> fit, built once.
+
+Most experiments need the same expensive preliminaries — the foldover PB
+screening, the top-m IOR training campaign, and fitted models for both
+optimization goals.  :class:`AcicContext` bundles them; :func:`default_context`
+memoizes per (platform seed, top_m, learner) so a test session or the CLI
+builds the pipeline once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.apps import get_app
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.core.training import TrainingCampaign, TrainingCollector, TrainingPlan
+from repro.experiments.sweep import SweepResult, sweep_workload
+from repro.iosim.workload import Workload
+from repro.pb.ranking import PbScreening, screen_parameters
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import SystemConfig
+
+__all__ = ["NINE_RUNS", "EIGHT_RUNS", "AcicContext", "default_context"]
+
+#: The paper's nine evaluated application executions (app name, NP).
+NINE_RUNS: tuple[tuple[str, int], ...] = (
+    ("BTIO", 64),
+    ("BTIO", 256),
+    ("FLASHIO", 64),
+    ("FLASHIO", 256),
+    ("mpiBLAST", 32),
+    ("mpiBLAST", 64),
+    ("mpiBLAST", 128),
+    ("MADbench2", 64),
+    ("MADbench2", 256),
+)
+
+#: Figure 9's eight runs (mpiBLAST at 64/128 only).
+EIGHT_RUNS: tuple[tuple[str, int], ...] = tuple(
+    run for run in NINE_RUNS if run != ("mpiBLAST", 32)
+)
+
+
+@dataclass
+class AcicContext:
+    """The trained ACIC pipeline plus its provenance.
+
+    Attributes:
+        platform: simulated cloud everything ran on.
+        screening: PB screening result (rankings drive training order).
+        database: populated training database.
+        campaign: the training collection bill.
+        top_m: how many ranked dimensions were trained.
+        learner_name: plug-in learner used by the fitted models.
+    """
+
+    platform: CloudPlatform
+    screening: PbScreening
+    database: TrainingDatabase
+    campaign: TrainingCampaign
+    top_m: int
+    learner_name: str
+    _models: dict[Goal, Acic]
+    _sweeps: dict[str, SweepResult]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        platform: CloudPlatform = DEFAULT_PLATFORM,
+        top_m: int = 10,
+        learner_name: str = "cart",
+    ) -> "AcicContext":
+        """Run the full bootstrap: screening, training, model fitting."""
+        screening = screen_parameters(platform=platform)
+        database = TrainingDatabase(platform.name)
+        collector = TrainingCollector(database, platform=platform)
+        plan = TrainingPlan.build(screening.ranked_names(), top_m)
+        campaign = collector.collect(plan)
+        context = cls(
+            platform=platform,
+            screening=screening,
+            database=database,
+            campaign=campaign,
+            top_m=top_m,
+            learner_name=learner_name,
+            _models={},
+            _sweeps={},
+        )
+        return context
+
+    # ------------------------------------------------------------------
+    def model(self, goal: Goal) -> Acic:
+        """The fitted configurator for a goal (trained lazily, cached)."""
+        if goal not in self._models:
+            acic = Acic(
+                self.database,
+                goal=goal,
+                learner_name=self.learner_name,
+                feature_names=tuple(self.screening.ranked_names()[: self.top_m]),
+            )
+            self._models[goal] = acic.train()
+        return self._models[goal]
+
+    def workload(self, app_name: str, scale: int) -> Workload:
+        """The named application run's workload."""
+        return get_app(app_name).workload(scale)
+
+    def sweep(self, app_name: str, scale: int) -> SweepResult:
+        """Ground-truth sweep for one application run (cached)."""
+        key = f"{app_name}-{scale}"
+        if key not in self._sweeps:
+            self._sweeps[key] = sweep_workload(
+                self.workload(app_name, scale), platform=self.platform
+            )
+        return self._sweeps[key]
+
+    # ------------------------------------------------------------------
+    def acic_measured(
+        self, app_name: str, scale: int, goal: Goal
+    ) -> tuple[float, list[SystemConfig]]:
+        """ACIC's top recommendation, *measured*.
+
+        Returns the median measured metric across the co-champion group
+        (the paper's protocol when CART reports ties) and the group.
+        """
+        chars = self.workload(app_name, scale).chars
+        champions = self.model(goal).co_champions(chars)
+        sweep = self.sweep(app_name, scale)
+        values = sorted(sweep.value_of(config, goal) for config in champions)
+        return values[len(values) // 2], champions
+
+    def acic_best_of_top_k(
+        self, app_name: str, scale: int, goal: Goal, top_k: int
+    ) -> float:
+        """Best measured metric among the top-k recommendations.
+
+        The users-verify-top-k protocol of Figure 7: run the application
+        under each of the k recommended configurations and keep the best.
+        """
+        chars = self.workload(app_name, scale).chars
+        recommendations = self.model(goal).recommend(chars, top_k=top_k)
+        sweep = self.sweep(app_name, scale)
+        return min(sweep.value_of(r.config, goal) for r in recommendations)
+
+    def characteristics(self, app_name: str, scale: int) -> AppCharacteristics:
+        """The application's I/O profile at the given scale."""
+        return self.workload(app_name, scale).chars
+
+
+@lru_cache(maxsize=4)
+def _cached_context(seed: int, top_m: int, learner_name: str) -> AcicContext:
+    platform = DEFAULT_PLATFORM.with_seed(seed)
+    return AcicContext.build(platform=platform, top_m=top_m, learner_name=learner_name)
+
+
+def default_context(top_m: int = 10, learner_name: str = "cart") -> AcicContext:
+    """The memoized standard pipeline on the default platform."""
+    return _cached_context(DEFAULT_PLATFORM.seed, top_m, learner_name)

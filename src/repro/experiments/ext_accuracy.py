@@ -1,0 +1,135 @@
+"""Extension experiment: prediction-accuracy analysis across learners.
+
+The paper evaluates ACIC only through the quality of its final pick; this
+extension opens the black box and measures, for every registered learner:
+
+* held-out regression error on IOR training data (80/20 split, MAPE on
+  the improvement ratio), and
+* *ranking fidelity* on the nine application runs — the Spearman
+  correlation between predicted and measured orderings of all candidate
+  configurations, which is what recommendation quality actually rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.core.objectives import Goal
+from repro.experiments.context import NINE_RUNS, AcicContext, default_context
+from repro.ml.encoding import FeatureEncoder, point_values
+from repro.ml.registry import available_learners, make_learner
+from repro.space.grid import candidate_configs
+
+__all__ = ["LearnerScore", "AccuracyResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class LearnerScore:
+    """One learner's accuracy summary.
+
+    Attributes:
+        name: registry name.
+        holdout_mape: mean absolute percentage error of the predicted
+            improvement ratio on held-out IOR points.
+        rank_correlation: mean Spearman rho between predicted and measured
+            candidate orderings over the nine application runs.
+        top_pick_rank: mean measured rank (1 = optimal) of the learner's
+            argmax candidate across the nine runs.
+    """
+
+    name: str
+    holdout_mape: float
+    rank_correlation: float
+    top_pick_rank: float
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Every learner's accuracy summary."""
+    scores: tuple[LearnerScore, ...]
+
+    def by_name(self, name: str) -> LearnerScore:
+        """The score for one learner (KeyError if absent)."""
+        for score in self.scores:
+            if score.name == name:
+                return score
+        raise KeyError(name)
+
+    @property
+    def best_ranker(self) -> str:
+        """Learner with the highest ranking fidelity."""
+        return max(self.scores, key=lambda s: s.rank_correlation).name
+
+
+def run(
+    context: AcicContext | None = None,
+    learners: tuple[str, ...] | None = None,
+    goal: Goal = Goal.PERFORMANCE,
+) -> AccuracyResult:
+    """Execute the experiment; returns its result dataclass."""
+    context = context or default_context()
+    learners = learners or available_learners()
+    encoder = FeatureEncoder(
+        tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    X, y = context.database.to_matrix(encoder, goal)
+
+    # deterministic 80/20 holdout
+    rng = np.random.default_rng(context.platform.seed)
+    order = rng.permutation(X.shape[0])
+    cut = int(0.8 * len(order))
+    train_idx, test_idx = order[:cut], order[cut:]
+
+    scores = []
+    for name in learners:
+        model = make_learner(name).fit(X[train_idx], y[train_idx])
+        predicted_ratio = np.exp(model.predict(X[test_idx]))
+        actual_ratio = np.exp(y[test_idx])
+        mape = float(
+            np.mean(np.abs(predicted_ratio - actual_ratio) / actual_ratio)
+        )
+
+        full_model = make_learner(name).fit(X, y)
+        rhos = []
+        pick_ranks = []
+        for app, scale in NINE_RUNS:
+            sweep = context.sweep(app, scale)
+            chars = context.characteristics(app, scale)
+            configs = candidate_configs(chars)
+            encoded = encoder.encode_many(
+                [point_values(config, chars) for config in configs]
+            )
+            predicted = full_model.predict(encoded)  # higher = better
+            measured = np.array(
+                [sweep.value_of(config, goal) for config in configs]
+            )  # lower = better
+            rhos.append(float(stats.spearmanr(-predicted, measured).statistic))
+            best = configs[int(np.argmax(predicted))]
+            pick_ranks.append(sweep.rank_of(best, goal))
+        scores.append(
+            LearnerScore(
+                name=name,
+                holdout_mape=mape,
+                rank_correlation=float(np.mean(rhos)),
+                top_pick_rank=float(np.mean(pick_ranks)),
+            )
+        )
+    return AccuracyResult(scores=tuple(scores))
+
+
+def render(result: AccuracyResult) -> str:
+    """Render a result as the report text block."""
+    lines = ["Extension experiment: learner prediction accuracy"]
+    lines.append(
+        f"{'learner':10s} {'holdout MAPE':>13s} {'rank rho':>10s} {'mean pick rank':>16s}"
+    )
+    for score in sorted(result.scores, key=lambda s: -s.rank_correlation):
+        lines.append(
+            f"{score.name:10s} {100 * score.holdout_mape:12.1f}% "
+            f"{score.rank_correlation:10.2f} {score.top_pick_rank:13.1f}/56"
+        )
+    lines.append(f"best candidate ranker: {result.best_ranker}")
+    return "\n".join(lines)

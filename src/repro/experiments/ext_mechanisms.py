@@ -1,0 +1,176 @@
+"""Extension experiment: which substrate mechanism causes which observation.
+
+DESIGN.md argues the simulator reproduces the paper's Section 5.6
+regularities *because* it models specific mechanisms (NFS write-back,
+PVFS2's cache-less protocol, expensive distributed creates, part-time
+locality).  This ablation proves the causal links: each observation is
+re-evaluated with its claimed mechanism switched off, and must stop
+holding (or lose most of its margin) — i.e. the observations are not
+accidents of unrelated constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import AccessPattern, ServerResources
+from repro.fs.nfs import NfsModel
+from repro.fs.pvfs import Pvfs2Model
+from repro.cloud.storage import DeviceKind, Raid0Array, get_device_model
+from repro.space.characteristics import OpKind
+from repro.util.units import GIB, KIB, MIB
+
+__all__ = ["MechanismAblation", "MechanismsResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class MechanismAblation:
+    """One mechanism's causal check.
+
+    Attributes:
+        observation: which Section 5.6 observation the mechanism drives.
+        mechanism: what was switched off.
+        margin_with: advantage ratio (>1 = observation holds) with the
+            mechanism active.
+        margin_without: the same ratio with the mechanism disabled.
+    """
+
+    observation: int
+    mechanism: str
+    margin_with: float
+    margin_without: float
+
+    @property
+    def causal(self) -> bool:
+        """Disabling the mechanism must erase most of the margin."""
+        gain_with = self.margin_with - 1.0
+        gain_without = self.margin_without - 1.0
+        return gain_with > 0.0 and gain_without < gain_with * 0.5
+
+
+@dataclass(frozen=True)
+class MechanismsResult:
+    """All mechanism ablations."""
+    ablations: tuple[MechanismAblation, ...]
+
+    @property
+    def all_causal(self) -> bool:
+        """True when every ablation confirms its mechanism."""
+        return all(a.causal for a in self.ablations)
+
+
+def _servers(servers: int = 1, device: DeviceKind = DeviceKind.EPHEMERAL,
+             **overrides) -> ServerResources:
+    defaults = dict(
+        servers=servers,
+        raid=Raid0Array(device=get_device_model(device), members=4),
+        net_bytes_per_s=1e9,
+        client_net_bytes_per_s=1e9,
+        rtt_s=2e-4,
+        memory_bytes=60 * GIB,
+    )
+    defaults.update(overrides)
+    return ServerResources(**defaults)
+
+
+def _pattern(**overrides) -> AccessPattern:
+    defaults = dict(
+        op=OpKind.WRITE, writers=16, client_nodes=4,
+        bytes_total=float(2 * GIB), request_bytes=float(4 * MIB),
+        sequential_per_stream=True, shared_file=True,
+    )
+    defaults.update(overrides)
+    return AccessPattern(**defaults)
+
+
+def run() -> MechanismsResult:
+    """Execute the experiment; returns its result dataclass."""
+    ablations = []
+
+    # --- NFS write-back cache drives the "NFS absorbs bursts" behaviour
+    # behind observation 4 (and the flush-overlap story).  Without a
+    # dirty-page budget the burst blocks at disk speed. -----------------
+    nfs = NfsModel()
+    burst = _pattern(writers=4)
+    with_cache = nfs.iteration_time(burst, _servers())
+    no_cache = nfs.iteration_time(burst, _servers(memory_bytes=1))
+    disk_seconds = burst.bytes_total / _servers().raid.bandwidth(True)
+    ablations.append(
+        MechanismAblation(
+            observation=4,
+            mechanism="NFS server write-back cache",
+            margin_with=disk_seconds / with_cache.transfer_seconds,
+            margin_without=disk_seconds / no_cache.transfer_seconds,
+        )
+    )
+
+    # --- PVFS2's expensive distributed creates drive the file-per-process
+    # half of observation 4. ---------------------------------------------
+    small_files = _pattern(
+        writers=64, shared_file=False, bytes_total=float(64 * MIB),
+        request_bytes=float(256 * KIB), metadata_ops=64,
+    )
+    pvfs = Pvfs2Model()
+    cheap_creates = Pvfs2Model(metadata_op_seconds=NfsModel().metadata_op_seconds)
+    nfs_time = nfs.iteration_time(small_files, _servers()).blocking_seconds
+    pvfs_time = pvfs.iteration_time(small_files, _servers(4)).blocking_seconds
+    pvfs_cheap = cheap_creates.iteration_time(small_files, _servers(4)).blocking_seconds
+    ablations.append(
+        MechanismAblation(
+            observation=4,
+            mechanism="PVFS2 distributed create cost",
+            margin_with=pvfs_time / nfs_time,
+            margin_without=pvfs_cheap / nfs_time,
+        )
+    )
+
+    # --- NFS shared-file lock contention drives "NFS falls behind at
+    # scale" (the Table 4 BTIO crossover). --------------------------------
+    many_writers = _pattern(writers=256)
+    contended = nfs.iteration_time(many_writers, _servers())
+    lock_free = NfsModel(shared_write_contention=0.0).iteration_time(
+        many_writers, _servers()
+    )
+    few_writers = nfs.iteration_time(_pattern(writers=1), _servers())
+    ablations.append(
+        MechanismAblation(
+            observation=2,
+            mechanism="NFS shared-file write serialization",
+            margin_with=contended.transfer_seconds / few_writers.transfer_seconds,
+            margin_without=lock_free.transfer_seconds / few_writers.transfer_seconds,
+        )
+    )
+
+    # --- EBS's NIC sharing + slower volumes drive observation 3. --------
+    streaming = _pattern(writers=16, bytes_total=float(8 * GIB))
+    eph_time = pvfs.iteration_time(streaming, _servers(4)).transfer_seconds
+    ebs_servers = _servers(4, device=DeviceKind.EBS, net_bytes_per_s=0.5e9)
+    ebs_time = pvfs.iteration_time(streaming, ebs_servers).transfer_seconds
+    # "without": give EBS ephemeral-class volumes and a full NIC
+    upgraded_ebs = _servers(4)  # identical resources -> margin collapses to 1
+    ebs_upgraded_time = pvfs.iteration_time(streaming, upgraded_ebs).transfer_seconds
+    ablations.append(
+        MechanismAblation(
+            observation=3,
+            mechanism="EBS volume speed + NIC sharing",
+            margin_with=ebs_time / eph_time,
+            margin_without=ebs_upgraded_time / eph_time,
+        )
+    )
+    return MechanismsResult(ablations=tuple(ablations))
+
+
+def render(result: MechanismsResult) -> str:
+    """Render a result as the report text block."""
+    lines = ["Extension experiment: mechanism ablations (causal checks)"]
+    lines.append(
+        f"{'obs':>4s} {'mechanism':42s} {'margin on':>10s} {'margin off':>11s} {'causal':>7s}"
+    )
+    for ablation in result.ablations:
+        lines.append(
+            f"{ablation.observation:4d} {ablation.mechanism:42s} "
+            f"{ablation.margin_with:10.2f} {ablation.margin_without:11.2f} "
+            f"{'yes' if ablation.causal else 'NO':>7s}"
+        )
+    lines.append(f"all mechanisms causal: {result.all_causal}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Extension experiment: the performance/cost trade-off structure.
+
+Two statements the paper makes in passing, quantified:
+
+* "in many cases the best configuration for performance does not agree
+  with that for cost optimization" (Section 5.2 — the table was omitted
+  for space; this experiment is that table), and
+* "the monetary cost of a certain application execution is not
+  proportional to the execution time here, as I/O servers can be placed
+  at dedicated instances or part-time ones" (Section 2) — quantified as
+  the size of the time/cost Pareto frontier: with proportional cost the
+  frontier would be a single point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objectives import Goal
+from repro.experiments.context import NINE_RUNS, AcicContext, default_context
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["ParetoRow", "ParetoResult", "run", "render", "pareto_frontier"]
+
+
+def pareto_frontier(points: list[tuple[float, float, str]]) -> list[tuple[float, float, str]]:
+    """Non-dominated (time, cost, key) points, sorted by time.
+
+    A point dominates another when it is no worse in both metrics and
+    strictly better in one.
+    """
+    ordered = sorted(points)
+    frontier: list[tuple[float, float, str]] = []
+    best_cost = float("inf")
+    for time_s, cost, key in ordered:
+        if cost < best_cost - 1e-12:
+            frontier.append((time_s, cost, key))
+            best_cost = cost
+    return frontier
+
+
+@dataclass(frozen=True)
+class ParetoRow:
+    """One application run's trade-off summary."""
+
+    app: str
+    np: int
+    perf_optimal: str
+    cost_optimal: str
+    frontier_size: int
+    cost_of_speed_pct: float
+    """Extra cost of the time-optimal config over the cost-optimal one."""
+
+    @property
+    def objectives_disagree(self) -> bool:
+        """True when time- and cost-optima differ."""
+        return self.perf_optimal != self.cost_optimal
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """All nine trade-off rows."""
+    rows: tuple[ParetoRow, ...]
+
+    @property
+    def disagreements(self) -> int:
+        """Runs where the two objectives pick different optima."""
+        return sum(1 for row in self.rows if row.objectives_disagree)
+
+    @property
+    def mean_frontier_size(self) -> float:
+        """Average Pareto-frontier size across runs."""
+        return sum(row.frontier_size for row in self.rows) / len(self.rows)
+
+
+def _row(app: str, np: int, sweep: SweepResult) -> ParetoRow:
+    points = [
+        (entry.metric(Goal.PERFORMANCE), entry.metric(Goal.COST), entry.config.key)
+        for entry in sweep.entries
+    ]
+    frontier = pareto_frontier(points)
+    perf_best = sweep.optimal(Goal.PERFORMANCE)
+    cost_best = sweep.optimal(Goal.COST)
+    extra_cost = (
+        perf_best.metric(Goal.COST) / cost_best.metric(Goal.COST) - 1.0
+    ) * 100.0
+    return ParetoRow(
+        app=app,
+        np=np,
+        perf_optimal=perf_best.config.key,
+        cost_optimal=cost_best.config.key,
+        frontier_size=len(frontier),
+        cost_of_speed_pct=extra_cost,
+    )
+
+
+def run(context: AcicContext | None = None) -> ParetoResult:
+    """Execute the experiment; returns its result dataclass."""
+    context = context or default_context()
+    rows = tuple(
+        _row(app, scale, context.sweep(app, scale)) for app, scale in NINE_RUNS
+    )
+    return ParetoResult(rows=rows)
+
+
+def render(result: ParetoResult) -> str:
+    """Render a result as the report text block."""
+    lines = ["Extension experiment: performance vs cost optima (Section 5.2)"]
+    lines.append(
+        f"{'run':16s} {'time-optimal':>26s} {'cost-optimal':>26s} "
+        f"{'front':>6s} {'speed premium':>14s}"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.app + '-' + str(row.np):16s} {row.perf_optimal:>26s} "
+            f"{row.cost_optimal:>26s} {row.frontier_size:6d} "
+            f"{row.cost_of_speed_pct:13.1f}%"
+        )
+    lines.append(
+        f"objectives disagree in {result.disagreements}/{len(result.rows)} runs "
+        f"(paper: 'in many cases ... does not agree'); mean Pareto-frontier "
+        f"size {result.mean_frontier_size:.1f} configs (1.0 would mean cost "
+        "proportional to time)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Extension experiment: seed-robustness of the headline results.
+
+The reproduction's headline numbers (Figure 5's geometric-mean speedup,
+Figure 6's mean cost saving) come from one deterministic run.  This
+experiment rebuilds the *entire* pipeline — screening, training, sweeps,
+recommendation — under several independent platform seeds (fresh
+multi-tenant noise draws throughout) and reports the spread, showing the
+conclusions do not hinge on one lucky noise realization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.platform import DEFAULT_PLATFORM
+from repro.experiments import fig5_performance, fig6_cost
+from repro.experiments.context import AcicContext
+
+__all__ = ["SeedOutcome", "RobustnessResult", "run", "render"]
+
+DEFAULT_SEEDS: tuple[int, ...] = (20130917, 42, 7_777_777)
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """One full pipeline rebuild."""
+
+    seed: int
+    geomean_speedup_b: float
+    mean_saving_b_pct: float
+    acic_mean_rank: float
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """One outcome per seed, plus spreads."""
+    outcomes: tuple[SeedOutcome, ...]
+
+    def _spread(self, values: list[float]) -> tuple[float, float, float]:
+        return (sum(values) / len(values), min(values), max(values))
+
+    @property
+    def speedup_spread(self) -> tuple[float, float, float]:
+        """(mean, min, max) of the Figure 5 headline across seeds."""
+        return self._spread([o.geomean_speedup_b for o in self.outcomes])
+
+    @property
+    def saving_spread(self) -> tuple[float, float, float]:
+        """(mean, min, max) of the Figure 6 headline across seeds."""
+        return self._spread([o.mean_saving_b_pct for o in self.outcomes])
+
+    @property
+    def stable(self) -> bool:
+        """Every seed lands the paper-band conclusions."""
+        return all(
+            outcome.geomean_speedup_b > 1.5 and outcome.mean_saving_b_pct > 35.0
+            for outcome in self.outcomes
+        )
+
+
+def run(seeds: tuple[int, ...] = DEFAULT_SEEDS) -> RobustnessResult:
+    """Execute the experiment; returns its result dataclass."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    outcomes = []
+    for seed in seeds:
+        context = AcicContext.build(platform=DEFAULT_PLATFORM.with_seed(seed))
+        f5 = fig5_performance.run(context)
+        f6 = fig6_cost.run(context)
+        ranks = [row.rank for row in f5.rows]
+        outcomes.append(
+            SeedOutcome(
+                seed=seed,
+                geomean_speedup_b=f5.geometric_mean_b,
+                mean_saving_b_pct=f6.mean_saving_b_pct,
+                acic_mean_rank=sum(ranks) / len(ranks),
+            )
+        )
+    return RobustnessResult(outcomes=tuple(outcomes))
+
+
+def render(result: RobustnessResult) -> str:
+    """Render a result as the report text block."""
+    lines = ["Extension experiment: seed-robustness of the headline results"]
+    lines.append(f"{'seed':>10s} {'geomean speedup':>16s} {'mean saving %':>14s} {'mean rank':>10s}")
+    for outcome in result.outcomes:
+        lines.append(
+            f"{outcome.seed:10d} {outcome.geomean_speedup_b:16.2f} "
+            f"{outcome.mean_saving_b_pct:14.1f} {outcome.acic_mean_rank:8.1f}/56"
+        )
+    s_mean, s_min, s_max = result.speedup_spread
+    c_mean, c_min, c_max = result.saving_spread
+    lines.append(
+        f"speedup {s_mean:.2f}x [{s_min:.2f}, {s_max:.2f}] (paper 3.0x); "
+        f"saving {c_mean:.1f}% [{c_min:.1f}, {c_max:.1f}] (paper 53%); "
+        f"stable: {result.stable}"
+    )
+    return "\n".join(lines)

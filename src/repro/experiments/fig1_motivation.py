@@ -1,0 +1,108 @@
+"""Figure 1: BTIO execution time and cost across I/O configurations.
+
+The motivating example: the same application, swept over job scales 16-121
+processes under six named configurations (file system x server count x
+placement, all on ephemeral disks), shows large and *crossing*
+time/cost curves — no configuration wins everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import get_app
+from repro.cloud.cluster import Placement
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.cloud.storage import DeviceKind
+from repro.iosim.engine import IOSimulator
+from repro.space.configuration import FileSystemKind, SystemConfig
+from repro.util.units import MIB
+
+__all__ = ["Fig1Result", "run", "render", "FIG1_CONFIGS", "FIG1_SCALES"]
+
+#: The paper's x-axis: BT requires square process counts.
+FIG1_SCALES: tuple[int, ...] = (16, 36, 64, 81, 100, 121)
+
+
+def _named(fs: FileSystemKind, servers: int, placement: Placement) -> SystemConfig:
+    return SystemConfig(
+        device=DeviceKind.EPHEMERAL,
+        file_system=fs,
+        instance_type="cc2.8xlarge",
+        io_servers=servers,
+        placement=placement,
+        stripe_bytes=None if fs is FileSystemKind.NFS else 4 * MIB,
+    )
+
+
+#: Figure 1's six configuration series, with the paper's labels.
+FIG1_CONFIGS: dict[str, SystemConfig] = {
+    "nfs.D.eph": _named(FileSystemKind.NFS, 1, Placement.DEDICATED),
+    "nfs.P.eph": _named(FileSystemKind.NFS, 1, Placement.PART_TIME),
+    "pvfs.1.D.eph": _named(FileSystemKind.PVFS2, 1, Placement.DEDICATED),
+    "pvfs.2.D.eph": _named(FileSystemKind.PVFS2, 2, Placement.DEDICATED),
+    "pvfs.4.D.eph": _named(FileSystemKind.PVFS2, 4, Placement.DEDICATED),
+    "pvfs.4.P.eph": _named(FileSystemKind.PVFS2, 4, Placement.PART_TIME),
+}
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Both panels of Figure 1.
+
+    Attributes:
+        scales: x-axis process counts.
+        seconds: {config label: time series, one value per scale};
+            None where the configuration is invalid at that scale
+            (part-time with more servers than nodes).
+        cost: same layout for the dollar series.
+    """
+
+    scales: tuple[int, ...]
+    seconds: dict[str, tuple[float | None, ...]]
+    cost: dict[str, tuple[float | None, ...]]
+
+
+def run(platform: CloudPlatform = DEFAULT_PLATFORM) -> Fig1Result:
+    """Measure the six series; returns both panels."""
+    simulator = IOSimulator(platform)
+    app = get_app("BTIO")
+    seconds: dict[str, list[float | None]] = {label: [] for label in FIG1_CONFIGS}
+    cost: dict[str, list[float | None]] = {label: [] for label in FIG1_CONFIGS}
+    for scale in FIG1_SCALES:
+        workload = app.workload(scale, strict=False)
+        for label, config in FIG1_CONFIGS.items():
+            try:
+                result = simulator.run_median(workload, config)
+            except ValueError:  # placement impossible at this scale
+                seconds[label].append(None)
+                cost[label].append(None)
+                continue
+            seconds[label].append(result.seconds)
+            cost[label].append(result.cost)
+    return Fig1Result(
+        scales=FIG1_SCALES,
+        seconds={k: tuple(v) for k, v in seconds.items()},
+        cost={k: tuple(v) for k, v in cost.items()},
+    )
+
+
+def render(result: Fig1Result) -> str:
+    """Both panels as aligned text tables."""
+    lines = ["Figure 1(a): BTIO total execution time (s)"]
+    header = f"{'config':14s}" + "".join(f"{n:>9d}" for n in result.scales)
+    lines.append(header)
+    for label, series in result.seconds.items():
+        cells = "".join(
+            f"{'n/a':>9s}" if v is None else f"{v:9.1f}" for v in series
+        )
+        lines.append(f"{label:14s}{cells}")
+    lines.append("")
+    lines.append("Figure 1(b): BTIO total cost ($)")
+    lines.append(header)
+    for label, series in result.cost.items():
+        cells = "".join(
+            f"{'n/a':>9s}" if v is None else f"{v:9.3f}" for v in series
+        )
+        lines.append(f"{label:14s}{cells}")
+    return "\n".join(lines)

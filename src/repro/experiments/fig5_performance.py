@@ -1,0 +1,146 @@
+"""Figure 5: execution-time distributions and ACIC's pick, per app run.
+
+For each of the nine application executions: the full candidate spectrum
+(the gray dots), the measured-optimal (lowest dot), the median candidate
+(solid line), the baseline (dashed line), and the time ACIC's top
+recommendation achieves — with the M and B speedup annotations of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objectives import Goal, speedup
+from repro.experiments.context import NINE_RUNS, AcicContext, default_context
+
+__all__ = ["Fig5Row", "Fig5Result", "run", "render", "PAPER_FIG5"]
+
+#: The paper's printed speedups over (median, baseline) per run.
+PAPER_FIG5: dict[tuple[str, int], tuple[float, float]] = {
+    ("BTIO", 64): (1.1, 1.4),
+    ("BTIO", 256): (1.2, 2.3),
+    ("FLASHIO", 64): (2.1, 0.7),
+    ("FLASHIO", 256): (1.2, 2.5),
+    ("mpiBLAST", 32): (2.1, 2.8),
+    ("mpiBLAST", 64): (2.4, 2.4),
+    ("mpiBLAST", 128): (2.2, 2.1),
+    ("MADbench2", 64): (1.9, 2.2),
+    ("MADbench2", 256): (3.2, 10.5),
+}
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One application run's panel.
+
+    Attributes:
+        app / np: which run.
+        candidate_seconds: every candidate's measured time (the gray dots).
+        optimal_seconds: the lowest dot.
+        median_seconds / baseline_seconds: the two reference lines.
+        acic_seconds: ACIC's pick, measured (median over co-champions).
+        champions: the co-champion configuration keys.
+        speedup_m / speedup_b: the printed annotations (Eq. 2).
+        paper_m / paper_b: what the paper printed for this run.
+    """
+
+    app: str
+    np: int
+    candidate_seconds: tuple[float, ...]
+    optimal_seconds: float
+    median_seconds: float
+    baseline_seconds: float
+    acic_seconds: float
+    champions: tuple[str, ...]
+    speedup_m: float
+    speedup_b: float
+    paper_m: float
+    paper_b: float
+
+    @property
+    def rank(self) -> int:
+        """ACIC's pick position among all candidates (1 = optimal)."""
+        return 1 + sum(1 for v in self.candidate_seconds if v < self.acic_seconds)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Figure 5's nine panels plus aggregates."""
+    rows: tuple[Fig5Row, ...]
+
+    @property
+    def geometric_mean_b(self) -> float:
+        """Aggregate speedup over baseline (paper: 3.0x average)."""
+        from repro.util.stats import geometric_mean
+
+        return geometric_mean([row.speedup_b for row in self.rows])
+
+
+def run(context: AcicContext | None = None) -> Fig5Result:
+    """Execute the experiment; returns its result dataclass."""
+    context = context or default_context()
+    goal = Goal.PERFORMANCE
+    rows = []
+    for app, scale in NINE_RUNS:
+        sweep = context.sweep(app, scale)
+        acic_seconds, champions = context.acic_measured(app, scale, goal)
+        median_seconds = sweep.median_value(goal)
+        baseline_seconds = sweep.baseline_value(goal)
+        paper_m, paper_b = PAPER_FIG5[(app, scale)]
+        rows.append(
+            Fig5Row(
+                app=app,
+                np=scale,
+                candidate_seconds=tuple(e.metric(goal) for e in sweep.entries),
+                optimal_seconds=sweep.optimal(goal).metric(goal),
+                median_seconds=median_seconds,
+                baseline_seconds=baseline_seconds,
+                acic_seconds=acic_seconds,
+                champions=tuple(c.key for c in champions),
+                speedup_m=speedup(median_seconds, acic_seconds),
+                speedup_b=speedup(baseline_seconds, acic_seconds),
+                paper_m=paper_m,
+                paper_b=paper_b,
+            )
+        )
+    return Fig5Result(rows=tuple(rows))
+
+
+def render(result: Fig5Result) -> str:
+    """Render a result as the report text block."""
+    from repro.util.textplot import SpectrumColumn, render_spectrum
+
+    lines = ["Figure 5: total execution time under ACIC's recommendation"]
+    lines.append(
+        render_spectrum(
+            [
+                SpectrumColumn(
+                    label=f"{row.app[:7]}-{row.np}",
+                    values=row.candidate_seconds,
+                    markers={
+                        "A": row.acic_seconds,
+                        "M": row.median_seconds,
+                        "B": row.baseline_seconds,
+                    },
+                )
+                for row in result.rows
+            ],
+            width_per_column=11,
+        )
+    )
+    lines.append("(· candidates, A = ACIC pick, M = median, B = baseline; log scale)")
+    lines.append("")
+    lines.append(
+        f"{'run':16s} {'ACIC(s)':>9s} {'opt(s)':>9s} {'median':>9s} {'base':>9s} "
+        f"{'rank':>7s} {'M':>5s} {'B':>5s}  (paper M, B)"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.app + '-' + str(row.np):16s} {row.acic_seconds:9.1f} "
+            f"{row.optimal_seconds:9.1f} {row.median_seconds:9.1f} "
+            f"{row.baseline_seconds:9.1f} {row.rank:3d}/{len(row.candidate_seconds):<3d} "
+            f"{row.speedup_m:5.1f} {row.speedup_b:5.1f}  ({row.paper_m}, {row.paper_b})"
+        )
+    lines.append(f"geometric-mean speedup over baseline: {result.geometric_mean_b:.2f}x "
+                 "(paper: 3.0x average)")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Figure 6: monetary-cost distributions and ACIC's cost savings.
+
+Same layout as Figure 5 but with the cost objective and Eq. (3)'s saving
+percentages over the median and baseline configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objectives import Goal, cost_saving
+from repro.experiments.context import NINE_RUNS, AcicContext, default_context
+
+__all__ = ["Fig6Row", "Fig6Result", "run", "render", "PAPER_FIG6"]
+
+#: The paper's printed cost savings (percent) over (median, baseline).
+PAPER_FIG6: dict[tuple[str, int], tuple[float, float]] = {
+    ("BTIO", 64): (27.0, 45.0),
+    ("BTIO", 256): (23.0, 57.0),
+    ("FLASHIO", 64): (50.0, -40.0),
+    ("FLASHIO", 256): (37.0, 66.0),
+    ("mpiBLAST", 32): (67.0, 76.0),
+    ("mpiBLAST", 64): (65.0, 66.0),
+    ("mpiBLAST", 128): (56.0, 53.0),
+    ("MADbench2", 64): (56.0, 64.0),
+    ("MADbench2", 256): (64.0, 89.0),
+}
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One application run's cost panel."""
+
+    app: str
+    np: int
+    candidate_cost: tuple[float, ...]
+    optimal_cost: float
+    median_cost: float
+    baseline_cost: float
+    acic_cost: float
+    champions: tuple[str, ...]
+    saving_m_pct: float
+    saving_b_pct: float
+    paper_m_pct: float
+    paper_b_pct: float
+
+    @property
+    def rank(self) -> int:
+        """ACIC's pick position among all candidates (1 = optimal)."""
+        return 1 + sum(1 for v in self.candidate_cost if v < self.acic_cost)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Figure 6's nine panels plus aggregates."""
+    rows: tuple[Fig6Row, ...]
+
+    @property
+    def mean_saving_b_pct(self) -> float:
+        """Average saving over baseline (paper: 53% average)."""
+        return sum(row.saving_b_pct for row in self.rows) / len(self.rows)
+
+
+def run(context: AcicContext | None = None) -> Fig6Result:
+    """Execute the experiment; returns its result dataclass."""
+    context = context or default_context()
+    goal = Goal.COST
+    rows = []
+    for app, scale in NINE_RUNS:
+        sweep = context.sweep(app, scale)
+        acic_cost, champions = context.acic_measured(app, scale, goal)
+        median_cost = sweep.median_value(goal)
+        baseline_cost = sweep.baseline_value(goal)
+        paper_m, paper_b = PAPER_FIG6[(app, scale)]
+        rows.append(
+            Fig6Row(
+                app=app,
+                np=scale,
+                candidate_cost=tuple(e.metric(goal) for e in sweep.entries),
+                optimal_cost=sweep.optimal(goal).metric(goal),
+                median_cost=median_cost,
+                baseline_cost=baseline_cost,
+                acic_cost=acic_cost,
+                champions=tuple(c.key for c in champions),
+                saving_m_pct=100.0 * cost_saving(median_cost, acic_cost),
+                saving_b_pct=100.0 * cost_saving(baseline_cost, acic_cost),
+                paper_m_pct=paper_m,
+                paper_b_pct=paper_b,
+            )
+        )
+    return Fig6Result(rows=tuple(rows))
+
+
+def render(result: Fig6Result) -> str:
+    """Render a result as the report text block."""
+    from repro.util.textplot import SpectrumColumn, render_spectrum
+
+    lines = ["Figure 6: total monetary cost under ACIC's recommendation"]
+    lines.append(
+        render_spectrum(
+            [
+                SpectrumColumn(
+                    label=f"{row.app[:7]}-{row.np}",
+                    values=row.candidate_cost,
+                    markers={
+                        "A": row.acic_cost,
+                        "M": row.median_cost,
+                        "B": row.baseline_cost,
+                    },
+                )
+                for row in result.rows
+            ],
+            width_per_column=11,
+        )
+    )
+    lines.append("(· candidates, A = ACIC pick, M = median, B = baseline; log scale)")
+    lines.append("")
+    lines.append(
+        f"{'run':16s} {'ACIC($)':>9s} {'opt($)':>9s} {'median':>9s} {'base':>9s} "
+        f"{'rank':>7s} {'M%':>6s} {'B%':>6s}  (paper M%, B%)"
+    )
+    for row in result.rows:
+        lines.append(
+            f"{row.app + '-' + str(row.np):16s} {row.acic_cost:9.3f} "
+            f"{row.optimal_cost:9.3f} {row.median_cost:9.3f} "
+            f"{row.baseline_cost:9.3f} {row.rank:3d}/{len(row.candidate_cost):<3d} "
+            f"{row.saving_m_pct:6.1f} {row.saving_b_pct:6.1f}  "
+            f"({row.paper_m_pct}, {row.paper_b_pct})"
+        )
+    lines.append(
+        f"mean saving over baseline: {result.mean_saving_b_pct:.1f}% (paper: 53% average)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Figure 8: prediction quality vs training-collection cost, by dimensions.
+
+Re-trains ACIC with the top-m PB-ranked parameters for m = 7..15 and, for
+the paper's four sample runs, reports the cost saving under baseline that
+the top recommendation achieves, next to the (exponentially growing)
+training bill.  Like the paper — which stopped collecting at 10 dimensions
+for "time/funding constraints" — levels beyond ``max_trained`` are not
+measured: their bill is extrapolated from the average per-point cost and
+their saving is carried over from the last trained level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal, cost_saving
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.experiments.context import AcicContext, default_context
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["SAMPLE_RUNS", "Fig8Level", "Fig8Result", "run", "render"]
+
+#: The paper's four sample runs, one per application.
+SAMPLE_RUNS: tuple[tuple[str, int], ...] = (
+    ("BTIO", 64),
+    ("FLASHIO", 256),
+    ("mpiBLAST", 128),
+    ("MADbench2", 256),
+)
+
+
+@dataclass(frozen=True)
+class Fig8Level:
+    """One x-axis position (number of trained model parameters).
+
+    Attributes:
+        top_m: trained dimensions.
+        training_points: training-set size (0 when extrapolated).
+        training_cost: collection bill in dollars (measured or estimated).
+        estimated: True for levels beyond the collection budget.
+        savings_pct: {(app, np): cost saving % under baseline}.
+    """
+
+    top_m: int
+    training_points: int
+    training_cost: float
+    estimated: bool
+    savings_pct: dict[tuple[str, int], float]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """All Figure 8 levels."""
+    levels: tuple[Fig8Level, ...]
+
+    def costs(self) -> list[float]:
+        """Training bills per level, in level order."""
+        return [level.training_cost for level in self.levels]
+
+
+def run(
+    context: AcicContext | None = None,
+    levels: tuple[int, ...] = tuple(range(7, 16)),
+    max_trained: int = 10,
+) -> Fig8Result:
+    """Execute the experiment; returns its result dataclass."""
+    context = context or default_context()
+    platform: CloudPlatform = context.platform
+    ranked = context.screening.ranked_names()
+    sweeps: dict[tuple[str, int], SweepResult] = {
+        run_id: context.sweep(*run_id) for run_id in SAMPLE_RUNS
+    }
+
+    out: list[Fig8Level] = []
+    reference_campaign = None
+    last_savings: dict[tuple[str, int], float] = {}
+    for top_m in levels:
+        if top_m <= max_trained:
+            database = TrainingDatabase(platform.name)
+            collector = TrainingCollector(database, platform=platform)
+            plan = TrainingPlan.build(ranked, top_m)
+            campaign = collector.collect(plan)
+            reference_campaign = campaign
+            acic = Acic(
+                database,
+                goal=Goal.COST,
+                learner_name=context.learner_name,
+                feature_names=tuple(ranked[:top_m]),
+            ).train()
+            savings: dict[tuple[str, int], float] = {}
+            for (app, scale), sweep in sweeps.items():
+                chars = context.characteristics(app, scale)
+                champions = acic.co_champions(chars)
+                measured = sorted(sweep.value_of(c, Goal.COST) for c in champions)
+                acic_cost = measured[len(measured) // 2]
+                savings[(app, scale)] = 100.0 * cost_saving(
+                    sweep.baseline_value(Goal.COST), acic_cost
+                )
+            last_savings = savings
+            out.append(
+                Fig8Level(
+                    top_m=top_m,
+                    training_points=plan.size,
+                    training_cost=campaign.run_cost,
+                    estimated=False,
+                    savings_pct=savings,
+                )
+            )
+        else:
+            if reference_campaign is None:
+                raise ValueError("max_trained must cover at least one level")
+            raw = TrainingPlan.raw_grid_size(ranked, top_m)
+            collector_stub = TrainingCollector(
+                TrainingDatabase(platform.name), platform=platform
+            )
+            estimated_cost = collector_stub.estimate_cost(raw, reference_campaign)
+            out.append(
+                Fig8Level(
+                    top_m=top_m,
+                    training_points=0,
+                    training_cost=estimated_cost,
+                    estimated=True,
+                    savings_pct=dict(last_savings),
+                )
+            )
+    return Fig8Result(levels=tuple(out))
+
+
+def render(result: Fig8Result) -> str:
+    """Render a result as the report text block."""
+    lines = ["Figure 8: cost saving vs number of trained model parameters"]
+    runs = SAMPLE_RUNS
+    header = f"{'m':>3s} {'points':>7s} {'training $':>12s} " + "".join(
+        f"{app + '-' + str(np):>15s}" for app, np in runs
+    )
+    lines.append(header)
+    for level in result.levels:
+        bill = f"{level.training_cost:,.0f}" + ("*" if level.estimated else " ")
+        cells = "".join(
+            f"{level.savings_pct[run_id]:15.1f}" for run_id in runs
+        )
+        lines.append(f"{level.top_m:3d} {level.training_points:7d} {bill:>12s} {cells}")
+    lines.append("(* = extrapolated, not collected — as in the paper beyond 10 dims)")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Exhaustive ground-truth sweeps over the candidate configuration set.
+
+"We perform exhaustive evaluation of all candidate configuration settings
+to evaluate its optimization effectiveness" (Section 5.1).  A sweep
+measures one workload under every valid candidate configuration plus the
+baseline, and exposes the optimal / median / baseline reference points the
+figures are drawn against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.core.objectives import Goal
+from repro.iosim.engine import IOSimulator, RunResult
+from repro.iosim.workload import Workload
+from repro.space.configuration import BASELINE_CONFIG, SystemConfig
+from repro.space.grid import candidate_configs
+from repro.util.stats import median
+
+__all__ = ["SweepEntry", "SweepResult", "sweep_workload"]
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One candidate configuration's measurement."""
+
+    config: SystemConfig
+    result: RunResult
+
+    def metric(self, goal: Goal) -> float:
+        """The entry's value for the given goal."""
+        return goal.metric_of(self.result.seconds, self.result.cost)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All candidate measurements for one workload.
+
+    Attributes:
+        workload: what was swept.
+        entries: one per valid candidate configuration.
+        baseline: the baseline configuration's measurement (also present
+            in ``entries``; duplicated for direct access).
+    """
+
+    workload: Workload
+    entries: tuple[SweepEntry, ...]
+    baseline: RunResult
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("sweep produced no entries")
+
+    # ------------------------------------------------------------------
+    def optimal(self, goal: Goal) -> SweepEntry:
+        """The measured-best candidate for a goal."""
+        return min(self.entries, key=lambda e: e.metric(goal))
+
+    def median_value(self, goal: Goal) -> float:
+        """The median candidate's metric (the figures' solid red line)."""
+        return median([e.metric(goal) for e in self.entries])
+
+    def baseline_value(self, goal: Goal) -> float:
+        """The baseline metric (the figures' dashed black line)."""
+        return goal.metric_of(self.baseline.seconds, self.baseline.cost)
+
+    def value_of(self, config: SystemConfig, goal: Goal) -> float:
+        """Measured metric of a specific candidate.
+
+        Raises:
+            KeyError: if the configuration was not part of the sweep
+                (e.g. invalid for this workload).
+        """
+        for entry in self.entries:
+            if entry.config.key == config.key:
+                return entry.metric(goal)
+        raise KeyError(f"configuration {config.key} not in sweep")
+
+    def rank_of(self, config: SystemConfig, goal: Goal) -> int:
+        """1-based position of a candidate among all measured ones."""
+        target = self.value_of(config, goal)
+        return 1 + sum(1 for e in self.entries if e.metric(goal) < target)
+
+    def spread(self, goal: Goal) -> float:
+        """worst / best ratio — the paper's headline 1.4x-10.5x variation."""
+        values = [e.metric(goal) for e in self.entries]
+        return max(values) / min(values)
+
+
+def sweep_workload(
+    workload: Workload,
+    platform: CloudPlatform = DEFAULT_PLATFORM,
+    reps: int = 3,
+) -> SweepResult:
+    """Measure a workload under every valid candidate configuration."""
+    simulator = IOSimulator(platform)
+    entries = tuple(
+        SweepEntry(config=config, result=simulator.run_median(workload, config, reps=reps))
+        for config in candidate_configs(workload.chars)
+    )
+    baseline = simulator.run_median(workload, BASELINE_CONFIG, reps=reps)
+    return SweepResult(workload=workload, entries=entries, baseline=baseline)

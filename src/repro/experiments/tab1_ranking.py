@@ -1,0 +1,77 @@
+"""Table 1 (rank column): PB importance ranking of the fifteen dimensions.
+
+Runs the 32-run foldover screening with IOR on the simulated platform and
+compares the resulting ranking against the one the paper measured on EC2.
+Exact agreement is not expected (the substrate differs); the comparison
+reports rank correlation and the top-group overlap, which is what the
+training order actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.pb.ranking import PbScreening, screen_parameters
+from repro.space.parameters import PARAMETERS
+
+__all__ = ["Tab1Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Tab1Result:
+    """Measured vs published ranking.
+
+    Attributes:
+        screening: the raw screening outcome.
+        measured_ranks / paper_ranks: {dimension: rank}.
+        spearman: rank correlation between the two orderings.
+        top_k_overlap: |top-7 measured intersect top-7 paper| (7 is the
+            paper's cheapest useful training level, Figure 8).
+    """
+
+    screening: PbScreening
+    measured_ranks: dict[str, int]
+    paper_ranks: dict[str, int]
+    spearman: float
+    top_k_overlap: int
+
+
+def run(platform: CloudPlatform = DEFAULT_PLATFORM) -> Tab1Result:
+    """Execute the experiment; returns its result dataclass."""
+    screening = screen_parameters(platform=platform)
+    paper_ranks = {p.name: p.paper_rank for p in PARAMETERS}
+    names = [p.name for p in PARAMETERS]
+    measured = [screening.ranks[name] for name in names]
+    published = [paper_ranks[name] for name in names]
+    rho = float(stats.spearmanr(measured, published).statistic)
+    top_measured = {n for n, r in screening.ranks.items() if r <= 7}
+    top_paper = {n for n, r in paper_ranks.items() if r <= 7}
+    return Tab1Result(
+        screening=screening,
+        measured_ranks=dict(screening.ranks),
+        paper_ranks=paper_ranks,
+        spearman=rho,
+        top_k_overlap=len(top_measured & top_paper),
+    )
+
+
+def render(result: Tab1Result) -> str:
+    """Render a result as the report text block."""
+    lines = ["Table 1: PB parameter ranking (measured on simulator vs paper)"]
+    lines.append(f"{'parameter':20s} {'effect':>10s} {'rank':>5s} {'paper':>6s}")
+    ordered = sorted(result.measured_ranks, key=result.measured_ranks.__getitem__)
+    for name in ordered:
+        effect = result.screening.effects[name]
+        lines.append(
+            f"{name:20s} {effect:10.2f} {result.measured_ranks[name]:5d} "
+            f"{result.paper_ranks[name]:6d}"
+        )
+    lines.append(
+        f"Spearman rho = {result.spearman:.2f}; top-7 overlap = "
+        f"{result.top_k_overlap}/7; screening bill: "
+        f"{result.screening.design.runs} runs, ${result.screening.run_cost:.0f}"
+    )
+    return "\n".join(lines)

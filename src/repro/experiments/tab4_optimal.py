@@ -1,0 +1,122 @@
+"""Table 4: measured-optimal performance configurations for the 9 app runs.
+
+Exhaustively sweeps each application run and reports the time-optimal
+configuration in the paper's column layout (NP, Device, P/D, FS, IOS, SS),
+next to the configuration the paper measured on EC2.  The paper's takeaway
+— many unique optima, scale-dependent even within one application — is
+quantified alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Placement
+from repro.core.objectives import Goal
+from repro.experiments.context import NINE_RUNS, AcicContext, default_context
+from repro.space.configuration import SystemConfig
+from repro.util.units import format_bytes
+
+__all__ = ["PAPER_TABLE4", "Tab4Row", "Tab4Result", "run", "render"]
+
+#: The paper's Table 4, as (app, NP) -> (device, P/D, FS, IOS, stripe).
+PAPER_TABLE4: dict[tuple[str, int], tuple[str, str, str, int, str | None]] = {
+    ("BTIO", 64): ("EBS", "P", "NFS", 1, None),
+    ("BTIO", 256): ("ephemeral", "P", "PVFS2", 4, "4MB"),
+    ("FLASHIO", 64): ("ephemeral", "D", "NFS", 1, None),
+    ("FLASHIO", 256): ("ephemeral", "P", "NFS", 1, None),
+    ("mpiBLAST", 32): ("ephemeral", "P", "PVFS2", 4, "64KB"),
+    ("mpiBLAST", 64): ("ephemeral", "D", "PVFS2", 4, "4MB"),
+    ("mpiBLAST", 128): ("ephemeral", "D", "PVFS2", 4, "4MB"),
+    ("MADbench2", 64): ("ephemeral", "D", "PVFS2", 4, "4MB"),
+    ("MADbench2", 256): ("EBS", "D", "PVFS2", 4, "4MB"),
+}
+
+
+@dataclass(frozen=True)
+class Tab4Row:
+    """One application run's optimum."""
+
+    app: str
+    np: int
+    config: SystemConfig
+    seconds: float
+    paper: tuple[str, str, str, int, str | None]
+
+    @property
+    def cells(self) -> tuple[str, str, str, int, str | None]:
+        """(device, P/D, FS, IOS, stripe) in the paper's formatting."""
+        stripe = (
+            format_bytes(self.config.stripe_bytes)
+            if self.config.stripe_bytes is not None
+            else None
+        )
+        return (
+            self.config.device.value,
+            "P" if self.config.placement is Placement.PART_TIME else "D",
+            self.config.file_system.value,
+            self.config.io_servers,
+            stripe,
+        )
+
+    def agreement(self) -> int:
+        """How many of the five columns match the paper's row."""
+        return sum(1 for ours, theirs in zip(self.cells, self.paper) if ours == theirs)
+
+
+@dataclass(frozen=True)
+class Tab4Result:
+    """All nine Table 4 rows."""
+    rows: tuple[Tab4Row, ...]
+
+    @property
+    def unique_optima(self) -> int:
+        """Distinct optimal configurations (paper found 7 among 9 runs)."""
+        return len({row.config.key for row in self.rows})
+
+    @property
+    def mean_agreement(self) -> float:
+        """Average per-row column agreement with the paper (0-5)."""
+        return sum(row.agreement() for row in self.rows) / len(self.rows)
+
+
+def run(context: AcicContext | None = None) -> Tab4Result:
+    """Execute the experiment; returns its result dataclass."""
+    context = context or default_context()
+    rows = []
+    for app, scale in NINE_RUNS:
+        sweep = context.sweep(app, scale)
+        best = sweep.optimal(Goal.PERFORMANCE)
+        rows.append(
+            Tab4Row(
+                app=app,
+                np=scale,
+                config=best.config,
+                seconds=best.result.seconds,
+                paper=PAPER_TABLE4[(app, scale)],
+            )
+        )
+    return Tab4Result(rows=tuple(rows))
+
+
+def render(result: Tab4Result) -> str:
+    """Render a result as the report text block."""
+    lines = ["Table 4: optimal performance configurations (measured | paper)"]
+    lines.append(
+        f"{'Application':12s} {'NP':>4s}  {'Device':>10s} {'P/D':>3s} {'FS':>6s} "
+        f"{'IOS':>3s} {'SS':>5s}   | paper: Device P/D FS IOS SS"
+    )
+    for row in result.rows:
+        device, pd, fs, ios, stripe = row.cells
+        p_device, p_pd, p_fs, p_ios, p_stripe = row.paper
+        lines.append(
+            f"{row.app:12s} {row.np:4d}  {device:>10s} {pd:>3s} {fs:>6s} "
+            f"{ios:3d} {stripe or 'NA':>5s}   | "
+            f"{p_device} {p_pd} {p_fs} {p_ios} {p_stripe or 'NA'}"
+            f"   [{row.agreement()}/5]"
+        )
+    lines.append(
+        f"unique optima: {result.unique_optima}/9 (paper: 7/9); "
+        f"mean column agreement with paper: {result.mean_agreement:.1f}/5"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Analytic models of the configurable shared file systems (NFS, PVFS2).
+
+Each model maps an :class:`~repro.fs.base.AccessPattern` (what the clients
+do, after the I/O-library layer has transformed the application's calls)
+plus :class:`~repro.fs.base.ServerResources` (what the configured servers
+can sustain) to a per-iteration time breakdown.  The distinguishing
+behaviours — NFS write-back caching and single-server lock contention,
+PVFS2 striping without client caches — are what create the configuration
+trade-offs ACIC learns.
+"""
+
+from repro.fs.base import (
+    AccessPattern,
+    FileSystemModel,
+    IOBreakdown,
+    ServerResources,
+)
+from repro.fs.nfs import NfsModel
+from repro.fs.pvfs import Pvfs2Model
+from repro.fs.registry import file_system_model
+
+__all__ = [
+    "AccessPattern",
+    "FileSystemModel",
+    "IOBreakdown",
+    "ServerResources",
+    "NfsModel",
+    "Pvfs2Model",
+    "file_system_model",
+]

@@ -1,0 +1,170 @@
+"""Shared abstractions for file-system performance models.
+
+The I/O engine decomposes one application I/O iteration into an
+:class:`AccessPattern` (client-side view after interface/collective
+transformation) and hands it, with the provisioned :class:`ServerResources`,
+to a :class:`FileSystemModel`, receiving an :class:`IOBreakdown` back.
+
+The breakdown separates *blocking* time (the application waits) from
+*deferrable* time (server-side write-back flushing that can overlap the
+application's subsequent compute phase) — the mechanism that lets NFS shine
+for periodic checkpoints with compute between them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.cloud.storage import Raid0Array
+from repro.space.characteristics import OpKind
+
+__all__ = ["AccessPattern", "ServerResources", "IOBreakdown", "FileSystemModel"]
+
+#: In-memory copy bandwidth of a server absorbing writes into its page
+#: cache (bytes/s); bounds NFS write-back absorption alongside the NIC.
+MEMORY_BANDWIDTH = 2.0e9
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Client-side I/O demand for one iteration, one operation direction.
+
+    Attributes:
+        op: READ or WRITE (the engine splits mixed workloads in two).
+        writers: concurrent client streams hitting the file system
+            (aggregators under collective I/O, else all I/O processes).
+        client_nodes: instances hosting those streams.
+        bytes_total: bytes this direction moves in the iteration.
+        request_bytes: effective size of each wire request.
+        sequential_per_stream: True when each stream accesses its region
+            sequentially (enables client-side coalescing on NFS).
+        shared_file: single shared file vs per-process files.
+        metadata_ops: metadata operations (opens, creates, attribute
+            updates) issued this iteration.
+        serial_small_ops: tiny operations that serialize at one point
+            (e.g. HDF5 metadata written from rank 0).
+    """
+
+    op: OpKind
+    writers: int
+    client_nodes: int
+    bytes_total: float
+    request_bytes: float
+    sequential_per_stream: bool = True
+    shared_file: bool = True
+    metadata_ops: int = 0
+    serial_small_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op is OpKind.READWRITE:
+            raise ValueError("AccessPattern is single-direction; split READWRITE first")
+        if self.writers < 1:
+            raise ValueError(f"writers must be >= 1, got {self.writers}")
+        if self.client_nodes < 1:
+            raise ValueError(f"client_nodes must be >= 1, got {self.client_nodes}")
+        if self.bytes_total < 0:
+            raise ValueError(f"bytes_total must be >= 0, got {self.bytes_total}")
+        if self.request_bytes <= 0:
+            raise ValueError(f"request_bytes must be > 0, got {self.request_bytes}")
+
+    @property
+    def is_write(self) -> bool:
+        """True for the write direction."""
+        return self.op is OpKind.WRITE
+
+    @property
+    def total_requests(self) -> float:
+        """Number of wire requests needed for the iteration."""
+        if self.bytes_total == 0:
+            return 0.0
+        return max(1.0, self.bytes_total / self.request_bytes)
+
+
+@dataclass(frozen=True)
+class ServerResources:
+    """What the configured file servers can sustain, placement included.
+
+    Attributes:
+        servers: number of file-server daemons.
+        raid: the per-server RAID-0 storage array.
+        net_bytes_per_s: per-server NIC bandwidth available to file
+            traffic (already reduced for part-time background traffic
+            and for network-attached devices like EBS).
+        client_net_bytes_per_s: per-client-node NIC bandwidth.
+        rtt_s: client-server round-trip latency.
+        memory_bytes: per-server RAM (bounds write-back caching).
+        locality_fraction: fraction of bytes that do not cross the
+            network because a client is co-located with its server
+            (part-time placement with smart aggregator mapping).
+        service_inflation: multiplier >= 1 on server-side service times
+            from part-time CPU interference.
+    """
+
+    servers: int
+    raid: Raid0Array
+    net_bytes_per_s: float
+    client_net_bytes_per_s: float
+    rtt_s: float
+    memory_bytes: int
+    locality_fraction: float = 0.0
+    service_inflation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers}")
+        if not 0.0 <= self.locality_fraction <= 1.0:
+            raise ValueError(f"locality_fraction must be in [0,1], got {self.locality_fraction}")
+        if self.service_inflation < 1.0:
+            raise ValueError(f"service_inflation must be >= 1, got {self.service_inflation}")
+
+    def disk_bandwidth(self, is_write: bool) -> float:
+        """Aggregate storage bandwidth across all servers (bytes/s)."""
+        return self.servers * self.raid.bandwidth(is_write)
+
+    @property
+    def dirty_limit_bytes(self) -> float:
+        """Write-back cache capacity across servers (Linux-style 40% RAM)."""
+        return 0.40 * self.memory_bytes * self.servers
+
+
+@dataclass(frozen=True)
+class IOBreakdown:
+    """Per-iteration time decomposition returned by a file-system model.
+
+    ``blocking_seconds`` is what the application observes before its I/O
+    call returns; ``deferred_seconds`` is background flush work that must
+    finish before the *next* I/O burst (or the end of the run) and can
+    hide under compute.
+    """
+
+    transfer_seconds: float
+    operation_seconds: float
+    metadata_seconds: float
+    deferred_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("transfer_seconds", "operation_seconds", "metadata_seconds", "deferred_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def blocking_seconds(self) -> float:
+        """Foreground time: transfers pipeline with per-request handling,
+        so the slower of the two dominates; metadata is additive."""
+        return max(self.transfer_seconds, self.operation_seconds) + self.metadata_seconds
+
+
+class FileSystemModel(abc.ABC):
+    """Interface every file-system performance model implements."""
+
+    #: human-readable name, matches :class:`FileSystemKind` values.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def iteration_time(self, pattern: AccessPattern, servers: ServerResources) -> IOBreakdown:
+        """Time to serve one iteration of ``pattern`` on ``servers``."""
+
+    def mount_seconds(self, servers: ServerResources) -> float:
+        """One-time deployment/mount latency at job start."""
+        return 2.0 + 0.5 * servers.servers

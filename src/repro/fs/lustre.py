@@ -1,0 +1,129 @@
+"""Lustre performance model — an *extension* file system.
+
+Lustre is not part of the paper's evaluated configuration space (Table 1
+samples NFS and PVFS2), but the paper's expandability claim — "ACIC can
+easily handle new I/O configurations or characteristic parameters by
+adding more dimensions into its prediction model" (Section 2) — is
+exercised by adding one.  Lustre sits between the two evaluated systems:
+
+* striped across object storage servers like PVFS2 (aggregate bandwidth
+  scales with servers),
+* but with a *client-side* write-back cache protected by the distributed
+  lock manager (LDLM): small sequential requests coalesce as on NFS,
+  while conflicting shared-file writers pay lock ping-pong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import (
+    MEMORY_BANDWIDTH,
+    AccessPattern,
+    FileSystemModel,
+    IOBreakdown,
+    ServerResources,
+)
+from repro.util.units import MIB
+
+__all__ = ["LustreModel"]
+
+
+@dataclass(frozen=True)
+class LustreModel(FileSystemModel):
+    """Analytic Lustre model.
+
+    Attributes:
+        stripe_bytes: OST stripe size.
+        request_op_seconds: client/OSS protocol cost per RPC.
+        server_scale_efficiency: per-extra-OSS aggregate efficiency.
+        server_pipeline_depth: RPCs one OSS overlaps.
+        coalesce_bytes: client-cache RPC size for sequential streams.
+        lock_contention: per-extra-writer efficiency loss on one shared
+            file (LDLM extent-lock ping-pong); milder than NFS's
+            serialization but, unlike PVFS2, not zero.
+        metadata_op_seconds: MDS cost per open/create.
+        small_op_seconds: serialized tiny-op cost (client cache absorbs
+            most of it, so closer to NFS than PVFS2).
+    """
+
+    stripe_bytes: int = 4 * MIB
+    request_op_seconds: float = 1.5e-4
+    server_scale_efficiency: float = 0.97
+    server_pipeline_depth: int = 8
+    coalesce_bytes: int = 1 * MIB
+    lock_contention: float = 0.006
+    metadata_op_seconds: float = 1.2e-3
+    small_op_seconds: float = 2.5e-4
+
+    name: str = "Lustre"
+
+    def __post_init__(self) -> None:
+        if self.stripe_bytes < 1024:
+            raise ValueError(f"stripe_bytes too small: {self.stripe_bytes}")
+
+    def iteration_time(self, pattern: AccessPattern, servers: ServerResources) -> IOBreakdown:
+        """Time to serve one iteration of ``pattern`` on ``servers``."""
+        if pattern.bytes_total == 0:
+            return IOBreakdown(0.0, 0.0, 0.0)
+        transfer = self._transfer_time(pattern, servers)
+        operations = self._operation_time(pattern, servers)
+        metadata = self._metadata_time(pattern, servers)
+        return IOBreakdown(
+            transfer_seconds=transfer,
+            operation_seconds=operations,
+            metadata_seconds=metadata,
+        )
+
+    def mount_seconds(self, servers: ServerResources) -> float:
+        """Lustre deployment is the heaviest of the three file systems."""
+        return 4.0 + 0.8 * servers.servers
+
+    # ------------------------------------------------------------------
+    def _contention(self, pattern: AccessPattern) -> float:
+        if pattern.is_write and pattern.shared_file and pattern.writers > 1:
+            return 1.0 + self.lock_contention * (pattern.writers - 1)
+        return 1.0
+
+    def _transfer_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """Striped streaming, client-cache absorption on the client side."""
+        scale = self.server_scale_efficiency ** (servers.servers - 1)
+        span = min(
+            servers.servers, max(1, int(pattern.request_bytes // self.stripe_bytes))
+        )
+        utilization = min(1.0, pattern.writers * span / servers.servers)
+        contention = self._contention(pattern)
+
+        disk_bw = servers.disk_bandwidth(pattern.is_write) * scale * utilization
+        net_bw = servers.servers * servers.net_bytes_per_s * scale * utilization
+        remote_bytes = pattern.bytes_total * (1.0 - servers.locality_fraction)
+
+        disk_seconds = pattern.bytes_total / disk_bw
+        net_seconds = remote_bytes / net_bw
+        client_seconds = remote_bytes / (
+            pattern.client_nodes * servers.client_net_bytes_per_s
+        )
+        memory_seconds = pattern.bytes_total / MEMORY_BANDWIDTH
+        return (
+            max(disk_seconds, net_seconds, client_seconds, memory_seconds)
+            * contention
+            * servers.service_inflation
+        )
+
+    def _operation_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """RPC handling after client-cache coalescing of sequential streams."""
+        if pattern.sequential_per_stream:
+            wire_request = max(pattern.request_bytes, self.coalesce_bytes)
+        else:
+            wire_request = pattern.request_bytes
+        requests = max(1.0, pattern.bytes_total / wire_request)
+        parallelism = min(
+            pattern.writers, servers.servers * self.server_pipeline_depth
+        )
+        protocol = requests * (self.request_op_seconds + servers.rtt_s) / parallelism
+        return protocol * servers.service_inflation
+
+    def _metadata_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        meta = pattern.metadata_ops * self.metadata_op_seconds
+        serial = pattern.serial_small_ops * self.small_op_seconds
+        return (meta + serial) * servers.service_inflation

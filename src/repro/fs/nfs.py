@@ -1,0 +1,166 @@
+"""NFS performance model.
+
+A single-server shared file system with the behaviours that matter for the
+configuration trade-offs the paper observes:
+
+* **Client + server write-back caching.**  Sequential writes are coalesced
+  client-side into large wire transfers, and the server absorbs dirty data
+  into RAM at network speed, flushing to disk in the background.  The flush
+  is reported as *deferred* time, which the engine overlaps with the
+  application's compute phases — why "NFS often works better for
+  applications performing small amounts of I/O using POSIX API"
+  (observation 4).
+* **Single-server lock/ordering contention** on shared-file writes, which
+  grows with the number of concurrent writers — why NFS falls behind at
+  large job scales.
+* **Low per-operation cost** relative to PVFS2's distributed protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import (
+    MEMORY_BANDWIDTH,
+    AccessPattern,
+    FileSystemModel,
+    IOBreakdown,
+    ServerResources,
+)
+from repro.util.units import KIB
+
+__all__ = ["NfsModel"]
+
+
+@dataclass(frozen=True)
+class NfsModel(FileSystemModel):
+    """Analytic NFS (v4-era, async export) model.
+
+    Attributes:
+        write_op_seconds / read_op_seconds: server CPU+VFS cost per RPC.
+        server_threads: nfsd concurrency (bounds request parallelism).
+        coalesce_bytes: wsize/rsize — the transfer size the client's page
+            cache coalesces sequential small requests into.
+        shared_write_contention: per-extra-writer efficiency loss for
+            concurrent writes into one file.
+        metadata_op_seconds: cost of one metadata operation (open/create).
+        small_op_seconds: cost of one tiny serialized library op.
+    """
+
+    write_op_seconds: float = 9.0e-5
+    read_op_seconds: float = 7.0e-5
+    server_threads: int = 8
+    coalesce_bytes: int = 512 * KIB
+    shared_write_contention: float = 0.015
+    metadata_op_seconds: float = 8.0e-4
+    small_op_seconds: float = 1.5e-4
+
+    name: str = "NFS"
+
+    def iteration_time(self, pattern: AccessPattern, servers: ServerResources) -> IOBreakdown:
+        """Time to serve one iteration of ``pattern`` on ``servers``."""
+        if servers.servers != 1:
+            raise ValueError(f"NFS runs exactly one server, got {servers.servers}")
+        if pattern.bytes_total == 0:
+            return IOBreakdown(0.0, 0.0, 0.0)
+
+        remote_bytes = pattern.bytes_total * (1.0 - servers.locality_fraction)
+        disk_bw = servers.raid.bandwidth(pattern.is_write)
+        contention = self._contention(pattern)
+
+        if pattern.is_write:
+            transfer, deferred = self._write_path(pattern, servers, remote_bytes, disk_bw, contention)
+        else:
+            transfer = self._read_path(pattern, servers, remote_bytes, disk_bw, contention)
+            deferred = 0.0
+
+        operations = self._operation_time(pattern, servers)
+        metadata = self._metadata_time(pattern, servers)
+        return IOBreakdown(
+            transfer_seconds=transfer,
+            operation_seconds=operations,
+            metadata_seconds=metadata,
+            deferred_seconds=deferred,
+        )
+
+    # ------------------------------------------------------------------
+    def _contention(self, pattern: AccessPattern) -> float:
+        """Efficiency divisor for concurrent shared-file writes.
+
+        NFS serializes conflicting writes through server-side locking and
+        ordered page flushing; file-per-process traffic does not contend.
+        """
+        if pattern.is_write and pattern.shared_file and pattern.writers > 1:
+            return 1.0 + self.shared_write_contention * (pattern.writers - 1)
+        return 1.0
+
+    def _write_path(
+        self,
+        pattern: AccessPattern,
+        servers: ServerResources,
+        remote_bytes: float,
+        disk_bw: float,
+        contention: float,
+    ) -> tuple[float, float]:
+        """Foreground absorption + deferred flush of a write burst.
+
+        Dirty data up to the server's write-back limit is absorbed at the
+        min of network and memory speed; the flush to disk proceeds
+        concurrently, so the *blocking* time is the absorption of cached
+        bytes plus full disk-speed writing of any overflow, while the
+        cached bytes' flush is deferred.
+        """
+        absorb_rate = min(servers.net_bytes_per_s, MEMORY_BANDWIDTH) / contention
+        cached_bytes = min(pattern.bytes_total, servers.dirty_limit_bytes)
+        overflow_bytes = pattern.bytes_total - cached_bytes
+
+        # Local (co-located client) bytes skip the NIC but still cost a
+        # memory copy; remote bytes move at the (contended) NIC rate.
+        local_bytes = pattern.bytes_total - remote_bytes
+        absorb_seconds = (
+            remote_bytes / absorb_rate + local_bytes / MEMORY_BANDWIDTH
+        ) * (cached_bytes / pattern.bytes_total)
+        overflow_seconds = overflow_bytes / (disk_bw / contention) if overflow_bytes > 0 else 0.0
+        deferred_seconds = cached_bytes / disk_bw * servers.service_inflation
+
+        blocking = (absorb_seconds + overflow_seconds) * servers.service_inflation
+        return blocking, deferred_seconds
+
+    def _read_path(
+        self,
+        pattern: AccessPattern,
+        servers: ServerResources,
+        remote_bytes: float,
+        disk_bw: float,
+        contention: float,
+    ) -> float:
+        """Cold reads stream from disk; remote bytes are also NIC-capped.
+
+        Disk reads and network sends pipeline, so the slower stage bounds
+        the iteration.
+        """
+        disk_seconds = pattern.bytes_total / (disk_bw / contention)
+        net_seconds = remote_bytes / servers.net_bytes_per_s
+        return max(disk_seconds, net_seconds) * servers.service_inflation
+
+    def _operation_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """Per-RPC handling, after client-side coalescing.
+
+        Sequential streams are merged into ``coalesce_bytes`` transfers by
+        the client page cache; interleaved shared-file writes from many
+        independent writers defeat coalescing and pay per-request cost.
+        """
+        if pattern.sequential_per_stream:
+            wire_request = max(pattern.request_bytes, self.coalesce_bytes)
+        else:
+            wire_request = pattern.request_bytes
+        requests = max(1.0, pattern.bytes_total / wire_request)
+        per_op = self.write_op_seconds if pattern.is_write else self.read_op_seconds
+        parallelism = min(pattern.writers, self.server_threads)
+        return requests * per_op * servers.service_inflation / parallelism
+
+    def _metadata_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """Opens/creates plus serialized tiny library operations."""
+        meta = pattern.metadata_ops * self.metadata_op_seconds
+        serial = pattern.serial_small_ops * self.small_op_seconds
+        return (meta + serial) * servers.service_inflation

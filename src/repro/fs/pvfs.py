@@ -1,0 +1,129 @@
+"""PVFS2 performance model.
+
+A parallel file system striping every file across N I/O servers.  The
+behaviours that shape the configuration trade-offs:
+
+* **Aggregate bandwidth scales with servers** (mild coordination loss) —
+  "having more I/O servers improves performance of both cost and time
+  perspective" (observation 2).
+* **No client-side caching** (PVFS2 deliberately avoids it to skip lock
+  management): every application request pays a network round trip and
+  server handling, so small uncoalesced requests are expensive — the flip
+  side of observation 4.
+* **Stripe-size interaction**: requests spanning several stripe units gain
+  intra-request parallelism but pay a per-unit scatter cost; tiny stripes
+  hurt large streaming requests, large stripes strand servers when
+  concurrency is low.
+* **Lock-free shared files**: unlike NFS, concurrent writers into one file
+  do not contend on locks; only a single metadata server serializes
+  creates/opens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import (
+    AccessPattern,
+    FileSystemModel,
+    IOBreakdown,
+    ServerResources,
+)
+
+__all__ = ["Pvfs2Model"]
+
+
+@dataclass(frozen=True)
+class Pvfs2Model(FileSystemModel):
+    """Analytic PVFS2 model.
+
+    Attributes:
+        request_op_seconds: client/server protocol cost per request.
+        stripe_unit_seconds: per stripe-unit scatter/gather handling.
+        server_scale_efficiency: per-extra-server aggregate efficiency
+            (coordination and load imbalance).
+        server_pipeline_depth: concurrent requests one server overlaps.
+        metadata_op_seconds: cost at the (single) metadata server; a
+            create is expensive — it allocates a metafile plus datafile
+            handles on every I/O server — which is why file-per-process
+            workloads with small files favour NFS (observation 4).
+        small_op_seconds: cost of one tiny serialized library op; high
+            relative to NFS because there is no write-back cache to absorb
+            it — each one is a synchronous network round trip.
+    """
+
+    stripe_bytes: int = 4 * 1024 * 1024
+    request_op_seconds: float = 2.5e-4
+    stripe_unit_seconds: float = 1.5e-5
+    server_scale_efficiency: float = 0.97
+    server_pipeline_depth: int = 4
+    metadata_op_seconds: float = 3.0e-3
+    small_op_seconds: float = 8.0e-4
+
+    name: str = "PVFS2"
+
+    def __post_init__(self) -> None:
+        if self.stripe_bytes < 1024:
+            raise ValueError(f"stripe_bytes too small: {self.stripe_bytes}")
+
+    def iteration_time(self, pattern: AccessPattern, servers: ServerResources) -> IOBreakdown:
+        """Time to serve one iteration of ``pattern`` on ``servers``."""
+        if pattern.bytes_total == 0:
+            return IOBreakdown(0.0, 0.0, 0.0)
+        transfer = self._transfer_time(pattern, servers)
+        operations = self._operation_time(pattern, servers)
+        metadata = self._metadata_time(pattern, servers)
+        return IOBreakdown(
+            transfer_seconds=transfer,
+            operation_seconds=operations,
+            metadata_seconds=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    def _utilization(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """Fraction of servers kept busy by the offered concurrency.
+
+        Each request touches ``request/stripe`` servers (at most all of
+        them); with W concurrent streams the striped load covers
+        ``W x span`` server slots.
+        """
+        span = min(servers.servers, max(1, int(pattern.request_bytes // self.stripe_bytes)))
+        return min(1.0, pattern.writers * span / servers.servers)
+
+    def _transfer_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """Streaming time through the slower of disks and network."""
+        scale = self.server_scale_efficiency ** (servers.servers - 1)
+        utilization = self._utilization(pattern, servers)
+        disk_bw = servers.disk_bandwidth(pattern.is_write) * scale * utilization
+        net_bw = servers.servers * servers.net_bytes_per_s * scale * utilization
+
+        remote_bytes = pattern.bytes_total * (1.0 - servers.locality_fraction)
+        disk_seconds = pattern.bytes_total / disk_bw
+        net_seconds = remote_bytes / net_bw
+        client_seconds = remote_bytes / (
+            pattern.client_nodes * servers.client_net_bytes_per_s
+        )
+        return max(disk_seconds, net_seconds, client_seconds) * servers.service_inflation
+
+    def _operation_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """Per-request protocol plus stripe scatter cost.
+
+        No client cache means requests hit the wire as issued; each pays a
+        round-trip-coupled protocol cost, overlapped across clients and
+        server pipelines.
+        """
+        requests = pattern.total_requests
+        per_request = self.request_op_seconds + servers.rtt_s
+        units_per_request = max(1.0, pattern.request_bytes / self.stripe_bytes)
+        scatter = requests * units_per_request * self.stripe_unit_seconds / servers.servers
+        parallelism = min(
+            pattern.writers, servers.servers * self.server_pipeline_depth
+        )
+        protocol = requests * per_request / parallelism
+        return (protocol + scatter) * servers.service_inflation
+
+    def _metadata_time(self, pattern: AccessPattern, servers: ServerResources) -> float:
+        """All metadata serializes at PVFS2's single metadata server."""
+        meta = pattern.metadata_ops * self.metadata_op_seconds
+        serial = pattern.serial_small_ops * self.small_op_seconds
+        return (meta + serial) * servers.service_inflation

@@ -1,0 +1,24 @@
+"""Construction of file-system models from a :class:`SystemConfig`."""
+
+from __future__ import annotations
+
+from repro.fs.base import FileSystemModel
+from repro.fs.lustre import LustreModel
+from repro.fs.nfs import NfsModel
+from repro.fs.pvfs import Pvfs2Model
+from repro.space.configuration import FileSystemKind, SystemConfig
+
+__all__ = ["file_system_model"]
+
+
+def file_system_model(config: SystemConfig) -> FileSystemModel:
+    """Instantiate the file-system model a configuration calls for."""
+    if config.file_system is FileSystemKind.NFS:
+        return NfsModel()
+    if config.file_system.striped and config.stripe_bytes is None:
+        raise ValueError(f"{config.file_system} configuration is missing a stripe size")
+    if config.file_system is FileSystemKind.PVFS2:
+        return Pvfs2Model(stripe_bytes=config.stripe_bytes)
+    if config.file_system is FileSystemKind.LUSTRE:
+        return LustreModel(stripe_bytes=config.stripe_bytes)
+    raise ValueError(f"no model for file system {config.file_system!r}")

@@ -1,0 +1,23 @@
+"""IOR-equivalent synthetic parallel I/O benchmark.
+
+ACIC trains on IOR because it is "generic, highly configurable, and
+open-source" (Section 2): its knobs are exactly the nine application-side
+dimensions of the exploration space.  This package reproduces that role —
+an :class:`IorSpec` describes one benchmark case, and the runner executes
+it against the simulated cloud, yielding the time/cost observations that
+populate the training database.
+"""
+
+from repro.ior.spec import IorSpec
+from repro.ior.runner import IorRunner, IorObservation
+from repro.ior.suite import IorSuite, SUITES, get_suite, run_suite
+
+__all__ = [
+    "IorSpec",
+    "IorRunner",
+    "IorObservation",
+    "IorSuite",
+    "SUITES",
+    "get_suite",
+    "run_suite",
+]

@@ -1,0 +1,125 @@
+"""IOR benchmark case specification.
+
+Maps one-to-one onto the application-characteristic half of the
+exploration space, using IOR's own vocabulary (blockSize, transferSize,
+segments, api, collective, filePerProc) so the correspondence with the
+real tool is explicit and traceable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iosim.workload import Workload
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+
+__all__ = ["IorSpec"]
+
+_API_TO_INTERFACE = {
+    "POSIX": IOInterface.POSIX,
+    "MPIIO": IOInterface.MPIIO,
+    "HDF5": IOInterface.HDF5,
+}
+
+
+@dataclass(frozen=True)
+class IorSpec:
+    """One IOR invocation.
+
+    Attributes:
+        num_tasks: MPI tasks launched (``-np``).
+        io_tasks: tasks that perform I/O; IOR itself uses all tasks, the
+            extra knob mirrors ACIC's ``Number of I/O processes`` dimension
+            (realized with IOR's multi-job layout in the real tool).
+        api: "POSIX" | "MPIIO" | "HDF5"  (IOR ``-a``).
+        block_bytes: data each task moves per segment (IOR ``-b``).
+        transfer_bytes: bytes per I/O call (IOR ``-t``).
+        segments: I/O iterations (IOR ``-s``).
+        read / write: operation selection (IOR ``-r`` / ``-w``).
+        collective: collective I/O (IOR ``-c``).
+        file_per_proc: file-per-process layout (IOR ``-F``); the inverse of
+            the space's ``shared_file``.
+    """
+
+    num_tasks: int
+    io_tasks: int
+    api: str = "MPIIO"
+    block_bytes: int = 1 << 20
+    transfer_bytes: int = 1 << 20
+    segments: int = 1
+    read: bool = False
+    write: bool = True
+    collective: bool = False
+    file_per_proc: bool = False
+
+    def __post_init__(self) -> None:
+        if self.api not in _API_TO_INTERFACE:
+            raise ValueError(f"unknown IOR api {self.api!r}")
+        if not (self.read or self.write):
+            raise ValueError("IOR case must read, write, or both")
+        if self.collective and self.api == "POSIX":
+            raise ValueError("collective I/O requires the MPIIO/HDF5 api")
+
+    @property
+    def op(self) -> OpKind:
+        """The operation mix this case performs."""
+        if self.read and self.write:
+            return OpKind.READWRITE
+        return OpKind.READ if self.read else OpKind.WRITE
+
+    def to_characteristics(self) -> AppCharacteristics:
+        """The exploration-space view of this IOR case."""
+        return AppCharacteristics(
+            num_processes=self.num_tasks,
+            num_io_processes=self.io_tasks,
+            interface=_API_TO_INTERFACE[self.api],
+            iterations=self.segments,
+            data_bytes=self.block_bytes,
+            request_bytes=self.transfer_bytes,
+            op=self.op,
+            collective=self.collective,
+            shared_file=not self.file_per_proc,
+        )
+
+    @classmethod
+    def from_characteristics(cls, chars: AppCharacteristics) -> "IorSpec":
+        """Build the IOR case that mimics an application's I/O profile.
+
+        This is the reusable-training trick: any application reduces to an
+        IOR case in the same 9-D space, so IOR measurements transfer.
+        """
+        api = {
+            IOInterface.POSIX: "POSIX",
+            IOInterface.MPIIO: "MPIIO",
+            IOInterface.HDF5: "HDF5",
+        }[chars.interface]
+        return cls(
+            num_tasks=chars.num_processes,
+            io_tasks=chars.num_io_processes,
+            api=api,
+            block_bytes=chars.data_bytes,
+            transfer_bytes=chars.request_bytes,
+            segments=chars.iterations,
+            read=chars.op in (OpKind.READ, OpKind.READWRITE),
+            write=chars.op in (OpKind.WRITE, OpKind.READWRITE),
+            collective=chars.collective,
+            file_per_proc=not chars.shared_file,
+        )
+
+    def to_workload(self) -> Workload:
+        """A pure-I/O workload (no compute between segments), like IOR."""
+        return Workload.pure_io(name=self.command_line(), chars=self.to_characteristics())
+
+    def command_line(self) -> str:
+        """The equivalent real-IOR command, for provenance in the DB."""
+        flags = [f"ior -a {self.api}", f"-b {self.block_bytes}", f"-t {self.transfer_bytes}",
+                 f"-s {self.segments}"]
+        if self.write:
+            flags.append("-w")
+        if self.read:
+            flags.append("-r")
+        if self.collective:
+            flags.append("-c")
+        if self.file_per_proc:
+            flags.append("-F")
+        return " ".join(flags) + f" # np={self.num_tasks} io_np={self.io_tasks}"

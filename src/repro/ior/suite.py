@@ -1,0 +1,146 @@
+"""Canned IOR benchmark suites for targeted database contributions.
+
+PB-guided training plans are the systematic way to populate a database;
+community contributors, though, often measure what *their* workloads look
+like.  A suite is a named, curated set of IOR cases covering one workload
+family — run it under every candidate configuration and contribute the
+records.  Suites also serve as fixtures: tests and examples can bootstrap
+small, meaningful databases without a full screening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
+from repro.ior.runner import IorRunner
+from repro.ior.spec import IorSpec
+from repro.space.grid import candidate_configs
+from repro.util.units import KIB, MIB
+
+if TYPE_CHECKING:  # repro.core imports repro.ior; keep the runtime edge one-way
+    from repro.core.database import TrainingDatabase
+
+__all__ = ["IorSuite", "SUITES", "get_suite", "run_suite"]
+
+
+@dataclass(frozen=True)
+class IorSuite:
+    """A named set of IOR cases.
+
+    Attributes:
+        name: registry key.
+        description: what workload family the suite represents.
+        specs: the cases.
+    """
+
+    name: str
+    description: str
+    specs: tuple[IorSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError(f"suite {self.name!r} has no cases")
+
+
+def _checkpoint_specs() -> tuple[IorSpec, ...]:
+    """Periodic collective checkpoints (BTIO/FLASH-shaped)."""
+    specs = []
+    for tasks in (64, 256):
+        for block in (4 * MIB, 32 * MIB):
+            specs.append(
+                IorSpec(
+                    num_tasks=tasks, io_tasks=tasks, api="MPIIO",
+                    block_bytes=block, transfer_bytes=min(block, 4 * MIB),
+                    segments=10, write=True, collective=True,
+                )
+            )
+    return tuple(specs)
+
+
+def _scan_specs() -> tuple[IorSpec, ...]:
+    """Read-dominant file-per-process scans (mpiBLAST-shaped)."""
+    specs = []
+    for tasks in (32, 128):
+        for transfer in (256 * KIB, 4 * MIB):
+            specs.append(
+                IorSpec(
+                    num_tasks=tasks, io_tasks=tasks, api="POSIX",
+                    block_bytes=128 * MIB, transfer_bytes=transfer,
+                    segments=4, read=True, write=False, file_per_proc=True,
+                )
+            )
+    return tuple(specs)
+
+
+def _outofcore_specs() -> tuple[IorSpec, ...]:
+    """Large mixed read/write shared-file traffic (MADbench-shaped)."""
+    return tuple(
+        IorSpec(
+            num_tasks=tasks, io_tasks=tasks, api="MPIIO",
+            block_bytes=512 * MIB, transfer_bytes=16 * MIB,
+            segments=4, read=True, write=True,
+        )
+        for tasks in (64, 256)
+    )
+
+
+SUITES: dict[str, IorSuite] = {
+    suite.name: suite
+    for suite in (
+        IorSuite(
+            name="checkpoint",
+            description="periodic collective checkpoint writes",
+            specs=_checkpoint_specs(),
+        ),
+        IorSuite(
+            name="scan",
+            description="read-dominant file-per-process dataset scans",
+            specs=_scan_specs(),
+        ),
+        IorSuite(
+            name="out-of-core",
+            description="large mixed shared-file read/write traffic",
+            specs=_outofcore_specs(),
+        ),
+    )
+}
+
+
+def get_suite(name: str) -> IorSuite:
+    """Look up a registered suite by name."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITES))
+        raise KeyError(f"unknown suite {name!r}; known: {known}") from None
+
+
+def run_suite(
+    suite: IorSuite | str,
+    database: "TrainingDatabase | None" = None,
+    platform: CloudPlatform = DEFAULT_PLATFORM,
+    epoch: int = 0,
+) -> "TrainingDatabase":
+    """Measure every suite case under every candidate configuration.
+
+    Returns the (new or supplied) database with the suite's records added,
+    tagged ``suite:<name>`` for provenance.
+    """
+    from repro.core.database import TrainingDatabase, TrainingRecord
+
+    if isinstance(suite, str):
+        suite = get_suite(suite)
+    database = database if database is not None else TrainingDatabase(platform.name)
+    runner = IorRunner(platform=platform)
+    for spec in suite.specs:
+        chars = spec.to_characteristics()
+        for config in candidate_configs(chars):
+            observation = runner.measure(spec, config)
+            database.add(
+                TrainingRecord.from_observation(
+                    observation, epoch=epoch, source=f"suite:{suite.name}"
+                )
+            )
+    return database

@@ -1,0 +1,22 @@
+"""End-to-end simulated execution of parallel workloads on the cloud.
+
+Pipeline: a :class:`Workload` (I/O characteristics + compute/communication
+phases) and a :class:`~repro.space.SystemConfig` are lowered through the
+I/O-library layer (:mod:`repro.iosim.interface`) into per-direction access
+patterns, served by a file-system model on provisioned server resources,
+and assembled by the engine into a :class:`RunResult` with execution time,
+Eq. (1) monetary cost and a phase breakdown.
+"""
+
+from repro.iosim.workload import Workload
+from repro.iosim.interface import LoweredIO, lower_io
+from repro.iosim.engine import IOSimulator, RunResult, simulate_run
+
+__all__ = [
+    "Workload",
+    "LoweredIO",
+    "lower_io",
+    "IOSimulator",
+    "RunResult",
+    "simulate_run",
+]

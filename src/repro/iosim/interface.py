@@ -1,0 +1,134 @@
+"""The I/O-library layer: POSIX, MPI-IO, collective two-phase, HDF5.
+
+Lowers an application's I/O characteristics into the per-direction
+:class:`~repro.fs.base.AccessPattern` the file-system models serve, plus
+the client-side costs the library itself incurs (collective shuffle,
+per-call overhead, HDF5 metadata).
+
+Collective I/O is the two-phase ROMIO scheme (paper ref [47]): processes
+exchange data so that one *aggregator per node* issues large contiguous
+requests — fewer, bigger, better-behaved wire requests at the price of an
+extra network shuffle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.base import AccessPattern
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import MIB
+
+__all__ = ["LoweredIO", "lower_io", "COLLECTIVE_BUFFER_BYTES"]
+
+#: ROMIO's default collective buffer: aggregated wire requests are issued
+#: in chunks of this size.
+COLLECTIVE_BUFFER_BYTES = 4 * MIB
+
+#: Client-side software overhead per application I/O call.
+_CALL_OVERHEAD_SECONDS = {
+    IOInterface.POSIX: 3.0e-6,
+    IOInterface.MPIIO: 8.0e-6,
+    IOInterface.HDF5: 2.0e-5,
+}
+
+#: HDF5 serializes dataset/attribute metadata updates at rank 0; FLASH-style
+#: checkpoints issue roughly this many tiny ops per gigabyte written.
+_HDF5_SERIAL_OPS_PER_GIB = 6000
+_HDF5_SERIAL_OPS_BASE = 64
+
+
+@dataclass(frozen=True)
+class LoweredIO:
+    """Result of lowering one iteration's I/O through the library layer.
+
+    Attributes:
+        patterns: one :class:`AccessPattern` per direction (READWRITE
+            splits into a write then a read of half the bytes each).
+        shuffle_bytes: data exchanged between processes by two-phase
+            collective aggregation, per iteration.
+        client_overhead_seconds: per-call library overhead, per iteration,
+            already divided across parallel clients.
+        aggregators: number of ranks issuing wire requests.
+    """
+
+    patterns: tuple[AccessPattern, ...]
+    shuffle_bytes: float
+    client_overhead_seconds: float
+    aggregators: int
+
+
+def lower_io(chars: AppCharacteristics, compute_nodes: int) -> LoweredIO:
+    """Lower ``chars`` (one iteration) into file-system access patterns."""
+    if compute_nodes < 1:
+        raise ValueError(f"compute_nodes must be >= 1, got {compute_nodes}")
+
+    total_bytes = float(chars.total_bytes_per_iteration)
+    collective = chars.collective and chars.interface.base is IOInterface.MPIIO
+
+    if collective:
+        aggregators = min(chars.num_io_processes, compute_nodes)
+        request_bytes = float(
+            min(max(chars.request_bytes, COLLECTIVE_BUFFER_BYTES), total_bytes)
+        )
+        # Data held by non-aggregator ranks must cross the network once
+        # before the aggregator can issue it.
+        shuffle_bytes = total_bytes * (1.0 - aggregators / chars.num_io_processes)
+        sequential = True  # aggregation linearizes the file view
+    else:
+        aggregators = chars.num_io_processes
+        request_bytes = float(chars.request_bytes)
+        shuffle_bytes = 0.0
+        # Independent writers interleaving inside one shared file defeat
+        # client-side sequential coalescing; file-per-process keeps each
+        # stream sequential.
+        sequential = not chars.shared_file or chars.num_io_processes == 1
+
+    metadata_ops, serial_small_ops = _library_metadata(chars, total_bytes)
+
+    calls = chars.requests_per_process_per_iteration * chars.num_io_processes
+    overhead = calls * _CALL_OVERHEAD_SECONDS[chars.interface] / max(1, chars.num_io_processes)
+
+    patterns = tuple(
+        AccessPattern(
+            op=op,
+            writers=aggregators,
+            client_nodes=compute_nodes,
+            bytes_total=byte_share,
+            request_bytes=request_bytes,
+            sequential_per_stream=sequential,
+            shared_file=chars.shared_file,
+            metadata_ops=metadata_ops,
+            serial_small_ops=serial_small_ops if op is OpKind.WRITE else 0,
+        )
+        for op, byte_share in _directions(chars.op, total_bytes)
+        if byte_share > 0
+    )
+    return LoweredIO(
+        patterns=patterns,
+        shuffle_bytes=shuffle_bytes,
+        client_overhead_seconds=overhead,
+        aggregators=aggregators,
+    )
+
+
+def _directions(op: OpKind, total_bytes: float) -> list[tuple[OpKind, float]]:
+    """Split an operation mix into single-direction byte shares."""
+    if op is OpKind.READWRITE:
+        return [(OpKind.WRITE, total_bytes * 0.5), (OpKind.READ, total_bytes * 0.5)]
+    return [(op, total_bytes)]
+
+
+def _library_metadata(chars: AppCharacteristics, total_bytes: float) -> tuple[int, int]:
+    """Metadata ops (opens/creates) and serialized tiny library ops.
+
+    File-per-process runs create one file per I/O process; HDF5 adds the
+    rank-0 metadata stream that makes parallel file systems without client
+    caches suffer on FLASH-style checkpoints.
+    """
+    metadata_ops = 2 if chars.shared_file else chars.num_io_processes
+    serial_small_ops = 0
+    if chars.interface is IOInterface.HDF5:
+        gib = total_bytes / (1024.0 ** 3)
+        serial_small_ops = int(_HDF5_SERIAL_OPS_BASE + _HDF5_SERIAL_OPS_PER_GIB * gib)
+    return metadata_ops, serial_small_ops

@@ -1,0 +1,66 @@
+"""Workload description: I/O characteristics plus non-I/O phases.
+
+The application-side half of the exploration space captures only I/O
+behaviour; real applications interleave it with computation and
+communication (Table 3 classifies the four test codes by CPU and
+communication intensity).  A :class:`Workload` carries both, so the engine
+can model phase overlap — in particular, NFS write-back flushes hiding
+under compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.space.characteristics import AppCharacteristics
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One executable job for the simulator.
+
+    Attributes:
+        name: label (keys RNG streams; use distinct names per scenario).
+        chars: the nine application I/O characteristics.
+        compute_seconds_per_iteration: pure computation between I/O bursts.
+        comm_seconds_per_iteration: MPI communication per iteration.
+        cpu_intensity: 0..1, how fully compute phases load the cores
+            (drives part-time server CPU interference).
+        comm_intensity: 0..1, how heavily communication loads the NIC
+            (steals bandwidth from co-located part-time servers).
+        startup_seconds: job launch overhead before the first iteration.
+    """
+
+    name: str
+    chars: AppCharacteristics
+    compute_seconds_per_iteration: float = 0.0
+    comm_seconds_per_iteration: float = 0.0
+    cpu_intensity: float = 0.0
+    comm_intensity: float = 0.0
+    startup_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload needs a non-empty name")
+        for attr in ("compute_seconds_per_iteration", "comm_seconds_per_iteration", "startup_seconds"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        for attr in ("cpu_intensity", "comm_intensity"):
+            if not 0.0 <= getattr(self, attr) <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1]")
+
+    @property
+    def iterations(self) -> int:
+        """I/O iterations of the workload."""
+        return self.chars.iterations
+
+    def with_chars(self, chars: AppCharacteristics) -> "Workload":
+        """Copy of the workload with replaced characteristics."""
+        return replace(self, chars=chars)
+
+    @classmethod
+    def pure_io(cls, name: str, chars: AppCharacteristics) -> "Workload":
+        """A benchmark-style workload with no compute between bursts (IOR)."""
+        return cls(name=name, chars=chars, startup_seconds=1.0)

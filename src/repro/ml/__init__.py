@@ -1,0 +1,30 @@
+"""Black-box learners for ACIC's performance/cost prediction.
+
+The paper uses CART "for its simplicity, flexibility, and interpretability"
+but stresses that ACIC "is implemented in the way that different learning
+algorithms can be easily plugged in"; this package provides the from-scratch
+CART regression tree (with cost-complexity pruning), two alternative
+learners (k-NN and ridge regression) and the plug-in registry.
+"""
+
+from repro.ml.encoding import FeatureEncoder
+from repro.ml.cart import CartNode, CartTree
+from repro.ml.pruning import cost_complexity_prune, prune_path
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KnnRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.registry import Learner, available_learners, make_learner
+
+__all__ = [
+    "FeatureEncoder",
+    "CartNode",
+    "CartTree",
+    "cost_complexity_prune",
+    "prune_path",
+    "RandomForestRegressor",
+    "KnnRegressor",
+    "RidgeRegressor",
+    "Learner",
+    "available_learners",
+    "make_learner",
+]

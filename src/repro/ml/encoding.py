@@ -1,0 +1,115 @@
+"""Encoding of exploration-space points into feature vectors.
+
+CART and the alternative learners consume fixed-width numeric vectors; one
+:class:`FeatureEncoder` instance defines the column layout for a chosen
+subset of the fifteen dimensions (training may use only the top-m ranked
+parameters, Section 5.4).
+
+Numeric dimensions (sizes, counts) are log2-encoded — the paper samples
+them "evenly spaced in log space" — and categorical dimensions become
+their index in the parameter's value tuple (all space categoricals are
+binary, so this is a clean 0/1 indicator).  A PVFS2-only dimension that is
+inapplicable (NFS stripe size) encodes as the parameter's low value; the
+file-system indicator column lets trees isolate those rows first, exactly
+as the paper's Figure 4 sample tree does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import SystemConfig
+from repro.space.parameters import PARAMETERS, Parameter, parameter_by_name
+
+__all__ = ["FeatureEncoder", "point_values"]
+
+
+def point_values(config: SystemConfig, chars: AppCharacteristics) -> dict[str, object]:
+    """Flatten a concatenated 15-D point into a {dimension: value} dict."""
+    return {
+        "device": config.device,
+        "file_system": config.file_system,
+        "instance_type": config.instance_type,
+        "io_servers": config.io_servers,
+        "placement": config.placement,
+        "stripe_bytes": config.stripe_bytes,
+        "num_processes": chars.num_processes,
+        "num_io_processes": chars.num_io_processes,
+        "interface": chars.interface.base,  # HDF5 trains/queries as MPI-IO
+        "iterations": chars.iterations,
+        "data_bytes": chars.data_bytes,
+        "request_bytes": chars.request_bytes,
+        "op": chars.op,
+        "collective": chars.collective,
+        "shared_file": chars.shared_file,
+    }
+
+
+class FeatureEncoder:
+    """Maps {dimension: value} dicts to numeric vectors and back to names.
+
+    Args:
+        names: dimensions to include, in column order; entries may be
+            dimension names (resolved against Table 1) or
+            :class:`Parameter` objects (e.g. extended dimensions from a
+            :class:`~repro.space.extension.SpaceExtension`).  Defaults to
+            the full Table 1 space.
+    """
+
+    def __init__(self, names: Sequence[str | Parameter] | None = None) -> None:
+        if names is None:
+            names = [p.name for p in PARAMETERS]
+        if len(names) == 0:
+            raise ValueError("encoder needs at least one dimension")
+        self.parameters: tuple[Parameter, ...] = tuple(
+            entry if isinstance(entry, Parameter) else parameter_by_name(entry)
+            for entry in names
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Encoded dimension names, in column order."""
+        return tuple(p.name for p in self.parameters)
+
+    @property
+    def width(self) -> int:
+        """Number of feature columns."""
+        return len(self.parameters)
+
+    def encode_values(self, values: Mapping[str, object]) -> np.ndarray:
+        """Encode one {dimension: value} dict into a feature vector."""
+        row = np.empty(self.width, dtype=float)
+        for column, parameter in enumerate(self.parameters):
+            value = values.get(parameter.name)
+            if value is None:  # inapplicable (NFS stripe size)
+                value = parameter.low
+            # READWRITE mixes are not in the sampled values; encode as the
+            # midpoint between read and write indicator levels.
+            try:
+                row[column] = parameter.encode(value)
+            except ValueError:
+                if parameter.name == "op":
+                    row[column] = 0.5
+                else:
+                    raise
+        return row
+
+    def encode_point(self, config: SystemConfig, chars: AppCharacteristics) -> np.ndarray:
+        """Encode a (config, characteristics) point into a vector."""
+        return self.encode_values(point_values(config, chars))
+
+    def encode_many(self, values_list: Sequence[Mapping[str, object]]) -> np.ndarray:
+        """Encode a batch into an (n, width) matrix."""
+        if len(values_list) == 0:
+            return np.empty((0, self.width), dtype=float)
+        return np.vstack([self.encode_values(values) for values in values_list])
+
+    def column(self, name: str) -> int:
+        """Column index of a dimension (KeyError if not encoded)."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"dimension {name!r} is not in this encoder") from None

@@ -1,0 +1,87 @@
+"""Random-forest regression — bagged CART trees, a plug-in learner.
+
+Demonstrates the "different machine learning algorithms can be easily
+plugged in" claim with the natural upgrade of the paper's CART choice:
+bootstrap-aggregated trees with per-split feature subsampling.  Variance
+reduction matters here because training responses carry multi-tenant
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.cart import CartTree
+
+__all__ = ["RandomForestRegressor"]
+
+
+@dataclass
+class RandomForestRegressor:
+    """Bagging ensemble of CART trees.
+
+    Args:
+        n_trees: ensemble size.
+        min_samples_leaf: leaf-size floor of each tree.
+        feature_fraction: fraction of features each tree may use
+            (column subsampling per tree, simpler than per split and
+            sufficient at this dimensionality).
+        seed: RNG seed for bootstraps and column draws.
+    """
+
+    n_trees: int = 25
+    min_samples_leaf: int = 3
+    feature_fraction: float = 0.8
+    seed: int = 20130917
+    _trees: list[tuple[CartTree, np.ndarray]] = field(default_factory=list, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit the model on X (n, d) and targets y (n,); returns self."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError("X must be (n, d) and y (n,)")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        if self.n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if not 0.0 < self.feature_fraction <= 1.0:
+            raise ValueError("feature_fraction must be in (0, 1]")
+
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        n_features = max(1, int(round(self.feature_fraction * d)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            rows = rng.integers(0, n, size=n)
+            columns = np.sort(rng.choice(d, size=n_features, replace=False))
+            tree = CartTree(min_samples_leaf=self.min_samples_leaf)
+            tree.fit(X[np.ix_(rows, columns)], y[rows])
+            self._trees.append((tree, columns))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, d) matrix (or a single vector)."""
+        if not self._trees:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        votes = np.stack(
+            [tree.predict(X[:, columns]) for tree, columns in self._trees]
+        )
+        return votes.mean(axis=0)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble spread — a cheap uncertainty signal per query."""
+        if not self._trees:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        votes = np.stack(
+            [tree.predict(X[:, columns]) for tree, columns in self._trees]
+        )
+        return votes.std(axis=0)

@@ -1,0 +1,73 @@
+"""k-nearest-neighbour regression — an alternative plug-in learner.
+
+Demonstrates ACIC's learner pluggability and serves as the comparison
+point in the learner-ablation benchmark.  Features are standardized per
+column so log-size dimensions and 0/1 indicators weigh comparably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KnnRegressor"]
+
+
+@dataclass
+class KnnRegressor:
+    """Distance-weighted k-NN over standardized features.
+
+    Args:
+        k: neighbours consulted per query.
+        weight_power: inverse-distance weighting exponent (0 = uniform).
+    """
+
+    k: int = 5
+    weight_power: float = 1.0
+    _X: np.ndarray | None = field(default=None, repr=False)
+    _y: np.ndarray | None = field(default=None, repr=False)
+    _mean: np.ndarray | None = field(default=None, repr=False)
+    _scale: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KnnRegressor":
+        """Fit the model on X (n, d) and targets y (n,); returns self."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError("X must be (n, d) and y (n,)")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / scale
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, d) matrix (or a single vector)."""
+        if self._X is None or self._y is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        Z = (X - self._mean) / self._scale
+        k = min(self.k, self._X.shape[0])
+        out = np.empty(Z.shape[0], dtype=float)
+        for i, z in enumerate(Z):
+            distances = np.sqrt(((self._X - z) ** 2).sum(axis=1))
+            nearest = np.argpartition(distances, k - 1)[:k]
+            if self.weight_power <= 0.0:
+                out[i] = float(self._y[nearest].mean())
+                continue
+            d = distances[nearest]
+            if np.any(d == 0.0):
+                out[i] = float(self._y[nearest][d == 0.0].mean())
+            else:
+                w = 1.0 / d ** self.weight_power
+                out[i] = float(np.average(self._y[nearest], weights=w))
+        return out

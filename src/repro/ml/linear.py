@@ -1,0 +1,74 @@
+"""Ridge regression with light feature interactions — plug-in learner.
+
+A linear baseline showing what CART's non-linearity buys: configuration
+response surfaces have strong interactions (e.g. stripe size only matters
+under PVFS2), so a quadratic-interaction ridge model is the weakest of the
+three bundled learners — a useful ablation anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RidgeRegressor"]
+
+
+def _expand(X: np.ndarray, interactions: bool) -> np.ndarray:
+    """[1, x, (x_i * x_j for i < j)] design matrix."""
+    n, d = X.shape
+    columns = [np.ones((n, 1)), X]
+    if interactions:
+        pairs = [
+            (X[:, i] * X[:, j])[:, None] for i in range(d) for j in range(i + 1, d)
+        ]
+        if pairs:
+            columns.append(np.hstack(pairs))
+    return np.hstack(columns)
+
+
+@dataclass
+class RidgeRegressor:
+    """L2-regularized least squares on (optionally) interaction features.
+
+    Args:
+        alpha: regularization strength.
+        interactions: include pairwise products of features.
+    """
+
+    alpha: float = 1.0
+    interactions: bool = True
+    _beta: np.ndarray | None = field(default=None, repr=False)
+    _mean: np.ndarray | None = field(default=None, repr=False)
+    _scale: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        """Fit the model on X (n, d) and targets y (n,); returns self."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError("X must be (n, d) and y (n,)")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        design = _expand((X - self._mean) / scale, self.interactions)
+        ridge = self.alpha * np.eye(design.shape[1])
+        ridge[0, 0] = 0.0  # do not penalize the intercept
+        self._beta = np.linalg.solve(design.T @ design + ridge, design.T @ y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, d) matrix (or a single vector)."""
+        if self._beta is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        design = _expand((X - self._mean) / self._scale, self.interactions)
+        return design @ self._beta

@@ -1,0 +1,116 @@
+"""Cost-complexity pruning for CART trees.
+
+"Eventually, the optimal decision tree is pruned to avoid over-fitting"
+(Section 4.2).  Implements Breiman's weakest-link pruning: for each
+internal node the critical alpha is ``(SSE(node) - SSE(subtree)) /
+(leaves(subtree) - 1)``; collapsing nodes in increasing-alpha order yields
+the pruning path, and a held-out split (or k-fold CV) selects the alpha
+with the best validation error.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+
+import numpy as np
+
+from repro.ml.cart import CartNode, CartTree
+
+__all__ = ["prune_path", "cost_complexity_prune", "prune_to_alpha"]
+
+
+def _weakest_link(root: CartNode) -> tuple[float, CartNode] | None:
+    """Find the internal node with the smallest critical alpha."""
+    best: tuple[float, CartNode] | None = None
+
+    def visit(node: CartNode) -> None:
+        nonlocal best
+        if node.is_leaf:
+            return
+        leaves = node.count_leaves()
+        alpha = (node.sse - node.subtree_sse()) / max(1, leaves - 1)
+        if best is None or alpha < best[0]:
+            best = (alpha, node)
+        assert node.left is not None and node.right is not None
+        visit(node.left)
+        visit(node.right)
+
+    visit(root)
+    return best
+
+
+def _collapse(node: CartNode) -> None:
+    node.feature = None
+    node.threshold = None
+    node.left = None
+    node.right = None
+
+
+def prune_to_alpha(tree: CartTree, alpha: float) -> CartTree:
+    """Return a copy of ``tree`` pruned at complexity parameter ``alpha``.
+
+    Every internal node whose critical alpha is <= ``alpha`` is collapsed
+    (weakest links first, so the result is the standard nested subtree).
+    """
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    pruned = copy.deepcopy(tree)
+    assert pruned.root is not None
+    while not pruned.root.is_leaf:
+        link = _weakest_link(pruned.root)
+        if link is None or link[0] > alpha:
+            break
+        _collapse(link[1])
+    return pruned
+
+
+def prune_path(tree: CartTree) -> list[tuple[float, int]]:
+    """The (alpha, n_leaves) sequence of the full pruning path.
+
+    Starts at (0, full size) and ends with the root collapsed; alphas are
+    non-decreasing and leaf counts strictly decreasing.
+    """
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    work = copy.deepcopy(tree)
+    assert work.root is not None
+    path: list[tuple[float, int]] = [(0.0, work.root.count_leaves())]
+    while not work.root.is_leaf:
+        link = _weakest_link(work.root)
+        if link is None:
+            break
+        alpha, node = link
+        _collapse(node)
+        path.append((max(alpha, path[-1][0]), work.root.count_leaves()))
+    return path
+
+
+def cost_complexity_prune(
+    tree: CartTree,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+) -> CartTree:
+    """Select the pruning level minimizing validation MSE.
+
+    Walks the pruning path, evaluating each candidate subtree on the
+    validation set; ties prefer the smaller tree (one-SE-free simple
+    variant — adequate for ACIC's smooth targets).
+    """
+    X_val = np.asarray(X_val, dtype=float)
+    y_val = np.asarray(y_val, dtype=float)
+    if X_val.shape[0] == 0:
+        raise ValueError("validation set is empty")
+
+    best_tree = tree
+    best_mse = math.inf
+    for alpha, _leaves in prune_path(tree):
+        candidate = prune_to_alpha(tree, alpha)
+        residual = candidate.predict(X_val) - y_val
+        mse = float((residual ** 2).mean())
+        if mse <= best_mse - 1e-12 or (
+            abs(mse - best_mse) <= 1e-12 and candidate.n_leaves() < best_tree.n_leaves()
+        ):
+            best_mse = mse
+            best_tree = candidate
+    return best_tree

@@ -1,0 +1,70 @@
+"""Plug-in registry of learners for the ACIC prediction model.
+
+"ACIC is implemented in the way that different learning algorithms can be
+easily plugged in" (Section 4.2).  Any object with ``fit(X, y) -> self``
+and ``predict(X) -> array`` qualifies; the registry maps stable names to
+factories so experiment code and the CLI can select learners by string.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.ml.cart import CartTree
+from repro.ml.knn import KnnRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import RidgeRegressor
+
+__all__ = ["Learner", "register_learner", "make_learner", "available_learners"]
+
+
+@runtime_checkable
+class Learner(Protocol):
+    """Structural interface every plug-in learner satisfies."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Learner":
+        """Fit the model on X (n, d) and targets y (n,); returns self."""
+        ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, d) matrix (or a single vector)."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[[], Learner]] = {}
+
+
+def register_learner(name: str, factory: Callable[[], Learner]) -> None:
+    """Register a learner factory under a stable name.
+
+    Raises:
+        ValueError: if the name is already taken (prevents silent
+            shadowing of the built-ins).
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"learner {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def make_learner(name: str) -> Learner:
+    """Instantiate a registered learner."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown learner {name!r}; known: {known}") from None
+    return factory()
+
+
+def available_learners() -> tuple[str, ...]:
+    """Names of all registered learners, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_learner("cart", lambda: CartTree(min_samples_leaf=3))
+register_learner("knn", lambda: KnnRegressor(k=7))
+register_learner("ridge", lambda: RidgeRegressor(alpha=1.0))
+register_learner("forest", lambda: RandomForestRegressor(n_trees=25))

@@ -1,0 +1,30 @@
+"""Plackett-Burman experiment designs (paper Section 4.1).
+
+PB designs screen N two-level factors with N' runs (N' the next multiple
+of four), ranking parameters by the magnitude of their estimated main
+effect.  ACIC uses the *foldover* variant (2 x N' runs) to keep main
+effects unconfounded with two-factor interactions, and spends the ranking
+twice: to order training-data collection, and to order the dimensions of
+the space-walking predictor.
+"""
+
+from repro.pb.design import (
+    PBDesign,
+    pb_matrix,
+    foldover,
+    next_multiple_of_four,
+    SUPPORTED_RUN_SIZES,
+)
+from repro.pb.ranking import PbScreening, compute_effects, rank_parameters, screen_parameters
+
+__all__ = [
+    "PBDesign",
+    "pb_matrix",
+    "foldover",
+    "next_multiple_of_four",
+    "SUPPORTED_RUN_SIZES",
+    "PbScreening",
+    "compute_effects",
+    "rank_parameters",
+    "screen_parameters",
+]

@@ -1,0 +1,118 @@
+"""Construction of Plackett-Burman matrices.
+
+Uses the classic cyclic construction (Plackett & Burman, 1946): a known
+generator row of N'-1 signs is rotated to produce N'-1 rows, and a final
+all-minus row is appended.  The N=5, N'=8 matrix in the paper's Table 2 is
+exactly this construction truncated to its first five columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SUPPORTED_RUN_SIZES",
+    "next_multiple_of_four",
+    "pb_matrix",
+    "foldover",
+    "PBDesign",
+]
+
+#: Plackett & Burman generator first rows, keyed by run count N'.
+_GENERATORS: dict[int, str] = {
+    4: "++-",
+    8: "+++-+--",
+    12: "++-+++---+-",
+    16: "++++-+-++--+---",
+    20: "++--++++-+-+----++-",
+    24: "+++++-+-++--++--+-+----",
+}
+
+SUPPORTED_RUN_SIZES: tuple[int, ...] = tuple(sorted(_GENERATORS))
+
+
+def next_multiple_of_four(n_parameters: int) -> int:
+    """Smallest supported run count that can screen ``n_parameters``.
+
+    A PB design with N' runs screens up to N'-1 factors, so this is the
+    smallest multiple of four strictly greater than N (the paper's
+    "smallest multiple of 4 above or equal to N" phrasing, made exact:
+    N=5 -> 8, N=15 -> 16).
+    """
+    if n_parameters < 1:
+        raise ValueError(f"n_parameters must be >= 1, got {n_parameters}")
+    runs = (n_parameters // 4 + 1) * 4
+    if runs not in _GENERATORS:
+        supported = max(size for size in SUPPORTED_RUN_SIZES)
+        raise ValueError(
+            f"{n_parameters} parameters need {runs} runs, beyond the largest "
+            f"supported generator ({supported} runs / {supported - 1} factors)"
+        )
+    return runs
+
+
+def pb_matrix(n_parameters: int) -> np.ndarray:
+    """PB design matrix of shape (N', N) with entries in {-1, +1}.
+
+    Row i gives the high/low assignment of every parameter in run i;
+    column j is balanced (half +1, half -1).
+    """
+    runs = next_multiple_of_four(n_parameters)
+    generator = np.array([1 if ch == "+" else -1 for ch in _GENERATORS[runs]], dtype=np.int8)
+    width = runs - 1
+    matrix = np.empty((runs, width), dtype=np.int8)
+    for row in range(width):
+        matrix[row] = np.roll(generator, row)
+    matrix[-1] = -1
+    return matrix[:, :n_parameters]
+
+
+def foldover(matrix: np.ndarray) -> np.ndarray:
+    """Foldover design: original rows followed by their negation.
+
+    Doubles the run count and de-aliases main effects from two-factor
+    interactions (Montgomery; the paper adopts this "improved variation").
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D design matrix")
+    return np.vstack([matrix, -matrix])
+
+
+@dataclass(frozen=True)
+class PBDesign:
+    """A ready-to-execute design over named parameters.
+
+    Attributes:
+        names: parameter names, one per matrix column.
+        matrix: the (possibly folded-over) sign matrix.
+    """
+
+    names: tuple[str, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.matrix.shape[1] != len(self.names):
+            raise ValueError(
+                f"matrix has {self.matrix.shape[1]} columns for {len(self.names)} names"
+            )
+
+    @classmethod
+    def build(cls, names: list[str] | tuple[str, ...], folded: bool = True) -> "PBDesign":
+        """Construct the (foldover) PB design for the named parameters."""
+        base = pb_matrix(len(names))
+        return cls(names=tuple(names), matrix=foldover(base) if folded else base)
+
+    @property
+    def runs(self) -> int:
+        """Number of experiment runs in the design."""
+        return self.matrix.shape[0]
+
+    def assignments(self) -> list[dict[str, int]]:
+        """Per-run {name: +-1} dictionaries, in run order."""
+        return [
+            {name: int(sign) for name, sign in zip(self.names, row)}
+            for row in self.matrix
+        ]

@@ -1,0 +1,24 @@
+"""Application I/O profiling (paper Section 3.2, Figure 2's "IO Profiler").
+
+Users "can either directly provide values of relevant I/O characteristics,
+or use a simple profiling tool ... encompassing a tracing library and
+scripts for parsing and statistically summarizing I/O traces".  This
+package is that tool: a tracing shim that records per-call I/O events, and
+an analyzer that reduces an event stream to the nine
+:class:`~repro.space.AppCharacteristics` dimensions.
+"""
+
+from repro.profiler.trace import IOEvent, TraceWriter, TraceReader
+from repro.profiler.analyze import summarize_trace, ProfileSummary
+from repro.profiler.statistics import TraceStatistics, compute_statistics, render_statistics
+
+__all__ = [
+    "IOEvent",
+    "TraceWriter",
+    "TraceReader",
+    "summarize_trace",
+    "ProfileSummary",
+    "TraceStatistics",
+    "compute_statistics",
+    "render_statistics",
+]

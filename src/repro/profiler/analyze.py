@@ -1,0 +1,165 @@
+"""Trace analysis: reduce an I/O event stream to ACIC query parameters.
+
+Implements the "scripts for parsing and statistically summarizing I/O
+traces": per-rank byte accounting, burst segmentation (explicit phase tags
+when present, timestamp-gap clustering otherwise), dominant-operation and
+interface detection, and shared-file vs file-per-process classification.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiler.trace import IOEvent
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+
+__all__ = ["ProfileSummary", "summarize_trace"]
+
+#: Idle gap (seconds) separating two I/O bursts when no phase tags exist.
+_BURST_GAP_SECONDS = 1.0
+
+#: Byte-share beyond which one direction counts as dominant rather than
+#: mixed read/write.
+_DOMINANCE_THRESHOLD = 0.9
+
+
+@dataclass(frozen=True)
+class ProfileSummary:
+    """The profiler's output: characteristics plus supporting statistics.
+
+    Attributes:
+        characteristics: the ACIC query parameters.
+        read_bytes / write_bytes: totals over the trace.
+        files: distinct files touched.
+        events: data events (reads+writes) analyzed.
+        request_bytes_p50 / p95: request-size distribution summary.
+    """
+
+    characteristics: AppCharacteristics
+    read_bytes: int
+    write_bytes: int
+    files: int
+    events: int
+    request_bytes_p50: float
+    request_bytes_p95: float
+
+
+def summarize_trace(
+    events: Iterable[IOEvent],
+    num_processes: int,
+) -> ProfileSummary:
+    """Summarize a trace into ACIC's application characteristics.
+
+    Args:
+        events: the trace (any iterable of :class:`IOEvent`).
+        num_processes: total job ranks (the tracer records only ranks that
+            performed I/O, so the job size is supplied by the caller, as
+            with the paper's tool).
+
+    Raises:
+        ValueError: if the trace contains no data-moving events.
+    """
+    data_events: list[IOEvent] = []
+    files: set[str] = set()
+    ranks: set[int] = set()
+    read_bytes = 0
+    write_bytes = 0
+    interface_votes: Counter[IOInterface] = Counter()
+    collective_votes = 0
+
+    for event in events:
+        files.add(event.file)
+        if event.op not in ("read", "write"):
+            continue
+        data_events.append(event)
+        ranks.add(event.rank)
+        interface_votes[event.interface] += 1
+        collective_votes += int(event.collective)
+        if event.op == "read":
+            read_bytes += event.nbytes
+        else:
+            write_bytes += event.nbytes
+
+    if not data_events:
+        raise ValueError("trace contains no read/write events")
+    if num_processes < max(len(ranks), 1):
+        raise ValueError(
+            f"num_processes={num_processes} is smaller than the {len(ranks)} "
+            "ranks observed in the trace"
+        )
+
+    iterations = _count_iterations(data_events)
+    num_io = len(ranks)
+    total_bytes = read_bytes + write_bytes
+    data_bytes = max(1, total_bytes // (num_io * iterations))
+
+    sizes = np.array([e.nbytes for e in data_events if e.nbytes > 0], dtype=float)
+    if sizes.size == 0:
+        raise ValueError("trace has only zero-byte data events")
+    request_bytes = int(np.median(sizes))
+    request_bytes = max(1, min(request_bytes, data_bytes))
+
+    op = _dominant_op(read_bytes, write_bytes)
+    interface = interface_votes.most_common(1)[0][0]
+    collective = collective_votes > len(data_events) / 2
+    if collective and interface.base is not IOInterface.MPIIO:
+        collective = False  # inconsistent trace; trust the interface
+    shared_file = _is_shared(data_events, num_io)
+
+    chars = AppCharacteristics(
+        num_processes=num_processes,
+        num_io_processes=num_io,
+        interface=interface,
+        iterations=iterations,
+        data_bytes=data_bytes,
+        request_bytes=request_bytes,
+        op=op,
+        collective=collective,
+        shared_file=shared_file,
+    )
+    return ProfileSummary(
+        characteristics=chars,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        files=len(files),
+        events=len(data_events),
+        request_bytes_p50=float(np.percentile(sizes, 50)),
+        request_bytes_p95=float(np.percentile(sizes, 95)),
+    )
+
+
+def _count_iterations(events: list[IOEvent]) -> int:
+    """Burst count: explicit phase tags when present, else gap clustering."""
+    tagged = {e.iteration for e in events if e.iteration >= 0}
+    if tagged:
+        return max(1, len(tagged))
+    times = sorted(e.timestamp for e in events)
+    bursts = 1
+    for earlier, later in zip(times, times[1:]):
+        if later - earlier > _BURST_GAP_SECONDS:
+            bursts += 1
+    return bursts
+
+
+def _dominant_op(read_bytes: int, write_bytes: int) -> OpKind:
+    total = read_bytes + write_bytes
+    if total == 0:
+        raise ValueError("no bytes moved")
+    if read_bytes / total >= _DOMINANCE_THRESHOLD:
+        return OpKind.READ
+    if write_bytes / total >= _DOMINANCE_THRESHOLD:
+        return OpKind.WRITE
+    return OpKind.READWRITE
+
+
+def _is_shared(events: list[IOEvent], num_io: int) -> bool:
+    """Shared when data files are accessed by (nearly) all I/O ranks."""
+    ranks_per_file: dict[str, set[int]] = defaultdict(set)
+    for event in events:
+        ranks_per_file[event.file].add(event.rank)
+    best = max(len(ranks) for ranks in ranks_per_file.values())
+    return best > max(1, num_io // 2)

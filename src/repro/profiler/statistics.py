@@ -1,0 +1,166 @@
+"""Deep trace statistics beyond the nine ACIC query dimensions.
+
+The paper's tracing tool ships "scripts for parsing and statistically
+summarizing I/O traces"; the summary in :mod:`repro.profiler.analyze`
+keeps only what ACIC queries need.  This module computes the diagnostics
+an I/O analyst reads before trusting that reduction: per-rank volume
+imbalance, burst timing, request-size histograms, and achieved-bandwidth
+estimates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiler.trace import IOEvent
+from repro.util.units import format_bytes
+
+__all__ = ["RankStats", "BurstStats", "TraceStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class RankStats:
+    """Per-rank aggregate."""
+
+    rank: int
+    events: int
+    read_bytes: int
+    write_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved."""
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass(frozen=True)
+class BurstStats:
+    """One I/O burst (iteration)."""
+
+    iteration: int
+    events: int
+    bytes_moved: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock extent in seconds."""
+        return max(0.0, self.end - self.start)
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """The full diagnostic report.
+
+    Attributes:
+        ranks: per-rank aggregates, rank order.
+        bursts: per-iteration aggregates, time order.
+        imbalance: max/mean per-rank byte ratio (1.0 = perfectly even;
+            the figure of merit for trusting a single per-process
+            ``data_bytes`` number).
+        request_histogram: {size bucket label: event count}, log2 buckets.
+        effective_bandwidth: total bytes / total in-call time (bytes/s),
+            0 when the trace carries no durations.
+    """
+
+    ranks: tuple[RankStats, ...]
+    bursts: tuple[BurstStats, ...]
+    imbalance: float
+    request_histogram: dict[str, int]
+    effective_bandwidth: float
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved."""
+        return sum(r.total_bytes for r in self.ranks)
+
+
+def compute_statistics(events: Iterable[IOEvent]) -> TraceStatistics:
+    """Compute the diagnostic report for a trace.
+
+    Raises:
+        ValueError: if the trace has no data-moving events.
+    """
+    per_rank: dict[int, dict[str, int]] = defaultdict(lambda: {"n": 0, "r": 0, "w": 0})
+    per_burst: dict[int, dict[str, float]] = defaultdict(
+        lambda: {"n": 0, "bytes": 0, "start": float("inf"), "end": 0.0}
+    )
+    sizes: list[int] = []
+    busy_seconds = 0.0
+
+    for event in events:
+        if event.op not in ("read", "write"):
+            continue
+        stats = per_rank[event.rank]
+        stats["n"] += 1
+        stats["r" if event.op == "read" else "w"] += event.nbytes
+        burst = per_burst[max(event.iteration, 0)]
+        burst["n"] += 1
+        burst["bytes"] += event.nbytes
+        burst["start"] = min(burst["start"], event.timestamp)
+        burst["end"] = max(burst["end"], event.timestamp + event.duration)
+        sizes.append(event.nbytes)
+        busy_seconds += event.duration
+
+    if not per_rank:
+        raise ValueError("trace contains no read/write events")
+
+    ranks = tuple(
+        RankStats(rank=rank, events=s["n"], read_bytes=s["r"], write_bytes=s["w"])
+        for rank, s in sorted(per_rank.items())
+    )
+    bursts = tuple(
+        BurstStats(
+            iteration=iteration,
+            events=int(b["n"]),
+            bytes_moved=int(b["bytes"]),
+            start=b["start"],
+            end=b["end"],
+        )
+        for iteration, b in sorted(per_burst.items())
+    )
+    volumes = np.array([r.total_bytes for r in ranks], dtype=float)
+    imbalance = float(volumes.max() / volumes.mean()) if volumes.mean() > 0 else 1.0
+
+    histogram: dict[str, int] = defaultdict(int)
+    for size in sizes:
+        if size <= 0:
+            continue
+        bucket = 1 << int(np.floor(np.log2(size)))
+        histogram[f"<= {format_bytes(bucket * 2 - 1)}"] += 1
+
+    total = int(volumes.sum())
+    bandwidth = total / busy_seconds if busy_seconds > 0 else 0.0
+    return TraceStatistics(
+        ranks=ranks,
+        bursts=bursts,
+        imbalance=imbalance,
+        request_histogram=dict(histogram),
+        effective_bandwidth=bandwidth,
+    )
+
+
+def render_statistics(stats: TraceStatistics, max_rows: int = 8) -> str:
+    """Human-readable report (used by ``acic profile --detail``)."""
+    lines = [
+        f"trace statistics: {len(stats.ranks)} I/O ranks, "
+        f"{len(stats.bursts)} bursts, {format_bytes(stats.total_bytes)} moved, "
+        f"imbalance {stats.imbalance:.2f}",
+    ]
+    if stats.effective_bandwidth > 0:
+        lines[0] += f", in-call bandwidth {format_bytes(int(stats.effective_bandwidth))}/s"
+    lines.append("request sizes:")
+    for bucket, count in sorted(stats.request_histogram.items()):
+        lines.append(f"  {bucket:>10s}: {count}")
+    lines.append(f"bursts (first {max_rows}):")
+    for burst in stats.bursts[:max_rows]:
+        lines.append(
+            f"  iter {burst.iteration:3d}: {burst.events:6d} events, "
+            f"{format_bytes(burst.bytes_moved):>8s} in {burst.duration:.3f}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""I/O trace events and the tracing library.
+
+The trace format is one JSON object per line — the shape a real
+LD_PRELOAD/PMPI interposition layer would emit — so traces can be written
+by instrumented applications, stored, shipped, and re-analyzed.  The
+application models in :mod:`repro.apps` emit synthetic traces in this
+format, closing the loop: profile the trace, query ACIC with the result.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.space.characteristics import IOInterface
+
+__all__ = ["IOEvent", "TraceWriter", "TraceReader"]
+
+_VALID_OPS = ("open", "close", "read", "write", "sync")
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One traced I/O call.
+
+    Attributes:
+        rank: MPI rank issuing the call.
+        op: "open" | "close" | "read" | "write" | "sync".
+        file: path operated on.
+        nbytes: payload size (0 for open/close/sync).
+        timestamp: seconds since job start, call issue time.
+        duration: call duration in seconds.
+        interface: API family the call came through.
+        collective: whether the call was a collective operation.
+        iteration: application phase index, if the tracer saw phase
+            markers; -1 when unknown (the analyzer then infers bursts
+            from timestamps).
+    """
+
+    rank: int
+    op: str
+    file: str
+    nbytes: int = 0
+    timestamp: float = 0.0
+    duration: float = 0.0
+    interface: IOInterface = IOInterface.POSIX
+    collective: bool = False
+    iteration: int = -1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {_VALID_OPS}")
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        payload = asdict(self)
+        payload["interface"] = self.interface.value
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, line: str) -> "IOEvent":
+        """Parse an instance back from its JSON string."""
+        payload = json.loads(line)
+        payload["interface"] = IOInterface(payload["interface"])
+        return cls(**payload)
+
+
+class TraceWriter:
+    """Collects events in memory and persists them as JSON-lines.
+
+    Usable as a context manager; the application (or app model) calls
+    :meth:`record` per I/O operation and :meth:`mark_iteration` at phase
+    boundaries, mirroring how the real tracing library tags periodic
+    checkpoint phases.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[IOEvent] = []
+        self._iteration = 0
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+    def mark_iteration(self) -> int:
+        """Advance the phase counter; returns the new iteration index."""
+        self._iteration += 1
+        return self._iteration
+
+    def record(self, event: IOEvent) -> None:
+        """Append one event (auto-tagging its iteration if unset)."""
+        if event.iteration < 0:
+            event = IOEvent(**{**asdict(event), "iteration": self._iteration,
+                               "interface": event.interface})
+        self.events.append(event)
+
+    def flush(self) -> None:
+        """Write all collected events to ``path`` (no-op when in-memory)."""
+        if self.path is None:
+            return
+        with self.path.open("w") as handle:
+            for event in self.events:
+                handle.write(event.to_json() + "\n")
+
+
+class TraceReader:
+    """Streams :class:`IOEvent` objects back from a JSON-lines trace."""
+
+    def __init__(self, source: str | Path | Iterable[str]) -> None:
+        self._source = source
+
+    def __iter__(self) -> Iterator[IOEvent]:
+        if isinstance(self._source, (str, Path)):
+            with Path(self._source).open() as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield IOEvent.from_json(line)
+        else:
+            for line in self._source:
+                line = line.strip()
+                if line:
+                    yield IOEvent.from_json(line)

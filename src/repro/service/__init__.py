@@ -1,0 +1,27 @@
+"""The ACIC configuration service (paper Section 8's future work).
+
+"In the future, we plan to explore web-based ACIC query service" and
+"users can ... build the prediction model ... run the prediction" — this
+package implements that service's logic layer offline: a typed JSON
+request/response protocol (:mod:`repro.service.api`) and a stateful
+service object (:mod:`repro.service.server`) that owns per-platform
+training databases, trains models on demand, caches query results, and
+accepts crowdsourced training contributions.
+"""
+
+from repro.service.api import (
+    QueryRequest,
+    QueryResponse,
+    RecommendationPayload,
+    ServiceError,
+)
+from repro.service.server import AcicService, ServiceStats
+
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "RecommendationPayload",
+    "ServiceError",
+    "AcicService",
+    "ServiceStats",
+]

@@ -1,0 +1,211 @@
+"""Typed JSON protocol for the ACIC query service.
+
+A request carries the application's nine I/O characteristics, the
+optimization goal and the wanted list length; a response carries ranked
+configurations plus the model provenance a client needs to judge
+freshness (database size, epoch span, learner).  All payloads are plain
+JSON objects, so the protocol is transport-agnostic — files, pipes, or a
+future HTTP front end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.objectives import Goal
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+
+__all__ = ["ServiceError", "QueryRequest", "RecommendationPayload", "QueryResponse"]
+
+
+class ServiceError(ValueError):
+    """A malformed or unanswerable service request."""
+
+
+_REQUIRED_CHARACTERISTICS = (
+    "num_processes",
+    "num_io_processes",
+    "interface",
+    "iterations",
+    "data_bytes",
+    "request_bytes",
+    "op",
+    "collective",
+    "shared_file",
+)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One configuration query.
+
+    Attributes:
+        characteristics: the application's I/O profile.
+        goal: optimization objective.
+        top_k: recommendations wanted.
+        platform: target platform name (must match a hosted database).
+        learner: plug-in learner to answer with.
+    """
+
+    characteristics: AppCharacteristics
+    goal: Goal = Goal.PERFORMANCE
+    top_k: int = 3
+    platform: str = "ec2-us-east"
+    learner: str = "cart"
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ServiceError(f"top_k must be >= 1, got {self.top_k}")
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        chars = self.characteristics
+        payload = {
+            "characteristics": {
+                "num_processes": chars.num_processes,
+                "num_io_processes": chars.num_io_processes,
+                "interface": chars.interface.value,
+                "iterations": chars.iterations,
+                "data_bytes": chars.data_bytes,
+                "request_bytes": chars.request_bytes,
+                "op": chars.op.value,
+                "collective": chars.collective,
+                "shared_file": chars.shared_file,
+            },
+            "goal": self.goal.value,
+            "top_k": self.top_k,
+            "platform": self.platform,
+            "learner": self.learner,
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryRequest":
+        """Parse and validate a request; raises ServiceError on bad input."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("request must be a JSON object")
+        raw = payload.get("characteristics")
+        if not isinstance(raw, dict):
+            raise ServiceError("request is missing 'characteristics'")
+        missing = [key for key in _REQUIRED_CHARACTERISTICS if key not in raw]
+        if missing:
+            raise ServiceError(f"characteristics missing fields: {missing}")
+        try:
+            chars = AppCharacteristics(
+                num_processes=int(raw["num_processes"]),
+                num_io_processes=int(raw["num_io_processes"]),
+                interface=IOInterface(raw["interface"]),
+                iterations=int(raw["iterations"]),
+                data_bytes=int(raw["data_bytes"]),
+                request_bytes=int(raw["request_bytes"]),
+                op=OpKind(raw["op"]),
+                collective=bool(raw["collective"]),
+                shared_file=bool(raw["shared_file"]),
+            )
+            goal = Goal(payload.get("goal", Goal.PERFORMANCE.value))
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(f"invalid request field: {exc}") from exc
+        return cls(
+            characteristics=chars,
+            goal=goal,
+            top_k=int(payload.get("top_k", 3)),
+            platform=str(payload.get("platform", "ec2-us-east")),
+            learner=str(payload.get("learner", "cart")),
+        )
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Cache key: identical requests get identical cached answers."""
+        chars = self.characteristics
+        return (
+            chars.num_processes, chars.num_io_processes, chars.interface,
+            chars.iterations, chars.data_bytes, chars.request_bytes,
+            chars.op, chars.collective, chars.shared_file,
+            self.goal, self.top_k, self.platform, self.learner,
+        )
+
+
+@dataclass(frozen=True)
+class RecommendationPayload:
+    """One ranked configuration in a response."""
+
+    rank: int
+    config_key: str
+    description: str
+    predicted_improvement: float
+    co_champion_group: int
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The service's answer.
+
+    Attributes:
+        recommendations: ranked best-first.
+        goal: echoed objective.
+        platform: echoed platform.
+        model_points: training records behind the answer.
+        model_epochs: (oldest, newest) contribution epochs.
+        cached: True when served from the query cache.
+    """
+
+    recommendations: tuple[RecommendationPayload, ...]
+    goal: Goal
+    platform: str
+    model_points: int
+    model_epochs: tuple[int, int]
+    cached: bool = False
+    learner: str = "cart"
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        payload = {
+            "goal": self.goal.value,
+            "platform": self.platform,
+            "learner": self.learner,
+            "model": {
+                "points": self.model_points,
+                "epochs": list(self.model_epochs),
+            },
+            "cached": self.cached,
+            "recommendations": [
+                {
+                    "rank": r.rank,
+                    "config": r.config_key,
+                    "description": r.description,
+                    "predicted_improvement": r.predicted_improvement,
+                    "co_champion_group": r.co_champion_group,
+                }
+                for r in self.recommendations
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryResponse":
+        """Parse an instance back from its JSON string."""
+        payload = json.loads(text)
+        return cls(
+            recommendations=tuple(
+                RecommendationPayload(
+                    rank=r["rank"],
+                    config_key=r["config"],
+                    description=r["description"],
+                    predicted_improvement=r["predicted_improvement"],
+                    co_champion_group=r["co_champion_group"],
+                )
+                for r in payload["recommendations"]
+            ),
+            goal=Goal(payload["goal"]),
+            platform=payload["platform"],
+            model_points=payload["model"]["points"],
+            model_epochs=tuple(payload["model"]["epochs"]),
+            cached=payload["cached"],
+            learner=payload.get("learner", "cart"),
+        )

@@ -1,0 +1,181 @@
+"""The ACIC service: databases in, recommendations out.
+
+Owns one training database per hosted platform, trains (goal, learner)
+models lazily, invalidates them when new community contributions arrive,
+and caches identical queries — the logic layer the paper's planned
+web-based service would sit on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.service.api import (
+    QueryRequest,
+    QueryResponse,
+    RecommendationPayload,
+    ServiceError,
+)
+
+__all__ = ["ServiceStats", "AcicService"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Operational counters for monitoring."""
+
+    platforms: int
+    total_records: int
+    queries_served: int
+    cache_hits: int
+    models_trained: int
+
+
+class AcicService:
+    """A multi-platform ACIC query service.
+
+    Args:
+        feature_names: dimensions the hosted models use (normally the
+            top-m PB-ranked names of each platform's screening; one shared
+            tuple keeps the service simple, matching the released tool).
+    """
+
+    def __init__(self, feature_names: tuple[str, ...] | None = None) -> None:
+        self.feature_names = feature_names
+        self._databases: dict[str, TrainingDatabase] = {}
+        self._models: dict[tuple[str, Goal, str], Acic] = {}
+        self._cache: dict[tuple, QueryResponse] = {}
+        self._queries = 0
+        self._hits = 0
+        self._trained = 0
+
+    # ------------------------------------------------------------------
+    def host_database(self, database: TrainingDatabase) -> None:
+        """Register (or replace) a platform's training database."""
+        self._databases[database.platform_name] = database
+        self._invalidate(database.platform_name)
+
+    def load_database(self, path: str | Path) -> str:
+        """Host a database from its JSON artifact; returns the platform."""
+        database = TrainingDatabase.load(path)
+        self.host_database(database)
+        return database.platform_name
+
+    def contribute(self, platform: str, contribution: TrainingDatabase) -> int:
+        """Merge a community contribution; retrains lazily.
+
+        Returns the number of new records accepted.
+        """
+        database = self._database_for(platform)
+        accepted = database.merge(contribution)
+        if accepted:
+            self._invalidate(platform)
+        return accepted
+
+    # ------------------------------------------------------------------
+    def handle(self, request: QueryRequest) -> QueryResponse:
+        """Answer one query (cached when an identical one was served)."""
+        self._queries += 1
+        cached = self._cache.get(request.fingerprint)
+        if cached is not None:
+            self._hits += 1
+            return QueryResponse(
+                recommendations=cached.recommendations,
+                goal=cached.goal,
+                platform=cached.platform,
+                model_points=cached.model_points,
+                model_epochs=cached.model_epochs,
+                learner=cached.learner,
+                cached=True,
+            )
+
+        database = self._database_for(request.platform)
+        model = self._model_for(request.platform, request.goal, request.learner)
+        recommendations = model.recommend(request.characteristics, top_k=request.top_k)
+        epochs = [record.epoch for record in database]
+        response = QueryResponse(
+            recommendations=tuple(
+                RecommendationPayload(
+                    rank=r.rank,
+                    config_key=r.config.key,
+                    description=r.config.describe(),
+                    predicted_improvement=r.predicted_improvement,
+                    co_champion_group=r.co_champion_group,
+                )
+                for r in recommendations
+            ),
+            goal=request.goal,
+            platform=request.platform,
+            model_points=len(database),
+            model_epochs=(min(epochs), max(epochs)),
+            learner=request.learner,
+            cached=False,
+        )
+        self._cache[request.fingerprint] = response
+        return response
+
+    def handle_json(self, request_text: str) -> str:
+        """Transport-level entry point: JSON in, JSON out.
+
+        Errors come back as a JSON object with an ``error`` key instead of
+        raising, so a batch front end never dies on one bad request.
+        """
+        import json
+
+        try:
+            return self.handle(QueryRequest.from_json(request_text)).to_json()
+        except ServiceError as exc:
+            return json.dumps({"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Operational counters snapshot."""
+        return ServiceStats(
+            platforms=len(self._databases),
+            total_records=sum(len(db) for db in self._databases.values()),
+            queries_served=self._queries,
+            cache_hits=self._hits,
+            models_trained=self._trained,
+        )
+
+    # ------------------------------------------------------------------
+    def _database_for(self, platform: str) -> TrainingDatabase:
+        try:
+            return self._databases[platform]
+        except KeyError:
+            known = ", ".join(sorted(self._databases)) or "(none)"
+            raise ServiceError(
+                f"no training database for platform {platform!r}; hosted: {known}"
+            ) from None
+
+    def _model_for(self, platform: str, goal: Goal, learner: str) -> Acic:
+        key = (platform, goal, learner)
+        model = self._models.get(key)
+        if model is None:
+            model = Acic(
+                self._database_for(platform),
+                goal=goal,
+                learner_name=learner,
+                feature_names=self.feature_names,
+            )
+            try:
+                model.train()
+            except KeyError as exc:  # unknown learner name
+                raise ServiceError(str(exc)) from exc
+            self._models[key] = model
+            self._trained += 1
+        return model
+
+    def _invalidate(self, platform: str) -> None:
+        self._models = {
+            key: model for key, model in self._models.items() if key[0] != platform
+        }
+        self._cache = {
+            fingerprint: response
+            for fingerprint, response in self._cache.items()
+            if response.platform != platform
+        }

@@ -1,0 +1,51 @@
+"""The 15-dimensional exploration space (paper Section 3).
+
+Six cloud I/O system configuration parameters plus nine application I/O
+characteristic parameters, concatenated, form the space ACIC trains and
+predicts over.  This package defines the dimensions (Table 1), the two
+typed halves (:class:`SystemConfig`, :class:`AppCharacteristics`), the
+validity rules that prune impossible combinations, and enumeration /
+sampling of candidates.
+"""
+
+from repro.space.parameters import (
+    Parameter,
+    ParameterKind,
+    PARAMETERS,
+    SYSTEM_PARAMETERS,
+    APPLICATION_PARAMETERS,
+    parameter_by_name,
+    full_space_size,
+)
+from repro.space.configuration import SystemConfig, FileSystemKind, BASELINE_CONFIG
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.space.validity import is_valid_config, is_valid_characteristics, is_valid_point
+from repro.space.grid import (
+    candidate_configs,
+    enumerate_characteristics,
+    config_from_values,
+    characteristics_from_values,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterKind",
+    "PARAMETERS",
+    "SYSTEM_PARAMETERS",
+    "APPLICATION_PARAMETERS",
+    "parameter_by_name",
+    "full_space_size",
+    "SystemConfig",
+    "FileSystemKind",
+    "BASELINE_CONFIG",
+    "AppCharacteristics",
+    "IOInterface",
+    "OpKind",
+    "is_valid_config",
+    "is_valid_characteristics",
+    "is_valid_point",
+    "candidate_configs",
+    "enumerate_characteristics",
+    "config_from_values",
+    "characteristics_from_values",
+]

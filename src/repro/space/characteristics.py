@@ -1,0 +1,141 @@
+"""Application I/O characteristics — the nine workload-side dimensions.
+
+These are the parameters ACIC extracts from a target application (via its
+profiler or user input) and the knobs its IOR-equivalent benchmark varies
+during training (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.util.units import format_bytes
+
+__all__ = ["IOInterface", "OpKind", "AppCharacteristics"]
+
+
+class IOInterface(str, enum.Enum):
+    """I/O interface used by the application.
+
+    The training space (Table 1) samples POSIX and MPI-IO; HDF5 is a
+    higher-level library layered on MPI-IO (the paper's FLASHIO uses it),
+    modelled as MPI-IO plus library metadata overhead.
+    """
+
+    POSIX = "POSIX"
+    MPIIO = "MPI-IO"
+    HDF5 = "HDF5"
+
+    @property
+    def base(self) -> "IOInterface":
+        """The wire-level interface this maps onto for training purposes."""
+        return IOInterface.MPIIO if self is IOInterface.HDF5 else self
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class OpKind(str, enum.Enum):
+    """Dominant I/O operation type."""
+
+    READ = "read"
+    WRITE = "write"
+    READWRITE = "readwrite"
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of bytes moved by reads."""
+        if self is OpKind.READ:
+            return 1.0
+        if self is OpKind.WRITE:
+            return 0.0
+        return 0.5
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class AppCharacteristics:
+    """One application run's I/O profile (paper Section 3.2).
+
+    Attributes:
+        num_processes: total MPI ranks of the run.
+        num_io_processes: ranks that perform I/O calls.
+        interface: POSIX / MPI-IO / HDF5.
+        iterations: number of I/O iterations over the execution.
+        data_bytes: bytes each I/O process moves per iteration.
+        request_bytes: bytes per I/O function call.
+        op: dominant operation type.
+        collective: whether collective I/O is used.
+        shared_file: single shared file (True) vs file-per-process (False).
+    """
+
+    num_processes: int
+    num_io_processes: int
+    interface: IOInterface
+    iterations: int
+    data_bytes: int
+    request_bytes: int
+    op: OpKind
+    collective: bool
+    shared_file: bool
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1:
+            raise ValueError(f"num_processes must be >= 1, got {self.num_processes}")
+        if not 1 <= self.num_io_processes <= self.num_processes:
+            raise ValueError(
+                f"num_io_processes must be in [1, {self.num_processes}], "
+                f"got {self.num_io_processes}"
+            )
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.data_bytes < 1:
+            raise ValueError(f"data_bytes must be >= 1, got {self.data_bytes}")
+        if not 1 <= self.request_bytes <= self.data_bytes:
+            raise ValueError(
+                f"request_bytes must be in [1, data_bytes={self.data_bytes}], "
+                f"got {self.request_bytes}"
+            )
+        if self.collective and self.interface.base is not IOInterface.MPIIO:
+            raise ValueError("collective I/O requires an MPI-IO based interface")
+
+    @property
+    def total_bytes_per_iteration(self) -> int:
+        """Bytes moved by the whole job in one I/O iteration."""
+        return self.data_bytes * self.num_io_processes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved."""
+        return self.total_bytes_per_iteration * self.iterations
+
+    @property
+    def requests_per_process_per_iteration(self) -> int:
+        """I/O calls each I/O process issues per iteration (ceiling)."""
+        return -(-self.data_bytes // self.request_bytes)
+
+    def scaled(self, num_processes: int, num_io_processes: int | None = None) -> "AppCharacteristics":
+        """This profile re-expressed at a different job scale.
+
+        Weak-scaling convention: per-process data volume stays fixed, which
+        is how the paper varies job sizes for the same application.
+        """
+        return replace(
+            self,
+            num_processes=num_processes,
+            num_io_processes=num_io_processes if num_io_processes is not None else num_processes,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        mode = "collective" if self.collective else "independent"
+        layout = "shared file" if self.shared_file else "file-per-process"
+        return (
+            f"{self.num_io_processes}/{self.num_processes} io-procs, "
+            f"{self.interface}, {self.op}, {self.iterations} iters x "
+            f"{format_bytes(self.data_bytes)} per proc in "
+            f"{format_bytes(self.request_bytes)} requests, {mode}, {layout}"
+        )

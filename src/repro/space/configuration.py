@@ -1,0 +1,119 @@
+"""Cloud I/O system configuration — the six system-side dimensions.
+
+A :class:`SystemConfig` is what ACIC ultimately recommends: storage device,
+file system, instance type, number and placement of I/O servers, stripe
+size (paper Section 3.1 / Table 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.util.units import KIB, MIB, format_bytes
+
+__all__ = ["FileSystemKind", "SystemConfig", "BASELINE_CONFIG"]
+
+
+class FileSystemKind(str, enum.Enum):
+    """Shared file system choices in the configuration space.
+
+    NFS and PVFS2 are the paper's Table 1 values; LUSTRE is the extension
+    file system used by the expandability experiment (Section 2's claim)
+    and only enters candidate sets via an explicit
+    :class:`~repro.space.extension.SpaceExtension`.
+    """
+
+    NFS = "NFS"
+    PVFS2 = "PVFS2"
+    LUSTRE = "Lustre"
+
+    @property
+    def striped(self) -> bool:
+        """Whether the file system stripes across multiple I/O servers."""
+        return self is not FileSystemKind.NFS
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One point of the cloud-side configuration space.
+
+    Attributes:
+        device: storage volume family backing the file servers.
+        file_system: NFS or PVFS2.
+        instance_type: instance type name for every node.
+        io_servers: number of file-server daemons (NFS supports only 1).
+        placement: dedicated or part-time servers.
+        stripe_bytes: PVFS2 stripe size; must be None for NFS, which does
+            not stripe (Table 1 footnote: "NFS does not have Stripe size").
+    """
+
+    device: DeviceKind
+    file_system: FileSystemKind
+    instance_type: str
+    io_servers: int
+    placement: Placement
+    stripe_bytes: int | None
+
+    def __post_init__(self) -> None:
+        if self.io_servers < 1:
+            raise ValueError(f"io_servers must be >= 1, got {self.io_servers}")
+        if not self.file_system.striped:
+            if self.io_servers != 1:
+                raise ValueError("NFS supports exactly one I/O server")
+            if self.stripe_bytes is not None:
+                raise ValueError("NFS has no stripe size; pass stripe_bytes=None")
+        else:
+            if self.stripe_bytes is None:
+                raise ValueError(f"{self.file_system} requires a stripe size")
+            if self.stripe_bytes < KIB:
+                raise ValueError(f"stripe_bytes too small: {self.stripe_bytes}")
+
+    @property
+    def key(self) -> str:
+        """Compact unique name, e.g. ``pvfs.4.D.eph.cc2.4MB``.
+
+        Mirrors the paper's config naming in Figure 1 (``pvfs.4.P.eph``),
+        extended with instance type and stripe size.
+        """
+        fs = {
+            FileSystemKind.NFS: "nfs",
+            FileSystemKind.PVFS2: "pvfs",
+            FileSystemKind.LUSTRE: "lustre",
+        }[self.file_system]
+        dev = {"EBS": "ebs", "ephemeral": "eph", "ssd": "ssd"}[self.device.value]
+        inst = self.instance_type.split(".")[0]
+        parts = [fs, str(self.io_servers), self.placement.short, dev, inst]
+        if self.stripe_bytes is not None:
+            parts.append(format_bytes(self.stripe_bytes))
+        return ".".join(parts)
+
+    def describe(self) -> str:
+        """Human-readable summary, in the style of the paper's prose."""
+        place = str(self.placement)
+        stripe = f", {format_bytes(self.stripe_bytes)} stripes" if self.stripe_bytes else ""
+        return (
+            f"{self.io_servers} {place} {self.file_system} server(s) on "
+            f"{self.device} devices, {self.instance_type} instances{stripe}"
+        )
+
+
+#: The paper's reference point: "single dedicated NFS server, mounting two
+#: EBS disks with a software RAID-0" on the testbed's cc2.8xlarge nodes
+#: (Section 4.2).  All improvement metrics are relative to this.
+BASELINE_CONFIG = SystemConfig(
+    device=DeviceKind.EBS,
+    file_system=FileSystemKind.NFS,
+    instance_type="cc2.8xlarge",
+    io_servers=1,
+    placement=Placement.DEDICATED,
+    stripe_bytes=None,
+)
+
+#: Default PVFS2 stripe used when a config is built without an explicit one.
+DEFAULT_STRIPE = 4 * MIB

@@ -1,0 +1,118 @@
+"""Space extensions: adding new values to existing dimensions.
+
+"ACIC can easily handle new I/O configurations or characteristic
+parameters by adding more dimensions into its prediction model"
+(Section 2).  A :class:`SpaceExtension` declares extra sampled values for
+chosen dimensions — e.g. SSD devices or the Lustre file system — without
+touching the canonical Table 1 definitions, so existing training data
+stays valid and new data is collected incrementally over the added values
+only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import SystemConfig
+from repro.space.grid import config_from_values, is_valid_config, is_valid_point
+from repro.space.parameters import (
+    SYSTEM_PARAMETERS,
+    Parameter,
+    parameter_by_name,
+)
+
+__all__ = ["SpaceExtension"]
+
+
+@dataclass(frozen=True)
+class SpaceExtension:
+    """Extra sampled values per dimension name.
+
+    Attributes:
+        extra_values: {dimension name: tuple of additional values}.  The
+            values must be new (not already sampled) and type-compatible
+            with the dimension.
+    """
+
+    extra_values: Mapping[str, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, values in self.extra_values.items():
+            parameter = parameter_by_name(name)
+            if not values:
+                raise ValueError(f"extension for {name!r} adds no values")
+            duplicates = set(values) & set(parameter.values)
+            if duplicates:
+                raise ValueError(
+                    f"extension for {name!r} repeats existing values: {duplicates}"
+                )
+
+    # ------------------------------------------------------------------
+    def extended_parameter(self, name: str) -> Parameter:
+        """The dimension with extension values appended.
+
+        Appending (rather than interleaving) keeps the encoding of
+        existing categorical values stable, so a model trained before the
+        extension still reads old records identically.
+        """
+        base = parameter_by_name(name)
+        extra = tuple(self.extra_values.get(name, ()))
+        if not extra:
+            return base
+        return Parameter(
+            name=base.name,
+            kind=base.kind,
+            values=base.values + extra,
+            paper_rank=base.paper_rank,
+            numeric=base.numeric,
+            description=base.description + " (extended)",
+        )
+
+    def extended_parameters(self) -> tuple[Parameter, ...]:
+        """All fifteen dimensions, with extensions applied where declared."""
+        from repro.space.parameters import PARAMETERS
+
+        return tuple(self.extended_parameter(p.name) for p in PARAMETERS)
+
+    # ------------------------------------------------------------------
+    def candidate_configs(
+        self, chars: AppCharacteristics | None = None
+    ) -> list[SystemConfig]:
+        """The extended system-configuration candidate set.
+
+        A superset of the base 56 candidates: every combination drawing at
+        least the base values, plus combinations using the new values.
+        """
+        names = [p.name for p in SYSTEM_PARAMETERS]
+        value_lists = [list(self.extended_parameter(name).values) for name in names]
+        seen: set[str] = set()
+        configs: list[SystemConfig] = []
+        for combo in itertools.product(*value_lists):
+            config = config_from_values(dict(zip(names, combo)))
+            if config.key in seen:
+                continue
+            seen.add(config.key)
+            if not is_valid_config(config):
+                continue
+            if chars is not None and not is_valid_point(config, chars):
+                continue
+            configs.append(config)
+        return configs
+
+    def new_value_points(self, plan_points: list[dict]) -> list[dict]:
+        """Filter plan points to those using at least one extension value.
+
+        Incremental collection measures only the new corner of the space;
+        the existing database already covers the rest.
+        """
+        new_values = {
+            name: set(values) for name, values in self.extra_values.items()
+        }
+        out = []
+        for point in plan_points:
+            if any(point.get(name) in values for name, values in new_values.items()):
+                out.append(point)
+        return out

@@ -1,0 +1,172 @@
+"""Enumeration and construction of exploration-space points.
+
+ACIC queries join an application's characteristics with *every* candidate
+system configuration ("a full exploration of system configuration space is
+affordable here", Section 4.2); training samples the concatenated space.
+This module provides both enumerations plus dict-of-values constructors
+used by the PB designer and the training planner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping
+
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.space.configuration import FileSystemKind, SystemConfig
+from repro.space.parameters import (
+    APPLICATION_PARAMETERS,
+    SYSTEM_PARAMETERS,
+    parameter_by_name,
+)
+from repro.space.validity import is_valid_config, is_valid_point
+
+__all__ = [
+    "config_from_values",
+    "characteristics_from_values",
+    "candidate_configs",
+    "enumerate_characteristics",
+    "coerce_valid",
+]
+
+
+def config_from_values(values: Mapping[str, object]) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a {parameter name: value} dict.
+
+    Applies the NFS normalization the paper's footnote describes: when the
+    file system is NFS the stripe size is dropped and the server count is
+    forced to 1, so PB rows and grid points that set those dimensions stay
+    constructible.
+    """
+    file_system = FileSystemKind(values["file_system"])
+    if file_system is FileSystemKind.NFS:
+        io_servers = 1
+        stripe = None
+    else:
+        io_servers = int(values["io_servers"])  # type: ignore[arg-type]
+        stripe = int(values["stripe_bytes"])  # type: ignore[arg-type]
+    return SystemConfig(
+        device=DeviceKind(values["device"]),
+        file_system=file_system,
+        instance_type=str(values["instance_type"]),
+        io_servers=io_servers,
+        placement=Placement(values["placement"]),
+        stripe_bytes=stripe,
+    )
+
+
+def characteristics_from_values(values: Mapping[str, object]) -> AppCharacteristics:
+    """Build :class:`AppCharacteristics` from a {name: value} dict.
+
+    Clamps ``num_io_processes`` to ``num_processes`` and ``request_bytes``
+    to ``data_bytes`` (the paper's validity rules) so systematic samplers
+    can sweep dimensions independently.
+    """
+    num_processes = int(values["num_processes"])  # type: ignore[arg-type]
+    num_io = min(int(values["num_io_processes"]), num_processes)  # type: ignore[arg-type]
+    data_bytes = int(values["data_bytes"])  # type: ignore[arg-type]
+    request_bytes = min(int(values["request_bytes"]), data_bytes)  # type: ignore[arg-type]
+    interface = IOInterface(values["interface"])
+    collective = bool(values["collective"]) and interface.base is IOInterface.MPIIO
+    return AppCharacteristics(
+        num_processes=num_processes,
+        num_io_processes=num_io,
+        interface=interface,
+        iterations=int(values["iterations"]),  # type: ignore[arg-type]
+        data_bytes=data_bytes,
+        request_bytes=request_bytes,
+        op=OpKind(values["op"]),
+        collective=collective,
+        shared_file=bool(values["shared_file"]),
+    )
+
+
+def coerce_valid(config: SystemConfig, chars: AppCharacteristics) -> SystemConfig:
+    """Minimally adjust ``config`` so it can run ``chars``.
+
+    Systematic samplers (PB rows, training grids) sweep dimensions
+    independently and can demand part-time placement with more I/O servers
+    than the job has compute nodes; the realizable experiment caps the
+    server count at the node count (a real operator would do the same).
+    """
+    from repro.cloud.instances import get_instance_type
+
+    nodes = get_instance_type(config.instance_type).nodes_for(chars.num_processes)
+    if config.placement is Placement.PART_TIME and config.io_servers > nodes:
+        return SystemConfig(
+            device=config.device,
+            file_system=config.file_system,
+            instance_type=config.instance_type,
+            io_servers=nodes,
+            placement=config.placement,
+            stripe_bytes=config.stripe_bytes,
+        )
+    return config
+
+
+def candidate_configs(
+    chars: AppCharacteristics | None = None,
+    instance_types: tuple[str, ...] | None = None,
+) -> list[SystemConfig]:
+    """All valid system configurations, optionally filtered for a workload.
+
+    Without ``chars`` this is the platform-side candidate set (56 configs
+    with the Table 1 values); with ``chars`` configurations whose placement
+    cannot host the job's I/O servers are dropped.
+    """
+    names = [p.name for p in SYSTEM_PARAMETERS]
+    value_lists = [
+        list(instance_types)
+        if instance_types is not None and p.name == "instance_type"
+        else list(p.values)
+        for p in SYSTEM_PARAMETERS
+    ]
+    seen: set[str] = set()
+    configs: list[SystemConfig] = []
+    for combo in itertools.product(*value_lists):
+        config = config_from_values(dict(zip(names, combo)))
+        if config.key in seen:
+            continue  # NFS normalization collapses io_servers/stripe values
+        seen.add(config.key)
+        if not is_valid_config(config):
+            continue
+        if chars is not None and not is_valid_point(config, chars):
+            continue
+        configs.append(config)
+    return configs
+
+
+def enumerate_characteristics(
+    overrides: Mapping[str, list] | None = None,
+) -> Iterator[AppCharacteristics]:
+    """Systematically enumerate application-side grid points.
+
+    ``overrides`` replaces the sampled value list of chosen dimensions
+    (used to restrict sweeps).  Invalid combinations are clamped by
+    :func:`characteristics_from_values` and de-duplicated.
+    """
+    overrides = dict(overrides or {})
+    for name in overrides:
+        parameter_by_name(name)  # validate names eagerly
+    names = [p.name for p in APPLICATION_PARAMETERS]
+    value_lists = [list(overrides.get(p.name, p.values)) for p in APPLICATION_PARAMETERS]
+    seen: set[tuple] = set()
+    for combo in itertools.product(*value_lists):
+        chars = characteristics_from_values(dict(zip(names, combo)))
+        fingerprint = (
+            chars.num_processes,
+            chars.num_io_processes,
+            chars.interface,
+            chars.iterations,
+            chars.data_bytes,
+            chars.request_bytes,
+            chars.op,
+            chars.collective,
+            chars.shared_file,
+        )
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        yield chars

@@ -1,0 +1,248 @@
+"""Table 1: the fifteen exploration-space dimensions.
+
+Each :class:`Parameter` records its sampled values (used for training-grid
+enumeration), the low/high extremes used by Plackett-Burman screening, and
+the importance rank the paper reports so experiments can compare our
+PB-derived ranking against the published one.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.space.characteristics import IOInterface, OpKind
+from repro.space.configuration import FileSystemKind
+from repro.util.units import KIB, MIB
+
+__all__ = [
+    "ParameterKind",
+    "Parameter",
+    "PARAMETERS",
+    "SYSTEM_PARAMETERS",
+    "APPLICATION_PARAMETERS",
+    "parameter_by_name",
+    "full_space_size",
+]
+
+
+class ParameterKind(str, enum.Enum):
+    """Which half of the concatenated space a dimension belongs to."""
+
+    SYSTEM = "system"
+    APPLICATION = "application"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One dimension of the exploration space.
+
+    Attributes:
+        name: canonical snake_case identifier.
+        kind: system configuration vs application characteristic.
+        values: the sampled values, ordered low to high where meaningful.
+        paper_rank: PB importance rank reported in the paper's Table 1
+            (1 = most influential); kept for comparison, not used by code.
+        numeric: True when values are quantities a regression tree should
+            treat as ordered numbers (sizes, counts).
+        description: prose meaning of the dimension.
+    """
+
+    name: str
+    kind: ParameterKind
+    values: tuple
+    paper_rank: int
+    numeric: bool
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 2:
+            raise ValueError(f"parameter {self.name} needs >= 2 values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name} has duplicate values")
+
+    @property
+    def low(self):
+        """PB design 'low' extreme (first sampled value)."""
+        return self.values[0]
+
+    @property
+    def high(self):
+        """PB design 'high' extreme (last sampled value)."""
+        return self.values[-1]
+
+    def encode(self, value) -> float:
+        """Map a value to a number for ML models.
+
+        Numeric dimensions use log2 (the paper samples them evenly in log
+        space); categorical dimensions use their index in ``values``.
+        """
+        if self.numeric:
+            number = float(value)
+            if number <= 0:
+                raise ValueError(f"{self.name}: cannot log-encode {value!r}")
+            return math.log2(number)
+        try:
+            return float(self.values.index(value))
+        except ValueError:
+            raise ValueError(f"{self.name}: unknown value {value!r}") from None
+
+
+PARAMETERS: tuple[Parameter, ...] = (
+    # --- system I/O configuration options (Section 3.1) ---
+    Parameter(
+        name="device",
+        kind=ParameterKind.SYSTEM,
+        values=(DeviceKind.EBS, DeviceKind.EPHEMERAL),
+        paper_rank=10,
+        numeric=False,
+        description="Storage volume family backing the I/O servers",
+    ),
+    Parameter(
+        name="file_system",
+        kind=ParameterKind.SYSTEM,
+        values=(FileSystemKind.NFS, FileSystemKind.PVFS2),
+        paper_rank=5,
+        numeric=False,
+        description="Shared file system deployed for the run",
+    ),
+    Parameter(
+        name="instance_type",
+        kind=ParameterKind.SYSTEM,
+        values=("cc1.4xlarge", "cc2.8xlarge"),
+        paper_rank=12,
+        numeric=False,
+        description="EC2 instance type for every node",
+    ),
+    Parameter(
+        name="io_servers",
+        kind=ParameterKind.SYSTEM,
+        values=(1, 2, 4),
+        paper_rank=3,
+        numeric=True,
+        description="Number of file-server daemons",
+    ),
+    Parameter(
+        name="placement",
+        kind=ParameterKind.SYSTEM,
+        values=(Placement.PART_TIME, Placement.DEDICATED),
+        paper_rank=7,
+        numeric=False,
+        description="I/O servers co-located with compute vs dedicated",
+    ),
+    Parameter(
+        name="stripe_bytes",
+        kind=ParameterKind.SYSTEM,
+        values=(64 * KIB, 4 * MIB),
+        paper_rank=6,
+        numeric=True,
+        description="PVFS2 stripe size (not applicable to NFS)",
+    ),
+    # --- application I/O characteristics (Section 3.2) ---
+    Parameter(
+        name="num_processes",
+        kind=ParameterKind.APPLICATION,
+        values=(32, 64, 128, 256),
+        paper_rank=14,
+        numeric=True,
+        description="Total parallel processes of the job",
+    ),
+    Parameter(
+        name="num_io_processes",
+        kind=ParameterKind.APPLICATION,
+        values=(32, 64, 128, 256),
+        paper_rank=4,
+        numeric=True,
+        description="Processes performing I/O simultaneously",
+    ),
+    Parameter(
+        name="interface",
+        kind=ParameterKind.APPLICATION,
+        values=(IOInterface.POSIX, IOInterface.MPIIO),
+        paper_rank=9,
+        numeric=False,
+        description="I/O interface",
+    ),
+    Parameter(
+        name="iterations",
+        kind=ParameterKind.APPLICATION,
+        values=(1, 10, 100),
+        paper_rank=13,
+        numeric=True,
+        description="I/O iterations within the execution",
+    ),
+    Parameter(
+        name="data_bytes",
+        kind=ParameterKind.APPLICATION,
+        values=(1 * MIB, 4 * MIB, 16 * MIB, 32 * MIB, 128 * MIB, 512 * MIB),
+        paper_rank=1,
+        numeric=True,
+        description="Data each I/O process moves per iteration",
+    ),
+    Parameter(
+        name="request_bytes",
+        kind=ParameterKind.APPLICATION,
+        values=(256 * KIB, 4 * MIB, 16 * MIB, 128 * MIB),
+        paper_rank=8,
+        numeric=True,
+        description="Data transferred per I/O function call",
+    ),
+    Parameter(
+        name="op",
+        kind=ParameterKind.APPLICATION,
+        values=(OpKind.READ, OpKind.WRITE),
+        paper_rank=2,
+        numeric=False,
+        description="Dominant I/O operation type",
+    ),
+    Parameter(
+        name="collective",
+        kind=ParameterKind.APPLICATION,
+        values=(False, True),
+        paper_rank=11,
+        numeric=False,
+        description="Whether collective I/O is used",
+    ),
+    Parameter(
+        name="shared_file",
+        kind=ParameterKind.APPLICATION,
+        values=(False, True),
+        paper_rank=15,
+        numeric=False,
+        description="Single shared file vs per-process files",
+    ),
+)
+
+SYSTEM_PARAMETERS: tuple[Parameter, ...] = tuple(
+    p for p in PARAMETERS if p.kind is ParameterKind.SYSTEM
+)
+APPLICATION_PARAMETERS: tuple[Parameter, ...] = tuple(
+    p for p in PARAMETERS if p.kind is ParameterKind.APPLICATION
+)
+
+_BY_NAME: dict[str, Parameter] = {p.name: p for p in PARAMETERS}
+
+
+def parameter_by_name(name: str) -> Parameter:
+    """Look up a dimension by its canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown parameter {name!r}; known: {known}") from None
+
+
+def full_space_size() -> int:
+    """Cartesian product of all value counts.
+
+    The paper's footnote 1 computes 1,769,472 "roughly a million valid
+    training data points" before validity pruning; this reproduces the
+    product exactly.
+    """
+    size = 1
+    for parameter in PARAMETERS:
+        size *= len(parameter.values)
+    return size

@@ -1,0 +1,72 @@
+"""Legal-combination rules for exploration-space points.
+
+"Not all sample parameter value combinations are valid (e.g., NFS does not
+have Stripe size; request size cannot be greater than data size)" — paper
+Section 3.3.  These rules are applied when enumerating training grids and
+candidate configurations, and when validating externally supplied points.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.cluster import Placement
+from repro.cloud.instances import get_instance_type
+from repro.space.characteristics import AppCharacteristics, IOInterface
+from repro.space.configuration import FileSystemKind, SystemConfig
+
+__all__ = [
+    "is_valid_config",
+    "is_valid_characteristics",
+    "is_valid_point",
+    "explain_invalid",
+]
+
+
+def explain_invalid(
+    config: SystemConfig, chars: AppCharacteristics | None = None
+) -> str | None:
+    """Return a reason the point is invalid, or None when it is valid.
+
+    Dataclass constructors already reject locally inconsistent objects
+    (NFS with stripes, request > data); this checks *cross* constraints
+    that need both halves or the platform catalog.
+    """
+    if config.file_system is FileSystemKind.NFS and config.io_servers != 1:
+        return "NFS supports exactly one I/O server"
+    if config.file_system.striped and config.stripe_bytes is None:
+        return f"{config.file_system} requires a stripe size"
+    if chars is None:
+        return None
+    instance = get_instance_type(config.instance_type)
+    nodes = instance.nodes_for(chars.num_processes)
+    if config.placement is Placement.PART_TIME and config.io_servers > nodes:
+        return (
+            f"part-time placement needs io_servers ({config.io_servers}) "
+            f"<= compute nodes ({nodes})"
+        )
+    if chars.collective and chars.interface.base is not IOInterface.MPIIO:
+        return "collective I/O requires MPI-IO (or a library above it)"
+    return None
+
+
+def is_valid_config(config: SystemConfig) -> bool:
+    """System-side-only validity (no workload in hand yet)."""
+    return explain_invalid(config) is None
+
+
+def is_valid_characteristics(chars: AppCharacteristics) -> bool:
+    """Application-side validity.
+
+    The dataclass enforces its own invariants on construction, so any
+    constructed instance is valid; this exists for symmetry and for
+    checking decoded/raw inputs via construction.
+    """
+    return (
+        chars.num_io_processes <= chars.num_processes
+        and chars.request_bytes <= chars.data_bytes
+        and (not chars.collective or chars.interface.base is IOInterface.MPIIO)
+    )
+
+
+def is_valid_point(config: SystemConfig, chars: AppCharacteristics) -> bool:
+    """Validity of a concatenated 15-D point."""
+    return explain_invalid(config, chars) is None

@@ -1,0 +1,30 @@
+"""Shared utilities: byte-size units, seeded RNG streams, small statistics.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    format_bytes,
+    parse_bytes,
+)
+from repro.util.rng import RngStream, stream_seed
+from repro.util.stats import geometric_mean, median, relative_error
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "parse_bytes",
+    "RngStream",
+    "stream_seed",
+    "geometric_mean",
+    "median",
+    "relative_error",
+]

@@ -1,0 +1,79 @@
+"""Deterministic random-number streams.
+
+The cloud simulator must be reproducible (tests and experiments depend on
+exact re-runs) while still modelling multi-tenant variability.  We derive
+independent substreams from a root seed plus a string *context* (e.g. a
+configuration's key and a run index), so that simulating one configuration
+never perturbs the noise drawn for another — a property the exhaustive
+sweeps in the experiment harness rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stream_seed", "RngStream"]
+
+
+def stream_seed(root_seed: int, *context: object) -> int:
+    """Derive a stable 64-bit seed from a root seed and context values.
+
+    The derivation hashes the repr of every context item, so any hashable
+    *and* printable value (str, int, tuples of them) can label a stream.
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(str(int(root_seed)).encode())
+    for item in context:
+        hasher.update(b"\x1f")
+        hasher.update(repr(item).encode())
+    return int.from_bytes(hasher.digest(), "little")
+
+
+class RngStream:
+    """A named, reproducible random stream.
+
+    Thin wrapper over :class:`numpy.random.Generator` that remembers its
+    derivation so child streams can be split off deterministically.
+    """
+
+    def __init__(self, root_seed: int, *context: object) -> None:
+        self.root_seed = int(root_seed)
+        self.context = tuple(context)
+        self._gen = np.random.default_rng(stream_seed(root_seed, *context))
+
+    def child(self, *context: object) -> "RngStream":
+        """Split off an independent substream labelled by extra context."""
+        return RngStream(self.root_seed, *self.context, *context)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy Generator."""
+        return self._gen
+
+    def lognormal_factor(self, sigma: float) -> float:
+        """Draw a multiplicative noise factor with unit median.
+
+        ``sigma`` is the log-space standard deviation; ``sigma == 0``
+        returns exactly 1.0 so noise can be switched off cheaply.
+        """
+        if sigma <= 0.0:
+            return 1.0
+        return float(np.exp(self._gen.normal(0.0, sigma)))
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw from [low, high)."""
+        return float(self._gen.uniform(low, high))
+
+    def choice(self, seq):
+        """Pick one element of a non-empty sequence."""
+        if len(seq) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[int(self._gen.integers(0, len(seq)))]
+
+    def shuffled(self, seq) -> list:
+        """Return a shuffled copy of ``seq`` (the input is untouched)."""
+        out = list(seq)
+        self._gen.shuffle(out)
+        return out

@@ -1,0 +1,44 @@
+"""Small statistics helpers used across experiments and models."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["geometric_mean", "median", "relative_error", "harmonic_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedups, ratios)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean of positive values (aggregate bandwidths)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(arr))
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """|predicted - actual| / |actual|; actual must be nonzero."""
+    if actual == 0:
+        raise ValueError("relative_error undefined for actual == 0")
+    return abs(predicted - actual) / abs(actual)

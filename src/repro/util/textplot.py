@@ -1,0 +1,104 @@
+"""Terminal rendering of the paper's dot-spectrum figures.
+
+Figures 5 and 6 draw, per application run, a vertical spectrum of gray
+dots (every candidate configuration) with the ACIC pick highlighted and
+median/baseline reference lines.  This module renders the same geometry
+in plain text so `acic experiment fig5` shows the figure, not only its
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["SpectrumColumn", "render_spectrum"]
+
+#: Marker precedence when several land in one cell (top = strongest).
+_PRECEDENCE = "ABM*·"
+
+
+@dataclass(frozen=True)
+class SpectrumColumn:
+    """One vertical spectrum.
+
+    Attributes:
+        label: column header (e.g. "BTIO-64").
+        values: the gray dots (every candidate's metric).
+        markers: {single-char marker: value} for highlighted points,
+            e.g. {"A": acic, "M": median, "B": baseline, "*": optimal}.
+    """
+
+    label: str
+    values: tuple[float, ...]
+    markers: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"column {self.label!r} has no values")
+        if any(v <= 0 for v in self.values) or any(
+            v <= 0 for v in self.markers.values()
+        ):
+            raise ValueError("spectrum values must be positive (log scale)")
+        for marker in self.markers:
+            if len(marker) != 1:
+                raise ValueError(f"marker {marker!r} must be a single character")
+
+
+def render_spectrum(
+    columns: list[SpectrumColumn],
+    height: int = 14,
+    width_per_column: int = 12,
+) -> str:
+    """Render columns side by side on a shared log-scale axis.
+
+    Returns a text block: y-axis of values, one character column per run,
+    a legend line listing the marker meanings.
+    """
+    if not columns:
+        raise ValueError("nothing to render")
+    if height < 4:
+        raise ValueError("height must be >= 4")
+
+    lo = min(min(c.values) for c in columns)
+    hi = max(max(c.values) for c in columns)
+    for column in columns:
+        for value in column.markers.values():
+            lo = min(lo, value)
+            hi = max(hi, value)
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    if log_hi - log_lo < 1e-12:
+        log_hi = log_lo + 1.0
+
+    def row_of(value: float) -> int:
+        """Map a value to a row (0 = top = max)."""
+        fraction = (math.log10(value) - log_lo) / (log_hi - log_lo)
+        return int(round((1.0 - fraction) * (height - 1)))
+
+    grid = [[" "] * len(columns) for _ in range(height)]
+    for col_index, column in enumerate(columns):
+        cells: dict[int, str] = {}
+
+        def put(row: int, marker: str) -> None:
+            current = cells.get(row)
+            if current is None or _PRECEDENCE.index(marker) < _PRECEDENCE.index(current):
+                cells[row] = marker
+
+        for value in column.values:
+            put(row_of(value), "·")
+        for marker, value in column.markers.items():
+            put(row_of(value), marker)
+        for row, marker in cells.items():
+            grid[row][col_index] = marker
+
+    lines = []
+    for row in range(height):
+        fraction = 1.0 - row / (height - 1)
+        value = 10 ** (log_lo + fraction * (log_hi - log_lo))
+        axis = f"{value:>10.3g} |"
+        body = "".join(cell.center(width_per_column) for cell in grid[row])
+        lines.append(axis + body)
+    header = " " * 12 + "".join(c.label.center(width_per_column) for c in columns)
+    lines.append(" " * 10 + "-" * (2 + width_per_column * len(columns)))
+    lines.append(header)
+    return "\n".join(lines)

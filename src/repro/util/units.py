@@ -1,0 +1,78 @@
+"""Byte-size units, parsing and formatting.
+
+The ACIC exploration space mixes human-readable sizes ("64KB", "4MB",
+"128MB") with numeric byte counts; this module is the single place where the
+two representations meet.  Sizes use binary (IEC) multiples, matching how
+IOR and the paper's Table 1 express block/transfer sizes.
+"""
+
+from __future__ import annotations
+
+import re
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+TIB: int = 1024 * GIB
+
+_SUFFIXES: dict[str, int] = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+    "T": TIB,
+    "TB": TIB,
+    "TIB": TIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a human-readable size ("4MB", "64 KiB", 4096) into bytes.
+
+    Accepts plain numbers (returned as ``int``) and case-insensitive IEC/SI
+    suffixes, all interpreted as binary multiples (1 KB == 1024 B) to match
+    IOR's convention.
+
+    Raises:
+        ValueError: if the text is not a recognizable size.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"negative size: {text!r}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = match.groups()
+    suffix = suffix.upper()
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(value) * _SUFFIXES[suffix])
+
+
+def format_bytes(num_bytes: int | float) -> str:
+    """Render a byte count with the largest exact-or-rounded IEC suffix.
+
+    >>> format_bytes(4 * MIB)
+    '4MB'
+    >>> format_bytes(1536)
+    '1.5KB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"negative size: {num_bytes!r}")
+    for suffix, factor in (("TB", TIB), ("GB", GIB), ("MB", MIB), ("KB", KIB)):
+        if num_bytes >= factor:
+            value = num_bytes / factor
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    return f"{int(num_bytes)}B"

@@ -1,0 +1,147 @@
+"""Tests for the four application models (Table 3 / Section 5.1)."""
+
+import pytest
+
+from repro.apps import APP_REGISTRY, get_app
+from repro.apps.base import Table3Row
+from repro.space.characteristics import IOInterface, OpKind
+from repro.util.units import GIB
+
+
+class TestRegistry:
+    def test_four_applications(self):
+        assert set(APP_REGISTRY) == {"btio", "flashio", "mpiblast", "madbench2"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_app("BTIO").name == get_app("btio").name
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="btio"):
+            get_app("gromacs")
+
+
+class TestTable3:
+    def test_btio_row(self):
+        t3 = get_app("BTIO").table3
+        assert (t3.field, t3.cpu, t3.comm, t3.rw, t3.api) == (
+            "Physics", "H", "H", "W", "MPI-IO",
+        )
+
+    def test_flashio_row(self):
+        t3 = get_app("FLASHIO").table3
+        assert (t3.cpu, t3.comm, t3.rw, t3.api) == ("L", "L", "W", "MPI-IO")
+
+    def test_mpiblast_row(self):
+        t3 = get_app("mpiBLAST").table3
+        assert (t3.cpu, t3.comm, t3.rw, t3.api) == ("M", "M", "R", "POSIX")
+
+    def test_madbench_row(self):
+        t3 = get_app("MADbench2").table3
+        assert (t3.cpu, t3.comm, t3.rw, t3.api) == ("L", "M", "RW", "MPI-IO")
+
+    def test_intensity_mapping_ordered(self):
+        assert (
+            Table3Row.intensity("L") < Table3Row.intensity("M") < Table3Row.intensity("H")
+        )
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Table3Row(field="x", cpu="X", comm="L", rw="W", api="POSIX")
+        with pytest.raises(ValueError):
+            Table3Row(field="x", cpu="L", comm="L", rw="WR", api="POSIX")
+
+
+class TestScales:
+    def test_paper_scales(self):
+        assert get_app("BTIO").scales == (64, 256)
+        assert get_app("FLASHIO").scales == (64, 256)
+        assert get_app("mpiBLAST").scales == (32, 64, 128)
+        assert get_app("MADbench2").scales == (64, 256)
+
+    def test_strict_scale_enforced(self):
+        with pytest.raises(ValueError, match="scales"):
+            get_app("BTIO").workload(100)
+
+    def test_non_strict_allows_fig1_sweep(self):
+        workload = get_app("BTIO").workload(100, strict=False)
+        assert workload.chars.num_processes == 100
+
+
+class TestCharacteristics:
+    def test_btio_writes_shared_collective(self):
+        chars = get_app("BTIO").characteristics(64)
+        assert chars.op is OpKind.WRITE
+        assert chars.collective and chars.shared_file
+        assert chars.interface is IOInterface.MPIIO
+        # class C: ~6.4 GB over 40 dumps
+        total = chars.total_bytes
+        assert total == pytest.approx(6.4 * GIB, rel=0.02)
+        assert chars.iterations == 40
+
+    def test_flashio_checkpoint_volume(self):
+        chars = get_app("FLASHIO").characteristics(64)
+        assert chars.interface is IOInterface.HDF5
+        assert chars.total_bytes_per_iteration == pytest.approx(15 * GIB, rel=0.01)
+
+    def test_mpiblast_reads_individual_files(self):
+        chars = get_app("mpiBLAST").characteristics(64)
+        assert chars.op is OpKind.READ
+        assert not chars.shared_file and not chars.collective
+        assert chars.interface is IOInterface.POSIX
+        # 84 GB database scanned per query batch
+        assert chars.total_bytes == pytest.approx(84 * GIB, rel=0.01)
+        # carries non-I/O worker ranks
+        assert chars.num_processes > chars.num_io_processes
+
+    def test_madbench_mixed_large_requests(self):
+        chars = get_app("MADbench2").characteristics(64)
+        assert chars.op is OpKind.READWRITE
+        assert chars.shared_file
+        assert chars.total_bytes_per_iteration == pytest.approx(32 * GIB, rel=0.01)
+        assert chars.iterations == 4
+
+    def test_weak_scaling_divides_per_process_volume(self):
+        app = get_app("FLASHIO")
+        small = app.characteristics(64)
+        large = app.characteristics(256)
+        assert large.data_bytes == pytest.approx(small.data_bytes / 4, rel=0.01)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", ["BTIO", "FLASHIO", "mpiBLAST", "MADbench2"])
+    def test_workload_intensities_match_table3(self, name):
+        app = get_app(name)
+        workload = app.workload(app.scales[0])
+        assert workload.cpu_intensity == Table3Row.intensity(app.table3.cpu)
+        assert workload.comm_intensity == Table3Row.intensity(app.table3.comm)
+
+    def test_compute_strong_scales(self):
+        app = get_app("BTIO")
+        assert (
+            app.compute_seconds_per_iteration(256)
+            < app.compute_seconds_per_iteration(64)
+        )
+
+    @pytest.mark.parametrize("name", ["BTIO", "FLASHIO", "mpiBLAST", "MADbench2"])
+    def test_workload_names_unique_per_scale(self, name):
+        app = get_app(name)
+        names = {app.workload(s).name for s in app.scales}
+        assert len(names) == len(app.scales)
+
+
+class TestTraces:
+    def test_trace_rank_sampling(self):
+        trace = get_app("BTIO").synthetic_trace(64, max_ranks=4)
+        assert {e.rank for e in trace} == {0, 1, 2, 3}
+
+    def test_trace_volume_matches_characteristics(self):
+        app = get_app("MADbench2")
+        chars = app.characteristics(64)
+        trace = app.synthetic_trace(64)
+        moved = sum(e.nbytes for e in trace if e.op in ("read", "write"))
+        assert moved == pytest.approx(chars.total_bytes, rel=0.01)
+
+    def test_trace_contains_opens_and_closes(self):
+        trace = get_app("FLASHIO").synthetic_trace(64, max_ranks=2)
+        ops = {e.op for e in trace}
+        assert {"open", "close", "write"} <= ops

@@ -1,0 +1,128 @@
+"""Tests for user-defined synthetic application models."""
+
+import pytest
+
+from repro.apps import SyntheticApp, Table3Row
+from repro.profiler import summarize_trace
+from repro.space.characteristics import IOInterface, OpKind, AppCharacteristics
+from repro.util.units import MIB
+
+
+@pytest.fixture()
+def template() -> AppCharacteristics:
+    return AppCharacteristics(
+        num_processes=128,
+        num_io_processes=64,
+        interface=IOInterface.MPIIO,
+        iterations=8,
+        data_bytes=64 * MIB,
+        request_bytes=8 * MIB,
+        op=OpKind.WRITE,
+        collective=True,
+        shared_file=True,
+    )
+
+
+@pytest.fixture()
+def row() -> Table3Row:
+    return Table3Row(field="CFD", cpu="H", comm="M", rw="W", api="MPI-IO")
+
+
+class TestConstruction:
+    def test_needs_name(self, template, row):
+        with pytest.raises(ValueError):
+            SyntheticApp(name="", table3=row, template=template)
+
+    def test_rejects_bad_scaling(self, template, row):
+        with pytest.raises(ValueError, match="scaling"):
+            SyntheticApp(name="x", table3=row, template=template, scaling="super")
+
+    def test_rejects_negative_costs(self, template, row):
+        with pytest.raises(ValueError):
+            SyntheticApp(name="x", table3=row, template=template,
+                         compute_core_seconds=-1.0)
+
+
+class TestScaling:
+    def test_weak_scaling_keeps_per_process_data(self, template, row):
+        app = SyntheticApp(name="w", table3=row, template=template, scaling="weak")
+        assert app.characteristics(32).data_bytes == template.data_bytes
+        assert app.characteristics(256).data_bytes == template.data_bytes
+
+    def test_strong_scaling_keeps_total_data(self, template, row):
+        app = SyntheticApp(name="s", table3=row, template=template, scaling="strong")
+        small = app.characteristics(32)
+        large = app.characteristics(256)
+        assert small.data_bytes * 32 == large.data_bytes * 256
+
+    def test_rank_ratio_preserved(self, template, row):
+        app = SyntheticApp(name="r", table3=row, template=template)
+        chars = app.characteristics(32)
+        assert chars.num_processes == 64  # template has 2 ranks per io-proc
+
+    def test_request_clamped_to_data(self, template, row):
+        import dataclasses
+
+        tiny_total = dataclasses.replace(template, data_bytes=8 * MIB)
+        app = SyntheticApp(name="c", table3=row, template=tiny_total, scaling="strong")
+        chars = app.characteristics(256)
+        assert chars.request_bytes <= chars.data_bytes
+
+    def test_phase_costs_strong_scale(self, template, row):
+        app = SyntheticApp(name="p", table3=row, template=template,
+                           compute_core_seconds=640.0)
+        assert app.compute_seconds_per_iteration(64) == pytest.approx(
+            2 * app.compute_seconds_per_iteration(128)
+        )
+
+
+class TestAppModelContract:
+    def test_workload_and_trace_like_bundled_apps(self, template, row):
+        app = SyntheticApp(name="mycfd", table3=row, template=template,
+                           compute_core_seconds=320.0, comm_core_seconds=64.0)
+        workload = app.workload(64)
+        assert workload.name == "mycfd-64"
+        assert workload.cpu_intensity == Table3Row.intensity("H")
+        trace = app.synthetic_trace(64, max_ranks=4)
+        assert trace
+
+    def test_scale_restriction_opt_in(self, template, row):
+        app = SyntheticApp(name="fixed", table3=row, template=template,
+                           scales=(64,))
+        app.workload(64)
+        with pytest.raises(ValueError):
+            app.workload(128)
+
+    def test_profiler_round_trip(self, template, row):
+        app = SyntheticApp(name="rt", table3=row, template=template)
+        chars = app.characteristics(64)
+        summary = summarize_trace(
+            app.synthetic_trace(64), num_processes=chars.num_processes
+        )
+        assert summary.characteristics == chars
+
+    def test_simulates_and_sweeps(self, template, row):
+        from repro.experiments.sweep import sweep_workload
+
+        app = SyntheticApp(name="sweepme", table3=row, template=template)
+        sweep = sweep_workload(app.workload(64))
+        assert len(sweep.entries) > 0
+
+
+class TestFromProfile:
+    def test_model_from_profiler_output(self, template, row):
+        from repro.apps import get_app
+
+        source = get_app("FLASHIO")
+        truth = source.characteristics(64)
+        summary = summarize_trace(
+            source.synthetic_trace(64), num_processes=truth.num_processes
+        )
+        app = SyntheticApp.from_profile("flash-clone", summary.characteristics)
+        clone = app.characteristics(64)
+        assert clone.data_bytes == truth.data_bytes
+        assert clone.interface == truth.interface
+
+    def test_default_table3(self, template):
+        app = SyntheticApp.from_profile("d", template)
+        assert app.table3.cpu == "M"

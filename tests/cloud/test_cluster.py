@@ -1,0 +1,65 @@
+"""Tests for cluster provisioning and placement accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.cluster import ClusterSpec, Placement, provision
+from repro.cloud.instances import get_instance_type
+
+CC2 = get_instance_type("cc2.8xlarge")
+
+
+class TestPlacement:
+    def test_short_codes_match_table4(self):
+        assert Placement.DEDICATED.short == "D"
+        assert Placement.PART_TIME.short == "P"
+
+
+class TestClusterSpec:
+    def test_dedicated_bills_extra_instances(self):
+        spec = ClusterSpec(CC2, compute_nodes=4, io_servers=2, placement=Placement.DEDICATED)
+        assert spec.total_instances == 6
+        assert spec.shared_nodes == 0
+
+    def test_part_time_bills_compute_only(self):
+        spec = ClusterSpec(CC2, compute_nodes=4, io_servers=2, placement=Placement.PART_TIME)
+        assert spec.total_instances == 4
+        assert spec.shared_nodes == 2
+
+    def test_part_time_cannot_exceed_nodes(self):
+        with pytest.raises(ValueError, match="part-time"):
+            ClusterSpec(CC2, compute_nodes=2, io_servers=4, placement=Placement.PART_TIME)
+
+    def test_dedicated_can_exceed_nodes(self):
+        spec = ClusterSpec(CC2, compute_nodes=1, io_servers=4, placement=Placement.DEDICATED)
+        assert spec.total_instances == 5
+
+    @pytest.mark.parametrize("nodes,servers", [(0, 1), (1, 0)])
+    def test_positive_counts_required(self, nodes, servers):
+        with pytest.raises(ValueError):
+            ClusterSpec(CC2, compute_nodes=nodes, io_servers=servers,
+                        placement=Placement.DEDICATED)
+
+
+class TestProvision:
+    def test_packs_one_rank_per_core(self):
+        spec = provision(CC2, num_processes=64, io_servers=1, placement=Placement.DEDICATED)
+        assert spec.compute_nodes == 4
+
+    def test_part_time_validation_flows_through(self):
+        with pytest.raises(ValueError):
+            provision(CC2, num_processes=16, io_servers=4, placement=Placement.PART_TIME)
+
+    @given(
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from(list(Placement)),
+    )
+    def test_part_time_never_costs_more_instances(self, processes, servers, placement):
+        """Core invariant behind the cost trade-off: part-time <= dedicated."""
+        try:
+            spec = provision(CC2, processes, servers, placement)
+        except ValueError:
+            return  # infeasible part-time combination
+        dedicated = provision(CC2, processes, servers, Placement.DEDICATED)
+        assert spec.total_instances <= dedicated.total_instances

@@ -1,0 +1,64 @@
+"""Tests for the instance-type catalog."""
+
+import pytest
+
+from repro.cloud.instances import INSTANCE_CATALOG, get_instance_type
+from repro.util.units import GIB
+
+
+class TestCatalog:
+    def test_paper_types_present(self):
+        assert {"cc1.4xlarge", "cc2.8xlarge"} <= set(INSTANCE_CATALOG)
+
+    def test_cc2_spec_matches_paper(self):
+        cc2 = get_instance_type("cc2.8xlarge")
+        # "two 8-core Intel Xeon processors and 60.5GB of memory ...
+        #  inter-connected with 10-Gigabit Ethernet" (Section 5.1)
+        assert cc2.cores == 16
+        assert cc2.memory_bytes == int(60.5 * GIB)
+        assert cc2.network_gbps == 10.0
+        # "local block storage with 4 x 840GB capacity" (Section 3.1)
+        assert cc2.local_disks == 4
+        assert cc2.local_disk_bytes == 840 * GIB
+
+    def test_cc1_is_smaller_and_cheaper(self):
+        cc1 = get_instance_type("cc1.4xlarge")
+        cc2 = get_instance_type("cc2.8xlarge")
+        assert cc1.cores < cc2.cores
+        assert cc1.hourly_price < cc2.hourly_price
+        assert cc1.local_disks < cc2.local_disks
+
+    def test_unknown_type_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="cc2.8xlarge"):
+            get_instance_type("m1.small")
+
+
+class TestNetworkBandwidth:
+    def test_effective_below_raw(self):
+        cc2 = get_instance_type("cc2.8xlarge")
+        raw = cc2.network_gbps * 1e9 / 8
+        assert 0.5 * raw < cc2.network_bytes_per_s < raw
+
+
+class TestNodesFor:
+    @pytest.mark.parametrize(
+        "processes,expected", [(1, 1), (16, 1), (17, 2), (64, 4), (256, 16)]
+    )
+    def test_full_packing_cc2(self, processes, expected):
+        assert get_instance_type("cc2.8xlarge").nodes_for(processes) == expected
+
+    def test_cc1_needs_twice_the_nodes(self):
+        cc1 = get_instance_type("cc1.4xlarge")
+        cc2 = get_instance_type("cc2.8xlarge")
+        assert cc1.nodes_for(64) == 2 * cc2.nodes_for(64)
+
+    def test_custom_ppn(self):
+        assert get_instance_type("cc2.8xlarge").nodes_for(64, processes_per_node=8) == 8
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ValueError):
+            get_instance_type("cc2.8xlarge").nodes_for(0)
+
+    def test_bad_ppn_rejected(self):
+        with pytest.raises(ValueError):
+            get_instance_type("cc2.8xlarge").nodes_for(4, processes_per_node=0)

@@ -1,0 +1,63 @@
+"""Tests for the cluster network model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.network import NetworkModel
+
+
+@pytest.fixture()
+def network() -> NetworkModel:
+    return NetworkModel(node_bytes_per_s=1e9)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(node_bytes_per_s=0.0)
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(ValueError):
+            NetworkModel(node_bytes_per_s=1e9, rtt_s=-1e-3)
+
+
+class TestTransferTime:
+    def test_zero_bytes_zero_time(self, network):
+        assert network.transfer_time(0, 4) == 0.0
+
+    def test_known_value(self, network):
+        assert network.transfer_time(2e9, 2) == pytest.approx(1.0)
+
+    def test_scales_inversely_with_endpoints(self, network):
+        assert network.transfer_time(1e9, 4) == pytest.approx(
+            network.transfer_time(1e9, 1) / 4
+        )
+
+    def test_rejects_bad_args(self, network):
+        with pytest.raises(ValueError):
+            network.transfer_time(-1, 1)
+        with pytest.raises(ValueError):
+            network.transfer_time(1, 0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e12),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_time_positive_and_monotone_in_bytes(self, nbytes, endpoints):
+        network = NetworkModel(node_bytes_per_s=1e9)
+        t = network.transfer_time(nbytes, endpoints)
+        assert t > 0
+        assert network.transfer_time(2 * nbytes, endpoints) > t
+
+
+class TestBackgroundShare:
+    def test_no_background_is_full_bandwidth(self, network):
+        assert network.effective_node_bandwidth(0.0) == network.node_bytes_per_s
+
+    def test_background_steals_proportionally(self, network):
+        assert network.effective_node_bandwidth(0.25) == pytest.approx(0.75e9)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_share_out_of_range_rejected(self, network, bad):
+        with pytest.raises(ValueError):
+            network.effective_node_bandwidth(bad)

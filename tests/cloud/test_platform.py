@@ -1,0 +1,39 @@
+"""Tests for the assembled CloudPlatform handle."""
+
+import pytest
+
+from repro.cloud.platform import DEFAULT_PLATFORM, CloudPlatform
+
+
+class TestCloudPlatform:
+    def test_default_has_paper_instances(self):
+        assert "cc2.8xlarge" in DEFAULT_PLATFORM.instances
+        assert "cc1.4xlarge" in DEFAULT_PLATFORM.instances
+
+    def test_instance_lookup(self):
+        assert DEFAULT_PLATFORM.instance_type("cc2.8xlarge").cores == 16
+
+    def test_network_for_instance(self):
+        cc2 = DEFAULT_PLATFORM.instance_type("cc2.8xlarge")
+        network = DEFAULT_PLATFORM.network_for(cc2)
+        assert network.node_bytes_per_s == cc2.network_bytes_per_s
+
+    def test_with_noise_toggles_without_mutating(self):
+        quiet = DEFAULT_PLATFORM.with_noise(False)
+        assert not quiet.variability.enabled
+        assert DEFAULT_PLATFORM.variability.enabled  # original untouched
+
+    def test_with_seed_copies(self):
+        other = DEFAULT_PLATFORM.with_seed(42)
+        assert other.seed == 42
+        assert other.seed != DEFAULT_PLATFORM.seed
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PLATFORM.seed = 1  # type: ignore[misc]
+
+    def test_custom_platform_name_flows_to_databases(self):
+        from repro.core.database import TrainingDatabase
+
+        platform = CloudPlatform(name="other-cloud")
+        assert TrainingDatabase(platform.name).platform_name == "other-cloud"

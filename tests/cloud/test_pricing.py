@@ -1,0 +1,84 @@
+"""Tests for the Eq. (1) pricing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.instances import get_instance_type
+from repro.cloud.pricing import SECONDS_PER_HOUR, PricingModel, run_cost
+
+
+@pytest.fixture()
+def pricing() -> PricingModel:
+    return PricingModel()
+
+
+class TestExactCost:
+    def test_equation_one(self, pricing):
+        # cost = time x instances x unit price, time in hours
+        assert pricing.exact_cost(3600.0, 5, 2.40) == pytest.approx(12.0)
+
+    def test_linear_in_all_factors(self, pricing):
+        base = pricing.exact_cost(100.0, 2, 1.30)
+        assert pricing.exact_cost(200.0, 2, 1.30) == pytest.approx(2 * base)
+        assert pricing.exact_cost(100.0, 4, 1.30) == pytest.approx(2 * base)
+        assert pricing.exact_cost(100.0, 2, 2.60) == pytest.approx(2 * base)
+
+    @pytest.mark.parametrize(
+        "seconds,instances,price", [(-1.0, 1, 1.0), (1.0, 0, 1.0), (1.0, 1, -0.5)]
+    )
+    def test_validation(self, pricing, seconds, instances, price):
+        with pytest.raises(ValueError):
+            pricing.exact_cost(seconds, instances, price)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6),
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_exactly_eq1(self, seconds, instances, price):
+        expected = seconds / SECONDS_PER_HOUR * instances * price
+        assert PricingModel().exact_cost(seconds, instances, price) == expected
+
+
+class TestBilledCost:
+    def test_rounds_up_to_whole_hours(self, pricing):
+        assert pricing.billed_cost(1.0, 1, 2.40) == pytest.approx(2.40)
+        assert pricing.billed_cost(3601.0, 1, 2.40) == pytest.approx(4.80)
+
+    def test_minimum_one_hour(self, pricing):
+        assert pricing.billed_cost(0.0, 3, 1.0) == pytest.approx(3.0)
+
+    def test_exact_when_granularity_disabled(self):
+        pricing = PricingModel(hourly_granularity=False)
+        assert pricing.billed_cost(1800.0, 2, 2.0) == pricing.exact_cost(1800.0, 2, 2.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e5), st.integers(min_value=1, max_value=20))
+    def test_billed_at_least_exact(self, seconds, instances):
+        pricing = PricingModel()
+        assert (
+            pricing.billed_cost(seconds, instances, 2.4)
+            >= pricing.exact_cost(seconds, instances, 2.4) - 1e-9
+        )
+
+
+class TestResidual:
+    def test_residual_complements_run_time(self, pricing):
+        # a 30-minute run leaves 30 minutes of paid residual time — the
+        # window for piggy-backed IOR training runs (Section 2)
+        assert pricing.residual_seconds(1800.0) == pytest.approx(1800.0)
+
+    def test_exact_hour_leaves_nothing(self, pricing):
+        assert pricing.residual_seconds(3600.0) == pytest.approx(0.0)
+
+    def test_no_residual_without_granularity(self):
+        assert PricingModel(hourly_granularity=False).residual_seconds(10.0) == 0.0
+
+    def test_negative_rejected(self, pricing):
+        with pytest.raises(ValueError):
+            pricing.residual_seconds(-1.0)
+
+
+class TestRunCost:
+    def test_uses_instance_price(self):
+        cc2 = get_instance_type("cc2.8xlarge")
+        assert run_cost(3600.0, 2, cc2) == pytest.approx(2 * cc2.hourly_price)

@@ -1,0 +1,88 @@
+"""Tests for storage device models and RAID-0 aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.storage import (
+    DEVICE_CATALOG,
+    RAID0_EFFICIENCY,
+    DeviceKind,
+    Raid0Array,
+    get_device_model,
+)
+
+
+class TestCatalog:
+    def test_all_kinds_modelled(self):
+        assert set(DEVICE_CATALOG) == set(DeviceKind)
+
+    def test_lookup_accepts_enum_and_string(self):
+        assert get_device_model(DeviceKind.EBS) is get_device_model("EBS")
+        assert get_device_model("ephemeral").kind is DeviceKind.EPHEMERAL
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            get_device_model("floppy")
+
+    def test_ephemeral_streams_faster_than_ebs(self):
+        """The paper's observation 3 rests on this per-volume ordering."""
+        ebs = get_device_model(DeviceKind.EBS)
+        eph = get_device_model(DeviceKind.EPHEMERAL)
+        assert eph.write_bytes_per_s > ebs.write_bytes_per_s
+        assert eph.read_bytes_per_s > ebs.read_bytes_per_s
+
+    def test_only_ebs_is_network_attached(self):
+        assert get_device_model(DeviceKind.EBS).network_attached
+        assert not get_device_model(DeviceKind.EPHEMERAL).network_attached
+        assert not get_device_model(DeviceKind.SSD).network_attached
+
+    def test_ebs_is_noisier(self):
+        """Multi-tenant EBS shows the paper's 'highly variable performance'."""
+        assert (
+            get_device_model(DeviceKind.EBS).sigma
+            > get_device_model(DeviceKind.EPHEMERAL).sigma
+        )
+
+    def test_bandwidth_selector(self):
+        device = get_device_model(DeviceKind.EPHEMERAL)
+        assert device.bandwidth(is_write=True) == device.write_bytes_per_s
+        assert device.bandwidth(is_write=False) == device.read_bytes_per_s
+
+
+class TestRaid0:
+    def test_single_member_is_identity(self):
+        device = get_device_model(DeviceKind.EPHEMERAL)
+        array = Raid0Array(device=device, members=1)
+        assert array.bandwidth(True) == device.write_bytes_per_s
+        assert array.latency_s == device.latency_s
+        assert array.sigma == device.sigma
+
+    def test_two_members_nearly_double(self):
+        device = get_device_model(DeviceKind.EBS)
+        array = Raid0Array(device=device, members=2)
+        expected = 2 * device.write_bytes_per_s * RAID0_EFFICIENCY
+        assert array.bandwidth(True) == pytest.approx(expected)
+
+    def test_zero_members_rejected(self):
+        with pytest.raises(ValueError):
+            Raid0Array(device=get_device_model(DeviceKind.EBS), members=0)
+
+    @given(st.integers(min_value=1, max_value=7))
+    def test_more_members_more_bandwidth(self, members):
+        device = get_device_model(DeviceKind.EPHEMERAL)
+        smaller = Raid0Array(device=device, members=members)
+        larger = Raid0Array(device=device, members=members + 1)
+        assert larger.bandwidth(True) > smaller.bandwidth(True)
+        assert larger.bandwidth(False) > smaller.bandwidth(False)
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_aggregation_sublinear(self, members):
+        device = get_device_model(DeviceKind.EPHEMERAL)
+        array = Raid0Array(device=device, members=members)
+        assert array.bandwidth(True) <= members * device.write_bytes_per_s + 1e-9
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_noise_damped_by_striping(self, members):
+        device = get_device_model(DeviceKind.EBS)
+        array = Raid0Array(device=device, members=members)
+        assert array.sigma <= device.sigma

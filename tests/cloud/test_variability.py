@@ -1,0 +1,67 @@
+"""Tests for the multi-tenant variability model and fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.variability import FaultInjector, VariabilityModel
+from repro.util.rng import RngStream
+
+
+class TestVariabilityModel:
+    def test_disabled_is_exactly_one(self):
+        model = VariabilityModel(enabled=False)
+        assert model.factor(RngStream(1), 0.5) == 1.0
+
+    def test_deterministic_under_same_stream(self):
+        model = VariabilityModel()
+        assert model.factor(RngStream(3, "a")) == model.factor(RngStream(3, "a"))
+
+    def test_component_sigma_composes(self):
+        """Larger component sigma spreads the factor distribution wider."""
+        model = VariabilityModel(tenant_sigma=0.05)
+        narrow = [model.factor(RngStream(7, i), 0.0) for i in range(800)]
+        wide = [model.factor(RngStream(7, i), 0.5) for i in range(800)]
+        assert np.std(np.log(wide)) > np.std(np.log(narrow))
+
+    def test_unit_median(self):
+        model = VariabilityModel(tenant_sigma=0.2)
+        draws = [model.factor(RngStream(11, i)) for i in range(2001)]
+        assert np.median(draws) == pytest.approx(1.0, rel=0.05)
+
+    def test_factors_always_positive(self):
+        model = VariabilityModel(tenant_sigma=0.5)
+        assert all(model.factor(RngStream(13, i), 0.4) > 0 for i in range(100))
+
+
+class TestFaultInjector:
+    def test_disabled_never_fails(self):
+        injector = FaultInjector(enabled=False, rate_per_hour=1000.0)
+        assert not injector.failed(RngStream(1), 3600.0)
+
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector(enabled=True, rate_per_hour=0.0)
+        assert not injector.failed(RngStream(1), 3600.0)
+
+    def test_apply_passthrough_when_ok(self):
+        injector = FaultInjector(enabled=False)
+        seconds, failed = injector.apply(RngStream(1), 100.0)
+        assert seconds == 100.0 and not failed
+
+    def test_high_rate_mostly_fails_long_runs(self):
+        """~1 failure/hour (observation 5) makes hour-long runs risky."""
+        injector = FaultInjector(enabled=True, rate_per_hour=1.0)
+        failures = sum(
+            injector.failed(RngStream(17, i), 3600.0) for i in range(200)
+        )
+        assert failures > 150
+
+    def test_short_runs_rarely_fail(self):
+        injector = FaultInjector(enabled=True, rate_per_hour=1.0)
+        failures = sum(injector.failed(RngStream(19, i), 10.0) for i in range(200))
+        assert failures < 10
+
+    def test_retry_inflates_time(self):
+        injector = FaultInjector(enabled=True, rate_per_hour=1e9, retry_overhead=1.15)
+        seconds, failed = injector.apply(RngStream(23), 100.0)
+        assert failed
+        assert seconds == pytest.approx(215.0)

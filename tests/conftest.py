@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+The expensive pipeline (PB screening + top-10 IOR training + sweeps) is
+built once per session via :func:`repro.experiments.context.default_context`,
+which is process-memoized; experiment tests share it.  A quieter platform
+(noise disabled) is provided for tests asserting exact analytic relations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.platform import DEFAULT_PLATFORM, CloudPlatform
+from repro.experiments.context import AcicContext, default_context
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import MIB
+
+
+@pytest.fixture(scope="session")
+def platform() -> CloudPlatform:
+    """The default simulated EC2 platform (noise on)."""
+    return DEFAULT_PLATFORM
+
+
+@pytest.fixture(scope="session")
+def quiet_platform() -> CloudPlatform:
+    """Deterministic platform with multi-tenant noise disabled."""
+    return DEFAULT_PLATFORM.with_noise(False)
+
+
+@pytest.fixture(scope="session")
+def context() -> AcicContext:
+    """The trained ACIC pipeline (shared, memoized)."""
+    return default_context()
+
+
+@pytest.fixture()
+def simple_chars() -> AppCharacteristics:
+    """A small, valid application-characteristics point."""
+    return AppCharacteristics(
+        num_processes=64,
+        num_io_processes=64,
+        interface=IOInterface.MPIIO,
+        iterations=10,
+        data_bytes=16 * MIB,
+        request_bytes=4 * MIB,
+        op=OpKind.WRITE,
+        collective=True,
+        shared_file=True,
+    )
+
+
+@pytest.fixture()
+def posix_chars() -> AppCharacteristics:
+    """An independent POSIX read profile (mpiBLAST-flavoured)."""
+    return AppCharacteristics(
+        num_processes=128,
+        num_io_processes=64,
+        interface=IOInterface.POSIX,
+        iterations=4,
+        data_bytes=128 * MIB,
+        request_bytes=1 * MIB,
+        op=OpKind.READ,
+        collective=False,
+        shared_file=False,
+    )

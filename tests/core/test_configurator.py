@@ -1,0 +1,106 @@
+"""Tests for the ACIC query engine."""
+
+import pytest
+
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.space.grid import candidate_configs
+
+
+@pytest.fixture(scope="module")
+def trained(context):
+    return context.model(Goal.PERFORMANCE)
+
+
+class TestTraining:
+    def test_untrained_query_rejected(self, context, simple_chars):
+        acic = Acic(context.database)
+        with pytest.raises(RuntimeError, match="train"):
+            acic.recommend(simple_chars)
+
+    def test_empty_database_rejected(self):
+        acic = Acic(TrainingDatabase())
+        with pytest.raises(ValueError):
+            acic.train()
+
+    def test_train_returns_self(self, context):
+        acic = Acic(context.database, learner_name="ridge")
+        assert acic.train() is acic
+
+
+class TestRecommend:
+    def test_top_k_ordering(self, trained, simple_chars):
+        recommendations = trained.recommend(simple_chars, top_k=5)
+        assert len(recommendations) == 5
+        scores = [r.predicted_improvement for r in recommendations]
+        assert scores == sorted(scores, reverse=True)
+        assert [r.rank for r in recommendations] == [1, 2, 3, 4, 5]
+
+    def test_top_k_validation(self, trained, simple_chars):
+        with pytest.raises(ValueError):
+            trained.recommend(simple_chars, top_k=0)
+
+    def test_recommendations_are_valid_candidates(self, trained, simple_chars):
+        keys = {c.key for c in candidate_configs(simple_chars)}
+        for rec in trained.recommend(simple_chars, top_k=10):
+            assert rec.config.key in keys
+
+    def test_placement_feasibility_respected(self, trained, simple_chars):
+        """Small jobs must never be recommended infeasible part-time setups."""
+        small = simple_chars.scaled(32)
+        keys = {c.key for c in candidate_configs(small)}
+        for rec in trained.recommend(small, top_k=20):
+            assert rec.config.key in keys
+
+    def test_deterministic(self, trained, simple_chars):
+        a = [r.config.key for r in trained.recommend(simple_chars, top_k=3)]
+        b = [r.config.key for r in trained.recommend(simple_chars, top_k=3)]
+        assert a == b
+
+    def test_predictions_positive(self, trained, simple_chars):
+        for rec in trained.recommend(simple_chars, top_k=10):
+            assert rec.predicted_improvement > 0
+
+
+class TestCoChampions:
+    def test_group_ids_follow_score_ties(self, trained, simple_chars):
+        recommendations = trained.recommend(simple_chars, top_k=10)
+        for earlier, later in zip(recommendations, recommendations[1:]):
+            same_score = abs(
+                earlier.predicted_improvement - later.predicted_improvement
+            ) <= 1e-9
+            assert (earlier.co_champion_group == later.co_champion_group) == same_score
+
+    def test_co_champions_share_best_score(self, trained, simple_chars):
+        champions = trained.co_champions(simple_chars)
+        assert len(champions) >= 1
+        best = trained.recommend(simple_chars, top_k=1)[0]
+        scores = {
+            trained.predict_improvement(simple_chars, c) for c in champions
+        }
+        assert len(scores) == 1
+        assert scores.pop() == pytest.approx(best.predicted_improvement)
+
+
+class TestGoalSeparation:
+    def test_cost_and_perf_models_differ(self, context, simple_chars):
+        perf = context.model(Goal.PERFORMANCE)
+        cost = context.model(Goal.COST)
+        perf_pick = perf.recommend(simple_chars, top_k=1)[0]
+        cost_score_of_perf_pick = cost.predict_improvement(
+            simple_chars, perf_pick.config
+        )
+        # the models are distinct objects answering distinct questions
+        assert perf is not cost
+        assert cost_score_of_perf_pick > 0
+
+    def test_pluggable_learners(self, context, simple_chars):
+        for learner_name in ("knn", "ridge"):
+            acic = Acic(
+                context.database,
+                learner_name=learner_name,
+                feature_names=tuple(context.screening.ranked_names()[:10]),
+            ).train()
+            recommendations = acic.recommend(simple_chars, top_k=1)
+            assert recommendations[0].predicted_improvement > 0

@@ -1,0 +1,58 @@
+"""Tests for goals and improvement metrics (Eqs. 2-3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.objectives import Goal, cost_saving, improvement, speedup
+
+positive = st.floats(min_value=1e-6, max_value=1e9, allow_nan=False)
+
+
+class TestGoal:
+    def test_metric_selector(self):
+        assert Goal.PERFORMANCE.metric_of(10.0, 2.0) == 10.0
+        assert Goal.COST.metric_of(10.0, 2.0) == 2.0
+
+    def test_string_round_trip(self):
+        assert Goal("performance") is Goal.PERFORMANCE
+        assert Goal("cost") is Goal.COST
+
+
+class TestImprovement:
+    def test_better_is_above_one(self):
+        assert improvement(100.0, 50.0) == 2.0
+
+    def test_worse_is_below_one(self):
+        assert improvement(50.0, 100.0) == 0.5
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+        with pytest.raises(ValueError):
+            improvement(1.0, -1.0)
+
+    @given(positive, positive)
+    def test_reciprocal_symmetry(self, a, b):
+        assert improvement(a, b) * improvement(b, a) == pytest.approx(1.0)
+
+
+class TestSpeedupAndSaving:
+    def test_eq2(self):
+        # speedup = time_ref / time_ACIC
+        assert speedup(300.0, 100.0) == pytest.approx(3.0)
+
+    def test_eq3(self):
+        # saving = (cost_ref - cost_ACIC) / cost_ref
+        assert cost_saving(4.0, 1.0) == pytest.approx(0.75)
+
+    def test_negative_saving_possible(self):
+        """The paper's FLASHIO-64 case: ACIC costlier than baseline."""
+        assert cost_saving(1.0, 1.4) == pytest.approx(-0.4)
+
+    def test_saving_needs_positive_reference(self):
+        with pytest.raises(ValueError):
+            cost_saving(0.0, 1.0)
+
+    @given(positive, positive)
+    def test_saving_bounded_above_by_one(self, ref, acic):
+        assert cost_saving(ref, acic) < 1.0

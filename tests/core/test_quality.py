@@ -1,0 +1,101 @@
+"""Tests for training-database quality checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.database import TrainingDatabase, TrainingRecord
+from repro.core.quality import check_database, render_report
+from repro.ml.encoding import point_values
+from repro.space.configuration import BASELINE_CONFIG
+
+
+def record(chars, config=BASELINE_CONFIG, *, perf=2.0, epoch=0, source="t"):
+    return TrainingRecord(
+        values=point_values(config, chars),
+        seconds=10.0,
+        cost=0.5,
+        perf_improvement=perf,
+        cost_improvement=1.5,
+        epoch=epoch,
+        source=source,
+    )
+
+
+class TestCheckDatabase:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_database(TrainingDatabase())
+
+    def test_counts_and_sources(self, simple_chars):
+        db = TrainingDatabase()
+        db.add(record(simple_chars, epoch=1, source="alice"))
+        db.add(record(simple_chars, epoch=2, source="bob"))
+        report = check_database(db)
+        assert report.records == 2
+        assert report.epochs == {1: 1, 2: 1}
+        assert report.sources == {"alice": 1, "bob": 1}
+
+    def test_coverage_flags_unswept_dimensions(self, simple_chars):
+        db = TrainingDatabase()
+        db.add(record(simple_chars))
+        report = check_database(db)
+        # a single point cannot cover multi-valued dimensions
+        incomplete = [c for c in report.coverage if not c.complete]
+        assert incomplete
+        assert not report.fully_covered
+
+    def test_full_pipeline_coverage(self, context):
+        report = check_database(context.database)
+        # the top-10 campaign fully covers the swept dimensions...
+        by_name = {c.name: c for c in report.coverage}
+        for name in context.screening.ranked_names()[:6]:
+            assert by_name[name].complete, name
+        # ...and no outliers: the simulator measures cleanly
+        assert report.outlier_fraction < 0.01
+
+    def test_duplicate_locations_counted(self, simple_chars):
+        db = TrainingDatabase()
+        db.add(record(simple_chars, epoch=0))
+        db.add(record(simple_chars, epoch=1))  # same location, new epoch
+        report = check_database(db)
+        assert report.duplicate_locations == 1
+
+
+class TestOutliers:
+    def test_flags_corrupt_measurement(self, simple_chars):
+        db = TrainingDatabase()
+        for epoch in range(6):
+            db.add(record(simple_chars, perf=2.0 + 0.01 * epoch, epoch=epoch))
+        db.add(record(simple_chars, perf=500.0, epoch=99, source="corrupt"))
+        report = check_database(db)
+        assert len(report.outliers) == 1
+
+    def test_consistent_repeats_not_flagged(self, simple_chars):
+        db = TrainingDatabase()
+        for epoch in range(6):
+            db.add(record(simple_chars, perf=2.0 + 0.02 * epoch, epoch=epoch))
+        assert check_database(db).outliers == ()
+
+    def test_small_groups_skipped(self, simple_chars):
+        db = TrainingDatabase()
+        db.add(record(simple_chars, perf=2.0, epoch=0))
+        db.add(record(simple_chars, perf=500.0, epoch=1))
+        assert check_database(db).outliers == ()
+
+
+class TestRender:
+    def test_render_mentions_key_facts(self, simple_chars):
+        db = TrainingDatabase()
+        db.add(record(simple_chars))
+        text = render_report(check_database(db))
+        assert "database audit" in text
+        assert "coverage" in text or "covered" in text
+
+    def test_cli_dbcheck(self, context, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        context.database.save(path)
+        assert main(["dbcheck", "--db", str(path)]) == 0
+        assert "database audit: 7920 records" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Tests for PB-guided training plans and collection."""
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.training import (
+    DEFAULT_FIXED_VALUES,
+    TrainingCollector,
+    TrainingPlan,
+)
+from repro.space.parameters import PARAMETERS
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    from repro.pb.ranking import screen_parameters
+
+    return screen_parameters().ranked_names()
+
+
+class TestPlanBuild:
+    def test_requires_full_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            TrainingPlan.build(["data_bytes"], 1)
+
+    def test_top_m_bounds(self, ranked):
+        with pytest.raises(ValueError):
+            TrainingPlan.build(ranked, 0)
+        with pytest.raises(ValueError):
+            TrainingPlan.build(ranked, 16)
+
+    def test_plan_grows_with_m(self, ranked):
+        sizes = [TrainingPlan.build(ranked, m).size for m in (3, 5, 7)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 2
+
+    def test_dedup_below_raw_size(self, ranked):
+        plan = TrainingPlan.build(ranked, 7)
+        assert plan.size <= TrainingPlan.raw_grid_size(ranked, 7)
+
+    def test_points_unique(self, ranked):
+        plan = TrainingPlan.build(ranked, 6)
+        fingerprints = {tuple(sorted((k, str(v)) for k, v in p.items()))
+                        for p in plan.points}
+        assert len(fingerprints) == plan.size
+
+    def test_untrained_dimensions_pinned_to_defaults(self, ranked):
+        plan = TrainingPlan.build(ranked, 3)
+        untrained = set(ranked[3:])
+        for point in plan.points[:20]:
+            for name in untrained:
+                default = DEFAULT_FIXED_VALUES[name]
+                value = point[name]
+                # NFS normalization may null the stripe, and clamping may
+                # cap request size; everything else must equal the default
+                if name in ("stripe_bytes", "request_bytes", "io_servers",
+                            "num_io_processes", "collective"):
+                    continue
+                assert str(value) == str(default), (name, value, default)
+
+    def test_trained_dimension_covers_all_values(self, ranked):
+        plan = TrainingPlan.build(ranked, 4)
+        top = plan.trained_names[0]
+        values = {str(point[top]) for point in plan.points}
+        expected = {
+            str(v) for v in next(p for p in PARAMETERS if p.name == top).values
+        }
+        # validity clamping can merge values only for request/io dims
+        assert values == expected or values < expected
+
+    def test_fixed_value_override(self, ranked):
+        plan = TrainingPlan.build(ranked, 2, fixed_values={"iterations": 1})
+        if "iterations" not in plan.trained_names:
+            assert all(p["iterations"] == 1 for p in plan.points)
+
+    def test_raw_grid_size_is_product(self, ranked):
+        expected = 1
+        for name in ranked[:5]:
+            expected *= len(next(p for p in PARAMETERS if p.name == name).values)
+        assert TrainingPlan.raw_grid_size(ranked, 5) == expected
+
+
+class TestCollector:
+    def test_collect_populates_database(self, ranked, platform):
+        db = TrainingDatabase(platform.name)
+        collector = TrainingCollector(db, platform=platform)
+        plan = TrainingPlan.build(ranked, 3)
+        campaign = collector.collect(plan)
+        assert campaign.new_records == len(db) == plan.size
+        assert campaign.run_seconds > 0 and campaign.run_cost > 0
+
+    def test_epochs_autoincrement(self, ranked, platform):
+        db = TrainingDatabase(platform.name)
+        collector = TrainingCollector(db, platform=platform)
+        collector.collect(TrainingPlan.build(ranked, 2))
+        collector.collect(TrainingPlan.build(ranked, 3), source="later")
+        epochs = {r.epoch for r in db}
+        assert epochs == {1, 2}
+
+    def test_explicit_epoch(self, ranked, platform):
+        db = TrainingDatabase(platform.name)
+        collector = TrainingCollector(db, platform=platform)
+        collector.collect(TrainingPlan.build(ranked, 2), epoch=7)
+        assert {r.epoch for r in db} == {7}
+
+    def test_recollect_same_plan_adds_nothing_new(self, ranked, platform):
+        db = TrainingDatabase(platform.name)
+        collector = TrainingCollector(db, platform=platform)
+        plan = TrainingPlan.build(ranked, 2)
+        collector.collect(plan, epoch=1)
+        second = collector.collect(plan, epoch=1)
+        assert second.new_records == 0
+
+    def test_estimate_cost_extrapolates(self, ranked, platform):
+        db = TrainingDatabase(platform.name)
+        collector = TrainingCollector(db, platform=platform)
+        campaign = collector.collect(TrainingPlan.build(ranked, 3))
+        estimate = collector.estimate_cost(10 * campaign.plan.size, campaign)
+        assert estimate == pytest.approx(10 * campaign.run_cost)
+
+    def test_estimate_cost_validation(self, ranked, platform):
+        db = TrainingDatabase(platform.name)
+        collector = TrainingCollector(db, platform=platform)
+        campaign = collector.collect(TrainingPlan.build(ranked, 2))
+        with pytest.raises(ValueError):
+            collector.estimate_cost(-1, campaign)
+
+
+class TestDefaults:
+    def test_defaults_cover_all_dimensions(self):
+        assert set(DEFAULT_FIXED_VALUES) == {p.name for p in PARAMETERS}
+
+    def test_default_scale_maximizes_io_process_sweep(self):
+        """np defaults to the space maximum so the rank-4 nio dimension
+        sweeps unclamped."""
+        assert DEFAULT_FIXED_VALUES["num_processes"] == 256

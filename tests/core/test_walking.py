@@ -1,0 +1,101 @@
+"""Tests for PB-guided and random space walking."""
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.core.walking import SpaceWalker
+from repro.space.grid import candidate_configs
+from repro.space.parameters import SYSTEM_PARAMETERS
+from repro.space.validity import is_valid_point
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    from repro.pb.ranking import screen_parameters
+
+    return screen_parameters().ranked_names()
+
+
+class TestPbWalk:
+    def test_walks_every_system_dimension(self, platform, ranked, simple_chars):
+        walker = SpaceWalker(platform=platform)
+        result = walker.pb_walk(simple_chars, ranked)
+        assert set(result.order) == {p.name for p in SYSTEM_PARAMETERS}
+
+    def test_order_follows_ranking(self, platform, ranked, simple_chars):
+        walker = SpaceWalker(platform=platform)
+        result = walker.pb_walk(simple_chars, ranked)
+        expected = [n for n in ranked if n in {p.name for p in SYSTEM_PARAMETERS}]
+        assert list(result.order) == expected
+
+    def test_result_config_is_valid(self, platform, ranked, simple_chars):
+        walker = SpaceWalker(platform=platform)
+        result = walker.pb_walk(simple_chars, ranked)
+        assert is_valid_point(result.config, simple_chars)
+
+    def test_trajectory_records_decided_steps(self, platform, ranked, simple_chars):
+        result = SpaceWalker(platform=platform).pb_walk(simple_chars, ranked)
+        assert 1 <= len(result.trajectory) <= len(result.order)
+        assert {name for name, _, _ in result.trajectory} <= set(result.order)
+        for name, value, metric in result.trajectory:
+            assert metric > 0
+
+    def test_masked_dimensions_deferred_not_locked(self, platform, ranked, simple_chars):
+        """The I/O-server count must be decided under PVFS2, not while the
+        walking state still says NFS (where all its probes collapse)."""
+        walker = SpaceWalker(platform=platform)
+        result = walker.pb_walk(simple_chars, ranked)
+        decided = [name for name, _, _ in result.trajectory]
+        if "io_servers" in decided and "file_system" in decided:
+            assert decided.index("io_servers") > decided.index("file_system")
+
+    def test_probes_deduplicated(self, platform, ranked, simple_chars):
+        result = SpaceWalker(platform=platform).pb_walk(simple_chars, ranked)
+        keys = [obs.config.key for obs in result.probes]
+        assert len(keys) == len(set(keys))
+        assert result.probe_cost > 0 and result.probe_seconds > 0
+
+    def test_walk_never_ends_worse_than_baseline_probe(self, platform, ranked, simple_chars):
+        """Greedy walking starts at the baseline, so the final pick's
+        probed metric cannot exceed the baseline probe's."""
+        walker = SpaceWalker(platform=platform, goal=Goal.PERFORMANCE)
+        result = walker.pb_walk(simple_chars, ranked)
+        by_key = {obs.config.key: obs.seconds for obs in result.probes}
+        final = by_key[result.config.key]
+        assert final <= min(by_key.values()) + 1e-9
+
+    def test_walk_is_much_cheaper_than_a_sweep(self, platform, ranked, simple_chars):
+        result = SpaceWalker(platform=platform).pb_walk(simple_chars, ranked)
+        assert len(result.probes) < len(candidate_configs(simple_chars))
+
+
+class TestRandomWalk:
+    def test_seeded_determinism(self, platform, simple_chars):
+        walker = SpaceWalker(platform=platform)
+        a = walker.random_walk(simple_chars, seed_index=0)
+        b = walker.random_walk(simple_chars, seed_index=0)
+        assert a.order == b.order and a.config.key == b.config.key
+
+    def test_different_seeds_usually_differ(self, platform, simple_chars):
+        walker = SpaceWalker(platform=platform)
+        orders = {walker.random_walk(simple_chars, seed_index=i).order for i in range(5)}
+        assert len(orders) > 1
+
+    def test_covers_system_dimensions(self, platform, simple_chars):
+        result = SpaceWalker(platform=platform).random_walk(simple_chars, 1)
+        assert set(result.order) == {p.name for p in SYSTEM_PARAMETERS}
+
+
+class TestDatabaseRecycling:
+    def test_probes_feed_shared_database(self, platform, ranked, simple_chars):
+        db = TrainingDatabase(platform.name)
+        walker = SpaceWalker(platform=platform, database=db)
+        result = walker.pb_walk(simple_chars, ranked)
+        assert len(db) == len(result.probes)
+        assert all(r.source == "walk" for r in db)
+
+    def test_cost_goal_walk(self, platform, ranked, simple_chars):
+        walker = SpaceWalker(platform=platform, goal=Goal.COST)
+        result = walker.pb_walk(simple_chars, ranked)
+        assert is_valid_point(result.config, simple_chars)

@@ -1,0 +1,264 @@
+"""Structural tests for every regenerated paper artifact.
+
+These assert the *shape* claims of the reproduction: who wins, rough
+factors, monotonicities — not absolute numbers (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_motivation,
+    fig5_performance,
+    fig6_cost,
+    fig7_topk,
+    fig8_training_cost,
+    fig9_walking,
+    fig10_userstudy,
+    observations,
+    tab1_ranking,
+    tab2_pb_demo,
+    tab4_optimal,
+)
+from repro.experiments.context import NINE_RUNS
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig1_motivation.run(context.platform)
+
+    def test_six_series_over_six_scales(self, result):
+        assert len(result.seconds) == 6
+        assert result.scales == (16, 36, 64, 81, 100, 121)
+
+    def test_time_decreases_with_scale(self, result):
+        """Strong scaling: 121 processes beat 16 for every config."""
+        for series in result.seconds.values():
+            measured = [v for v in series if v is not None]
+            assert measured[-1] < measured[0]
+
+    def test_no_single_config_wins_everywhere(self, result):
+        """The motivating claim: winners change across scales."""
+        winners = set()
+        for i, _scale in enumerate(result.scales):
+            candidates = {
+                label: series[i]
+                for label, series in result.seconds.items()
+                if series[i] is not None
+            }
+            winners.add(min(candidates, key=candidates.get))
+        assert len(winners) > 1
+
+    def test_pvfs4_dedicated_most_expensive_at_small_scale(self, result):
+        """Matches the paper's Fig. 1(b): extra dedicated servers dominate
+        cost for small jobs."""
+        costs_at_16 = {
+            label: series[0]
+            for label, series in result.cost.items()
+            if series[0] is not None
+        }
+        assert max(costs_at_16, key=costs_at_16.get) == "pvfs.4.D.eph"
+
+    def test_render_mentions_both_panels(self, result):
+        text = fig1_motivation.render(result)
+        assert "Figure 1(a)" in text and "Figure 1(b)" in text
+
+
+class TestTab1:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return tab1_ranking.run(context.platform)
+
+    def test_full_ranking(self, result):
+        assert sorted(result.measured_ranks.values()) == list(range(1, 16))
+
+    def test_positive_rank_correlation_with_paper(self, result):
+        assert result.spearman > 0.0
+
+    def test_top7_overlap_majority(self, result):
+        assert result.top_k_overlap >= 4
+
+    def test_render(self, result):
+        assert "Spearman" in tab1_ranking.render(result)
+
+
+class TestTab2:
+    def test_exact_paper_match(self):
+        result = tab2_pb_demo.run()
+        assert result.matches_paper
+        assert result.effects == (40.0, 4.0, 48.0, 152.0, 28.0)
+        assert result.ranks == (3, 5, 2, 1, 4)
+
+
+class TestTab4:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return tab4_optimal.run(context)
+
+    def test_all_nine_runs(self, result):
+        assert len(result.rows) == 9
+
+    def test_no_one_size_fits_all(self, result):
+        assert result.unique_optima >= 3
+
+    def test_majority_column_agreement_with_paper(self, result):
+        assert result.mean_agreement >= 2.5
+
+    def test_ephemeral_dominates_optima(self, result):
+        """8 of the paper's 9 optima use ephemeral disks."""
+        ephemeral = sum(1 for row in result.rows if row.cells[0] == "ephemeral")
+        assert ephemeral >= 6
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig5_performance.run(context)
+
+    def test_acic_beats_median_everywhere(self, result):
+        assert all(row.speedup_m >= 1.0 for row in result.rows)
+
+    def test_acic_near_optimal(self, result):
+        """The black dot sits near the bottom of the gray spectrum."""
+        for row in result.rows:
+            assert row.rank <= len(row.candidate_seconds) // 2
+
+    def test_headline_speedup_in_paper_ballpark(self, result):
+        assert 1.5 <= result.geometric_mean_b <= 6.0  # paper: 3.0
+
+    def test_acic_bounded_by_optimal(self, result):
+        for row in result.rows:
+            assert row.acic_seconds >= row.optimal_seconds - 1e-9
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig6_cost.run(context)
+
+    def test_headline_saving_in_paper_ballpark(self, result):
+        assert 35.0 <= result.mean_saving_b_pct <= 75.0  # paper: 53%
+
+    def test_savings_over_median_positive(self, result):
+        assert all(row.saving_m_pct > 0 for row in result.rows)
+
+    def test_rows_cover_nine_runs(self, result):
+        assert [(r.app, r.np) for r in result.rows] == list(NINE_RUNS)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig7_topk.run(context)
+
+    def test_improvement_monotone_in_k(self, result):
+        for row in result.time_rows + result.cost_rows:
+            assert row.monotone
+
+    def test_all_candidates_is_the_optimum(self, result):
+        """The last column equals the best achievable improvement."""
+        for row in result.time_rows:
+            assert row.improvements[-1] >= row.improvements[0]
+
+    def test_little_gain_beyond_top3(self, result):
+        assert result.gain_beyond_top3 < 5.0
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig8_training_cost.run(context)
+
+    def test_levels_7_to_15(self, result):
+        assert [level.top_m for level in result.levels] == list(range(7, 16))
+
+    def test_training_cost_grows(self, result):
+        costs = result.costs()
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_measured_up_to_ten_estimated_beyond(self, result):
+        for level in result.levels:
+            assert level.estimated == (level.top_m > 10)
+
+    def test_more_dimensions_never_much_worse(self, result):
+        """Saving at 10 dims >= saving at 7 dims (per sample run), within
+        a small tolerance for CART tie-breaking."""
+        first, last = result.levels[0], result.levels[3]
+        for run_id, saving in last.savings_pct.items():
+            assert saving >= first.savings_pct[run_id] - 5.0
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig9_walking.run(context)
+
+    def test_cart_wins_majority(self, result):
+        assert result.cart_wins >= 6  # paper: consistently best
+
+    def test_cart_best_on_aggregate(self, result):
+        random_mean, pb_mean, cart_mean = result.mean_savings
+        assert cart_mean >= pb_mean and cart_mean >= random_mean
+
+    def test_pb_walk_comparable_or_better_than_random(self, result):
+        assert result.pb_beats_random >= 4
+
+    def test_random_range_brackets_mean(self, result):
+        for row in result.rows:
+            assert row.random_min <= row.random_mean <= row.random_max
+
+    def test_random_walk_is_erratic(self, result):
+        """Error bars exist: at least one run shows real spread."""
+        assert any(row.random_max - row.random_min > 5.0 for row in result.rows)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig10_userstudy.run(context)
+
+    def test_six_test_groups(self, result):
+        assert len(result.cells) == 6
+
+    def test_acic_beats_single_manual_picks_on_average(self, result):
+        assert result.acic_beats_user_by > 0
+        assert result.acic_beats_dev_by > -1.0  # dev is an expert; near-tie ok
+
+    def test_top3_never_worse_than_top1(self, result):
+        for cell in result.cells:
+            assert cell.user3 >= cell.user - 1e-9
+            assert cell.dev3 >= cell.dev - 1e-9
+
+    def test_dev_knows_more_than_user(self, result):
+        """The developer's domain knowledge shows (paper: Dev beats User)."""
+        dev_mean = sum(c.dev for c in result.cells) / 6
+        user_mean = sum(c.user for c in result.cells) / 6
+        assert dev_mean >= user_mean
+
+
+class TestObservations:
+    def test_all_four_hold(self, context):
+        result = observations.run(context.platform)
+        assert len(result.observations) == 4
+        assert result.all_hold
+
+    def test_render_lists_verdicts(self, context):
+        text = observations.render(observations.run(context.platform))
+        assert text.count("HOLDS") == 4
+
+
+class TestRenderers:
+    """Every artifact's render() must produce non-trivial text."""
+
+    def test_all_renderers(self, context):
+        artifacts = [
+            (fig5_performance, (context,)),
+            (fig6_cost, (context,)),
+            (fig7_topk, (context,)),
+            (fig9_walking, (context,)),
+            (fig10_userstudy, (context,)),
+            (tab4_optimal, (context,)),
+        ]
+        for module, args in artifacts:
+            text = module.render(module.run(*args))
+            assert len(text.splitlines()) >= 5

@@ -1,0 +1,51 @@
+"""Tests for the shared experiment pipeline."""
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.experiments.context import EIGHT_RUNS, NINE_RUNS, default_context
+
+
+class TestRunLists:
+    def test_nine_runs_match_paper(self):
+        assert len(NINE_RUNS) == 9
+        apps = {app for app, _ in NINE_RUNS}
+        assert apps == {"BTIO", "FLASHIO", "mpiBLAST", "MADbench2"}
+
+    def test_eight_runs_drop_mpiblast_32(self):
+        assert len(EIGHT_RUNS) == 8
+        assert ("mpiBLAST", 32) not in EIGHT_RUNS
+
+
+class TestContext:
+    def test_memoized(self, context):
+        assert default_context() is context
+
+    def test_training_is_top_ten(self, context):
+        assert context.top_m == 10
+        assert len(context.campaign.plan.trained_names) == 10
+
+    def test_database_populated(self, context):
+        assert len(context.database) == context.campaign.plan.size
+        assert context.campaign.run_cost > 0
+
+    def test_models_cached_per_goal(self, context):
+        assert context.model(Goal.COST) is context.model(Goal.COST)
+        assert context.model(Goal.COST) is not context.model(Goal.PERFORMANCE)
+
+    def test_sweeps_cached(self, context):
+        assert context.sweep("BTIO", 64) is context.sweep("BTIO", 64)
+
+    def test_acic_measured_returns_candidate_value(self, context):
+        value, champions = context.acic_measured("BTIO", 64, Goal.PERFORMANCE)
+        sweep = context.sweep("BTIO", 64)
+        values = [e.metric(Goal.PERFORMANCE) for e in sweep.entries]
+        assert min(values) <= value <= max(values)
+        assert len(champions) >= 1
+
+    def test_best_of_top_k_monotone(self, context):
+        values = [
+            context.acic_best_of_top_k("MADbench2", 256, Goal.COST, k)
+            for k in (1, 3, 5)
+        ]
+        assert values[0] >= values[1] >= values[2]

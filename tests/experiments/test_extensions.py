@@ -1,0 +1,81 @@
+"""Structural tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import ext_accuracy, ext_expandability, ext_upgrade
+
+
+class TestExpandability:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return ext_expandability.run(context)
+
+    def test_candidate_space_grows(self, result):
+        for row in result.rows:
+            assert row.extended_candidates > row.base_candidates
+
+    def test_existing_data_reused(self, result, context):
+        assert result.reused_points == len(context.database)
+
+    def test_incremental_collection_only_new_corner(self, result):
+        assert 0 < result.incremental_points
+
+    def test_extension_reaches_recommendations(self, result):
+        """SSD/Lustre options must actually be recommendable — and for
+        bandwidth-bound workloads, recommended."""
+        assert result.extension_adopted >= 2
+
+    def test_extension_never_hurts_much(self, result):
+        for row in result.rows:
+            assert row.improvement >= 0.9
+
+    def test_render(self, result):
+        text = ext_expandability.render(result)
+        assert "incremental" in text and "SSD" in text
+
+
+class TestUpgrade:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return ext_upgrade.run(context)
+
+    def test_upgrade_changes_the_game(self, result):
+        assert result.winners_flipped >= 2
+
+    def test_aging_drops_v1_records(self, result, context):
+        assert result.aged_out == len(context.database)
+
+    def test_refresh_recovers(self, result):
+        assert result.recovered
+        assert result.refreshed_saving <= result.oracle_saving + 1e-9
+
+    def test_render(self, result):
+        text = ext_upgrade.render(result)
+        assert "stale" in text and "oracle" in text
+
+
+class TestAccuracy:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return ext_accuracy.run(context)
+
+    def test_all_learners_scored(self, result):
+        names = {score.name for score in result.scores}
+        assert {"cart", "knn", "ridge", "forest"} <= names
+
+    def test_rank_fidelity_high(self, result):
+        """Recommendation quality rests on ranking, and every bundled
+        learner orders candidates well on this space."""
+        for score in result.scores:
+            assert score.rank_correlation > 0.5
+
+    def test_cart_regression_error_competitive(self, result):
+        cart = result.by_name("cart")
+        assert cart.holdout_mape < 0.3
+
+    def test_picks_land_near_optimal(self, result):
+        for score in result.scores:
+            assert score.top_pick_rank <= 15.0
+
+    def test_render(self, result):
+        assert "rank rho" in ext_accuracy.render(result)

@@ -1,0 +1,60 @@
+"""Tests for the Figure 4 sample-tree artifact."""
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.experiments import fig4_sample_tree
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig4_sample_tree.run(context)
+
+    def test_rendering_shows_node_statistics(self, result):
+        """The Figure 4 contract: every node prints avg / std / n."""
+        assert "avg=" in result.rendering
+        assert "std=" in result.rendering
+        assert "n=" in result.rendering
+
+    def test_rendering_uses_dimension_names(self, result):
+        assert any(name in result.rendering for name in result.root_dimensions)
+
+    def test_tree_is_substantial(self, result):
+        assert result.n_leaves > 50
+        assert result.depth >= 3
+
+    def test_root_dimensions_are_features(self, result, context):
+        trained = set(context.screening.ranked_names()[: context.top_m])
+        assert set(result.root_dimensions) <= trained
+
+    def test_cart_and_pb_orderings_overlap(self, result):
+        """"not redundant with the PB ranking" — but not disjoint either:
+        both surface the influential storage-stack dimensions."""
+        assert result.orderings_agree_loosely
+
+    def test_requires_cart(self, context):
+        from repro.core.configurator import Acic
+
+        knn = Acic(
+            context.database,
+            goal=Goal.COST,
+            learner_name="knn",
+            feature_names=tuple(context.screening.ranked_names()[:10]),
+        ).train()
+        fake_context = type(context)(
+            platform=context.platform,
+            screening=context.screening,
+            database=context.database,
+            campaign=context.campaign,
+            top_m=context.top_m,
+            learner_name="knn",
+            _models={Goal.COST: knn},
+            _sweeps={},
+        )
+        with pytest.raises(TypeError, match="CART"):
+            fig4_sample_tree.run(fake_context)
+
+    def test_render(self, result):
+        text = fig4_sample_tree.render(result)
+        assert "Figure 4" in text and "PB screening top dimensions" in text

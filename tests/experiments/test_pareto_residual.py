@@ -1,0 +1,85 @@
+"""Tests for the Pareto-trade-off and residual-hour experiments."""
+
+import pytest
+
+from repro.experiments import ext_pareto, ext_residual
+from repro.experiments.ext_pareto import pareto_frontier
+
+
+class TestParetoFrontier:
+    def test_single_point(self):
+        assert pareto_frontier([(1.0, 1.0, "a")]) == [(1.0, 1.0, "a")]
+
+    def test_dominated_point_dropped(self):
+        points = [(1.0, 1.0, "best"), (2.0, 2.0, "dominated")]
+        assert [key for _, _, key in pareto_frontier(points)] == ["best"]
+
+    def test_trade_off_points_kept(self):
+        points = [(1.0, 5.0, "fast"), (5.0, 1.0, "cheap"), (3.0, 3.0, "middle")]
+        frontier = [key for _, _, key in pareto_frontier(points)]
+        assert frontier == ["fast", "middle", "cheap"]
+
+    def test_frontier_sorted_by_time(self):
+        points = [(5.0, 1.0, "a"), (1.0, 5.0, "b"), (3.0, 3.0, "c")]
+        times = [t for t, _, _ in pareto_frontier(points)]
+        assert times == sorted(times)
+
+
+class TestParetoExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return ext_pareto.run(context)
+
+    def test_objectives_disagree_in_most_runs(self, result):
+        """Section 5.2: 'in many cases the best configuration for
+        performance does not agree with that for cost optimization'."""
+        assert result.disagreements >= 5
+
+    def test_cost_not_proportional_to_time(self, result):
+        """Section 2: placement breaks time/cost proportionality, so the
+        Pareto frontier has real extent."""
+        assert result.mean_frontier_size > 1.0
+
+    def test_speed_premium_nonnegative(self, result):
+        for row in result.rows:
+            assert row.cost_of_speed_pct >= -1e-9
+
+    def test_dedicated_buys_speed_part_time_buys_savings(self, result):
+        """The disagreements follow the placement axis."""
+        placement_flips = sum(
+            1
+            for row in result.rows
+            if row.objectives_disagree
+            and ".D." in row.perf_optimal
+            and ".P." in row.cost_optimal
+        )
+        assert placement_flips >= result.disagreements // 2
+
+    def test_render(self, result):
+        assert "Pareto" in ext_pareto.render(result)
+
+
+class TestResidualExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return ext_residual.run(context)
+
+    def test_residual_complements_the_hour(self, result):
+        for row in result.rows:
+            total = row.run_seconds + row.residual_seconds
+            assert total % 3600 == pytest.approx(0.0, abs=1e-6)
+
+    def test_billed_at_least_exact(self, result):
+        for row in result.rows:
+            assert row.billed_cost >= row.exact_cost
+
+    def test_verification_mostly_free(self, result):
+        """Section 5.3: users 'can piggy-back verification runs at no
+        extra cost'."""
+        assert result.free_verifications >= 7
+
+    def test_residual_absorbs_training_points(self, result):
+        assert result.total_free_points > 50
+
+    def test_render(self, result):
+        assert "residual" in ext_residual.render(result)

@@ -1,0 +1,60 @@
+"""Tests for the exhaustive ground-truth sweep runner."""
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.experiments.sweep import sweep_workload
+from repro.iosim.workload import Workload
+from repro.space.configuration import BASELINE_CONFIG
+from repro.space.grid import candidate_configs
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    from repro.apps import get_app
+
+    return sweep_workload(get_app("BTIO").workload(64))
+
+
+class TestSweep:
+    def test_covers_all_valid_candidates(self, sweep):
+        expected = len(candidate_configs(sweep.workload.chars))
+        assert len(sweep.entries) == expected
+
+    def test_optimal_is_minimum(self, sweep):
+        best = sweep.optimal(Goal.PERFORMANCE)
+        assert all(
+            best.metric(Goal.PERFORMANCE) <= e.metric(Goal.PERFORMANCE)
+            for e in sweep.entries
+        )
+
+    def test_median_between_extremes(self, sweep):
+        for goal in Goal:
+            values = [e.metric(goal) for e in sweep.entries]
+            assert min(values) <= sweep.median_value(goal) <= max(values)
+
+    def test_baseline_accessors_consistent(self, sweep):
+        assert sweep.baseline_value(Goal.PERFORMANCE) == sweep.baseline.seconds
+        assert sweep.baseline_value(Goal.COST) == sweep.baseline.cost
+
+    def test_value_of_and_rank_of(self, sweep):
+        best = sweep.optimal(Goal.COST)
+        assert sweep.value_of(best.config, Goal.COST) == best.metric(Goal.COST)
+        assert sweep.rank_of(best.config, Goal.COST) == 1
+
+    def test_value_of_unknown_config_raises(self, sweep):
+        small = sweep.workload.chars.scaled(32)
+        small_sweep = sweep_workload(Workload.pure_io("tiny", small))
+        swept = {e.config.key for e in small_sweep.entries}
+        missing = [c for c in candidate_configs() if c.key not in swept]
+        assert missing, "a 32-proc job must exclude some part-time configs"
+        with pytest.raises(KeyError):
+            small_sweep.value_of(missing[0], Goal.COST)
+
+    def test_spread_at_least_one(self, sweep):
+        assert sweep.spread(Goal.PERFORMANCE) >= 1.0
+        assert sweep.spread(Goal.COST) >= 1.0
+
+    def test_baseline_is_among_candidates(self, sweep):
+        keys = {e.config.key for e in sweep.entries}
+        assert BASELINE_CONFIG.key in keys

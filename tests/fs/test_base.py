@@ -1,0 +1,99 @@
+"""Tests for the file-system model abstractions."""
+
+import pytest
+
+from repro.cloud.storage import DeviceKind, Raid0Array, get_device_model
+from repro.fs.base import AccessPattern, IOBreakdown, ServerResources
+from repro.space.characteristics import OpKind
+from repro.util.units import GIB, MIB
+
+
+def make_servers(**overrides) -> ServerResources:
+    defaults = dict(
+        servers=2,
+        raid=Raid0Array(device=get_device_model(DeviceKind.EPHEMERAL), members=4),
+        net_bytes_per_s=1e9,
+        client_net_bytes_per_s=1e9,
+        rtt_s=2e-4,
+        memory_bytes=60 * GIB,
+    )
+    defaults.update(overrides)
+    return ServerResources(**defaults)
+
+
+class TestAccessPattern:
+    def test_readwrite_rejected(self):
+        with pytest.raises(ValueError, match="single-direction"):
+            AccessPattern(
+                op=OpKind.READWRITE, writers=1, client_nodes=1,
+                bytes_total=1.0, request_bytes=1.0,
+            )
+
+    def test_total_requests_ceiling_behaviour(self):
+        pattern = AccessPattern(
+            op=OpKind.WRITE, writers=4, client_nodes=2,
+            bytes_total=10 * MIB, request_bytes=4 * MIB,
+        )
+        assert pattern.total_requests == pytest.approx(2.5)
+
+    def test_zero_bytes_zero_requests(self):
+        pattern = AccessPattern(
+            op=OpKind.READ, writers=1, client_nodes=1,
+            bytes_total=0.0, request_bytes=1 * MIB,
+        )
+        assert pattern.total_requests == 0.0
+
+    def test_is_write(self):
+        write = AccessPattern(op=OpKind.WRITE, writers=1, client_nodes=1,
+                              bytes_total=1.0, request_bytes=1.0)
+        read = AccessPattern(op=OpKind.READ, writers=1, client_nodes=1,
+                             bytes_total=1.0, request_bytes=1.0)
+        assert write.is_write and not read.is_write
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("writers", 0), ("client_nodes", 0), ("bytes_total", -1.0), ("request_bytes", 0.0)],
+    )
+    def test_validation(self, field, value):
+        kwargs = dict(op=OpKind.WRITE, writers=1, client_nodes=1,
+                      bytes_total=1.0, request_bytes=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            AccessPattern(**kwargs)
+
+
+class TestServerResources:
+    def test_disk_bandwidth_aggregates_servers(self):
+        servers = make_servers(servers=4)
+        single = make_servers(servers=1)
+        assert servers.disk_bandwidth(True) == pytest.approx(4 * single.disk_bandwidth(True))
+
+    def test_dirty_limit_is_forty_percent_of_ram(self):
+        servers = make_servers(servers=1, memory_bytes=10 * GIB)
+        assert servers.dirty_limit_bytes == pytest.approx(4 * GIB)
+
+    def test_locality_range_enforced(self):
+        with pytest.raises(ValueError):
+            make_servers(locality_fraction=1.5)
+
+    def test_inflation_floor_enforced(self):
+        with pytest.raises(ValueError):
+            make_servers(service_inflation=0.5)
+
+
+class TestIOBreakdown:
+    def test_blocking_is_max_of_streams_plus_metadata(self):
+        io_time = IOBreakdown(
+            transfer_seconds=3.0, operation_seconds=1.0, metadata_seconds=0.5
+        )
+        assert io_time.blocking_seconds == pytest.approx(3.5)
+
+    def test_operations_can_dominate(self):
+        io_time = IOBreakdown(
+            transfer_seconds=1.0, operation_seconds=4.0, metadata_seconds=0.0
+        )
+        assert io_time.blocking_seconds == pytest.approx(4.0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            IOBreakdown(transfer_seconds=-1.0, operation_seconds=0.0, metadata_seconds=0.0)

@@ -1,0 +1,114 @@
+"""Tests for the Lustre extension file-system model."""
+
+import pytest
+
+from repro.fs.lustre import LustreModel
+from repro.fs.nfs import NfsModel
+from repro.fs.pvfs import Pvfs2Model
+from repro.space.characteristics import OpKind
+from repro.util.units import GIB, KIB, MIB
+from tests.fs.test_pvfs import pvfs_servers, stream_pattern
+
+
+class TestConstruction:
+    def test_default_stripe(self):
+        assert LustreModel().stripe_bytes == 4 * MIB
+
+    def test_tiny_stripe_rejected(self):
+        with pytest.raises(ValueError):
+            LustreModel(stripe_bytes=100)
+
+
+class TestScaling:
+    def test_servers_scale_bandwidth(self):
+        model = LustreModel()
+        one = model.iteration_time(stream_pattern(), pvfs_servers(1))
+        four = model.iteration_time(stream_pattern(), pvfs_servers(4))
+        assert four.blocking_seconds < one.blocking_seconds
+
+    def test_heaviest_mount(self):
+        servers = pvfs_servers(4)
+        assert (
+            LustreModel().mount_seconds(servers)
+            > Pvfs2Model().mount_seconds(servers)
+        )
+
+
+class TestClientCache:
+    def test_small_sequential_requests_coalesce(self):
+        """Unlike PVFS2, Lustre's client cache absorbs tiny requests."""
+        servers = pvfs_servers(4)
+        pattern = stream_pattern(request_bytes=float(64 * KIB))
+        lustre = LustreModel().iteration_time(pattern, servers)
+        pvfs = Pvfs2Model().iteration_time(pattern, servers)
+        assert lustre.operation_seconds < pvfs.operation_seconds
+
+    def test_interleaved_streams_do_not_coalesce(self):
+        servers = pvfs_servers(4)
+        model = LustreModel()
+        sequential = model.iteration_time(
+            stream_pattern(request_bytes=float(64 * KIB)), servers
+        )
+        interleaved = model.iteration_time(
+            stream_pattern(request_bytes=float(64 * KIB), sequential_per_stream=False),
+            servers,
+        )
+        assert interleaved.operation_seconds > sequential.operation_seconds
+
+
+class TestLockManager:
+    def test_shared_file_writers_contend_mildly(self):
+        servers = pvfs_servers(4)
+        model = LustreModel()
+        shared = model.iteration_time(stream_pattern(writers=64), servers)
+        private = model.iteration_time(
+            stream_pattern(writers=64, shared_file=False), servers
+        )
+        assert shared.transfer_seconds > private.transfer_seconds
+        # but far milder than NFS's serialization
+        nfs = NfsModel()
+        nfs_servers = pvfs_servers(1)
+        nfs_shared = nfs.iteration_time(stream_pattern(writers=64), nfs_servers)
+        nfs_private = nfs.iteration_time(
+            stream_pattern(writers=64, shared_file=False), nfs_servers
+        )
+        lustre_penalty = shared.transfer_seconds / private.transfer_seconds
+        nfs_penalty = nfs_shared.transfer_seconds / nfs_private.transfer_seconds
+        assert lustre_penalty < nfs_penalty
+
+    def test_reads_do_not_contend(self):
+        servers = pvfs_servers(4)
+        model = LustreModel()
+        one = model.iteration_time(
+            stream_pattern(op=OpKind.READ, writers=1), servers
+        )
+        many = model.iteration_time(
+            stream_pattern(op=OpKind.READ, writers=64), servers
+        )
+        assert many.transfer_seconds <= one.transfer_seconds * 1.05
+
+
+class TestZeroBytes:
+    def test_zero_bytes_free(self):
+        io_time = LustreModel().iteration_time(
+            stream_pattern(bytes_total=0.0), pvfs_servers(2)
+        )
+        assert io_time.blocking_seconds == 0.0
+
+
+class TestPositioning:
+    def test_sits_between_nfs_and_pvfs_on_serial_ops(self):
+        """HDF5-style serialized tiny ops: NFS cheapest, PVFS2 dearest."""
+        pattern = stream_pattern(serial_small_ops=10_000)
+        nfs = NfsModel().iteration_time(pattern, pvfs_servers(1)).metadata_seconds
+        lustre = LustreModel().iteration_time(pattern, pvfs_servers(4)).metadata_seconds
+        pvfs = Pvfs2Model().iteration_time(pattern, pvfs_servers(4)).metadata_seconds
+        assert nfs < lustre < pvfs
+
+    def test_streaming_competitive_with_pvfs(self):
+        """Large streaming writes: striped systems within 2x of each other."""
+        servers = pvfs_servers(4)
+        pattern = stream_pattern(bytes_total=float(8 * GIB))
+        lustre = LustreModel().iteration_time(pattern, servers).transfer_seconds
+        pvfs = Pvfs2Model().iteration_time(pattern, servers).transfer_seconds
+        assert 0.5 < lustre / pvfs < 2.0

@@ -1,0 +1,155 @@
+"""Tests for the NFS performance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.storage import DeviceKind, Raid0Array, get_device_model
+from repro.fs.base import AccessPattern, ServerResources
+from repro.fs.nfs import NfsModel
+from repro.space.characteristics import OpKind
+from repro.util.units import GIB, MIB
+
+
+def nfs_servers(**overrides) -> ServerResources:
+    defaults = dict(
+        servers=1,
+        raid=Raid0Array(device=get_device_model(DeviceKind.EPHEMERAL), members=4),
+        net_bytes_per_s=1e9,
+        client_net_bytes_per_s=1e9,
+        rtt_s=2e-4,
+        memory_bytes=60 * GIB,
+    )
+    defaults.update(overrides)
+    return ServerResources(**defaults)
+
+
+def write_pattern(**overrides) -> AccessPattern:
+    defaults = dict(
+        op=OpKind.WRITE, writers=4, client_nodes=4,
+        bytes_total=float(256 * MIB), request_bytes=float(4 * MIB),
+        sequential_per_stream=True, shared_file=True,
+    )
+    defaults.update(overrides)
+    return AccessPattern(**defaults)
+
+
+@pytest.fixture()
+def model() -> NfsModel:
+    return NfsModel()
+
+
+class TestBasics:
+    def test_requires_exactly_one_server(self, model):
+        with pytest.raises(ValueError, match="one server"):
+            model.iteration_time(write_pattern(), nfs_servers(servers=2))
+
+    def test_zero_bytes_is_free(self, model):
+        io_time = model.iteration_time(write_pattern(bytes_total=0.0), nfs_servers())
+        assert io_time.blocking_seconds == 0.0
+        assert io_time.deferred_seconds == 0.0
+
+
+class TestWriteBack:
+    def test_cached_write_blocks_at_network_not_disk(self, model):
+        """A burst under the dirty limit is absorbed near NIC speed."""
+        servers = nfs_servers()
+        burst = float(1 * GIB)
+        io_time = model.iteration_time(write_pattern(bytes_total=burst), servers)
+        network_seconds = burst / servers.net_bytes_per_s
+        disk_seconds = burst / servers.raid.bandwidth(True)
+        assert disk_seconds > 2 * network_seconds  # premise of the test
+        assert io_time.transfer_seconds < disk_seconds / 1.5
+
+    def test_flush_is_deferred_at_disk_speed(self, model):
+        servers = nfs_servers()
+        burst = float(1 * GIB)
+        io_time = model.iteration_time(write_pattern(bytes_total=burst), servers)
+        assert io_time.deferred_seconds == pytest.approx(
+            burst / servers.raid.bandwidth(True), rel=0.01
+        )
+
+    def test_overflow_beyond_dirty_limit_blocks_at_disk_speed(self, model):
+        small_ram = nfs_servers(memory_bytes=1 * GIB)  # dirty limit 0.4 GiB
+        burst = float(4 * GIB)
+        io_time = model.iteration_time(write_pattern(bytes_total=burst), small_ram)
+        big_ram = model.iteration_time(write_pattern(bytes_total=burst), nfs_servers())
+        assert io_time.transfer_seconds > 2 * big_ram.transfer_seconds
+
+    def test_locality_shrinks_blocking_time(self, model):
+        remote = model.iteration_time(write_pattern(), nfs_servers())
+        local = model.iteration_time(
+            write_pattern(), nfs_servers(locality_fraction=1.0)
+        )
+        assert local.transfer_seconds < remote.transfer_seconds
+
+
+class TestReads:
+    def test_reads_come_from_disk_not_cache(self, model):
+        servers = nfs_servers()
+        burst = float(1 * GIB)
+        io_time = model.iteration_time(
+            write_pattern(op=OpKind.READ, bytes_total=burst), servers
+        )
+        disk_seconds = burst / servers.raid.bandwidth(False)
+        assert io_time.transfer_seconds == pytest.approx(disk_seconds, rel=0.01)
+        assert io_time.deferred_seconds == 0.0
+
+
+class TestContention:
+    @given(st.integers(min_value=2, max_value=256))
+    def test_shared_write_contention_monotone_in_writers(self, writers):
+        model = NfsModel()
+        few = model.iteration_time(write_pattern(writers=writers), nfs_servers())
+        more = model.iteration_time(write_pattern(writers=writers + 16), nfs_servers())
+        assert more.transfer_seconds > few.transfer_seconds
+
+    def test_file_per_process_avoids_contention(self, model):
+        shared = model.iteration_time(
+            write_pattern(writers=64, shared_file=True), nfs_servers()
+        )
+        private = model.iteration_time(
+            write_pattern(writers=64, shared_file=False), nfs_servers()
+        )
+        assert private.transfer_seconds < shared.transfer_seconds
+
+    def test_reads_do_not_contend(self, model):
+        one = model.iteration_time(
+            write_pattern(op=OpKind.READ, writers=1), nfs_servers()
+        )
+        many = model.iteration_time(
+            write_pattern(op=OpKind.READ, writers=64), nfs_servers()
+        )
+        assert many.transfer_seconds == pytest.approx(one.transfer_seconds, rel=0.05)
+
+
+class TestCoalescing:
+    def test_sequential_small_requests_are_coalesced(self, model):
+        sequential = model.iteration_time(
+            write_pattern(request_bytes=64 * 1024.0, sequential_per_stream=True),
+            nfs_servers(),
+        )
+        interleaved = model.iteration_time(
+            write_pattern(request_bytes=64 * 1024.0, sequential_per_stream=False),
+            nfs_servers(),
+        )
+        assert sequential.operation_seconds < interleaved.operation_seconds
+
+
+class TestMetadata:
+    def test_metadata_and_serial_ops_accumulate(self, model):
+        clean = model.iteration_time(write_pattern(), nfs_servers())
+        meta = model.iteration_time(
+            write_pattern(metadata_ops=100, serial_small_ops=1000), nfs_servers()
+        )
+        assert meta.metadata_seconds > clean.metadata_seconds
+        expected = 100 * model.metadata_op_seconds + 1000 * model.small_op_seconds
+        assert meta.metadata_seconds == pytest.approx(expected)
+
+    def test_part_time_inflation_applies(self, model):
+        normal = model.iteration_time(write_pattern(), nfs_servers())
+        inflated = model.iteration_time(
+            write_pattern(), nfs_servers(service_inflation=1.2)
+        )
+        assert inflated.transfer_seconds == pytest.approx(
+            1.2 * normal.transfer_seconds, rel=0.01
+        )

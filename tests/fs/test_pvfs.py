@@ -1,0 +1,136 @@
+"""Tests for the PVFS2 performance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.storage import DeviceKind, Raid0Array, get_device_model
+from repro.fs.base import AccessPattern, ServerResources
+from repro.fs.nfs import NfsModel
+from repro.fs.pvfs import Pvfs2Model
+from repro.space.characteristics import OpKind
+from repro.util.units import GIB, KIB, MIB
+
+
+def pvfs_servers(servers: int = 4, **overrides) -> ServerResources:
+    defaults = dict(
+        servers=servers,
+        raid=Raid0Array(device=get_device_model(DeviceKind.EPHEMERAL), members=4),
+        net_bytes_per_s=1e9,
+        client_net_bytes_per_s=1e9,
+        rtt_s=2e-4,
+        memory_bytes=60 * GIB,
+    )
+    defaults.update(overrides)
+    return ServerResources(**defaults)
+
+
+def stream_pattern(**overrides) -> AccessPattern:
+    defaults = dict(
+        op=OpKind.WRITE, writers=16, client_nodes=4,
+        bytes_total=float(4 * GIB), request_bytes=float(16 * MIB),
+        sequential_per_stream=True, shared_file=True,
+    )
+    defaults.update(overrides)
+    return AccessPattern(**defaults)
+
+
+class TestConstruction:
+    def test_tiny_stripe_rejected(self):
+        with pytest.raises(ValueError):
+            Pvfs2Model(stripe_bytes=512)
+
+    def test_default_stripe_is_4mb(self):
+        assert Pvfs2Model().stripe_bytes == 4 * MIB
+
+
+class TestServerScaling:
+    @given(st.sampled_from([1, 2]))
+    def test_doubling_servers_speeds_streaming(self, servers):
+        """Observation 2: more I/O servers improve performance."""
+        model = Pvfs2Model()
+        fewer = model.iteration_time(stream_pattern(), pvfs_servers(servers))
+        more = model.iteration_time(stream_pattern(), pvfs_servers(servers * 2))
+        assert more.blocking_seconds < fewer.blocking_seconds
+
+    def test_scaling_is_sublinear(self):
+        model = Pvfs2Model()
+        one = model.iteration_time(stream_pattern(), pvfs_servers(1))
+        four = model.iteration_time(stream_pattern(), pvfs_servers(4))
+        assert four.transfer_seconds > one.transfer_seconds / 4  # efficiency loss
+
+
+class TestStripeInteraction:
+    def test_small_stripe_taxes_large_requests(self):
+        """Each request scatters into request/stripe units."""
+        coarse = Pvfs2Model(stripe_bytes=4 * MIB)
+        fine = Pvfs2Model(stripe_bytes=64 * KIB)
+        pattern = stream_pattern(request_bytes=float(128 * MIB))
+        servers = pvfs_servers(4)
+        assert (
+            fine.iteration_time(pattern, servers).operation_seconds
+            > coarse.iteration_time(pattern, servers).operation_seconds
+        )
+
+    def test_low_concurrency_large_stripe_strands_servers(self):
+        """One writer with requests inside one stripe keeps 1 of 4 servers
+        busy; a striped request engages them all."""
+        model = Pvfs2Model(stripe_bytes=4 * MIB)
+        servers = pvfs_servers(4)
+        narrow = model.iteration_time(
+            stream_pattern(writers=1, request_bytes=float(4 * MIB)), servers
+        )
+        wide = model.iteration_time(
+            stream_pattern(writers=1, request_bytes=float(16 * MIB)), servers
+        )
+        assert wide.transfer_seconds < narrow.transfer_seconds
+
+
+class TestNoClientCache:
+    def test_small_requests_pay_per_request(self):
+        model = Pvfs2Model()
+        servers = pvfs_servers(4)
+        small = model.iteration_time(
+            stream_pattern(request_bytes=float(256 * KIB)), servers
+        )
+        large = model.iteration_time(
+            stream_pattern(request_bytes=float(16 * MIB)), servers
+        )
+        assert small.operation_seconds > 10 * large.operation_seconds
+
+    def test_no_write_back_deferral(self):
+        io_time = Pvfs2Model().iteration_time(stream_pattern(), pvfs_servers())
+        assert io_time.deferred_seconds == 0.0
+
+
+class TestSharedFiles:
+    def test_lock_free_shared_writes(self):
+        """Unlike NFS, PVFS2 writers into one file do not contend."""
+        model = Pvfs2Model()
+        servers = pvfs_servers(4)
+        shared = model.iteration_time(stream_pattern(shared_file=True), servers)
+        private = model.iteration_time(stream_pattern(shared_file=False), servers)
+        assert shared.transfer_seconds == pytest.approx(
+            private.transfer_seconds, rel=0.01
+        )
+
+    def test_creates_serialize_at_metadata_server(self):
+        model = Pvfs2Model()
+        servers = pvfs_servers(4)
+        none = model.iteration_time(stream_pattern(metadata_ops=0), servers)
+        many = model.iteration_time(stream_pattern(metadata_ops=256), servers)
+        assert many.metadata_seconds - none.metadata_seconds == pytest.approx(
+            256 * model.metadata_op_seconds
+        )
+
+    def test_creates_cost_more_than_nfs(self):
+        """The observation-4 mechanism: distributed creates are expensive."""
+        assert Pvfs2Model().metadata_op_seconds > NfsModel().metadata_op_seconds
+
+
+class TestSerialSmallOps:
+    def test_hdf5_style_ops_hurt_more_than_on_nfs(self):
+        pattern = stream_pattern(serial_small_ops=10_000)
+        pvfs_time = Pvfs2Model().iteration_time(pattern, pvfs_servers(4))
+        nfs_servers = pvfs_servers(1)
+        nfs_time = NfsModel().iteration_time(pattern, nfs_servers)
+        assert pvfs_time.metadata_seconds > 2 * nfs_time.metadata_seconds

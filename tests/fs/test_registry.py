@@ -1,0 +1,36 @@
+"""Tests for file-system model construction from configurations."""
+
+import pytest
+
+from repro.fs.nfs import NfsModel
+from repro.fs.pvfs import Pvfs2Model
+from repro.fs.registry import file_system_model
+from repro.space.configuration import BASELINE_CONFIG, SystemConfig
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.space.configuration import FileSystemKind
+from repro.util.units import KIB
+
+
+class TestRegistry:
+    def test_baseline_is_nfs(self):
+        assert isinstance(file_system_model(BASELINE_CONFIG), NfsModel)
+
+    def test_pvfs_carries_stripe(self):
+        config = SystemConfig(
+            device=DeviceKind.EPHEMERAL,
+            file_system=FileSystemKind.PVFS2,
+            instance_type="cc2.8xlarge",
+            io_servers=4,
+            placement=Placement.DEDICATED,
+            stripe_bytes=64 * KIB,
+        )
+        model = file_system_model(config)
+        assert isinstance(model, Pvfs2Model)
+        assert model.stripe_bytes == 64 * KIB
+
+    def test_mount_time_grows_with_servers(self):
+        from tests.fs.test_pvfs import pvfs_servers
+
+        model = Pvfs2Model()
+        assert model.mount_seconds(pvfs_servers(4)) > model.mount_seconds(pvfs_servers(1))

@@ -1,0 +1,56 @@
+"""Tests for the IOR runner and its observations."""
+
+import pytest
+
+from repro.ior.runner import IorRunner
+from repro.ior.spec import IorSpec
+from repro.space.configuration import BASELINE_CONFIG
+from repro.space.grid import candidate_configs
+
+
+@pytest.fixture()
+def spec(simple_chars) -> IorSpec:
+    return IorSpec.from_characteristics(simple_chars)
+
+
+class TestMeasurement:
+    def test_observation_fields(self, spec, platform):
+        runner = IorRunner(platform=platform)
+        config = candidate_configs(spec.to_characteristics())[0]
+        obs = runner.measure(spec, config)
+        assert obs.seconds > 0 and obs.cost > 0
+        assert obs.baseline_seconds > 0 and obs.baseline_cost > 0
+        assert obs.config is config
+
+    def test_baseline_measured_against_itself_is_unity(self, spec, platform):
+        runner = IorRunner(platform=platform)
+        obs = runner.measure(spec, BASELINE_CONFIG)
+        assert obs.speedup == pytest.approx(1.0)
+        assert obs.cost_ratio == pytest.approx(1.0)
+
+    def test_speedup_definition(self, spec, platform):
+        runner = IorRunner(platform=platform)
+        config = candidate_configs(spec.to_characteristics())[3]
+        obs = runner.measure(spec, config)
+        assert obs.speedup == pytest.approx(obs.baseline_seconds / obs.seconds)
+        assert obs.cost_ratio == pytest.approx(obs.baseline_cost / obs.cost)
+
+
+class TestBaselineCache:
+    def test_baseline_shared_across_configs(self, spec, platform):
+        runner = IorRunner(platform=platform)
+        configs = candidate_configs(spec.to_characteristics())[:4]
+        observations = [runner.measure(spec, c) for c in configs]
+        baselines = {o.baseline_seconds for o in observations}
+        assert len(baselines) == 1
+
+    def test_distinct_specs_distinct_baselines(self, spec, platform, posix_chars):
+        runner = IorRunner(platform=platform)
+        other = IorSpec.from_characteristics(posix_chars)
+        a = runner.measure(spec, BASELINE_CONFIG)
+        b = runner.measure(other, BASELINE_CONFIG)
+        assert a.baseline_seconds != b.baseline_seconds
+
+    def test_rejects_bad_reps(self, platform):
+        with pytest.raises(ValueError):
+            IorRunner(platform=platform, reps=0)

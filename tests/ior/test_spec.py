@@ -1,0 +1,107 @@
+"""Tests for the IOR benchmark specification."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ior.spec import IorSpec
+from repro.space.characteristics import IOInterface, OpKind
+from repro.space.grid import enumerate_characteristics
+from repro.space.parameters import PARAMETERS
+from repro.util.units import MIB
+
+
+class TestValidation:
+    def test_must_read_or_write(self):
+        with pytest.raises(ValueError):
+            IorSpec(num_tasks=4, io_tasks=4, read=False, write=False)
+
+    def test_collective_needs_mpiio(self):
+        with pytest.raises(ValueError):
+            IorSpec(num_tasks=4, io_tasks=4, api="POSIX", collective=True)
+
+    def test_unknown_api(self):
+        with pytest.raises(ValueError):
+            IorSpec(num_tasks=4, io_tasks=4, api="NCIO")
+
+
+class TestOpMapping:
+    def test_write_only(self):
+        assert IorSpec(num_tasks=4, io_tasks=4, write=True).op is OpKind.WRITE
+
+    def test_read_only(self):
+        spec = IorSpec(num_tasks=4, io_tasks=4, read=True, write=False)
+        assert spec.op is OpKind.READ
+
+    def test_both(self):
+        spec = IorSpec(num_tasks=4, io_tasks=4, read=True, write=True)
+        assert spec.op is OpKind.READWRITE
+
+
+class TestRoundTrip:
+    def test_chars_to_spec_to_chars(self, simple_chars):
+        spec = IorSpec.from_characteristics(simple_chars)
+        assert spec.to_characteristics() == simple_chars
+
+    def test_posix_round_trip(self, posix_chars):
+        spec = IorSpec.from_characteristics(posix_chars)
+        assert spec.to_characteristics() == posix_chars
+        assert spec.api == "POSIX"
+        assert spec.file_per_proc
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_round_trip_over_sampled_space(self, index):
+        """Every grid characteristics point survives the IOR mapping."""
+        points = enumerate_characteristics(
+            {
+                "num_processes": [64],
+                "iterations": [10],
+                "data_bytes": [16 * MIB],
+            }
+        )
+        points = list(points)
+        chars = points[index % len(points)]
+        assert IorSpec.from_characteristics(chars).to_characteristics() == chars
+
+
+class TestCommandLine:
+    def test_command_mentions_flags(self, simple_chars):
+        command = IorSpec.from_characteristics(simple_chars).command_line()
+        assert command.startswith("ior -a MPIIO")
+        assert "-w" in command and "-c" in command
+        assert "-F" not in command  # shared file
+
+    def test_command_distinct_per_case(self, simple_chars):
+        a = IorSpec.from_characteristics(simple_chars).command_line()
+        b = IorSpec.from_characteristics(
+            dataclasses.replace(simple_chars, iterations=1)
+        ).command_line()
+        assert a != b
+
+    def test_workload_is_pure_io(self, simple_chars):
+        workload = IorSpec.from_characteristics(simple_chars).to_workload()
+        assert workload.compute_seconds_per_iteration == 0.0
+
+
+class TestSpaceAlignment:
+    def test_nine_dimensions_covered(self):
+        """IorSpec covers exactly the application half of Table 1."""
+        app_names = {p.name for p in PARAMETERS if p.kind.value == "application"}
+        assert len(app_names) == 9
+        spec = IorSpec(num_tasks=4, io_tasks=4)
+        chars = spec.to_characteristics()
+        for name in app_names:
+            attribute = {
+                "num_processes": "num_processes",
+                "num_io_processes": "num_io_processes",
+                "interface": "interface",
+                "iterations": "iterations",
+                "data_bytes": "data_bytes",
+                "request_bytes": "request_bytes",
+                "op": "op",
+                "collective": "collective",
+                "shared_file": "shared_file",
+            }[name]
+            assert hasattr(chars, attribute)

@@ -1,0 +1,89 @@
+"""Tests for the canned IOR benchmark suites."""
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.ior.suite import SUITES, IorSuite, get_suite, run_suite
+from repro.ior.spec import IorSpec
+from repro.space.characteristics import OpKind
+from repro.space.grid import candidate_configs
+
+
+class TestRegistry:
+    def test_three_suites(self):
+        assert set(SUITES) == {"checkpoint", "scan", "out-of-core"}
+
+    def test_lookup(self):
+        assert get_suite("scan").name == "scan"
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="checkpoint"):
+            get_suite("random-io")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            IorSuite(name="x", description="", specs=())
+
+
+class TestSuiteShapes:
+    def test_checkpoint_suite_is_collective_writes(self):
+        for spec in get_suite("checkpoint").specs:
+            assert spec.collective and spec.write and not spec.read
+            assert not spec.file_per_proc
+
+    def test_scan_suite_is_posix_reads(self):
+        for spec in get_suite("scan").specs:
+            assert spec.api == "POSIX"
+            assert spec.read and not spec.write
+            assert spec.file_per_proc
+
+    def test_out_of_core_suite_is_mixed(self):
+        for spec in get_suite("out-of-core").specs:
+            assert spec.op is OpKind.READWRITE
+
+    def test_all_cases_valid(self):
+        for suite in SUITES.values():
+            for spec in suite.specs:
+                chars = spec.to_characteristics()  # constructor validates
+                assert chars.request_bytes <= chars.data_bytes
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def scan_db(self, platform):
+        return run_suite("scan", platform=platform)
+
+    def test_covers_all_candidates_per_case(self, scan_db, platform):
+        suite = get_suite("scan")
+        expected = sum(
+            len(candidate_configs(spec.to_characteristics()))
+            for spec in suite.specs
+        )
+        assert len(scan_db) == expected
+
+    def test_provenance_tagged(self, scan_db):
+        assert all(record.source == "suite:scan" for record in scan_db)
+
+    def test_appends_to_existing_database(self, platform):
+        db = TrainingDatabase(platform.name)
+        run_suite("checkpoint", database=db, platform=platform, epoch=1)
+        before = len(db)
+        run_suite("scan", database=db, platform=platform, epoch=1)
+        assert len(db) > before
+
+    def test_suite_database_trains_a_model(self, scan_db, posix_chars):
+        from repro.core.configurator import Acic
+
+        acic = Acic(scan_db, goal=Goal.PERFORMANCE).train()
+        recommendations = acic.recommend(posix_chars, top_k=3)
+        assert len(recommendations) == 3
+
+    def test_suite_accepts_object(self, platform):
+        suite = IorSuite(
+            name="tiny", description="one case",
+            specs=(IorSpec(num_tasks=32, io_tasks=32),),
+        )
+        db = run_suite(suite, platform=platform)
+        assert len(db) > 0
+        assert all(r.source == "suite:tiny" for r in db)

@@ -1,0 +1,126 @@
+"""Property-based tests of the simulation engine's physical invariants.
+
+These sweep randomized (workload, configuration) points and pin down the
+engine-wide guarantees the analytic experiments rely on: Eq. (1) cost
+exactness, determinism, positivity, weak-scaling sanity, and placement
+accounting.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.cluster import Placement
+from repro.iosim.engine import IOSimulator, simulate_run
+from repro.iosim.workload import Workload
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.space.grid import candidate_configs
+from repro.util.units import KIB, MIB
+
+
+def chars_strategy():
+    """Random valid application characteristics."""
+
+    def build(np_exp, nio_frac, iface, iters, data_exp, req_exp, op, coll, shared):
+        num_processes = 2 ** np_exp
+        num_io = max(1, int(num_processes * nio_frac))
+        data = 2 ** data_exp * KIB
+        request = min(data, 2 ** req_exp * KIB)
+        interface = IOInterface(iface)
+        return AppCharacteristics(
+            num_processes=num_processes,
+            num_io_processes=num_io,
+            interface=interface,
+            iterations=iters,
+            data_bytes=data,
+            request_bytes=request,
+            op=OpKind(op),
+            collective=coll and interface.base is IOInterface.MPIIO,
+            shared_file=shared,
+        )
+
+    return st.builds(
+        build,
+        st.integers(min_value=4, max_value=8),          # 16..256 processes
+        st.floats(min_value=0.1, max_value=1.0),
+        st.sampled_from(["POSIX", "MPI-IO", "HDF5"]),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=8, max_value=19),          # 256KB..512MB
+        st.integers(min_value=6, max_value=19),
+        st.sampled_from(["read", "write", "readwrite"]),
+        st.booleans(),
+        st.booleans(),
+    )
+
+
+class TestUniversalInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(chars=chars_strategy(), config_index=st.integers(min_value=0, max_value=1000))
+    def test_positive_time_and_exact_eq1_cost(self, platform, chars, config_index):
+        configs = candidate_configs(chars)
+        config = configs[config_index % len(configs)]
+        workload = Workload.pure_io("prop", chars)
+        result = simulate_run(workload, config, platform)
+        assert result.seconds > 0
+        price = platform.instance_type(config.instance_type).hourly_price
+        assert result.cost == pytest.approx(
+            result.seconds / 3600.0 * result.instances * price
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(chars=chars_strategy(), config_index=st.integers(min_value=0, max_value=1000))
+    def test_bitwise_determinism(self, platform, chars, config_index):
+        configs = candidate_configs(chars)
+        config = configs[config_index % len(configs)]
+        workload = Workload.pure_io("prop-det", chars)
+        a = simulate_run(workload, config, platform)
+        b = simulate_run(workload, config, platform)
+        assert a.seconds == b.seconds and a.cost == b.cost
+
+    @settings(max_examples=30, deadline=None)
+    @given(chars=chars_strategy(), config_index=st.integers(min_value=0, max_value=1000))
+    def test_breakdown_sums_to_total(self, platform, chars, config_index):
+        configs = candidate_configs(chars)
+        config = configs[config_index % len(configs)]
+        result = simulate_run(Workload.pure_io("prop-sum", chars), config, platform)
+        assert sum(result.breakdown.values()) == pytest.approx(
+            result.seconds, rel=0.01
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(chars=chars_strategy())
+    def test_more_data_never_faster(self, quiet_platform, chars):
+        configs = candidate_configs(chars)
+        config = configs[0]
+        double = dataclasses.replace(chars, data_bytes=chars.data_bytes * 2)
+        small = simulate_run(Workload.pure_io("p-small", chars), config, quiet_platform)
+        large = simulate_run(Workload.pure_io("p-large", double), config, quiet_platform)
+        assert large.seconds >= small.seconds - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(chars=chars_strategy())
+    def test_placement_instance_accounting(self, platform, chars):
+        workload = Workload.pure_io("prop-place", chars)
+        for config in candidate_configs(chars):
+            if config.placement is not Placement.PART_TIME:
+                continue
+            result = simulate_run(workload, config, platform)
+            dedicated = dataclasses.replace(config, placement=Placement.DEDICATED)
+            dedicated_result = simulate_run(workload, dedicated, platform)
+            assert (
+                dedicated_result.instances == result.instances + config.io_servers
+            )
+            break
+
+
+class TestNoiseEnvelope:
+    @settings(max_examples=15, deadline=None)
+    @given(chars=chars_strategy(), rep=st.integers(min_value=0, max_value=50))
+    def test_noise_stays_within_sane_envelope(self, platform, quiet_platform, chars, rep):
+        """Multi-tenant noise perturbs but never dominates (<< 2x)."""
+        config = candidate_configs(chars)[0]
+        workload = Workload.pure_io("prop-noise", chars)
+        noisy = IOSimulator(platform).run(workload, config, rep=rep)
+        clean = IOSimulator(quiet_platform).run(workload, config)
+        assert 0.5 < noisy.seconds / clean.seconds < 2.0

@@ -1,0 +1,120 @@
+"""Tests for the I/O-library lowering layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.iosim.interface import COLLECTIVE_BUFFER_BYTES, lower_io
+from repro.space.characteristics import IOInterface, OpKind
+from repro.util.units import KIB, MIB
+
+
+class TestCollectiveTwoPhase:
+    def test_one_aggregator_per_node(self, simple_chars):
+        lowered = lower_io(simple_chars, compute_nodes=4)
+        assert lowered.aggregators == 4
+        assert all(p.writers == 4 for p in lowered.patterns)
+
+    def test_requests_coalesce_to_collective_buffer(self, simple_chars):
+        small_requests = dataclasses.replace(simple_chars, request_bytes=256 * KIB)
+        lowered = lower_io(small_requests, compute_nodes=4)
+        assert lowered.patterns[0].request_bytes == COLLECTIVE_BUFFER_BYTES
+
+    def test_shuffle_moves_non_aggregator_data(self, simple_chars):
+        lowered = lower_io(simple_chars, compute_nodes=4)
+        total = simple_chars.total_bytes_per_iteration
+        # 4 of 64 ranks hold data locally; 60/64 of it must move
+        assert lowered.shuffle_bytes == pytest.approx(total * 60 / 64)
+
+    def test_no_shuffle_when_every_rank_aggregates(self, simple_chars):
+        lowered = lower_io(simple_chars, compute_nodes=64)
+        assert lowered.shuffle_bytes == 0.0
+
+    def test_aggregation_linearizes_access(self, simple_chars):
+        lowered = lower_io(simple_chars, compute_nodes=4)
+        assert lowered.patterns[0].sequential_per_stream
+
+
+class TestIndependentIO:
+    def test_every_io_process_writes(self, posix_chars):
+        lowered = lower_io(posix_chars, compute_nodes=8)
+        assert lowered.aggregators == posix_chars.num_io_processes
+        assert lowered.shuffle_bytes == 0.0
+
+    def test_shared_file_interleaving_defeats_coalescing(self, simple_chars):
+        independent = dataclasses.replace(simple_chars, collective=False)
+        lowered = lower_io(independent, compute_nodes=4)
+        assert not lowered.patterns[0].sequential_per_stream
+
+    def test_file_per_process_stays_sequential(self, posix_chars):
+        lowered = lower_io(posix_chars, compute_nodes=8)
+        assert lowered.patterns[0].sequential_per_stream
+
+    def test_request_size_preserved(self, posix_chars):
+        lowered = lower_io(posix_chars, compute_nodes=8)
+        assert lowered.patterns[0].request_bytes == posix_chars.request_bytes
+
+
+class TestDirections:
+    def test_write_only_one_pattern(self, simple_chars):
+        lowered = lower_io(simple_chars, compute_nodes=4)
+        assert len(lowered.patterns) == 1
+        assert lowered.patterns[0].op is OpKind.WRITE
+
+    def test_readwrite_splits_evenly(self, simple_chars):
+        mixed = dataclasses.replace(simple_chars, op=OpKind.READWRITE)
+        lowered = lower_io(mixed, compute_nodes=4)
+        assert {p.op for p in lowered.patterns} == {OpKind.READ, OpKind.WRITE}
+        total = simple_chars.total_bytes_per_iteration
+        for pattern in lowered.patterns:
+            assert pattern.bytes_total == pytest.approx(total / 2)
+
+
+class TestHdf5:
+    def test_hdf5_adds_serialized_metadata(self, simple_chars):
+        hdf5 = dataclasses.replace(simple_chars, interface=IOInterface.HDF5)
+        plain = lower_io(simple_chars, compute_nodes=4)
+        library = lower_io(hdf5, compute_nodes=4)
+        assert plain.patterns[0].serial_small_ops == 0
+        assert library.patterns[0].serial_small_ops > 0
+
+    def test_hdf5_metadata_scales_with_volume(self, simple_chars):
+        small = dataclasses.replace(
+            simple_chars, interface=IOInterface.HDF5, data_bytes=4 * MIB
+        )
+        large = dataclasses.replace(
+            simple_chars, interface=IOInterface.HDF5, data_bytes=512 * MIB
+        )
+        assert (
+            lower_io(large, 4).patterns[0].serial_small_ops
+            > lower_io(small, 4).patterns[0].serial_small_ops
+        )
+
+    def test_metadata_only_on_write_direction(self, simple_chars):
+        mixed = dataclasses.replace(
+            simple_chars, interface=IOInterface.HDF5, op=OpKind.READWRITE
+        )
+        lowered = lower_io(mixed, compute_nodes=4)
+        by_op = {p.op: p for p in lowered.patterns}
+        assert by_op[OpKind.WRITE].serial_small_ops > 0
+        assert by_op[OpKind.READ].serial_small_ops == 0
+
+
+class TestMetadataOps:
+    def test_file_per_process_creates_per_rank(self, posix_chars):
+        lowered = lower_io(posix_chars, compute_nodes=8)
+        assert lowered.patterns[0].metadata_ops == posix_chars.num_io_processes
+
+    def test_shared_file_few_opens(self, simple_chars):
+        lowered = lower_io(simple_chars, compute_nodes=4)
+        assert lowered.patterns[0].metadata_ops == 2
+
+
+class TestClientOverhead:
+    def test_positive_and_small(self, posix_chars):
+        lowered = lower_io(posix_chars, compute_nodes=8)
+        assert 0.0 < lowered.client_overhead_seconds < 0.1
+
+    def test_bad_nodes_rejected(self, simple_chars):
+        with pytest.raises(ValueError):
+            lower_io(simple_chars, compute_nodes=0)

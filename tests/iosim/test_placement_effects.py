@@ -1,0 +1,141 @@
+"""Directional tests of the placement-interference mechanisms.
+
+These pin the signs of the part-time trade-off the paper's observation 1
+rests on: co-location saves instances and gains locality but steals NIC
+and CPU from both sides.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.iosim.engine import simulate_run
+from repro.iosim.workload import Workload
+from repro.space.configuration import FileSystemKind, SystemConfig
+from repro.util.units import MIB
+
+
+def pvfs(placement: Placement, servers: int = 4) -> SystemConfig:
+    return SystemConfig(
+        device=DeviceKind.EPHEMERAL, file_system=FileSystemKind.PVFS2,
+        instance_type="cc2.8xlarge", io_servers=servers,
+        placement=placement, stripe_bytes=4 * MIB,
+    )
+
+
+@pytest.fixture()
+def io_heavy(simple_chars):
+    big = dataclasses.replace(simple_chars, data_bytes=256 * MIB,
+                              request_bytes=16 * MIB)
+    return Workload(name="io-heavy", chars=big,
+                    compute_seconds_per_iteration=1.0)
+
+
+class TestComputeDrag:
+    def test_part_time_inflates_compute_phases(self, quiet_platform, simple_chars):
+        compute_heavy = Workload(
+            name="compute-heavy", chars=simple_chars,
+            compute_seconds_per_iteration=10.0, cpu_intensity=0.9,
+        )
+        dedicated = simulate_run(compute_heavy, pvfs(Placement.DEDICATED), quiet_platform)
+        part_time = simulate_run(compute_heavy, pvfs(Placement.PART_TIME), quiet_platform)
+        assert part_time.breakdown["compute"] > dedicated.breakdown["compute"]
+
+    def test_drag_scales_with_server_share(self, quiet_platform, simple_chars):
+        compute_heavy = Workload(
+            name="compute-heavy-2", chars=simple_chars,
+            compute_seconds_per_iteration=10.0, cpu_intensity=0.9,
+        )
+        one = simulate_run(compute_heavy, pvfs(Placement.PART_TIME, 1), quiet_platform)
+        four = simulate_run(compute_heavy, pvfs(Placement.PART_TIME, 4), quiet_platform)
+        assert four.breakdown["compute"] > one.breakdown["compute"]
+
+
+class TestNicStealing:
+    """NIC stealing binds where the server ingests at network speed —
+    NFS write-back absorption — not on disk-bound striped streaming."""
+
+    @staticmethod
+    def _nfs(placement: Placement) -> SystemConfig:
+        return SystemConfig(
+            device=DeviceKind.EPHEMERAL, file_system=FileSystemKind.NFS,
+            instance_type="cc2.8xlarge", io_servers=1,
+            placement=placement, stripe_bytes=None,
+        )
+
+    def test_comm_intensity_slows_part_time_io(self, quiet_platform, io_heavy):
+        quiet = dataclasses.replace(io_heavy, name="quiet-comm", comm_intensity=0.0)
+        chatty = dataclasses.replace(io_heavy, name="chatty-comm", comm_intensity=1.0)
+        quiet_run = simulate_run(quiet, self._nfs(Placement.PART_TIME), quiet_platform)
+        chatty_run = simulate_run(chatty, self._nfs(Placement.PART_TIME), quiet_platform)
+        assert chatty_run.breakdown["io"] > quiet_run.breakdown["io"]
+
+    def test_comm_intensity_irrelevant_for_dedicated_io(self, quiet_platform, io_heavy):
+        quiet = dataclasses.replace(io_heavy, name="quiet-comm-d", comm_intensity=0.0)
+        chatty = dataclasses.replace(io_heavy, name="chatty-comm-d", comm_intensity=1.0)
+        quiet_run = simulate_run(quiet, self._nfs(Placement.DEDICATED), quiet_platform)
+        chatty_run = simulate_run(chatty, self._nfs(Placement.DEDICATED), quiet_platform)
+        assert chatty_run.breakdown["io"] == pytest.approx(
+            quiet_run.breakdown["io"], rel=1e-6
+        )
+
+    def test_disk_bound_striped_io_insensitive_to_nic_steal(
+        self, quiet_platform, io_heavy
+    ):
+        """PVFS2 on ephemeral disks is disk-bound: the stolen NIC share
+        still exceeds the disks, so comm intensity does not move I/O."""
+        quiet = dataclasses.replace(io_heavy, name="quiet-comm-p", comm_intensity=0.0)
+        chatty = dataclasses.replace(io_heavy, name="chatty-comm-p", comm_intensity=1.0)
+        quiet_run = simulate_run(quiet, pvfs(Placement.PART_TIME), quiet_platform)
+        chatty_run = simulate_run(chatty, pvfs(Placement.PART_TIME), quiet_platform)
+        assert chatty_run.breakdown["io"] == pytest.approx(
+            quiet_run.breakdown["io"], rel=0.01
+        )
+
+
+class TestCpuStealing:
+    def test_cpu_intensity_inflates_part_time_service(self, quiet_platform, io_heavy):
+        idle = dataclasses.replace(io_heavy, name="idle-cpu", cpu_intensity=0.0)
+        busy = dataclasses.replace(io_heavy, name="busy-cpu", cpu_intensity=1.0)
+        idle_run = simulate_run(idle, pvfs(Placement.PART_TIME), quiet_platform)
+        busy_run = simulate_run(busy, pvfs(Placement.PART_TIME), quiet_platform)
+        assert busy_run.breakdown["io"] > idle_run.breakdown["io"]
+
+
+class TestLocalityBonus:
+    def test_part_time_io_can_beat_dedicated_when_writers_match_servers(
+        self, quiet_platform, simple_chars
+    ):
+        """With aggregators == servers the locality bonus (25% of bytes
+        local at W=S=4) can outweigh interference for quiet workloads."""
+        collective = Workload(
+            name="quiet-collective", chars=simple_chars,
+            cpu_intensity=0.0, comm_intensity=0.0,
+        )
+        dedicated = simulate_run(collective, pvfs(Placement.DEDICATED), quiet_platform)
+        part_time = simulate_run(collective, pvfs(Placement.PART_TIME), quiet_platform)
+        # io within 20% of dedicated, while the bill drops by the server count
+        assert part_time.breakdown["io"] <= dedicated.breakdown["io"] * 1.2
+        assert part_time.instances < dedicated.instances
+
+    def test_part_time_cost_advantage(self, quiet_platform, simple_chars):
+        """The cost side of observation 1, end to end."""
+        collective = Workload(
+            name="quiet-collective-2", chars=simple_chars,
+            compute_seconds_per_iteration=2.0,
+            cpu_intensity=0.3, comm_intensity=0.2,
+        )
+        dedicated = simulate_run(collective, pvfs(Placement.DEDICATED), quiet_platform)
+        part_time = simulate_run(collective, pvfs(Placement.PART_TIME), quiet_platform)
+        assert part_time.cost < dedicated.cost
+
+
+class TestEbsNicShare:
+    def test_ebs_halves_server_nic(self, quiet_platform, io_heavy):
+        """EBS traffic rides the server NIC, throttling remote ingest."""
+        eph = simulate_run(io_heavy, pvfs(Placement.DEDICATED), quiet_platform)
+        ebs_config = dataclasses.replace(pvfs(Placement.DEDICATED), device=DeviceKind.EBS)
+        ebs = simulate_run(io_heavy, ebs_config, quiet_platform)
+        assert ebs.breakdown["io"] > eph.breakdown["io"]

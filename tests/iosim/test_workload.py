@@ -1,0 +1,35 @@
+"""Tests for the Workload description."""
+
+import pytest
+
+from repro.iosim.workload import Workload
+
+
+class TestWorkload:
+    def test_pure_io_has_no_compute(self, simple_chars):
+        workload = Workload.pure_io("ior-case", simple_chars)
+        assert workload.compute_seconds_per_iteration == 0.0
+        assert workload.comm_seconds_per_iteration == 0.0
+
+    def test_iterations_delegates_to_chars(self, simple_chars):
+        assert Workload.pure_io("w", simple_chars).iterations == simple_chars.iterations
+
+    def test_needs_name(self, simple_chars):
+        with pytest.raises(ValueError):
+            Workload(name="", chars=simple_chars)
+
+    @pytest.mark.parametrize("field", ["cpu_intensity", "comm_intensity"])
+    def test_intensities_bounded(self, simple_chars, field):
+        with pytest.raises(ValueError):
+            Workload(name="w", chars=simple_chars, **{field: 1.5})
+
+    def test_negative_phases_rejected(self, simple_chars):
+        with pytest.raises(ValueError):
+            Workload(name="w", chars=simple_chars, compute_seconds_per_iteration=-1.0)
+
+    def test_with_chars_replaces_only_chars(self, simple_chars):
+        workload = Workload(name="w", chars=simple_chars, cpu_intensity=0.7)
+        scaled = workload.with_chars(simple_chars.scaled(256))
+        assert scaled.chars.num_processes == 256
+        assert scaled.cpu_intensity == 0.7
+        assert scaled.name == "w"

@@ -1,0 +1,109 @@
+"""Tests for feature encoding of exploration-space points."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ml.encoding import FeatureEncoder, point_values
+from repro.space.characteristics import IOInterface, OpKind
+from repro.space.configuration import BASELINE_CONFIG
+from repro.space.grid import candidate_configs
+from repro.space.parameters import PARAMETERS
+from repro.util.units import MIB
+
+
+class TestPointValues:
+    def test_covers_all_fifteen_dimensions(self, simple_chars):
+        values = point_values(BASELINE_CONFIG, simple_chars)
+        assert set(values) == {p.name for p in PARAMETERS}
+
+    def test_hdf5_normalized_to_mpiio(self, simple_chars):
+        import dataclasses
+
+        hdf5 = dataclasses.replace(simple_chars, interface=IOInterface.HDF5)
+        values = point_values(BASELINE_CONFIG, hdf5)
+        assert values["interface"] is IOInterface.MPIIO
+
+    def test_nfs_stripe_is_none(self, simple_chars):
+        assert point_values(BASELINE_CONFIG, simple_chars)["stripe_bytes"] is None
+
+
+class TestFeatureEncoder:
+    def test_default_width_is_fifteen(self):
+        assert FeatureEncoder().width == 15
+
+    def test_subset_selects_columns(self):
+        encoder = FeatureEncoder(["data_bytes", "file_system"])
+        assert encoder.width == 2
+        assert encoder.names == ("data_bytes", "file_system")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureEncoder([])
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            FeatureEncoder(["data_bytes", "bogus"])
+
+    def test_numeric_log2_encoding(self, simple_chars):
+        encoder = FeatureEncoder(["data_bytes"])
+        vector = encoder.encode_point(BASELINE_CONFIG, simple_chars)
+        assert vector[0] == pytest.approx(math.log2(simple_chars.data_bytes))
+
+    def test_none_stripe_encodes_as_low(self, simple_chars):
+        encoder = FeatureEncoder(["stripe_bytes"])
+        vector = encoder.encode_point(BASELINE_CONFIG, simple_chars)
+        assert vector[0] == pytest.approx(math.log2(64 * 1024))
+
+    def test_readwrite_op_encodes_midpoint(self, simple_chars):
+        import dataclasses
+
+        mixed = dataclasses.replace(simple_chars, op=OpKind.READWRITE)
+        encoder = FeatureEncoder(["op"])
+        assert encoder.encode_point(BASELINE_CONFIG, mixed)[0] == 0.5
+
+    def test_encode_many_stacks(self, simple_chars):
+        encoder = FeatureEncoder()
+        configs = candidate_configs(simple_chars)[:5]
+        matrix = encoder.encode_many(
+            [point_values(c, simple_chars) for c in configs]
+        )
+        assert matrix.shape == (5, 15)
+        assert np.isfinite(matrix).all()
+
+    def test_encode_many_empty(self):
+        assert FeatureEncoder().encode_many([]).shape == (0, 15)
+
+    def test_distinct_configs_distinct_vectors(self, simple_chars):
+        encoder = FeatureEncoder()
+        configs = candidate_configs(simple_chars)
+        vectors = {tuple(encoder.encode_point(c, simple_chars)) for c in configs}
+        # NFS rows collapse stripe and server columns but still differ in
+        # device/placement/instance, so most vectors are unique
+        assert len(vectors) == len(configs)
+
+    def test_column_lookup(self):
+        encoder = FeatureEncoder(["op", "data_bytes"])
+        assert encoder.column("data_bytes") == 1
+        with pytest.raises(KeyError):
+            encoder.column("file_system")
+
+    def test_deterministic(self, simple_chars):
+        encoder = FeatureEncoder()
+        a = encoder.encode_point(BASELINE_CONFIG, simple_chars)
+        b = encoder.encode_point(BASELINE_CONFIG, simple_chars)
+        assert np.array_equal(a, b)
+
+
+class TestEncodeValuesEdgeCases:
+    def test_values_dict_roundtrip(self, simple_chars):
+        encoder = FeatureEncoder()
+        direct = encoder.encode_point(BASELINE_CONFIG, simple_chars)
+        via_dict = encoder.encode_values(point_values(BASELINE_CONFIG, simple_chars))
+        assert np.array_equal(direct, via_dict)
+
+    def test_missing_value_treated_as_inapplicable(self):
+        encoder = FeatureEncoder(["stripe_bytes"])
+        vector = encoder.encode_values({})
+        assert vector[0] == pytest.approx(math.log2(64 * 1024))

@@ -1,0 +1,92 @@
+"""Tests for the random-forest learner."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+
+
+def noisy_step(n=300, seed=11):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 3))
+    y = (X[:, 0] > 0.5).astype(float) + rng.normal(0, 0.3, size=n)
+    return X, y
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_bad_tree_count(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_rejects_bad_feature_fraction(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(feature_fraction=0.0).fit(
+                np.zeros((5, 2)), np.zeros(5)
+            )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+
+class TestLearning:
+    def test_learns_step_function(self):
+        X, y = noisy_step()
+        model = RandomForestRegressor(n_trees=20).fit(X, y)
+        clean = (X[:, 0] > 0.5).astype(float)
+        assert np.mean((model.predict(X) - clean) ** 2) < 0.05
+
+    def test_smoother_than_single_tree(self):
+        """Bagging reduces variance on noisy targets."""
+        from repro.ml.cart import CartTree
+
+        X, y = noisy_step()
+        X_test, y_test = noisy_step(seed=99)
+        clean_test = (X_test[:, 0] > 0.5).astype(float)
+        tree_mse = np.mean(
+            (CartTree(min_samples_leaf=1).fit(X, y).predict(X_test) - clean_test) ** 2
+        )
+        forest_mse = np.mean(
+            (RandomForestRegressor(n_trees=25, min_samples_leaf=1)
+             .fit(X, y).predict(X_test) - clean_test) ** 2
+        )
+        assert forest_mse < tree_mse
+
+    def test_deterministic_under_seed(self):
+        X, y = noisy_step()
+        a = RandomForestRegressor(seed=7).fit(X, y).predict(X)
+        b = RandomForestRegressor(seed=7).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_single_vector_predict(self):
+        X, y = noisy_step()
+        model = RandomForestRegressor(n_trees=5).fit(X, y)
+        assert model.predict(X[0]).shape == (1,)
+
+
+class TestUncertainty:
+    def test_spread_larger_off_manifold(self):
+        X, y = noisy_step()
+        model = RandomForestRegressor(n_trees=25).fit(X, y)
+        near_boundary = np.array([[0.5, 0.5, 0.5]])
+        deep_inside = np.array([[0.05, 0.5, 0.5]])
+        assert model.predict_std(near_boundary)[0] > model.predict_std(deep_inside)[0]
+
+    def test_std_nonnegative(self):
+        X, y = noisy_step()
+        model = RandomForestRegressor(n_trees=10).fit(X, y)
+        assert np.all(model.predict_std(X) >= 0)
+
+
+class TestRegistry:
+    def test_forest_registered(self):
+        from repro.ml.registry import available_learners, make_learner
+
+        assert "forest" in available_learners()
+        model = make_learner("forest")
+        X, y = noisy_step(n=100)
+        assert np.isfinite(model.fit(X, y).predict(X)).all()

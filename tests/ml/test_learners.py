@@ -1,0 +1,121 @@
+"""Tests for the alternative plug-in learners and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KnnRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.registry import Learner, available_learners, make_learner, register_learner
+
+
+def linear_data(n=120, seed=4):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5
+    return X, y
+
+
+class TestKnn:
+    def test_exact_on_training_points(self):
+        X, y = linear_data()
+        model = KnnRegressor(k=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_interpolates_sensibly(self):
+        X, y = linear_data()
+        model = KnnRegressor(k=5).fit(X, y)
+        predictions = model.predict(X)
+        assert np.mean((predictions - y) ** 2) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnnRegressor(k=0).fit(np.zeros((3, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            KnnRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+        with pytest.raises(RuntimeError):
+            KnnRegressor().predict(np.zeros((1, 1)))
+
+    def test_k_larger_than_data_clamps(self):
+        X, y = linear_data(n=3)
+        model = KnnRegressor(k=50).fit(X, y)
+        assert model.predict(X[:1]).shape == (1,)
+
+    def test_uniform_weights_mode(self):
+        X, y = linear_data()
+        model = KnnRegressor(k=5, weight_power=0.0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_constant_feature_column_handled(self):
+        X, y = linear_data()
+        X = np.hstack([X, np.ones((X.shape[0], 1))])  # zero-variance column
+        model = KnnRegressor(k=3).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+
+class TestRidge:
+    def test_recovers_linear_function(self):
+        X, y = linear_data()
+        model = RidgeRegressor(alpha=1e-6, interactions=False).fit(X, y)
+        assert np.mean((model.predict(X) - y) ** 2) < 1e-6
+
+    def test_interactions_capture_products(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-1, 1, size=(200, 2))
+        y = X[:, 0] * X[:, 1]
+        plain = RidgeRegressor(alpha=1e-6, interactions=False).fit(X, y)
+        crossed = RidgeRegressor(alpha=1e-6, interactions=True).fit(X, y)
+        assert np.mean((crossed.predict(X) - y) ** 2) < np.mean(
+            (plain.predict(X) - y) ** 2
+        )
+
+    def test_regularization_shrinks(self):
+        X, y = linear_data()
+        loose = RidgeRegressor(alpha=1e-6, interactions=False).fit(X, y)
+        tight = RidgeRegressor(alpha=1e4, interactions=False).fit(X, y)
+        spread_loose = np.ptp(loose.predict(X))
+        spread_tight = np.ptp(tight.predict(X))
+        assert spread_tight < spread_loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0).fit(np.zeros((3, 1)), np.zeros(3))
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 1)))
+
+    def test_single_vector_predict(self):
+        X, y = linear_data()
+        model = RidgeRegressor().fit(X, y)
+        assert model.predict(X[0]).shape == (1,)
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert {"cart", "knn", "ridge"} <= set(available_learners())
+
+    def test_make_learner_returns_protocol(self):
+        for name in available_learners():
+            assert isinstance(make_learner(name), Learner)
+
+    def test_instances_are_fresh(self):
+        assert make_learner("cart") is not make_learner("cart")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="cart"):
+            make_learner("gradient-boosting")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_learner("cart", lambda: KnnRegressor())
+
+    def test_custom_registration(self):
+        register_learner("knn-test-variant", lambda: KnnRegressor(k=2))
+        model = make_learner("knn-test-variant")
+        assert isinstance(model, KnnRegressor) and model.k == 2
+
+    def test_all_learners_fit_and_predict(self):
+        X, y = linear_data()
+        for name in ("cart", "knn", "ridge"):
+            model = make_learner(name).fit(X, y)
+            predictions = model.predict(X)
+            assert predictions.shape == (len(y),)
+            assert np.isfinite(predictions).all()

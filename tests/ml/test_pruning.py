@@ -1,0 +1,78 @@
+"""Tests for cost-complexity pruning."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cart import CartTree
+from repro.ml.pruning import cost_complexity_prune, prune_path, prune_to_alpha
+
+
+def noisy_step(n=300, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 2))
+    y = (X[:, 0] > 0.5).astype(float) + rng.normal(0, 0.35, size=n)
+    return X, y
+
+
+@pytest.fixture()
+def overfit_tree():
+    X, y = noisy_step()
+    return CartTree(min_samples_leaf=1).fit(X, y), X, y
+
+
+class TestPrunePath:
+    def test_starts_full_ends_stump(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        path = prune_path(tree)
+        assert path[0] == (0.0, tree.n_leaves())
+        assert path[-1][1] == 1
+
+    def test_alphas_nondecreasing_leaves_decreasing(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        path = prune_path(tree)
+        alphas = [a for a, _ in path]
+        leaves = [l for _, l in path]
+        assert alphas == sorted(alphas)
+        assert all(a > b for a, b in zip(leaves, leaves[1:]))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            prune_path(CartTree())
+
+
+class TestPruneToAlpha:
+    def test_alpha_zero_keeps_tree(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        assert prune_to_alpha(tree, 0.0).n_leaves() == tree.n_leaves()
+
+    def test_huge_alpha_collapses_to_stump(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        assert prune_to_alpha(tree, 1e12).n_leaves() == 1
+
+    def test_monotone_in_alpha(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        sizes = [prune_to_alpha(tree, a).n_leaves() for a in (0.0, 0.01, 0.1, 1.0, 10.0)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_original_untouched(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        before = tree.n_leaves()
+        prune_to_alpha(tree, 1e12)
+        assert tree.n_leaves() == before
+
+
+class TestCostComplexityPrune:
+    def test_pruned_generalizes_better(self, overfit_tree):
+        tree, X, y = overfit_tree
+        X_val, y_val = noisy_step(seed=99)
+        pruned = cost_complexity_prune(tree, X_val, y_val)
+        X_test, y_test = noisy_step(seed=123)
+        overfit_mse = np.mean((tree.predict(X_test) - y_test) ** 2)
+        pruned_mse = np.mean((pruned.predict(X_test) - y_test) ** 2)
+        assert pruned.n_leaves() < tree.n_leaves()
+        assert pruned_mse <= overfit_mse * 1.02
+
+    def test_empty_validation_rejected(self, overfit_tree):
+        tree, _, _ = overfit_tree
+        with pytest.raises(ValueError):
+            cost_complexity_prune(tree, np.empty((0, 2)), np.empty(0))

@@ -1,0 +1,114 @@
+"""Tests for Plackett-Burman matrix construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pb.design import (
+    SUPPORTED_RUN_SIZES,
+    PBDesign,
+    foldover,
+    next_multiple_of_four,
+    pb_matrix,
+)
+
+
+class TestRunCount:
+    @pytest.mark.parametrize("n,expected", [(1, 4), (3, 4), (5, 8), (7, 8), (15, 16), (19, 20)])
+    def test_paper_rule(self, n, expected):
+        # the paper's examples: N=5 -> 8 runs, N=15 -> 16 runs
+        assert next_multiple_of_four(n) == expected
+
+    def test_too_many_parameters(self):
+        with pytest.raises(ValueError, match="beyond"):
+            next_multiple_of_four(24)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            next_multiple_of_four(0)
+
+
+class TestMatrixStructure:
+    def test_paper_table2_matrix_exact(self):
+        """Our construction reproduces the paper's Table 2 row for row."""
+        expected = np.array(
+            [
+                [+1, +1, +1, -1, +1],
+                [-1, +1, +1, +1, -1],
+                [-1, -1, +1, +1, +1],
+                [+1, -1, -1, +1, +1],
+                [-1, +1, -1, -1, +1],
+                [+1, -1, +1, -1, -1],
+                [+1, +1, -1, +1, -1],
+                [-1, -1, -1, -1, -1],
+            ],
+            dtype=np.int8,
+        )
+        assert np.array_equal(pb_matrix(5), expected)
+
+    @given(st.integers(min_value=1, max_value=23))
+    def test_entries_are_signs(self, n):
+        matrix = pb_matrix(n)
+        assert set(np.unique(matrix)) <= {-1, 1}
+
+    @given(st.integers(min_value=1, max_value=23))
+    def test_shape(self, n):
+        matrix = pb_matrix(n)
+        assert matrix.shape == (next_multiple_of_four(n), n)
+
+    @given(st.integers(min_value=1, max_value=23))
+    def test_columns_balanced(self, n):
+        """Every factor spends exactly half its runs at the high level."""
+        matrix = pb_matrix(n)
+        sums = matrix.sum(axis=0)
+        assert np.all(sums == 0)
+
+    @given(st.integers(min_value=2, max_value=23))
+    def test_columns_orthogonal(self, n):
+        """PB designs are orthogonal main-effect arrays."""
+        matrix = pb_matrix(n).astype(int)
+        gram = matrix.T @ matrix
+        off_diagonal = gram - np.diag(np.diag(gram))
+        assert np.all(off_diagonal == 0)
+
+    def test_supported_sizes_exposed(self):
+        assert 8 in SUPPORTED_RUN_SIZES and 16 in SUPPORTED_RUN_SIZES
+
+
+class TestFoldover:
+    @given(st.integers(min_value=1, max_value=23))
+    def test_doubles_and_negates(self, n):
+        base = pb_matrix(n)
+        folded = foldover(base)
+        assert folded.shape == (2 * base.shape[0], n)
+        assert np.array_equal(folded[base.shape[0]:], -base)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            foldover(np.array([1, -1, 1]))
+
+    @given(st.integers(min_value=1, max_value=23))
+    def test_foldover_columns_balanced(self, n):
+        assert np.all(foldover(pb_matrix(n)).sum(axis=0) == 0)
+
+
+class TestPBDesign:
+    def test_build_for_fifteen_parameters(self):
+        """The ACIC design: N=15, N'=16, foldover -> 32 runs (Section 4.1)."""
+        design = PBDesign.build([f"p{i}" for i in range(15)])
+        assert design.runs == 32
+
+    def test_unfolded(self):
+        design = PBDesign.build(["a", "b", "c", "d", "e"], folded=False)
+        assert design.runs == 8
+
+    def test_assignments_align_with_names(self):
+        design = PBDesign.build(["a", "b", "c"], folded=False)
+        rows = design.assignments()
+        assert len(rows) == design.runs
+        assert set(rows[0]) == {"a", "b", "c"}
+        assert all(v in (-1, 1) for row in rows for v in row.values())
+
+    def test_name_count_must_match(self):
+        with pytest.raises(ValueError):
+            PBDesign(names=("a",), matrix=pb_matrix(3))

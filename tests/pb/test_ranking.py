@@ -1,0 +1,93 @@
+"""Tests for PB effect computation and the IOR screening campaign."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pb.design import pb_matrix
+from repro.pb.ranking import compute_effects, rank_parameters, screen_parameters
+from repro.space.parameters import PARAMETERS
+
+
+class TestComputeEffects:
+    def test_paper_table2_effects(self):
+        effects = compute_effects(pb_matrix(5), [19, 21, 2, 11, 72, 100, 8, 3])
+        assert effects.tolist() == [40.0, 4.0, 48.0, 152.0, 28.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_effects(pb_matrix(5), [1.0, 2.0])
+
+    def test_constant_response_no_effects(self):
+        effects = compute_effects(pb_matrix(7), [5.0] * 8)
+        assert np.all(effects == 0.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=8, max_size=8))
+    def test_effects_nonnegative(self, response):
+        assert np.all(compute_effects(pb_matrix(5), response) >= 0.0)
+
+    def test_single_factor_signal_isolated(self):
+        """A response driven purely by column j ranks j first (orthogonality)."""
+        matrix = pb_matrix(7)
+        response = 10.0 * matrix[:, 3]
+        effects = compute_effects(matrix, response)
+        assert int(np.argmax(effects)) == 3
+
+
+class TestRankParameters:
+    def test_paper_table2_ranks(self):
+        effects = [40.0, 4.0, 48.0, 152.0, 28.0]
+        ranks = rank_parameters(["A", "B", "C", "D", "E"], effects)
+        assert ranks == {"A": 3, "B": 5, "C": 2, "D": 1, "E": 4}
+
+    def test_ranks_are_permutation(self):
+        ranks = rank_parameters(["x", "y", "z"], [1.0, 1.0, 5.0])
+        assert sorted(ranks.values()) == [1, 2, 3]
+
+    def test_ties_broken_deterministically(self):
+        a = rank_parameters(["x", "y"], [2.0, 2.0])
+        b = rank_parameters(["x", "y"], [2.0, 2.0])
+        assert a == b
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_parameters(["x"], [1.0, 2.0])
+
+
+class TestScreening:
+    def test_thirty_two_runs_for_acic_space(self, platform):
+        screening = screen_parameters(platform=platform)
+        assert screening.design.runs == 32  # foldover of N'=16
+
+    def test_ranks_cover_all_fifteen(self, platform):
+        screening = screen_parameters(platform=platform)
+        assert sorted(screening.ranks.values()) == list(range(1, 16))
+        assert set(screening.ranks) == {p.name for p in PARAMETERS}
+
+    def test_ranked_names_ordered_by_effect(self, platform):
+        screening = screen_parameters(platform=platform)
+        names = screening.ranked_names()
+        effects = [screening.effects[n] for n in names]
+        assert effects == sorted(effects, reverse=True)
+
+    def test_screening_reports_bill(self, platform):
+        screening = screen_parameters(platform=platform)
+        assert screening.run_seconds > 0 and screening.run_cost > 0
+
+    def test_deterministic(self, platform):
+        a = screen_parameters(platform=platform)
+        b = screen_parameters(platform=platform)
+        assert a.ranks == b.ranks
+
+    def test_custom_response_changes_ranking_input(self, platform):
+        inverted = screen_parameters(
+            platform=platform, response_fn=lambda spec, obs: -obs.seconds
+        )
+        plain = screen_parameters(platform=platform)
+        # |effect| of a negated response equals the seconds-response effects,
+        # which differ from the default (speedup) response
+        assert inverted.effects != plain.effects
+
+    def test_unfolded_is_half_the_runs(self, platform):
+        screening = screen_parameters(platform=platform, folded=False)
+        assert screening.design.runs == 16

@@ -1,0 +1,137 @@
+"""Tests for trace analysis -> application characteristics."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.profiler.analyze import summarize_trace
+from repro.profiler.trace import IOEvent
+from repro.space.characteristics import IOInterface, OpKind
+
+
+def data_event(rank=0, op="write", nbytes=1 << 20, file="shared.dat",
+               timestamp=0.0, iteration=-1, interface=IOInterface.POSIX,
+               collective=False) -> IOEvent:
+    return IOEvent(rank=rank, op=op, file=file, nbytes=nbytes,
+                   timestamp=timestamp, interface=interface,
+                   collective=collective, iteration=iteration)
+
+
+class TestAppRoundTrip:
+    @pytest.mark.parametrize(
+        "app_name,scale",
+        [("BTIO", 64), ("FLASHIO", 64), ("mpiBLAST", 32), ("MADbench2", 64)],
+    )
+    def test_recovers_model_characteristics_exactly(self, app_name, scale):
+        app = get_app(app_name)
+        truth = app.characteristics(scale)
+        summary = summarize_trace(
+            app.synthetic_trace(scale), num_processes=truth.num_processes
+        )
+        assert summary.characteristics == truth
+
+
+class TestBurstDetection:
+    def test_tagged_iterations_counted(self):
+        events = [data_event(iteration=i) for i in (1, 1, 2, 3)]
+        summary = summarize_trace(events, num_processes=4)
+        assert summary.characteristics.iterations == 3
+
+    def test_gap_clustering_without_tags(self):
+        events = [
+            data_event(timestamp=0.0),
+            data_event(timestamp=0.1),
+            data_event(timestamp=5.0),  # > 1s gap: new burst
+            data_event(timestamp=10.0),
+        ]
+        summary = summarize_trace(events, num_processes=4)
+        assert summary.characteristics.iterations == 3
+
+
+class TestDominance:
+    def test_pure_writes(self):
+        summary = summarize_trace([data_event(op="write")], num_processes=1)
+        assert summary.characteristics.op is OpKind.WRITE
+
+    def test_pure_reads(self):
+        summary = summarize_trace([data_event(op="read")], num_processes=1)
+        assert summary.characteristics.op is OpKind.READ
+
+    def test_mixed(self):
+        events = [data_event(op="write"), data_event(op="read")]
+        summary = summarize_trace(events, num_processes=1)
+        assert summary.characteristics.op is OpKind.READWRITE
+
+    def test_ninety_percent_threshold(self):
+        events = [data_event(op="write", nbytes=95)] + [data_event(op="read", nbytes=5)]
+        summary = summarize_trace(events, num_processes=1)
+        assert summary.characteristics.op is OpKind.WRITE
+
+
+class TestLayoutDetection:
+    def test_shared_file(self):
+        events = [data_event(rank=r, file="one.dat") for r in range(8)]
+        assert summarize_trace(events, num_processes=8).characteristics.shared_file
+
+    def test_file_per_process(self):
+        events = [data_event(rank=r, file=f"out.{r}") for r in range(8)]
+        assert not summarize_trace(events, num_processes=8).characteristics.shared_file
+
+    def test_io_process_count_from_ranks(self):
+        events = [data_event(rank=r) for r in (0, 1, 5)]
+        summary = summarize_trace(events, num_processes=16)
+        assert summary.characteristics.num_io_processes == 3
+        assert summary.characteristics.num_processes == 16
+
+
+class TestInterfaceAndCollective:
+    def test_majority_interface_wins(self):
+        events = [data_event(interface=IOInterface.MPIIO)] * 3 + [
+            data_event(interface=IOInterface.POSIX)
+        ]
+        summary = summarize_trace(events, num_processes=4)
+        assert summary.characteristics.interface is IOInterface.MPIIO
+
+    def test_collective_majority(self):
+        events = [
+            data_event(interface=IOInterface.MPIIO, collective=True) for _ in range(3)
+        ]
+        assert summarize_trace(events, num_processes=4).characteristics.collective
+
+    def test_inconsistent_collective_on_posix_dropped(self):
+        # a corrupt trace claiming collective POSIX must not crash
+        events = [data_event(interface=IOInterface.POSIX, collective=True)]
+        summary = summarize_trace(events, num_processes=4)
+        assert not summary.characteristics.collective
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="no read/write"):
+            summarize_trace([], num_processes=4)
+
+    def test_metadata_only_trace_rejected(self):
+        events = [IOEvent(rank=0, op="open", file="f")]
+        with pytest.raises(ValueError):
+            summarize_trace(events, num_processes=4)
+
+    def test_num_processes_must_cover_ranks(self):
+        events = [data_event(rank=r) for r in range(8)]
+        with pytest.raises(ValueError, match="smaller"):
+            summarize_trace(events, num_processes=4)
+
+    def test_zero_byte_events_rejected(self):
+        events = [data_event(nbytes=0)]
+        with pytest.raises(ValueError):
+            summarize_trace(events, num_processes=1)
+
+
+class TestStatistics:
+    def test_byte_accounting(self):
+        events = [data_event(op="write", nbytes=100), data_event(op="read", nbytes=40)]
+        summary = summarize_trace(events, num_processes=1)
+        assert summary.write_bytes == 100 and summary.read_bytes == 40
+
+    def test_request_percentiles_ordered(self):
+        events = [data_event(nbytes=n) for n in (1024, 2048, 1 << 20)]
+        summary = summarize_trace(events, num_processes=1)
+        assert summary.request_bytes_p50 <= summary.request_bytes_p95

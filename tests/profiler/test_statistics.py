@@ -1,0 +1,100 @@
+"""Tests for the deep trace-statistics module."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.profiler.statistics import compute_statistics, render_statistics
+from repro.profiler.trace import IOEvent
+
+
+def event(rank=0, op="write", nbytes=1 << 20, iteration=1, timestamp=0.0,
+          duration=0.01) -> IOEvent:
+    return IOEvent(rank=rank, op=op, file="f", nbytes=nbytes,
+                   timestamp=timestamp, duration=duration, iteration=iteration)
+
+
+class TestComputeStatistics:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            compute_statistics([])
+
+    def test_metadata_only_rejected(self):
+        with pytest.raises(ValueError):
+            compute_statistics([IOEvent(rank=0, op="open", file="f")])
+
+    def test_per_rank_accounting(self):
+        events = [
+            event(rank=0, op="write", nbytes=100),
+            event(rank=0, op="read", nbytes=50),
+            event(rank=1, op="write", nbytes=200),
+        ]
+        stats = compute_statistics(events)
+        assert len(stats.ranks) == 2
+        assert stats.ranks[0].write_bytes == 100
+        assert stats.ranks[0].read_bytes == 50
+        assert stats.ranks[1].total_bytes == 200
+        assert stats.total_bytes == 350
+
+    def test_imbalance_even(self):
+        events = [event(rank=r, nbytes=1000) for r in range(4)]
+        assert compute_statistics(events).imbalance == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        events = [event(rank=0, nbytes=3000)] + [
+            event(rank=r, nbytes=1000) for r in (1, 2, 3)
+        ]
+        stats = compute_statistics(events)
+        assert stats.imbalance == pytest.approx(3000 / 1500)
+
+    def test_burst_timing(self):
+        events = [
+            event(iteration=1, timestamp=0.0, duration=0.5),
+            event(iteration=1, timestamp=1.0, duration=0.5),
+            event(iteration=2, timestamp=10.0, duration=0.5),
+        ]
+        stats = compute_statistics(events)
+        assert len(stats.bursts) == 2
+        assert stats.bursts[0].duration == pytest.approx(1.5)
+        assert stats.bursts[0].events == 2
+
+    def test_histogram_buckets_by_log2(self):
+        events = [event(nbytes=1024), event(nbytes=1500), event(nbytes=1 << 20)]
+        stats = compute_statistics(events)
+        assert sum(stats.request_histogram.values()) == 3
+        assert len(stats.request_histogram) == 2  # 1024 & 1500 share a bucket
+
+    def test_bandwidth_from_durations(self):
+        events = [event(nbytes=10**6, duration=1.0)]
+        assert compute_statistics(events).effective_bandwidth == pytest.approx(1e6)
+
+    def test_zero_duration_trace(self):
+        events = [event(duration=0.0)]
+        assert compute_statistics(events).effective_bandwidth == 0.0
+
+
+class TestAppTraces:
+    @pytest.mark.parametrize("name,scale", [("BTIO", 64), ("mpiBLAST", 32)])
+    def test_app_traces_balanced(self, name, scale):
+        """Our app models emit perfectly balanced traces."""
+        trace = get_app(name).synthetic_trace(scale)
+        stats = compute_statistics(trace)
+        assert stats.imbalance == pytest.approx(1.0, rel=0.01)
+
+    def test_burst_count_matches_iterations(self):
+        app = get_app("MADbench2")
+        stats = compute_statistics(app.synthetic_trace(64))
+        assert len(stats.bursts) == app.characteristics(64).iterations
+
+
+class TestRender:
+    def test_render_mentions_key_figures(self):
+        events = [event(rank=r, iteration=i) for r in range(3) for i in (1, 2)]
+        text = render_statistics(compute_statistics(events))
+        assert "3 I/O ranks" in text
+        assert "2 bursts" in text
+        assert "request sizes:" in text
+
+    def test_render_truncates_bursts(self):
+        events = [event(iteration=i) for i in range(1, 30)]
+        text = render_statistics(compute_statistics(events), max_rows=5)
+        assert text.count("iter ") == 5

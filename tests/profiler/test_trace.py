@@ -1,0 +1,84 @@
+"""Tests for trace events and the tracing library."""
+
+import pytest
+
+from repro.profiler.trace import IOEvent, TraceReader, TraceWriter
+from repro.space.characteristics import IOInterface
+
+
+def event(**overrides) -> IOEvent:
+    defaults = dict(
+        rank=3, op="write", file="out.dat", nbytes=4096,
+        timestamp=1.5, duration=0.001,
+        interface=IOInterface.MPIIO, collective=True, iteration=2,
+    )
+    defaults.update(overrides)
+    return IOEvent(**defaults)
+
+
+class TestIOEvent:
+    def test_json_round_trip(self):
+        original = event()
+        restored = IOEvent.from_json(original.to_json())
+        assert restored == original
+
+    def test_interface_survives_serialization(self):
+        restored = IOEvent.from_json(event(interface=IOInterface.HDF5).to_json())
+        assert restored.interface is IOInterface.HDF5
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("rank", -1), ("op", "seek"), ("nbytes", -5), ("duration", -0.1)],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            event(**{field: value})
+
+    def test_metadata_events_carry_no_bytes(self):
+        assert event(op="open", nbytes=0).nbytes == 0
+
+
+class TestTraceWriterReader:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [event(rank=r) for r in range(5)]
+        with TraceWriter(path) as writer:
+            for e in events:
+                writer.record(e)
+        restored = list(TraceReader(path))
+        assert restored == events
+
+    def test_in_memory_writer(self):
+        writer = TraceWriter()
+        writer.record(event())
+        writer.flush()  # no-op without a path
+        assert len(writer.events) == 1
+
+    def test_iteration_auto_tagging(self):
+        writer = TraceWriter()
+        writer.record(event(iteration=-1))
+        writer.mark_iteration()
+        writer.record(event(iteration=-1))
+        assert writer.events[0].iteration == 0
+        assert writer.events[1].iteration == 1
+
+    def test_explicit_iteration_preserved(self):
+        writer = TraceWriter()
+        writer.record(event(iteration=9))
+        assert writer.events[0].iteration == 9
+
+    def test_reader_from_lines(self):
+        lines = [event(rank=r).to_json() for r in range(3)]
+        restored = list(TraceReader(lines))
+        assert [e.rank for e in restored] == [0, 1, 2]
+
+    def test_reader_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(event().to_json() + "\n\n" + event(rank=4).to_json() + "\n")
+        assert len(list(TraceReader(path))) == 2
+
+    def test_writer_context_flushes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            writer.record(event())
+        assert path.exists() and path.read_text().strip()

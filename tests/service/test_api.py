@@ -1,0 +1,106 @@
+"""Tests for the service JSON protocol."""
+
+import json
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.service.api import QueryRequest, QueryResponse, RecommendationPayload, ServiceError
+
+
+class TestQueryRequest:
+    def test_json_round_trip(self, simple_chars):
+        request = QueryRequest(
+            characteristics=simple_chars, goal=Goal.COST, top_k=5, learner="knn"
+        )
+        restored = QueryRequest.from_json(request.to_json())
+        assert restored.characteristics == simple_chars
+        assert restored.goal is Goal.COST
+        assert restored.top_k == 5
+        assert restored.learner == "knn"
+
+    def test_defaults_applied(self, simple_chars):
+        minimal = json.loads(QueryRequest(characteristics=simple_chars).to_json())
+        del minimal["goal"], minimal["top_k"], minimal["platform"], minimal["learner"]
+        request = QueryRequest.from_json(json.dumps(minimal))
+        assert request.goal is Goal.PERFORMANCE
+        assert request.top_k == 3
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            QueryRequest.from_json("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            QueryRequest.from_json("[1, 2]")
+
+    def test_rejects_missing_characteristics(self):
+        with pytest.raises(ServiceError, match="characteristics"):
+            QueryRequest.from_json('{"goal": "cost"}')
+
+    def test_rejects_missing_fields(self, simple_chars):
+        payload = json.loads(QueryRequest(characteristics=simple_chars).to_json())
+        del payload["characteristics"]["op"]
+        with pytest.raises(ServiceError, match="missing fields.*op"):
+            QueryRequest.from_json(json.dumps(payload))
+
+    def test_rejects_invalid_values(self, simple_chars):
+        payload = json.loads(QueryRequest(characteristics=simple_chars).to_json())
+        payload["characteristics"]["interface"] = "NFSv4"
+        with pytest.raises(ServiceError, match="invalid request field"):
+            QueryRequest.from_json(json.dumps(payload))
+
+    def test_rejects_inconsistent_characteristics(self, simple_chars):
+        payload = json.loads(QueryRequest(characteristics=simple_chars).to_json())
+        payload["characteristics"]["num_io_processes"] = 9999
+        with pytest.raises(ServiceError):
+            QueryRequest.from_json(json.dumps(payload))
+
+    def test_rejects_bad_top_k(self, simple_chars):
+        with pytest.raises(ServiceError):
+            QueryRequest(characteristics=simple_chars, top_k=0)
+
+    def test_fingerprint_distinguishes_goals(self, simple_chars):
+        perf = QueryRequest(characteristics=simple_chars, goal=Goal.PERFORMANCE)
+        cost = QueryRequest(characteristics=simple_chars, goal=Goal.COST)
+        assert perf.fingerprint != cost.fingerprint
+
+    def test_fingerprint_stable(self, simple_chars):
+        a = QueryRequest(characteristics=simple_chars)
+        b = QueryRequest.from_json(a.to_json())
+        assert a.fingerprint == b.fingerprint
+
+
+class TestQueryResponse:
+    def test_json_round_trip(self):
+        response = QueryResponse(
+            recommendations=(
+                RecommendationPayload(
+                    rank=1,
+                    config_key="pvfs.4.D.eph.cc2.4MB",
+                    description="4 dedicated PVFS2 servers",
+                    predicted_improvement=3.5,
+                    co_champion_group=1,
+                ),
+            ),
+            goal=Goal.COST,
+            platform="ec2-us-east",
+            model_points=1234,
+            model_epochs=(1, 3),
+            learner="cart",
+        )
+        restored = QueryResponse.from_json(response.to_json())
+        assert restored == response
+
+    def test_payload_shape(self):
+        response = QueryResponse(
+            recommendations=(),
+            goal=Goal.PERFORMANCE,
+            platform="p",
+            model_points=0,
+            model_epochs=(0, 0),
+        )
+        payload = json.loads(response.to_json())
+        assert set(payload) == {
+            "goal", "platform", "learner", "model", "cached", "recommendations",
+        }

@@ -1,0 +1,116 @@
+"""Tests for the ACIC query service."""
+
+import json
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.service.api import QueryRequest, ServiceError
+from repro.service.server import AcicService
+
+
+@pytest.fixture(scope="module")
+def hosted_service(context):
+    service = AcicService(
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    service.host_database(context.database)
+    return service
+
+
+@pytest.fixture()
+def request_for(context, simple_chars):
+    return QueryRequest(characteristics=simple_chars, goal=Goal.COST, top_k=3)
+
+
+class TestQueries:
+    def test_answers_with_ranked_configs(self, hosted_service, request_for):
+        response = hosted_service.handle(request_for)
+        assert len(response.recommendations) == 3
+        ranks = [r.rank for r in response.recommendations]
+        assert ranks == [1, 2, 3]
+        scores = [r.predicted_improvement for r in response.recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_model_provenance_reported(self, hosted_service, request_for, context):
+        response = hosted_service.handle(request_for)
+        assert response.model_points == len(context.database)
+        assert response.model_epochs[0] >= 1
+
+    def test_cache_hit_on_identical_query(self, hosted_service, simple_chars):
+        # a fingerprint no other test uses (top_k=4), so the first hit is fresh
+        request = QueryRequest(characteristics=simple_chars, goal=Goal.COST, top_k=4)
+        first = hosted_service.handle(request)
+        second = hosted_service.handle(request)
+        assert not first.cached and second.cached
+        assert first.recommendations == second.recommendations
+
+    def test_unknown_platform(self, hosted_service, simple_chars):
+        request = QueryRequest(characteristics=simple_chars, platform="azure")
+        with pytest.raises(ServiceError, match="azure"):
+            hosted_service.handle(request)
+
+    def test_unknown_learner(self, hosted_service, simple_chars):
+        request = QueryRequest(characteristics=simple_chars, learner="svm")
+        with pytest.raises(ServiceError):
+            hosted_service.handle(request)
+
+    def test_handle_json_happy_path(self, hosted_service, request_for):
+        payload = json.loads(hosted_service.handle_json(request_for.to_json()))
+        assert "recommendations" in payload
+        assert payload["goal"] == "cost"
+
+    def test_handle_json_error_is_json(self, hosted_service):
+        payload = json.loads(hosted_service.handle_json("{bad"))
+        assert "error" in payload
+
+    def test_stats_count(self, hosted_service, request_for):
+        before = hosted_service.stats()
+        hosted_service.handle(request_for)
+        after = hosted_service.stats()
+        assert after.queries_served == before.queries_served + 1
+
+
+class TestContributions:
+    @pytest.fixture()
+    def small_service(self, context):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[:5])
+        )
+        database = TrainingDatabase(context.platform.name)
+        TrainingCollector(database, platform=context.platform).collect(
+            TrainingPlan.build(context.screening.ranked_names(), 4)
+        )
+        service.host_database(database)
+        return service
+
+    def test_contribution_grows_model(self, small_service, context, simple_chars):
+        request = QueryRequest(characteristics=simple_chars)
+        before = small_service.handle(request)
+        contribution = TrainingDatabase(context.platform.name)
+        TrainingCollector(contribution, platform=context.platform).collect(
+            TrainingPlan.build(context.screening.ranked_names(), 5), epoch=2
+        )
+        accepted = small_service.contribute(context.platform.name, contribution)
+        assert accepted > 0
+        after = small_service.handle(request)
+        assert not after.cached  # cache invalidated by the contribution
+        assert after.model_points == before.model_points + accepted
+        assert after.model_epochs[1] == 2
+
+    def test_cross_platform_contribution_refused(self, small_service):
+        foreign = TrainingDatabase("azure-west")
+        with pytest.raises(ValueError):
+            small_service.contribute("ec2-us-east", foreign)
+
+    def test_load_database_from_disk(self, context, tmp_path):
+        path = tmp_path / "hosted.json"
+        context.database.save(path)
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        platform = service.load_database(path)
+        assert platform == context.platform.name
+        assert service.stats().total_records == len(context.database)

@@ -1,0 +1,86 @@
+"""Tests for application I/O characteristics."""
+
+import pytest
+
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.util.units import MIB
+
+
+def chars(**overrides) -> AppCharacteristics:
+    defaults = dict(
+        num_processes=64,
+        num_io_processes=32,
+        interface=IOInterface.MPIIO,
+        iterations=10,
+        data_bytes=16 * MIB,
+        request_bytes=4 * MIB,
+        op=OpKind.WRITE,
+        collective=True,
+        shared_file=True,
+    )
+    defaults.update(overrides)
+    return AppCharacteristics(**defaults)
+
+
+class TestValidation:
+    def test_valid_point_constructs(self):
+        assert chars().num_io_processes == 32
+
+    def test_io_processes_bounded_by_total(self):
+        with pytest.raises(ValueError, match="num_io_processes"):
+            chars(num_io_processes=128)
+
+    def test_request_bounded_by_data(self):
+        with pytest.raises(ValueError, match="request_bytes"):
+            chars(request_bytes=32 * MIB)
+
+    def test_collective_requires_mpiio(self):
+        with pytest.raises(ValueError, match="collective"):
+            chars(interface=IOInterface.POSIX, collective=True)
+
+    def test_collective_allowed_on_hdf5(self):
+        assert chars(interface=IOInterface.HDF5).collective
+
+    @pytest.mark.parametrize("field", ["num_processes", "iterations", "data_bytes"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ValueError):
+            chars(**{field: 0})
+
+
+class TestDerived:
+    def test_totals(self):
+        c = chars()
+        assert c.total_bytes_per_iteration == 32 * 16 * MIB
+        assert c.total_bytes == 10 * 32 * 16 * MIB
+
+    def test_requests_per_process_rounds_up(self):
+        c = chars(data_bytes=10 * MIB, request_bytes=4 * MIB)
+        assert c.requests_per_process_per_iteration == 3
+
+    def test_scaled_weak_scaling(self):
+        scaled = chars().scaled(256)
+        assert scaled.num_processes == 256
+        assert scaled.num_io_processes == 256
+        assert scaled.data_bytes == chars().data_bytes  # per-process fixed
+
+    def test_scaled_with_explicit_io_processes(self):
+        scaled = chars().scaled(256, num_io_processes=64)
+        assert scaled.num_io_processes == 64
+
+    def test_describe_mentions_key_facts(self):
+        text = chars().describe()
+        assert "32/64" in text
+        assert "MPI-IO" in text
+        assert "collective" in text
+        assert "shared file" in text
+
+
+class TestInterface:
+    def test_hdf5_bases_on_mpiio(self):
+        assert IOInterface.HDF5.base is IOInterface.MPIIO
+        assert IOInterface.POSIX.base is IOInterface.POSIX
+
+    def test_op_read_fraction(self):
+        assert OpKind.READ.read_fraction == 1.0
+        assert OpKind.WRITE.read_fraction == 0.0
+        assert OpKind.READWRITE.read_fraction == 0.5

@@ -1,0 +1,79 @@
+"""Tests for system configurations."""
+
+import pytest
+
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.space.configuration import BASELINE_CONFIG, FileSystemKind, SystemConfig
+from repro.util.units import KIB, MIB
+
+
+def pvfs_config(**overrides) -> SystemConfig:
+    defaults = dict(
+        device=DeviceKind.EPHEMERAL,
+        file_system=FileSystemKind.PVFS2,
+        instance_type="cc2.8xlarge",
+        io_servers=4,
+        placement=Placement.DEDICATED,
+        stripe_bytes=4 * MIB,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestValidation:
+    def test_nfs_single_server_only(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SystemConfig(
+                device=DeviceKind.EBS, file_system=FileSystemKind.NFS,
+                instance_type="cc2.8xlarge", io_servers=2,
+                placement=Placement.DEDICATED, stripe_bytes=None,
+            )
+
+    def test_nfs_has_no_stripe(self):
+        with pytest.raises(ValueError, match="stripe"):
+            SystemConfig(
+                device=DeviceKind.EBS, file_system=FileSystemKind.NFS,
+                instance_type="cc2.8xlarge", io_servers=1,
+                placement=Placement.DEDICATED, stripe_bytes=4 * MIB,
+            )
+
+    def test_pvfs_requires_stripe(self):
+        with pytest.raises(ValueError, match="stripe"):
+            pvfs_config(stripe_bytes=None)
+
+    def test_tiny_stripe_rejected(self):
+        with pytest.raises(ValueError):
+            pvfs_config(stripe_bytes=512)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            pvfs_config(io_servers=0)
+
+
+class TestKey:
+    def test_matches_paper_naming(self):
+        config = pvfs_config(placement=Placement.PART_TIME)
+        # Figure 1 uses names like "pvfs.4.P.eph"; ours extends them
+        assert config.key == "pvfs.4.P.eph.cc2.4MB"
+
+    def test_baseline_key(self):
+        assert BASELINE_CONFIG.key == "nfs.1.D.ebs.cc2"
+
+    def test_stripe_differentiates(self):
+        assert pvfs_config(stripe_bytes=64 * KIB).key != pvfs_config().key
+
+    def test_describe_is_prose(self):
+        text = pvfs_config().describe()
+        assert "PVFS2" in text and "dedicated" in text and "4MB" in text
+
+
+class TestBaseline:
+    def test_baseline_matches_section_4_2(self):
+        """'single dedicated NFS server, mounting two EBS disks with a
+        software RAID-0'"""
+        assert BASELINE_CONFIG.file_system is FileSystemKind.NFS
+        assert BASELINE_CONFIG.io_servers == 1
+        assert BASELINE_CONFIG.placement is Placement.DEDICATED
+        assert BASELINE_CONFIG.device is DeviceKind.EBS
+        assert BASELINE_CONFIG.stripe_bytes is None

@@ -1,0 +1,125 @@
+"""Tests for space extensions (SSD / Lustre expandability)."""
+
+import pytest
+
+from repro.cloud.storage import DeviceKind
+from repro.space.configuration import FileSystemKind
+from repro.space.extension import SpaceExtension
+from repro.space.grid import candidate_configs
+from repro.space.parameters import parameter_by_name
+from repro.util.units import MIB
+
+
+@pytest.fixture()
+def extension() -> SpaceExtension:
+    return SpaceExtension(
+        extra_values={
+            "device": (DeviceKind.SSD,),
+            "file_system": (FileSystemKind.LUSTRE,),
+        }
+    )
+
+
+class TestValidation:
+    def test_empty_extension_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SpaceExtension(extra_values={"device": ()})
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            SpaceExtension(extra_values={"device": (DeviceKind.EBS,)})
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            SpaceExtension(extra_values={"bogus": (1,)})
+
+    def test_no_extension_is_fine(self):
+        assert SpaceExtension().candidate_configs()
+
+
+class TestExtendedParameter:
+    def test_appends_preserving_base_encoding(self, extension):
+        base = parameter_by_name("device")
+        extended = extension.extended_parameter("device")
+        assert extended.values[: len(base.values)] == base.values
+        assert DeviceKind.SSD in extended.values
+        # old categorical codes are stable
+        for value in base.values:
+            assert extended.encode(value) == base.encode(value)
+
+    def test_untouched_dimension_passthrough(self, extension):
+        assert extension.extended_parameter("op") is parameter_by_name("op")
+
+    def test_extended_parameters_covers_all(self, extension):
+        assert len(extension.extended_parameters()) == 15
+
+
+class TestExtendedCandidates:
+    def test_superset_of_base(self, extension):
+        base_keys = {c.key for c in candidate_configs()}
+        extended_keys = {c.key for c in extension.candidate_configs()}
+        assert base_keys < extended_keys
+
+    def test_new_values_present(self, extension):
+        keys = {c.key for c in extension.candidate_configs()}
+        assert any(".ssd." in key for key in keys)
+        assert any(key.startswith("lustre") for key in keys)
+
+    def test_counts(self, extension):
+        # devices 3 x instances 2 x placements 2 x (NFS + {PVFS2,Lustre} x 3 x 2)
+        assert len(extension.candidate_configs()) == 3 * 2 * 2 * (1 + 2 * 3 * 2)
+
+    def test_workload_filtering(self, extension, simple_chars):
+        small = simple_chars.scaled(32)
+        configs = extension.candidate_configs(small)
+        assert all(
+            not (c.placement.value == "part-time" and c.io_servers > 2
+                 and c.instance_type == "cc2.8xlarge")
+            for c in configs
+        )
+
+
+class TestIncrementalPoints:
+    def test_filters_to_new_values_only(self, extension):
+        points = [
+            {"device": DeviceKind.SSD, "file_system": FileSystemKind.NFS},
+            {"device": DeviceKind.EBS, "file_system": FileSystemKind.LUSTRE},
+            {"device": DeviceKind.EBS, "file_system": FileSystemKind.NFS},
+        ]
+        filtered = extension.new_value_points(points)
+        assert len(filtered) == 2
+        assert points[2] not in filtered
+
+
+class TestLustreConfigs:
+    def test_lustre_config_constructs_and_simulates(self, simple_chars):
+        from repro.cloud.cluster import Placement
+        from repro.iosim.engine import simulate_run
+        from repro.iosim.workload import Workload
+        from repro.space.configuration import SystemConfig
+
+        config = SystemConfig(
+            device=DeviceKind.SSD,
+            file_system=FileSystemKind.LUSTRE,
+            instance_type="cc2.8xlarge",
+            io_servers=4,
+            placement=Placement.DEDICATED,
+            stripe_bytes=4 * MIB,
+        )
+        assert config.key == "lustre.4.D.ssd.cc2.4MB"
+        result = simulate_run(Workload.pure_io("lustre-run", simple_chars), config)
+        assert result.seconds > 0
+
+    def test_lustre_requires_stripe(self):
+        from repro.cloud.cluster import Placement
+        from repro.space.configuration import SystemConfig
+
+        with pytest.raises(ValueError, match="stripe"):
+            SystemConfig(
+                device=DeviceKind.SSD,
+                file_system=FileSystemKind.LUSTRE,
+                instance_type="cc2.8xlarge",
+                io_servers=2,
+                placement=Placement.DEDICATED,
+                stripe_bytes=None,
+            )

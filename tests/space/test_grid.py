@@ -1,0 +1,154 @@
+"""Tests for exploration-space enumeration and construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.cluster import Placement
+from repro.space.characteristics import IOInterface, OpKind
+from repro.space.configuration import FileSystemKind
+from repro.space.grid import (
+    candidate_configs,
+    characteristics_from_values,
+    coerce_valid,
+    config_from_values,
+    enumerate_characteristics,
+)
+from repro.space.parameters import PARAMETERS, parameter_by_name
+from repro.space.validity import is_valid_config, is_valid_point
+from repro.util.units import MIB
+
+
+def values_strategy():
+    """Random draws from every dimension's sampled values."""
+    return st.fixed_dictionaries(
+        {p.name: st.sampled_from(list(p.values)) for p in PARAMETERS}
+    )
+
+
+class TestConfigFromValues:
+    def test_nfs_normalization(self):
+        config = config_from_values(
+            {
+                "device": "EBS",
+                "file_system": "NFS",
+                "instance_type": "cc2.8xlarge",
+                "io_servers": 4,  # collapsed
+                "placement": "dedicated",
+                "stripe_bytes": 4 * MIB,  # dropped
+            }
+        )
+        assert config.io_servers == 1
+        assert config.stripe_bytes is None
+
+    @given(values_strategy())
+    @settings(max_examples=100)
+    def test_always_constructs_valid_config(self, values):
+        assert is_valid_config(config_from_values(values))
+
+
+class TestCharacteristicsFromValues:
+    def test_clamps_io_processes(self):
+        values = {p.name: p.values[0] for p in PARAMETERS}
+        values.update(num_processes=32, num_io_processes=256)
+        chars = characteristics_from_values(values)
+        assert chars.num_io_processes == 32
+
+    def test_clamps_request_size(self):
+        values = {p.name: p.values[0] for p in PARAMETERS}
+        values.update(data_bytes=1 * MIB, request_bytes=128 * MIB)
+        chars = characteristics_from_values(values)
+        assert chars.request_bytes == 1 * MIB
+
+    def test_collective_dropped_for_posix(self):
+        values = {p.name: p.values[0] for p in PARAMETERS}
+        values.update(interface=IOInterface.POSIX, collective=True)
+        assert not characteristics_from_values(values).collective
+
+    @given(values_strategy())
+    @settings(max_examples=100)
+    def test_always_constructs(self, values):
+        chars = characteristics_from_values(values)
+        assert chars.request_bytes <= chars.data_bytes
+
+
+class TestCandidateConfigs:
+    def test_platform_candidate_count(self):
+        # 2 devices x 2 instances x 2 placements x (NFS + PVFS2 x 3 x 2) = 56
+        assert len(candidate_configs()) == 56
+
+    def test_all_unique(self):
+        keys = [c.key for c in candidate_configs()]
+        assert len(set(keys)) == len(keys)
+
+    def test_workload_filter_drops_impossible_placements(self, simple_chars):
+        small = simple_chars.scaled(32)  # 2 nodes on cc2, 4 on cc1
+        configs = candidate_configs(small)
+        assert all(is_valid_point(c, small) for c in configs)
+        assert len(configs) < 56
+        # part-time with 4 servers on 2 cc2 nodes must be gone
+        assert not any(
+            c.placement is Placement.PART_TIME
+            and c.io_servers == 4
+            and c.instance_type == "cc2.8xlarge"
+            for c in configs
+        )
+
+    def test_instance_type_restriction(self):
+        configs = candidate_configs(instance_types=("cc2.8xlarge",))
+        assert len(configs) == 28
+        assert all(c.instance_type == "cc2.8xlarge" for c in configs)
+
+
+class TestCoerceValid:
+    def test_caps_part_time_servers(self, simple_chars):
+        small = simple_chars.scaled(32)  # 2 cc2 nodes
+        config = config_from_values(
+            {
+                "device": "ephemeral",
+                "file_system": "PVFS2",
+                "instance_type": "cc2.8xlarge",
+                "io_servers": 4,
+                "placement": "part-time",
+                "stripe_bytes": 4 * MIB,
+            }
+        )
+        coerced = coerce_valid(config, small)
+        assert coerced.io_servers == 2
+        assert is_valid_point(coerced, small)
+
+    def test_noop_when_already_valid(self, simple_chars):
+        config = candidate_configs(simple_chars)[0]
+        assert coerce_valid(config, simple_chars) is config
+
+
+class TestEnumerateCharacteristics:
+    def test_override_restricts_dimension(self):
+        points = list(
+            enumerate_characteristics(
+                {
+                    "num_processes": [64],
+                    "num_io_processes": [64],
+                    "iterations": [1],
+                    "data_bytes": [16 * MIB],
+                    "request_bytes": [4 * MIB],
+                    "op": [OpKind.WRITE],
+                }
+            )
+        )
+        # remaining free dims: interface(2) x collective(2) x shared(2),
+        # minus POSIX+collective clamping collapse
+        assert all(p.num_processes == 64 for p in points)
+        assert 4 <= len(points) <= 8
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(KeyError):
+            list(enumerate_characteristics({"bogus": [1]}))
+
+    def test_no_duplicates(self):
+        seen = set()
+        for chars in enumerate_characteristics(
+            {"data_bytes": [1 * MIB], "iterations": [1], "num_processes": [32]}
+        ):
+            key = chars.describe()
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,92 @@
+"""Tests for the Table 1 parameter definitions."""
+
+import math
+
+import pytest
+
+from repro.space.parameters import (
+    APPLICATION_PARAMETERS,
+    PARAMETERS,
+    SYSTEM_PARAMETERS,
+    ParameterKind,
+    full_space_size,
+    parameter_by_name,
+)
+from repro.util.units import KIB, MIB
+
+
+class TestTable1Shape:
+    def test_fifteen_dimensions(self):
+        assert len(PARAMETERS) == 15
+
+    def test_six_system_nine_application(self):
+        # "The top 6 variables are I/O system options in cloud, while the
+        # other ones are workload characteristics" (Table 1 caption)
+        assert len(SYSTEM_PARAMETERS) == 6
+        assert len(APPLICATION_PARAMETERS) == 9
+
+    def test_full_space_matches_paper_footnote(self):
+        # footnote 1: 2*2*2*3*2*2*4*4*2*3*6*4*2*2*2 = 1,769,472
+        assert full_space_size() == 1_769_472
+
+    def test_paper_ranks_are_a_permutation(self):
+        assert sorted(p.paper_rank for p in PARAMETERS) == list(range(1, 16))
+
+    def test_names_unique(self):
+        names = [p.name for p in PARAMETERS]
+        assert len(set(names)) == len(names)
+
+
+class TestValues:
+    def test_io_server_choices(self):
+        assert parameter_by_name("io_servers").values == (1, 2, 4)
+
+    def test_data_sizes_match_table1(self):
+        expected = (1 * MIB, 4 * MIB, 16 * MIB, 32 * MIB, 128 * MIB, 512 * MIB)
+        assert parameter_by_name("data_bytes").values == expected
+
+    def test_request_sizes_match_table1(self):
+        expected = (256 * KIB, 4 * MIB, 16 * MIB, 128 * MIB)
+        assert parameter_by_name("request_bytes").values == expected
+
+    def test_stripe_choices(self):
+        assert parameter_by_name("stripe_bytes").values == (64 * KIB, 4 * MIB)
+
+    def test_process_counts(self):
+        assert parameter_by_name("num_processes").values == (32, 64, 128, 256)
+
+    def test_low_high_are_range_ends(self):
+        data = parameter_by_name("data_bytes")
+        assert data.low == 1 * MIB and data.high == 512 * MIB
+
+
+class TestEncoding:
+    def test_numeric_is_log2(self):
+        assert parameter_by_name("data_bytes").encode(4 * MIB) == pytest.approx(
+            math.log2(4 * MIB)
+        )
+
+    def test_categorical_is_index(self):
+        fs = parameter_by_name("file_system")
+        assert fs.encode(fs.values[0]) == 0.0
+        assert fs.encode(fs.values[1]) == 1.0
+
+    def test_unknown_categorical_raises(self):
+        with pytest.raises(ValueError):
+            parameter_by_name("file_system").encode("Lustre")
+
+    def test_nonpositive_numeric_raises(self):
+        with pytest.raises(ValueError):
+            parameter_by_name("data_bytes").encode(0)
+
+
+class TestLookup:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="data_bytes"):
+            parameter_by_name("block_size")
+
+    def test_kind_partition(self):
+        for parameter in SYSTEM_PARAMETERS:
+            assert parameter.kind is ParameterKind.SYSTEM
+        for parameter in APPLICATION_PARAMETERS:
+            assert parameter.kind is ParameterKind.APPLICATION

@@ -1,0 +1,54 @@
+"""Tests for the validity rules."""
+
+import pytest
+
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.space.configuration import BASELINE_CONFIG, FileSystemKind, SystemConfig
+from repro.space.validity import (
+    explain_invalid,
+    is_valid_characteristics,
+    is_valid_config,
+    is_valid_point,
+)
+from repro.util.units import MIB
+
+
+def pvfs(placement=Placement.DEDICATED, servers=4) -> SystemConfig:
+    return SystemConfig(
+        device=DeviceKind.EPHEMERAL,
+        file_system=FileSystemKind.PVFS2,
+        instance_type="cc2.8xlarge",
+        io_servers=servers,
+        placement=placement,
+        stripe_bytes=4 * MIB,
+    )
+
+
+class TestConfigValidity:
+    def test_baseline_valid(self):
+        assert is_valid_config(BASELINE_CONFIG)
+        assert explain_invalid(BASELINE_CONFIG) is None
+
+    def test_pvfs_valid(self):
+        assert is_valid_config(pvfs())
+
+
+class TestPointValidity:
+    def test_part_time_needs_enough_nodes(self, simple_chars):
+        small = simple_chars.scaled(32)  # 2 cc2 nodes
+        config = pvfs(placement=Placement.PART_TIME, servers=4)
+        assert not is_valid_point(config, small)
+        reason = explain_invalid(config, small)
+        assert reason is not None and "part-time" in reason
+
+    def test_dedicated_unconstrained_by_nodes(self, simple_chars):
+        small = simple_chars.scaled(32)
+        assert is_valid_point(pvfs(Placement.DEDICATED, 4), small)
+
+    def test_valid_point(self, simple_chars):
+        assert is_valid_point(pvfs(), simple_chars)
+
+    def test_characteristics_validity(self, simple_chars, posix_chars):
+        assert is_valid_characteristics(simple_chars)
+        assert is_valid_characteristics(posix_chars)

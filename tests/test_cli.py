@@ -1,0 +1,110 @@
+"""Tests for the acic command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_recommend_args(self):
+        args = build_parser().parse_args(
+            ["recommend", "--app", "btio", "--scale", "64", "--goal", "cost",
+             "--top-k", "5"]
+        )
+        assert args.app == "btio" and args.scale == 64
+        assert args.goal == "cost" and args.top_k == 5
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--app", "gromacs", "--scale", "64"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_apps_lists_table3(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BTIO", "FLASHIO", "mpiBLAST", "MADbench2"):
+            assert name in out
+
+    def test_profile_prints_characteristics(self, capsys):
+        assert main(["profile", "--app", "btio", "--scale", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "MPI-IO" in out and "collective" in out
+
+    def test_experiment_tab2(self, capsys):
+        assert main(["experiment", "tab2"]) == 0
+        assert "matches paper: True" in capsys.readouterr().out
+
+    def test_experiment_observations(self, capsys):
+        assert main(["experiment", "observations"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_screen_prints_ranking(self, capsys):
+        assert main(["screen"]) == 0
+        out = capsys.readouterr().out
+        assert "data_bytes" in out and "Spearman" in out
+
+    def test_train_writes_database(self, tmp_path, capsys, monkeypatch):
+        out_path = tmp_path / "db.json"
+        assert main(["train", "--top-m", "3", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.core.database import TrainingDatabase
+
+        assert len(TrainingDatabase.load(out_path)) > 0
+
+    def test_recommend_with_saved_database(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(["train", "--top-m", "5", "--out", str(db_path)])
+        capsys.readouterr()
+        assert main(
+            ["recommend", "--app", "madbench2", "--scale", "256",
+             "--goal", "cost", "--db", str(db_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "improvement over baseline" in out
+
+    def test_walk_prints_trajectory(self, capsys):
+        assert main(["walk", "--app", "flashio", "--scale", "256",
+                     "--goal", "cost"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed" in out and "heuristic solution:" in out
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "avg=" in capsys.readouterr().out
+
+    def test_serve_processes_query_file(self, tmp_path, capsys):
+        import json
+
+        from repro.apps import get_app
+        from repro.core.objectives import Goal
+        from repro.service.api import QueryRequest
+
+        db_path = tmp_path / "db.json"
+        main(["train", "--top-m", "5", "--out", str(db_path)])
+        capsys.readouterr()
+
+        chars = get_app("BTIO").characteristics(256)
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            "# a comment line\n"
+            + QueryRequest(characteristics=chars, goal=Goal.COST).to_json()
+            + "\n{broken json\n"
+        )
+        assert main(["serve", "--db", str(db_path), "--queries", str(queries)]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line and not line.startswith("#")
+        ]
+        good = json.loads(lines[0])
+        assert good["recommendations"][0]["rank"] == 1
+        bad = json.loads(lines[1])
+        assert "error" in bad

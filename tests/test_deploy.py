@@ -1,0 +1,136 @@
+"""Tests for deployment planning and script generation."""
+
+import json
+
+import pytest
+
+from repro.apps import get_app
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.deploy import build_plan, render_manifest, render_script
+from repro.space.configuration import BASELINE_CONFIG, FileSystemKind, SystemConfig
+from repro.util.units import MIB
+
+
+def pvfs_config(placement=Placement.DEDICATED, servers=4, device=DeviceKind.EPHEMERAL):
+    return SystemConfig(
+        device=device, file_system=FileSystemKind.PVFS2,
+        instance_type="cc2.8xlarge", io_servers=servers,
+        placement=placement, stripe_bytes=4 * MIB,
+    )
+
+
+@pytest.fixture()
+def chars():
+    return get_app("BTIO").characteristics(64)  # 4 cc2 nodes
+
+
+class TestBuildPlan:
+    def test_dedicated_layout(self, chars):
+        plan = build_plan(pvfs_config(), chars)
+        assert plan.compute_nodes == 4
+        assert plan.total_instances == 8
+        # dedicated servers occupy nodes after the compute ones
+        assert plan.server_nodes == (4, 5, 6, 7)
+        assert all(not s.shares_compute for s in plan.servers)
+
+    def test_part_time_layout(self, chars):
+        plan = build_plan(pvfs_config(placement=Placement.PART_TIME, servers=2), chars)
+        assert plan.total_instances == 4
+        assert plan.server_nodes == (0, 1)
+        assert all(s.shares_compute for s in plan.servers)
+
+    def test_ebs_uses_two_volumes(self, chars):
+        plan = build_plan(BASELINE_CONFIG, chars)
+        assert len(plan.servers) == 1
+        assert len(plan.servers[0].volumes) == 2  # "two EBS disks"
+
+    def test_ephemeral_uses_all_local_disks(self, chars):
+        plan = build_plan(pvfs_config(), chars)
+        assert len(plan.servers[0].volumes) == 4  # cc2 has 4 local disks
+
+    def test_hourly_cost_matches_eq1_rate(self, chars):
+        plan = build_plan(pvfs_config(), chars)
+        assert plan.estimated_hourly_cost == pytest.approx(8 * 2.40)
+
+    def test_infeasible_plan_rejected(self):
+        small = get_app("BTIO").characteristics(64).scaled(32)  # 2 nodes
+        with pytest.raises(ValueError, match="part-time"):
+            build_plan(pvfs_config(placement=Placement.PART_TIME, servers=4), small)
+
+    def test_hostfile_lists_compute_nodes(self, chars):
+        plan = build_plan(pvfs_config(), chars)
+        lines = plan.hostfile.strip().splitlines()
+        assert len(lines) == plan.compute_nodes
+        assert lines[0] == "node000 slots=16"
+
+
+class TestRenderScript:
+    def test_script_shape(self, chars):
+        script = render_script(build_plan(pvfs_config(), chars))
+        assert script.startswith("#!/bin/sh")
+        for step in ("request-instances", "mdadm --create", "pvfs2-server",
+                     "mount -t pvfs2", "mpiexec -n 64"):
+            assert step in script
+
+    def test_nfs_script_exports_and_mounts(self, chars):
+        script = render_script(build_plan(BASELINE_CONFIG, chars))
+        assert "exportfs" in script
+        assert "mount -t nfs" in script
+        assert "pvfs2" not in script
+
+    def test_lustre_script(self, chars):
+        config = SystemConfig(
+            device=DeviceKind.EPHEMERAL, file_system=FileSystemKind.LUSTRE,
+            instance_type="cc2.8xlarge", io_servers=2,
+            placement=Placement.DEDICATED, stripe_bytes=4 * MIB,
+        )
+        script = render_script(build_plan(config, chars))
+        assert "lustre-oss" in script and "mount -t lustre" in script
+
+    def test_part_time_script_warns_about_sharing(self, chars):
+        script = render_script(
+            build_plan(pvfs_config(placement=Placement.PART_TIME, servers=2), chars)
+        )
+        assert "share compute nodes" in script
+
+    def test_stripe_size_propagated(self, chars):
+        script = render_script(build_plan(pvfs_config(), chars))
+        assert "--stripe-size 4MB" in script
+
+
+class TestRenderManifest:
+    def test_manifest_is_valid_json(self, chars):
+        plan = build_plan(pvfs_config(), chars)
+        payload = json.loads(render_manifest(plan))
+        assert payload["config"] == plan.config.key
+        assert payload["total_instances"] == 8
+        assert len(payload["servers"]) == 4
+
+    def test_manifest_volume_lists(self, chars):
+        payload = json.loads(render_manifest(build_plan(BASELINE_CONFIG, chars)))
+        assert payload["servers"][0]["volumes"] == ["/dev/xvdf", "/dev/xvdg"]
+
+
+class TestCliDeploy:
+    def test_deploy_script(self, capsys):
+        from repro.cli import main
+
+        assert main(["deploy", "--app", "btio", "--scale", "64",
+                     "--config", "pvfs.4.D.eph.cc2.4MB"]) == 0
+        assert "mpiexec" in capsys.readouterr().out
+
+    def test_deploy_manifest(self, capsys):
+        from repro.cli import main
+
+        assert main(["deploy", "--app", "btio", "--scale", "64",
+                     "--config", "nfs.1.D.ebs.cc2", "--manifest"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"] == "nfs.1.D.ebs.cc2"
+
+    def test_deploy_unknown_config(self, capsys):
+        from repro.cli import main
+
+        assert main(["deploy", "--app", "btio", "--scale", "64",
+                     "--config", "gpfs.9.X"]) == 1
+        assert "valid" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import pytest
+
+from repro import (
+    Acic,
+    Goal,
+    IorSpec,
+    SpaceWalker,
+    TrainingCollector,
+    TrainingDatabase,
+    TrainingPlan,
+    candidate_configs,
+    get_app,
+    screen_parameters,
+    simulate_run,
+    summarize_trace,
+)
+
+
+class TestScreenTrainRecommend:
+    """The quickstart pipeline, asserted instead of printed."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        screening = screen_parameters()
+        database = TrainingDatabase()
+        campaign = TrainingCollector(database).collect(
+            TrainingPlan.build(screening.ranked_names(), 7)
+        )
+        acic = Acic(
+            database,
+            goal=Goal.PERFORMANCE,
+            feature_names=tuple(screening.ranked_names()[:7]),
+        ).train()
+        return screening, campaign, acic
+
+    def test_recommendation_is_near_optimal(self, pipeline):
+        _, _, acic = pipeline
+        app = get_app("MADbench2")
+        workload = app.workload(256)
+        pick = acic.recommend(workload.chars, top_k=1)[0].config
+        values = sorted(
+            (simulate_run(workload, c).seconds, c.key)
+            for c in candidate_configs(workload.chars)
+        )
+        rank = 1 + next(i for i, (_, k) in enumerate(values) if k == pick.key)
+        assert rank <= len(values) // 4  # comfortably in the top quartile
+
+    def test_training_bill_accounted(self, pipeline):
+        _, campaign, _ = pipeline
+        assert campaign.run_cost > 0
+        assert campaign.new_records == campaign.plan.size
+
+
+class TestProfileToRecommendation:
+    def test_trace_round_trip_feeds_query(self, context):
+        app = get_app("mpiBLAST")
+        truth = app.characteristics(64)
+        summary = summarize_trace(
+            app.synthetic_trace(64), num_processes=truth.num_processes
+        )
+        acic = context.model(Goal.COST)
+        recommendations = acic.recommend(summary.characteristics, top_k=3)
+        assert len(recommendations) == 3
+        # profiled and true characteristics must produce identical queries
+        direct = acic.recommend(truth, top_k=3)
+        assert [r.config.key for r in recommendations] == [
+            r.config.key for r in direct
+        ]
+
+
+class TestWalkAgainstTruth:
+    def test_pb_walk_lands_in_top_half(self, context):
+        app = get_app("MADbench2")
+        workload = app.workload(64)
+        walker = SpaceWalker(platform=context.platform, goal=Goal.COST)
+        result = walker.pb_walk(workload.chars, context.screening.ranked_names())
+        sweep = context.sweep("MADbench2", 64)
+        rank = sweep.rank_of(result.config, Goal.COST)
+        assert rank <= len(sweep.entries) // 2
+
+
+class TestIorApplicationConsistency:
+    def test_ior_mimic_ranks_like_the_app(self, context):
+        """The reusable-training premise: IOR with the app's characteristics
+        orders configurations similarly to the app itself."""
+        from scipy import stats
+
+        app = get_app("mpiBLAST")
+        workload = app.workload(64)
+        ior_workload = IorSpec.from_characteristics(workload.chars).to_workload()
+        configs = candidate_configs(workload.chars)
+        app_times = [simulate_run(workload, c).seconds for c in configs]
+        ior_times = [simulate_run(ior_workload, c).seconds for c in configs]
+        rho = stats.spearmanr(app_times, ior_times).statistic
+        assert rho > 0.6
+
+
+class TestFaultInjectionResilience:
+    def test_training_survives_faults(self):
+        import dataclasses
+
+        from repro.cloud.platform import DEFAULT_PLATFORM
+
+        faulty = dataclasses.replace(
+            DEFAULT_PLATFORM,
+            faults=dataclasses.replace(DEFAULT_PLATFORM.faults, enabled=True,
+                                       rate_per_hour=5.0),
+        )
+        screening = screen_parameters(platform=faulty)
+        database = TrainingDatabase(faulty.name)
+        campaign = TrainingCollector(database, platform=faulty).collect(
+            TrainingPlan.build(screening.ranked_names(), 5)
+        )
+        assert campaign.new_records == campaign.plan.size
+        acic = Acic(database, feature_names=tuple(screening.ranked_names()[:5]))
+        recommendations = acic.train().recommend(
+            get_app("BTIO").characteristics(64), top_k=1
+        )
+        assert recommendations[0].predicted_improvement > 0

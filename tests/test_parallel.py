@@ -1,0 +1,73 @@
+"""Tests for process-parallel mapping and parallel collection."""
+
+import pytest
+
+from repro.util.parallel import parallel_map, resolve_jobs
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestResolveJobs:
+    def test_none_and_zero_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+
+    def test_negative_means_all_cores(self):
+        assert resolve_jobs(-1) >= 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_small_inputs_stay_serial(self):
+        # below the threshold even jobs>1 uses the serial path
+        assert parallel_map(square, list(range(10)), jobs=4) == [
+            x * x for x in range(10)
+        ]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(500))
+        assert parallel_map(square, items, jobs=2) == parallel_map(
+            square, items, jobs=1
+        )
+
+    def test_order_preserved(self):
+        items = list(range(300, 0, -1))
+        assert parallel_map(square, items, jobs=2) == [x * x for x in items]
+
+    def test_empty(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("worker failure")
+
+        with pytest.raises(RuntimeError, match="worker failure"):
+            parallel_map(boom, [1], jobs=1)
+
+
+class TestParallelCollection:
+    def test_parallel_collection_bit_identical(self, platform):
+        from repro.core.database import TrainingDatabase
+        from repro.core.training import TrainingCollector, TrainingPlan
+        from repro.pb.ranking import screen_parameters
+
+        ranked = screen_parameters(platform=platform).ranked_names()
+        plan = TrainingPlan.build(ranked, 5)
+
+        serial_db = TrainingDatabase(platform.name)
+        TrainingCollector(serial_db, platform=platform, jobs=1).collect(plan)
+        parallel_db = TrainingDatabase(platform.name)
+        TrainingCollector(parallel_db, platform=platform, jobs=2).collect(plan)
+
+        assert len(serial_db) == len(parallel_db)
+        for a, b in zip(serial_db, parallel_db):
+            assert a.values == b.values
+            assert a.seconds == b.seconds
+            assert a.perf_improvement == b.perf_improvement

@@ -1,0 +1,49 @@
+"""Tests for the reproduction report generator."""
+
+import pytest
+
+from repro.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def sections(context):
+    return generate_report(context)
+
+
+class TestGenerateReport:
+    def test_covers_all_artifacts(self, sections):
+        refs = {section.paper_ref for section in sections}
+        for ref in ("Figure 1", "Table 1", "Table 2", "Table 4", "Figure 5",
+                    "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+                    "Figure 10", "Section 5.6"):
+            assert ref in refs
+
+    def test_includes_extensions(self, sections):
+        titles = {section.title for section in sections}
+        assert "Expandability" in titles
+        assert "Mechanism ablations" in titles
+
+    def test_bodies_non_trivial(self, sections):
+        for section in sections:
+            assert len(section.body.splitlines()) >= 3, section.title
+
+    def test_timings_recorded(self, sections):
+        assert all(section.seconds >= 0 for section in sections)
+
+
+class TestWriteReport:
+    def test_writes_markdown(self, context, tmp_path):
+        path = write_report(tmp_path / "report.md", context)
+        text = path.read_text()
+        assert text.startswith("# ACIC reproduction report")
+        assert text.count("## ") >= 15
+        assert "```text" in text
+        assert f"seed {context.platform.seed}" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

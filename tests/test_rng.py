@@ -1,0 +1,68 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import RngStream, stream_seed
+
+
+class TestStreamSeed:
+    def test_deterministic(self):
+        assert stream_seed(1, "a", 2) == stream_seed(1, "a", 2)
+
+    def test_context_sensitivity(self):
+        assert stream_seed(1, "a") != stream_seed(1, "b")
+        assert stream_seed(1, "a") != stream_seed(2, "a")
+
+    def test_context_order_matters(self):
+        assert stream_seed(1, "a", "b") != stream_seed(1, "b", "a")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=20))
+    def test_always_64_bit(self, seed, label):
+        value = stream_seed(seed, label)
+        assert 0 <= value < 2**64
+
+
+class TestRngStream:
+    def test_same_context_same_draws(self):
+        a = RngStream(7, "x").uniform()
+        b = RngStream(7, "x").uniform()
+        assert a == b
+
+    def test_different_context_different_draws(self):
+        a = RngStream(7, "x").uniform()
+        b = RngStream(7, "y").uniform()
+        assert a != b
+
+    def test_child_is_independent_of_parent_consumption(self):
+        parent1 = RngStream(7, "p")
+        parent2 = RngStream(7, "p")
+        parent1.uniform()  # consume from one parent only
+        assert parent1.child("c").uniform() == parent2.child("c").uniform()
+
+    def test_lognormal_zero_sigma_is_identity(self):
+        assert RngStream(1).lognormal_factor(0.0) == 1.0
+        assert RngStream(1).lognormal_factor(-1.0) == 1.0
+
+    def test_lognormal_unit_median(self):
+        stream = RngStream(3, "median")
+        draws = [stream.lognormal_factor(0.3) for _ in range(4001)]
+        assert np.median(draws) == pytest.approx(1.0, rel=0.05)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RngStream(1).choice([])
+
+    def test_choice_member(self):
+        seq = ["a", "b", "c"]
+        assert RngStream(1).choice(seq) in seq
+
+    def test_shuffled_is_permutation_and_copy(self):
+        seq = list(range(20))
+        out = RngStream(5).shuffled(seq)
+        assert sorted(out) == seq
+        assert seq == list(range(20))  # input untouched
+
+    def test_shuffled_deterministic(self):
+        assert RngStream(5, "s").shuffled(range(10)) == RngStream(5, "s").shuffled(range(10))

@@ -1,0 +1,73 @@
+"""Tests for the small statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import geometric_mean, harmonic_mean, median, relative_error
+
+positive_lists = st.lists(
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(positive_lists)
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(positive_lists)
+    def test_at_most_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= sum(values) / len(values) * (1 + 1e-9)
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 1.0 / 3.0]) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    @given(positive_lists)
+    def test_at_most_geometric(self, values):
+        assert harmonic_mean(values) <= geometric_mean(values) * (1 + 1e-9)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(2.0, 2.0) == 0.0
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(1.5, 1.0) == pytest.approx(0.5)
+        assert relative_error(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_zero_actual_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)

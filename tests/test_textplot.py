@@ -1,0 +1,82 @@
+"""Tests for the text spectrum renderer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.textplot import SpectrumColumn, render_spectrum
+
+
+def column(label="run", values=(10.0, 20.0, 40.0), **markers) -> SpectrumColumn:
+    return SpectrumColumn(label=label, values=tuple(values), markers=dict(markers))
+
+
+class TestSpectrumColumn:
+    def test_needs_values(self):
+        with pytest.raises(ValueError):
+            column(values=())
+
+    def test_positive_values_only(self):
+        with pytest.raises(ValueError):
+            column(values=(1.0, -2.0))
+        with pytest.raises(ValueError):
+            column(A=0.0)
+
+    def test_single_char_markers(self):
+        with pytest.raises(ValueError):
+            SpectrumColumn(label="x", values=(1.0,), markers={"AB": 1.0})
+
+
+class TestRenderSpectrum:
+    def test_contains_labels_and_markers(self):
+        text = render_spectrum([column(label="BTIO-64", A=15.0, B=35.0)])
+        assert "BTIO-64" in text
+        assert "A" in text and "B" in text and "·" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_spectrum([])
+
+    def test_height_floor(self):
+        with pytest.raises(ValueError):
+            render_spectrum([column()], height=2)
+
+    def test_marker_ordering_respects_values(self):
+        """Larger values render on higher rows (the y-axis is a max-at-top
+        log scale)."""
+        text = render_spectrum([column(values=(1.0, 1000.0), A=1.0, B=1000.0)],
+                               height=10)
+        lines = text.splitlines()
+        row_a = next(i for i, line in enumerate(lines) if "A" in line)
+        row_b = next(i for i, line in enumerate(lines) if "B" in line.split("|")[-1])
+        assert row_b < row_a  # B (1000) above A (1)
+
+    def test_marker_precedence_over_dots(self):
+        """A marker landing on a dot's cell wins the cell."""
+        text = render_spectrum([column(values=(10.0, 10.0), A=10.0)], height=6)
+        assert "A" in text
+
+    def test_constant_values_handled(self):
+        text = render_spectrum([column(values=(5.0, 5.0, 5.0))])
+        assert "·" in text
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=4, max_value=30),
+    )
+    def test_never_crashes_and_keeps_shape(self, values, height):
+        text = render_spectrum([column(values=tuple(values))], height=height)
+        lines = text.splitlines()
+        assert len(lines) == height + 2  # rows + separator + labels
+        assert all("|" in line for line in lines[:height])
+
+    def test_multiple_columns_side_by_side(self):
+        text = render_spectrum(
+            [column(label="one"), column(label="two", values=(100.0, 200.0))]
+        )
+        last = text.splitlines()[-1]
+        assert "one" in last and "two" in last
+        assert last.index("one") < last.index("two")

@@ -1,0 +1,92 @@
+"""Unit tests for byte-size parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import GIB, KIB, MIB, TIB, format_bytes, parse_bytes
+
+
+class TestParseBytes:
+    def test_plain_integer(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_plain_float_truncates(self):
+        assert parse_bytes(1024.7) == 1024
+
+    def test_bare_number_string(self):
+        assert parse_bytes("2048") == 2048
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KIB),
+            ("64KB", 64 * KIB),
+            ("4MB", 4 * MIB),
+            ("16 MiB", 16 * MIB),
+            ("2GB", 2 * GIB),
+            ("1TB", TIB),
+            ("512 b", 512),
+            ("0KB", 0),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_case_insensitive(self):
+        assert parse_bytes("4mb") == parse_bytes("4MB") == parse_bytes("4Mb")
+
+    def test_fractional_value(self):
+        assert parse_bytes("1.5KB") == 1536
+
+    def test_binary_convention(self):
+        # the paper / IOR use binary multiples: 1 KB == 1024 B
+        assert parse_bytes("1KB") == 1024
+
+    @pytest.mark.parametrize("bad", ["", "abc", "4XB", "-5MB", "MB4"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (KIB, "1KB"),
+            (64 * KIB, "64KB"),
+            (4 * MIB, "4MB"),
+            (1536, "1.5KB"),
+            (GIB, "1GB"),
+            (TIB, "1TB"),
+        ],
+    )
+    def test_formatting(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_parse_of_format_is_close(self, value):
+        """format -> parse loses at most the printed precision (one decimal)."""
+        recovered = parse_bytes(format_bytes(value))
+        assert recovered == pytest.approx(value, rel=0.05, abs=1)
+
+    @given(
+        st.integers(min_value=1, max_value=1023),
+        st.sampled_from(["KB", "MB", "GB"]),
+    )
+    def test_exact_round_trip_within_one_unit(self, number, suffix):
+        """Values that are not promoted to a larger unit survive exactly."""
+        text = f"{number}{suffix}"
+        assert format_bytes(parse_bytes(text)) == text
+        assert parse_bytes(format_bytes(parse_bytes(text))) == parse_bytes(text)
