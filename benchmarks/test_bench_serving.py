@@ -1,0 +1,154 @@
+"""Benchmark: serving subsystem — warm start and batch-query throughput.
+
+Two claims the serving layer makes, timed:
+
+* `AcicService.load` of a packed artifact directory beats cold
+  construction (host + train) because nothing retrains;
+* `query_batch` over the vectorized :class:`BatchQueryEngine` beats
+  issuing the same queries one at a time (the acceptance bar is >= 3x on
+  a 256-query stream against a cache-cold service).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.service.api import QueryRequest
+from repro.service.server import AcicService
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+
+
+def _query_stream(n: int) -> list[QueryRequest]:
+    """n distinct, valid queries spanning both goals and many workloads."""
+    base = AppCharacteristics(
+        num_processes=32,
+        num_io_processes=32,
+        interface=IOInterface.MPIIO,
+        iterations=10,
+        data_bytes=1 << 26,
+        request_bytes=1 << 22,
+        op=OpKind.WRITE,
+        collective=False,
+        shared_file=True,
+    )
+    variants = itertools.product(
+        (4, 8, 16, 32),                      # num_processes
+        (1, 10),                             # iterations
+        (1 << 24, 1 << 26, 1 << 28),         # data_bytes
+        (1 << 20, 1 << 22),                  # request_bytes
+        (OpKind.READ, OpKind.WRITE),         # op
+        (Goal.PERFORMANCE, Goal.COST),       # goal
+        (1, 3),                              # top_k
+    )
+    requests = []
+    for procs, iters, data, req, op, goal, top_k in variants:
+        chars = replace(
+            base,
+            num_processes=procs,
+            num_io_processes=procs,
+            iterations=iters,
+            data_bytes=data,
+            request_bytes=req,
+            op=op,
+        )
+        requests.append(QueryRequest(characteristics=chars, goal=goal, top_k=top_k))
+        if len(requests) == n:
+            break
+    assert len(requests) == n
+    return requests
+
+
+def _fresh_service(context) -> AcicService:
+    service = AcicService(
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    service.host_database(context.database)
+    return service
+
+
+@pytest.fixture(scope="module")
+def pack_dir(context, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serving-pack")
+    service = _fresh_service(context)
+    for goal in (Goal.PERFORMANCE, Goal.COST):
+        service.warm(context.platform.name, goal)
+    service.save(directory)
+    return directory
+
+
+def test_bench_cold_start(benchmark, context):
+    def cold():
+        service = _fresh_service(context)
+        service.warm(context.platform.name, Goal.PERFORMANCE)
+        service.warm(context.platform.name, Goal.COST)
+        return service
+
+    service = benchmark(cold)
+    assert service.stats().models_trained == 2
+
+
+def test_bench_warm_start(benchmark, context, pack_dir):
+    service = benchmark(AcicService.load, pack_dir)
+    assert service.stats().models_trained == 0
+    assert service.stats().total_records == len(context.database)
+
+
+def test_bench_single_queries(benchmark, context):
+    requests = _query_stream(256)
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+
+    def one_at_a_time():
+        service._cache.clear()  # measure inference, not memoization
+        return [service.handle(request) for request in requests]
+
+    responses = benchmark(one_at_a_time)
+    assert len(responses) == 256
+
+
+def test_bench_batch_queries(benchmark, context):
+    requests = _query_stream(256)
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+    service.query_batch(requests)  # build the per-model engines once
+
+    def batched():
+        service._cache.clear()
+        return service.query_batch(requests)
+
+    responses = benchmark(batched)
+    assert len(responses) == 256
+
+
+def test_batch_speedup_meets_acceptance_bar(context):
+    """query_batch >= 3x sequential handle on a 256-query cache-cold stream."""
+    requests = _query_stream(256)
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+    # One throwaway round each, so engine construction and allocator
+    # warm-up don't land inside either measurement.
+    service.query_batch(requests)
+    service._cache.clear()
+    [service.handle(request) for request in requests]
+    service._cache.clear()
+
+    start = time.perf_counter()
+    sequential = [service.handle(request) for request in requests]
+    sequential_seconds = time.perf_counter() - start
+
+    service._cache.clear()
+    start = time.perf_counter()
+    batched = service.query_batch(requests)
+    batched_seconds = time.perf_counter() - start
+
+    assert batched == sequential
+    speedup = sequential_seconds / batched_seconds
+    assert speedup >= 3.0, f"batch speedup {speedup:.1f}x is below the 3x bar"

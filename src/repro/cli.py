@@ -11,6 +11,9 @@ Subcommands mirror the released tool's workflow:
 * ``acic deploy --app ... --config pvfs.4.D.eph.cc2.4MB`` — emit the
   deployment script for a recommendation.
 * ``acic serve --db db.json --queries q.jsonl`` — the query service.
+* ``acic pack --db db.json --out models/`` — train + save model artifacts.
+* ``acic serve-batch --artifacts models/ --queries batch.json`` — answer a
+  whole query batch from packed artifacts (warm start, no retraining).
 * ``acic report --out report.md``     — full reproduction report.
 * ``acic dbcheck --db db.json``       — audit a training database.
 * ``acic apps``                       — list the bundled application models.
@@ -105,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="file of JSON query requests, one per line; '-' for stdin",
     )
 
+    pack = sub.add_parser(
+        "pack", help="train models and save them as versioned artifacts"
+    )
+    pack.add_argument("--db", required=True, help="training database JSON")
+    pack.add_argument("--out", required=True,
+                      help="directory for the artifact pack")
+    pack.add_argument("--goal", choices=[g.value for g in Goal] + ["both"],
+                      default="both", help="objective(s) to train for")
+    pack.add_argument("--learner", default="cart",
+                      help="plug-in learner (cart, knn, ridge, forest)")
+
+    serve_batch = sub.add_parser(
+        "serve-batch",
+        help="answer a batch of queries in one vectorized pass",
+    )
+    source = serve_batch.add_mutually_exclusive_group(required=True)
+    source.add_argument("--artifacts",
+                        help="artifact pack directory from 'acic pack'")
+    source.add_argument("--db", help="training database JSON (cold start)")
+    serve_batch.add_argument(
+        "--queries", required=True,
+        help="batch request JSON ({\"queries\": [...]}) or JSONL of "
+             "single requests; '-' for stdin",
+    )
+
     report = sub.add_parser("report", help="write the full reproduction report")
     report.add_argument("--out", default="acic-report.md",
                         help="markdown output path")
@@ -128,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         "walk": _cmd_walk,
         "deploy": _cmd_deploy,
         "serve": _cmd_serve,
+        "pack": _cmd_pack,
+        "serve-batch": _cmd_serve_batch,
         "report": _cmd_report,
         "dbcheck": _cmd_dbcheck,
         "apps": _cmd_apps,
@@ -301,6 +331,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not line or line.startswith("#"):
             continue
         print(service.handle_json(line), flush=True)
+    stats = service.stats()
+    print(
+        f"# served {stats.queries_served} queries "
+        f"({stats.cache_hits} cache hits, {stats.models_trained} models trained)"
+    )
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.service import AcicService
+
+    service = AcicService()
+    platform = service.load_database(args.db)
+    goals = (
+        [Goal.PERFORMANCE, Goal.COST] if args.goal == "both" else [Goal(args.goal)]
+    )
+    for goal in goals:
+        print(f"training {args.learner!r} for goal {goal.value!r}...", flush=True)
+        service.warm(platform, goal, args.learner)
+    manifest = service.save(args.out)
+    print(
+        f"packed {len(goals)} model(s) for platform {platform!r} "
+        f"({service.stats().total_records} training records) -> {manifest}"
+    )
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import AcicService
+
+    if args.artifacts:
+        service = AcicService.load(args.artifacts)
+        print(f"# warm start from {args.artifacts}", flush=True)
+    else:
+        service = AcicService()
+        platform = service.load_database(args.db)
+        print(f"# cold start: hosting platform {platform!r} from {args.db}",
+              flush=True)
+
+    raw = sys.stdin.read() if args.queries == "-" else Path(args.queries).read_text()
+    text = raw.strip()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if not (isinstance(document, dict) and "queries" in document):
+        # JSONL convenience form: one request object per non-comment line
+        try:
+            entries = [
+                json.loads(line)
+                for line in text.splitlines()
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+        except json.JSONDecodeError as exc:
+            print(json.dumps({"error": f"queries are not valid JSON: {exc}"}))
+            return 1
+        text = json.dumps({"queries": entries})
+    print(service.handle_batch_json(text), flush=True)
     stats = service.stats()
     print(
         f"# served {stats.queries_served} queries "

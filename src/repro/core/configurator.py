@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.core.database import TrainingDatabase
 from repro.core.objectives import Goal
 from repro.ml.encoding import FeatureEncoder, point_values
@@ -22,7 +24,7 @@ from repro.space.characteristics import AppCharacteristics
 from repro.space.configuration import SystemConfig
 from repro.space.grid import candidate_configs
 
-__all__ = ["Recommendation", "Acic"]
+__all__ = ["Recommendation", "Acic", "rank_scored", "tied_champions"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +45,48 @@ class Recommendation:
     predicted_improvement: float
     rank: int
     co_champion_group: int
+
+
+def rank_scored(
+    scored: Sequence[tuple[float, SystemConfig]], top_k: int
+) -> list[Recommendation]:
+    """Turn (score, candidate) pairs into the top-k recommendation list.
+
+    The single ranking rule of the system — score descending, config key
+    as the deterministic tie-break, co-champion groups by numerical
+    equality — shared by :meth:`Acic.recommend` and the serving layer's
+    batch engine so both produce identical lists.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    ordered = sorted(scored, key=lambda pair: (-pair[0], pair[1].key))
+    recommendations: list[Recommendation] = []
+    group = 0
+    previous_score: float | None = None
+    for rank, (score, config) in enumerate(ordered[:top_k], start=1):
+        if previous_score is None or abs(score - previous_score) > 1e-9:
+            group += 1
+        previous_score = score
+        recommendations.append(
+            Recommendation(
+                config=config,
+                predicted_improvement=score,
+                rank=rank,
+                co_champion_group=group,
+            )
+        )
+    return recommendations
+
+
+def tied_champions(
+    scored: Sequence[tuple[float, SystemConfig]]
+) -> list[SystemConfig]:
+    """All candidates tied (within 1e-9) with the best score, key-sorted."""
+    best = max(score for score, _ in scored)
+    return sorted(
+        (config for score, config in scored if abs(score - best) <= 1e-9),
+        key=lambda config: config.key,
+    )
 
 
 class Acic:
@@ -74,6 +118,24 @@ class Acic:
         self.encoder = encoder if encoder is not None else FeatureEncoder(feature_names)
         self._model: Learner | None = None
 
+    @classmethod
+    def from_fitted(
+        cls,
+        database: TrainingDatabase,
+        model: Learner,
+        goal: Goal,
+        learner_name: str,
+        encoder: FeatureEncoder,
+    ) -> "Acic":
+        """Wrap an already-fitted learner (e.g. loaded from an artifact).
+
+        The instance answers queries immediately — no :meth:`train` call,
+        no touching the database matrices.
+        """
+        acic = cls(database, goal=goal, learner_name=learner_name, encoder=encoder)
+        acic._model = model
+        return acic
+
     # ------------------------------------------------------------------
     def train(self) -> "Acic":
         """Fit the plug-in learner on the database (log-ratio targets)."""
@@ -97,6 +159,21 @@ class Acic:
         x = self.encoder.encode_values(point_values(config, chars))
         return float(np.exp(self.model.predict(x[None, :])[0]))
 
+    def score_candidates(
+        self, chars: AppCharacteristics, candidates: Sequence[SystemConfig]
+    ) -> np.ndarray:
+        """Predicted improvement ratios for all candidates, in order.
+
+        Encodes the full join into one matrix and calls the learner once,
+        so tree routing (and any other learner) runs vectorized.
+        """
+        if len(candidates) == 0:
+            return np.empty(0, dtype=float)
+        X = self.encoder.encode_many(
+            [point_values(config, chars) for config in candidates]
+        )
+        return np.exp(self.model.predict(X))
+
     def recommend(
         self,
         chars: AppCharacteristics,
@@ -113,27 +190,8 @@ class Acic:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if candidates is None:
             candidates = candidate_configs(chars)
-        scored = [
-            (self.predict_improvement(chars, config), config) for config in candidates
-        ]
-        scored.sort(key=lambda pair: (-pair[0], pair[1].key))
-
-        recommendations: list[Recommendation] = []
-        group = 0
-        previous_score: float | None = None
-        for rank, (score, config) in enumerate(scored[:top_k], start=1):
-            if previous_score is None or abs(score - previous_score) > 1e-9:
-                group += 1
-            previous_score = score
-            recommendations.append(
-                Recommendation(
-                    config=config,
-                    predicted_improvement=score,
-                    rank=rank,
-                    co_champion_group=group,
-                )
-            )
-        return recommendations
+        scores = self.score_candidates(chars, candidates)
+        return rank_scored(list(zip(scores.tolist(), candidates)), top_k)
 
     def co_champions(
         self,
@@ -143,11 +201,5 @@ class Acic:
         """All candidates tied with the best prediction."""
         if candidates is None:
             candidates = candidate_configs(chars)
-        scored = [
-            (self.predict_improvement(chars, config), config) for config in candidates
-        ]
-        best = max(score for score, _ in scored)
-        return sorted(
-            (config for score, config in scored if abs(score - best) <= 1e-9),
-            key=lambda config: config.key,
-        )
+        scores = self.score_candidates(chars, candidates)
+        return tied_champions(list(zip(scores.tolist(), candidates)))

@@ -20,15 +20,27 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.space.characteristics import AppCharacteristics
-from repro.space.configuration import SystemConfig
-from repro.space.parameters import PARAMETERS, Parameter, parameter_by_name
+from repro.cloud.cluster import Placement
+from repro.cloud.storage import DeviceKind
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.space.configuration import FileSystemKind, SystemConfig
+from repro.space.parameters import (
+    PARAMETERS,
+    Parameter,
+    ParameterKind,
+    parameter_by_name,
+)
 
-__all__ = ["FeatureEncoder", "point_values"]
+__all__ = [
+    "FeatureEncoder",
+    "point_values",
+    "config_values",
+    "characteristics_values",
+]
 
 
-def point_values(config: SystemConfig, chars: AppCharacteristics) -> dict[str, object]:
-    """Flatten a concatenated 15-D point into a {dimension: value} dict."""
+def config_values(config: SystemConfig) -> dict[str, object]:
+    """The system-side half of a point as a {dimension: value} dict."""
     return {
         "device": config.device,
         "file_system": config.file_system,
@@ -36,6 +48,12 @@ def point_values(config: SystemConfig, chars: AppCharacteristics) -> dict[str, o
         "io_servers": config.io_servers,
         "placement": config.placement,
         "stripe_bytes": config.stripe_bytes,
+    }
+
+
+def characteristics_values(chars: AppCharacteristics) -> dict[str, object]:
+    """The application-side half of a point as a {dimension: value} dict."""
+    return {
         "num_processes": chars.num_processes,
         "num_io_processes": chars.num_io_processes,
         "interface": chars.interface.base,  # HDF5 trains/queries as MPI-IO
@@ -46,6 +64,39 @@ def point_values(config: SystemConfig, chars: AppCharacteristics) -> dict[str, o
         "collective": chars.collective,
         "shared_file": chars.shared_file,
     }
+
+
+def point_values(config: SystemConfig, chars: AppCharacteristics) -> dict[str, object]:
+    """Flatten a concatenated 15-D point into a {dimension: value} dict."""
+    return {**config_values(config), **characteristics_values(chars)}
+
+
+#: Enum families a space dimension's values may come from, by class name —
+#: the vocabulary of the encoder's JSON form (extension dimensions reuse
+#: these families with extra members or plain numbers/strings).
+_VALUE_ENUMS: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (DeviceKind, FileSystemKind, Placement, IOInterface, OpKind)
+}
+
+
+def _value_to_json(value: object) -> object:
+    """Encode one dimension value; enums are tagged with their family."""
+    for name, cls in _VALUE_ENUMS.items():
+        if isinstance(value, cls):
+            return {"$enum": name, "value": value.value}
+    return value
+
+
+def _value_from_json(raw: object) -> object:
+    """Inverse of :func:`_value_to_json`."""
+    if isinstance(raw, dict) and "$enum" in raw:
+        try:
+            cls = _VALUE_ENUMS[raw["$enum"]]
+        except KeyError:
+            raise ValueError(f"unknown enum family {raw['$enum']!r}") from None
+        return cls(raw["value"])
+    return raw
 
 
 class FeatureEncoder:
@@ -113,3 +164,52 @@ class FeatureEncoder:
             return self.names.index(name)
         except ValueError:
             raise KeyError(f"dimension {name!r} is not in this encoder") from None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize the column layout to a JSON-compatible dict.
+
+        Table 1 dimensions are stored by name; extension dimensions
+        (extra values or entirely new parameters) are stored as a full
+        spec so an artifact trained on an extended space reloads intact.
+        """
+        entries: list[object] = []
+        for parameter in self.parameters:
+            try:
+                canonical = parameter_by_name(parameter.name)
+            except KeyError:
+                canonical = None
+            if canonical == parameter:
+                entries.append({"name": parameter.name})
+            else:
+                entries.append(
+                    {
+                        "name": parameter.name,
+                        "kind": parameter.kind.value,
+                        "values": [_value_to_json(v) for v in parameter.values],
+                        "paper_rank": parameter.paper_rank,
+                        "numeric": parameter.numeric,
+                        "description": parameter.description,
+                    }
+                )
+        return {"parameters": entries}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FeatureEncoder":
+        """Rebuild an encoder from :meth:`to_dict` output."""
+        entries: list[str | Parameter] = []
+        for raw in payload["parameters"]:
+            if set(raw) == {"name"}:
+                entries.append(raw["name"])
+            else:
+                entries.append(
+                    Parameter(
+                        name=raw["name"],
+                        kind=ParameterKind(raw["kind"]),
+                        values=tuple(_value_from_json(v) for v in raw["values"]),
+                        paper_rank=raw["paper_rank"],
+                        numeric=raw["numeric"],
+                        description=raw["description"],
+                    )
+                )
+        return cls(entries)

@@ -74,6 +74,36 @@ class RandomForestRegressor:
         )
         return votes.mean(axis=0)
 
+    def to_dict(self) -> dict:
+        """Serialize the fitted ensemble to a JSON-compatible dict."""
+        if not self._trees:
+            raise RuntimeError("model is not fitted")
+        return {
+            "n_trees": self.n_trees,
+            "min_samples_leaf": self.min_samples_leaf,
+            "feature_fraction": self.feature_fraction,
+            "seed": self.seed,
+            "trees": [
+                {"tree": tree.to_dict(), "columns": [int(c) for c in columns]}
+                for tree, columns in self._trees
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RandomForestRegressor":
+        """Rebuild a fitted ensemble from :meth:`to_dict` output."""
+        model = cls(
+            n_trees=payload["n_trees"],
+            min_samples_leaf=payload["min_samples_leaf"],
+            feature_fraction=payload["feature_fraction"],
+            seed=payload["seed"],
+        )
+        model._trees = [
+            (CartTree.from_dict(raw["tree"]), np.asarray(raw["columns"], dtype=int))
+            for raw in payload["trees"]
+        ]
+        return model
+
     def predict_std(self, X: np.ndarray) -> np.ndarray:
         """Ensemble spread — a cheap uncertainty signal per query."""
         if not self._trees:

@@ -48,6 +48,34 @@ class KnnRegressor:
         self._y = y
         return self
 
+    def to_dict(self) -> dict:
+        """Serialize the fitted model to a JSON-compatible dict.
+
+        The standardized training matrix is the model — floats survive
+        the JSON round trip exactly (shortest-repr encoding).
+        """
+        if self._X is None or self._y is None:
+            raise RuntimeError("model is not fitted")
+        assert self._mean is not None and self._scale is not None
+        return {
+            "k": self.k,
+            "weight_power": self.weight_power,
+            "X": self._X.tolist(),
+            "y": self._y.tolist(),
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KnnRegressor":
+        """Rebuild a fitted model from :meth:`to_dict` output."""
+        model = cls(k=payload["k"], weight_power=payload["weight_power"])
+        model._X = np.asarray(payload["X"], dtype=float)
+        model._y = np.asarray(payload["y"], dtype=float)
+        model._mean = np.asarray(payload["mean"], dtype=float)
+        model._scale = np.asarray(payload["scale"], dtype=float)
+        return model
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets for an (n, d) matrix (or a single vector)."""
         if self._X is None or self._y is None:

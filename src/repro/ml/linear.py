@@ -63,6 +63,28 @@ class RidgeRegressor:
         self._beta = np.linalg.solve(design.T @ design + ridge, design.T @ y)
         return self
 
+    def to_dict(self) -> dict:
+        """Serialize the fitted model to a JSON-compatible dict."""
+        if self._beta is None:
+            raise RuntimeError("model is not fitted")
+        assert self._mean is not None and self._scale is not None
+        return {
+            "alpha": self.alpha,
+            "interactions": self.interactions,
+            "beta": self._beta.tolist(),
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RidgeRegressor":
+        """Rebuild a fitted model from :meth:`to_dict` output."""
+        model = cls(alpha=payload["alpha"], interactions=payload["interactions"])
+        model._beta = np.asarray(payload["beta"], dtype=float)
+        model._mean = np.asarray(payload["mean"], dtype=float)
+        model._scale = np.asarray(payload["scale"], dtype=float)
+        return model
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets for an (n, d) matrix (or a single vector)."""
         if self._beta is None:

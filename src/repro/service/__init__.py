@@ -10,6 +10,8 @@ accepts crowdsourced training contributions.
 """
 
 from repro.service.api import (
+    BatchQueryRequest,
+    BatchQueryResponse,
     QueryRequest,
     QueryResponse,
     RecommendationPayload,
@@ -18,6 +20,8 @@ from repro.service.api import (
 from repro.service.server import AcicService, ServiceStats
 
 __all__ = [
+    "BatchQueryRequest",
+    "BatchQueryResponse",
     "QueryRequest",
     "QueryResponse",
     "RecommendationPayload",

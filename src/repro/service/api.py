@@ -16,7 +16,14 @@ from dataclasses import dataclass
 from repro.core.objectives import Goal
 from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
 
-__all__ = ["ServiceError", "QueryRequest", "RecommendationPayload", "QueryResponse"]
+__all__ = [
+    "ServiceError",
+    "QueryRequest",
+    "RecommendationPayload",
+    "QueryResponse",
+    "BatchQueryRequest",
+    "BatchQueryResponse",
+]
 
 
 class ServiceError(ValueError):
@@ -59,10 +66,10 @@ class QueryRequest:
             raise ServiceError(f"top_k must be >= 1, got {self.top_k}")
 
     # ------------------------------------------------------------------
-    def to_json(self) -> str:
-        """Serialize to a JSON string."""
+    def to_payload(self) -> dict:
+        """The request as a plain JSON-compatible dict."""
         chars = self.characteristics
-        payload = {
+        return {
             "characteristics": {
                 "num_processes": chars.num_processes,
                 "num_io_processes": chars.num_io_processes,
@@ -79,7 +86,10 @@ class QueryRequest:
             "platform": self.platform,
             "learner": self.learner,
         }
-        return json.dumps(payload)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_payload())
 
     @classmethod
     def from_json(cls, text: str) -> "QueryRequest":
@@ -88,6 +98,11 @@ class QueryRequest:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ServiceError(f"request is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "QueryRequest":
+        """Validate and decode an already-parsed request object."""
         if not isinstance(payload, dict):
             raise ServiceError("request must be a JSON object")
         raw = payload.get("characteristics")
@@ -163,9 +178,9 @@ class QueryResponse:
     cached: bool = False
     learner: str = "cart"
 
-    def to_json(self) -> str:
-        """Serialize to a JSON string."""
-        payload = {
+    def to_payload(self) -> dict:
+        """The response as a plain JSON-compatible dict."""
+        return {
             "goal": self.goal.value,
             "platform": self.platform,
             "learner": self.learner,
@@ -185,12 +200,19 @@ class QueryResponse:
                 for r in self.recommendations
             ],
         }
-        return json.dumps(payload)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_payload())
 
     @classmethod
     def from_json(cls, text: str) -> "QueryResponse":
         """Parse an instance back from its JSON string."""
-        payload = json.loads(text)
+        return cls.from_payload(json.loads(text))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QueryResponse":
+        """Decode an already-parsed response object."""
         return cls(
             recommendations=tuple(
                 RecommendationPayload(
@@ -208,4 +230,65 @@ class QueryResponse:
             model_epochs=tuple(payload["model"]["epochs"]),
             cached=payload["cached"],
             learner=payload.get("learner", "cart"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchQueryRequest:
+    """Many queries in one round trip.
+
+    The wire form is ``{"queries": [<QueryRequest>, ...]}``; queries may
+    target different goals, learners or platforms — the service groups
+    them per model internally.
+    """
+
+    queries: tuple[QueryRequest, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.queries) == 0:
+            raise ServiceError("batch request must carry at least one query")
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps({"queries": [q.to_payload() for q in self.queries]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchQueryRequest":
+        """Parse and validate a batch; raises ServiceError on bad input."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"batch request is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("batch request must be a JSON object")
+        raw = payload.get("queries")
+        if not isinstance(raw, list):
+            raise ServiceError("batch request is missing its 'queries' list")
+        queries = []
+        for position, entry in enumerate(raw):
+            try:
+                queries.append(QueryRequest.from_payload(entry))
+            except ServiceError as exc:
+                raise ServiceError(f"batch query #{position}: {exc}") from exc
+        return cls(queries=tuple(queries))
+
+
+@dataclass(frozen=True)
+class BatchQueryResponse:
+    """The service's answers, one per batch query, in request order."""
+
+    responses: tuple[QueryResponse, ...]
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps({"responses": [r.to_payload() for r in self.responses]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchQueryResponse":
+        """Parse an instance back from its JSON string."""
+        payload = json.loads(text)
+        return cls(
+            responses=tuple(
+                QueryResponse.from_payload(entry) for entry in payload["responses"]
+            )
         )

@@ -4,35 +4,82 @@ Owns one training database per hosted platform, trains (goal, learner)
 models lazily, invalidates them when new community contributions arrive,
 and caches identical queries — the logic layer the paper's planned
 web-based service would sit on.
+
+Serving-scale machinery (the :mod:`repro.serving` subsystem):
+
+* responses are memoized in a bounded, instrumented LRU
+  (:class:`repro.serving.cache.LruCache`) whose counters surface in
+  :class:`ServiceStats`;
+* every trained model gets a :class:`repro.serving.engine.BatchQueryEngine`
+  so :meth:`AcicService.query_batch` answers whole request lists with
+  vectorized inference;
+* :meth:`AcicService.save` / :meth:`AcicService.load` persist databases
+  plus versioned model artifacts, so a query server warm-starts without
+  retraining.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.configurator import Acic
 from repro.core.database import TrainingDatabase
 from repro.core.objectives import Goal
 from repro.service.api import (
+    BatchQueryRequest,
+    BatchQueryResponse,
     QueryRequest,
     QueryResponse,
     RecommendationPayload,
     ServiceError,
 )
+from repro.serving.artifacts import (
+    ModelArtifact,
+    acic_from_artifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serving.cache import LruCache
+from repro.serving.engine import BatchQueryEngine
 
 __all__ = ["ServiceStats", "AcicService"]
+
+_MANIFEST_FORMAT = "acic-service"
+_MANIFEST_VERSION = 1
+_MANIFEST_FILE = "service.json"
+
+#: One model key: (platform, goal, learner registry name).
+_ModelKey = tuple[str, Goal, str]
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe token for manifest file names."""
+    return "".join(c if c.isalnum() or c in "._" else "-" for c in text)
 
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Operational counters for monitoring."""
+    """Operational counters for monitoring.
+
+    Attributes:
+        platforms / total_records / models_trained: hosting inventory.
+        queries_served: single and batch queries, combined.
+        cache_hits / cache_misses / cache_evictions: response-cache
+            counters since service construction.
+        cache_size / cache_capacity: current occupancy vs bound.
+    """
 
     platforms: int
     total_records: int
     queries_served: int
     cache_hits: int
     models_trained: int
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_size: int = 0
+    cache_capacity: int = 0
 
 
 class AcicService:
@@ -42,15 +89,21 @@ class AcicService:
         feature_names: dimensions the hosted models use (normally the
             top-m PB-ranked names of each platform's screening; one shared
             tuple keeps the service simple, matching the released tool).
+        cache_capacity: response-cache bound (LRU beyond it).
     """
 
-    def __init__(self, feature_names: tuple[str, ...] | None = None) -> None:
+    def __init__(
+        self,
+        feature_names: tuple[str, ...] | None = None,
+        cache_capacity: int = 1024,
+    ) -> None:
         self.feature_names = feature_names
         self._databases: dict[str, TrainingDatabase] = {}
-        self._models: dict[tuple[str, Goal, str], Acic] = {}
-        self._cache: dict[tuple, QueryResponse] = {}
+        self._models: dict[_ModelKey, Acic] = {}
+        self._engines: dict[_ModelKey, BatchQueryEngine] = {}
+        self._cache: LruCache[tuple, QueryResponse] = LruCache(cache_capacity)
+        self._epoch_spans: dict[str, tuple[int, int]] = {}
         self._queries = 0
-        self._hits = 0
         self._trained = 0
 
     # ------------------------------------------------------------------
@@ -82,22 +135,192 @@ class AcicService:
         self._queries += 1
         cached = self._cache.get(request.fingerprint)
         if cached is not None:
-            self._hits += 1
-            return QueryResponse(
-                recommendations=cached.recommendations,
-                goal=cached.goal,
-                platform=cached.platform,
-                model_points=cached.model_points,
-                model_epochs=cached.model_epochs,
-                learner=cached.learner,
-                cached=True,
-            )
+            return replace(cached, cached=True)
+        response = self._answer(
+            request,
+            self._model_for(request.platform, request.goal, request.learner)
+            .recommend(request.characteristics, top_k=request.top_k),
+        )
+        self._cache.put(request.fingerprint, response)
+        return response
 
+    def query_batch(self, requests: list[QueryRequest]) -> list[QueryResponse]:
+        """Answer many queries in one call, in request order.
+
+        Cache hits are served directly; misses are grouped per model and
+        answered through that model's :class:`BatchQueryEngine` with one
+        vectorized prediction pass per group.
+        """
+        requests = list(requests)
+        self._queries += len(requests)
+        responses: list[QueryResponse | None] = [None] * len(requests)
+        misses: dict[_ModelKey, list[int]] = {}
+        for position, request in enumerate(requests):
+            cached = self._cache.get(request.fingerprint)
+            if cached is not None:
+                responses[position] = replace(cached, cached=True)
+            else:
+                key = (request.platform, request.goal, request.learner)
+                misses.setdefault(key, []).append(position)
+
+        for key, positions in misses.items():
+            self._model_for(*key)  # train (or surface ServiceError) first
+            engine = self._engine_for(key)
+            batches = engine.recommend_batch(
+                [
+                    (requests[i].characteristics, requests[i].top_k)
+                    for i in positions
+                ]
+            )
+            for position, recommendations in zip(positions, batches):
+                response = self._answer(requests[position], recommendations)
+                self._cache.put(requests[position].fingerprint, response)
+                responses[position] = response
+        return [response for response in responses if response is not None]
+
+    def handle_json(self, request_text: str) -> str:
+        """Transport-level entry point: JSON in, JSON out.
+
+        Errors come back as a JSON object with an ``error`` key instead of
+        raising, so a batch front end never dies on one bad request.
+        """
+        try:
+            return self.handle(QueryRequest.from_json(request_text)).to_json()
+        except ServiceError as exc:
+            return json.dumps({"error": str(exc)})
+
+    def handle_batch_json(self, request_text: str) -> str:
+        """Batch transport entry point: one JSON document each way."""
+        try:
+            batch = BatchQueryRequest.from_json(request_text)
+            responses = self.query_batch(list(batch.queries))
+            return BatchQueryResponse(responses=tuple(responses)).to_json()
+        except ServiceError as exc:
+            return json.dumps({"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    def warm(
+        self,
+        platform: str,
+        goal: Goal = Goal.PERFORMANCE,
+        learner: str = "cart",
+    ) -> Acic:
+        """Train (or fetch) one hosted model eagerly; returns it.
+
+        Used before :meth:`save` to choose which models an artifact pack
+        carries, and by operators pre-warming a server before traffic.
+        """
+        return self._model_for(platform, goal, learner)
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist hosted databases and trained models as artifacts.
+
+        Writes one database JSON per platform, one versioned model
+        artifact per trained (platform, goal, learner), and a manifest
+        tying them together.  Returns the manifest path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        databases = []
+        for platform in sorted(self._databases):
+            filename = f"db-{_slug(platform)}.json"
+            self._databases[platform].save(directory / filename)
+            databases.append({"platform": platform, "file": filename})
+        models = []
+        for key in sorted(
+            self._models, key=lambda k: (k[0], k[1].value, k[2])
+        ):
+            platform, goal, learner = key
+            filename = f"model-{_slug(platform)}-{goal.value}-{_slug(learner)}.json"
+            content_hash = save_artifact(
+                ModelArtifact.from_acic(self._models[key]), directory / filename
+            )
+            models.append(
+                {
+                    "platform": platform,
+                    "goal": goal.value,
+                    "learner": learner,
+                    "file": filename,
+                    "content_hash": content_hash,
+                }
+            )
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "feature_names": list(self.feature_names) if self.feature_names else None,
+            "cache_capacity": self._cache.capacity,
+            "databases": databases,
+            "models": models,
+        }
+        manifest_path = directory / _MANIFEST_FILE
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+        return manifest_path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "AcicService":
+        """Warm-start a service from a :meth:`save` directory.
+
+        Databases are re-hosted and every packed model is loaded from its
+        verified artifact — no retraining (``models_trained`` stays 0
+        until a query needs a model the pack did not carry).
+
+        Raises:
+            ServiceError: missing/malformed manifest.
+            ArtifactError: a tampered or unreadable model artifact.
+        """
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST_FILE
+        if not manifest_path.exists():
+            raise ServiceError(f"no service manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"service manifest is not valid JSON: {exc}") from exc
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise ServiceError(
+                f"not a service manifest (format={manifest.get('format')!r})"
+            )
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ServiceError(
+                f"unsupported service manifest version {manifest.get('version')!r}"
+            )
+        names = manifest.get("feature_names")
+        service = cls(
+            feature_names=tuple(names) if names else None,
+            cache_capacity=manifest.get("cache_capacity", 1024),
+        )
+        for entry in manifest.get("databases", ()):
+            service.load_database(directory / entry["file"])
+        for entry in manifest.get("models", ()):
+            artifact = load_artifact(directory / entry["file"])
+            database = service._database_for(artifact.platform)
+            key = (artifact.platform, artifact.goal, artifact.learner)
+            service._models[key] = acic_from_artifact(database, artifact)
+        return service
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Operational counters snapshot."""
+        cache = self._cache.snapshot()
+        return ServiceStats(
+            platforms=len(self._databases),
+            total_records=sum(len(db) for db in self._databases.values()),
+            queries_served=self._queries,
+            cache_hits=cache.hits,
+            models_trained=self._trained,
+            cache_misses=cache.misses,
+            cache_evictions=cache.evictions,
+            cache_size=cache.size,
+            cache_capacity=cache.capacity,
+        )
+
+    # ------------------------------------------------------------------
+    def _answer(
+        self, request: QueryRequest, recommendations: list
+    ) -> QueryResponse:
+        """Assemble the response envelope for freshly computed results."""
         database = self._database_for(request.platform)
-        model = self._model_for(request.platform, request.goal, request.learner)
-        recommendations = model.recommend(request.characteristics, top_k=request.top_k)
-        epochs = [record.epoch for record in database]
-        response = QueryResponse(
+        return QueryResponse(
             recommendations=tuple(
                 RecommendationPayload(
                     rank=r.rank,
@@ -111,38 +334,25 @@ class AcicService:
             goal=request.goal,
             platform=request.platform,
             model_points=len(database),
-            model_epochs=(min(epochs), max(epochs)),
+            model_epochs=self._epoch_span(request.platform),
             learner=request.learner,
             cached=False,
         )
-        self._cache[request.fingerprint] = response
-        return response
 
-    def handle_json(self, request_text: str) -> str:
-        """Transport-level entry point: JSON in, JSON out.
+    def _epoch_span(self, platform: str) -> tuple[int, int]:
+        """(oldest, newest) contribution epochs; memoized per database.
 
-        Errors come back as a JSON object with an ``error`` key instead of
-        raising, so a batch front end never dies on one bad request.
+        A database's span only moves when a contribution lands, and every
+        contribution goes through :meth:`_invalidate` — so scanning the
+        records once per platform (not once per response) is safe.
         """
-        import json
+        span = self._epoch_spans.get(platform)
+        if span is None:
+            epochs = [record.epoch for record in self._database_for(platform)]
+            span = (min(epochs), max(epochs)) if epochs else (0, 0)
+            self._epoch_spans[platform] = span
+        return span
 
-        try:
-            return self.handle(QueryRequest.from_json(request_text)).to_json()
-        except ServiceError as exc:
-            return json.dumps({"error": str(exc)})
-
-    # ------------------------------------------------------------------
-    def stats(self) -> ServiceStats:
-        """Operational counters snapshot."""
-        return ServiceStats(
-            platforms=len(self._databases),
-            total_records=sum(len(db) for db in self._databases.values()),
-            queries_served=self._queries,
-            cache_hits=self._hits,
-            models_trained=self._trained,
-        )
-
-    # ------------------------------------------------------------------
     def _database_for(self, platform: str) -> TrainingDatabase:
         try:
             return self._databases[platform]
@@ -170,12 +380,21 @@ class AcicService:
             self._trained += 1
         return model
 
+    def _engine_for(self, key: _ModelKey) -> BatchQueryEngine:
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = BatchQueryEngine(self._model_for(*key))
+            self._engines[key] = engine
+        return engine
+
     def _invalidate(self, platform: str) -> None:
         self._models = {
             key: model for key, model in self._models.items() if key[0] != platform
         }
-        self._cache = {
-            fingerprint: response
-            for fingerprint, response in self._cache.items()
-            if response.platform != platform
+        self._engines = {
+            key: engine for key, engine in self._engines.items() if key[0] != platform
         }
+        self._epoch_spans.pop(platform, None)
+        self._cache.drop_where(
+            lambda _key, response: response.platform == platform
+        )

@@ -1,0 +1,136 @@
+"""A bounded, instrumented LRU cache for the serving layer.
+
+The query service memoizes responses keyed by request fingerprint; at the
+scale the ROADMAP targets (millions of users) an unbounded dict is a slow
+memory leak.  :class:`LruCache` enforces a capacity with least-recently-
+used eviction and counts hits, misses, insertions and evictions so
+operators can size it from live traffic (:meth:`LruCache.snapshot`).
+
+Generic over key and value; keys must be hashable.  Not thread-safe —
+the service object that owns it is single-threaded, like the rest of the
+logic layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+__all__ = ["CacheStats", "LruCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`LruCache`.
+
+    Attributes:
+        capacity: maximum number of resident entries.
+        size: entries currently resident.
+        hits / misses: ``get`` outcomes since construction.
+        insertions: ``put`` calls that added a new key.
+        evictions: entries displaced by the capacity bound (entries
+            removed by :meth:`LruCache.drop_where` or ``clear`` do not
+            count — those are invalidations, not pressure).
+    """
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups, 0.0 before any lookup."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class LruCache(Generic[K, V]):
+    """A capacity-bounded mapping with LRU eviction and counters.
+
+    Args:
+        capacity: maximum resident entries (>= 1).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Look a key up, refreshing its recency; counts the outcome."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the LRU tail if needed."""
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = value
+        self._insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def drop_where(self, predicate: Callable[[K, V], bool]) -> int:
+        """Remove entries matching ``predicate``; returns how many.
+
+        Used for targeted invalidation (e.g. one platform's responses
+        after a community contribution); does not count as eviction.
+        """
+        doomed = [k for k, v in self._entries.items() if predicate(k, v)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does not touch recency or counters."""
+        return key in self._entries
+
+    def keys(self) -> Iterator[K]:
+        """Resident keys, least- to most-recently used."""
+        return iter(self._entries.keys())
+
+    def snapshot(self) -> CacheStats:
+        """Immutable view of the current counters."""
+        return CacheStats(
+            capacity=self.capacity,
+            size=len(self._entries),
+            hits=self._hits,
+            misses=self._misses,
+            insertions=self._insertions,
+            evictions=self._evictions,
+        )

@@ -1,0 +1,137 @@
+"""Vectorized batch inference over the candidate-configuration grid.
+
+Every ACIC query is the same join: the application's characteristics
+against *all* candidate system configurations.  :meth:`Acic.recommend`
+re-enumerates and re-encodes that grid per query — fine for one user,
+wasteful for a service.  :class:`BatchQueryEngine` hoists the invariant
+work out of the per-query path:
+
+* the candidate set is enumerated once per model,
+* each candidate's system-side feature columns are encoded once into a
+  base matrix,
+* a query only encodes its nine application-side values (one row, not
+  one per candidate), broadcasts them across the base matrix, and runs
+  a single vectorized ``predict`` over all candidates.
+
+Ranking goes through :func:`repro.core.configurator.rank_scored`, so the
+engine's recommendations are *identical* to the sequential path — the
+property the tier-1 tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.configurator import (
+    Acic,
+    Recommendation,
+    rank_scored,
+    tied_champions,
+)
+from repro.ml.encoding import characteristics_values, config_values
+from repro.space.characteristics import AppCharacteristics
+from repro.space.configuration import SystemConfig
+from repro.space.grid import candidate_configs
+from repro.space.parameters import ParameterKind
+from repro.space.validity import is_valid_point
+
+__all__ = ["BatchQueryEngine"]
+
+
+class BatchQueryEngine:
+    """Answers many recommendation queries against one trained model.
+
+    Args:
+        acic: a trained configurator (RuntimeError when untrained).
+        candidates: candidate set to rank; defaults to the platform-side
+            grid (every valid system configuration).  Per query,
+            candidates that cannot host the workload are masked out —
+            the same filter :func:`candidate_configs` applies.
+    """
+
+    def __init__(
+        self, acic: Acic, candidates: Sequence[SystemConfig] | None = None
+    ) -> None:
+        acic.model  # fail fast when untrained
+        self.acic = acic
+        self.candidates: tuple[SystemConfig, ...] = tuple(
+            candidates if candidates is not None else candidate_configs()
+        )
+        encoder = acic.encoder
+        kinds = [p.kind for p in encoder.parameters]
+        self._system_columns = np.array(
+            [i for i, kind in enumerate(kinds) if kind is ParameterKind.SYSTEM],
+            dtype=int,
+        )
+        self._application_columns = np.array(
+            [i for i, kind in enumerate(kinds) if kind is ParameterKind.APPLICATION],
+            dtype=int,
+        )
+        # Base matrix: system-side columns encoded once per candidate;
+        # application-side columns are filled per query.
+        self._base = np.zeros((len(self.candidates), encoder.width), dtype=float)
+        for row, config in enumerate(self.candidates):
+            encoded = encoder.encode_values(config_values(config))
+            self._base[row, self._system_columns] = encoded[self._system_columns]
+
+    # ------------------------------------------------------------------
+    def _join(
+        self, chars: AppCharacteristics
+    ) -> tuple[np.ndarray, list[SystemConfig]]:
+        """(feature matrix, candidate list) for one query's valid join."""
+        valid = [
+            row
+            for row, config in enumerate(self.candidates)
+            if is_valid_point(config, chars)
+        ]
+        X = self._base[valid, :]
+        if self._application_columns.size:
+            encoded = self.acic.encoder.encode_values(characteristics_values(chars))
+            X[:, self._application_columns] = encoded[self._application_columns]
+        return X, [self.candidates[row] for row in valid]
+
+    def score(
+        self, chars: AppCharacteristics
+    ) -> tuple[np.ndarray, list[SystemConfig]]:
+        """Predicted improvement ratios over the valid candidates."""
+        X, candidates = self._join(chars)
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=float), candidates
+        return np.exp(self.acic.model.predict(X)), candidates
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self, chars: AppCharacteristics, top_k: int = 1
+    ) -> list[Recommendation]:
+        """Top-k recommendations — identical to :meth:`Acic.recommend`."""
+        scores, candidates = self.score(chars)
+        return rank_scored(list(zip(scores.tolist(), candidates)), top_k)
+
+    def co_champions(self, chars: AppCharacteristics) -> list[SystemConfig]:
+        """All candidates tied with the best prediction."""
+        scores, candidates = self.score(chars)
+        return tied_champions(list(zip(scores.tolist(), candidates)))
+
+    def recommend_batch(
+        self, queries: Sequence[tuple[AppCharacteristics, int]]
+    ) -> list[list[Recommendation]]:
+        """Answer (characteristics, top_k) queries in one call.
+
+        Rows for all queries are stacked into a single feature matrix and
+        the learner runs once over the whole batch, then each query's
+        slice is ranked independently.
+        """
+        joins = [self._join(chars) for chars, _ in queries]
+        blocks = [X for X, _ in joins if X.shape[0]]
+        if not blocks:
+            return [[] for _ in queries]
+        predictions = np.exp(self.acic.model.predict(np.vstack(blocks)))
+        results: list[list[Recommendation]] = []
+        offset = 0
+        for (X, candidates), (_, top_k) in zip(joins, queries):
+            scores = predictions[offset : offset + X.shape[0]]
+            offset += X.shape[0]
+            results.append(rank_scored(list(zip(scores.tolist(), candidates)), top_k))
+        return results

@@ -15,7 +15,7 @@ microseconds each, so parallelism only pays for very large campaigns).
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable
 from typing import TypeVar
 
 T = TypeVar("T")
@@ -38,15 +38,19 @@ def resolve_jobs(jobs: int | None) -> int:
 
 def parallel_map(
     function: Callable[[T], R],
-    items: Sequence[T],
+    items: Iterable[T],
     jobs: int | None = None,
     chunk_size: int | None = None,
 ) -> list[R]:
     """Map ``function`` over ``items``, optionally across processes.
 
-    Order-preserving.  The function and items must be picklable when
-    ``jobs > 1``.  Exceptions propagate from workers.
+    Order-preserving.  ``items`` may be any iterable (generators
+    included) — it is materialized once up front, since sizing the
+    serial/parallel decision and the chunking both need a length.  The
+    function and items must be picklable when ``jobs > 1``.  Exceptions
+    propagate from workers.
     """
+    items = list(items)
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(items) < _MIN_PARALLEL_ITEMS:
         return [function(item) for item in items]

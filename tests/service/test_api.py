@@ -5,7 +5,14 @@ import json
 import pytest
 
 from repro.core.objectives import Goal
-from repro.service.api import QueryRequest, QueryResponse, RecommendationPayload, ServiceError
+from repro.service.api import (
+    BatchQueryRequest,
+    BatchQueryResponse,
+    QueryRequest,
+    QueryResponse,
+    RecommendationPayload,
+    ServiceError,
+)
 
 
 class TestQueryRequest:
@@ -104,3 +111,83 @@ class TestQueryResponse:
         assert set(payload) == {
             "goal", "platform", "learner", "model", "cached", "recommendations",
         }
+
+
+def _response(goal=Goal.PERFORMANCE, platform="ec2-us-east"):
+    return QueryResponse(
+        recommendations=(
+            RecommendationPayload(
+                rank=1,
+                config_key="pvfs.4.D.eph.cc2.4MB",
+                description="4 dedicated PVFS2 servers",
+                predicted_improvement=3.5,
+                co_champion_group=1,
+            ),
+        ),
+        goal=goal,
+        platform=platform,
+        model_points=1234,
+        model_epochs=(1, 3),
+    )
+
+
+class TestBatchQueryRequest:
+    def test_json_round_trip(self, simple_chars):
+        batch = BatchQueryRequest(
+            queries=(
+                QueryRequest(characteristics=simple_chars),
+                QueryRequest(characteristics=simple_chars, goal=Goal.COST, top_k=7),
+            )
+        )
+        restored = BatchQueryRequest.from_json(batch.to_json())
+        assert restored == batch
+
+    def test_wire_shape(self, simple_chars):
+        batch = BatchQueryRequest(queries=(QueryRequest(characteristics=simple_chars),))
+        payload = json.loads(batch.to_json())
+        assert set(payload) == {"queries"}
+        assert isinstance(payload["queries"], list)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            BatchQueryRequest(queries=())
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            BatchQueryRequest.from_json("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            BatchQueryRequest.from_json("[1, 2]")
+
+    def test_rejects_missing_queries_list(self):
+        with pytest.raises(ServiceError, match="queries"):
+            BatchQueryRequest.from_json('{"requests": []}')
+
+    def test_bad_query_reported_with_position(self, simple_chars):
+        good = QueryRequest(characteristics=simple_chars).to_payload()
+        bad = QueryRequest(characteristics=simple_chars).to_payload()
+        del bad["characteristics"]["op"]
+        text = json.dumps({"queries": [good, bad]})
+        with pytest.raises(ServiceError, match="batch query #1.*op"):
+            BatchQueryRequest.from_json(text)
+
+
+class TestBatchQueryResponse:
+    def test_json_round_trip(self):
+        batch = BatchQueryResponse(
+            responses=(_response(), _response(goal=Goal.COST))
+        )
+        restored = BatchQueryResponse.from_json(batch.to_json())
+        assert restored == batch
+
+    def test_order_preserved(self):
+        batch = BatchQueryResponse(
+            responses=(_response(platform="a"), _response(platform="b"))
+        )
+        payload = json.loads(batch.to_json())
+        assert [entry["platform"] for entry in payload["responses"]] == ["a", "b"]
+
+    def test_empty_batch_of_responses_round_trips(self):
+        batch = BatchQueryResponse(responses=())
+        assert BatchQueryResponse.from_json(batch.to_json()) == batch

@@ -114,3 +114,162 @@ class TestContributions:
         platform = service.load_database(path)
         assert platform == context.platform.name
         assert service.stats().total_records == len(context.database)
+
+
+class TestBatchQueries:
+    def test_batch_matches_sequential(self, context, simple_chars, posix_chars):
+        features = tuple(context.screening.ranked_names()[: context.top_m])
+        batch_service = AcicService(feature_names=features)
+        batch_service.host_database(context.database)
+        single_service = AcicService(feature_names=features)
+        single_service.host_database(context.database)
+
+        requests = [
+            QueryRequest(characteristics=simple_chars, goal=Goal.PERFORMANCE),
+            QueryRequest(characteristics=posix_chars, goal=Goal.COST, top_k=5),
+            QueryRequest(characteristics=simple_chars, goal=Goal.COST, top_k=2),
+        ]
+        batched = batch_service.query_batch(requests)
+        assert batched == [single_service.handle(r) for r in requests]
+
+    def test_batch_serves_cache_hits(self, context, simple_chars, posix_chars):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        service.host_database(context.database)
+        seen = QueryRequest(characteristics=simple_chars)
+        fresh = QueryRequest(characteristics=posix_chars)
+        warm = service.handle(seen)
+        hit, miss = service.query_batch([seen, fresh])
+        assert hit.cached and not miss.cached
+        assert hit.recommendations == warm.recommendations
+
+    def test_batch_counts_every_query(self, context, simple_chars):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        service.host_database(context.database)
+        service.query_batch(
+            [QueryRequest(characteristics=simple_chars, top_k=k) for k in (1, 2, 3)]
+        )
+        assert service.stats().queries_served == 3
+
+    def test_handle_batch_json_round_trip(self, context, simple_chars):
+        from repro.service.api import BatchQueryRequest, BatchQueryResponse
+
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        service.host_database(context.database)
+        batch = BatchQueryRequest(
+            queries=(QueryRequest(characteristics=simple_chars),)
+        )
+        decoded = BatchQueryResponse.from_json(
+            service.handle_batch_json(batch.to_json())
+        )
+        assert len(decoded.responses) == 1
+        assert decoded.responses[0].recommendations
+
+    def test_handle_batch_json_error_is_json(self, hosted_service):
+        payload = json.loads(hosted_service.handle_batch_json('{"queries": []}'))
+        assert "error" in payload
+
+
+class TestBoundedCache:
+    @pytest.fixture()
+    def tiny_cache_service(self, context):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m]),
+            cache_capacity=2,
+        )
+        service.host_database(context.database)
+        return service
+
+    def test_capacity_enforced_with_counters(self, tiny_cache_service, simple_chars):
+        for k in range(1, 5):
+            tiny_cache_service.handle(
+                QueryRequest(characteristics=simple_chars, top_k=k)
+            )
+        stats = tiny_cache_service.stats()
+        assert stats.cache_capacity == 2
+        assert stats.cache_size == 2
+        assert stats.cache_evictions == 2
+        assert stats.cache_misses == 4
+
+    def test_evicted_query_recomputed_not_cached(
+        self, tiny_cache_service, simple_chars
+    ):
+        first = QueryRequest(characteristics=simple_chars, top_k=1)
+        tiny_cache_service.handle(first)
+        for k in (2, 3):  # push `first` out of the 2-entry cache
+            tiny_cache_service.handle(
+                QueryRequest(characteristics=simple_chars, top_k=k)
+            )
+        again = tiny_cache_service.handle(first)
+        assert not again.cached
+
+    def test_stats_surface_cache_counters(self, context, simple_chars):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        service.host_database(context.database)
+        request = QueryRequest(characteristics=simple_chars)
+        service.handle(request)
+        service.handle(request)
+        stats = service.stats()
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+        assert stats.cache_size == 1
+        assert stats.cache_capacity == 1024
+
+
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def packed(self, context, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("pack")
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        service.host_database(context.database)
+        service.warm(context.platform.name, Goal.PERFORMANCE)
+        service.warm(context.platform.name, Goal.COST)
+        service.save(directory)
+        return service, directory
+
+    def test_warm_start_trains_nothing(self, packed):
+        _, directory = packed
+        loaded = AcicService.load(directory)
+        assert loaded.stats().models_trained == 0
+        assert loaded.stats().platforms == 1
+
+    def test_loaded_service_answers_identically(self, packed, simple_chars):
+        service, directory = packed
+        loaded = AcicService.load(directory)
+        for goal in (Goal.PERFORMANCE, Goal.COST):
+            request = QueryRequest(characteristics=simple_chars, goal=goal)
+            assert loaded.handle(request) == service._answer(
+                request,
+                service.warm(request.platform, goal).recommend(
+                    simple_chars, top_k=request.top_k
+                ),
+            )
+        assert loaded.stats().models_trained == 0  # still no retraining
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="manifest"):
+            AcicService.load(tmp_path)
+
+    def test_wrong_manifest_format_rejected(self, tmp_path):
+        (tmp_path / "service.json").write_text('{"format": "tarball"}')
+        with pytest.raises(ServiceError, match="format"):
+            AcicService.load(tmp_path)
+
+    def test_manifest_records_capacity(self, context, tmp_path, simple_chars):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m]),
+            cache_capacity=16,
+        )
+        service.host_database(context.database)
+        service.save(tmp_path)
+        loaded = AcicService.load(tmp_path)
+        assert loaded.stats().cache_capacity == 16

@@ -1,0 +1,20 @@
+"""Fixtures for the serving subsystem: a small, fast training pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.pb.ranking import screen_parameters
+
+
+@pytest.fixture(scope="package")
+def small_pipeline(platform):
+    """(screening, database) over the top-5 dimensions — quick to fit."""
+    screening = screen_parameters(platform=platform)
+    database = TrainingDatabase(platform.name)
+    TrainingCollector(database, platform=platform).collect(
+        TrainingPlan.build(screening.ranked_names(), 5)
+    )
+    return screening, database

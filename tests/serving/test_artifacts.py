@@ -1,0 +1,175 @@
+"""Tests for versioned model artifacts: exact round-trips, tamper checks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.configurator import Acic
+from repro.core.objectives import Goal
+from repro.ml.encoding import FeatureEncoder, point_values
+from repro.ml.registry import available_learners
+from repro.serving.artifacts import (
+    ARTIFACT_FORMAT,
+    ArtifactError,
+    ModelArtifact,
+    acic_from_artifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.space.grid import candidate_configs
+
+
+def _trained(small_pipeline, learner_name, goal=Goal.PERFORMANCE):
+    screening, database = small_pipeline
+    return Acic(
+        database,
+        goal=goal,
+        learner_name=learner_name,
+        feature_names=tuple(screening.ranked_names()[:5]),
+    ).train()
+
+
+def _grid_matrix(acic, simple_chars):
+    """The full candidate-grid join, encoded for the model."""
+    candidates = candidate_configs(simple_chars)
+    return acic.encoder.encode_many(
+        [point_values(config, simple_chars) for config in candidates]
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("learner_name", available_learners())
+    def test_identical_predictions_for_every_learner(
+        self, small_pipeline, simple_chars, learner_name, tmp_path
+    ):
+        acic = _trained(small_pipeline, learner_name)
+        path = tmp_path / f"{learner_name}.json"
+        save_artifact(ModelArtifact.from_acic(acic), path)
+        restored = load_artifact(path)
+
+        X = _grid_matrix(acic, simple_chars)
+        np.testing.assert_array_equal(
+            acic.model.predict(X), restored.model.predict(X)
+        )
+
+    @pytest.mark.parametrize("learner_name", available_learners())
+    def test_double_round_trip_is_byte_stable(
+        self, small_pipeline, learner_name, tmp_path
+    ):
+        acic = _trained(small_pipeline, learner_name)
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        hash_one = save_artifact(ModelArtifact.from_acic(acic), first)
+        hash_two = save_artifact(load_artifact(first), second)
+        assert hash_one == hash_two
+        assert json.loads(first.read_text()) == json.loads(second.read_text())
+
+    def test_recommendations_survive(self, small_pipeline, simple_chars, tmp_path):
+        _, database = small_pipeline
+        acic = _trained(small_pipeline, "cart", goal=Goal.COST)
+        path = tmp_path / "model.json"
+        save_artifact(ModelArtifact.from_acic(acic), path)
+        served = acic_from_artifact(database, load_artifact(path))
+        assert served.recommend(simple_chars, top_k=5) == acic.recommend(
+            simple_chars, top_k=5
+        )
+        assert served.co_champions(simple_chars) == acic.co_champions(simple_chars)
+
+    def test_provenance_captured(self, small_pipeline, tmp_path):
+        _, database = small_pipeline
+        acic = _trained(small_pipeline, "cart")
+        path = tmp_path / "model.json"
+        save_artifact(ModelArtifact.from_acic(acic), path)
+        artifact = load_artifact(path)
+        assert artifact.platform == database.platform_name
+        assert artifact.database_points == len(database)
+        assert artifact.learner == "cart"
+        assert artifact.goal is Goal.PERFORMANCE
+        assert artifact.encoder.names == acic.encoder.names
+
+    def test_untrained_model_refused(self, small_pipeline):
+        screening, database = small_pipeline
+        acic = Acic(database, feature_names=tuple(screening.ranked_names()[:5]))
+        with pytest.raises(RuntimeError, match="train"):
+            ModelArtifact.from_acic(acic)
+
+
+class TestVerification:
+    @pytest.fixture()
+    def saved(self, small_pipeline, tmp_path):
+        acic = _trained(small_pipeline, "cart")
+        path = tmp_path / "model.json"
+        save_artifact(ModelArtifact.from_acic(acic), path)
+        return path
+
+    def test_tampered_model_rejected(self, saved):
+        payload = json.loads(saved.read_text())
+        payload["model"]["state"]["nodes"][0]["mean"] += 1.0
+        saved.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            load_artifact(saved)
+
+    def test_tampered_hash_rejected(self, saved):
+        payload = json.loads(saved.read_text())
+        payload["content_hash"] = "0" * 64
+        saved.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            load_artifact(saved)
+
+    def test_wrong_format_rejected(self, saved):
+        payload = json.loads(saved.read_text())
+        payload["format"] = "pickle"
+        saved.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="not an ACIC model artifact"):
+            load_artifact(saved)
+
+    def test_future_version_rejected(self, saved):
+        payload = json.loads(saved.read_text())
+        payload["version"] = 999
+        saved.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(saved)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_format_constant_in_payload(self, saved):
+        assert json.loads(saved.read_text())["format"] == ARTIFACT_FORMAT
+
+    def test_platform_mismatch_rejected(self, saved, small_pipeline):
+        from repro.core.database import TrainingDatabase
+
+        artifact = load_artifact(saved)
+        foreign = TrainingDatabase("azure-west")
+        with pytest.raises(ArtifactError, match="platform"):
+            acic_from_artifact(foreign, artifact)
+
+
+class TestEncoderSerialization:
+    def test_default_encoder_round_trip(self):
+        encoder = FeatureEncoder()
+        restored = FeatureEncoder.from_dict(encoder.to_dict())
+        assert restored.names == encoder.names
+        assert restored.parameters == encoder.parameters
+
+    def test_subset_encoder_round_trip(self):
+        encoder = FeatureEncoder(["data_bytes", "op", "file_system"])
+        restored = FeatureEncoder.from_dict(encoder.to_dict())
+        assert restored.names == ("data_bytes", "op", "file_system")
+
+    def test_extended_parameter_round_trip(self):
+        from repro.space.configuration import FileSystemKind
+        from repro.space.extension import SpaceExtension
+
+        extension = SpaceExtension({"file_system": (FileSystemKind.LUSTRE,)})
+        encoder = FeatureEncoder(extension.extended_parameters())
+        restored = FeatureEncoder.from_dict(encoder.to_dict())
+        assert restored.parameters == encoder.parameters
+        # encoding behaviour survives, including the extension values
+        for parameter, twin in zip(encoder.parameters, restored.parameters):
+            for value in parameter.values:
+                assert twin.encode(value) == parameter.encode(value)

@@ -1,0 +1,119 @@
+"""Tests for the bounded, instrumented LRU cache."""
+
+import pytest
+
+from repro.serving.cache import LruCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+        assert "a" in cache
+
+    def test_miss_returns_default(self):
+        cache = LruCache(capacity=4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=42) == 42
+
+    def test_update_replaces_value(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LruCache(capacity=0)
+
+
+class TestEviction:
+    def test_capacity_bound_enforced(self):
+        cache = LruCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.snapshot().evictions == 7
+
+    def test_least_recently_used_goes_first(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": now "b" is the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes, "b" becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_keys_in_recency_order(self):
+        cache = LruCache(capacity=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")
+        assert list(cache.keys()) == ["b", "c", "a"]
+
+
+class TestCounters:
+    def test_hit_miss_counts(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("zzz")
+        stats = cache.snapshot()
+        assert stats.hits == 2 and stats.misses == 1
+        assert stats.requests == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_zero_before_traffic(self):
+        assert LruCache(capacity=2).snapshot().hit_rate == 0.0
+
+    def test_insertions_counted_once_per_key(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        cache.put("b", 3)
+        assert cache.snapshot().insertions == 2
+
+    def test_contains_does_not_count(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        _ = "a" in cache
+        _ = "b" in cache
+        stats = cache.snapshot()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_snapshot_reports_size_and_capacity(self):
+        cache = LruCache(capacity=7)
+        cache.put("a", 1)
+        stats = cache.snapshot()
+        assert stats.size == 1 and stats.capacity == 7
+
+
+class TestInvalidation:
+    def test_drop_where(self):
+        cache = LruCache(capacity=8)
+        for i in range(6):
+            cache.put(i, i * 10)
+        dropped = cache.drop_where(lambda key, value: key % 2 == 0)
+        assert dropped == 3
+        assert len(cache) == 3
+        assert cache.snapshot().evictions == 0  # invalidation, not pressure
+
+    def test_clear_preserves_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.snapshot()
+        assert len(cache) == 0 and stats.hits == 1 and stats.insertions == 1

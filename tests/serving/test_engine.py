@@ -1,0 +1,99 @@
+"""Tests pinning BatchQueryEngine to the sequential Acic.recommend path."""
+
+import numpy as np
+import pytest
+
+from repro.core.configurator import Acic
+from repro.core.objectives import Goal
+from repro.ml.registry import available_learners
+from repro.serving.engine import BatchQueryEngine
+from repro.space.grid import candidate_configs
+
+
+@pytest.fixture(scope="module")
+def trained(small_pipeline):
+    screening, database = small_pipeline
+    return Acic(
+        database,
+        goal=Goal.PERFORMANCE,
+        learner_name="cart",
+        feature_names=tuple(screening.ranked_names()[:5]),
+    ).train()
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("learner_name", available_learners())
+    def test_matches_sequential_recommend(
+        self, small_pipeline, simple_chars, learner_name
+    ):
+        screening, database = small_pipeline
+        acic = Acic(
+            database,
+            learner_name=learner_name,
+            feature_names=tuple(screening.ranked_names()[:5]),
+        ).train()
+        engine = BatchQueryEngine(acic)
+        for top_k in (1, 3, 10):
+            assert engine.recommend(simple_chars, top_k) == acic.recommend(
+                simple_chars, top_k
+            )
+
+    def test_matches_on_posix_workload(self, trained, posix_chars):
+        engine = BatchQueryEngine(trained)
+        assert engine.recommend(posix_chars, top_k=5) == trained.recommend(
+            posix_chars, top_k=5
+        )
+
+    def test_co_champions_match(self, trained, simple_chars):
+        engine = BatchQueryEngine(trained)
+        assert engine.co_champions(simple_chars) == trained.co_champions(simple_chars)
+
+    def test_scores_match_exactly(self, trained, simple_chars):
+        engine = BatchQueryEngine(trained)
+        scores, candidates = engine.score(simple_chars)
+        sequential = trained.score_candidates(simple_chars, candidates)
+        np.testing.assert_array_equal(scores, sequential)
+
+    def test_valid_candidates_match_grid(self, trained, posix_chars):
+        engine = BatchQueryEngine(trained)
+        _, candidates = engine.score(posix_chars)
+        assert candidates == candidate_configs(posix_chars)
+
+
+class TestBatch:
+    def test_batch_equals_singles(self, trained, simple_chars, posix_chars):
+        engine = BatchQueryEngine(trained)
+        queries = [(simple_chars, 1), (posix_chars, 3), (simple_chars, 10)]
+        batched = engine.recommend_batch(queries)
+        assert batched == [engine.recommend(chars, k) for chars, k in queries]
+
+    def test_batch_equals_sequential_acic(self, trained, simple_chars, posix_chars):
+        engine = BatchQueryEngine(trained)
+        queries = [(posix_chars, 2), (simple_chars, 2)]
+        batched = engine.recommend_batch(queries)
+        assert batched == [trained.recommend(chars, k) for chars, k in queries]
+
+    def test_empty_batch(self, trained):
+        assert BatchQueryEngine(trained).recommend_batch([]) == []
+
+
+class TestConstruction:
+    def test_untrained_refused(self, small_pipeline):
+        screening, database = small_pipeline
+        acic = Acic(database, feature_names=tuple(screening.ranked_names()[:5]))
+        with pytest.raises(RuntimeError, match="train"):
+            BatchQueryEngine(acic)
+
+    def test_candidate_override_restricts_ranking(self, trained, simple_chars):
+        subset = candidate_configs()[:8]
+        engine = BatchQueryEngine(trained, candidates=subset)
+        keys = {config.key for config in subset}
+        for rec in engine.recommend(simple_chars, top_k=5):
+            assert rec.config.key in keys
+
+    def test_base_matrix_covers_all_candidates(self, trained):
+        engine = BatchQueryEngine(trained)
+        assert engine._base.shape == (
+            len(candidate_configs()),
+            trained.encoder.width,
+        )

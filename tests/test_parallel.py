@@ -44,6 +44,14 @@ class TestParallelMap:
     def test_empty(self):
         assert parallel_map(square, [], jobs=4) == []
 
+    def test_accepts_generator(self):
+        items = (x for x in range(20))
+        assert parallel_map(square, items, jobs=1) == [x * x for x in range(20)]
+
+    def test_accepts_generator_on_parallel_path(self):
+        items = (x for x in range(500))
+        assert parallel_map(square, items, jobs=2) == [x * x for x in range(500)]
+
     def test_worker_exception_propagates(self):
         def boom(x):
             raise RuntimeError("worker failure")
