@@ -1,0 +1,142 @@
+"""Benchmark: telemetry overhead and span coverage on the serving hot path.
+
+Two claims the telemetry subsystem makes, timed:
+
+* instrumentation is cheap — a fully-instrumented 256-query batch stays
+  within 5% of the uninstrumented (PR 1 baseline) throughput, and the
+  disabled-by-default no-op path costs under 1% of a batch;
+* the spans are honest — with telemetry enabled, the recorded root spans
+  cover >= 95% of the measured wall time of a 256-query batch, so the
+  per-stage report accounts for essentially all the time spent.
+
+The overhead comparison interleaves disabled/enabled rounds and takes
+the min of each arm, the standard way to suppress scheduler noise in
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.test_bench_serving import _fresh_service, _query_stream
+from repro.core.objectives import Goal
+from repro.telemetry import NULL_TELEMETRY, Telemetry, use_telemetry
+
+ROUNDS = 5
+BATCH = 256
+
+
+def _warm_service(context):
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+    return service
+
+
+def _timed_batch(service, requests) -> float:
+    service._cache.clear()
+    start = time.perf_counter()
+    service.query_batch(requests)
+    return time.perf_counter() - start
+
+
+def test_bench_batch_instrumented(benchmark, context):
+    requests = _query_stream(BATCH)
+    service = _warm_service(context)
+    service.query_batch(requests)  # build the per-model engines once
+    bundle = Telemetry()
+
+    def instrumented():
+        service._cache.clear()
+        bundle.tracer.reset()
+        with use_telemetry(bundle):
+            return service.query_batch(requests)
+
+    responses = benchmark(instrumented)
+    assert len(responses) == BATCH
+    assert any(r.name == "service.query_batch" for r in bundle.tracer.records)
+
+
+def test_instrumented_overhead_within_five_percent(context):
+    """Enabled telemetry costs <= 5% on a 256-query batch (min-of-rounds)."""
+    requests = _query_stream(BATCH)
+    service = _warm_service(context)
+    bundle = Telemetry()
+    # Throwaway round per arm: engine construction and allocator warm-up
+    # must not land inside either measurement.
+    _timed_batch(service, requests)
+    with use_telemetry(bundle):
+        _timed_batch(service, requests)
+
+    disabled, enabled = [], []
+    for _ in range(ROUNDS):
+        disabled.append(_timed_batch(service, requests))
+        bundle.tracer.reset()
+        with use_telemetry(bundle):
+            enabled.append(_timed_batch(service, requests))
+    ratio = min(enabled) / min(disabled)
+    assert ratio <= 1.05, (
+        f"instrumented batch is {ratio:.3f}x the uninstrumented baseline "
+        f"(bar: 1.05x; disabled {min(disabled):.4f}s, enabled {min(enabled):.4f}s)"
+    )
+
+
+def test_noop_overhead_under_one_percent(context):
+    """The disabled-by-default path costs < 1% of one uninstrumented batch.
+
+    Count how many spans a 256-query batch actually opens, then time 10x
+    that many no-op span + counter round trips on the disabled path and
+    require the total to stay under 1% of the batch itself.
+    """
+    requests = _query_stream(BATCH)
+    service = _warm_service(context)
+    _timed_batch(service, requests)  # warm-up
+    batch_seconds = min(_timed_batch(service, requests) for _ in range(3))
+
+    bundle = Telemetry()
+    with use_telemetry(bundle):
+        _timed_batch(service, requests)
+    crossings_per_batch = len(bundle.tracer.records)
+    assert crossings_per_batch > 0
+
+    null_ops = 10 * crossings_per_batch
+    start = time.perf_counter()
+    for _ in range(null_ops):
+        with NULL_TELEMETRY.span("bench.noop", k=1) as span:
+            span.annotate(rows=BATCH)
+        NULL_TELEMETRY.counter("bench.noop").inc()
+    noop_seconds = time.perf_counter() - start
+
+    share = noop_seconds / batch_seconds
+    assert share < 0.01, (
+        f"{null_ops} no-op telemetry round trips (10x the {crossings_per_batch} "
+        f"spans a batch opens) took {noop_seconds:.5f}s = {share:.2%} of a "
+        f"{batch_seconds:.4f}s batch (bar: 1%)"
+    )
+
+
+def test_span_coverage_of_batch_wall_time(context):
+    """Root spans cover >= 95% of the wall time of a 256-query batch."""
+    requests = _query_stream(BATCH)
+    service = _warm_service(context)
+    service.query_batch(requests)  # warm: no training inside the measurement
+    service._cache.clear()
+
+    bundle = Telemetry()
+    with use_telemetry(bundle):
+        start = time.perf_counter()
+        responses = service.query_batch(requests)
+        wall = time.perf_counter() - start
+
+    assert len(responses) == BATCH
+    records = bundle.tracer.records
+    roots = [record for record in records if record.parent_id is None]
+    covered = sum(record.duration for record in roots)
+    assert covered / wall >= 0.95, (
+        f"root spans cover {covered / wall:.1%} of {wall:.4f}s wall (bar: 95%)"
+    )
+    # The trace is hierarchical, not a single opaque span: the batch span
+    # has serving-layer children accounting for the interesting stages.
+    names = {record.name for record in records}
+    assert {"service.query_batch", "serving.recommend_batch",
+            "serving.predict", "serving.rank"} <= names

@@ -17,6 +17,14 @@ Subcommands mirror the released tool's workflow:
 * ``acic report --out report.md``     — full reproduction report.
 * ``acic dbcheck --db db.json``       — audit a training database.
 * ``acic apps``                       — list the bundled application models.
+* ``acic telemetry``                  — instrumented demo run + per-stage
+  timing/counters report (or render a saved ``events.jsonl``).
+
+``train``, ``recommend`` and ``serve-batch`` accept
+``--telemetry-out events.jsonl``: the command runs with telemetry
+enabled and writes its span events as JSONL for ``acic telemetry
+--events`` or external tooling.  ``acic --version`` prints the package
+version.
 """
 
 from __future__ import annotations
@@ -44,9 +52,14 @@ _EXPERIMENTS = (
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``acic`` argument parser (all subcommands)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="acic",
         description="ACIC: Automatic Cloud I/O Configurator (SC'13 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -57,6 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="train the top-m PB-ranked dimensions")
     train.add_argument("--out", default="acic-training.json",
                        help="path for the saved training database")
+    train.add_argument("--telemetry-out", default=None, metavar="EVENTS.JSONL",
+                       help="run with telemetry enabled; write span events here")
 
     profile = sub.add_parser("profile", help="profile an application's I/O")
     profile.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
@@ -75,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="training database JSON (default: train in-process)")
     rec.add_argument("--learner", default="cart",
                      help="plug-in learner (cart, knn, ridge)")
+    rec.add_argument("--telemetry-out", default=None, metavar="EVENTS.JSONL",
+                     help="run with telemetry enabled; write span events here")
 
     walk = sub.add_parser(
         "walk", help="PB-guided space walk (cheap, application-specific)"
@@ -132,6 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch request JSON ({\"queries\": [...]}) or JSONL of "
              "single requests; '-' for stdin",
     )
+    serve_batch.add_argument(
+        "--telemetry-out", default=None, metavar="EVENTS.JSONL",
+        help="run with telemetry enabled; write span events here",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="per-stage timing/counters report (demo run or saved events)",
+    )
+    telemetry.add_argument(
+        "--events", default=None, metavar="EVENTS.JSONL",
+        help="render a report from saved span events instead of running "
+             "the instrumented demo",
+    )
+    telemetry.add_argument("--top-m", type=int, default=3,
+                           help="demo: train the top-m PB-ranked dimensions")
+    telemetry.add_argument("--queries", type=int, default=64,
+                           help="demo: batch queries to serve")
+    telemetry.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="demo output: per-stage report, JSON snapshot, or Prometheus text",
+    )
 
     report = sub.add_parser("report", help="write the full reproduction report")
     report.add_argument("--out", default="acic-report.md",
@@ -158,11 +197,25 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "pack": _cmd_pack,
         "serve-batch": _cmd_serve_batch,
+        "telemetry": _cmd_telemetry,
         "report": _cmd_report,
         "dbcheck": _cmd_dbcheck,
         "apps": _cmd_apps,
     }[args.command]
-    return handler(args)
+    events_path = getattr(args, "telemetry_out", None)
+    if not events_path:
+        return handler(args)
+
+    from repro.telemetry import Telemetry, use_telemetry, write_events_jsonl
+
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        code = handler(args)
+    path = write_events_jsonl(telemetry.tracer, events_path)
+    print(
+        f"# telemetry: wrote {len(telemetry.tracer.records)} span events to {path}"
+    )
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -396,6 +449,69 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"# served {stats.queries_served} queries "
         f"({stats.cache_hits} cache hits, {stats.models_trained} models trained)"
     )
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import (
+        MetricsRegistry,
+        Telemetry,
+        json_snapshot,
+        prometheus_text,
+        read_events_jsonl,
+        render_report,
+        use_telemetry,
+    )
+
+    if args.events:
+        records = read_events_jsonl(args.events)
+        print(f"# {len(records)} span events from {args.events}")
+        print(render_report(MetricsRegistry(), records))
+        return 0
+
+    from repro.service import AcicService
+    from repro.service.api import QueryRequest
+
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        with telemetry.span("cli.telemetry_demo"):
+            screening = screen_parameters()
+            database = TrainingDatabase()
+            TrainingCollector(database).collect(
+                TrainingPlan.build(screening.ranked_names(), args.top_m)
+            )
+            service = AcicService(
+                feature_names=tuple(screening.ranked_names()[: args.top_m])
+            )
+            service.host_database(database)
+            requests = []
+            for app_name in sorted(APP_REGISTRY):
+                app = get_app(app_name)
+                for scale in app.scales:
+                    for goal in (Goal.PERFORMANCE, Goal.COST):
+                        requests.append(
+                            QueryRequest(
+                                characteristics=app.characteristics(scale),
+                                goal=goal,
+                                platform=database.platform_name,
+                            )
+                        )
+            while len(requests) < args.queries:
+                requests.extend(requests[: args.queries - len(requests)])
+            service.query_batch(requests[: args.queries])
+
+    if args.format == "json":
+        print(json.dumps(json_snapshot(telemetry.registry), indent=2))
+    elif args.format == "prom":
+        print(prometheus_text(telemetry.registry), end="")
+    else:
+        print(
+            f"# instrumented demo: top-{args.top_m} training + "
+            f"{args.queries}-query batch"
+        )
+        print(render_report(telemetry.registry, telemetry.tracer.records))
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.ml.registry import Learner, make_learner
 from repro.space.characteristics import AppCharacteristics
 from repro.space.configuration import SystemConfig
 from repro.space.grid import candidate_configs
+from repro.telemetry import get_telemetry
 
 __all__ = ["Recommendation", "Acic", "rank_scored", "tied_champions"]
 
@@ -139,11 +140,18 @@ class Acic:
     # ------------------------------------------------------------------
     def train(self) -> "Acic":
         """Fit the plug-in learner on the database (log-ratio targets)."""
+        telemetry = get_telemetry()
         X, y = self.database.to_matrix(self.encoder, self.goal)
         model = make_learner(self.learner_name)
         if hasattr(model, "feature_names"):
             model.feature_names = self.encoder.names
-        self._model = model.fit(X, y)
+        with telemetry.span(
+            "ml.fit", learner=self.learner_name, goal=self.goal.value,
+            samples=X.shape[0],
+        ):
+            self._model = model.fit(X, y)
+        telemetry.counter("ml.fits").inc()
+        telemetry.counter("ml.fit_samples").inc(X.shape[0])
         return self
 
     @property
@@ -169,10 +177,14 @@ class Acic:
         """
         if len(candidates) == 0:
             return np.empty(0, dtype=float)
-        X = self.encoder.encode_many(
-            [point_values(config, chars) for config in candidates]
-        )
-        return np.exp(self.model.predict(X))
+        telemetry = get_telemetry()
+        with telemetry.span("ml.predict", rows=len(candidates)):
+            X = self.encoder.encode_many(
+                [point_values(config, chars) for config in candidates]
+            )
+            scores = np.exp(self.model.predict(X))
+        telemetry.counter("ml.predictions").inc(len(candidates))
+        return scores
 
     def recommend(
         self,

@@ -23,6 +23,7 @@ from repro.ml.encoding import point_values
 from repro.space.characteristics import IOInterface, OpKind
 from repro.space.grid import characteristics_from_values, coerce_valid, config_from_values
 from repro.space.parameters import PARAMETERS, parameter_by_name
+from repro.telemetry import get_telemetry
 from repro.util.parallel import parallel_map, resolve_jobs
 from repro.util.units import MIB
 
@@ -201,29 +202,48 @@ class TrainingCollector:
 
         ``epoch`` labels the contribution's logical time for later aging;
         by default each campaign gets the next auto-incremented epoch.
-        """
-        self._epoch = self._epoch + 1 if epoch is None else epoch
-        if resolve_jobs(self.jobs) > 1:
-            worker = functools.partial(
-                _measure_point, platform=self.platform, reps=self.reps
-            )
-            observations = parallel_map(worker, plan.points, jobs=self.jobs)
-        else:
-            observations = [
-                self._measure(values) for values in plan.points
-            ]
 
-        seconds = 0.0
-        cost = 0.0
-        new_records = 0
-        for observation in observations:
-            seconds += observation.seconds
-            cost += observation.cost
-            record = TrainingRecord.from_observation(
-                observation, epoch=self._epoch, source=source
-            )
-            if self.database.add(record):
-                new_records += 1
+        With telemetry enabled the campaign emits a ``training.collect``
+        span (with ``training.measure`` / ``training.ingest`` children)
+        and feeds the ``training.*`` counters — the per-stage accounting
+        behind the paper's Figure 8 training-cost trade-off.
+        """
+        telemetry = get_telemetry()
+        self._epoch = self._epoch + 1 if epoch is None else epoch
+        with telemetry.span(
+            "training.collect", points=plan.size, top_m=plan.top_m, source=source
+        ):
+            with telemetry.span("training.measure"):
+                if resolve_jobs(self.jobs) > 1:
+                    worker = functools.partial(
+                        _measure_point, platform=self.platform, reps=self.reps
+                    )
+                    observations = parallel_map(worker, plan.points, jobs=self.jobs)
+                else:
+                    observations = [
+                        self._measure(values) for values in plan.points
+                    ]
+
+            seconds = 0.0
+            cost = 0.0
+            new_records = 0
+            with telemetry.span("training.ingest"):
+                for observation in observations:
+                    seconds += observation.seconds
+                    cost += observation.cost
+                    record = TrainingRecord.from_observation(
+                        observation, epoch=self._epoch, source=source
+                    )
+                    if self.database.add(record):
+                        new_records += 1
+        telemetry.counter("training.points_measured").inc(len(observations))
+        telemetry.counter("training.records_added").inc(new_records)
+        telemetry.counter(
+            "training.simulated_seconds", "simulated machine time billed"
+        ).inc(seconds)
+        telemetry.counter(
+            "training.simulated_cost_dollars", "Eq. 1 collection bill"
+        ).inc(cost)
         return TrainingCampaign(
             plan=plan, new_records=new_records, run_seconds=seconds, run_cost=cost
         )

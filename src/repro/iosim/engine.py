@@ -22,9 +22,13 @@ from repro.iosim.interface import LoweredIO, lower_io
 from repro.iosim.workload import Workload
 from repro.space.configuration import SystemConfig
 from repro.space.validity import explain_invalid
+from repro.telemetry import get_telemetry
 from repro.util.rng import RngStream
 
 __all__ = ["RunResult", "IOSimulator", "simulate_run"]
+
+#: Bucket bounds (simulated seconds) for the per-run duration histogram.
+RUN_SECONDS_BUCKETS = (10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0)
 
 #: Volumes mounted per server for network-attached (EBS) configurations —
 #: the paper's convention ("mounting two EBS disks with a software RAID-0").
@@ -88,6 +92,18 @@ class IOSimulator:
             ValueError: if the configuration is invalid for this workload
                 (e.g. part-time placement with more servers than nodes).
         """
+        telemetry = get_telemetry()
+        with telemetry.span("iosim.run", workload=workload.name, config=config.key):
+            result = self._run(workload, config, rep)
+        telemetry.counter("iosim.runs").inc()
+        telemetry.histogram(
+            "iosim.run_seconds", RUN_SECONDS_BUCKETS,
+            "simulated wall seconds per run",
+        ).observe(result.seconds)
+        return result
+
+    def _run(self, workload: Workload, config: SystemConfig, rep: int) -> RunResult:
+        """The uninstrumented simulation body (see :meth:`run`)."""
         reason = explain_invalid(config, workload.chars)
         if reason is not None:
             raise ValueError(f"invalid configuration {config.key}: {reason}")

@@ -9,7 +9,6 @@ any machine/seed and diffed against the committed one.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -34,8 +33,12 @@ from repro.experiments import (
     tab4_optimal,
 )
 from repro.experiments.context import AcicContext, default_context
+from repro.telemetry import Telemetry, get_telemetry
 
 __all__ = ["ReportSection", "generate_report", "write_report"]
+
+#: Bucket bounds (wall seconds) for per-section regeneration timing.
+SECTION_SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
 
 
 @dataclass(frozen=True)
@@ -72,18 +75,32 @@ def _artifacts(context: AcicContext):
 
 
 def generate_report(context: AcicContext | None = None) -> list[ReportSection]:
-    """Run every artifact; returns the rendered sections in paper order."""
+    """Run every artifact; returns the rendered sections in paper order.
+
+    Section timings come from ``report.section`` telemetry spans, so they
+    land in the process-wide registry/tracer when telemetry is enabled;
+    when it is disabled a private live bundle still times the sections —
+    the report always carries real numbers.
+    """
     context = context or default_context()
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        telemetry = Telemetry()
+    seconds_histogram = telemetry.histogram(
+        "report.section_seconds", SECTION_SECONDS_BUCKETS,
+        "wall seconds to regenerate one report section",
+    )
     sections = []
     for title, ref, module, kwargs in _artifacts(context):
-        start = time.perf_counter()
-        body = module.render(module.run(**kwargs))
+        with telemetry.span("report.section", title=title, paper_ref=ref) as span:
+            body = module.render(module.run(**kwargs))
+        seconds_histogram.observe(span.duration)
         sections.append(
             ReportSection(
                 title=title,
                 paper_ref=ref,
                 body=body,
-                seconds=time.perf_counter() - start,
+                seconds=span.duration,
             )
         )
     return sections

@@ -16,6 +16,15 @@ Serving-scale machinery (the :mod:`repro.serving` subsystem):
 * :meth:`AcicService.save` / :meth:`AcicService.load` persist databases
   plus versioned model artifacts, so a query server warm-starts without
   retraining.
+
+Observability (the :mod:`repro.telemetry` subsystem): the service keeps
+its operational counters — queries served, models trained, and the
+response cache's hit/miss/eviction accounting — in one
+:class:`~repro.telemetry.MetricsRegistry` (``service.*`` metrics), which
+:meth:`AcicService.stats` reads directly; when the process-wide
+telemetry is enabled, that registry is the global one, so service
+counters appear in snapshots/scrapes and ``handle``/``query_batch``
+emit request spans.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from repro.serving.artifacts import (
 )
 from repro.serving.cache import LruCache
 from repro.serving.engine import BatchQueryEngine
+from repro.telemetry import MetricsRegistry, Telemetry, get_telemetry
 
 __all__ = ["ServiceStats", "AcicService"]
 
@@ -90,21 +100,42 @@ class AcicService:
             top-m PB-ranked names of each platform's screening; one shared
             tuple keeps the service simple, matching the released tool).
         cache_capacity: response-cache bound (LRU beyond it).
+        telemetry: explicit telemetry bundle for this service's spans and
+            metrics; defaults to the process-wide active one.  Counters
+            always land in a real registry (:attr:`metrics`) — when
+            telemetry is disabled the service keeps a private registry so
+            :meth:`stats` stays accurate.
     """
 
     def __init__(
         self,
         feature_names: tuple[str, ...] | None = None,
         cache_capacity: int = 1024,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.feature_names = feature_names
+        self._telemetry = telemetry
+        active = telemetry if telemetry is not None else get_telemetry()
+        self.metrics: MetricsRegistry = (
+            active.registry if active.enabled else MetricsRegistry()
+        )
         self._databases: dict[str, TrainingDatabase] = {}
         self._models: dict[_ModelKey, Acic] = {}
         self._engines: dict[_ModelKey, BatchQueryEngine] = {}
-        self._cache: LruCache[tuple, QueryResponse] = LruCache(cache_capacity)
+        self._cache: LruCache[tuple, QueryResponse] = LruCache(
+            cache_capacity, metrics=self.metrics, name="service.cache"
+        )
         self._epoch_spans: dict[str, tuple[int, int]] = {}
-        self._queries = 0
-        self._trained = 0
+        self._queries = self.metrics.counter(
+            "service.queries_served", "single and batch queries, combined"
+        )
+        self._trained = self.metrics.counter(
+            "service.models_trained", "models trained since construction"
+        )
+
+    def _active_telemetry(self):
+        """The bundle requests trace into (override or process-wide)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     # ------------------------------------------------------------------
     def host_database(self, database: TrainingDatabase) -> None:
@@ -132,17 +163,20 @@ class AcicService:
     # ------------------------------------------------------------------
     def handle(self, request: QueryRequest) -> QueryResponse:
         """Answer one query (cached when an identical one was served)."""
-        self._queries += 1
-        cached = self._cache.get(request.fingerprint)
-        if cached is not None:
-            return replace(cached, cached=True)
-        response = self._answer(
-            request,
-            self._model_for(request.platform, request.goal, request.learner)
-            .recommend(request.characteristics, top_k=request.top_k),
-        )
-        self._cache.put(request.fingerprint, response)
-        return response
+        with self._active_telemetry().span(
+            "service.handle", platform=request.platform
+        ):
+            self._queries.inc()
+            cached = self._cache.get(request.fingerprint)
+            if cached is not None:
+                return replace(cached, cached=True)
+            response = self._answer(
+                request,
+                self._model_for(request.platform, request.goal, request.learner)
+                .recommend(request.characteristics, top_k=request.top_k),
+            )
+            self._cache.put(request.fingerprint, response)
+            return response
 
     def query_batch(self, requests: list[QueryRequest]) -> list[QueryResponse]:
         """Answer many queries in one call, in request order.
@@ -152,31 +186,35 @@ class AcicService:
         vectorized prediction pass per group.
         """
         requests = list(requests)
-        self._queries += len(requests)
-        responses: list[QueryResponse | None] = [None] * len(requests)
-        misses: dict[_ModelKey, list[int]] = {}
-        for position, request in enumerate(requests):
-            cached = self._cache.get(request.fingerprint)
-            if cached is not None:
-                responses[position] = replace(cached, cached=True)
-            else:
-                key = (request.platform, request.goal, request.learner)
-                misses.setdefault(key, []).append(position)
+        with self._active_telemetry().span(
+            "service.query_batch", queries=len(requests)
+        ) as span:
+            self._queries.inc(len(requests))
+            responses: list[QueryResponse | None] = [None] * len(requests)
+            misses: dict[_ModelKey, list[int]] = {}
+            for position, request in enumerate(requests):
+                cached = self._cache.get(request.fingerprint)
+                if cached is not None:
+                    responses[position] = replace(cached, cached=True)
+                else:
+                    key = (request.platform, request.goal, request.learner)
+                    misses.setdefault(key, []).append(position)
+            span.annotate(cache_hits=len(requests) - sum(map(len, misses.values())))
 
-        for key, positions in misses.items():
-            self._model_for(*key)  # train (or surface ServiceError) first
-            engine = self._engine_for(key)
-            batches = engine.recommend_batch(
-                [
-                    (requests[i].characteristics, requests[i].top_k)
-                    for i in positions
-                ]
-            )
-            for position, recommendations in zip(positions, batches):
-                response = self._answer(requests[position], recommendations)
-                self._cache.put(requests[position].fingerprint, response)
-                responses[position] = response
-        return [response for response in responses if response is not None]
+            for key, positions in misses.items():
+                self._model_for(*key)  # train (or surface ServiceError) first
+                engine = self._engine_for(key)
+                batches = engine.recommend_batch(
+                    [
+                        (requests[i].characteristics, requests[i].top_k)
+                        for i in positions
+                    ]
+                )
+                for position, recommendations in zip(positions, batches):
+                    response = self._answer(requests[position], recommendations)
+                    self._cache.put(requests[position].fingerprint, response)
+                    responses[position] = response
+            return [response for response in responses if response is not None]
 
     def handle_json(self, request_text: str) -> str:
         """Transport-level entry point: JSON in, JSON out.
@@ -300,18 +338,23 @@ class AcicService:
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
-        """Operational counters snapshot."""
-        cache = self._cache.snapshot()
+        """Operational counters snapshot, read from the metrics registry.
+
+        The cache fields come straight off the registry-backed
+        ``service.cache.*`` instruments the cache itself maintains —
+        there is a single source of truth, not a hand copy.
+        """
+        registry = self.metrics
         return ServiceStats(
             platforms=len(self._databases),
             total_records=sum(len(db) for db in self._databases.values()),
-            queries_served=self._queries,
-            cache_hits=cache.hits,
-            models_trained=self._trained,
-            cache_misses=cache.misses,
-            cache_evictions=cache.evictions,
-            cache_size=cache.size,
-            cache_capacity=cache.capacity,
+            queries_served=int(self._queries.value),
+            cache_hits=int(registry.counter("service.cache.hits").value),
+            models_trained=int(self._trained.value),
+            cache_misses=int(registry.counter("service.cache.misses").value),
+            cache_evictions=int(registry.counter("service.cache.evictions").value),
+            cache_size=len(self._cache),
+            cache_capacity=self._cache.capacity,
         )
 
     # ------------------------------------------------------------------
@@ -373,11 +416,15 @@ class AcicService:
                 feature_names=self.feature_names,
             )
             try:
-                model.train()
+                with self._active_telemetry().span(
+                    "service.train", platform=platform, goal=goal.value,
+                    learner=learner,
+                ):
+                    model.train()
             except KeyError as exc:  # unknown learner name
                 raise ServiceError(str(exc)) from exc
             self._models[key] = model
-            self._trained += 1
+            self._trained.inc()
         return model
 
     def _engine_for(self, key: _ModelKey) -> BatchQueryEngine:

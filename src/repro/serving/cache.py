@@ -6,6 +6,14 @@ memory leak.  :class:`LruCache` enforces a capacity with least-recently-
 used eviction and counts hits, misses, insertions and evictions so
 operators can size it from live traffic (:meth:`LruCache.snapshot`).
 
+The counters are **registry-backed**: they live as
+:class:`repro.telemetry.Counter` instruments (``<name>.hits`` etc.) in a
+:class:`repro.telemetry.MetricsRegistry`, so a cache shares one registry
+with the rest of a process and its accounting shows up in telemetry
+snapshots and Prometheus scrapes for free.  Pass ``metrics`` to join an
+existing registry; by default each cache gets a private one, and
+:meth:`snapshot` is unchanged either way.
+
 Generic over key and value; keys must be hashable.  Not thread-safe —
 the service object that owns it is single-threaded, like the rest of the
 logic layer.
@@ -17,6 +25,8 @@ from collections import OrderedDict
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from typing import Generic, TypeVar
+
+from repro.telemetry import MetricsRegistry
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -61,17 +71,33 @@ class LruCache(Generic[K, V]):
 
     Args:
         capacity: maximum resident entries (>= 1).
+        metrics: registry the counters live in (private one by default).
+        name: metric-name prefix, e.g. ``"service.cache"`` yields
+            ``service.cache.hits``.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        metrics: MetricsRegistry | None = None,
+        name: str = "cache",
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._entries: OrderedDict[K, V] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._insertions = 0
-        self._evictions = 0
+        self._hits = self.metrics.counter(f"{name}.hits", "cache lookup hits")
+        self._misses = self.metrics.counter(f"{name}.misses", "cache lookup misses")
+        self._insertions = self.metrics.counter(
+            f"{name}.insertions", "new keys inserted"
+        )
+        self._evictions = self.metrics.counter(
+            f"{name}.evictions", "entries displaced by the capacity bound"
+        )
+        self._size = self.metrics.gauge(f"{name}.size", "entries resident")
+        self.metrics.gauge(f"{name}.capacity", "entry bound").set(capacity)
 
     # ------------------------------------------------------------------
     def get(self, key: K, default: V | None = None) -> V | None:
@@ -79,9 +105,9 @@ class LruCache(Generic[K, V]):
         try:
             value = self._entries[key]
         except KeyError:
-            self._misses += 1
+            self._misses.inc()
             return default
-        self._hits += 1
+        self._hits.inc()
         self._entries.move_to_end(key)
         return value
 
@@ -92,10 +118,11 @@ class LruCache(Generic[K, V]):
             self._entries.move_to_end(key)
             return
         self._entries[key] = value
-        self._insertions += 1
+        self._insertions.inc()
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self._evictions += 1
+            self._evictions.inc()
+        self._size.set(len(self._entries))
 
     def drop_where(self, predicate: Callable[[K, V], bool]) -> int:
         """Remove entries matching ``predicate``; returns how many.
@@ -106,11 +133,13 @@ class LruCache(Generic[K, V]):
         doomed = [k for k, v in self._entries.items() if predicate(k, v)]
         for key in doomed:
             del self._entries[key]
+        self._size.set(len(self._entries))
         return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
+        self._size.set(0)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -129,8 +158,8 @@ class LruCache(Generic[K, V]):
         return CacheStats(
             capacity=self.capacity,
             size=len(self._entries),
-            hits=self._hits,
-            misses=self._misses,
-            insertions=self._insertions,
-            evictions=self._evictions,
+            hits=int(self._hits.value),
+            misses=int(self._misses.value),
+            insertions=int(self._insertions.value),
+            evictions=int(self._evictions.value),
         )

@@ -16,6 +16,12 @@ work out of the per-query path:
 Ranking goes through :func:`repro.core.configurator.rank_scored`, so the
 engine's recommendations are *identical* to the sequential path — the
 property the tier-1 tests pin down.
+
+When telemetry is enabled (:mod:`repro.telemetry`), every batch pass
+emits a ``serving.recommend_batch`` span with a nested
+``serving.predict`` span around the vectorized learner call, plus
+``serving.queries`` / ``serving.candidates_scored`` counters — the
+per-stage cost data an advisor's operators size capacity from.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.space.configuration import SystemConfig
 from repro.space.grid import candidate_configs
 from repro.space.parameters import ParameterKind
 from repro.space.validity import is_valid_point
+from repro.telemetry import get_telemetry
 
 __all__ = ["BatchQueryEngine"]
 
@@ -96,10 +103,16 @@ class BatchQueryEngine:
         self, chars: AppCharacteristics
     ) -> tuple[np.ndarray, list[SystemConfig]]:
         """Predicted improvement ratios over the valid candidates."""
-        X, candidates = self._join(chars)
-        if X.shape[0] == 0:
-            return np.empty(0, dtype=float), candidates
-        return np.exp(self.acic.model.predict(X)), candidates
+        telemetry = get_telemetry()
+        with telemetry.span("serving.score"):
+            X, candidates = self._join(chars)
+            if X.shape[0] == 0:
+                return np.empty(0, dtype=float), candidates
+            with telemetry.span("serving.predict", rows=X.shape[0]):
+                scores = np.exp(self.acic.model.predict(X))
+        telemetry.counter("serving.queries").inc()
+        telemetry.counter("serving.candidates_scored").inc(X.shape[0])
+        return scores, candidates
 
     # ------------------------------------------------------------------
     def recommend(
@@ -123,15 +136,25 @@ class BatchQueryEngine:
         the learner runs once over the whole batch, then each query's
         slice is ranked independently.
         """
-        joins = [self._join(chars) for chars, _ in queries]
-        blocks = [X for X, _ in joins if X.shape[0]]
-        if not blocks:
-            return [[] for _ in queries]
-        predictions = np.exp(self.acic.model.predict(np.vstack(blocks)))
-        results: list[list[Recommendation]] = []
-        offset = 0
-        for (X, candidates), (_, top_k) in zip(joins, queries):
-            scores = predictions[offset : offset + X.shape[0]]
-            offset += X.shape[0]
-            results.append(rank_scored(list(zip(scores.tolist(), candidates)), top_k))
+        telemetry = get_telemetry()
+        with telemetry.span("serving.recommend_batch", queries=len(queries)):
+            with telemetry.span("serving.join"):
+                joins = [self._join(chars) for chars, _ in queries]
+            blocks = [X for X, _ in joins if X.shape[0]]
+            if not blocks:
+                return [[] for _ in queries]
+            stacked = np.vstack(blocks)
+            with telemetry.span("serving.predict", rows=stacked.shape[0]):
+                predictions = np.exp(self.acic.model.predict(stacked))
+            with telemetry.span("serving.rank"):
+                results: list[list[Recommendation]] = []
+                offset = 0
+                for (X, candidates), (_, top_k) in zip(joins, queries):
+                    scores = predictions[offset : offset + X.shape[0]]
+                    offset += X.shape[0]
+                    results.append(
+                        rank_scored(list(zip(scores.tolist(), candidates)), top_k)
+                    )
+        telemetry.counter("serving.queries").inc(len(queries))
+        telemetry.counter("serving.candidates_scored").inc(stacked.shape[0])
         return results

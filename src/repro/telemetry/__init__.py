@@ -1,0 +1,220 @@
+"""repro.telemetry — metrics, spans and exporters for the hot paths.
+
+One process-wide :class:`Telemetry` bundles a
+:class:`~repro.telemetry.registry.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms), a hierarchical
+:class:`~repro.telemetry.spans.Tracer` and an injectable clock.
+Instrumented code asks for the *active* telemetry at call time::
+
+    from repro import telemetry
+
+    with telemetry.get_telemetry().span("iosim.run") as span:
+        ...
+        span.annotate(config=config.key)
+
+Telemetry is **disabled by default**: the active object is a shared
+:class:`NullTelemetry` whose spans and instruments are stateless no-ops,
+so uninstrumented-grade performance is the resting state (the
+``benchmarks/test_bench_telemetry.py`` suite pins this down).  Turn it
+on explicitly::
+
+    t = telemetry.enable()                # fresh registry + tracer
+    ... run work ...
+    print(prometheus_text(t.registry))    # or json_snapshot / JSONL spans
+    telemetry.disable()
+
+Tests use :func:`use_telemetry` (a context manager that restores the
+previous active object) and a deterministic
+:class:`~repro.telemetry.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Sequence
+from contextlib import contextmanager
+
+from repro.telemetry.clock import Clock, ManualClock, MonotonicClock
+from repro.telemetry.export import (
+    json_snapshot,
+    prometheus_text,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.report import aggregate_spans, render_report
+from repro.telemetry.spans import NullSpan, NullTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "NullSpan",
+    "NullTracer",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "enable",
+    "disable",
+    "use_telemetry",
+    "traced",
+    "json_snapshot",
+    "prometheus_text",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "aggregate_spans",
+    "render_report",
+]
+
+
+class Telemetry:
+    """A live telemetry bundle: registry + tracer + clock.
+
+    Args:
+        clock: time source shared by the tracer (defaults to the process
+            monotonic clock; pass a ManualClock in tests).
+        max_spans: bound on retained span records.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock | None = None, max_spans: int = 100_000) -> None:
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock, max_spans=max_spans)
+
+    # Convenience passthroughs, so call sites need one object only.
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span on this bundle's tracer."""
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter on this bundle's registry."""
+        return self.registry.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge on this bundle's registry."""
+        return self.registry.gauge(name, help)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        """Get or create a histogram on this bundle's registry."""
+        return self.registry.histogram(name, buckets, help)
+
+    def reset(self) -> None:
+        """Clear both the registry and the tracer."""
+        self.registry.reset()
+        self.tracer.reset()
+
+
+class NullTelemetry:
+    """The disabled mode: every operation is a stateless no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.clock = MonotonicClock()
+        self.registry = NullRegistry()
+        self.tracer = NullTracer()
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        """The shared no-op span."""
+        return self.tracer.span(name)
+
+    def counter(self, name: str, help: str = ""):
+        """The shared no-op counter."""
+        return self.registry.counter(name)
+
+    def gauge(self, name: str, help: str = ""):
+        """The shared no-op gauge."""
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, buckets: Sequence[float], help: str = ""):
+        """The shared no-op histogram."""
+        return self.registry.histogram(name, buckets)
+
+    def reset(self) -> None:
+        """Nothing to clear."""
+
+
+#: The one shared disabled-mode instance (also the initial active object).
+NULL_TELEMETRY = NullTelemetry()
+
+_active: Telemetry | NullTelemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The active telemetry bundle (the no-op one unless enabled)."""
+    return _active
+
+
+def set_telemetry(telemetry: Telemetry | NullTelemetry) -> Telemetry | NullTelemetry:
+    """Install ``telemetry`` as the active bundle; returns the previous one."""
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous
+
+
+def enable(clock: Clock | None = None, max_spans: int = 100_000) -> Telemetry:
+    """Install (and return) a fresh live bundle as the active telemetry."""
+    telemetry = Telemetry(clock=clock, max_spans=max_spans)
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def disable() -> Telemetry | NullTelemetry:
+    """Restore the no-op mode; returns the bundle that was active."""
+    return set_telemetry(NULL_TELEMETRY)
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry | NullTelemetry):
+    """Scope ``telemetry`` as the active bundle, restoring on exit."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator: run the function under a span on the *active* telemetry.
+
+    The active bundle is resolved per call, so decorating at import time
+    is safe — calls made while telemetry is disabled cost one no-op
+    context manager.
+
+    Args:
+        name: span name; defaults to the function's qualified name.
+        attrs: static metadata attached to every span.
+    """
+
+    def decorate(fn):
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _active.span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,61 @@
+"""Injectable time sources for the telemetry subsystem.
+
+All telemetry timing goes through a :class:`Clock` so production code
+reads the process monotonic clock while tests drive a
+:class:`ManualClock` and get bit-exact, deterministic span durations —
+no sleeps, no flaky timing asserts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Structural interface of a telemetry time source."""
+
+    def now(self) -> float:
+        """Current time in seconds; only differences are meaningful."""
+        ...
+
+
+class MonotonicClock:
+    """The real thing: wraps :func:`time.perf_counter`."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Process monotonic time in fractional seconds."""
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A clock tests advance by hand.
+
+    Args:
+        start: initial reading in seconds.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The current manual reading."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading.
+
+        Raises:
+            ValueError: on negative ``seconds`` (the clock is monotonic).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,124 @@
+"""Exporters: registry/tracer state out, in operator-friendly formats.
+
+Two snapshot formats for the metrics registry — a JSON document (for
+dashboards and diffing) and the Prometheus text exposition format (for
+scraping) — plus JSONL span-event export/import for the tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.telemetry.registry import Counter, Gauge, Histogram
+from repro.telemetry.spans import SpanRecord
+
+__all__ = [
+    "json_snapshot",
+    "prometheus_text",
+    "write_events_jsonl",
+    "read_events_jsonl",
+]
+
+
+def json_snapshot(registry) -> dict:
+    """The registry as one JSON-compatible document.
+
+    Counters and gauges become ``{"kind", "value"}``; histograms carry
+    their bounds, per-bucket counts (last = overflow), sum and count.
+    """
+    metrics = {}
+    for metric in registry:
+        if isinstance(metric, Counter):
+            metrics[metric.name] = {"kind": "counter", "value": metric.value}
+        elif isinstance(metric, Gauge):
+            metrics[metric.name] = {"kind": "gauge", "value": metric.value}
+        elif isinstance(metric, Histogram):
+            metrics[metric.name] = {
+                "kind": "histogram",
+                "bounds": list(metric.bounds),
+                "counts": list(metric.counts),
+                "sum": metric.sum,
+                "count": metric.count,
+            }
+    return {"metrics": metrics}
+
+
+def _prom_name(name: str) -> str:
+    """Dots are not legal in Prometheus metric names; map them to '_'."""
+    return name.replace(".", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry) -> str:
+    """The registry in the Prometheus text exposition format (v0.0.4)."""
+    lines: list[str] = []
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = metric.cumulative()
+            for bound, count in zip(metric.bounds, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {count}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+            lines.append(f"{name}_sum {_prom_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+def write_events_jsonl(tracer, path: str | Path) -> Path:
+    """Write every finished span as one JSON object per line.
+
+    Returns the path written.  Records appear in completion order
+    (children before their parents), each carrying its id, parent id,
+    full path, timing and attrs — enough to rebuild the span tree.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in tracer.records:
+            handle.write(json.dumps(record.to_event()) + "\n")
+    return path
+
+
+def read_events_jsonl(path: str | Path) -> list[SpanRecord]:
+    """Load span records back from a :func:`write_events_jsonl` file."""
+    records = []
+    for line_number, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_number}: not valid JSON: {exc}") from exc
+        records.append(
+            SpanRecord(
+                span_id=event["span_id"],
+                parent_id=event.get("parent_id"),
+                name=event["name"],
+                path=event.get("path", event["name"]),
+                start=event["start"],
+                end=event["end"],
+                attrs=event.get("attrs", {}),
+            )
+        )
+    return records

@@ -1,0 +1,318 @@
+"""A process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments are get-or-created by name (``component.metric`` by
+convention), so hot paths never coordinate registration — the first
+caller wins, later callers get the same object, and a name can never be
+re-registered as a different kind.  A parallel set of ``Null*``
+instruments gives the disabled mode the same API at near-zero cost.
+
+The registry is intentionally not thread-safe, like the rest of the
+logic layer; one registry per serving process.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
+import re
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: use letters, digits, '_' and '.'"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (requests, runs, samples)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot inc by {amount}")
+        self._value += amount
+
+
+class Gauge:
+    """A value that can go up and down (cache size, queue depth)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current reading."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the reading."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the reading upward."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the reading downward."""
+        self._value -= amount
+
+
+class Histogram:
+    """A fixed-bucket distribution (latencies, per-point costs).
+
+    Buckets follow the Prometheus ``le`` convention: an observation lands
+    in the first bucket whose upper bound is **>= the value** (bounds are
+    inclusive), and values above the last bound land in the implicit
+    +Inf overflow bucket.
+
+    Args:
+        name: dotted metric name.
+        buckets: strictly increasing finite upper bounds (>= 1 of them).
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name}: bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket observation counts; last entry is the overflow."""
+        return tuple(self._counts)
+
+    def cumulative(self) -> tuple[int, ...]:
+        """Prometheus-style cumulative counts, one per bound plus +Inf."""
+        total = 0
+        out = []
+        for count in self._counts:
+            total += count
+            out.append(total)
+        return tuple(out)
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-created on first use."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        Raises:
+            ValueError: when ``name`` exists with different buckets or as
+                a different instrument kind.
+        """
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = Histogram(_check_name(name), buckets, help)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(existing, Histogram):
+            raise ValueError(
+                f"metric {name!r} is a {type(existing).__name__}, not a Histogram"
+            )
+        if existing.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{existing.bounds}, got {tuple(buckets)}"
+            )
+        return existing
+
+    def _get_or_create(self, kind, name: str, help: str):
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = kind(_check_name(name), help)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(existing, kind):
+            raise ValueError(
+                f"metric {name!r} is a {type(existing).__name__}, not a {kind.__name__}"
+            )
+        return existing
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._metrics))
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Instruments in sorted-name order."""
+        return iter(self._metrics[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and CLI demo runs)."""
+        self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# No-op twins: same surface, no state, shared singletons.  Disabled-mode
+# callers pay one dict-free method call and nothing else.
+
+
+class NullCounter:
+    """Counter stand-in that discards increments."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+
+class NullGauge:
+    """Gauge stand-in that discards writes."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Discard the write."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the adjustment."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Discard the adjustment."""
+
+
+class NullHistogram:
+    """Histogram stand-in that discards observations."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    bounds: tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+    counts: tuple[int, ...] = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    def cumulative(self) -> tuple[int, ...]:
+        """Always empty."""
+        return ()
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Registry stand-in handing out the shared no-op instruments."""
+
+    def counter(self, name: str, help: str = "") -> NullCounter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "") -> NullGauge:
+        """The shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> NullHistogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def get(self, name: str) -> None:
+        """Nothing is ever registered."""
+        return None
+
+    def names(self) -> tuple[str, ...]:
+        """Always empty."""
+        return ()
+
+    def __iter__(self) -> Iterator:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        """Nothing to drop."""

@@ -1,0 +1,125 @@
+"""Render registry + span data as a per-stage timing/counters report.
+
+Backs ``acic telemetry``: spans aggregate per name (count, total, mean,
+share of root wall time) and every registry instrument prints in a
+stable, diff-friendly text layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.telemetry.registry import Counter, Gauge, Histogram
+from repro.telemetry.spans import SpanRecord
+
+__all__ = ["StageStat", "aggregate_spans", "render_report"]
+
+
+@dataclass(frozen=True)
+class StageStat:
+    """Aggregated timing for one span name.
+
+    Attributes:
+        name: the span name (one per instrumented stage).
+        count: finished spans with that name.
+        total_seconds / mean_seconds / max_seconds: duration stats.
+        share: total as a fraction of root-span wall time (0 when no
+            root spans finished).
+    """
+
+    name: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    max_seconds: float
+    share: float
+
+
+def aggregate_spans(records: Sequence[SpanRecord]) -> list[StageStat]:
+    """Per-name span aggregates, largest total first.
+
+    The share denominator is the summed duration of *root* spans, so
+    nested stages report the fraction of end-to-end wall time they
+    account for.
+    """
+    wall = sum(r.duration for r in records if r.parent_id is None)
+    totals: dict[str, list[float]] = {}
+    for record in records:
+        totals.setdefault(record.name, []).append(record.duration)
+    stats = [
+        StageStat(
+            name=name,
+            count=len(durations),
+            total_seconds=sum(durations),
+            mean_seconds=sum(durations) / len(durations),
+            max_seconds=max(durations),
+            share=(sum(durations) / wall) if wall > 0 else 0.0,
+        )
+        for name, durations in totals.items()
+    ]
+    stats.sort(key=lambda s: (-s.total_seconds, s.name))
+    return stats
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:9.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def render_report(registry, records: Sequence[SpanRecord]) -> str:
+    """The full per-stage report: span table, then registry instruments."""
+    lines = ["== spans (per stage) =="]
+    stages = aggregate_spans(records)
+    if stages:
+        lines.append(
+            f"{'stage':36s} {'count':>7s} {'total':>10s} {'mean':>10s} "
+            f"{'max':>10s} {'share':>7s}"
+        )
+        for stage in stages:
+            lines.append(
+                f"{stage.name:36s} {stage.count:7d} "
+                f"{_format_seconds(stage.total_seconds):>10s} "
+                f"{_format_seconds(stage.mean_seconds):>10s} "
+                f"{_format_seconds(stage.max_seconds):>10s} "
+                f"{stage.share * 100:6.1f}%"
+            )
+    else:
+        lines.append("(no finished spans)")
+
+    counters = [m for m in registry if isinstance(m, Counter)]
+    gauges = [m for m in registry if isinstance(m, Gauge)]
+    histograms = [m for m in registry if isinstance(m, Histogram)]
+
+    lines.append("")
+    lines.append("== counters ==")
+    if counters:
+        for metric in counters:
+            lines.append(f"{metric.name:44s} {metric.value:>14g}")
+    else:
+        lines.append("(none)")
+
+    if gauges:
+        lines.append("")
+        lines.append("== gauges ==")
+        for metric in gauges:
+            lines.append(f"{metric.name:44s} {metric.value:>14g}")
+
+    if histograms:
+        lines.append("")
+        lines.append("== histograms ==")
+        for metric in histograms:
+            mean = metric.sum / metric.count if metric.count else 0.0
+            lines.append(
+                f"{metric.name:44s} count={metric.count} "
+                f"sum={metric.sum:g} mean={mean:g}"
+            )
+            buckets = " ".join(
+                f"le{bound:g}:{count}"
+                for bound, count in zip(metric.bounds, metric.cumulative())
+            )
+            lines.append(f"    {buckets} inf:{metric.count}")
+    return "\n".join(lines)

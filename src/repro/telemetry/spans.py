@@ -1,0 +1,245 @@
+"""Hierarchical span tracing with deterministic clocks.
+
+A :class:`Tracer` hands out :class:`Span` context managers; entering one
+pushes it on the active stack, so spans opened inside it become its
+children and every finished span records its full path (root-to-leaf
+names joined with ``/``).  Finished spans accumulate in
+``Tracer.records`` — bounded by ``max_spans``, with a drop counter — and
+export as JSONL through :mod:`repro.telemetry.export`.
+
+The no-op twin :class:`NullTracer` returns one shared, stateless span so
+a disabled hot path pays a single method call per ``with`` block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.clock import Clock, MonotonicClock
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NullSpan", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        span_id: unique (per tracer) integer id, in start order.
+        parent_id: enclosing span's id, or None for a root span.
+        name: the span's own name.
+        path: root-to-leaf names joined with ``/``.
+        start / end: clock readings in seconds.
+        attrs: caller-attached metadata (JSON-compatible values).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    path: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds between start and end."""
+        return self.end - self.start
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; 0 for a root span."""
+        return self.path.count("/")
+
+    def to_event(self) -> dict:
+        """The JSONL export form of this record."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "path": self.path,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """A live timed section; use as a context manager.
+
+    Not constructed directly — call :meth:`Tracer.span`.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "path", "start", "end")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        path: str,
+        attrs: dict,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.path = path
+        self.start = 0.0
+        self.end: float | None = None
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach metadata to the span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds covered: final once exited, elapsed-so-far while open."""
+        end = self.end if self.end is not None else self._tracer.clock.now()
+        return end - self.start
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.start = self._tracer.clock.now()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = self._tracer.clock.now()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        return False
+
+
+class Tracer:
+    """Creates spans and collects their finished records.
+
+    Args:
+        clock: time source (defaults to the process monotonic clock).
+        max_spans: bound on retained records; once full, further spans
+            still time correctly but their records are dropped and
+            counted in :attr:`dropped`.
+    """
+
+    def __init__(self, clock: Clock | None = None, max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.max_spans = max_spans
+        self.records: list[SpanRecord] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """A new span named ``name``; child of the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        return Span(
+            tracer=self,
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            path=f"{parent.path}/{name}" if parent is not None else name,
+            attrs=dict(attrs),
+        )
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generators, leaked spans): unwind
+        # to this span if present rather than corrupting the stack.
+        if span in self._stack:
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+        if len(self.records) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.records.append(
+            SpanRecord(
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                path=span.path,
+                start=span.start,
+                end=span.end if span.end is not None else span.start,
+                attrs=span.attrs,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def roots(self) -> list[SpanRecord]:
+        """Finished root spans, in completion order."""
+        return [record for record in self.records if record.parent_id is None]
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        """Finished direct children of one span."""
+        return [record for record in self.records if record.parent_id == span_id]
+
+    def reset(self) -> None:
+        """Drop finished records and the drop counter (open spans stay)."""
+        self.records.clear()
+        self.dropped = 0
+
+
+class NullSpan:
+    """The shared do-nothing span of the disabled mode."""
+
+    __slots__ = ()
+    name = "null"
+    path = "null"
+    attrs: dict = {}
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+
+    def annotate(self, **attrs) -> "NullSpan":
+        """Discard the metadata."""
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in: every span is the shared no-op span."""
+
+    records: tuple = ()
+    dropped = 0
+    depth = 0
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        """The shared no-op span."""
+        return _NULL_SPAN
+
+    def roots(self) -> list:
+        """Always empty."""
+        return []
+
+    def children_of(self, span_id: int) -> list:
+        """Always empty."""
+        return []
+
+    def reset(self) -> None:
+        """Nothing to drop."""

@@ -1,7 +1,5 @@
 """Tests for training-database quality checks."""
 
-import dataclasses
-
 import pytest
 
 from repro.core.database import TrainingDatabase, TrainingRecord

@@ -1,7 +1,5 @@
 """Tests for the shared experiment pipeline."""
 
-import pytest
-
 from repro.core.objectives import Goal
 from repro.experiments.context import EIGHT_RUNS, NINE_RUNS, default_context
 

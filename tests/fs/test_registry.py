@@ -1,7 +1,5 @@
 """Tests for file-system model construction from configurations."""
 
-import pytest
-
 from repro.fs.nfs import NfsModel
 from repro.fs.pvfs import Pvfs2Model
 from repro.fs.registry import file_system_model

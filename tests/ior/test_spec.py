@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ior.spec import IorSpec
-from repro.space.characteristics import IOInterface, OpKind
+from repro.space.characteristics import OpKind
 from repro.space.grid import enumerate_characteristics
 from repro.space.parameters import PARAMETERS
 from repro.util.units import MIB

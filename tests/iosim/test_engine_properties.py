@@ -16,7 +16,7 @@ from repro.iosim.engine import IOSimulator, simulate_run
 from repro.iosim.workload import Workload
 from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
 from repro.space.grid import candidate_configs
-from repro.util.units import KIB, MIB
+from repro.util.units import KIB
 
 
 def chars_strategy():

@@ -10,7 +10,6 @@ from repro.space.characteristics import IOInterface, OpKind
 from repro.space.configuration import BASELINE_CONFIG
 from repro.space.grid import candidate_configs
 from repro.space.parameters import PARAMETERS
-from repro.util.units import MIB
 
 
 class TestPointValues:

@@ -223,6 +223,63 @@ class TestBoundedCache:
         assert stats.cache_capacity == 1024
 
 
+class TestTelemetryRegistry:
+    """ServiceStats reads cache fields from the telemetry registry."""
+
+    def test_stats_fields_come_from_registry(self, context, simple_chars):
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+        )
+        service.host_database(context.database)
+        request = QueryRequest(characteristics=simple_chars)
+        service.handle(request)
+        service.handle(request)
+        registry = service.metrics
+        stats = service.stats()
+        assert stats.cache_hits == registry.counter("service.cache.hits").value == 1
+        assert (
+            stats.cache_misses == registry.counter("service.cache.misses").value == 1
+        )
+        assert (
+            stats.cache_evictions
+            == registry.counter("service.cache.evictions").value
+            == 0
+        )
+        assert stats.queries_served == registry.counter(
+            "service.queries_served"
+        ).value
+        assert stats.models_trained == registry.counter(
+            "service.models_trained"
+        ).value
+
+    def test_enabled_telemetry_shares_global_registry(self, context, simple_chars):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        bundle = Telemetry()
+        with use_telemetry(bundle):
+            service = AcicService(
+                feature_names=tuple(
+                    context.screening.ranked_names()[: context.top_m]
+                )
+            )
+            service.host_database(context.database)
+            service.handle(QueryRequest(characteristics=simple_chars))
+        assert service.metrics is bundle.registry
+        assert bundle.registry.counter("service.queries_served").value == 1
+        assert bundle.registry.counter("service.cache.misses").value == 1
+        names = {record.name for record in bundle.tracer.records}
+        assert "service.handle" in names
+        assert "service.train" in names
+
+    def test_disabled_telemetry_uses_private_registry(self, hosted_service):
+        from repro.telemetry import NULL_TELEMETRY, get_telemetry
+
+        assert get_telemetry() is NULL_TELEMETRY
+        assert hosted_service.metrics is not NULL_TELEMETRY.registry
+        # a real registry, privately owned: counters accumulate normally
+        assert hosted_service.metrics.counter("service.queries_served").value > 0
+
+
 class TestPersistence:
     @pytest.fixture(scope="class")
     def packed(self, context, tmp_path_factory):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.serving.cache import LruCache
+from repro.telemetry import MetricsRegistry
 
 
 class TestBasics:
@@ -98,6 +99,52 @@ class TestCounters:
         cache.put("a", 1)
         stats = cache.snapshot()
         assert stats.size == 1 and stats.capacity == 7
+
+
+class TestRegistryBacked:
+    """Counters live in a telemetry MetricsRegistry; snapshot() reads it."""
+
+    def test_shared_registry_sees_cache_metrics(self):
+        registry = MetricsRegistry()
+        cache = LruCache(capacity=2, metrics=registry, name="svc.cache")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert registry.counter("svc.cache.hits").value == 1
+        assert registry.counter("svc.cache.misses").value == 1
+        assert registry.counter("svc.cache.insertions").value == 3
+        assert registry.counter("svc.cache.evictions").value == 1
+        assert registry.gauge("svc.cache.size").value == 2
+        assert registry.gauge("svc.cache.capacity").value == 2
+
+    def test_snapshot_matches_registry(self):
+        registry = MetricsRegistry()
+        cache = LruCache(capacity=4, metrics=registry, name="c")
+        for i in range(6):
+            cache.put(i, i)
+            cache.get(i)
+        stats = cache.snapshot()
+        assert stats.hits == registry.counter("c.hits").value
+        assert stats.misses == registry.counter("c.misses").value
+        assert stats.evictions == registry.counter("c.evictions").value
+        assert stats.size == registry.gauge("c.size").value
+
+    def test_private_registry_by_default(self):
+        # Two independent caches must not share counter state.
+        first, second = LruCache(capacity=2), LruCache(capacity=2)
+        first.put("a", 1)
+        first.get("a")
+        assert second.snapshot().hits == 0
+        assert second.snapshot().insertions == 0
+
+    def test_clear_updates_size_gauge(self):
+        registry = MetricsRegistry()
+        cache = LruCache(capacity=4, metrics=registry, name="c")
+        cache.put("a", 1)
+        cache.clear()
+        assert registry.gauge("c.size").value == 0
 
 
 class TestInvalidation:

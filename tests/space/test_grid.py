@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cloud.cluster import Placement
 from repro.space.characteristics import IOInterface, OpKind
-from repro.space.configuration import FileSystemKind
 from repro.space.grid import (
     candidate_configs,
     characteristics_from_values,
@@ -13,7 +12,7 @@ from repro.space.grid import (
     config_from_values,
     enumerate_characteristics,
 )
-from repro.space.parameters import PARAMETERS, parameter_by_name
+from repro.space.parameters import PARAMETERS
 from repro.space.validity import is_valid_config, is_valid_point
 from repro.util.units import MIB
 

@@ -1,7 +1,5 @@
 """Tests for the validity rules."""
 
-import pytest
-
 from repro.cloud.cluster import Placement
 from repro.cloud.storage import DeviceKind
 from repro.space.configuration import BASELINE_CONFIG, FileSystemKind, SystemConfig

@@ -1,0 +1,117 @@
+"""Tests for the telemetry exporters (JSON, Prometheus, span JSONL)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    json_snapshot,
+    prometheus_text,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("service.queries", "total queries").inc(7)
+    registry.gauge("cache.size").set(3)
+    histogram = registry.histogram("run.seconds", buckets=(1.0, 10.0), help="runs")
+    for value in (0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestJsonSnapshot:
+    def test_all_kinds_present(self, registry):
+        snapshot = json_snapshot(registry)
+        metrics = snapshot["metrics"]
+        assert metrics["service.queries"] == {"kind": "counter", "value": 7}
+        assert metrics["cache.size"] == {"kind": "gauge", "value": 3}
+        assert metrics["run.seconds"] == {
+            "kind": "histogram",
+            "bounds": [1.0, 10.0],
+            "counts": [1, 1, 1],
+            "sum": 55.5,
+            "count": 3,
+        }
+
+    def test_json_serializable(self, registry):
+        json.dumps(json_snapshot(registry))
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE service_queries counter" in text
+        assert "service_queries 7" in text
+        assert "# TYPE cache_size gauge" in text
+        assert "cache_size 3" in text
+        assert "# HELP service_queries total queries" in text
+
+    def test_histogram_cumulative_buckets(self, registry):
+        text = prometheus_text(registry)
+        assert 'run_seconds_bucket{le="1"} 1' in text
+        assert 'run_seconds_bucket{le="10"} 2' in text
+        assert 'run_seconds_bucket{le="+Inf"} 3' in text
+        assert "run_seconds_sum 55.5" in text
+        assert "run_seconds_count 3" in text
+
+    def test_no_dots_in_metric_names(self, registry):
+        for line in prometheus_text(registry).splitlines():
+            if not line.startswith("#"):
+                assert "." not in line.split(" ")[0].split("{")[0]
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_ends_with_newline(self, registry):
+        assert prometheus_text(registry).endswith("\n")
+
+
+class TestEventsJsonl:
+    def test_roundtrip(self, tmp_path):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer", app="btio"):
+            with tracer.span("inner"):
+                clock.advance(1.0)
+            clock.advance(0.5)
+        path = write_events_jsonl(tracer, tmp_path / "events.jsonl")
+        loaded = read_events_jsonl(path)
+        assert [record.name for record in loaded] == ["inner", "outer"]
+        assert loaded == tracer.records
+        assert loaded[0].path == "outer/inner"
+        assert loaded[0].duration == 1.0
+        assert loaded[1].attrs == {"app": "btio"}
+
+    def test_one_json_object_per_line(self, tmp_path):
+        tracer = Tracer(clock=ManualClock())
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        path = write_events_jsonl(tracer, tmp_path / "e.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_blank_lines_skipped_on_read(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text(
+            '{"span_id": 0, "parent_id": null, "name": "a", "path": "a",'
+            ' "start": 0.0, "end": 1.0}\n\n'
+        )
+        records = read_events_jsonl(path)
+        assert len(records) == 1
+        assert records[0].attrs == {}
+
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ValueError, match=":1:"):
+            read_events_jsonl(path)

@@ -1,0 +1,180 @@
+"""Tests for the telemetry facade, no-op mode, and hot-path integration."""
+
+import pytest
+
+from repro import telemetry as tm
+from repro.telemetry import (
+    ManualClock,
+    NullTelemetry,
+    Telemetry,
+    aggregate_spans,
+    render_report,
+    use_telemetry,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_global_telemetry():
+    previous = tm.get_telemetry()
+    yield
+    tm.set_telemetry(previous)
+
+
+class TestFacade:
+    def test_disabled_by_default(self):
+        assert tm.get_telemetry() is tm.NULL_TELEMETRY
+        assert not tm.get_telemetry().enabled
+
+    def test_enable_installs_fresh_bundle(self):
+        bundle = tm.enable()
+        assert tm.get_telemetry() is bundle
+        assert bundle.enabled
+        tm.disable()
+        assert tm.get_telemetry() is tm.NULL_TELEMETRY
+
+    def test_use_telemetry_restores_previous(self):
+        bundle = Telemetry()
+        with use_telemetry(bundle):
+            assert tm.get_telemetry() is bundle
+        assert tm.get_telemetry() is tm.NULL_TELEMETRY
+
+    def test_use_telemetry_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_telemetry(Telemetry()):
+                raise RuntimeError
+        assert tm.get_telemetry() is tm.NULL_TELEMETRY
+
+    def test_passthroughs_share_state(self):
+        bundle = Telemetry(clock=ManualClock())
+        bundle.counter("c").inc()
+        bundle.gauge("g").set(2)
+        bundle.histogram("h", buckets=(1.0,)).observe(0.5)
+        with bundle.span("s"):
+            pass
+        assert bundle.registry.counter("c").value == 1
+        assert len(bundle.tracer.records) == 1
+        bundle.reset()
+        assert len(bundle.registry) == 0
+        assert bundle.tracer.records == []
+
+    def test_null_telemetry_is_inert(self):
+        bundle = NullTelemetry()
+        bundle.counter("c").inc(10)
+        with bundle.span("s", k=1):
+            pass
+        bundle.reset()
+        assert bundle.registry.counter("c").value == 0
+        assert bundle.tracer.records == ()
+
+
+class TestTracedDecorator:
+    def test_resolves_active_bundle_per_call(self):
+        @tm.traced("math.double", kind="test")
+        def double(x):
+            return 2 * x
+
+        assert double(3) == 6  # disabled: no records anywhere
+        bundle = Telemetry(clock=ManualClock())
+        with use_telemetry(bundle):
+            assert double(4) == 8
+        assert [r.name for r in bundle.tracer.records] == ["math.double"]
+        assert bundle.tracer.records[0].attrs == {"kind": "test"}
+
+    def test_default_name_is_qualname(self):
+        bundle = Telemetry(clock=ManualClock())
+
+        @tm.traced()
+        def helper():
+            return 1
+
+        with use_telemetry(bundle):
+            helper()
+        assert bundle.tracer.records[0].name.endswith("helper")
+
+
+class TestHotPathIntegration:
+    def test_simulate_run_records_metrics_and_span(self, quiet_platform):
+        from repro.apps import get_app
+        from repro.iosim import simulate_run
+        from repro.iosim.workload import Workload
+        from repro.space import BASELINE_CONFIG
+
+        app = get_app("BTIO")
+        workload = Workload.pure_io("telemetry-btio", app.characteristics(64))
+        bundle = Telemetry()
+        with use_telemetry(bundle):
+            result = simulate_run(workload, BASELINE_CONFIG, platform=quiet_platform)
+        assert bundle.registry.counter("iosim.runs").value == 1
+        histogram = bundle.registry.get("iosim.run_seconds")
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(result.seconds)
+        (record,) = [r for r in bundle.tracer.records if r.name == "iosim.run"]
+        assert record.attrs["workload"] == workload.name
+        assert record.attrs["config"] == BASELINE_CONFIG.key
+
+    def test_disabled_run_identical_to_enabled_run(self, quiet_platform):
+        from repro.apps import get_app
+        from repro.iosim import simulate_run
+        from repro.iosim.workload import Workload
+        from repro.space import BASELINE_CONFIG
+
+        workload = Workload.pure_io(
+            "telemetry-btio-2", get_app("BTIO").characteristics(64)
+        )
+        baseline = simulate_run(workload, BASELINE_CONFIG, platform=quiet_platform)
+        with use_telemetry(Telemetry()):
+            instrumented = simulate_run(
+                workload, BASELINE_CONFIG, platform=quiet_platform
+            )
+        assert instrumented == baseline
+
+    def test_training_and_fit_counters(self, context):
+        from repro.core.configurator import Acic
+
+        bundle = Telemetry()
+        names = tuple(context.screening.ranked_names()[: context.top_m])
+        with use_telemetry(bundle):
+            Acic(context.database, feature_names=names).train()
+        assert bundle.registry.counter("ml.fits").value == 1
+        assert bundle.registry.counter("ml.fit_samples").value == len(
+            context.database
+        )
+        (record,) = [r for r in bundle.tracer.records if r.name == "ml.fit"]
+        assert record.attrs["learner"] == "cart"
+
+
+class TestRenderReport:
+    def test_aggregates_and_shares(self):
+        clock = ManualClock()
+        bundle = Telemetry(clock=clock)
+        with bundle.span("root"):
+            with bundle.span("step"):
+                clock.advance(1.0)
+            with bundle.span("step"):
+                clock.advance(3.0)
+        stats = {s.name: s for s in aggregate_spans(bundle.tracer.records)}
+        assert stats["step"].count == 2
+        assert stats["step"].total_seconds == 4.0
+        assert stats["step"].mean_seconds == 2.0
+        assert stats["step"].max_seconds == 3.0
+        assert stats["step"].share == pytest.approx(1.0)
+        assert stats["root"].share == pytest.approx(1.0)
+
+    def test_report_text_contains_stages_and_metrics(self):
+        clock = ManualClock()
+        bundle = Telemetry(clock=clock)
+        bundle.counter("demo.count").inc(3)
+        bundle.gauge("demo.gauge").set(7)
+        bundle.histogram("demo.hist", buckets=(1.0,)).observe(0.5)
+        with bundle.span("stage.one"):
+            clock.advance(2.0)
+        text = render_report(bundle.registry, bundle.tracer.records)
+        assert "stage.one" in text
+        assert "demo.count" in text
+        assert "demo.gauge" in text
+        assert "demo.hist" in text
+        assert "100.0%" in text
+
+    def test_report_with_no_spans(self):
+        bundle = Telemetry()
+        assert "(no finished spans)" in render_report(bundle.registry, [])

@@ -1,0 +1,145 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("a.b")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("a")
+        with pytest.raises(ValueError, match="inc"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="not a Gauge"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogramBuckets:
+    """Fixed-bucket boundary behavior: bounds are inclusive (`le`)."""
+
+    def bucketed(self, *values):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_value_on_boundary_lands_in_that_bucket(self):
+        assert self.bucketed(1.0).counts == (1, 0, 0, 0)
+        assert self.bucketed(2.0).counts == (0, 1, 0, 0)
+        assert self.bucketed(5.0).counts == (0, 0, 1, 0)
+
+    def test_value_just_above_boundary_lands_in_next_bucket(self):
+        assert self.bucketed(1.0000001).counts == (0, 1, 0, 0)
+        assert self.bucketed(5.0000001).counts == (0, 0, 0, 1)
+
+    def test_value_below_first_bound_lands_in_first_bucket(self):
+        assert self.bucketed(-100.0).counts == (1, 0, 0, 0)
+        assert self.bucketed(0.0).counts == (1, 0, 0, 0)
+
+    def test_overflow_bucket_catches_everything_above(self):
+        assert self.bucketed(1e12).counts == (0, 0, 0, 1)
+
+    def test_sum_count_and_cumulative(self):
+        histogram = self.bucketed(0.5, 1.0, 1.5, 3.0, 10.0)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(16.0)
+        assert histogram.counts == (2, 1, 1, 1)
+        assert histogram.cumulative() == (2, 3, 4, 5)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_bucket_mismatch_on_reuse_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        assert registry.histogram("h", buckets=(1.0, 2.0)).bounds == (1.0, 2.0)
+
+
+class TestRegistry:
+    def test_name_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("9starts.with.digit")
+        registry.counter("ok._Name9")
+
+    def test_iteration_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.gauge("a")
+        registry.histogram("m", buckets=(1.0,))
+        assert registry.names() == ("a", "m", "z")
+        assert [m.name for m in registry] == ["a", "m", "z"]
+        assert len(registry) == 3
+
+    def test_get_returns_none_for_unknown(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("c").value == 0
+
+
+class TestNullRegistry:
+    def test_instruments_discard_everything(self):
+        registry = NullRegistry()
+        registry.counter("c").inc(100)
+        registry.gauge("g").set(5)
+        registry.histogram("h", buckets=(1.0,)).observe(3)
+        assert registry.counter("c").value == 0
+        assert registry.gauge("g").value == 0
+        assert registry.histogram("h", buckets=(1.0,)).count == 0
+        assert len(registry) == 0
+        assert list(registry) == []
+        assert registry.get("c") is None
+
+    def test_shared_singletons(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+
+    def test_real_instruments_isinstance_checkable(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h", buckets=(1.0,)), Histogram)

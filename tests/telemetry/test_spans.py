@@ -1,0 +1,148 @@
+"""Tests for the hierarchical span tracer (deterministic ManualClock)."""
+
+import pytest
+
+from repro.telemetry.clock import ManualClock, MonotonicClock
+from repro.telemetry.spans import NullTracer, Tracer
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestClock:
+    def test_manual_clock_advances(self, clock):
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+
+    def test_manual_clock_rejects_negative(self, clock):
+        with pytest.raises(ValueError, match="monotonic"):
+            clock.advance(-1.0)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+
+class TestSpans:
+    def test_duration_is_deterministic(self, tracer, clock):
+        with tracer.span("work") as span:
+            clock.advance(2.0)
+        assert span.duration == 2.0
+        assert tracer.records[0].duration == 2.0
+
+    def test_nesting_records_parent_and_path(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                clock.advance(1.0)
+            clock.advance(1.0)
+        records = {record.name: record for record in tracer.records}
+        assert records["inner"].parent_id == outer.span_id
+        assert records["inner"].path == "outer/inner"
+        assert records["inner"].depth == 1
+        assert records["outer"].parent_id is None
+        assert records["outer"].path == "outer"
+        assert records["outer"].duration == 2.0
+        assert inner.duration == 1.0
+
+    def test_children_finish_before_parents_in_records(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [record.name for record in tracer.records] == ["b", "a"]
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("one"):
+                pass
+            with tracer.span("two"):
+                pass
+        assert [r.name for r in tracer.children_of(root.span_id)] == ["one", "two"]
+        assert [r.name for r in tracer.roots()] == ["root"]
+
+    def test_attrs_and_annotate(self, tracer):
+        with tracer.span("s", app="btio") as span:
+            span.annotate(rows=42)
+        record = tracer.records[0]
+        assert record.attrs == {"app": "btio", "rows": 42}
+
+    def test_exception_annotated_and_reraised(self, tracer, clock):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                clock.advance(1.0)
+                raise RuntimeError("nope")
+        record = tracer.records[0]
+        assert record.attrs["error"] == "RuntimeError"
+        assert record.duration == 1.0
+        assert tracer.depth == 0  # stack unwound
+
+    def test_elapsed_while_open(self, tracer, clock):
+        span = tracer.span("open")
+        with span:
+            clock.advance(3.0)
+            assert span.duration == 3.0
+            clock.advance(1.0)
+        assert span.duration == 4.0
+
+    def test_max_spans_bound_drops_and_counts(self, clock):
+        tracer = Tracer(clock=clock, max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_reset_clears_records(self, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.records == []
+        assert tracer.dropped == 0
+
+    def test_span_ids_unique_and_ordered(self, tracer):
+        spans = []
+        for _ in range(3):
+            with tracer.span("s") as span:
+                spans.append(span.span_id)
+        assert spans == sorted(spans)
+        assert len(set(spans)) == 3
+
+    def test_to_event_roundtrip_fields(self, tracer, clock):
+        with tracer.span("e", k="v"):
+            clock.advance(1.0)
+        event = tracer.records[0].to_event()
+        assert event["name"] == "e"
+        assert event["duration"] == 1.0
+        assert event["attrs"] == {"k": "v"}
+        assert event["parent_id"] is None
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        tracer = NullTracer()
+        a = tracer.span("x", key="value")
+        b = tracer.span("y")
+        assert a is b
+        with a as span:
+            span.annotate(more="stuff")
+        assert tracer.records == ()
+        assert tracer.roots() == []
+        assert tracer.children_of(0) == []
+        assert a.duration == 0.0
+
+    def test_exceptions_propagate(self):
+        tracer = NullTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("x"):
+                raise RuntimeError

@@ -1,5 +1,7 @@
 """Tests for the acic command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -9,6 +11,14 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
 
     def test_recommend_args(self):
         args = build_parser().parse_args(
@@ -108,3 +118,78 @@ class TestCommands:
         assert good["recommendations"][0]["rank"] == 1
         bad = json.loads(lines[1])
         assert "error" in bad
+
+
+class TestTelemetryCli:
+    def test_telemetry_demo_renders_stage_report(self, capsys):
+        assert main(["telemetry", "--top-m", "2", "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "== spans (per stage) ==" in out
+        assert "service.query_batch" in out
+        assert "iosim.runs" in out
+        assert "service.cache.misses" in out
+
+    def test_telemetry_demo_prometheus_format(self, capsys):
+        assert main(["telemetry", "--top-m", "2", "--queries", "4",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE iosim_runs counter" in out
+        assert "# TYPE iosim_run_seconds histogram" in out
+
+    def test_telemetry_demo_json_format(self, capsys):
+        assert main(["telemetry", "--top-m", "2", "--queries", "4",
+                     "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["metrics"]["service.queries_served"]["value"] == 4
+
+    def test_telemetry_out_writes_span_events(self, tmp_path, capsys):
+        from repro.telemetry import get_telemetry, read_events_jsonl
+
+        events = tmp_path / "events.jsonl"
+        assert main(["train", "--top-m", "2", "--out", str(tmp_path / "db.json"),
+                     "--telemetry-out", str(events)]) == 0
+        assert "span events" in capsys.readouterr().out
+        records = read_events_jsonl(events)
+        names = {record.name for record in records}
+        assert "training.collect" in names
+        assert "iosim.run" in names
+        assert not get_telemetry().enabled  # global state restored
+
+    def test_telemetry_events_report(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        main(["train", "--top-m", "2", "--out", str(tmp_path / "db.json"),
+              "--telemetry-out", str(events)])
+        capsys.readouterr()
+        assert main(["telemetry", "--events", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "training.collect" in out
+        assert "span events from" in out
+
+    def test_serve_batch_with_telemetry_out(self, tmp_path, capsys):
+        from repro.apps import get_app
+        from repro.core.objectives import Goal
+        from repro.service.api import QueryRequest
+
+        db_path = tmp_path / "db.json"
+        main(["train", "--top-m", "3", "--out", str(db_path)])
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            QueryRequest(
+                characteristics=get_app("BTIO").characteristics(256),
+                goal=Goal.COST,
+            ).to_json()
+            + "\n"
+        )
+        capsys.readouterr()
+        events = tmp_path / "events.jsonl"
+        assert main(["serve-batch", "--db", str(db_path),
+                     "--queries", str(queries),
+                     "--telemetry-out", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "recommendations" in out
+        from repro.telemetry import read_events_jsonl
+
+        names = {record.name for record in read_events_jsonl(events)}
+        assert "service.query_batch" in names
+        assert "serving.recommend_batch" in names
+        assert "serving.predict" in names

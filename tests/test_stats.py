@@ -39,9 +39,18 @@ class TestHarmonicMean:
     def test_known_value(self):
         assert harmonic_mean([1.0, 1.0 / 3.0]) == pytest.approx(0.5)
 
+    def test_single_value(self):
+        assert harmonic_mean([4.25]) == pytest.approx(4.25)
+
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             harmonic_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([2.0, -1.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([0.0])
 
     @given(positive_lists)
     def test_at_most_geometric(self, values):
@@ -55,9 +64,34 @@ class TestMedian:
     def test_even_interpolates(self):
         assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
 
+    def test_single_value(self):
+        assert median([42.0]) == 42.0
+
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             median([])
+
+    def test_large_magnitude_values(self):
+        assert median([1e308, -1e308, 0.0]) == 0.0
+        assert median([1e307, 3e307]) == 2e307
+
+
+class TestLargeMagnitudes:
+    """The helpers must survive values near the float range limits."""
+
+    def test_geometric_mean_spans_the_float_range(self):
+        # Naive prod() would overflow/underflow; the log-space mean must not.
+        assert geometric_mean([1e300, 1e-300]) == pytest.approx(1.0)
+        assert geometric_mean([1e300, 1e300]) == pytest.approx(1e300, rel=1e-9)
+
+    def test_harmonic_mean_of_huge_values(self):
+        assert harmonic_mean([1e300, 1e300]) == pytest.approx(1e300, rel=1e-9)
+
+    def test_harmonic_mean_of_tiny_values(self):
+        assert harmonic_mean([1e-300, 1e-300]) == pytest.approx(1e-300, rel=1e-9)
+
+    def test_relative_error_with_huge_actual(self):
+        assert relative_error(2e307, 1e307) == pytest.approx(1.0)
 
 
 class TestRelativeError:
