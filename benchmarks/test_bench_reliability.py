@@ -1,0 +1,67 @@
+"""Benchmark: the reliability stack must be free when nothing fails.
+
+Two claims, timed:
+
+* the resting state (no active injector, the inert default policy) adds
+  no measurable cost to the batch-query path — the guards are one
+  deadline read, one breaker check and one admission increment per
+  model group / request;
+* merely *enabling* chaos with an empty fault plan (active injector, no
+  rules) stays within a few percent of the resting state, because an
+  unmatched site costs one loop over zero matching rules.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.test_bench_serving import _fresh_service, _query_stream
+from repro.core.objectives import Goal
+from repro.reliability import FaultInjector, FaultPlan, use_injector
+
+
+def _batch_timer(service, requests, rounds: int = 5) -> float:
+    """Best-of-N wall time for a cache-cold query_batch pass."""
+    best = float("inf")
+    for _ in range(rounds):
+        service._cache.clear()
+        start = time.perf_counter()
+        responses = service.query_batch(requests)
+        best = min(best, time.perf_counter() - start)
+        assert len(responses) == len(requests)
+    return best
+
+
+def test_bench_batch_queries_resting(benchmark, context):
+    """Tracks the PR 2 batch-query number with the reliability stack in."""
+    requests = _query_stream(256)
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+    service.query_batch(requests)  # build the per-model engines once
+
+    def batched():
+        service._cache.clear()
+        return service.query_batch(requests)
+
+    responses = benchmark(batched)
+    assert len(responses) == 256
+    assert not any(r.degraded for r in responses)
+    assert service.stats().requests_shed == 0
+
+
+def test_empty_plan_injector_overhead_is_negligible(context):
+    """An active injector with no rules must not slow serving batches."""
+    requests = _query_stream(256)
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+    service.query_batch(requests)  # warm engines and allocator
+
+    resting = _batch_timer(service, requests)
+    with use_injector(FaultInjector(FaultPlan())):
+        armed = _batch_timer(service, requests)
+
+    # Generous bound to absorb scheduler noise on short runs; the real
+    # regression tracking happens through the recorded benchmark above.
+    assert armed <= resting * 1.25 + 0.005

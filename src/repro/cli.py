@@ -72,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path for the saved training database")
     train.add_argument("--telemetry-out", default=None, metavar="EVENTS.JSONL",
                        help="run with telemetry enabled; write span events here")
+    train.add_argument("--faults", default=None, metavar="PLAN.JSON",
+                       help="chaos: run collection under this fault plan")
 
     profile = sub.add_parser("profile", help="profile an application's I/O")
     profile.add_argument("--app", required=True, choices=sorted(APP_REGISTRY))
@@ -124,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--queries", required=True,
         help="file of JSON query requests, one per line; '-' for stdin",
     )
+    _add_reliability_flags(serve)
 
     pack = sub.add_parser(
         "pack", help="train models and save them as versioned artifacts"
@@ -153,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", default=None, metavar="EVENTS.JSONL",
         help="run with telemetry enabled; write span events here",
     )
+    _add_reliability_flags(serve_batch)
 
     telemetry = sub.add_parser(
         "telemetry",
@@ -183,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_reliability_flags(command: argparse.ArgumentParser) -> None:
+    """The shared chaos/resilience knobs (see docs/RELIABILITY.md)."""
+    command.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="chaos: serve under this fault plan (deterministic, seeded)",
+    )
+    command.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request/batch time budget; expired stages degrade",
+    )
+    command.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retry budget for transient scoring faults (default 3)",
+    )
+
+
+def _reliability_policy(args: argparse.Namespace):
+    """Build the service policy from the CLI flags (None = defaults)."""
+    from repro.reliability import ReliabilityPolicy
+
+    return ReliabilityPolicy.from_cli(
+        deadline_ms=getattr(args, "deadline_ms", None),
+        max_retries=getattr(args, "max_retries", None),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -202,19 +232,32 @@ def main(argv: list[str] | None = None) -> int:
         "dbcheck": _cmd_dbcheck,
         "apps": _cmd_apps,
     }[args.command]
-    events_path = getattr(args, "telemetry_out", None)
-    if not events_path:
-        return handler(args)
+    def run() -> int:
+        events_path = getattr(args, "telemetry_out", None)
+        if not events_path:
+            return handler(args)
 
-    from repro.telemetry import Telemetry, use_telemetry, write_events_jsonl
+        from repro.telemetry import Telemetry, use_telemetry, write_events_jsonl
 
-    telemetry = Telemetry()
-    with use_telemetry(telemetry):
-        code = handler(args)
-    path = write_events_jsonl(telemetry.tracer, events_path)
-    print(
-        f"# telemetry: wrote {len(telemetry.tracer.records)} span events to {path}"
-    )
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            code = handler(args)
+        path = write_events_jsonl(telemetry.tracer, events_path)
+        print(
+            f"# telemetry: wrote {len(telemetry.tracer.records)} span events to {path}"
+        )
+        return code
+
+    faults_path = getattr(args, "faults", None)
+    if not faults_path:
+        return run()
+
+    from repro.reliability import FaultInjector, FaultPlan, use_injector
+
+    plan = FaultPlan.load(faults_path)
+    with use_injector(FaultInjector(plan)) as injector:
+        code = run()
+    print(f"# chaos: injected {injector.hits()} fault(s) from {faults_path}")
     return code
 
 
@@ -371,7 +414,7 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import AcicService
 
-    service = AcicService()
+    service = AcicService(reliability=_reliability_policy(args))
     platform = service.load_database(args.db)
     print(f"# hosting platform {platform!r} from {args.db}", flush=True)
 
@@ -387,7 +430,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stats = service.stats()
     print(
         f"# served {stats.queries_served} queries "
-        f"({stats.cache_hits} cache hits, {stats.models_trained} models trained)"
+        f"({stats.cache_hits} cache hits, {stats.models_trained} models trained, "
+        f"{stats.degraded_responses} degraded, {stats.retries} retries)"
     )
     return 0
 
@@ -417,10 +461,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.service import AcicService
 
     if args.artifacts:
-        service = AcicService.load(args.artifacts)
+        service = AcicService.load(
+            args.artifacts, reliability=_reliability_policy(args)
+        )
         print(f"# warm start from {args.artifacts}", flush=True)
     else:
-        service = AcicService()
+        service = AcicService(reliability=_reliability_policy(args))
         platform = service.load_database(args.db)
         print(f"# cold start: hosting platform {platform!r} from {args.db}",
               flush=True)
@@ -447,7 +493,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     stats = service.stats()
     print(
         f"# served {stats.queries_served} queries "
-        f"({stats.cache_hits} cache hits, {stats.models_trained} models trained)"
+        f"({stats.cache_hits} cache hits, {stats.models_trained} models trained, "
+        f"{stats.degraded_responses} degraded, {stats.requests_shed} shed, "
+        f"{stats.retries} retries)"
     )
     return 0
 

@@ -20,6 +20,7 @@ from repro.core.database import TrainingDatabase
 from repro.core.objectives import Goal
 from repro.ml.encoding import FeatureEncoder, point_values
 from repro.ml.registry import Learner, make_learner
+from repro.reliability.faults import get_injector
 from repro.space.characteristics import AppCharacteristics
 from repro.space.configuration import SystemConfig
 from repro.space.grid import candidate_configs
@@ -138,18 +139,28 @@ class Acic:
         return acic
 
     # ------------------------------------------------------------------
-    def train(self) -> "Acic":
-        """Fit the plug-in learner on the database (log-ratio targets)."""
+    def train(self, retry=None) -> "Acic":
+        """Fit the plug-in learner on the database (log-ratio targets).
+
+        ``retry`` is an optional :class:`repro.reliability.Retry`; with
+        one, a transient injected fault re-fits instead of propagating
+        (the service passes its resilience stack's executor here).
+        """
         telemetry = get_telemetry()
         X, y = self.database.to_matrix(self.encoder, self.goal)
-        model = make_learner(self.learner_name)
-        if hasattr(model, "feature_names"):
-            model.feature_names = self.encoder.names
-        with telemetry.span(
-            "ml.fit", learner=self.learner_name, goal=self.goal.value,
-            samples=X.shape[0],
-        ):
-            self._model = model.fit(X, y)
+
+        def fit_once() -> Learner:
+            get_injector().perturb("ml.fit")
+            model = make_learner(self.learner_name)
+            if hasattr(model, "feature_names"):
+                model.feature_names = self.encoder.names
+            with telemetry.span(
+                "ml.fit", learner=self.learner_name, goal=self.goal.value,
+                samples=X.shape[0],
+            ):
+                return model.fit(X, y)
+
+        self._model = fit_once() if retry is None else retry.call(fit_once)
         telemetry.counter("ml.fits").inc()
         telemetry.counter("ml.fit_samples").inc(X.shape[0])
         return self
@@ -178,6 +189,7 @@ class Acic:
         if len(candidates) == 0:
             return np.empty(0, dtype=float)
         telemetry = get_telemetry()
+        get_injector().perturb("ml.predict")
         with telemetry.span("ml.predict", rows=len(candidates)):
             X = self.encoder.encode_many(
                 [point_values(config, chars) for config in candidates]

@@ -20,6 +20,8 @@ from repro.core.database import TrainingDatabase, TrainingRecord
 from repro.ior.runner import IorRunner
 from repro.ior.spec import IorSpec
 from repro.ml.encoding import point_values
+from repro.reliability.faults import get_injector
+from repro.reliability.retry import BackoffPolicy, Retry, RetryBudgetExceeded
 from repro.space.characteristics import IOInterface, OpKind
 from repro.space.grid import characteristics_from_values, coerce_valid, config_from_values
 from repro.space.parameters import PARAMETERS, parameter_by_name
@@ -153,16 +155,37 @@ class TrainingCampaign:
     run_cost: float
 
 
+def _no_sleep(seconds: float) -> None:
+    """Collection retries back off in simulated time only — never block."""
+
+
+def _collection_retry() -> Retry:
+    """The default per-point retry: a few attempts, no real sleeping."""
+    return Retry(BackoffPolicy(max_retries=4), sleep=_no_sleep)
+
+
 def _measure_point(values: dict[str, object], platform: CloudPlatform, reps: int):
     """Worker for parallel collection; module-level for picklability.
 
     Each call builds a fresh runner, so the baseline cache is not shared —
     parallel collection trades some repeated baseline runs for wall-clock.
+    Fault injection and the per-point retry apply here too (the active
+    injector is inherited by forked workers), so chaos campaigns can run
+    parallel; exhausted points surface as None, exactly like the serial
+    path.
     """
     runner = IorRunner(platform=platform, reps=reps)
     chars = characteristics_from_values(values)
     config = coerce_valid(config_from_values(values), chars)
-    return runner.measure(IorSpec.from_characteristics(chars), config)
+
+    def attempt():
+        get_injector().perturb("training.measure")
+        return runner.measure(IorSpec.from_characteristics(chars), config)
+
+    try:
+        return _collection_retry().call(attempt)
+    except RetryBudgetExceeded:
+        return None
 
 
 class TrainingCollector:
@@ -184,11 +207,13 @@ class TrainingCollector:
         platform: CloudPlatform = DEFAULT_PLATFORM,
         reps: int = 1,
         jobs: int = 1,
+        retry: Retry | None = None,
     ) -> None:
         self.database = database
         self.platform = platform
         self.reps = reps
         self.jobs = jobs
+        self.retry = retry if retry is not None else _collection_retry()
         self.runner = IorRunner(platform=platform, reps=reps)
         self._epoch = 0
 
@@ -224,6 +249,12 @@ class TrainingCollector:
                         self._measure(values) for values in plan.points
                     ]
 
+            # Points whose retries were exhausted by fault injection come
+            # back as None: the campaign degrades to fewer records instead
+            # of losing the whole batch.
+            skipped = sum(1 for observation in observations if observation is None)
+            observations = [obs for obs in observations if obs is not None]
+
             seconds = 0.0
             cost = 0.0
             new_records = 0
@@ -237,6 +268,9 @@ class TrainingCollector:
                     if self.database.add(record):
                         new_records += 1
         telemetry.counter("training.points_measured").inc(len(observations))
+        telemetry.counter(
+            "training.points_skipped", "points dropped after exhausting retries"
+        ).inc(skipped)
         telemetry.counter("training.records_added").inc(new_records)
         telemetry.counter(
             "training.simulated_seconds", "simulated machine time billed"
@@ -251,7 +285,15 @@ class TrainingCollector:
     def _measure(self, values: dict[str, object]):
         chars = characteristics_from_values(values)
         config = coerce_valid(config_from_values(values), chars)
-        return self.runner.measure(IorSpec.from_characteristics(chars), config)
+
+        def attempt():
+            get_injector().perturb("training.measure")
+            return self.runner.measure(IorSpec.from_characteristics(chars), config)
+
+        try:
+            return self.retry.call(attempt)
+        except RetryBudgetExceeded:
+            return None
 
     def estimate_cost(self, plan_size: int, measured: TrainingCampaign) -> float:
         """Extrapolated collection cost for a plan too large to run.

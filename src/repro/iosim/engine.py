@@ -11,7 +11,7 @@ cost accounting are applied here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cloud.cluster import ClusterSpec, Placement, provision
 from repro.cloud.platform import CloudPlatform, DEFAULT_PLATFORM
@@ -20,6 +20,7 @@ from repro.fs.base import ServerResources
 from repro.fs.registry import file_system_model
 from repro.iosim.interface import LoweredIO, lower_io
 from repro.iosim.workload import Workload
+from repro.reliability.faults import get_injector
 from repro.space.configuration import SystemConfig
 from repro.space.validity import explain_invalid
 from repro.telemetry import get_telemetry
@@ -91,10 +92,23 @@ class IOSimulator:
         Raises:
             ValueError: if the configuration is invalid for this workload
                 (e.g. part-time placement with more servers than nodes).
+            repro.reliability.InjectedError: an active fault plan shot
+                this run down (transient; re-running re-draws).
         """
         telemetry = get_telemetry()
+        fault = get_injector().perturb("iosim.run")
         with telemetry.span("iosim.run", workload=workload.name, config=config.key):
             result = self._run(workload, config, rep)
+        if not fault.clean:
+            # Latency spikes stretch the simulated wall clock; corruption
+            # scales the whole measurement (a bad reading, not a crash).
+            breakdown = dict(result.breakdown)
+            breakdown["injected_latency"] = fault.latency_s
+            result = replace(
+                result,
+                seconds=result.seconds * fault.factor + fault.latency_s,
+                breakdown=breakdown,
+            )
         telemetry.counter("iosim.runs").inc()
         telemetry.histogram(
             "iosim.run_seconds", RUN_SECONDS_BUCKETS,
@@ -168,6 +182,9 @@ class IOSimulator:
         breakdown["compute"] = iterations * compute_iter * compute_factor
         breakdown["comm"] = iterations * comm_iter * compute_factor
         breakdown["io"] = iterations * io_blocking * io_factor
+        breakdown["client_overhead"] = (
+            iterations * lowered.client_overhead_seconds * io_factor
+        )
         breakdown["shuffle"] = iterations * shuffle * io_factor
         breakdown["exposed_flush"] = exposed_flush * io_factor
 

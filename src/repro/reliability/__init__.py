@@ -1,0 +1,85 @@
+"""repro.reliability — fault injection and resilience for the serving path.
+
+Two halves, one subsystem:
+
+* **Chaos in**: a :class:`FaultPlan` (JSON-loadable, seeded) executed by
+  a :class:`FaultInjector` that deterministically injects transient
+  errors, latency spikes and corrupt results into the instrumented
+  sites — ``iosim.run``, ``training.measure``, ``ml.fit``,
+  ``ml.predict``, ``serving.predict``.  The active injector is
+  process-wide and disabled by default, mirroring
+  :mod:`repro.telemetry`.
+
+* **Resilience out**: :class:`Retry` (exponential backoff + bounded
+  jitter), :class:`Deadline` budgets, a :class:`CircuitBreaker` and a
+  bounded :class:`AdmissionQueue` with load-shedding, bundled by a
+  :class:`ReliabilityPolicy` and applied in
+  :class:`repro.service.server.AcicService` — a failing stage degrades
+  (stale cache or the baseline configuration, ``degraded=True``)
+  instead of raising.
+
+Everything is clock- and sleep-injectable, so the chaos/property suites
+in ``tests/reliability`` run on a
+:class:`~repro.telemetry.clock.ManualClock` with zero real sleeps, and
+all counters land in :mod:`repro.telemetry` registries
+(``reliability.*`` metrics).  See ``docs/RELIABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.admission import AdmissionQueue, AdmissionTicket
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerOpen,
+    CircuitBreaker,
+)
+from repro.reliability.deadline import Deadline, DeadlineExceeded
+from repro.reliability.faults import (
+    NO_FAULT,
+    NULL_INJECTOR,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedError,
+    get_injector,
+    set_injector,
+    use_injector,
+)
+from repro.reliability.policy import ReliabilityPolicy, Resilience
+from repro.reliability.retry import (
+    BackoffPolicy,
+    Retry,
+    RetryBudgetExceeded,
+    VirtualSleeper,
+)
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultInjector",
+    "InjectedError",
+    "NO_FAULT",
+    "NULL_INJECTOR",
+    "get_injector",
+    "set_injector",
+    "use_injector",
+    "BackoffPolicy",
+    "Retry",
+    "RetryBudgetExceeded",
+    "VirtualSleeper",
+    "Deadline",
+    "DeadlineExceeded",
+    "CircuitBreaker",
+    "BreakerOpen",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "AdmissionQueue",
+    "AdmissionTicket",
+    "ReliabilityPolicy",
+    "Resilience",
+]

@@ -1,0 +1,103 @@
+"""Bounded admission with load-shedding for the service front door.
+
+Under overload, queueing everything melts the process; the standard
+answer is a fixed in-flight bound with *load-shedding*: work beyond the
+bound is refused cheaply (the service answers it with a degraded
+response) instead of piling up.  :class:`AdmissionQueue` is that bound —
+a counting gate that hands out :class:`AdmissionTicket` objects and
+never lets more than ``depth`` of them be outstanding.
+
+Two invariants the property tests pin down:
+
+* occupancy never exceeds the configured depth, and
+* an admitted ticket is never lost — every admit is eventually matched
+  by exactly one release, and double-release is an error rather than a
+  silent accounting leak.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["AdmissionTicket", "AdmissionQueue"]
+
+
+class AdmissionTicket:
+    """Proof of admission; release it exactly once."""
+
+    __slots__ = ("_queue", "_released")
+
+    def __init__(self, queue: "AdmissionQueue") -> None:
+        self._queue = queue
+        self._released = False
+
+    def release(self) -> None:
+        """Return the slot to the queue.
+
+        Raises:
+            RuntimeError: the ticket was already released.
+        """
+        if self._released:
+            raise RuntimeError("admission ticket released twice")
+        self._released = True
+        self._queue._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._released:
+            self.release()
+
+
+class AdmissionQueue:
+    """A fixed in-flight bound with shed accounting.
+
+    Args:
+        depth: maximum concurrently admitted requests (>= 1).
+        metrics: registry for ``reliability.admission.*`` instruments.
+    """
+
+    def __init__(self, depth: int = 1024, metrics: MetricsRegistry | None = None) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._in_flight = 0
+        self._admitted = self.metrics.counter(
+            "reliability.admission.admitted", "requests admitted"
+        )
+        self._shed = self.metrics.counter(
+            "reliability.admission.shed", "requests refused at the bound"
+        )
+        self._occupancy = self.metrics.gauge(
+            "reliability.admission.in_flight", "slots currently held"
+        )
+        self.metrics.gauge("reliability.admission.depth", "slot bound").set(depth)
+
+    # ------------------------------------------------------------------
+    def try_admit(self) -> AdmissionTicket | None:
+        """Admit if a slot is free; None means the request was shed."""
+        if self._in_flight >= self.depth:
+            self._shed.inc()
+            return None
+        self._in_flight += 1
+        self._admitted.inc()
+        self._occupancy.set(self._in_flight)
+        return AdmissionTicket(self)
+
+    def _release(self) -> None:
+        assert self._in_flight > 0, "release without a matching admit"
+        self._in_flight -= 1
+        self._occupancy.set(self._in_flight)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Slots currently held."""
+        return self._in_flight
+
+    @property
+    def shed_count(self) -> int:
+        """Requests refused so far."""
+        return int(self._shed.value)

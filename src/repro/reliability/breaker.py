@@ -1,0 +1,169 @@
+"""A circuit breaker for the scoring backend.
+
+When a dependency fails repeatedly, hammering it with retries makes the
+outage worse; the breaker *opens* after ``failure_threshold``
+consecutive failures and callers degrade immediately (serve from cache
+or the baseline configuration) without touching the backend.  After
+``reset_after_s`` of open time the breaker goes *half-open* and admits a
+bounded number of probe calls: one probe success closes it, one probe
+failure re-opens it and restarts the cooldown.
+
+State changes are counted in a :class:`~repro.telemetry.MetricsRegistry`
+(``reliability.breaker.*``) and the current state is exported as a gauge
+(0 = closed, 1 = half-open, 2 = open), so an operator can alarm on a
+stuck-open breaker.  Time comes from an injectable clock — the chaos
+tests walk the full closed → open → half-open → closed cycle on a
+:class:`~repro.telemetry.clock.ManualClock` without sleeping.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import Clock, MetricsRegistry, MonotonicClock
+
+__all__ = ["BreakerOpen", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class BreakerOpen(RuntimeError):
+    """The call was refused because the breaker is open."""
+
+    def __init__(self, name: str, retry_in_s: float) -> None:
+        super().__init__(
+            f"circuit breaker {name!r} is open (next probe in {retry_in_s:.3f}s)"
+        )
+        self.retry_in_s = retry_in_s
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe phase.
+
+    Args:
+        failure_threshold: consecutive failures that open the breaker.
+        reset_after_s: open-state cooldown before probing.
+        half_open_max_calls: probes admitted while half-open.
+        clock: time source (process monotonic clock by default).
+        metrics: registry for the ``reliability.breaker.*`` instruments.
+        name: breaker name for errors and metric help text.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        name: str = "backend",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s <= 0:
+            raise ValueError(f"reset_after_s must be > 0, got {reset_after_s}")
+        if half_open_max_calls < 1:
+            raise ValueError(
+                f"half_open_max_calls must be >= 1, got {half_open_max_calls}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self.half_open_max_calls = half_open_max_calls
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._state_gauge = self.metrics.gauge(
+            "reliability.breaker.state", "0 closed, 1 half-open, 2 open"
+        )
+        self._opened = self.metrics.counter(
+            "reliability.breaker.opened", "transitions into open"
+        )
+        self._closed = self.metrics.counter(
+            "reliability.breaker.closed", "transitions back to closed"
+        )
+        self._refused = self.metrics.counter(
+            "reliability.breaker.refused", "calls refused while open"
+        )
+        self._state_gauge.set(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, applying the open → half-open timeout lazily."""
+        if self._state == OPEN:
+            elapsed = self.clock.now() - self._opened_at
+            if elapsed >= self.reset_after_s:
+                self._transition(HALF_OPEN)
+                self._probes_in_flight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        Half-open admits at most ``half_open_max_calls`` concurrent
+        probes; open refuses everything (and counts the refusal).
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            if self._probes_in_flight < self.half_open_max_calls:
+                self._probes_in_flight += 1
+                return True
+            self._refused.inc()
+            return False
+        self._refused.inc()
+        return False
+
+    def check(self) -> None:
+        """:meth:`allow` as an assertion.
+
+        Raises:
+            BreakerOpen: the breaker refused the call.
+        """
+        if not self.allow():
+            retry_in = max(
+                0.0, self.reset_after_s - (self.clock.now() - self._opened_at)
+            )
+            raise BreakerOpen(self.name, retry_in)
+
+    def record_success(self) -> None:
+        """Note a successful backend call (closes a half-open breaker)."""
+        if self._state == HALF_OPEN:
+            self._transition(CLOSED)
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """Note a failed backend call (may open the breaker)."""
+        if self._state == HALF_OPEN:
+            self._transition(OPEN)
+            self._opened_at = self.clock.now()
+            return
+        self._consecutive_failures += 1
+        if self._state == CLOSED and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(OPEN)
+            self._opened_at = self.clock.now()
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        self._state_gauge.set(_STATE_CODES[state])
+        if state == OPEN:
+            self._opened.inc()
+        elif state == CLOSED:
+            self._closed.inc()
+        if state != OPEN:
+            self._consecutive_failures = 0

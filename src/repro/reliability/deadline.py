@@ -1,0 +1,85 @@
+"""Deadline budgets: "this request gets N milliseconds, total".
+
+A :class:`Deadline` is created at the edge (one per request or batch)
+and threaded through the stages below it; each stage calls
+:meth:`Deadline.require` before starting expensive work and degrades
+gracefully when the budget is gone.  Time is read from an injectable
+:class:`~repro.telemetry.clock.Clock`, so chaos tests drive deadlines
+with a :class:`~repro.telemetry.clock.ManualClock` — injected latency
+consumes budget without anything actually sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry import Clock, MonotonicClock
+
+__all__ = ["DeadlineExceeded", "Deadline"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A stage started (or would start) after the budget ran out."""
+
+    def __init__(self, label: str, overrun_s: float) -> None:
+        super().__init__(f"deadline exceeded at {label!r} ({overrun_s:.3f}s over)")
+        self.label = label
+        self.overrun_s = overrun_s
+
+
+class Deadline:
+    """A monotone time budget shared by the stages of one request.
+
+    Args:
+        budget_s: seconds allotted (``math.inf`` = unbounded).
+        clock: time source (process monotonic clock by default).
+    """
+
+    def __init__(self, budget_s: float = math.inf, clock: Clock | None = None) -> None:
+        if budget_s <= 0:
+            raise ValueError(f"budget_s must be > 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._start = self.clock.now()
+
+    @classmethod
+    def unbounded(cls, clock: Clock | None = None) -> "Deadline":
+        """A deadline that never expires (the disabled mode)."""
+        return cls(math.inf, clock=clock)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this deadline can expire at all."""
+        return math.isfinite(self.budget_s)
+
+    def elapsed(self) -> float:
+        """Seconds consumed since creation."""
+        return self.clock.now() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired, ``inf`` when unbounded)."""
+        return self.budget_s - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self.remaining() <= 0.0
+
+    def require(self, label: str = "operation") -> float:
+        """Assert there is budget left; returns the remaining seconds.
+
+        Raises:
+            DeadlineExceeded: the budget is already spent.
+        """
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(label, -remaining)
+        return remaining
+
+    def allows(self, seconds: float) -> bool:
+        """Whether ``seconds`` more work still fits in the budget.
+
+        Used by the retry loop to skip a backoff sleep that could not
+        finish before the deadline anyway.
+        """
+        return self.remaining() >= seconds

@@ -1,0 +1,128 @@
+"""The service-facing bundle of resilience knobs.
+
+:class:`ReliabilityPolicy` is pure configuration (what the CLI flags
+``--deadline-ms`` / ``--max-retries`` populate); :meth:`build` turns it
+into a :class:`Resilience` — live retry / breaker / admission objects
+sharing one metrics registry and one clock — which
+:class:`repro.service.server.AcicService` threads through its hot paths.
+The default policy is deliberately inert: unbounded deadline, a breaker
+that needs five consecutive failures, an admission bound far above any
+test batch, and retries that only trigger on injected transient errors —
+so a fault-free service behaves (and benchmarks) exactly as before.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.reliability.admission import AdmissionQueue
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.deadline import Deadline
+from repro.reliability.retry import BackoffPolicy, Retry
+from repro.telemetry import Clock, MetricsRegistry, MonotonicClock
+
+__all__ = ["ReliabilityPolicy", "Resilience"]
+
+#: Bucket bounds (seconds) for the deadline-remaining histogram.
+DEADLINE_REMAINING_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 60.0
+)
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """Declarative resilience configuration for one service.
+
+    Attributes:
+        backoff: retry schedule (see :class:`BackoffPolicy`).
+        deadline_s: per-request/batch budget (``inf`` = unbounded).
+        breaker_failure_threshold / breaker_reset_after_s /
+        breaker_half_open_max_calls: circuit-breaker shape.
+        admission_depth: in-flight bound before load-shedding.
+        seed: jitter stream seed (reproducible retry schedules).
+    """
+
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    deadline_s: float = math.inf
+    breaker_failure_threshold: int = 5
+    breaker_reset_after_s: float = 30.0
+    breaker_half_open_max_calls: int = 1
+    admission_depth: int = 100_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+    @classmethod
+    def from_cli(
+        cls,
+        deadline_ms: float | None = None,
+        max_retries: int | None = None,
+    ) -> "ReliabilityPolicy":
+        """Policy from the ``--deadline-ms`` / ``--max-retries`` flags."""
+        backoff = BackoffPolicy() if max_retries is None else BackoffPolicy(
+            max_retries=max_retries
+        )
+        deadline_s = math.inf if deadline_ms is None else deadline_ms / 1000.0
+        return cls(backoff=backoff, deadline_s=deadline_s)
+
+    def build(
+        self,
+        metrics: MetricsRegistry,
+        clock: Clock | None = None,
+        sleep=time.sleep,
+    ) -> "Resilience":
+        """Instantiate the live primitives this policy describes."""
+        return Resilience(self, metrics, clock=clock, sleep=sleep)
+
+
+class Resilience:
+    """Live resilience state for one service: retry + breaker + admission.
+
+    Built by :meth:`ReliabilityPolicy.build`; everything shares the
+    given metrics registry and clock, so chaos tests drive the whole
+    stack from one :class:`~repro.telemetry.clock.ManualClock`.
+    """
+
+    def __init__(
+        self,
+        policy: ReliabilityPolicy,
+        metrics: MetricsRegistry,
+        clock: Clock | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.policy = policy
+        self.metrics = metrics
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.retry = Retry(
+            policy.backoff, sleep=sleep, seed=policy.seed, metrics=metrics
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=policy.breaker_failure_threshold,
+            reset_after_s=policy.breaker_reset_after_s,
+            half_open_max_calls=policy.breaker_half_open_max_calls,
+            clock=self.clock,
+            metrics=metrics,
+            name="service.scoring",
+        )
+        self.admission = AdmissionQueue(policy.admission_depth, metrics=metrics)
+        self.degraded = metrics.counter(
+            "reliability.degraded", "responses served degraded"
+        )
+        self._deadline_remaining = metrics.histogram(
+            "reliability.deadline_remaining_s",
+            DEADLINE_REMAINING_BUCKETS,
+            "budget left when a stage started",
+        )
+
+    def deadline(self) -> Deadline:
+        """A fresh per-request/batch deadline on this stack's clock."""
+        return Deadline(self.policy.deadline_s, clock=self.clock)
+
+    def observe_deadline(self, deadline: Deadline) -> None:
+        """Record the remaining budget (bounded deadlines only)."""
+        if deadline.bounded:
+            self._deadline_remaining.observe(max(0.0, deadline.remaining()))

@@ -168,6 +168,10 @@ class QueryResponse:
         model_points: training records behind the answer.
         model_epochs: (oldest, newest) contribution epochs.
         cached: True when served from the query cache.
+        degraded: True when the full scoring path was unavailable
+            (retries exhausted, breaker open, deadline spent, or load
+            shed) and the service fell back to a stale cache entry or
+            the baseline configuration.
     """
 
     recommendations: tuple[RecommendationPayload, ...]
@@ -177,6 +181,7 @@ class QueryResponse:
     model_epochs: tuple[int, int]
     cached: bool = False
     learner: str = "cart"
+    degraded: bool = False
 
     def to_payload(self) -> dict:
         """The response as a plain JSON-compatible dict."""
@@ -189,6 +194,7 @@ class QueryResponse:
                 "epochs": list(self.model_epochs),
             },
             "cached": self.cached,
+            "degraded": self.degraded,
             "recommendations": [
                 {
                     "rank": r.rank,
@@ -230,6 +236,7 @@ class QueryResponse:
             model_epochs=tuple(payload["model"]["epochs"]),
             cached=payload["cached"],
             learner=payload.get("learner", "cart"),
+            degraded=payload.get("degraded", False),
         )
 
 

@@ -25,17 +25,39 @@ response cache's hit/miss/eviction accounting — in one
 telemetry is enabled, that registry is the global one, so service
 counters appear in snapshots/scrapes and ``handle``/``query_batch``
 emit request spans.
+
+Reliability (the :mod:`repro.reliability` subsystem): every scoring
+call runs behind a circuit breaker and a retry-with-backoff executor,
+each request/batch carries a deadline budget, and admission is bounded
+with load-shedding.  When a stage cannot be completed — retries
+exhausted, breaker open, deadline spent, or the request shed — the
+service *degrades* instead of raising: it serves a stale cache entry
+when one exists, or the platform's baseline configuration, with
+``degraded=True`` on the response.  The knobs live in a
+:class:`~repro.reliability.ReliabilityPolicy`; all of it is accounted
+in ``reliability.*`` metrics.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.configurator import Acic
 from repro.core.database import TrainingDatabase
 from repro.core.objectives import Goal
+from repro.core.training import DEFAULT_FIXED_VALUES
+from repro.reliability import (
+    BreakerOpen,
+    DeadlineExceeded,
+    InjectedError,
+    ReliabilityPolicy,
+    Resilience,
+    RetryBudgetExceeded,
+)
+from repro.reliability.deadline import Deadline
 from repro.service.api import (
     BatchQueryRequest,
     BatchQueryResponse,
@@ -44,6 +66,7 @@ from repro.service.api import (
     RecommendationPayload,
     ServiceError,
 )
+from repro.space.grid import coerce_valid, config_from_values
 from repro.serving.artifacts import (
     ModelArtifact,
     acic_from_artifact,
@@ -52,7 +75,7 @@ from repro.serving.artifacts import (
 )
 from repro.serving.cache import LruCache
 from repro.serving.engine import BatchQueryEngine
-from repro.telemetry import MetricsRegistry, Telemetry, get_telemetry
+from repro.telemetry import Clock, MetricsRegistry, Telemetry, get_telemetry
 
 __all__ = ["ServiceStats", "AcicService"]
 
@@ -62,6 +85,11 @@ _MANIFEST_FILE = "service.json"
 
 #: One model key: (platform, goal, learner registry name).
 _ModelKey = tuple[str, Goal, str]
+
+#: Failures the service degrades on instead of propagating: a spent
+#: retry budget, an open breaker, a blown deadline, or a raw injected
+#: fault that slipped past a retry wrapper.
+_DEGRADABLE = (RetryBudgetExceeded, BreakerOpen, DeadlineExceeded, InjectedError)
 
 
 def _slug(text: str) -> str:
@@ -79,6 +107,10 @@ class ServiceStats:
         cache_hits / cache_misses / cache_evictions: response-cache
             counters since service construction.
         cache_size / cache_capacity: current occupancy vs bound.
+        degraded_responses: answers served degraded (stale cache or
+            baseline configuration).
+        requests_shed: requests refused at the admission bound.
+        retries: scoring/training retry attempts issued.
     """
 
     platforms: int
@@ -90,6 +122,9 @@ class ServiceStats:
     cache_evictions: int = 0
     cache_size: int = 0
     cache_capacity: int = 0
+    degraded_responses: int = 0
+    requests_shed: int = 0
+    retries: int = 0
 
 
 class AcicService:
@@ -105,6 +140,12 @@ class AcicService:
             always land in a real registry (:attr:`metrics`) — when
             telemetry is disabled the service keeps a private registry so
             :meth:`stats` stays accurate.
+        reliability: resilience knobs (retry/deadline/breaker/admission);
+            the default policy is inert on a fault-free service.
+        clock: time source for deadlines and the breaker (process
+            monotonic clock by default; chaos tests pass a ManualClock).
+        sleep: ``sleep(seconds)`` used by retry backoff
+            (:func:`time.sleep` by default; tests pass a VirtualSleeper).
     """
 
     def __init__(
@@ -112,12 +153,19 @@ class AcicService:
         feature_names: tuple[str, ...] | None = None,
         cache_capacity: int = 1024,
         telemetry: Telemetry | None = None,
+        reliability: ReliabilityPolicy | None = None,
+        clock: Clock | None = None,
+        sleep=time.sleep,
     ) -> None:
         self.feature_names = feature_names
         self._telemetry = telemetry
         active = telemetry if telemetry is not None else get_telemetry()
         self.metrics: MetricsRegistry = (
             active.registry if active.enabled else MetricsRegistry()
+        )
+        policy = reliability if reliability is not None else ReliabilityPolicy()
+        self.resilience: Resilience = policy.build(
+            self.metrics, clock=clock, sleep=sleep
         )
         self._databases: dict[str, TrainingDatabase] = {}
         self._models: dict[_ModelKey, Acic] = {}
@@ -162,7 +210,12 @@ class AcicService:
 
     # ------------------------------------------------------------------
     def handle(self, request: QueryRequest) -> QueryResponse:
-        """Answer one query (cached when an identical one was served)."""
+        """Answer one query (cached when an identical one was served).
+
+        A failed scoring path (after retries, or behind an open breaker
+        or spent deadline) degrades to :meth:`_degrade` instead of
+        raising; only request errors (:class:`ServiceError`) propagate.
+        """
         with self._active_telemetry().span(
             "service.handle", platform=request.platform
         ):
@@ -170,11 +223,25 @@ class AcicService:
             cached = self._cache.get(request.fingerprint)
             if cached is not None:
                 return replace(cached, cached=True)
-            response = self._answer(
-                request,
-                self._model_for(request.platform, request.goal, request.learner)
-                .recommend(request.characteristics, top_k=request.top_k),
-            )
+            ticket = self.resilience.admission.try_admit()
+            if ticket is None:
+                return self._degrade(request)
+            with ticket:
+                deadline = self.resilience.deadline()
+                try:
+                    model = self._model_for(
+                        request.platform, request.goal, request.learner
+                    )
+                    recommendations = self._guarded(
+                        lambda: model.recommend(
+                            request.characteristics, top_k=request.top_k
+                        ),
+                        deadline,
+                        "service.handle",
+                    )
+                except _DEGRADABLE:
+                    return self._degrade(request)
+            response = self._answer(request, recommendations)
             self._cache.put(request.fingerprint, response)
             return response
 
@@ -192,28 +259,53 @@ class AcicService:
             self._queries.inc(len(requests))
             responses: list[QueryResponse | None] = [None] * len(requests)
             misses: dict[_ModelKey, list[int]] = {}
+            tickets = []
+            deadline = self.resilience.deadline()
             for position, request in enumerate(requests):
                 cached = self._cache.get(request.fingerprint)
                 if cached is not None:
                     responses[position] = replace(cached, cached=True)
-                else:
-                    key = (request.platform, request.goal, request.learner)
-                    misses.setdefault(key, []).append(position)
+                    continue
+                ticket = self.resilience.admission.try_admit()
+                if ticket is None:
+                    # The batch exceeded the in-flight bound: shed the
+                    # tail cheaply instead of queueing it.
+                    responses[position] = self._degrade(request)
+                    continue
+                tickets.append(ticket)
+                key = (request.platform, request.goal, request.learner)
+                misses.setdefault(key, []).append(position)
             span.annotate(cache_hits=len(requests) - sum(map(len, misses.values())))
 
-            for key, positions in misses.items():
-                self._model_for(*key)  # train (or surface ServiceError) first
-                engine = self._engine_for(key)
-                batches = engine.recommend_batch(
-                    [
-                        (requests[i].characteristics, requests[i].top_k)
-                        for i in positions
-                    ]
-                )
-                for position, recommendations in zip(positions, batches):
-                    response = self._answer(requests[position], recommendations)
-                    self._cache.put(requests[position].fingerprint, response)
-                    responses[position] = response
+            try:
+                for key, positions in misses.items():
+                    try:
+                        # Train (or surface ServiceError) first, then one
+                        # vectorized pass for the whole model group —
+                        # breaker-guarded, retried, within the deadline.
+                        self._model_for(*key)
+                        engine = self._engine_for(key)
+                        batches = self._guarded(
+                            lambda: engine.recommend_batch(
+                                [
+                                    (requests[i].characteristics, requests[i].top_k)
+                                    for i in positions
+                                ]
+                            ),
+                            deadline,
+                            "service.query_batch",
+                        )
+                    except _DEGRADABLE:
+                        for position in positions:
+                            responses[position] = self._degrade(requests[position])
+                        continue
+                    for position, recommendations in zip(positions, batches):
+                        response = self._answer(requests[position], recommendations)
+                        self._cache.put(requests[position].fingerprint, response)
+                        responses[position] = response
+            finally:
+                for ticket in tickets:
+                    ticket.release()
             return [response for response in responses if response is not None]
 
     def handle_json(self, request_text: str) -> str:
@@ -295,7 +387,11 @@ class AcicService:
         return manifest_path
 
     @classmethod
-    def load(cls, directory: str | Path) -> "AcicService":
+    def load(
+        cls,
+        directory: str | Path,
+        reliability: ReliabilityPolicy | None = None,
+    ) -> "AcicService":
         """Warm-start a service from a :meth:`save` directory.
 
         Databases are re-hosted and every packed model is loaded from its
@@ -326,6 +422,7 @@ class AcicService:
         service = cls(
             feature_names=tuple(names) if names else None,
             cache_capacity=manifest.get("cache_capacity", 1024),
+            reliability=reliability,
         )
         for entry in manifest.get("databases", ()):
             service.load_database(directory / entry["file"])
@@ -355,9 +452,80 @@ class AcicService:
             cache_evictions=int(registry.counter("service.cache.evictions").value),
             cache_size=len(self._cache),
             cache_capacity=self._cache.capacity,
+            degraded_responses=int(
+                registry.counter("reliability.degraded").value
+            ),
+            requests_shed=int(
+                registry.counter("reliability.admission.shed").value
+            ),
+            retries=int(registry.counter("reliability.retries").value),
         )
 
     # ------------------------------------------------------------------
+    def _guarded(self, fn, deadline: Deadline, label: str):
+        """Run a scoring callable behind the breaker/retry/deadline stack.
+
+        Per attempt: the deadline must have budget, the breaker must
+        admit the call, and a transient failure is recorded against the
+        breaker before the retry executor decides whether (and how long)
+        to back off.  Backoff sleeps consume the deadline through the
+        shared clock.
+
+        Raises:
+            DeadlineExceeded / BreakerOpen / RetryBudgetExceeded: the
+                degradable failures :meth:`handle` and
+                :meth:`query_batch` convert into degraded responses.
+        """
+        breaker = self.resilience.breaker
+
+        def attempt():
+            deadline.require(label)
+            self.resilience.observe_deadline(deadline)
+            breaker.check()
+            result = fn()
+            breaker.record_success()
+            return result
+
+        return self.resilience.retry.call(
+            attempt, on_failure=lambda exc: breaker.record_failure()
+        )
+
+    def _degrade(self, request: QueryRequest) -> QueryResponse:
+        """The graceful fallback: stale cache entry or the baseline.
+
+        The paper's advisor always has one answer that cannot be wrong
+        about availability — the platform default every un-tuned user
+        already runs (the training grid's fixed values).  Predicted
+        improvement is 1.0 by definition.  Unknown platforms are still
+        request errors and raise :class:`ServiceError`.
+        """
+        self.resilience.degraded.inc()
+        stale = self._cache.get(request.fingerprint)
+        if stale is not None:
+            return replace(stale, cached=True, degraded=True)
+        database = self._database_for(request.platform)
+        baseline = coerce_valid(
+            config_from_values(DEFAULT_FIXED_VALUES), request.characteristics
+        )
+        return QueryResponse(
+            recommendations=(
+                RecommendationPayload(
+                    rank=1,
+                    config_key=baseline.key,
+                    description=baseline.describe(),
+                    predicted_improvement=1.0,
+                    co_champion_group=1,
+                ),
+            ),
+            goal=request.goal,
+            platform=request.platform,
+            model_points=len(database),
+            model_epochs=self._epoch_span(request.platform),
+            learner=request.learner,
+            cached=False,
+            degraded=True,
+        )
+
     def _answer(
         self, request: QueryRequest, recommendations: list
     ) -> QueryResponse:
@@ -420,7 +588,9 @@ class AcicService:
                     "service.train", platform=platform, goal=goal.value,
                     learner=learner,
                 ):
-                    model.train()
+                    # Transient training faults re-fit under the shared
+                    # retry executor; exhaustion degrades the request.
+                    model.train(retry=self.resilience.retry)
             except KeyError as exc:  # unknown learner name
                 raise ServiceError(str(exc)) from exc
             self._models[key] = model

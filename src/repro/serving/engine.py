@@ -37,6 +37,7 @@ from repro.core.configurator import (
     tied_champions,
 )
 from repro.ml.encoding import characteristics_values, config_values
+from repro.reliability.faults import get_injector
 from repro.space.characteristics import AppCharacteristics
 from repro.space.configuration import SystemConfig
 from repro.space.grid import candidate_configs
@@ -108,6 +109,7 @@ class BatchQueryEngine:
             X, candidates = self._join(chars)
             if X.shape[0] == 0:
                 return np.empty(0, dtype=float), candidates
+            get_injector().perturb("serving.predict")
             with telemetry.span("serving.predict", rows=X.shape[0]):
                 scores = np.exp(self.acic.model.predict(X))
         telemetry.counter("serving.queries").inc()
@@ -144,6 +146,7 @@ class BatchQueryEngine:
             if not blocks:
                 return [[] for _ in queries]
             stacked = np.vstack(blocks)
+            get_injector().perturb("serving.predict")
             with telemetry.span("serving.predict", rows=stacked.shape[0]):
                 predictions = np.exp(self.acic.model.predict(stacked))
             with telemetry.span("serving.rank"):

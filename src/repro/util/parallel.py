@@ -14,17 +14,49 @@ microseconds each, so parallelism only pays for very large campaigns).
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
+import traceback
 from collections.abc import Callable, Iterable
 from typing import TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "resolve_jobs"]
+__all__ = ["WorkerError", "parallel_map", "resolve_jobs"]
 
 #: Below this many items the serial path is always used.
 _MIN_PARALLEL_ITEMS = 64
+
+
+class WorkerError(RuntimeError):
+    """Carries a worker's original traceback across the process boundary.
+
+    Raised as the ``__cause__`` of the re-raised worker exception, so
+    the user sees both the parent-side stack and the worker-side one —
+    ``pool.map`` alone loses the latter and cannot say which item died.
+    """
+
+    def __init__(self, index: int, item: object, formatted_traceback: str) -> None:
+        super().__init__(
+            f"worker failed on item #{index} ({item!r});"
+            f" original traceback:\n{formatted_traceback}"
+        )
+        self.index = index
+        self.formatted_traceback = formatted_traceback
+
+
+def _guarded_call(function: Callable[[T], R], item: T) -> tuple[bool, object]:
+    """Worker-side wrapper: never raises, returns (ok, result-or-error).
+
+    A raising worker would abort ``pool.map`` mid-batch and discard its
+    siblings' finished work; capturing here lets the parent collect the
+    whole batch, then re-raise the first failure with full context.
+    """
+    try:
+        return True, function(item)
+    except Exception as exc:
+        return False, (exc, traceback.format_exc())
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -47,8 +79,12 @@ def parallel_map(
     Order-preserving.  ``items`` may be any iterable (generators
     included) — it is materialized once up front, since sizing the
     serial/parallel decision and the chunking both need a length.  The
-    function and items must be picklable when ``jobs > 1``.  Exceptions
-    propagate from workers.
+    function and items must be picklable when ``jobs > 1``.
+
+    A worker exception does not abort its siblings mid-batch: the whole
+    batch completes, then the first failing item's exception is
+    re-raised in the parent with a :class:`WorkerError` cause carrying
+    the original worker-side traceback and the failing item's index.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
@@ -56,5 +92,11 @@ def parallel_map(
         return [function(item) for item in items]
     if chunk_size is None:
         chunk_size = max(1, len(items) // (jobs * 8))
+    worker = functools.partial(_guarded_call, function)
     with multiprocessing.Pool(processes=jobs) as pool:
-        return pool.map(function, items, chunksize=chunk_size)
+        outcomes = pool.map(worker, items, chunksize=chunk_size)
+    for index, (ok, payload) in enumerate(outcomes):
+        if not ok:
+            exc, formatted = payload
+            raise exc from WorkerError(index, items[index], formatted)
+    return [payload for _, payload in outcomes]

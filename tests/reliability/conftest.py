@@ -1,0 +1,78 @@
+"""Fixtures for the reliability suite: a fast pipeline, virtual time,
+and guaranteed injector isolation.
+
+The chaos seed is taken from the ``ACIC_CHAOS_SEED`` environment
+variable (default 0) so CI can run the whole suite under several fixed
+seeds without touching the test code.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.pb.ranking import screen_parameters
+from repro.reliability import NULL_INJECTOR, VirtualSleeper, set_injector
+from repro.service.server import AcicService
+from repro.telemetry import ManualClock
+
+#: Seed for every fault plan in this suite (CI sweeps a few fixed ones).
+CHAOS_SEED = int(os.environ.get("ACIC_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_injector():
+    """No test may leak an active injector into its siblings."""
+    yield
+    set_injector(NULL_INJECTOR)
+
+
+@pytest.fixture()
+def chaos_seed() -> int:
+    """The suite-wide fault-plan seed (env-overridable for CI sweeps)."""
+    return CHAOS_SEED
+
+
+@pytest.fixture(scope="package")
+def small_pipeline(platform):
+    """(screening, database) over the top-5 dimensions — quick to fit."""
+    screening = screen_parameters(platform=platform)
+    database = TrainingDatabase(platform.name)
+    TrainingCollector(database, platform=platform).collect(
+        TrainingPlan.build(screening.ranked_names(), 5)
+    )
+    return screening, database
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    """Virtual time for deadlines, breakers and backoff sleeps."""
+    return ManualClock()
+
+
+@pytest.fixture()
+def sleeper(clock) -> VirtualSleeper:
+    """A sleep that advances the manual clock instead of blocking."""
+    return VirtualSleeper(clock)
+
+
+def make_service(small_pipeline, clock, sleeper, **kwargs) -> AcicService:
+    """A hosted service on virtual time over the small pipeline."""
+    screening, database = small_pipeline
+    service = AcicService(
+        feature_names=tuple(screening.ranked_names()[:5]),
+        clock=clock,
+        sleep=sleeper,
+        **kwargs,
+    )
+    service.host_database(database)
+    return service
+
+
+@pytest.fixture()
+def service(small_pipeline, clock, sleeper) -> AcicService:
+    """A default-policy (inert) service on virtual time."""
+    return make_service(small_pipeline, clock, sleeper)

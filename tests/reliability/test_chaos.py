@@ -1,0 +1,270 @@
+"""Chaos suite: injected fault plans against the whole serving stack.
+
+Everything runs on a :class:`ManualClock` with a :class:`VirtualSleeper`
+— retry backoff, deadlines and breaker cooldowns all advance virtual
+time, so no test ever sleeps for real.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.iosim.workload import Workload
+from repro.reliability import (
+    CLOSED,
+    OPEN,
+    BackoffPolicy,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    ReliabilityPolicy,
+    use_injector,
+)
+from repro.service.api import QueryRequest, ServiceError
+from repro.space.configuration import BASELINE_CONFIG
+from tests.reliability.conftest import make_service
+
+
+def error_plan(site: str, seed: int, probability: float = 1.0, max_hits=None):
+    return FaultPlan(
+        rules=(
+            FaultRule(site=site, probability=probability, max_hits=max_hits),
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture()
+def request_one(simple_chars) -> QueryRequest:
+    return QueryRequest(characteristics=simple_chars, top_k=3)
+
+
+class TestSingleQueryChaos:
+    def test_transient_burst_recovers_via_retries(
+        self, small_pipeline, clock, sleeper, chaos_seed, request_one
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        plan = error_plan("ml.predict", chaos_seed, max_hits=2)
+        with use_injector(FaultInjector(plan)) as injector:
+            response = service.handle(request_one)
+        assert not response.degraded
+        assert injector.hits() == 2
+        assert service.stats().retries >= 2
+        assert service.stats().degraded_responses == 0
+
+    def test_transient_fit_fault_retrains(
+        self, small_pipeline, clock, sleeper, chaos_seed, request_one
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        plan = error_plan("ml.fit", chaos_seed, max_hits=1)
+        with use_injector(FaultInjector(plan)):
+            response = service.handle(request_one)
+        assert not response.degraded
+        assert service.stats().models_trained == 1
+        assert service.stats().retries >= 1
+
+    def test_hard_outage_degrades_to_baseline(
+        self, small_pipeline, clock, sleeper, chaos_seed, request_one
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        with use_injector(FaultInjector(error_plan("ml.predict", chaos_seed))):
+            response = service.handle(request_one)
+        assert response.degraded
+        assert not response.cached
+        assert len(response.recommendations) == 1
+        baseline = response.recommendations[0]
+        assert baseline.rank == 1
+        assert baseline.predicted_improvement == pytest.approx(1.0)
+        assert baseline.config_key == BASELINE_CONFIG.key
+        assert service.stats().degraded_responses == 1
+
+    def test_outage_opens_the_breaker(
+        self, small_pipeline, clock, sleeper, chaos_seed, request_one
+    ):
+        policy = ReliabilityPolicy(breaker_failure_threshold=3)
+        service = make_service(small_pipeline, clock, sleeper, reliability=policy)
+        with use_injector(
+            FaultInjector(error_plan("ml.predict", chaos_seed))
+        ) as injector:
+            first = service.handle(request_one)
+            hits_after_first = injector.hits()
+            second = service.handle(request_one)
+        assert first.degraded and second.degraded
+        assert service.resilience.breaker.state == OPEN
+        # once open, the second request stopped touching the backend
+        assert injector.hits() == hits_after_first
+        assert service.metrics.counter("reliability.breaker.opened").value == 1
+
+    def test_breaker_cycle_open_half_open_closed(
+        self, small_pipeline, clock, sleeper, chaos_seed, request_one
+    ):
+        policy = ReliabilityPolicy(
+            breaker_failure_threshold=2, breaker_reset_after_s=30.0
+        )
+        service = make_service(small_pipeline, clock, sleeper, reliability=policy)
+        with use_injector(FaultInjector(error_plan("ml.predict", chaos_seed))):
+            assert service.handle(request_one).degraded
+        assert service.resilience.breaker.state == OPEN
+
+        # fault cleared but the cooldown has not elapsed: still degrading
+        assert service.handle(request_one).degraded
+        assert service.metrics.counter("reliability.breaker.refused").value >= 1
+
+        clock.advance(30.0)
+        recovered = service.handle(request_one)  # the half-open probe
+        assert not recovered.degraded
+        assert service.resilience.breaker.state == CLOSED
+
+    def test_deadline_budget_cuts_retries_short(
+        self, small_pipeline, clock, sleeper, chaos_seed, request_one
+    ):
+        # Backoff sleeps consume the budget: 0.02 + 0.04 (un-jittered
+        # minimum) > 0.05, so the third attempt never starts.
+        policy = ReliabilityPolicy(
+            backoff=BackoffPolicy(max_retries=3), deadline_s=0.05
+        )
+        service = make_service(small_pipeline, clock, sleeper, reliability=policy)
+        with use_injector(
+            FaultInjector(error_plan("ml.predict", chaos_seed))
+        ) as injector:
+            response = service.handle(request_one)
+        assert response.degraded
+        assert injector.hits() == 2  # the deadline fired before attempt 3
+        assert sleeper.slept_s > 0.05
+
+    def test_unknown_platform_is_still_a_request_error(
+        self, small_pipeline, clock, sleeper, chaos_seed, simple_chars
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        bad = QueryRequest(characteristics=simple_chars, platform="nowhere")
+        with use_injector(FaultInjector(error_plan("ml.predict", chaos_seed))):
+            with pytest.raises(ServiceError, match="nowhere"):
+                service.handle(bad)
+
+    def test_degrade_prefers_stale_cache_over_baseline(
+        self, small_pipeline, clock, sleeper, request_one
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        fresh = service.handle(request_one)
+        degraded = service._degrade(request_one)
+        assert degraded.degraded and degraded.cached
+        assert degraded.recommendations == fresh.recommendations
+
+
+class TestBatchChaos:
+    def _requests(self, simple_chars, n: int) -> list[QueryRequest]:
+        from dataclasses import replace
+
+        return [
+            QueryRequest(
+                characteristics=replace(simple_chars, iterations=i + 1), top_k=2
+            )
+            for i in range(n)
+        ]
+
+    def test_batch_outage_degrades_everything_without_raising(
+        self, small_pipeline, clock, sleeper, chaos_seed, simple_chars
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        requests = self._requests(simple_chars, 8)
+        with use_injector(FaultInjector(error_plan("serving.*", chaos_seed))):
+            responses = service.query_batch(requests)
+        assert len(responses) == 8
+        assert all(r.degraded for r in responses)
+        assert service.resilience.admission.in_flight == 0
+
+    def test_admission_bound_sheds_the_batch_tail(
+        self, small_pipeline, clock, sleeper, simple_chars
+    ):
+        policy = ReliabilityPolicy(admission_depth=2)
+        service = make_service(small_pipeline, clock, sleeper, reliability=policy)
+        requests = self._requests(simple_chars, 6)
+        responses = service.query_batch(requests)
+        assert len(responses) == 6
+        degraded = [r.degraded for r in responses]
+        # the first two slots scored for real, the tail was shed
+        assert degraded == [False, False, True, True, True, True]
+        assert service.stats().requests_shed == 4
+        assert service.resilience.admission.in_flight == 0
+
+    def test_burst_fault_recovers_mid_batch(
+        self, small_pipeline, clock, sleeper, chaos_seed, simple_chars
+    ):
+        service = make_service(small_pipeline, clock, sleeper)
+        requests = self._requests(simple_chars, 8)
+        plan = error_plan("serving.predict", chaos_seed, max_hits=2)
+        with use_injector(FaultInjector(plan)):
+            responses = service.query_batch(requests)
+        assert len(responses) == 8
+        assert not any(r.degraded for r in responses)
+        assert service.stats().retries >= 2
+
+
+class TestTrainingChaos:
+    def test_hard_outage_skips_every_point(self, small_pipeline, platform, chaos_seed):
+        screening, _ = small_pipeline
+        plan = TrainingPlan.build(screening.ranked_names(), 2)
+        database = TrainingDatabase(platform.name)
+        collector = TrainingCollector(database, platform=platform)
+        with use_injector(FaultInjector(error_plan("training.measure", chaos_seed))):
+            campaign = collector.collect(plan)
+        assert campaign.new_records == 0
+        assert len(database) == 0
+
+    def test_burst_outage_rides_out_on_retries(
+        self, small_pipeline, platform, chaos_seed
+    ):
+        screening, _ = small_pipeline
+        plan = TrainingPlan.build(screening.ranked_names(), 2)
+
+        clean_db = TrainingDatabase(platform.name)
+        TrainingCollector(clean_db, platform=platform).collect(plan)
+
+        chaotic_db = TrainingDatabase(platform.name)
+        burst = error_plan("training.measure", chaos_seed, max_hits=3)
+        with use_injector(FaultInjector(burst)):
+            campaign = TrainingCollector(chaotic_db, platform=platform).collect(plan)
+        assert campaign.new_records == len(clean_db)
+        for a, b in zip(clean_db, chaotic_db):
+            assert a.values == b.values
+            assert a.seconds == b.seconds
+
+
+class TestSimulatorChaos:
+    @pytest.fixture()
+    def workload(self, simple_chars) -> Workload:
+        return Workload(
+            name="chaos-engine",
+            chars=simple_chars,
+            compute_seconds_per_iteration=2.0,
+            comm_seconds_per_iteration=0.5,
+            cpu_intensity=0.8,
+            comm_intensity=0.4,
+        )
+
+    def test_latency_spike_stretches_the_run(self, workload, platform, chaos_seed):
+        from repro.iosim.engine import simulate_run
+
+        clean = simulate_run(workload, BASELINE_CONFIG, platform)
+        plan = FaultPlan(
+            rules=(FaultRule(site="iosim.run", kind="latency", latency_s=7.5),),
+            seed=chaos_seed,
+        )
+        with use_injector(FaultInjector(plan)):
+            spiked = simulate_run(workload, BASELINE_CONFIG, platform)
+        assert spiked.seconds == pytest.approx(clean.seconds + 7.5)
+        assert spiked.breakdown["injected_latency"] == pytest.approx(7.5)
+
+    def test_corruption_scales_the_measurement(self, workload, platform, chaos_seed):
+        from repro.iosim.engine import simulate_run
+
+        clean = simulate_run(workload, BASELINE_CONFIG, platform)
+        plan = FaultPlan(
+            rules=(FaultRule(site="iosim.run", kind="corrupt", factor=2.0),),
+            seed=chaos_seed,
+        )
+        with use_injector(FaultInjector(plan)):
+            corrupted = simulate_run(workload, BASELINE_CONFIG, platform)
+        assert corrupted.seconds == pytest.approx(2.0 * clean.seconds)

@@ -1,0 +1,153 @@
+"""Differential chaos tests: transient faults must not change answers.
+
+The injector draws every decision from its own RNG stream (plan seed,
+rule, site, visit) — never from the simulator's — so a fault plan whose
+errors are all absorbed by retries must leave responses *byte-identical*
+to a fault-free run.  This is the acceptance bar for the reliability
+subsystem: chaos may cost retries, never correctness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.reliability import FaultInjector, FaultPlan, FaultRule, use_injector
+from repro.service.api import QueryRequest
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from tests.reliability.conftest import make_service
+
+
+def query_stream(n: int) -> list[QueryRequest]:
+    """n distinct, valid queries spanning both goals and many workloads."""
+    base = AppCharacteristics(
+        num_processes=32,
+        num_io_processes=32,
+        interface=IOInterface.MPIIO,
+        iterations=10,
+        data_bytes=1 << 26,
+        request_bytes=1 << 22,
+        op=OpKind.WRITE,
+        collective=False,
+        shared_file=True,
+    )
+    variants = itertools.product(
+        (4, 8, 16, 32),                      # num_processes
+        (1, 10),                             # iterations
+        (1 << 24, 1 << 26, 1 << 28),         # data_bytes
+        (1 << 20, 1 << 22),                  # request_bytes
+        (OpKind.READ, OpKind.WRITE),         # op
+        (Goal.PERFORMANCE, Goal.COST),       # goal
+        (1, 3),                              # top_k
+    )
+    requests = []
+    for procs, iters, data, req, op, goal, top_k in variants:
+        chars = replace(
+            base,
+            num_processes=procs,
+            num_io_processes=procs,
+            iterations=iters,
+            data_bytes=data,
+            request_bytes=req,
+            op=op,
+        )
+        requests.append(QueryRequest(characteristics=chars, goal=goal, top_k=top_k))
+        if len(requests) == n:
+            break
+    assert len(requests) == n
+    return requests
+
+
+class TestDifferential:
+    def test_absorbed_burst_is_byte_identical_single_path(
+        self, small_pipeline, clock, sleeper, chaos_seed, simple_chars
+    ):
+        request = QueryRequest(characteristics=simple_chars, top_k=3)
+        clean = make_service(small_pipeline, clock, sleeper).handle(request)
+
+        plan = FaultPlan(
+            rules=(FaultRule(site="ml.predict", max_hits=2),), seed=chaos_seed
+        )
+        chaotic_service = make_service(small_pipeline, clock, sleeper)
+        with use_injector(FaultInjector(plan)):
+            chaotic = chaotic_service.handle(request)
+        assert not chaotic.degraded
+        assert chaotic.to_json() == clean.to_json()
+
+    def test_absorbed_burst_is_byte_identical_batch_path(
+        self, small_pipeline, clock, sleeper, chaos_seed, simple_chars
+    ):
+        requests = [
+            QueryRequest(
+                characteristics=replace(simple_chars, iterations=i + 1), top_k=2
+            )
+            for i in range(16)
+        ]
+        clean = make_service(small_pipeline, clock, sleeper).query_batch(requests)
+
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="serving.predict", max_hits=2),
+                FaultRule(site="ml.fit", max_hits=1),
+            ),
+            seed=chaos_seed,
+        )
+        chaotic_service = make_service(small_pipeline, clock, sleeper)
+        with use_injector(FaultInjector(plan)) as injector:
+            chaotic = chaotic_service.query_batch(requests)
+        assert injector.hits() == 3  # the plan actually fired
+        assert [r.to_json() for r in chaotic] == [r.to_json() for r in clean]
+
+
+class TestAcceptance:
+    """The ISSUE's bar: 256 queries under a 20% transient-error plan."""
+
+    def test_256_query_batch_under_20pct_transient_errors(
+        self, small_pipeline, clock, sleeper, chaos_seed
+    ):
+        requests = query_stream(256)
+        clean = make_service(small_pipeline, clock, sleeper).query_batch(requests)
+
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="serving.predict", probability=0.2),
+                FaultRule(site="ml.fit", probability=0.2),
+            ),
+            seed=chaos_seed,
+        )
+        chaotic_service = make_service(small_pipeline, clock, sleeper)
+        with use_injector(FaultInjector(plan)):
+            chaotic = chaotic_service.query_batch(requests)  # zero exceptions
+
+        assert len(chaotic) == 256
+        non_degraded = [r for r in chaotic if not r.degraded]
+        assert len(non_degraded) >= 0.99 * 256
+        # every non-degraded answer matches its fault-free twin exactly
+        for fault_free, under_chaos in zip(clean, chaotic):
+            if not under_chaos.degraded:
+                assert under_chaos.to_json() == fault_free.to_json()
+
+    def test_degraded_tail_is_still_well_formed(
+        self, small_pipeline, clock, sleeper, chaos_seed
+    ):
+        # A hard outage version of the same stream: everything completes,
+        # everything is degraded, nothing raises.
+        requests = query_stream(64)
+        service = make_service(small_pipeline, clock, sleeper)
+        plan = FaultPlan(
+            rules=(FaultRule(site="serving.predict"),), seed=chaos_seed
+        )
+        with use_injector(FaultInjector(plan)):
+            responses = service.query_batch(requests)
+        assert len(responses) == 64
+        assert all(r.degraded for r in responses)
+        for request, response in zip(requests, responses):
+            assert response.goal == request.goal
+            assert response.platform == request.platform
+            assert len(response.recommendations) == 1
+            assert response.recommendations[0].predicted_improvement == pytest.approx(
+                1.0
+            )

@@ -1,0 +1,110 @@
+"""Property-based tests: backoff shape and admission-queue invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.reliability import AdmissionQueue, BackoffPolicy, FaultPlan, FaultRule
+from repro.util.rng import RngStream
+
+policies = st.builds(
+    BackoffPolicy,
+    max_retries=st.integers(min_value=0, max_value=12),
+    base_s=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    cap_s=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestBackoffProperties:
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=200)
+    def test_schedule_is_monotone_non_decreasing(self, policy, seed):
+        delays = policy.schedule(RngStream(seed))
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=200)
+    def test_jitter_stays_within_bounds(self, policy, seed):
+        # Every delay lies in [raw_n, raw_n * (1 + jitter)]: the jitter
+        # draw is bounded, and the monotone clamp can only raise a delay
+        # up to an *earlier* (never larger) jittered raw delay.
+        delays = policy.schedule(RngStream(seed))
+        for attempt, delay in enumerate(delays):
+            raw = policy.raw_delay(attempt)
+            assert raw <= delay <= raw * (1.0 + policy.jitter) + 1e-12
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=100)
+    def test_schedule_never_exceeds_the_jittered_cap(self, policy, seed):
+        ceiling = policy.cap_s * (1.0 + policy.jitter)
+        assert all(d <= ceiling + 1e-12 for d in policy.schedule(RngStream(seed)))
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=100)
+    def test_schedule_length_matches_budget(self, policy, seed):
+        assert len(policy.schedule(RngStream(seed))) == policy.max_retries
+
+
+class TestAdmissionProperties:
+    @given(
+        depth=st.integers(min_value=1, max_value=8),
+        ops=st.lists(st.booleans(), max_size=200),
+    )
+    @settings(max_examples=200)
+    def test_occupancy_never_exceeds_depth_and_no_ticket_is_lost(self, depth, ops):
+        # True = try to admit, False = release the oldest held ticket.
+        queue = AdmissionQueue(depth=depth)
+        held = []
+        admitted = shed = 0
+        for admit in ops:
+            if admit:
+                ticket = queue.try_admit()
+                if ticket is None:
+                    shed += 1
+                    assert queue.in_flight == depth  # only sheds when full
+                else:
+                    admitted += 1
+                    held.append(ticket)
+            elif held:
+                held.pop(0).release()
+            assert 0 <= queue.in_flight <= depth
+            assert queue.in_flight == len(held)
+            assert queue.shed_count == shed
+        # every admitted ticket is still releasable exactly once
+        for ticket in held:
+            ticket.release()
+        assert queue.in_flight == 0
+        assert admitted + shed == sum(ops)
+
+    @given(depth=st.integers(min_value=1, max_value=8))
+    def test_admit_always_succeeds_below_depth(self, depth):
+        queue = AdmissionQueue(depth=depth)
+        tickets = [queue.try_admit() for _ in range(depth)]
+        assert all(t is not None for t in tickets)
+        assert queue.try_admit() is None
+
+
+rules = st.builds(
+    FaultRule,
+    site=st.sampled_from(
+        ["iosim.run", "training.measure", "ml.fit", "ml.predict", "serving.*"]
+    ),
+    kind=st.sampled_from(["error", "latency", "corrupt"]),
+    probability=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    latency_s=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    factor=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    max_hits=st.one_of(st.none(), st.integers(min_value=1, max_value=50)),
+)
+
+
+class TestFaultPlanProperties:
+    @given(
+        rules=st.lists(rules, max_size=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_json_round_trip_is_lossless(self, rules, seed):
+        plan = FaultPlan(rules=tuple(rules), seed=seed)
+        assert FaultPlan.from_json(plan.to_json()) == plan

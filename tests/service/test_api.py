@@ -109,7 +109,8 @@ class TestQueryResponse:
         )
         payload = json.loads(response.to_json())
         assert set(payload) == {
-            "goal", "platform", "learner", "model", "cached", "recommendations",
+            "goal", "platform", "learner", "model", "cached", "degraded",
+            "recommendations",
         }
 
 

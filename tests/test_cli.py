@@ -193,3 +193,58 @@ class TestTelemetryCli:
         assert "service.query_batch" in names
         assert "serving.recommend_batch" in names
         assert "serving.predict" in names
+
+
+class TestReliabilityCli:
+    def test_reliability_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve-batch", "--db", "db.json", "--queries", "q.jsonl",
+             "--faults", "plan.json", "--deadline-ms", "250",
+             "--max-retries", "5"]
+        )
+        assert args.faults == "plan.json"
+        assert args.deadline_ms == 250
+        assert args.max_retries == 5
+
+    def test_serve_batch_under_fault_plan(self, tmp_path, capsys):
+        from repro.apps import get_app
+        from repro.reliability import FaultPlan, FaultRule
+        from repro.service.api import QueryRequest
+
+        db_path = tmp_path / "db.json"
+        main(["train", "--top-m", "3", "--out", str(db_path)])
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            QueryRequest(
+                characteristics=get_app("BTIO").characteristics(256)
+            ).to_json()
+            + "\n"
+        )
+        plan_path = FaultPlan(
+            rules=(FaultRule(site="serving.predict", max_hits=2),), seed=7
+        ).save(tmp_path / "plan.json")
+        capsys.readouterr()
+        assert main(["serve-batch", "--db", str(db_path),
+                     "--queries", str(queries),
+                     "--faults", str(plan_path), "--max-retries", "4"]) == 0
+        out = capsys.readouterr().out
+        response = json.loads(
+            [line for line in out.splitlines() if line.startswith("{")][0]
+        )
+        assert response["responses"][0]["degraded"] is False
+        assert "# chaos: injected 2 fault(s)" in out
+        assert "2 retries" in out
+
+    def test_train_under_hard_outage_degrades_to_empty(self, tmp_path, capsys):
+        from repro.reliability import FaultPlan, FaultRule
+
+        plan_path = FaultPlan(
+            rules=(FaultRule(site="training.measure"),), seed=7
+        ).save(tmp_path / "plan.json")
+        out_path = tmp_path / "db.json"
+        assert main(["train", "--top-m", "2", "--out", str(out_path),
+                     "--faults", str(plan_path)]) == 0
+        from repro.core.database import TrainingDatabase
+
+        assert len(TrainingDatabase.load(out_path)) == 0
+        assert "# chaos:" in capsys.readouterr().out

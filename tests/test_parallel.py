@@ -2,10 +2,16 @@
 
 import pytest
 
-from repro.util.parallel import parallel_map, resolve_jobs
+from repro.util.parallel import WorkerError, parallel_map, resolve_jobs
 
 
 def square(x: int) -> int:
+    return x * x
+
+
+def explode_on_7(x: int) -> int:
+    if x == 7:
+        raise ValueError(f"cannot handle {x}")
     return x * x
 
 
@@ -58,6 +64,24 @@ class TestParallelMap:
 
         with pytest.raises(RuntimeError, match="worker failure"):
             parallel_map(boom, [1], jobs=1)
+
+    def test_worker_exception_propagates_across_processes(self):
+        # enough items to actually take the multiprocessing path
+        items = list(range(100))
+        with pytest.raises(ValueError, match="cannot handle 7") as excinfo:
+            parallel_map(explode_on_7, items, jobs=2)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, WorkerError)
+        assert cause.index == 7
+        # the worker-side traceback survived the process boundary
+        assert "explode_on_7" in cause.formatted_traceback
+        assert "cannot handle 7" in cause.formatted_traceback
+
+    def test_first_failure_wins_with_original_item(self):
+        items = list(range(200))
+        with pytest.raises(ValueError) as excinfo:
+            parallel_map(explode_on_7, items + [7], jobs=2)
+        assert excinfo.value.__cause__.index == 7
 
 
 class TestParallelCollection:
