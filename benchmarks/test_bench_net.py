@@ -1,0 +1,98 @@
+"""Benchmark: the socket front end — round-trip latency and sustained
+throughput of 256-query batches at a p95 SLO.
+
+Two headline numbers for docs/NETWORK.md:
+
+* a single 256-query BATCH frame round trip against a warm server, and
+* sustained closed-loop throughput (queries/second) from concurrent
+  client streams, with the p95 read off the client-side telemetry
+  histogram and asserted against a generous SLO — the wire layer must
+  not turn a ~10 ms in-process batch into a tail catastrophe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.net.client import AcicClient
+from repro.net.loadgen import LoadConfig, run_load, synthetic_queries
+from repro.net.server import AcicServer, ServerThread
+from repro.service.server import AcicService
+
+#: Generous p95 bound (ms) for 256-query batch frames on localhost —
+#: orders of magnitude above a healthy run; a breach means the front end
+#: itself is broken, not that the host is slow.
+P95_SLO_MS = 2_000.0
+
+
+def _fresh_service(context) -> AcicService:
+    service = AcicService(
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    service.host_database(context.database)
+    return service
+
+
+@pytest.fixture(scope="module")
+def warm_server(context):
+    service = _fresh_service(context)
+    for goal in (Goal.PERFORMANCE, Goal.COST):
+        service.warm(context.platform.name, goal)
+    server = AcicServer(service, port=0, workers=2)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    yield service, host, port
+    thread.stop()
+
+
+def test_bench_batch_round_trip(benchmark, context, warm_server):
+    service, host, port = warm_server
+    queries = synthetic_queries(context.platform.name, 256, seed=17)
+    with AcicClient(host, port) as client:
+        client.query_batch(queries)  # build per-model engines once
+
+        def round_trip():
+            service._cache.clear()  # measure the wire + inference path
+            return client.query_batch(queries)
+
+        responses = benchmark(round_trip)
+    assert len(responses) == 256
+
+
+def test_bench_sustained_throughput(benchmark, context, warm_server):
+    _, host, port = warm_server
+    config = LoadConfig(
+        host=host, port=port, processes=1, concurrency=4,
+        requests=2048, batch_size=256, platform=context.platform.name,
+    )
+
+    report = benchmark.pedantic(run_load, args=(config,), rounds=3, iterations=1)
+    assert report.sent == 2048
+    assert report.unstructured_failures == 0
+    assert report.throughput_qps > 0.0
+
+
+def test_sustained_throughput_meets_p95_slo(context, warm_server):
+    _, host, port = warm_server
+    config = LoadConfig(
+        host=host, port=port, processes=1, concurrency=4,
+        requests=4096, batch_size=256, platform=context.platform.name,
+    )
+    report = run_load(config)
+    assert report.sent == 4096
+    assert report.unstructured_failures == 0
+    assert report.p95_ms < P95_SLO_MS, report.render()
+    # The batch path must keep its vectorized advantage over the wire:
+    # a 256-query frame amortizes to well under the SLO per query.
+    per_query_ms = report.p95_ms / config.batch_size
+    assert per_query_ms < P95_SLO_MS / 16
+
+    # And a tiny single-query run stays interactive.
+    single = run_load(
+        replace(config, requests=64, batch_size=1, concurrency=2)
+    )
+    assert single.unstructured_failures == 0
+    assert single.p95_ms < P95_SLO_MS

@@ -11,6 +11,11 @@ Subcommands mirror the released tool's workflow:
 * ``acic deploy --app ... --config pvfs.4.D.eph.cc2.4MB`` — emit the
   deployment script for a recommendation.
 * ``acic serve --db db.json --queries q.jsonl`` — the query service.
+* ``acic serve --artifacts models/ --listen 127.0.0.1:7431`` — the same
+  service on a TCP socket (framed wire protocol, graceful SIGINT/SIGTERM
+  drain; see docs/NETWORK.md).
+* ``acic load --connect 127.0.0.1:7431 --processes 2 --requests 1000`` —
+  drive traffic at a listening server and print the latency-SLO report.
 * ``acic pack --db db.json --out models/`` — train + save model artifacts.
 * ``acic serve-batch --artifacts models/ --queries batch.json`` — answer a
   whole query batch from packed artifacts (warm start, no retraining).
@@ -121,12 +126,67 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="answer JSONL configuration queries (the query service)"
     )
-    serve.add_argument("--db", required=True, help="training database JSON")
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--db", help="training database JSON")
+    serve_source.add_argument(
+        "--artifacts", help="artifact pack directory from 'acic pack' (warm start)"
+    )
     serve.add_argument(
-        "--queries", required=True,
+        "--queries", default=None,
         help="file of JSON query requests, one per line; '-' for stdin",
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the framed wire protocol on a TCP socket instead of "
+             "answering --queries (port 0 = ephemeral; see docs/NETWORK.md)",
+    )
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="codec worker threads for --listen (default 2)")
+    serve.add_argument("--max-conns", type=int, default=64, metavar="N",
+                       help="concurrent connection bound for --listen "
+                            "(excess connections get a structured refusal)")
+    serve.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                       help="admission queue depth for --listen; beyond it "
+                            "requests degrade instead of queueing")
+    serve.add_argument("--max-frame-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="wire frame size guard (default 8 MiB)")
+    serve.add_argument("--telemetry-out", default=None, metavar="EVENTS.JSONL",
+                       help="run with telemetry enabled; write span events "
+                            "here on shutdown")
     _add_reliability_flags(serve)
+
+    load = sub.add_parser(
+        "load", help="drive traffic at a 'serve --listen' server (SLO report)"
+    )
+    load.add_argument("--connect", required=True, metavar="HOST:PORT",
+                      help="the server's address")
+    load.add_argument("--mode", choices=("closed", "open"), default="closed",
+                      help="closed: wait-then-send; open: arrival-driven")
+    load.add_argument("--processes", type=int, default=2, metavar="N",
+                      help="runner processes (default 2)")
+    load.add_argument("--concurrency", type=int, default=4, metavar="N",
+                      help="in-flight streams per closed-loop process")
+    load.add_argument("--requests", type=int, default=1000, metavar="N",
+                      help="total queries across all processes (closed loop)")
+    load.add_argument("--duration", type=float, default=None, metavar="S",
+                      help="wall-clock bound; required meaning for open loop "
+                           "(default 5s there)")
+    load.add_argument("--arrival", choices=("constant", "poisson", "diurnal"),
+                      default="constant", help="open-loop arrival process")
+    load.add_argument("--rate", type=float, default=100.0, metavar="QPS",
+                      help="per-process target arrival rate (open loop)")
+    load.add_argument("--time-scale-factor", type=float, default=86400.0,
+                      metavar="X", help="diurnal: simulated seconds per real "
+                                        "second (86400 = a day per second)")
+    load.add_argument("--batch-size", type=int, default=1, metavar="N",
+                      help="queries per request frame")
+    load.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                      help="per-request queue budget sent to the server")
+    load.add_argument("--seed", type=int, default=0,
+                      help="root seed for queries, arrivals and backoff")
+    load.add_argument("--p99-slo-ms", type=float, default=None, metavar="MS",
+                      help="fail (exit 1) when p99 latency exceeds this")
 
     pack = sub.add_parser(
         "pack", help="train models and save them as versioned artifacts"
@@ -225,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         "walk": _cmd_walk,
         "deploy": _cmd_deploy,
         "serve": _cmd_serve,
+        "load": _cmd_load,
         "pack": _cmd_pack,
         "serve-batch": _cmd_serve_batch,
         "telemetry": _cmd_telemetry,
@@ -411,12 +472,32 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    """Split ``HOST:PORT``; raises ValueError on anything else."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad endpoint {text!r}; expected HOST:PORT")
+    return host or "127.0.0.1", int(port)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import AcicService
 
-    service = AcicService(reliability=_reliability_policy(args))
-    platform = service.load_database(args.db)
-    print(f"# hosting platform {platform!r} from {args.db}", flush=True)
+    if args.artifacts:
+        service = AcicService.load(
+            args.artifacts, reliability=_reliability_policy(args)
+        )
+        print(f"# warm start from {args.artifacts}", flush=True)
+    else:
+        service = AcicService(reliability=_reliability_policy(args))
+        platform = service.load_database(args.db)
+        print(f"# hosting platform {platform!r} from {args.db}", flush=True)
+
+    if args.listen is not None:
+        return _serve_listen(args, service)
+    if args.queries is None:
+        print("error: serve needs --queries or --listen", file=sys.stderr)
+        return 2
 
     if args.queries == "-":
         lines = sys.stdin
@@ -434,6 +515,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.degraded_responses} degraded, {stats.retries} retries)"
     )
     return 0
+
+
+def _serve_listen(args: argparse.Namespace, service) -> int:
+    """Run the asyncio socket front end until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal
+
+    from repro.net.protocol import MAX_FRAME_BYTES
+    from repro.net.server import AcicServer
+
+    try:
+        host, port = _parse_endpoint(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = AcicServer(
+        service,
+        host=host,
+        port=port,
+        max_conns=args.max_conns,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        max_frame_bytes=args.max_frame_bytes or MAX_FRAME_BYTES,
+    )
+
+    async def amain() -> None:
+        bound_host, bound_port = await server.start()
+        print(f"# listening on {bound_host}:{bound_port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("# draining in-flight requests...", flush=True)
+        await server.shutdown(drain=True)
+
+    asyncio.run(amain())
+    stats = service.stats()
+    print(
+        f"# served {stats.queries_served} queries over the wire "
+        f"({stats.cache_hits} cache hits, {stats.degraded_responses} degraded, "
+        f"{stats.requests_shed} shed)"
+    )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.net.loadgen import LoadConfig, run_load
+
+    try:
+        host, port = _parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    duration = args.duration
+    if args.mode == "open" and duration is None:
+        duration = 5.0
+    config = LoadConfig(
+        host=host,
+        port=port,
+        mode=args.mode,
+        processes=args.processes,
+        concurrency=args.concurrency,
+        requests=args.requests if args.mode == "closed" else None,
+        duration_s=duration,
+        arrival=args.arrival,
+        rate_qps=args.rate,
+        time_scale_factor=args.time_scale_factor,
+        batch_size=args.batch_size,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    report = run_load(config)
+    print(report.render())
+    code = 0
+    if report.unstructured_failures:
+        print(
+            f"FAIL: {report.unstructured_failures} unstructured failure(s) "
+            "(transport errors or dead workers)"
+        )
+        code = 1
+    if args.p99_slo_ms is not None and report.p99_ms > args.p99_slo_ms:
+        print(f"FAIL: p99 {report.p99_ms:.2f} ms breaches the "
+              f"{args.p99_slo_ms:.2f} ms SLO")
+        code = 1
+    if code == 0:
+        print("PASS: zero unstructured failures"
+              + (f"; p99 within {args.p99_slo_ms:.2f} ms SLO"
+                 if args.p99_slo_ms is not None else ""))
+    return code
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:

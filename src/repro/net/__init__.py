@@ -1,0 +1,74 @@
+"""repro.net — socket front end and traffic harness for the ACIC service.
+
+Layers, bottom up:
+
+* :mod:`repro.net.protocol` — the framed wire protocol: length-prefixed
+  JSON frames with a versioned binary header and a max-frame guard.
+* :mod:`repro.net.server` — an asyncio TCP server that feeds decoded
+  requests through the admission queue into ``AcicService``, honoring
+  per-request deadlines and degrading (never dropping) under load.
+* :mod:`repro.net.client` — sync and asyncio clients with retrying
+  connects, pipelining, and a structured error taxonomy.
+* :mod:`repro.net.loadgen` — a multiprocess open/closed-loop traffic
+  harness whose run report reads latency quantiles off telemetry
+  histograms.
+
+Everything is stdlib + the repo's own layers; no third-party network
+dependencies.
+"""
+
+from repro.net.client import (
+    AcicClient,
+    AsyncAcicClient,
+    ConnectError,
+    NetClientError,
+    RemoteError,
+)
+from repro.net.loadgen import (
+    ARRIVALS,
+    LoadConfig,
+    RunReport,
+    WorkerResult,
+    arrival_gaps,
+    run_load,
+    synthetic_queries,
+)
+from repro.net.protocol import (
+    HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
+    encode_frame,
+    error_payload,
+)
+from repro.net.server import REQUEST_LATENCY_BUCKETS, AcicServer, ServerThread
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "Frame",
+    "FrameKind",
+    "FrameDecoder",
+    "ProtocolError",
+    "encode_frame",
+    "error_payload",
+    "AcicServer",
+    "ServerThread",
+    "REQUEST_LATENCY_BUCKETS",
+    "AcicClient",
+    "AsyncAcicClient",
+    "NetClientError",
+    "ConnectError",
+    "RemoteError",
+    "ARRIVALS",
+    "LoadConfig",
+    "WorkerResult",
+    "RunReport",
+    "arrival_gaps",
+    "run_load",
+    "synthetic_queries",
+]

@@ -1,0 +1,447 @@
+"""Clients for the ACIC socket front end: sync and asyncio variants.
+
+Both speak the framed wire protocol and return the same typed objects
+the in-process service does (:class:`~repro.service.api.QueryResponse`),
+so swapping an in-process ``AcicService`` for a remote one is a
+one-line change at the call site.
+
+* :class:`AcicClient` — blocking sockets, one request at a time, plus a
+  **pipelined** batch mode (:meth:`AcicClient.pipeline`) that writes
+  every frame before reading any response and reassembles replies by
+  request id.
+* :class:`AsyncAcicClient` — asyncio; any number of requests may be in
+  flight on one connection (a background reader task resolves futures
+  by request id), which is what the open-loop load generator drives.
+
+Connect attempts retry with randomized exponential backoff (the
+reliability layer's :class:`~repro.reliability.BackoffPolicy` on a
+seeded :class:`~repro.util.rng.RngStream`), so a client racing a
+just-booting server settles instead of failing.
+
+Error taxonomy — everything a client raises is structured:
+
+* :class:`ConnectError` — could not establish a connection;
+* :class:`RemoteError` — the server answered with an ERROR frame
+  (carries its machine-readable ``code``);
+* :class:`NetClientError` — the transport died mid-conversation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
+    encode_frame,
+)
+from repro.reliability.retry import BackoffPolicy
+from repro.service.api import (
+    BatchQueryResponse,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.util.rng import RngStream
+
+__all__ = [
+    "NetClientError",
+    "ConnectError",
+    "RemoteError",
+    "AcicClient",
+    "AsyncAcicClient",
+]
+
+_READ_CHUNK = 64 * 1024
+
+
+class NetClientError(RuntimeError):
+    """The transport failed mid-conversation (connection died, bad frame)."""
+
+
+class ConnectError(NetClientError):
+    """No connection could be established within the retry budget."""
+
+
+class RemoteError(NetClientError):
+    """The server answered with a structured ERROR frame.
+
+    Attributes:
+        code: the server's machine-readable error token.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def _error_fields(frame: Frame) -> tuple[str, str]:
+    detail = frame.payload.get("error", {})
+    if isinstance(detail, dict):
+        return str(detail.get("code", "unknown")), str(detail.get("message", ""))
+    return "unknown", str(detail)
+
+
+def _batch_payload(
+    requests: list[QueryRequest], deadline_ms: float | None
+) -> dict:
+    payload: dict = {"queries": [r.to_payload() for r in requests]}
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
+def _query_payload(request: QueryRequest, deadline_ms: float | None) -> dict:
+    payload = request.to_payload()
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
+class AcicClient:
+    """Blocking client for one server connection.
+
+    Args:
+        host / port: the server's bound address.
+        timeout_s: socket timeout for connect and each read.
+        connect_retries: extra connect attempts with randomized
+            exponential backoff before :class:`ConnectError`.
+        max_frame_bytes: frame guard (must be >= the server's to read
+            its largest response).
+        seed: backoff jitter stream seed.
+        sleep: injectable ``sleep(seconds)`` for backoff (tests).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 30.0,
+        connect_retries: int = 5,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        seed: int = 0,
+        sleep=time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_frame_bytes = max_frame_bytes
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._frames: list[Frame] = []
+        self._next_id = 1
+        self._sock = self._connect(connect_retries, seed, sleep)
+
+    def _connect(self, retries: int, seed: int, sleep) -> socket.socket:
+        backoff = BackoffPolicy(
+            max_retries=retries, base_s=0.05, multiplier=2.0, cap_s=2.0, jitter=0.5
+        )
+        delays = backoff.schedule(RngStream(seed, "net.connect", self.host, self.port))
+        last: Exception | None = None
+        for attempt in range(retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as exc:
+                last = exc
+                if attempt < len(delays):
+                    sleep(delays[attempt])
+        raise ConnectError(
+            f"could not connect to {self.host}:{self.port} "
+            f"after {retries + 1} attempt(s): {last}"
+        )
+
+    # ------------------------------------------------------------------
+    def query(
+        self, request: QueryRequest, deadline_ms: float | None = None
+    ) -> QueryResponse:
+        """One query, one round trip."""
+        request_id = self._send(
+            FrameKind.QUERY, _query_payload(request, deadline_ms)
+        )
+        frame = self._recv_matching(request_id)
+        return QueryResponse.from_payload(frame.payload)
+
+    def query_batch(
+        self, requests: list[QueryRequest], deadline_ms: float | None = None
+    ) -> list[QueryResponse]:
+        """One batch document, one round trip, answers in request order."""
+        request_id = self._send(
+            FrameKind.BATCH, _batch_payload(list(requests), deadline_ms)
+        )
+        frame = self._recv_matching(request_id)
+        return list(
+            BatchQueryResponse.from_payload(frame.payload).responses
+        )
+
+    def pipeline(
+        self,
+        batches: list[list[QueryRequest]],
+        deadline_ms: float | None = None,
+    ) -> list[list[QueryResponse]]:
+        """Pipelined batch mode: write every frame, then read every reply.
+
+        One round-trip's worth of latency is paid once for the whole
+        train instead of once per batch; replies are matched by request
+        id, so server-side reordering is fine.
+        """
+        ids = [
+            self._send(FrameKind.BATCH, _batch_payload(list(batch), deadline_ms))
+            for batch in batches
+        ]
+        by_id: dict[int, Frame] = {}
+        for _ in ids:
+            frame = self._recv_response()
+            by_id[frame.request_id] = frame
+        out: list[list[QueryResponse]] = []
+        for request_id in ids:
+            frame = by_id.get(request_id)
+            if frame is None:
+                raise NetClientError(
+                    f"server never answered request {request_id}"
+                )
+            if frame.kind is FrameKind.ERROR:
+                raise RemoteError(*_error_fields(frame))
+            out.append(
+                list(BatchQueryResponse.from_payload(frame.payload).responses)
+            )
+        return out
+
+    def ping(self) -> float:
+        """Liveness probe; returns the round-trip time in seconds."""
+        start = time.perf_counter()
+        request_id = self._send(FrameKind.PING, {})
+        self._recv_matching(request_id, expect=FrameKind.PONG)
+        return time.perf_counter() - start
+
+    def server_info(self) -> dict:
+        """The server's INFO document (platforms, stats, limits)."""
+        request_id = self._send(FrameKind.STATS, {})
+        return self._recv_matching(request_id, expect=FrameKind.INFO).payload
+
+    # ------------------------------------------------------------------
+    def _send(self, kind: FrameKind, payload: dict) -> int:
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        data = encode_frame(
+            kind, payload, request_id, max_frame_bytes=self.max_frame_bytes
+        )
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise NetClientError(f"send failed: {exc}") from exc
+        return request_id
+
+    def _recv_response(self) -> Frame:
+        """The next complete frame off the wire."""
+        while not self._frames:
+            try:
+                data = self._sock.recv(_READ_CHUNK)
+            except socket.timeout as exc:
+                raise NetClientError(
+                    f"no response within {self.timeout_s}s"
+                ) from exc
+            except OSError as exc:
+                raise NetClientError(f"receive failed: {exc}") from exc
+            if not data:
+                raise NetClientError("server closed the connection")
+            try:
+                self._frames.extend(self._decoder.feed(data))
+            except ProtocolError as exc:
+                raise NetClientError(
+                    f"protocol violation from server: {exc}"
+                ) from exc
+        return self._frames.pop(0)
+
+    def _recv_matching(
+        self, request_id: int, expect: FrameKind | None = None
+    ) -> Frame:
+        frame = self._recv_response()
+        if frame.kind is FrameKind.ERROR:
+            raise RemoteError(*_error_fields(frame))
+        if frame.request_id != request_id:
+            raise NetClientError(
+                f"response for request {frame.request_id}, expected {request_id}"
+            )
+        if expect is not None and frame.kind is not expect:
+            raise NetClientError(
+                f"expected a {expect.name} frame, got {frame.kind.name}"
+            )
+        return frame
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "AcicClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncAcicClient:
+    """Asyncio client with unlimited in-flight requests per connection.
+
+    Create with :meth:`connect`; every request method allocates a
+    request id, registers a future, writes the frame, and awaits its
+    reply — a background reader task resolves futures as response
+    frames arrive, in whatever order the server finishes them.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self.max_frame_bytes = max_frame_bytes
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        connect_retries: int = 5,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        seed: int = 0,
+    ) -> "AsyncAcicClient":
+        """Open a connection, retrying with randomized backoff."""
+        backoff = BackoffPolicy(
+            max_retries=connect_retries, base_s=0.05, multiplier=2.0,
+            cap_s=2.0, jitter=0.5,
+        )
+        delays = backoff.schedule(RngStream(seed, "net.connect", host, port))
+        last: Exception | None = None
+        for attempt in range(connect_retries + 1):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return cls(reader, writer, max_frame_bytes)
+            except OSError as exc:
+                last = exc
+                if attempt < len(delays):
+                    await asyncio.sleep(delays[attempt])
+        raise ConnectError(
+            f"could not connect to {host}:{port} "
+            f"after {connect_retries + 1} attempt(s): {last}"
+        )
+
+    # ------------------------------------------------------------------
+    async def query(
+        self, request: QueryRequest, deadline_ms: float | None = None
+    ) -> QueryResponse:
+        """One query; other requests may overlap on this connection."""
+        frame = await self._round_trip(
+            FrameKind.QUERY, _query_payload(request, deadline_ms)
+        )
+        return QueryResponse.from_payload(frame.payload)
+
+    async def query_batch(
+        self, requests: list[QueryRequest], deadline_ms: float | None = None
+    ) -> list[QueryResponse]:
+        """One batch document; answers in request order."""
+        frame = await self._round_trip(
+            FrameKind.BATCH, _batch_payload(list(requests), deadline_ms)
+        )
+        return list(
+            BatchQueryResponse.from_payload(frame.payload).responses
+        )
+
+    async def ping(self) -> None:
+        """Liveness probe."""
+        await self._round_trip(FrameKind.PING, {}, expect=FrameKind.PONG)
+
+    async def server_info(self) -> dict:
+        """The server's INFO document."""
+        frame = await self._round_trip(
+            FrameKind.STATS, {}, expect=FrameKind.INFO
+        )
+        return frame.payload
+
+    # ------------------------------------------------------------------
+    async def _round_trip(
+        self, kind: FrameKind, payload: dict, expect: FrameKind | None = None
+    ) -> Frame:
+        if self._closed:
+            raise NetClientError("client is closed")
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        data = encode_frame(
+            kind, payload, request_id, max_frame_bytes=self.max_frame_bytes
+        )
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+        except OSError as exc:
+            self._pending.pop(request_id, None)
+            raise NetClientError(f"send failed: {exc}") from exc
+        frame = await future
+        if frame.kind is FrameKind.ERROR:
+            raise RemoteError(*_error_fields(frame))
+        if expect is not None and frame.kind is not expect:
+            raise NetClientError(
+                f"expected a {expect.name} frame, got {frame.kind.name}"
+            )
+        return frame
+
+    async def _read_loop(self) -> None:
+        error: NetClientError = NetClientError("server closed the connection")
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in self._decoder.feed(data):
+                    future = self._pending.pop(frame.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        except ProtocolError as exc:
+            error = NetClientError(f"protocol violation from server: {exc}")
+        except OSError as exc:
+            error = NetClientError(f"receive failed: {exc}")
+        except asyncio.CancelledError:
+            error = NetClientError("client is closed")
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def close(self) -> None:
+        """Cancel the reader, fail any pending calls, close the socket."""
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncAcicClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,606 @@
+"""Multiprocess traffic harness for the ACIC socket front end.
+
+Modeled on the repeating-analytics drivers BRAD uses to stress its
+serving tier: N runner processes, each driving one connection with
+either a **closed loop** (send, wait, send — concurrency bounded by the
+number of in-flight streams) or an **open loop** (requests fire on an
+arrival process regardless of completions, the honest way to measure
+latency under a target offered rate).  Arrival gaps come from one of
+three distributions:
+
+* ``constant`` — a metronome at ``rate_qps``;
+* ``poisson`` — exponential inter-arrivals at ``rate_qps``;
+* ``diurnal`` — a Poisson process whose rate follows a sinusoidal
+  time-of-day curve, with ``time_scale_factor`` compressing a simulated
+  day into the run (BRAD's time-scaled day, so a 60-second run can
+  sweep a full peak/trough cycle).
+
+Runner errors back off with the reliability layer's randomized
+exponential schedule and reconnect; a structured server rejection
+(``RemoteError``) and a transport failure are counted separately, so a
+run can assert "zero unstructured failures" precisely.
+
+Every per-request wall latency lands in a
+:class:`~repro.telemetry.Histogram` (``loadgen.latency_s``) and the
+:class:`RunReport`'s p50/p95/p99 are read back off that histogram with
+:func:`~repro.telemetry.histogram_quantile` — the same estimator the
+server-side ``net.request_latency_s`` metrics feed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field, replace
+
+from repro.core.objectives import Goal
+from repro.net.client import (
+    AcicClient,
+    AsyncAcicClient,
+    NetClientError,
+    RemoteError,
+)
+from repro.net.server import REQUEST_LATENCY_BUCKETS
+from repro.reliability.retry import BackoffPolicy
+from repro.service.api import QueryRequest
+from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
+from repro.telemetry import MetricsRegistry, histogram_quantile
+from repro.util.rng import RngStream
+
+__all__ = [
+    "ARRIVALS",
+    "LoadConfig",
+    "WorkerResult",
+    "RunReport",
+    "synthetic_queries",
+    "arrival_gaps",
+    "run_load",
+]
+
+#: Supported arrival-process names.
+ARRIVALS = ("constant", "poisson", "diurnal")
+
+#: Seconds in a simulated day (the diurnal curve's period).
+_DAY_S = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run, fully declarative (picklable for worker processes).
+
+    Attributes:
+        host / port: the target server.
+        mode: ``closed`` (wait-then-send) or ``open`` (arrival-driven).
+        processes: runner processes (each owns one connection).
+        concurrency: in-flight streams per closed-loop process.
+        requests: total queries to issue across all processes
+            (closed loop; ``None`` = until ``duration_s``).
+        duration_s: wall-clock bound; open loop requires it.
+        arrival: ``constant`` / ``poisson`` / ``diurnal`` (open loop).
+        rate_qps: per-process target arrival rate (open loop).
+        time_scale_factor: diurnal compression — how many simulated
+            seconds pass per real second (86400 sweeps a day in 1s).
+        diurnal_amplitude: peak-to-mean rate swing in [0, 1).
+        batch_size: queries per request frame (1 = single-query frames).
+        top_k: recommendations requested per query.
+        platform: target platform; ``None`` auto-discovers via STATS.
+        deadline_ms: per-request queue budget forwarded to the server.
+        seed: RNG root for query sampling, arrivals and backoff.
+    """
+
+    host: str
+    port: int
+    mode: str = "closed"
+    processes: int = 1
+    concurrency: int = 1
+    requests: int | None = 1000
+    duration_s: float | None = None
+    arrival: str = "constant"
+    rate_qps: float = 100.0
+    time_scale_factor: float = 86400.0
+    diurnal_amplitude: float = 0.5
+    batch_size: int = 1
+    top_k: int = 3
+    platform: str | None = None
+    deadline_ms: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
+        if self.processes < 1:
+            raise ValueError(f"processes must be >= 1, got {self.processes}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.mode == "open" and self.duration_s is None:
+            raise ValueError("open-loop runs need duration_s")
+        if self.mode == "closed" and self.requests is None and self.duration_s is None:
+            raise ValueError("closed-loop runs need requests or duration_s")
+        if self.rate_qps <= 0:
+            raise ValueError(f"rate_qps must be > 0, got {self.rate_qps}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """What one runner process brings home."""
+
+    worker: int
+    sent: int = 0
+    ok: int = 0
+    degraded: int = 0
+    cached: int = 0
+    rejected: int = 0           #: structured server rejections (ERROR frames)
+    transport_errors: int = 0   #: unstructured failures (connection died, ...)
+    reconnects: int = 0
+    latencies_s: tuple[float, ...] = ()
+    failure: str | None = None  #: runner itself died (setup, unexpected)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The SLO-facing summary of one load run.
+
+    Latency quantiles are estimated from the ``loadgen.latency_s``
+    telemetry histogram, not from a raw sample sort — the same numbers
+    an operator would read off the server's scrape.
+    """
+
+    mode: str
+    arrival: str
+    processes: int
+    duration_s: float
+    sent: int
+    ok: int
+    degraded: int
+    cached: int
+    rejected: int
+    transport_errors: int
+    reconnects: int
+    throughput_qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    degraded_rate: float
+    shed_or_rejected_rate: float
+    worker_failures: tuple[str, ...] = ()
+    per_worker: tuple[WorkerResult, ...] = field(default=(), repr=False)
+
+    @property
+    def unstructured_failures(self) -> int:
+        """Failures that were NOT a structured protocol answer."""
+        return self.transport_errors + len(self.worker_failures)
+
+    def render(self) -> str:
+        """The printed SLO report."""
+        lines = [
+            f"== load run: {self.mode} loop, {self.arrival} arrivals, "
+            f"{self.processes} process(es) ==",
+            f"duration        {self.duration_s:10.2f} s",
+            f"queries sent    {self.sent:10d}",
+            f"  ok            {self.ok:10d}  ({self.cached} served from cache)",
+            f"  degraded      {self.degraded:10d}  "
+            f"(rate {self.degraded_rate * 100:.2f}%)",
+            f"  rejected      {self.rejected:10d}  (structured errors)",
+            f"  transport     {self.transport_errors:10d}  (unstructured)",
+            f"reconnects      {self.reconnects:10d}",
+            f"throughput      {self.throughput_qps:10.1f} queries/s",
+            f"latency p50     {self.p50_ms:10.2f} ms",
+            f"latency p95     {self.p95_ms:10.2f} ms",
+            f"latency p99     {self.p99_ms:10.2f} ms",
+            f"latency mean    {self.mean_ms:10.2f} ms",
+        ]
+        for failure in self.worker_failures:
+            lines.append(f"worker failure: {failure}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def synthetic_queries(
+    platform: str,
+    n: int,
+    seed: int = 0,
+    top_k: int = 3,
+) -> list[QueryRequest]:
+    """``n`` valid queries spanning scales, sizes, ops and both goals.
+
+    Deterministic per seed, shuffled so consecutive requests do not hit
+    the same model, and cycling after 384 distinct points — a realistic
+    mix of fresh work and repeat traffic for the response cache.
+    """
+    base = AppCharacteristics(
+        num_processes=32,
+        num_io_processes=32,
+        interface=IOInterface.MPIIO,
+        iterations=10,
+        data_bytes=1 << 26,
+        request_bytes=1 << 22,
+        op=OpKind.WRITE,
+        collective=False,
+        shared_file=True,
+    )
+    distinct: list[QueryRequest] = []
+    for procs in (4, 8, 16, 32):
+        for iters in (1, 10):
+            for data in (1 << 24, 1 << 26, 1 << 28):
+                for req in (1 << 20, 1 << 22):
+                    for op in (OpKind.READ, OpKind.WRITE):
+                        for goal in (Goal.PERFORMANCE, Goal.COST):
+                            for shared in (True, False):
+                                chars = replace(
+                                    base,
+                                    num_processes=procs,
+                                    num_io_processes=procs,
+                                    iterations=iters,
+                                    data_bytes=data,
+                                    request_bytes=req,
+                                    op=op,
+                                    shared_file=shared,
+                                )
+                                distinct.append(
+                                    QueryRequest(
+                                        characteristics=chars,
+                                        goal=goal,
+                                        top_k=top_k,
+                                        platform=platform,
+                                    )
+                                )
+    shuffled = RngStream(seed, "loadgen.queries").shuffled(distinct)
+    return [shuffled[i % len(shuffled)] for i in range(n)]
+
+
+def arrival_gaps(config: LoadConfig, rng: RngStream) -> Iterator[float]:
+    """Inter-arrival gaps (seconds) for one open-loop runner.
+
+    The diurnal process recomputes its instantaneous rate from the
+    simulated time of day at each draw, so the gap stream speeds up at
+    simulated noon and slows at simulated midnight.
+    """
+    elapsed = 0.0
+    while True:
+        if config.arrival == "constant":
+            gap = 1.0 / config.rate_qps
+        else:
+            rate = config.rate_qps
+            if config.arrival == "diurnal":
+                simulated = (elapsed * config.time_scale_factor) % _DAY_S
+                rate *= 1.0 + config.diurnal_amplitude * math.sin(
+                    2.0 * math.pi * simulated / _DAY_S
+                )
+            # Inverse-CDF exponential draw on the derived uniform stream.
+            u = max(rng.uniform(), 1e-12)
+            gap = -math.log(u) / rate
+        elapsed += gap
+        yield gap
+
+
+# ----------------------------------------------------------------------
+class _Runner:
+    """Shared machinery for one worker process's drive loop."""
+
+    def __init__(self, worker_idx: int, config: LoadConfig) -> None:
+        self.idx = worker_idx
+        self.config = config
+        self.queries = synthetic_queries(
+            config.platform or "",
+            max(384, config.batch_size),
+            seed=config.seed + worker_idx,
+            top_k=config.top_k,
+        )
+        self.sent = 0
+        self.ok = 0
+        self.degraded = 0
+        self.cached = 0
+        self.rejected = 0
+        self.transport_errors = 0
+        self.reconnects = 0
+        self.latencies: list[float] = []
+        self._cursor = 0
+        self._backoff = BackoffPolicy(
+            max_retries=6, base_s=0.05, multiplier=2.0, cap_s=2.0, jitter=0.5
+        )
+        self._error_streak = 0
+        self.client: AsyncAcicClient | None = None
+
+    def result(self, failure: str | None = None) -> WorkerResult:
+        return WorkerResult(
+            worker=self.idx,
+            sent=self.sent,
+            ok=self.ok,
+            degraded=self.degraded,
+            cached=self.cached,
+            rejected=self.rejected,
+            transport_errors=self.transport_errors,
+            reconnects=self.reconnects,
+            latencies_s=tuple(self.latencies),
+            failure=failure,
+        )
+
+    def _next_batch(self) -> list[QueryRequest]:
+        batch = [
+            self.queries[(self._cursor + i) % len(self.queries)]
+            for i in range(self.config.batch_size)
+        ]
+        self._cursor += self.config.batch_size
+        return batch
+
+    async def connect(self) -> None:
+        self.client = await AsyncAcicClient.connect(
+            self.config.host,
+            self.config.port,
+            seed=self.config.seed + self.idx,
+        )
+
+    async def _reconnect(self) -> bool:
+        """Randomized exponential backoff, then a fresh connection."""
+        if self.client is not None:
+            await self.client.close()
+            self.client = None
+        self._error_streak += 1
+        delays = self._backoff.schedule(
+            RngStream(self.config.seed, "loadgen.backoff", self.idx)
+        )
+        delay = delays[min(self._error_streak, len(delays)) - 1] if delays else 0.1
+        await asyncio.sleep(delay)
+        try:
+            await self.connect()
+        except NetClientError:
+            return False
+        self.reconnects += 1
+        return True
+
+    async def fire_once(self) -> None:
+        """Issue one request frame and account for its outcome."""
+        config = self.config
+        batch = self._next_batch()
+        if self.client is None and not await self._reconnect():
+            self.sent += len(batch)
+            self.transport_errors += len(batch)
+            return
+        start = time.perf_counter()
+        try:
+            assert self.client is not None
+            if config.batch_size == 1:
+                responses = [
+                    await self.client.query(batch[0], deadline_ms=config.deadline_ms)
+                ]
+            else:
+                responses = await self.client.query_batch(
+                    batch, deadline_ms=config.deadline_ms
+                )
+        except RemoteError:
+            self.latencies.append(time.perf_counter() - start)
+            self.sent += len(batch)
+            self.rejected += len(batch)
+            self._error_streak = 0
+            return
+        except NetClientError:
+            self.latencies.append(time.perf_counter() - start)
+            self.sent += len(batch)
+            self.transport_errors += len(batch)
+            await self._reconnect()
+            return
+        self.latencies.append(time.perf_counter() - start)
+        self.sent += len(batch)
+        self._error_streak = 0
+        for response in responses:
+            if response.degraded:
+                self.degraded += 1
+            else:
+                self.ok += 1
+            if response.cached:
+                self.cached += 1
+
+    async def drive_closed(self, quota: int | None) -> None:
+        """Closed loop: ``concurrency`` streams, each wait-then-send."""
+        issued = 0
+        stop_at = (
+            time.perf_counter() + self.config.duration_s
+            if self.config.duration_s is not None
+            else None
+        )
+
+        async def stream() -> None:
+            nonlocal issued
+            while True:
+                if quota is not None and issued >= quota:
+                    return
+                if stop_at is not None and time.perf_counter() >= stop_at:
+                    return
+                issued += self.config.batch_size
+                await self.fire_once()
+
+        await asyncio.gather(
+            *(stream() for _ in range(self.config.concurrency))
+        )
+
+    async def drive_open(self) -> None:
+        """Open loop: fire on the arrival process, never wait for replies."""
+        config = self.config
+        assert config.duration_s is not None
+        gaps = arrival_gaps(
+            config, RngStream(config.seed, "loadgen.arrivals", self.idx)
+        )
+        in_flight: set[asyncio.Task] = set()
+        stop_at = time.perf_counter() + config.duration_s
+
+        async def guarded() -> None:
+            try:
+                await self.fire_once()
+            except Exception:  # noqa: BLE001 — an in-flight failure must
+                # never kill the arrival process; it is an unstructured
+                # error by definition.
+                self.transport_errors += config.batch_size
+
+        while True:
+            now = time.perf_counter()
+            if now >= stop_at:
+                break
+            task = asyncio.ensure_future(guarded())
+            in_flight.add(task)
+            task.add_done_callback(in_flight.discard)
+            await asyncio.sleep(min(next(gaps), max(0.0, stop_at - now)))
+        if in_flight:
+            _, pending = await asyncio.wait(list(in_flight), timeout=60.0)
+            for task in pending:
+                task.cancel()
+                self.transport_errors += config.batch_size
+
+
+async def _drive(worker_idx: int, config: LoadConfig) -> WorkerResult:
+    runner = _Runner(worker_idx, config)
+    try:
+        await runner.connect()
+    except NetClientError as exc:
+        return runner.result(failure=f"worker {worker_idx} connect: {exc}")
+    try:
+        if config.mode == "closed":
+            quota = None
+            if config.requests is not None:
+                share = config.requests // config.processes
+                if worker_idx < config.requests % config.processes:
+                    share += 1
+                quota = share
+            await runner.drive_closed(quota)
+        else:
+            await runner.drive_open()
+    except Exception as exc:  # noqa: BLE001 — a runner never takes the
+        # harness down; the failure is reported in the run summary.
+        return runner.result(failure=f"worker {worker_idx}: {type(exc).__name__}: {exc}")
+    finally:
+        if runner.client is not None:
+            await runner.client.close()
+    return runner.result()
+
+
+def _worker_entry(worker_idx: int, config: LoadConfig, out_queue) -> None:
+    """Process entry point (must stay module-level for spawn pickling)."""
+    try:
+        result = asyncio.run(_drive(worker_idx, config))
+    except BaseException as exc:  # noqa: BLE001 — last-resort report
+        result = WorkerResult(
+            worker=worker_idx,
+            failure=f"worker {worker_idx} crashed: {type(exc).__name__}: {exc}",
+        )
+    out_queue.put(result)
+
+
+def _collect(procs, out_queue) -> list[WorkerResult]:
+    """Gather one result per worker, surviving workers that die silently.
+
+    A worker that exits without reporting (bootstrap crash, OOM kill)
+    becomes a synthesized failure result instead of a harness hang.
+    """
+    results: list[WorkerResult] = []
+    while len(results) < len(procs):
+        try:
+            results.append(out_queue.get(timeout=0.5))
+            continue
+        except queue_mod.Empty:
+            pass
+        if all(proc.exitcode is not None for proc in procs):
+            # Every worker has exited; drain stragglers, then account
+            # for any that never reported.
+            try:
+                while len(results) < len(procs):
+                    results.append(out_queue.get(timeout=0.5))
+            except queue_mod.Empty:
+                pass
+            for missing in range(len(procs) - len(results)):
+                results.append(
+                    WorkerResult(
+                        worker=-1 - missing,
+                        failure="worker process exited without reporting",
+                    )
+                )
+            break
+    return results
+
+
+# ----------------------------------------------------------------------
+def run_load(config: LoadConfig) -> RunReport:
+    """Run the configured traffic and return its SLO report.
+
+    With ``processes == 1`` the runner drives inline (no fork), so unit
+    tests and notebooks stay debuggable; otherwise every runner is a
+    separate OS process (``spawn`` start method — safe regardless of
+    the parent's threads) hammering the server concurrently.
+    """
+    if config.platform is None:
+        with AcicClient(config.host, config.port, seed=config.seed) as probe:
+            platforms = probe.server_info().get("platforms", [])
+        if not platforms:
+            raise NetClientError("server hosts no platforms to query")
+        config = replace(config, platform=platforms[0])
+
+    started = time.perf_counter()
+    if config.processes == 1:
+        results = [asyncio.run(_drive(0, config))]
+    else:
+        ctx = mp.get_context("spawn")
+        out_queue: mp.Queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_entry, args=(idx, config, out_queue), daemon=True
+            )
+            for idx in range(config.processes)
+        ]
+        for proc in procs:
+            proc.start()
+        results = _collect(procs, out_queue)
+        for proc in procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():
+                proc.terminate()
+    duration = time.perf_counter() - started
+
+    registry = MetricsRegistry()
+    latency = registry.histogram(
+        "loadgen.latency_s",
+        REQUEST_LATENCY_BUCKETS,
+        "client-observed request round-trip seconds",
+    )
+    for result in results:
+        for value in result.latencies_s:
+            latency.observe(value)
+
+    sent = sum(r.sent for r in results)
+    degraded = sum(r.degraded for r in results)
+    rejected = sum(r.rejected for r in results)
+    has_latency = latency.count > 0
+    return RunReport(
+        mode=config.mode,
+        arrival=config.arrival,
+        processes=config.processes,
+        duration_s=duration,
+        sent=sent,
+        ok=sum(r.ok for r in results),
+        degraded=degraded,
+        cached=sum(r.cached for r in results),
+        rejected=rejected,
+        transport_errors=sum(r.transport_errors for r in results),
+        reconnects=sum(r.reconnects for r in results),
+        throughput_qps=sent / duration if duration > 0 else 0.0,
+        p50_ms=histogram_quantile(latency, 0.50) * 1e3 if has_latency else 0.0,
+        p95_ms=histogram_quantile(latency, 0.95) * 1e3 if has_latency else 0.0,
+        p99_ms=histogram_quantile(latency, 0.99) * 1e3 if has_latency else 0.0,
+        mean_ms=(latency.sum / latency.count * 1e3) if has_latency else 0.0,
+        degraded_rate=degraded / sent if sent else 0.0,
+        shed_or_rejected_rate=(degraded + rejected) / sent if sent else 0.0,
+        worker_failures=tuple(
+            r.failure for r in results if r.failure is not None
+        ),
+        per_worker=tuple(results),
+    )

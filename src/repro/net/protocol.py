@@ -1,0 +1,232 @@
+"""The ACIC framed wire protocol: length-prefixed JSON over TCP.
+
+Every frame is a fixed 12-byte header followed by a UTF-8 JSON body::
+
+    0     2      3     4            8         12
+    +-----+------+-----+------------+----------+----------------+
+    | 'AC'| ver  | kind| request_id | length   | JSON body ...  |
+    +-----+------+-----+------------+----------+----------------+
+     2s     B      B     !I (u32)     !I (u32)
+
+The body carries the *existing* service protocol documents from
+:mod:`repro.service.api` — a :class:`~repro.service.api.QueryRequest`
+payload in a QUERY frame, a ``{"queries": [...]}`` document in a BATCH
+frame, and the matching response documents on the way back — so the wire
+layer adds framing, versioning and error envelopes without inventing a
+second schema.  A request document may additionally carry a top-level
+``"deadline_ms"`` number; the server treats it as that request's queue
+budget (see :mod:`repro.net.server`).
+
+Robustness rules (the edge cases the test suite pins down):
+
+* the header magic and version are checked before the length is
+  trusted — garbage bytes fail fast with a structured
+  :class:`ProtocolError` instead of a huge bogus read;
+* bodies larger than ``max_frame_bytes`` are refused on both encode and
+  decode (the decoder refuses from the header alone, before buffering);
+* :class:`FrameDecoder` is incremental: partial reads buffer until a
+  frame completes, so any TCP segmentation round-trips; and
+* a connection that dies mid-frame leaves :attr:`FrameDecoder.pending`
+  non-zero, which the server accounts as a protocol error rather than
+  hanging on the missing bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "FrameKind",
+    "ProtocolError",
+    "Frame",
+    "encode_frame",
+    "error_payload",
+    "FrameDecoder",
+]
+
+#: First two bytes of every frame.
+MAGIC = b"AC"
+
+#: Wire protocol version this module speaks.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("!2sBBII")
+
+#: Bytes before the JSON body.
+HEADER_SIZE = _HEADER.size
+
+#: Default upper bound on a frame body (8 MiB ≈ 4k-query batches).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class FrameKind(IntEnum):
+    """What a frame's body means."""
+
+    QUERY = 1           #: one QueryRequest document
+    BATCH = 2           #: a BatchQueryRequest document
+    RESPONSE = 3        #: one QueryResponse document
+    BATCH_RESPONSE = 4  #: a BatchQueryResponse document
+    ERROR = 5           #: ``{"error": {"code": ..., "message": ...}}``
+    PING = 6            #: liveness probe (empty body)
+    PONG = 7            #: liveness reply (empty body)
+    STATS = 8           #: server-info request (empty body)
+    INFO = 9            #: server-info reply
+
+
+class ProtocolError(ValueError):
+    """A frame (or byte stream) that violates the wire protocol.
+
+    Attributes:
+        code: stable machine-readable token (``bad_magic``,
+            ``bad_version``, ``unknown_kind``, ``frame_too_large``,
+            ``bad_payload``, ``truncated``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: kind, correlation id, parsed JSON body."""
+
+    kind: FrameKind
+    request_id: int
+    payload: dict
+
+
+def error_payload(code: str, message: str) -> dict:
+    """The body of an ERROR frame."""
+    return {"error": {"code": code, "message": message}}
+
+
+def encode_frame(
+    kind: FrameKind,
+    payload: dict | None = None,
+    request_id: int = 0,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize one frame to wire bytes.
+
+    Raises:
+        ProtocolError: the encoded body exceeds ``max_frame_bytes``.
+    """
+    body = json.dumps(payload if payload is not None else {}).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"frame body is {len(body)} bytes (max {max_frame_bytes})",
+        )
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(kind), request_id & 0xFFFFFFFF, len(body)
+    )
+    return header + body
+
+
+class FrameDecoder:
+    """Incremental frame parser for one connection's byte stream.
+
+    Feed it whatever the transport produced — single bytes, half a
+    header, three frames at once — and it returns every frame that
+    completed.  A protocol violation raises :class:`ProtocolError` and
+    poisons the decoder: framing cannot be resynchronized on a corrupt
+    stream, so the owning connection must be closed.
+
+    Args:
+        max_frame_bytes: body-size guard applied from the header alone.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Buffer ``data`` and return every frame it completed.
+
+        Raises:
+            ProtocolError: the stream violates the protocol (also when
+                called again after a previous violation).
+        """
+        if self._poisoned:
+            raise ProtocolError(
+                "truncated", "decoder already hit a protocol violation"
+            )
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        try:
+            while True:
+                frame = self._try_decode_one()
+                if frame is None:
+                    return frames
+                frames.append(frame)
+        except ProtocolError:
+            self._poisoned = True
+            raise
+
+    def _try_decode_one(self) -> Frame | None:
+        """Decode one frame off the buffer, or None if incomplete."""
+        if len(self._buffer) < HEADER_SIZE:
+            self._check_magic_prefix()
+            return None
+        magic, version, kind_code, request_id, length = _HEADER.unpack_from(
+            self._buffer
+        )
+        if magic != MAGIC:
+            raise ProtocolError(
+                "bad_magic", f"expected frame magic {MAGIC!r}, got {bytes(magic)!r}"
+            )
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "bad_version",
+                f"peer speaks protocol version {version}, "
+                f"this side speaks {PROTOCOL_VERSION}",
+            )
+        try:
+            kind = FrameKind(kind_code)
+        except ValueError:
+            raise ProtocolError(
+                "unknown_kind", f"unknown frame kind {kind_code}"
+            ) from None
+        if length > self.max_frame_bytes:
+            raise ProtocolError(
+                "frame_too_large",
+                f"frame body announces {length} bytes (max {self.max_frame_bytes})",
+            )
+        if len(self._buffer) < HEADER_SIZE + length:
+            return None
+        body = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
+        del self._buffer[:HEADER_SIZE + length]
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                "bad_payload", f"frame body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                "bad_payload",
+                f"frame body must be a JSON object, got {type(payload).__name__}",
+            )
+        return Frame(kind=kind, request_id=request_id, payload=payload)
+
+    def _check_magic_prefix(self) -> None:
+        """Fail fast on garbage before a full header arrives."""
+        prefix = bytes(self._buffer[: len(MAGIC)])
+        if prefix and not MAGIC.startswith(prefix):
+            raise ProtocolError(
+                "bad_magic", f"expected frame magic {MAGIC!r}, got {prefix!r}"
+            )

@@ -1,0 +1,513 @@
+"""The ACIC socket front end: an asyncio TCP server over `AcicService`.
+
+:class:`AcicServer` is the network layer the paper's planned web-based
+query service needs: it speaks the framed wire protocol
+(:mod:`repro.net.protocol`), feeds requests through its own bounded
+admission queue (the :class:`~repro.reliability.AdmissionQueue`
+primitive under the ``net.admission`` namespace) into a small worker
+pool, and answers with the service's existing protocol documents.
+
+Division of labor per request frame:
+
+* the **event loop** only frames bytes — it never parses requests or
+  touches the service, so slow queries cannot stall connection reads;
+* **pool threads** do the JSON decode/encode work concurrently, and run
+  the service call itself under one lock (the service layer — and the
+  span tracer — are deliberately single-threaded);
+* the **reliability layer** decides what happens when work cannot run:
+  requests beyond the admission bound, and requests whose queue wait
+  outlived their ``deadline_ms``, are answered with the service's
+  degraded fallback (:meth:`AcicService.degraded_response`) instead of
+  being dropped — a connection never dies because the server is busy.
+
+Everything observable lands in the service's metrics registry under
+``net.*`` (connection/frame/byte counters, the request latency
+histogram the SLO reports read) and each request runs inside a
+``net.request`` span on the active telemetry.
+
+Edge-case contract (pinned by ``tests/net``): garbage bytes, an
+oversized frame, or a mid-frame disconnect produce a structured ERROR
+frame and/or a ``net.protocol_errors`` tick — never a traceback on the
+wire and never a hung connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
+    encode_frame,
+    error_payload,
+)
+from repro.reliability import AdmissionQueue
+from repro.reliability.deadline import Deadline
+from repro.service.api import (
+    BatchQueryRequest,
+    QueryRequest,
+    ServiceError,
+)
+from repro.service.server import AcicService
+from repro.telemetry import Clock, MonotonicClock, get_telemetry
+
+__all__ = ["REQUEST_LATENCY_BUCKETS", "AcicServer", "ServerThread"]
+
+#: Bucket bounds (seconds) for ``net.request_latency_s`` — microseconds
+#: through tens of seconds, the span a Python service can plausibly cover.
+REQUEST_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_READ_CHUNK = 64 * 1024
+
+
+class AcicServer:
+    """Serve an :class:`AcicService` over TCP with the framed protocol.
+
+    Args:
+        service: the (single-threaded) service to front.
+        host / port: bind address; port 0 picks a free port, readable
+            from :attr:`address` after :meth:`start`.
+        max_conns: connection guard — further connects are answered with
+            a structured ERROR frame and closed.
+        queue_depth: admission bound on in-flight requests; work beyond
+            it is shed to the service's degraded fallback.
+        workers: pool threads for request decode/encode (the service
+            call itself is serialized regardless).
+        max_frame_bytes: wire-frame body guard, both directions.
+        clock: time source for request latencies and ``deadline_ms``
+            budgets (tests pass a ManualClock).
+        telemetry: explicit bundle for request spans; defaults to the
+            process-wide active one at call time.
+    """
+
+    def __init__(
+        self,
+        service: AcicService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_conns: int = 64,
+        queue_depth: int = 256,
+        workers: int = 2,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        clock: Clock | None = None,
+        telemetry=None,
+    ) -> None:
+        if max_conns < 1:
+            raise ValueError(f"max_conns must be >= 1, got {max_conns}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_conns = max_conns
+        self.max_frame_bytes = max_frame_bytes
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._telemetry = telemetry
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="acic-net"
+        )
+        self._service_lock = threading.Lock()
+        self.admission = AdmissionQueue(
+            queue_depth, metrics=service.metrics, prefix="net.admission"
+        )
+        self._asyncio_server: asyncio.base_events.Server | None = None
+        self.address: tuple[str, int] | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._stopping = False
+
+        metrics = service.metrics
+        self._conns_opened = metrics.counter(
+            "net.connections.opened", "TCP connections accepted"
+        )
+        self._conns_closed = metrics.counter(
+            "net.connections.closed", "TCP connections finished"
+        )
+        self._conns_refused = metrics.counter(
+            "net.connections.refused", "connections turned away at max_conns"
+        )
+        self._conns_active = metrics.gauge(
+            "net.connections.active", "currently open connections"
+        )
+        self._frames_in = metrics.counter("net.frames_in", "frames received")
+        self._frames_out = metrics.counter("net.frames_out", "frames sent")
+        self._bytes_in = metrics.counter("net.bytes_in", "payload bytes received")
+        self._bytes_out = metrics.counter("net.bytes_out", "payload bytes sent")
+        self._requests = metrics.counter(
+            "net.requests", "query/batch request frames handled"
+        )
+        self._request_errors = metrics.counter(
+            "net.request_errors", "requests answered with a structured error"
+        )
+        self._protocol_errors = metrics.counter(
+            "net.protocol_errors",
+            "framing violations (garbage, oversize, mid-frame disconnect)",
+        )
+        self._internal_errors = metrics.counter(
+            "net.internal_errors", "unexpected server-side failures"
+        )
+        self._deadline_expired = metrics.counter(
+            "net.deadline_expired", "requests whose queue wait outlived deadline_ms"
+        )
+        self._latency = metrics.histogram(
+            "net.request_latency_s",
+            REQUEST_LATENCY_BUCKETS,
+            "request-frame receipt to response write",
+        )
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._asyncio_server = await asyncio.start_server(
+            self._on_connection, host=self.host, port=self.port
+        )
+        sockname = self._asyncio_server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_until(self, stop: asyncio.Event, drain: bool = True) -> None:
+        """Run until ``stop`` is set, then shut down (gracefully if ``drain``)."""
+        if self._asyncio_server is None:
+            await self.start()
+        await stop.wait()
+        await self.shutdown(drain=drain)
+
+    async def shutdown(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop accepting; optionally drain in-flight requests; close.
+
+        With ``drain`` every dispatched request finishes and its
+        response is written before connections close — the graceful
+        SIGINT/SIGTERM path of ``acic serve --listen``.
+        """
+        self._stopping = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+        if drain and self._request_tasks:
+            await asyncio.wait(list(self._request_tasks), timeout=timeout_s)
+        for writer in list(self._writers):
+            writer.close()
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        if len(self._writers) >= self.max_conns or self._stopping:
+            self._conns_refused.inc()
+            await self._send(
+                writer,
+                write_lock,
+                FrameKind.ERROR,
+                error_payload(
+                    "server_at_capacity",
+                    f"server is at its {self.max_conns}-connection bound",
+                ),
+            )
+            writer.close()
+            return
+        self._writers.add(writer)
+        self._conns_opened.inc()
+        self._conns_active.set(len(self._writers))
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    if decoder.pending:
+                        # The peer vanished mid-frame; account it, and
+                        # never wait for bytes that cannot arrive.
+                        self._protocol_errors.inc()
+                    break
+                self._bytes_in.inc(len(data))
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    # Framing is unrecoverable on this connection: say
+                    # why with a structured error, then hang up.
+                    self._protocol_errors.inc()
+                    await self._send(
+                        writer,
+                        write_lock,
+                        FrameKind.ERROR,
+                        error_payload(exc.code, str(exc)),
+                    )
+                    break
+                for frame in frames:
+                    self._frames_in.inc()
+                    task = asyncio.ensure_future(
+                        self._answer(frame, writer, write_lock)
+                    )
+                    self._request_tasks.add(task)
+                    task.add_done_callback(self._request_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            self._protocol_errors.inc()
+        except asyncio.CancelledError:
+            # Event-loop teardown cancelled this handler; the connection
+            # is going away regardless — finish the close quietly.
+            pass
+        finally:
+            self._writers.discard(writer)
+            self._conns_closed.inc()
+            self._conns_active.set(len(self._writers))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        kind: FrameKind,
+        payload: dict,
+        request_id: int = 0,
+    ) -> None:
+        data = encode_frame(
+            kind, payload, request_id, max_frame_bytes=self.max_frame_bytes
+        )
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+        self._frames_out.inc()
+        self._bytes_out.inc(len(data))
+
+    # ------------------------------------------------------------------
+    async def _answer(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Dispatch one frame and write its reply."""
+        if frame.kind is FrameKind.PING:
+            await self._send(writer, write_lock, FrameKind.PONG, {},
+                             frame.request_id)
+            return
+        if frame.kind is FrameKind.STATS:
+            await self._send(writer, write_lock, FrameKind.INFO,
+                             self._info_payload(), frame.request_id)
+            return
+        if frame.kind not in (FrameKind.QUERY, FrameKind.BATCH):
+            self._request_errors.inc()
+            await self._send(
+                writer,
+                write_lock,
+                FrameKind.ERROR,
+                error_payload(
+                    "unexpected_kind",
+                    f"server does not accept {frame.kind.name} frames",
+                ),
+                frame.request_id,
+            )
+            return
+
+        self._requests.inc()
+        received_at = self.clock.now()
+        deadline = self._request_deadline(frame)
+        ticket = self.admission.try_admit()
+        if ticket is None:
+            # Shed: answer degraded from the loop thread — the whole
+            # point is not to queue more work behind the pool.
+            kind, payload = self._shed_reply(frame)
+            await self._send(writer, write_lock, kind, payload, frame.request_id)
+            self._latency.observe(self.clock.now() - received_at)
+            return
+        try:
+            loop = asyncio.get_running_loop()
+            kind, payload = await loop.run_in_executor(
+                self._pool, self._execute, frame, deadline
+            )
+        finally:
+            ticket.release()
+        await self._send(writer, write_lock, kind, payload, frame.request_id)
+        self._latency.observe(self.clock.now() - received_at)
+
+    def _request_deadline(self, frame: Frame) -> Deadline | None:
+        """The request's queue budget, when its document carries one."""
+        raw = frame.payload.get("deadline_ms")
+        if raw is None:
+            return None
+        try:
+            budget_s = float(raw) / 1000.0
+        except (TypeError, ValueError):
+            return None
+        if budget_s <= 0:
+            return None
+        return Deadline(budget_s, clock=self.clock)
+
+    def _execute(
+        self, frame: Frame, deadline: Deadline | None
+    ) -> tuple[FrameKind, dict]:
+        """Pool-thread body: parse, run (or degrade), encode.
+
+        Never raises: every failure mode maps to a structured reply.
+        """
+        try:
+            if frame.kind is FrameKind.QUERY:
+                request = QueryRequest.from_payload(frame.payload)
+                requests = [request]
+                reply_kind = FrameKind.RESPONSE
+            else:
+                batch = BatchQueryRequest.from_payload(frame.payload)
+                requests = list(batch.queries)
+                reply_kind = FrameKind.BATCH_RESPONSE
+            if deadline is not None and deadline.expired:
+                self._deadline_expired.inc()
+                with self._service_lock:
+                    responses = [
+                        self.service.degraded_response(r) for r in requests
+                    ]
+            else:
+                with self._service_lock:
+                    telemetry = (
+                        self._telemetry
+                        if self._telemetry is not None
+                        else get_telemetry()
+                    )
+                    with telemetry.span(
+                        "net.request",
+                        kind=frame.kind.name.lower(),
+                        queries=len(requests),
+                    ):
+                        if frame.kind is FrameKind.QUERY:
+                            responses = [self.service.handle(requests[0])]
+                        else:
+                            responses = self.service.query_batch(requests)
+            if reply_kind is FrameKind.RESPONSE:
+                return reply_kind, responses[0].to_payload()
+            return reply_kind, {
+                "responses": [r.to_payload() for r in responses]
+            }
+        except ServiceError as exc:
+            self._request_errors.inc()
+            return FrameKind.ERROR, error_payload("bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 — the wire gets an envelope,
+            # never a traceback; the metric is the operator's signal.
+            self._internal_errors.inc()
+            return FrameKind.ERROR, error_payload(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _shed_reply(self, frame: Frame) -> tuple[FrameKind, dict]:
+        """Degraded (never dropped) reply for a shed request frame."""
+        try:
+            if frame.kind is FrameKind.QUERY:
+                request = QueryRequest.from_payload(frame.payload)
+                with self._service_lock:
+                    return (
+                        FrameKind.RESPONSE,
+                        self.service.degraded_response(request).to_payload(),
+                    )
+            batch = BatchQueryRequest.from_payload(frame.payload)
+            with self._service_lock:
+                responses = [
+                    self.service.degraded_response(r) for r in batch.queries
+                ]
+            return FrameKind.BATCH_RESPONSE, {
+                "responses": [r.to_payload() for r in responses]
+            }
+        except ServiceError as exc:
+            self._request_errors.inc()
+            return FrameKind.ERROR, error_payload("bad_request", str(exc))
+
+    def _info_payload(self) -> dict:
+        """INFO reply: what a client needs to drive this server."""
+        with self._service_lock:
+            stats = self.service.stats()
+            platforms = list(self.service.platforms)
+        return {
+            "protocol_version": 1,
+            "platforms": platforms,
+            "max_frame_bytes": self.max_frame_bytes,
+            "stats": {
+                "queries_served": stats.queries_served,
+                "models_trained": stats.models_trained,
+                "cache_hits": stats.cache_hits,
+                "degraded_responses": stats.degraded_responses,
+                "requests_shed": stats.requests_shed,
+            },
+            "net": {
+                "connections_active": int(self._conns_active.value),
+                "requests": int(self._requests.value),
+                "protocol_errors": int(self._protocol_errors.value),
+            },
+        }
+
+
+class ServerThread:
+    """Run an :class:`AcicServer` on a background event-loop thread.
+
+    The embedding API tests, benchmarks and the load generator's
+    self-hosted mode share: enter the context manager, get the bound
+    address, talk to it from the calling thread with the sync client.
+
+    Args:
+        server: a not-yet-started :class:`AcicServer`.
+        drain: whether :meth:`stop` drains in-flight requests.
+    """
+
+    def __init__(self, server: AcicServer, drain: bool = True) -> None:
+        self.server = server
+        self.drain = drain
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Start the loop thread; returns the server's bound address."""
+        self._thread = threading.Thread(
+            target=self._run, name="acic-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server thread did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        assert self.server.address is not None
+        return self.server.address
+
+    def stop(self) -> None:
+        """Shut the server down and join the loop thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until(self._stop, drain=self.drain)
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

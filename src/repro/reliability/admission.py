@@ -55,25 +55,35 @@ class AdmissionQueue:
 
     Args:
         depth: maximum concurrently admitted requests (>= 1).
-        metrics: registry for ``reliability.admission.*`` instruments.
+        metrics: registry for the queue's instruments.
+        prefix: instrument namespace — ``reliability.admission`` by
+            default; front ends that keep their own bound (e.g. the
+            socket server's ``net.admission``) pass a distinct prefix so
+            two queues on one registry never share counters.
     """
 
-    def __init__(self, depth: int = 1024, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        depth: int = 1024,
+        metrics: MetricsRegistry | None = None,
+        prefix: str = "reliability.admission",
+    ) -> None:
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         self.depth = depth
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.prefix = prefix
         self._in_flight = 0
         self._admitted = self.metrics.counter(
-            "reliability.admission.admitted", "requests admitted"
+            f"{prefix}.admitted", "requests admitted"
         )
         self._shed = self.metrics.counter(
-            "reliability.admission.shed", "requests refused at the bound"
+            f"{prefix}.shed", "requests refused at the bound"
         )
         self._occupancy = self.metrics.gauge(
-            "reliability.admission.in_flight", "slots currently held"
+            f"{prefix}.in_flight", "slots currently held"
         )
-        self.metrics.gauge("reliability.admission.depth", "slot bound").set(depth)
+        self.metrics.gauge(f"{prefix}.depth", "slot bound").set(depth)
 
     # ------------------------------------------------------------------
     def try_admit(self) -> AdmissionTicket | None:

@@ -266,6 +266,11 @@ class BatchQueryRequest:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ServiceError(f"batch request is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "BatchQueryRequest":
+        """Validate and decode an already-parsed batch document."""
         if not isinstance(payload, dict):
             raise ServiceError("batch request must be a JSON object")
         raw = payload.get("queries")
@@ -293,7 +298,11 @@ class BatchQueryResponse:
     @classmethod
     def from_json(cls, text: str) -> "BatchQueryResponse":
         """Parse an instance back from its JSON string."""
-        payload = json.loads(text)
+        return cls.from_payload(json.loads(text))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BatchQueryResponse":
+        """Decode an already-parsed batch response document."""
         return cls(
             responses=tuple(
                 QueryResponse.from_payload(entry) for entry in payload["responses"]

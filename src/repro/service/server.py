@@ -328,6 +328,25 @@ class AcicService:
         except ServiceError as exc:
             return json.dumps({"error": str(exc)})
 
+    @property
+    def platforms(self) -> tuple[str, ...]:
+        """Hosted platform names, sorted (what a front end can serve)."""
+        return tuple(sorted(self._databases))
+
+    def degraded_response(self, request: QueryRequest) -> QueryResponse:
+        """Public degradation entry point for front ends.
+
+        The socket server uses it to answer work it cannot (or should
+        not) run — load shed at the network admission bound, or a queue
+        wait that outlived the request's deadline — with the same
+        stale-cache-or-baseline fallback and the same ``degraded``
+        accounting the internal failure paths use.
+
+        Raises:
+            ServiceError: the request targets an unhosted platform.
+        """
+        return self._degrade(request)
+
     # ------------------------------------------------------------------
     def warm(
         self,

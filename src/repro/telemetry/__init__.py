@@ -48,7 +48,11 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRegistry,
 )
-from repro.telemetry.report import aggregate_spans, render_report
+from repro.telemetry.report import (
+    aggregate_spans,
+    histogram_quantile,
+    render_report,
+)
 from repro.telemetry.spans import NullSpan, NullTracer, Span, SpanRecord, Tracer
 
 __all__ = [
@@ -79,6 +83,7 @@ __all__ = [
     "write_events_jsonl",
     "read_events_jsonl",
     "aggregate_spans",
+    "histogram_quantile",
     "render_report",
 ]
 

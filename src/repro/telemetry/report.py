@@ -13,7 +13,43 @@ from dataclasses import dataclass
 from repro.telemetry.registry import Counter, Gauge, Histogram
 from repro.telemetry.spans import SpanRecord
 
-__all__ = ["StageStat", "aggregate_spans", "render_report"]
+__all__ = [
+    "StageStat",
+    "aggregate_spans",
+    "histogram_quantile",
+    "render_report",
+]
+
+
+def histogram_quantile(histogram: Histogram, q: float) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    Prometheus ``histogram_quantile`` semantics: find the bucket the
+    target rank lands in and interpolate linearly inside it (the first
+    bucket interpolates from 0).  Ranks that land in the +Inf overflow
+    bucket return the largest finite bound — the estimate is clamped to
+    what the buckets can resolve, which is exactly how the latency-SLO
+    reports read p50/p95/p99 off ``net.*``/``loadgen.*`` histograms.
+
+    Raises:
+        ValueError: ``q`` outside [0, 1] or an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if histogram.count == 0:
+        raise ValueError(
+            f"histogram {histogram.name!r} has no observations to rank"
+        )
+    target = q * histogram.count
+    cumulative = 0
+    lower = 0.0
+    for bound, bucket_count in zip(histogram.bounds, histogram.counts):
+        if bucket_count and cumulative + bucket_count >= target:
+            fraction = (target - cumulative) / bucket_count
+            return lower + (bound - lower) * max(0.0, fraction)
+        cumulative += bucket_count
+        lower = bound
+    return histogram.bounds[-1]
 
 
 @dataclass(frozen=True)

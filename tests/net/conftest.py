@@ -1,0 +1,37 @@
+"""Fixtures for the socket front-end tests.
+
+Servers run on a background event-loop thread (``ServerThread``) against
+a service built from the session-memoized pipeline context, so every
+test talks to a real TCP socket without paying for training twice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.server import AcicServer, ServerThread
+from repro.service.server import AcicService
+
+
+def fresh_service(context) -> AcicService:
+    """A newly constructed service hosting the shared training database."""
+    service = AcicService(
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    service.host_database(context.database)
+    return service
+
+
+@pytest.fixture()
+def hosted_service(context) -> AcicService:
+    return fresh_service(context)
+
+
+@pytest.fixture()
+def running_server(hosted_service):
+    """A live (server, host, port) triple; shuts down after the test."""
+    server = AcicServer(hosted_service, port=0, workers=2)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    yield server, host, port
+    thread.stop()

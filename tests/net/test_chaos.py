@@ -1,0 +1,58 @@
+"""Chaos over the wire: with scoring faults injected, every request is
+answered degraded — never dropped, never a transport error."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.client import AcicClient
+from repro.net.loadgen import synthetic_queries
+from repro.net.server import AcicServer, ServerThread
+from repro.reliability import FaultInjector, FaultPlan, FaultRule, use_injector
+
+from tests.net.conftest import fresh_service
+
+
+@pytest.fixture()
+def chaos_queries(context):
+    return synthetic_queries(context.database.platform_name, 12, seed=23)
+
+
+class TestChaosOverTheWire:
+    def test_hard_scoring_outage_degrades_not_drops(self, context, chaos_queries):
+        service = fresh_service(context)
+        server = AcicServer(service, port=0, workers=2)
+        plan = FaultPlan(
+            seed=5, rules=(FaultRule(site="serving.*", probability=1.0),)
+        )
+        with ServerThread(server) as (host, port):
+            with use_injector(FaultInjector(plan)) as injector:
+                with AcicClient(host, port) as client:
+                    responses = client.query_batch(chaos_queries)
+            assert injector.hits() > 0, "the fault plan never fired"
+        # Every query was answered on the same connection, degraded.
+        assert len(responses) == len(chaos_queries)
+        assert all(r.degraded for r in responses)
+        assert all(r.recommendations for r in responses)
+        # No unstructured failure surfaced anywhere on the wire.
+        metrics = service.metrics
+        assert metrics.get("net.internal_errors").value == 0
+        assert metrics.get("net.protocol_errors").value == 0
+
+    def test_burst_outage_is_ridden_out_by_retries(self, context, chaos_queries):
+        service = fresh_service(context)
+        server = AcicServer(service, port=0, workers=2)
+        plan = FaultPlan(
+            seed=5,
+            rules=(
+                FaultRule(site="ml.predict", probability=1.0, max_hits=2),
+            ),
+        )
+        with ServerThread(server) as (host, port):
+            with use_injector(FaultInjector(plan)):
+                with AcicClient(host, port) as client:
+                    response = client.query(chaos_queries[0])
+        # Two transient faults sit inside the default retry budget: the
+        # wire answer is a full-quality one.
+        assert not response.degraded
+        assert response.recommendations

@@ -1,0 +1,115 @@
+"""End-to-end: a real ``acic serve --listen`` subprocess, driven by the
+multiprocess load harness through the real CLI, shut down with SIGTERM.
+
+This is the acceptance path for the network front end: >= 1000 queries
+from >= 2 client processes, zero unstructured failures, responses
+byte-identical to the in-process service, graceful drain, exit 0.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.net.client import AcicClient
+from repro.net.loadgen import synthetic_queries
+
+from tests.net.conftest import fresh_service
+
+
+@pytest.fixture(scope="module")
+def artifacts_dir(tmp_path_factory, context):
+    """A packed artifact directory built from the shared pipeline."""
+    from repro.core.objectives import Goal
+
+    out = tmp_path_factory.mktemp("artifacts")
+    service = fresh_service(context)
+    platform = context.database.platform_name
+    for goal in (Goal.PERFORMANCE, Goal.COST):
+        service.warm(platform, goal, "cart")
+    service.save(out)
+    return out
+
+
+@pytest.fixture(scope="module")
+def serving_subprocess(artifacts_dir):
+    """A real ``acic serve --listen`` child process on an ephemeral port."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--artifacts", str(artifacts_dir),
+            "--listen", "127.0.0.1:0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    address = None
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("# listening on "):
+            address = line.split()[-1]
+            break
+    if address is None:
+        proc.kill()
+        raise RuntimeError("server subprocess never reported its address")
+    host, port = address.rsplit(":", 1)
+    yield proc, host, int(port)
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=30.0)
+
+
+class TestEndToEnd:
+    def test_thousand_queries_from_two_processes_then_sigterm(
+        self, serving_subprocess, context, capsys
+    ):
+        proc, host, port = serving_subprocess
+
+        # Responses over the wire are byte-identical to the in-process
+        # service answering the same queries on the same database.
+        queries = synthetic_queries(context.database.platform_name, 8, seed=31)
+        reference = fresh_service(context)
+        with AcicClient(host, port) as client:
+            remote = client.query_batch(queries)
+        local = reference.query_batch(queries)
+        assert [r.to_json() for r in remote] == [r.to_json() for r in local]
+
+        # The real CLI drives >= 1000 queries from 2 runner processes.
+        code = main([
+            "load",
+            "--connect", f"{host}:{port}",
+            "--processes", "2",
+            "--concurrency", "4",
+            "--requests", "1000",
+            "--batch-size", "4",
+            "--deadline-ms", "30000",
+            "--p99-slo-ms", "30000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "queries sent          1000" in out
+        assert "latency p99" in out
+        assert "PASS: zero unstructured failures" in out
+
+        # SIGTERM drains and exits 0.
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60.0) == 0
+        tail = proc.stdout.read()
+        assert "draining in-flight requests" in tail
+        assert "served" in tail

@@ -1,0 +1,190 @@
+"""Traffic-harness tests: arrival processes, run reports, and real runs
+(inline and multiprocess) against a live server."""
+
+from __future__ import annotations
+
+import itertools
+import queue
+
+import pytest
+
+from repro.net.loadgen import (
+    LoadConfig,
+    RunReport,
+    WorkerResult,
+    _collect,
+    arrival_gaps,
+    run_load,
+    synthetic_queries,
+)
+from repro.util.rng import RngStream
+
+
+def _config(**overrides) -> LoadConfig:
+    base = dict(host="127.0.0.1", port=1)
+    base.update(overrides)
+    return LoadConfig(**base)
+
+
+class TestConfigValidation:
+    def test_open_loop_requires_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            _config(mode="open", duration_s=None)
+
+    def test_unknown_mode_and_arrival_are_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            _config(mode="sideways")
+        with pytest.raises(ValueError, match="arrival"):
+            _config(arrival="bursty")
+
+    def test_bounds_are_checked(self):
+        with pytest.raises(ValueError):
+            _config(processes=0)
+        with pytest.raises(ValueError):
+            _config(rate_qps=0.0)
+        with pytest.raises(ValueError):
+            _config(diurnal_amplitude=1.5)
+
+
+class TestSyntheticQueries:
+    def test_deterministic_per_seed(self):
+        first = synthetic_queries("ec2-us-east", 32, seed=7)
+        second = synthetic_queries("ec2-us-east", 32, seed=7)
+        other = synthetic_queries("ec2-us-east", 32, seed=8)
+        assert first == second
+        assert first != other
+
+    def test_queries_are_valid_and_varied(self):
+        queries = synthetic_queries("ec2-us-east", 64, seed=0)
+        assert len(queries) == 64
+        assert len({q.fingerprint for q in queries}) == 64
+        assert len({q.goal for q in queries}) == 2  # both objectives mixed in
+        assert all(q.platform == "ec2-us-east" for q in queries)
+
+    def test_cycles_past_the_distinct_pool(self):
+        queries = synthetic_queries("p", 800, seed=0)
+        assert len(queries) == 800
+        assert queries[0] == queries[384]
+
+
+class TestArrivals:
+    def test_constant_gaps_are_the_metronome(self):
+        config = _config(mode="open", duration_s=1.0, rate_qps=50.0)
+        gaps = list(itertools.islice(arrival_gaps(config, RngStream(0)), 10))
+        assert all(gap == pytest.approx(0.02) for gap in gaps)
+
+    def test_poisson_gaps_are_reproducible_and_positive(self):
+        config = _config(
+            mode="open", duration_s=1.0, arrival="poisson", rate_qps=100.0
+        )
+        first = list(itertools.islice(arrival_gaps(config, RngStream(3, "a")), 50))
+        second = list(itertools.islice(arrival_gaps(config, RngStream(3, "a")), 50))
+        assert first == second
+        assert all(gap > 0 for gap in first)
+        mean = sum(first) / len(first)
+        assert 0.002 < mean < 0.05  # around 1/rate, loosely
+
+    def test_diurnal_rate_swings_with_simulated_time_of_day(self):
+        # A full simulated day sweeps rate*(1 ± amplitude); the fastest
+        # gaps must be meaningfully shorter than the slowest ones.
+        config = _config(
+            mode="open", duration_s=10.0, arrival="diurnal", rate_qps=100.0,
+            time_scale_factor=86400.0 / 10.0, diurnal_amplitude=0.8,
+        )
+        gaps = list(itertools.islice(arrival_gaps(config, RngStream(9)), 2000))
+        assert min(gaps) < max(gaps)
+        assert all(gap > 0 for gap in gaps)
+
+
+class TestCollect:
+    class _DeadProc:
+        exitcode = 1
+
+    def test_dead_worker_becomes_a_failure_result(self):
+        out: queue.Queue = queue.Queue()
+        out.put(WorkerResult(worker=0, sent=5, ok=5))
+        results = _collect([self._DeadProc(), self._DeadProc()], out)
+        assert len(results) == 2
+        reported = [r for r in results if r.failure is None]
+        missing = [r for r in results if r.failure is not None]
+        assert len(reported) == 1 and reported[0].sent == 5
+        assert len(missing) == 1
+        assert "without reporting" in missing[0].failure
+
+
+class TestReport:
+    def test_render_carries_the_slo_numbers(self):
+        report = RunReport(
+            mode="closed", arrival="constant", processes=2, duration_s=2.0,
+            sent=100, ok=90, degraded=8, cached=40, rejected=2,
+            transport_errors=0, reconnects=1, throughput_qps=50.0,
+            p50_ms=3.0, p95_ms=9.0, p99_ms=12.0, mean_ms=4.0,
+            degraded_rate=0.08, shed_or_rejected_rate=0.1,
+        )
+        text = report.render()
+        assert "latency p99" in text and "12.00" in text
+        assert "degraded" in text and "8" in text
+        assert report.unstructured_failures == 0
+
+    def test_worker_failures_count_as_unstructured(self):
+        report = RunReport(
+            mode="open", arrival="poisson", processes=1, duration_s=1.0,
+            sent=10, ok=10, degraded=0, cached=0, rejected=0,
+            transport_errors=2, reconnects=0, throughput_qps=10.0,
+            p50_ms=1.0, p95_ms=1.0, p99_ms=1.0, mean_ms=1.0,
+            degraded_rate=0.0, shed_or_rejected_rate=0.0,
+            worker_failures=("worker 0 crashed",),
+        )
+        assert report.unstructured_failures == 3
+        assert "worker 0 crashed" in report.render()
+
+
+class TestLiveRuns:
+    def test_closed_loop_inline_run(self, running_server):
+        _, host, port = running_server
+        report = run_load(
+            LoadConfig(
+                host=host, port=port, processes=1, concurrency=4,
+                requests=40, batch_size=2, deadline_ms=30_000.0,
+            )
+        )
+        assert report.sent == 40
+        assert report.unstructured_failures == 0
+        assert report.ok + report.degraded == 40
+        assert report.p99_ms >= report.p50_ms > 0.0
+        assert report.throughput_qps > 0.0
+
+    def test_open_loop_inline_run(self, running_server):
+        _, host, port = running_server
+        report = run_load(
+            LoadConfig(
+                host=host, port=port, mode="open", processes=1,
+                duration_s=0.5, arrival="poisson", rate_qps=60.0,
+            )
+        )
+        assert report.unstructured_failures == 0
+        assert report.sent > 0
+
+    def test_platform_autodiscovery_from_server_info(
+        self, running_server, context
+    ):
+        _, host, port = running_server
+        report = run_load(
+            LoadConfig(host=host, port=port, processes=1, requests=4)
+        )
+        assert report.sent == 4
+        assert report.unstructured_failures == 0
+
+    def test_multiprocess_run(self, running_server):
+        _, host, port = running_server
+        report = run_load(
+            LoadConfig(
+                host=host, port=port, processes=2, concurrency=2,
+                requests=30, batch_size=3,
+            )
+        )
+        assert report.processes == 2
+        assert report.sent == 30
+        assert report.unstructured_failures == 0
+        assert len(report.per_worker) == 2
+        assert sum(r.sent for r in report.per_worker) == 30

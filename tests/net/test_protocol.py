@@ -1,0 +1,185 @@
+"""Wire-protocol tests: codec round trips, edge cases, and fuzzing."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.protocol import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    ProtocolError,
+    encode_frame,
+    error_payload,
+)
+
+_HEADER = struct.Struct("!2sBBII")
+
+
+def _raw_frame(
+    magic=MAGIC, version=PROTOCOL_VERSION, kind=int(FrameKind.QUERY),
+    request_id=1, body=b"{}", length=None,
+) -> bytes:
+    return _HEADER.pack(
+        magic, version, kind, request_id, len(body) if length is None else length
+    ) + body
+
+
+class TestRoundTrip:
+    def test_encode_decode_round_trips(self):
+        payload = {"queries": [{"top_k": 3}], "deadline_ms": 250.5}
+        data = encode_frame(FrameKind.BATCH, payload, request_id=42)
+        frames = FrameDecoder().feed(data)
+        assert frames == [
+            Frame(kind=FrameKind.BATCH, request_id=42, payload=payload)
+        ]
+
+    def test_byte_at_a_time_feed(self):
+        data = encode_frame(FrameKind.QUERY, {"a": 1}, request_id=7)
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i:i + 1]))
+        assert len(frames) == 1
+        assert frames[0].request_id == 7
+        assert decoder.pending == 0
+
+    def test_many_frames_in_one_feed(self):
+        data = b"".join(
+            encode_frame(FrameKind.PING, {}, request_id=i) for i in range(5)
+        )
+        frames = FrameDecoder().feed(data)
+        assert [f.request_id for f in frames] == [0, 1, 2, 3, 4]
+
+    def test_empty_payload_defaults_to_object(self):
+        frames = FrameDecoder().feed(encode_frame(FrameKind.PING))
+        assert frames[0].payload == {}
+
+    def test_pending_counts_incomplete_bytes(self):
+        data = encode_frame(FrameKind.QUERY, {"a": 1})
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:HEADER_SIZE + 1]) == []
+        assert decoder.pending == HEADER_SIZE + 1
+
+
+class TestEdgeCases:
+    def test_garbage_magic_fails_fast(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError) as err:
+            decoder.feed(b"GET / HTTP/1.1\r\n")
+        assert err.value.code == "bad_magic"
+
+    def test_garbage_fails_before_a_full_header(self):
+        # One wrong byte is enough — no waiting for 12 bytes of junk.
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(b"X")
+
+    def test_wrong_version_is_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            FrameDecoder().feed(_raw_frame(version=99))
+        assert err.value.code == "bad_version"
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            FrameDecoder().feed(_raw_frame(kind=200))
+        assert err.value.code == "unknown_kind"
+
+    def test_oversized_frame_refused_from_header_alone(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(ProtocolError) as err:
+            # Header only — the decoder must not wait for 2 KiB of body.
+            decoder.feed(_raw_frame(body=b"", length=2048))
+        assert err.value.code == "frame_too_large"
+
+    def test_encode_refuses_oversized_body(self):
+        with pytest.raises(ProtocolError) as err:
+            encode_frame(
+                FrameKind.BATCH, {"x": "y" * 2048}, max_frame_bytes=1024
+            )
+        assert err.value.code == "frame_too_large"
+
+    def test_non_json_body_is_bad_payload(self):
+        with pytest.raises(ProtocolError) as err:
+            FrameDecoder().feed(_raw_frame(body=b"\xff\xfe\x00"))
+        assert err.value.code == "bad_payload"
+
+    def test_non_object_body_is_bad_payload(self):
+        with pytest.raises(ProtocolError) as err:
+            FrameDecoder().feed(_raw_frame(body=b"[1, 2]"))
+        assert err.value.code == "bad_payload"
+
+    def test_violation_poisons_the_decoder(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"ZZ")
+        with pytest.raises(ProtocolError):
+            decoder.feed(encode_frame(FrameKind.PING))
+
+    def test_error_payload_shape(self):
+        assert error_payload("bad_magic", "nope") == {
+            "error": {"code": "bad_magic", "message": "nope"}
+        }
+
+    def test_default_guard_is_8_mib(self):
+        assert MAX_FRAME_BYTES == 8 * 1024 * 1024
+
+
+_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.text(max_size=16),
+        st.booleans(),
+        st.none(),
+    ),
+    max_size=6,
+)
+
+
+class TestFuzz:
+    @given(
+        payload=_payloads,
+        kind=st.sampled_from(sorted(FrameKind)),
+        request_id=st.integers(min_value=0, max_value=2**32 - 1),
+        cuts=st.lists(st.integers(min_value=0, max_value=400), max_size=6),
+    )
+    @settings(max_examples=200)
+    def test_any_chunking_round_trips(self, payload, kind, request_id, cuts):
+        data = encode_frame(kind, payload, request_id)
+        positions = sorted({min(c, len(data)) for c in cuts})
+        chunks, start = [], 0
+        for position in positions + [len(data)]:
+            chunks.append(data[start:position])
+            start = position
+        decoder = FrameDecoder()
+        frames = []
+        for chunk in chunks:
+            frames.extend(decoder.feed(chunk))
+        assert frames == [Frame(kind=kind, request_id=request_id, payload=payload)]
+        assert decoder.pending == 0
+
+    @given(data=st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_arbitrary_bytes_never_raise_anything_else(self, data):
+        decoder = FrameDecoder()
+        try:
+            frames = decoder.feed(data)
+        except ProtocolError:
+            return  # structured rejection is the contract
+        for frame in frames:  # anything decoded must be a real frame
+            assert isinstance(frame.kind, FrameKind)
+            assert isinstance(frame.payload, dict)
+
+    @given(payload=_payloads)
+    @settings(max_examples=100)
+    def test_wire_body_is_plain_json(self, payload):
+        data = encode_frame(FrameKind.INFO, payload)
+        assert json.loads(data[HEADER_SIZE:].decode("utf-8")) == payload

@@ -1,0 +1,301 @@
+"""Socket server tests: parity with the in-process service, wire edge
+cases, capacity guards, deadlines, shedding, and graceful shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.net.client import AcicClient, AsyncAcicClient, RemoteError
+from repro.net.protocol import FrameDecoder, FrameKind, encode_frame
+from repro.net.server import AcicServer, ServerThread
+from repro.service.api import BatchQueryRequest
+from repro.telemetry import ManualClock
+
+from tests.net.conftest import fresh_service
+
+
+@pytest.fixture()
+def queries(context):
+    from repro.net.loadgen import synthetic_queries
+
+    return synthetic_queries(context.database.platform_name, 8, seed=11)
+
+
+def _wait_for(predicate, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached within timeout")
+
+
+class TestParity:
+    def test_single_query_matches_in_process(
+        self, context, running_server, queries
+    ):
+        _, host, port = running_server
+        reference = fresh_service(context)
+        with AcicClient(host, port) as client:
+            remote = client.query(queries[0])
+        local = reference.handle(queries[0])
+        assert remote.to_json() == local.to_json()
+
+    def test_batch_is_byte_identical_to_in_process(
+        self, context, running_server, queries
+    ):
+        _, host, port = running_server
+        reference = fresh_service(context)
+        with AcicClient(host, port) as client:
+            remote = client.query_batch(queries)
+        local = reference.query_batch(queries)
+        assert [r.to_json() for r in remote] == [r.to_json() for r in local]
+
+    def test_pipelined_batches_answer_in_order(self, running_server, queries):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            answers = client.pipeline([queries[:3], queries[3:6], queries[6:]])
+        assert [len(batch) for batch in answers] == [3, 3, 2]
+
+    def test_ping_and_server_info(self, running_server, context):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            assert client.ping() < 5.0
+            info = client.server_info()
+        assert info["protocol_version"] == 1
+        assert context.database.platform_name in info["platforms"]
+        assert info["max_frame_bytes"] > 0
+
+
+class TestWireEdgeCases:
+    def test_bad_request_gets_structured_error_and_connection_lives(
+        self, running_server, queries
+    ):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            with pytest.raises(RemoteError) as err:
+                client.query_batch([])  # empty batch is a ServiceError
+            assert err.value.code == "bad_request"
+            # Same connection still answers real work.
+            assert len(client.query_batch(queries[:2])) == 2
+
+    def test_unexpected_frame_kind_is_rejected_structurally(
+        self, running_server
+    ):
+        server, host, port = running_server
+        with AcicClient(host, port) as client:
+            request_id = client._send(FrameKind.RESPONSE, {"nonsense": True})
+            with pytest.raises(RemoteError) as err:
+                client._recv_matching(request_id)
+        assert err.value.code == "unexpected_kind"
+
+    def test_garbage_bytes_get_error_frame_then_close(self, running_server):
+        server, host, port = running_server
+        with socket.create_connection((host, port), timeout=5.0) as raw:
+            raw.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = raw.recv(65536)
+                if not data:
+                    break
+                frames.extend(decoder.feed(data))
+            assert frames, "server closed without a structured error"
+            assert frames[0].kind is FrameKind.ERROR
+            assert frames[0].payload["error"]["code"] == "bad_magic"
+            assert raw.recv(65536) == b""  # then the server hangs up
+        # The server survives and keeps serving fresh connections.
+        with AcicClient(host, port) as client:
+            client.ping()
+        assert server.service.metrics.get("net.protocol_errors").value >= 1
+
+    def test_oversized_frame_is_refused_from_the_header(self, context):
+        service = fresh_service(context)
+        server = AcicServer(service, port=0, max_frame_bytes=1024)
+        with ServerThread(server) as (host, port):
+            with socket.create_connection((host, port), timeout=5.0) as raw:
+                header = struct.Struct("!2sBBII").pack(b"AC", 1, 2, 1, 4096)
+                raw.sendall(header)
+                decoder = FrameDecoder()
+                frames = []
+                while not frames:
+                    data = raw.recv(65536)
+                    if not data:
+                        break
+                    frames.extend(decoder.feed(data))
+                assert frames[0].kind is FrameKind.ERROR
+                assert frames[0].payload["error"]["code"] == "frame_too_large"
+
+    def test_mid_frame_disconnect_is_accounted(self, running_server):
+        server, host, port = running_server
+        before = server.service.metrics.get("net.protocol_errors").value
+        data = encode_frame(FrameKind.QUERY, {"characteristics": {}})
+        with socket.create_connection((host, port), timeout=5.0) as raw:
+            raw.sendall(data[: len(data) // 2])
+        _wait_for(
+            lambda: server.service.metrics.get("net.protocol_errors").value
+            > before
+        )
+
+
+class TestCapacity:
+    def test_max_conns_refusal_is_structured(self, context, queries):
+        service = fresh_service(context)
+        server = AcicServer(service, port=0, max_conns=1)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port) as first:
+                first.ping()  # occupy the only slot
+                with AcicClient(host, port) as second:
+                    with pytest.raises(RemoteError) as err:
+                        second.ping()
+                    assert err.value.code == "server_at_capacity"
+            assert service.metrics.get("net.connections.refused").value == 1
+
+    def test_shed_requests_degrade_instead_of_dropping(self, context, queries):
+        service = fresh_service(context)
+        service.warm(
+            context.database.platform_name, queries[0].goal, queries[0].learner
+        )
+        gate = threading.Event()
+        original = service.handle
+
+        def gated(request):
+            gate.wait(timeout=30.0)
+            return original(request)
+
+        service.handle = gated
+        server = AcicServer(service, port=0, workers=1, queue_depth=1)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port, timeout_s=30.0) as client:
+                # A occupies the single admission slot inside the gate...
+                id_a = client._send(FrameKind.QUERY, queries[0].to_payload())
+                _wait_for(lambda: server.admission.in_flight == 1)
+                # ...so B is shed — and must still get a degraded answer.
+                id_b = client._send(FrameKind.QUERY, queries[1].to_payload())
+                _wait_for(
+                    lambda: service.metrics.get("net.admission.shed").value == 1
+                )
+                gate.set()
+                replies = {
+                    f.request_id: f
+                    for f in (client._recv_response(), client._recv_response())
+                }
+        from repro.service.api import QueryResponse
+
+        answer_a = QueryResponse.from_payload(replies[id_a].payload)
+        answer_b = QueryResponse.from_payload(replies[id_b].payload)
+        assert not answer_a.degraded
+        assert answer_b.degraded
+
+
+class TestDeadlines:
+    def test_expired_deadline_degrades_before_the_service_runs(
+        self, context, queries
+    ):
+        clock = ManualClock()
+        service = fresh_service(context)
+        service.warm(
+            context.database.platform_name, queries[0].goal, queries[0].learner
+        )
+        gate = threading.Event()
+        original = service.handle
+
+        def gated(request):
+            gate.wait(timeout=30.0)
+            return original(request)
+
+        service.handle = gated
+        server = AcicServer(service, port=0, workers=1, clock=clock)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port, timeout_s=30.0) as client:
+                # A blocks the single worker inside the service call.
+                id_a = client._send(FrameKind.QUERY, queries[0].to_payload())
+                _wait_for(lambda: server.admission.in_flight >= 1)
+                # B arrives with a 100 ms budget; its Deadline starts now.
+                payload = dict(queries[1].to_payload(), deadline_ms=100.0)
+                id_b = client._send(FrameKind.QUERY, payload)
+                _wait_for(lambda: server.admission.in_flight == 2)
+                clock.advance(1.0)  # 1 s queue wait >> 100 ms budget
+                gate.set()
+                replies = {
+                    f.request_id: f
+                    for f in (client._recv_response(), client._recv_response())
+                }
+        from repro.service.api import QueryResponse
+
+        assert not QueryResponse.from_payload(replies[id_a].payload).degraded
+        assert QueryResponse.from_payload(replies[id_b].payload).degraded
+        assert service.metrics.get("net.deadline_expired").value == 1
+
+    def test_generous_deadline_is_honored(self, running_server, queries):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            response = client.query(queries[0], deadline_ms=60_000.0)
+        assert not response.degraded
+
+
+class TestAsyncClient:
+    def test_concurrent_queries_on_one_connection(self, running_server, queries):
+        _, host, port = running_server
+
+        async def drive():
+            client = await AsyncAcicClient.connect(host, port)
+            try:
+                await client.ping()
+                info = await client.server_info()
+                results = await asyncio.gather(
+                    *(client.query(q) for q in queries[:6])
+                )
+                batch = await client.query_batch(queries[:4])
+                return info, results, batch
+            finally:
+                await client.close()
+
+        info, results, batch = asyncio.run(drive())
+        assert info["protocol_version"] == 1
+        assert len(results) == 6
+        assert all(r.recommendations for r in results)
+        assert len(batch) == 4
+
+
+class TestShutdown:
+    def test_graceful_drain_answers_in_flight_work(self, context, queries):
+        service = fresh_service(context)
+        server = AcicServer(service, port=0, workers=2)
+        thread = ServerThread(server, drain=True)
+        host, port = thread.start()
+        client = AcicClient(host, port)
+        try:
+            assert len(client.query_batch(queries)) == len(queries)
+        finally:
+            client.close()
+        thread.stop()
+        assert service.metrics.get("net.connections.active").value == 0
+        # A post-shutdown request gets a refusal or connect error, never
+        # a hang — the listener is gone.
+        with pytest.raises(Exception):
+            AcicClient(host, port, connect_retries=0, timeout_s=2.0).ping()
+
+    def test_latency_histogram_feeds_the_slo_report(
+        self, running_server, queries
+    ):
+        from repro.telemetry import histogram_quantile
+
+        server, host, port = running_server
+        with AcicClient(host, port) as client:
+            client.query_batch(queries)
+        histogram = server.service.metrics.get("net.request_latency_s")
+        assert histogram.count == 1
+        assert histogram_quantile(histogram, 0.99) > 0.0
+
+    def test_batch_request_document_round_trips_types(self, queries):
+        # The wire carries the existing service documents unchanged.
+        document = BatchQueryRequest(queries=tuple(queries))
+        parsed = BatchQueryRequest.from_json(document.to_json())
+        assert parsed == document

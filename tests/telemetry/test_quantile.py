@@ -1,0 +1,54 @@
+"""Tests for the Prometheus-style histogram quantile estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Histogram, histogram_quantile
+
+
+def _loaded(values, bounds=(1.0, 2.0, 4.0, 8.0)) -> Histogram:
+    histogram = Histogram("t.latency", bounds)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestHistogramQuantile:
+    def test_single_bucket_interpolates_linearly(self):
+        histogram = _loaded([0.5] * 100, bounds=(1.0,))
+        assert histogram_quantile(histogram, 0.5) == pytest.approx(0.5)
+        assert histogram_quantile(histogram, 1.0) == pytest.approx(1.0)
+
+    def test_quantiles_are_monotone(self):
+        histogram = _loaded([0.5, 1.5, 1.7, 3.0, 3.5, 7.0, 7.5])
+        quantiles = [
+            histogram_quantile(histogram, q)
+            for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+        ]
+        assert quantiles == sorted(quantiles)
+
+    def test_median_lands_in_the_right_bucket(self):
+        # 10 observations <= 1, 90 in (2, 4]: the median is in (2, 4].
+        histogram = _loaded([0.5] * 10 + [3.0] * 90)
+        median = histogram_quantile(histogram, 0.5)
+        assert 2.0 < median <= 4.0
+
+    def test_overflow_clamps_to_the_last_finite_bound(self):
+        histogram = _loaded([100.0] * 5)  # all in the +Inf bucket
+        assert histogram_quantile(histogram, 0.99) == 8.0
+
+    def test_invalid_inputs_raise(self):
+        histogram = _loaded([1.0])
+        with pytest.raises(ValueError):
+            histogram_quantile(histogram, 1.5)
+        with pytest.raises(ValueError):
+            histogram_quantile(_loaded([]), 0.5)
+
+    def test_p99_on_latency_shaped_data(self):
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        histogram = _loaded([0.005] * 98 + [0.5] * 2, bounds=bounds)
+        p50 = histogram_quantile(histogram, 0.50)
+        p99 = histogram_quantile(histogram, 0.99)
+        assert 0.001 < p50 <= 0.01
+        assert 0.1 < p99 <= 1.0
