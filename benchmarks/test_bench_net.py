@@ -96,3 +96,84 @@ def test_sustained_throughput_meets_p95_slo(context, warm_server):
     )
     assert single.unstructured_failures == 0
     assert single.p95_ms < P95_SLO_MS
+
+
+# ----------------------------------------------------------------------
+# Tracing / logging overhead guardrails (PR 5).
+#
+# The observability plane must be close to free on the wire hot path:
+# with tracing + structured logging fully on (every request sampled,
+# every request logged), a 256-query batch round trip stays within 10%
+# of the PR 4 baseline; with the machinery wired but the sampler saying
+# no (the envelope still rides the frame, nothing is recorded), within
+# 2%.  Rounds are interleaved and each arm takes its min, the standard
+# microbenchmark idiom for suppressing scheduler noise.
+
+TRACING_ROUNDS = 7
+TRACED_SLOWDOWN_BAR = 1.10
+SAMPLED_OFF_SLOWDOWN_BAR = 1.02
+
+
+def _timed_round_trip(service, client, queries, trace=None) -> float:
+    import time
+
+    service._cache.clear()  # measure the wire + inference path, all arms
+    start = time.perf_counter()
+    client.query_batch(queries, trace=trace)
+    return time.perf_counter() - start
+
+
+def test_tracing_and_logging_overhead_guardrail(context, warm_server):
+    import io
+
+    from repro.telemetry import JsonLogger, Telemetry, use_logger, use_telemetry
+    from repro.telemetry.tracing import IdGenerator, TraceContext
+
+    service, host, port = warm_server
+    queries = synthetic_queries(context.platform.name, 256, seed=29)
+    bundle = Telemetry()
+    sink = io.StringIO()
+    ids = IdGenerator(4096)
+
+    def unsampled():
+        # The sampler said no: the envelope still crosses the wire but
+        # neither side records a span.
+        return TraceContext(ids.trace_id(), ids.span_id(), sampled=False)
+
+    with AcicClient(host, port) as client:
+        client.query_batch(queries)  # build per-model engines once
+        # Throwaway round per arm: warm every code path before timing.
+        _timed_round_trip(service, client, queries)
+        _timed_round_trip(service, client, queries, trace=unsampled())
+        with use_telemetry(bundle), use_logger(JsonLogger(sink)):
+            _timed_round_trip(service, client, queries)
+
+        baseline, sampled_off, traced = [], [], []
+        for _ in range(TRACING_ROUNDS):
+            baseline.append(_timed_round_trip(service, client, queries))
+            sampled_off.append(
+                _timed_round_trip(service, client, queries, trace=unsampled())
+            )
+            bundle.tracer.reset()
+            with use_telemetry(bundle), use_logger(JsonLogger(sink)):
+                traced.append(_timed_round_trip(service, client, queries))
+
+    # The traced arm really traced (client root + adopted server spans)
+    # and really logged.
+    names = {record.name for record in bundle.tracer.records}
+    assert {"net.client.request", "net.request"} <= names
+    assert any(record.trace_parent for record in bundle.tracer.records)
+    assert '"event": "net.request"' in sink.getvalue()
+
+    traced_ratio = min(traced) / min(baseline)
+    assert traced_ratio <= TRACED_SLOWDOWN_BAR, (
+        f"tracing+logging batch is {traced_ratio:.3f}x the baseline "
+        f"(bar: {TRACED_SLOWDOWN_BAR}x; baseline {min(baseline):.4f}s, "
+        f"traced {min(traced):.4f}s)"
+    )
+    off_ratio = min(sampled_off) / min(baseline)
+    assert off_ratio <= SAMPLED_OFF_SLOWDOWN_BAR, (
+        f"sampled-off batch is {off_ratio:.3f}x the baseline "
+        f"(bar: {SAMPLED_OFF_SLOWDOWN_BAR}x; baseline {min(baseline):.4f}s, "
+        f"sampled-off {min(sampled_off):.4f}s)"
+    )

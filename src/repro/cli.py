@@ -24,6 +24,11 @@ Subcommands mirror the released tool's workflow:
 * ``acic apps``                       — list the bundled application models.
 * ``acic telemetry``                  — instrumented demo run + per-stage
   timing/counters report (or render a saved ``events.jsonl``).
+* ``acic ops health --connect 127.0.0.1:7431`` — query a live server's
+  ops plane (``health``, ``metrics``, ``slo``) over the framed protocol.
+* ``acic trace show --events client.jsonl --events server.jsonl`` —
+  stitch span exports from several processes by trace id and print the
+  per-trace critical-path tree.
 
 ``train``, ``recommend`` and ``serve-batch`` accept
 ``--telemetry-out events.jsonl``: the command runs with telemetry
@@ -154,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry-out", default=None, metavar="EVENTS.JSONL",
                        help="run with telemetry enabled; write span events "
                             "here on shutdown")
+    serve.add_argument("--log-jsonl", default=None, metavar="LOG.JSONL",
+                       help="--listen: write structured JSONL logs here "
+                            "(one JSON object per line, trace-correlated)")
+    serve.add_argument("--slo-latency-ms", type=float, default=1000.0,
+                       metavar="MS",
+                       help="--listen: latency threshold for the burn-rate "
+                            "SLO monitor (default 1000)")
+    serve.add_argument("--slo-target", type=float, default=0.99,
+                       metavar="FRAC",
+                       help="--listen: latency-SLO target fraction in (0, 1) "
+                            "(default 0.99)")
     _add_reliability_flags(serve)
 
     load = sub.add_parser(
@@ -187,6 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="root seed for queries, arrivals and backoff")
     load.add_argument("--p99-slo-ms", type=float, default=None, metavar="MS",
                       help="fail (exit 1) when p99 latency exceeds this")
+    load.add_argument("--trace-ratio", type=float, default=0.0, metavar="FRAC",
+                      help="fraction of requests carrying a trace context "
+                           "(0..1; the report lists the slowest traced "
+                           "requests' trace ids)")
 
     pack = sub.add_parser(
         "pack", help="train models and save them as versioned artifacts"
@@ -234,6 +254,35 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--format", choices=("text", "json", "prom"), default="text",
         help="demo output: per-stage report, JSON snapshot, or Prometheus text",
+    )
+
+    ops = sub.add_parser(
+        "ops", help="query a live server's ops plane (health/metrics/slo)"
+    )
+    ops.add_argument("probe", choices=("health", "metrics", "slo"),
+                     help="which ops endpoint to hit")
+    ops.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="the server's address")
+    ops.add_argument("--format", choices=("json", "prom"), default="json",
+                     help="metrics: JSON snapshot or Prometheus text")
+    ops.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                     help="socket timeout (default 10s)")
+
+    trace = sub.add_parser(
+        "trace", help="stitch + inspect span exports from several processes"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser(
+        "show", help="print a per-trace critical-path tree"
+    )
+    trace_show.add_argument(
+        "--events", action="append", required=True, metavar="EVENTS.JSONL",
+        help="span export to stitch (repeat per process; the file's stem "
+             "labels the process in the tree)",
+    )
+    trace_show.add_argument(
+        "--trace-id", default=None, metavar="HEX",
+        help="render only this trace (default: every stitched trace)",
     )
 
     report = sub.add_parser("report", help="write the full reproduction report")
@@ -289,6 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         "pack": _cmd_pack,
         "serve-batch": _cmd_serve_batch,
         "telemetry": _cmd_telemetry,
+        "ops": _cmd_ops,
+        "trace": _cmd_trace,
         "report": _cmd_report,
         "dbcheck": _cmd_dbcheck,
         "apps": _cmd_apps,
@@ -520,16 +571,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _serve_listen(args: argparse.Namespace, service) -> int:
     """Run the asyncio socket front end until SIGINT/SIGTERM, then drain."""
     import asyncio
+    import contextlib
     import signal
 
     from repro.net.protocol import MAX_FRAME_BYTES
     from repro.net.server import AcicServer
+    from repro.telemetry import JsonLogger, SloMonitor, SloObjective, use_logger
 
     try:
         host, port = _parse_endpoint(args.listen)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if not 0.0 < args.slo_target < 1.0:
+        print(f"error: --slo-target must be in (0, 1), got {args.slo_target}",
+              file=sys.stderr)
+        return 2
+
+    log_stack = contextlib.ExitStack()
+    if args.log_jsonl:
+        sink = log_stack.enter_context(open(args.log_jsonl, "w"))
+        log_stack.enter_context(use_logger(JsonLogger(sink)))
+        print(f"# structured logs -> {args.log_jsonl}", flush=True)
+
+    slo = SloMonitor((
+        SloObjective(
+            f"latency_p{args.slo_target * 100:g}_{args.slo_latency_ms:g}ms",
+            target=args.slo_target,
+            latency_threshold_s=args.slo_latency_ms / 1e3,
+        ),
+        SloObjective("availability", target=0.999),
+    ))
     server = AcicServer(
         service,
         host=host,
@@ -538,6 +610,7 @@ def _serve_listen(args: argparse.Namespace, service) -> int:
         queue_depth=args.queue_depth,
         workers=args.workers,
         max_frame_bytes=args.max_frame_bytes or MAX_FRAME_BYTES,
+        slo=slo,
     )
 
     async def amain() -> None:
@@ -551,7 +624,8 @@ def _serve_listen(args: argparse.Namespace, service) -> int:
         print("# draining in-flight requests...", flush=True)
         await server.shutdown(drain=True)
 
-    asyncio.run(amain())
+    with log_stack:
+        asyncio.run(amain())
     stats = service.stats()
     print(
         f"# served {stats.queries_served} queries over the wire "
@@ -586,6 +660,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         deadline_ms=args.deadline_ms,
         seed=args.seed,
+        trace_ratio=args.trace_ratio,
     )
     report = run_load(config)
     print(report.render())
@@ -605,6 +680,64 @@ def _cmd_load(args: argparse.Namespace) -> int:
               + (f"; p99 within {args.p99_slo_ms:.2f} ms SLO"
                  if args.p99_slo_ms is not None else ""))
     return code
+
+
+def _cmd_ops(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.client import AcicClient, RemoteError
+
+    try:
+        host, port = _parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with AcicClient(host, port, timeout_s=args.timeout) as client:
+            if args.probe == "health":
+                payload = client.ops_health()
+            elif args.probe == "metrics":
+                payload = client.ops_metrics(format=args.format)
+            else:
+                payload = client.ops_slo()
+    except (OSError, RemoteError) as exc:
+        print(f"error: ops {args.probe} failed: {exc}", file=sys.stderr)
+        return 1
+    if payload.get("format") == "prom":
+        print(payload["text"], end="")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.probe == "health" and payload.get("status") != "ok":
+        return 1
+    if args.probe == "slo" and payload.get("state") == "page":
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_events_jsonl, render_trace, stitch_traces
+
+    labeled = []
+    for path in args.events:
+        records = read_events_jsonl(path)
+        labeled.append((Path(path).stem, records))
+    traces = stitch_traces(labeled)
+    if not traces:
+        print("no traced spans found in the given exports", file=sys.stderr)
+        return 1
+    if args.trace_id is not None:
+        roots = traces.get(args.trace_id.lower())
+        if roots is None:
+            print(f"error: trace {args.trace_id!r} not found "
+                  f"({len(traces)} trace(s) available)", file=sys.stderr)
+            return 1
+        print(render_trace(args.trace_id.lower(), roots))
+        return 0
+    for index, (trace_id, roots) in enumerate(sorted(traces.items())):
+        if index:
+            print()
+        print(render_trace(trace_id, roots))
+    return 0
 
 
 def _cmd_pack(args: argparse.Namespace) -> int:

@@ -18,6 +18,17 @@ reliability layer's :class:`~repro.reliability.BackoffPolicy` on a
 seeded :class:`~repro.util.rng.RngStream`), so a client racing a
 just-booting server settles instead of failing.
 
+Distributed tracing: when the process-wide telemetry is enabled (or an
+explicit ``trace=`` context is passed), requests carry a
+:class:`~repro.telemetry.tracing.TraceContext` in the payload envelope;
+the sync client additionally runs each round trip inside a local
+``net.client.request`` span whose wire id is the context's span id, so
+the server's ``net.request`` span stitches as its child.  The asyncio
+client mints and attaches contexts but opens no local span — overlapped
+in-flight requests would interleave on the tracer's single span stack.
+Sampling is a client-side :class:`~repro.telemetry.tracing.Sampler`
+(always/never/ratio/on-error) decided per trace id.
+
 Error taxonomy — everything a client raises is structured:
 
 * :class:`ConnectError` — could not establish a connection;
@@ -46,6 +57,8 @@ from repro.service.api import (
     QueryRequest,
     QueryResponse,
 )
+from repro.telemetry import get_logger, get_telemetry
+from repro.telemetry.tracing import IdGenerator, Sampler, TraceContext
 from repro.util.rng import RngStream
 
 __all__ = [
@@ -87,18 +100,28 @@ def _error_fields(frame: Frame) -> tuple[str, str]:
 
 
 def _batch_payload(
-    requests: list[QueryRequest], deadline_ms: float | None
+    requests: list[QueryRequest],
+    deadline_ms: float | None,
+    trace: TraceContext | None = None,
 ) -> dict:
     payload: dict = {"queries": [r.to_payload() for r in requests]}
     if deadline_ms is not None:
         payload["deadline_ms"] = deadline_ms
+    if trace is not None:
+        payload["trace"] = trace.to_wire()
     return payload
 
 
-def _query_payload(request: QueryRequest, deadline_ms: float | None) -> dict:
+def _query_payload(
+    request: QueryRequest,
+    deadline_ms: float | None,
+    trace: TraceContext | None = None,
+) -> dict:
     payload = request.to_payload()
     if deadline_ms is not None:
         payload["deadline_ms"] = deadline_ms
+    if trace is not None:
+        payload["trace"] = trace.to_wire()
     return payload
 
 
@@ -114,6 +137,10 @@ class AcicClient:
             its largest response).
         seed: backoff jitter stream seed.
         sleep: injectable ``sleep(seconds)`` for backoff (tests).
+        sampler: head-sampling policy for auto-generated trace
+            contexts (default: sample every trace).
+        ids: trace/span id mint (random-seeded by default; pass a
+            seeded one in tests for reproducible ids).
     """
 
     def __init__(
@@ -126,11 +153,15 @@ class AcicClient:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         seed: int = 0,
         sleep=time.sleep,
+        sampler: Sampler | None = None,
+        ids: IdGenerator | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.max_frame_bytes = max_frame_bytes
+        self.sampler = sampler if sampler is not None else Sampler()
+        self.ids = ids if ids is not None else IdGenerator()
         self._decoder = FrameDecoder(max_frame_bytes)
         self._frames: list[Frame] = []
         self._next_id = 1
@@ -152,6 +183,11 @@ class AcicClient:
             except OSError as exc:
                 last = exc
                 if attempt < len(delays):
+                    get_logger().warning(
+                        "net.client.connect_retry",
+                        host=self.host, port=self.port,
+                        attempt=attempt + 1, error=str(exc),
+                    )
                     sleep(delays[attempt])
         raise ConnectError(
             f"could not connect to {self.host}:{self.port} "
@@ -159,24 +195,71 @@ class AcicClient:
         )
 
     # ------------------------------------------------------------------
+    def _prepare_trace(self, trace: TraceContext | None):
+        """The wire context and the telemetry bundle to scope it on.
+
+        An explicit ``trace`` is used as given; otherwise a fresh
+        context is minted per request while telemetry is enabled.
+        Returns ``(ctx, telemetry)`` where ``telemetry`` is None when no
+        local span scope should open.
+        """
+        telemetry = get_telemetry()
+        if trace is not None:
+            return trace, (telemetry if telemetry.enabled else None)
+        if not telemetry.enabled:
+            return None, None
+        trace_id = self.ids.trace_id()
+        sampled = self.sampler.decide(trace_id)
+        return TraceContext(trace_id, self.ids.span_id(), sampled), telemetry
+
+    def _traced_round_trip(
+        self,
+        kind: FrameKind,
+        payload: dict,
+        ctx: TraceContext | None,
+        telemetry,
+        span_kind: str,
+    ) -> Frame:
+        if telemetry is None or ctx is None:
+            request_id = self._send(kind, payload)
+            return self._recv_matching(request_id)
+        # The round trip *is* the client's request span; claiming the
+        # context's span id makes the server's net.request its child.
+        with telemetry.tracer.trace(
+            ctx, claim_root=True, on_error_only=self.sampler.on_error_only
+        ):
+            with telemetry.span("net.client.request", kind=span_kind):
+                request_id = self._send(kind, payload)
+                return self._recv_matching(request_id)
+
     def query(
-        self, request: QueryRequest, deadline_ms: float | None = None
+        self,
+        request: QueryRequest,
+        deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> QueryResponse:
         """One query, one round trip."""
-        request_id = self._send(
-            FrameKind.QUERY, _query_payload(request, deadline_ms)
+        ctx, telemetry = self._prepare_trace(trace)
+        frame = self._traced_round_trip(
+            FrameKind.QUERY,
+            _query_payload(request, deadline_ms, ctx),
+            ctx, telemetry, "query",
         )
-        frame = self._recv_matching(request_id)
         return QueryResponse.from_payload(frame.payload)
 
     def query_batch(
-        self, requests: list[QueryRequest], deadline_ms: float | None = None
+        self,
+        requests: list[QueryRequest],
+        deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> list[QueryResponse]:
         """One batch document, one round trip, answers in request order."""
-        request_id = self._send(
-            FrameKind.BATCH, _batch_payload(list(requests), deadline_ms)
+        ctx, telemetry = self._prepare_trace(trace)
+        frame = self._traced_round_trip(
+            FrameKind.BATCH,
+            _batch_payload(list(requests), deadline_ms, ctx),
+            ctx, telemetry, "batch",
         )
-        frame = self._recv_matching(request_id)
         return list(
             BatchQueryResponse.from_payload(frame.payload).responses
         )
@@ -225,6 +308,28 @@ class AcicClient:
         """The server's INFO document (platforms, stats, limits)."""
         request_id = self._send(FrameKind.STATS, {})
         return self._recv_matching(request_id, expect=FrameKind.INFO).payload
+
+    # ------------------------------------------------------------------
+    def ops_health(self) -> dict:
+        """The server's liveness/readiness document (HEALTH frame)."""
+        request_id = self._send(FrameKind.HEALTH, {})
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
+
+    def ops_metrics(self, format: str = "json") -> dict:
+        """A metrics snapshot (``json`` document or ``prom`` text)."""
+        request_id = self._send(FrameKind.METRICS, {"format": format})
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
+
+    def ops_slo(self) -> dict:
+        """The server's multi-window SLO burn-rate status."""
+        request_id = self._send(FrameKind.SLO, {})
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
 
     # ------------------------------------------------------------------
     def _send(self, kind: FrameKind, payload: dict) -> int:
@@ -304,11 +409,15 @@ class AsyncAcicClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        sampler: Sampler | None = None,
+        ids: IdGenerator | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._decoder = FrameDecoder(max_frame_bytes)
         self.max_frame_bytes = max_frame_bytes
+        self.sampler = sampler if sampler is not None else Sampler()
+        self.ids = ids if ids is not None else IdGenerator()
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 1
         self._closed = False
@@ -323,6 +432,8 @@ class AsyncAcicClient:
         connect_retries: int = 5,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         seed: int = 0,
+        sampler: Sampler | None = None,
+        ids: IdGenerator | None = None,
     ) -> "AsyncAcicClient":
         """Open a connection, retrying with randomized backoff."""
         backoff = BackoffPolicy(
@@ -334,10 +445,16 @@ class AsyncAcicClient:
         for attempt in range(connect_retries + 1):
             try:
                 reader, writer = await asyncio.open_connection(host, port)
-                return cls(reader, writer, max_frame_bytes)
+                return cls(reader, writer, max_frame_bytes,
+                           sampler=sampler, ids=ids)
             except OSError as exc:
                 last = exc
                 if attempt < len(delays):
+                    get_logger().warning(
+                        "net.client.connect_retry",
+                        host=host, port=port,
+                        attempt=attempt + 1, error=str(exc),
+                    )
                     await asyncio.sleep(delays[attempt])
         raise ConnectError(
             f"could not connect to {host}:{port} "
@@ -345,21 +462,45 @@ class AsyncAcicClient:
         )
 
     # ------------------------------------------------------------------
+    def _mint_trace(self, trace: TraceContext | None) -> TraceContext | None:
+        """A wire context for one request — explicit, minted, or None.
+
+        No local span scope opens here: overlapped in-flight requests
+        share one tracer stack, so only the server side records spans
+        for async-client traffic.
+        """
+        if trace is not None:
+            return trace
+        if not get_telemetry().enabled:
+            return None
+        trace_id = self.ids.trace_id()
+        return TraceContext(
+            trace_id, self.ids.span_id(), self.sampler.decide(trace_id)
+        )
+
     async def query(
-        self, request: QueryRequest, deadline_ms: float | None = None
+        self,
+        request: QueryRequest,
+        deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> QueryResponse:
         """One query; other requests may overlap on this connection."""
         frame = await self._round_trip(
-            FrameKind.QUERY, _query_payload(request, deadline_ms)
+            FrameKind.QUERY,
+            _query_payload(request, deadline_ms, self._mint_trace(trace)),
         )
         return QueryResponse.from_payload(frame.payload)
 
     async def query_batch(
-        self, requests: list[QueryRequest], deadline_ms: float | None = None
+        self,
+        requests: list[QueryRequest],
+        deadline_ms: float | None = None,
+        trace: TraceContext | None = None,
     ) -> list[QueryResponse]:
         """One batch document; answers in request order."""
         frame = await self._round_trip(
-            FrameKind.BATCH, _batch_payload(list(requests), deadline_ms)
+            FrameKind.BATCH,
+            _batch_payload(list(requests), deadline_ms, self._mint_trace(trace)),
         )
         return list(
             BatchQueryResponse.from_payload(frame.payload).responses
@@ -373,6 +514,27 @@ class AsyncAcicClient:
         """The server's INFO document."""
         frame = await self._round_trip(
             FrameKind.STATS, {}, expect=FrameKind.INFO
+        )
+        return frame.payload
+
+    async def ops_health(self) -> dict:
+        """The server's liveness/readiness document (HEALTH frame)."""
+        frame = await self._round_trip(
+            FrameKind.HEALTH, {}, expect=FrameKind.OPS_REPLY
+        )
+        return frame.payload
+
+    async def ops_metrics(self, format: str = "json") -> dict:
+        """A metrics snapshot (``json`` document or ``prom`` text)."""
+        frame = await self._round_trip(
+            FrameKind.METRICS, {"format": format}, expect=FrameKind.OPS_REPLY
+        )
+        return frame.payload
+
+    async def ops_slo(self) -> dict:
+        """The server's multi-window SLO burn-rate status."""
+        frame = await self._round_trip(
+            FrameKind.SLO, {}, expect=FrameKind.OPS_REPLY
         )
         return frame.payload
 

@@ -49,6 +49,7 @@ from repro.reliability.retry import BackoffPolicy
 from repro.service.api import QueryRequest
 from repro.space.characteristics import AppCharacteristics, IOInterface, OpKind
 from repro.telemetry import MetricsRegistry, histogram_quantile
+from repro.telemetry.tracing import IdGenerator, TraceContext
 from repro.util.rng import RngStream
 
 __all__ = [
@@ -90,6 +91,11 @@ class LoadConfig:
         platform: target platform; ``None`` auto-discovers via STATS.
         deadline_ms: per-request queue budget forwarded to the server.
         seed: RNG root for query sampling, arrivals and backoff.
+        trace_ratio: fraction of requests that carry a distributed
+            trace context (deterministic per seed); traced requests'
+            ids surface in the report's slowest-request samples, so a
+            tail-latency investigation can jump straight from the load
+            report to the server's span export.
     """
 
     host: str
@@ -108,8 +114,13 @@ class LoadConfig:
     platform: str | None = None
     deadline_ms: float | None = None
     seed: int = 0
+    trace_ratio: float = 0.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_ratio <= 1.0:
+            raise ValueError(
+                f"trace_ratio must be in [0, 1], got {self.trace_ratio}"
+            )
         if self.mode not in ("closed", "open"):
             raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
         if self.arrival not in ARRIVALS:
@@ -145,6 +156,8 @@ class WorkerResult:
     transport_errors: int = 0   #: unstructured failures (connection died, ...)
     reconnects: int = 0
     latencies_s: tuple[float, ...] = ()
+    #: (latency_s, trace_id) pairs for requests that carried a context.
+    traced: tuple[tuple[float, str], ...] = ()
     failure: str | None = None  #: runner itself died (setup, unexpected)
 
 
@@ -176,6 +189,8 @@ class RunReport:
     degraded_rate: float
     shed_or_rejected_rate: float
     worker_failures: tuple[str, ...] = ()
+    #: Slowest traced requests, worst first: (latency_s, trace_id).
+    slow_traces: tuple[tuple[float, str], ...] = ()
     per_worker: tuple[WorkerResult, ...] = field(default=(), repr=False)
 
     @property
@@ -202,6 +217,12 @@ class RunReport:
             f"latency p99     {self.p99_ms:10.2f} ms",
             f"latency mean    {self.mean_ms:10.2f} ms",
         ]
+        if self.slow_traces:
+            lines.append("slowest traced requests:")
+            for latency_s, trace_id in self.slow_traces:
+                lines.append(
+                    f"  trace {trace_id}  {latency_s * 1e3:10.2f} ms"
+                )
         for failure in self.worker_failures:
             lines.append(f"worker failure: {failure}")
         return "\n".join(lines)
@@ -307,12 +328,17 @@ class _Runner:
         self.transport_errors = 0
         self.reconnects = 0
         self.latencies: list[float] = []
+        self.traced: list[tuple[float, str]] = []
         self._cursor = 0
         self._backoff = BackoffPolicy(
             max_retries=6, base_s=0.05, multiplier=2.0, cap_s=2.0, jitter=0.5
         )
         self._error_streak = 0
         self.client: AsyncAcicClient | None = None
+        # Deterministic per (seed, worker): which requests get a trace
+        # context, and what ids those contexts carry.
+        self._trace_rng = RngStream(config.seed, "loadgen.trace", worker_idx)
+        self._trace_ids = IdGenerator(config.seed, "loadgen", worker_idx)
 
     def result(self, failure: str | None = None) -> WorkerResult:
         return WorkerResult(
@@ -325,6 +351,7 @@ class _Runner:
             transport_errors=self.transport_errors,
             reconnects=self.reconnects,
             latencies_s=tuple(self.latencies),
+            traced=tuple(self.traced),
             failure=failure,
         )
 
@@ -361,6 +388,17 @@ class _Runner:
         self.reconnects += 1
         return True
 
+    def _maybe_trace(self) -> TraceContext | None:
+        """A trace context for this request, per ``trace_ratio``."""
+        ratio = self.config.trace_ratio
+        if ratio <= 0.0:
+            return None
+        if ratio < 1.0 and self._trace_rng.uniform() >= ratio:
+            return None
+        return TraceContext(
+            self._trace_ids.trace_id(), self._trace_ids.span_id()
+        )
+
     async def fire_once(self) -> None:
         """Issue one request frame and account for its outcome."""
         config = self.config
@@ -369,19 +407,25 @@ class _Runner:
             self.sent += len(batch)
             self.transport_errors += len(batch)
             return
+        trace = self._maybe_trace()
         start = time.perf_counter()
         try:
             assert self.client is not None
             if config.batch_size == 1:
                 responses = [
-                    await self.client.query(batch[0], deadline_ms=config.deadline_ms)
+                    await self.client.query(
+                        batch[0], deadline_ms=config.deadline_ms, trace=trace
+                    )
                 ]
             else:
                 responses = await self.client.query_batch(
-                    batch, deadline_ms=config.deadline_ms
+                    batch, deadline_ms=config.deadline_ms, trace=trace
                 )
         except RemoteError:
-            self.latencies.append(time.perf_counter() - start)
+            latency = time.perf_counter() - start
+            self.latencies.append(latency)
+            if trace is not None:
+                self.traced.append((latency, trace.trace_id))
             self.sent += len(batch)
             self.rejected += len(batch)
             self._error_streak = 0
@@ -392,7 +436,10 @@ class _Runner:
             self.transport_errors += len(batch)
             await self._reconnect()
             return
-        self.latencies.append(time.perf_counter() - start)
+        latency = time.perf_counter() - start
+        self.latencies.append(latency)
+        if trace is not None:
+            self.traced.append((latency, trace.trace_id))
         self.sent += len(batch)
         self._error_streak = 0
         for response in responses:
@@ -580,6 +627,9 @@ def run_load(config: LoadConfig) -> RunReport:
     degraded = sum(r.degraded for r in results)
     rejected = sum(r.rejected for r in results)
     has_latency = latency.count > 0
+    traced = sorted(
+        (pair for r in results for pair in r.traced), reverse=True
+    )
     return RunReport(
         mode=config.mode,
         arrival=config.arrival,
@@ -602,5 +652,6 @@ def run_load(config: LoadConfig) -> RunReport:
         worker_failures=tuple(
             r.failure for r in results if r.failure is not None
         ),
+        slow_traces=tuple(traced[:5]),
         per_worker=tuple(results),
     )

@@ -13,9 +13,18 @@ The body carries the *existing* service protocol documents from
 payload in a QUERY frame, a ``{"queries": [...]}`` document in a BATCH
 frame, and the matching response documents on the way back — so the wire
 layer adds framing, versioning and error envelopes without inventing a
-second schema.  A request document may additionally carry a top-level
-``"deadline_ms"`` number; the server treats it as that request's queue
-budget (see :mod:`repro.net.server`).
+second schema.  A request document may additionally carry two top-level
+envelope keys: a ``"deadline_ms"`` number, treated as that request's
+queue budget (see :mod:`repro.net.server`), and a ``"trace"`` object —
+``{"trace_id": <32 hex>, "span_id": <16 hex>, "sampled": bool}``, the
+wire form of :class:`repro.telemetry.tracing.TraceContext` — which the
+server adopts so its spans parent onto the client's.  A malformed trace
+envelope is ignored, never an error: observability must not fail
+requests.
+
+Ops frames (HEALTH / METRICS / SLO) let operators interrogate a live
+server over the same socket; each is answered with an OPS_REPLY frame
+carrying a structured JSON document (see ``docs/NETWORK.md``).
 
 Robustness rules (the edge cases the test suite pins down):
 
@@ -75,9 +84,13 @@ class FrameKind(IntEnum):
     BATCH_RESPONSE = 4  #: a BatchQueryResponse document
     ERROR = 5           #: ``{"error": {"code": ..., "message": ...}}``
     PING = 6            #: liveness probe (empty body)
-    PONG = 7            #: liveness reply (empty body)
+    PONG = 7            #: liveness reply (uptime/version/telemetry)
     STATS = 8           #: server-info request (empty body)
     INFO = 9            #: server-info reply
+    HEALTH = 10         #: ops: liveness/readiness probe (empty body)
+    METRICS = 11        #: ops: metrics snapshot (``{"format": "json|prom"}``)
+    SLO = 12            #: ops: SLO burn-rate status (empty body)
+    OPS_REPLY = 13      #: ops reply document for any of the above
 
 
 class ProtocolError(ValueError):

@@ -39,6 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     Frame,
     FrameDecoder,
     FrameKind,
@@ -54,9 +55,24 @@ from repro.service.api import (
     ServiceError,
 )
 from repro.service.server import AcicService
-from repro.telemetry import Clock, MonotonicClock, get_telemetry
+from repro.telemetry import (
+    Clock,
+    MonotonicClock,
+    SloMonitor,
+    SloObjective,
+    TraceContext,
+    get_logger,
+    get_telemetry,
+    json_snapshot,
+    prometheus_text,
+)
 
-__all__ = ["REQUEST_LATENCY_BUCKETS", "AcicServer", "ServerThread"]
+__all__ = [
+    "DEFAULT_SLO_OBJECTIVES",
+    "REQUEST_LATENCY_BUCKETS",
+    "AcicServer",
+    "ServerThread",
+]
 
 #: Bucket bounds (seconds) for ``net.request_latency_s`` — microseconds
 #: through tens of seconds, the span a Python service can plausibly cover.
@@ -66,6 +82,13 @@ REQUEST_LATENCY_BUCKETS = (
 )
 
 _READ_CHUNK = 64 * 1024
+
+#: Default service-level objectives for the ops plane: 99% of requests
+#: answered within a second, 99.9% answered without a structured error.
+DEFAULT_SLO_OBJECTIVES = (
+    SloObjective("latency_p99_1s", target=0.99, latency_threshold_s=1.0),
+    SloObjective("availability", target=0.999),
+)
 
 
 class AcicServer:
@@ -86,6 +109,12 @@ class AcicServer:
             budgets (tests pass a ManualClock).
         telemetry: explicit bundle for request spans; defaults to the
             process-wide active one at call time.
+        logger: explicit structured logger for per-request events;
+            defaults to the process-wide active one at call time.
+        slo: burn-rate monitor fed by every request outcome; a default
+            one (:data:`DEFAULT_SLO_OBJECTIVES`, 5m/1h windows on this
+            server's clock) is built when omitted, so the ``slo_status``
+            ops frame always answers.
     """
 
     def __init__(
@@ -100,6 +129,8 @@ class AcicServer:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         clock: Clock | None = None,
         telemetry=None,
+        logger=None,
+        slo: SloMonitor | None = None,
     ) -> None:
         if max_conns < 1:
             raise ValueError(f"max_conns must be >= 1, got {max_conns}")
@@ -112,6 +143,11 @@ class AcicServer:
         self.max_frame_bytes = max_frame_bytes
         self.clock = clock if clock is not None else MonotonicClock()
         self._telemetry = telemetry
+        self._logger = logger
+        self.slo = slo if slo is not None else SloMonitor(
+            DEFAULT_SLO_OBJECTIVES, clock=self.clock
+        )
+        self.started_at = self.clock.now()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="acic-net"
         )
@@ -297,12 +333,16 @@ class AcicServer:
     ) -> None:
         """Dispatch one frame and write its reply."""
         if frame.kind is FrameKind.PING:
-            await self._send(writer, write_lock, FrameKind.PONG, {},
-                             frame.request_id)
+            await self._send(writer, write_lock, FrameKind.PONG,
+                             self._liveness_fields(), frame.request_id)
             return
         if frame.kind is FrameKind.STATS:
             await self._send(writer, write_lock, FrameKind.INFO,
                              self._info_payload(), frame.request_id)
+            return
+        if frame.kind in (FrameKind.HEALTH, FrameKind.METRICS, FrameKind.SLO):
+            kind, payload = self._ops_reply(frame)
+            await self._send(writer, write_lock, kind, payload, frame.request_id)
             return
         if frame.kind not in (FrameKind.QUERY, FrameKind.BATCH):
             self._request_errors.inc()
@@ -321,23 +361,48 @@ class AcicServer:
         self._requests.inc()
         received_at = self.clock.now()
         deadline = self._request_deadline(frame)
+        ctx = TraceContext.from_wire(frame.payload.get("trace"))
         ticket = self.admission.try_admit()
         if ticket is None:
             # Shed: answer degraded from the loop thread — the whole
             # point is not to queue more work behind the pool.
             kind, payload = self._shed_reply(frame)
             await self._send(writer, write_lock, kind, payload, frame.request_id)
-            self._latency.observe(self.clock.now() - received_at)
+            self._finish_request(frame, ctx, kind, received_at, shed=True)
             return
         try:
             loop = asyncio.get_running_loop()
             kind, payload = await loop.run_in_executor(
-                self._pool, self._execute, frame, deadline
+                self._pool, self._execute, frame, deadline, ctx
             )
         finally:
             ticket.release()
         await self._send(writer, write_lock, kind, payload, frame.request_id)
-        self._latency.observe(self.clock.now() - received_at)
+        self._finish_request(frame, ctx, kind, received_at)
+
+    def _finish_request(
+        self,
+        frame: Frame,
+        ctx: TraceContext | None,
+        reply_kind: FrameKind,
+        received_at: float,
+        shed: bool = False,
+    ) -> None:
+        """Post-reply accounting: latency, SLO tally, request log line."""
+        latency = self.clock.now() - received_at
+        self._latency.observe(latency)
+        error = reply_kind is FrameKind.ERROR
+        self.slo.record(latency, error=error)
+        logger = self._logger if self._logger is not None else get_logger()
+        fields = {
+            "request_id": frame.request_id,
+            "kind": frame.kind.name.lower(),
+            "status": "error" if error else ("shed" if shed else "ok"),
+            "latency_ms": round(latency * 1e3, 3),
+        }
+        if ctx is not None:
+            fields["trace_id"] = ctx.trace_id
+        (logger.error if error else logger.info)("net.request", **fields)
 
     def _request_deadline(self, frame: Frame) -> Deadline | None:
         """The request's queue budget, when its document carries one."""
@@ -353,11 +418,16 @@ class AcicServer:
         return Deadline(budget_s, clock=self.clock)
 
     def _execute(
-        self, frame: Frame, deadline: Deadline | None
+        self, frame: Frame, deadline: Deadline | None,
+        ctx: TraceContext | None = None,
     ) -> tuple[FrameKind, dict]:
         """Pool-thread body: parse, run (or degrade), encode.
 
         Never raises: every failure mode maps to a structured reply.
+        The client's trace context (when the frame carried one) is
+        adopted under the service lock — the tracer is single-threaded,
+        so the scope must open where the tracer runs — and the
+        ``net.request`` span parents onto the client's span id.
         """
         try:
             if frame.kind is FrameKind.QUERY:
@@ -381,15 +451,16 @@ class AcicServer:
                         if self._telemetry is not None
                         else get_telemetry()
                     )
-                    with telemetry.span(
-                        "net.request",
-                        kind=frame.kind.name.lower(),
-                        queries=len(requests),
-                    ):
-                        if frame.kind is FrameKind.QUERY:
-                            responses = [self.service.handle(requests[0])]
-                        else:
-                            responses = self.service.query_batch(requests)
+                    with telemetry.tracer.trace(ctx):
+                        with telemetry.span(
+                            "net.request",
+                            kind=frame.kind.name.lower(),
+                            queries=len(requests),
+                        ):
+                            if frame.kind is FrameKind.QUERY:
+                                responses = [self.service.handle(requests[0])]
+                            else:
+                                responses = self.service.query_batch(requests)
             if reply_kind is FrameKind.RESPONSE:
                 return reply_kind, responses[0].to_payload()
             return reply_kind, {
@@ -427,13 +498,73 @@ class AcicServer:
             self._request_errors.inc()
             return FrameKind.ERROR, error_payload("bad_request", str(exc))
 
+    def _telemetry_enabled(self) -> bool:
+        telemetry = (
+            self._telemetry if self._telemetry is not None else get_telemetry()
+        )
+        return bool(telemetry.enabled)
+
+    def _liveness_fields(self) -> dict:
+        """The uptime/version/telemetry fields shared by PONG and INFO."""
+        return {
+            "uptime_s": self.clock.now() - self.started_at,
+            "protocol_version": PROTOCOL_VERSION,
+            "telemetry_enabled": self._telemetry_enabled(),
+        }
+
+    def _ops_reply(self, frame: Frame) -> tuple[FrameKind, dict]:
+        """Answer one HEALTH / METRICS / SLO frame (loop thread, cheap)."""
+        if frame.kind is FrameKind.HEALTH:
+            return FrameKind.OPS_REPLY, self._health_payload()
+        if frame.kind is FrameKind.SLO:
+            return FrameKind.OPS_REPLY, {"ops": "slo", **self.slo.status()}
+        fmt = frame.payload.get("format", "json")
+        if fmt == "json":
+            body = json_snapshot(self.service.metrics)
+            return FrameKind.OPS_REPLY, {"ops": "metrics", "format": "json",
+                                         "metrics": body["metrics"]}
+        if fmt == "prom":
+            return FrameKind.OPS_REPLY, {
+                "ops": "metrics",
+                "format": "prom",
+                "text": prometheus_text(self.service.metrics),
+            }
+        self._request_errors.inc()
+        return FrameKind.ERROR, error_payload(
+            "bad_request", f"unknown metrics format {fmt!r} (json|prom)"
+        )
+
+    def _health_payload(self) -> dict:
+        """OPS_REPLY body for a HEALTH frame: liveness + readiness."""
+        with self._service_lock:
+            stats = self.service.stats()
+            platforms = list(self.service.platforms)
+            breaker_state = self.service.resilience.breaker.state
+        return {
+            "ops": "health",
+            "status": "draining" if self._stopping else "ok",
+            "ready": bool(platforms),
+            **self._liveness_fields(),
+            "connections": {"active": len(self._writers), "max": self.max_conns},
+            "queue": {
+                "in_flight": self.admission.in_flight,
+                "depth": self.admission.depth,
+            },
+            "breakers": {"service.scoring": breaker_state},
+            "models": {
+                "generation": stats.models_trained,
+                "trained": stats.models_trained,
+                "platforms": platforms,
+            },
+        }
+
     def _info_payload(self) -> dict:
         """INFO reply: what a client needs to drive this server."""
         with self._service_lock:
             stats = self.service.stats()
             platforms = list(self.service.platforms)
         return {
-            "protocol_version": 1,
+            **self._liveness_fields(),
             "platforms": platforms,
             "max_frame_bytes": self.max_frame_bytes,
             "stats": {

@@ -18,6 +18,7 @@ Two invariants the property tests pin down:
 from __future__ import annotations
 
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.logging import get_logger
 
 __all__ = ["AdmissionTicket", "AdmissionQueue"]
 
@@ -90,6 +91,10 @@ class AdmissionQueue:
         """Admit if a slot is free; None means the request was shed."""
         if self._in_flight >= self.depth:
             self._shed.inc()
+            get_logger().warning(
+                "reliability.shed",
+                queue=self.prefix, in_flight=self._in_flight, depth=self.depth,
+            )
             return None
         self._in_flight += 1
         self._admitted.inc()

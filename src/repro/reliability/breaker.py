@@ -19,6 +19,7 @@ tests walk the full closed → open → half-open → closed cycle on a
 from __future__ import annotations
 
 from repro.telemetry import Clock, MetricsRegistry, MonotonicClock
+from repro.telemetry.logging import get_logger
 
 __all__ = ["BreakerOpen", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
 
@@ -159,6 +160,7 @@ class CircuitBreaker:
     def _transition(self, state: str) -> None:
         if state == self._state:
             return
+        previous = self._state
         self._state = state
         self._state_gauge.set(_STATE_CODES[state])
         if state == OPEN:
@@ -167,3 +169,8 @@ class CircuitBreaker:
             self._closed.inc()
         if state != OPEN:
             self._consecutive_failures = 0
+        level = "warning" if state == OPEN else "info"
+        get_logger().log(
+            level, "reliability.breaker_transition",
+            breaker=self.name, from_state=previous, to_state=state,
+        )

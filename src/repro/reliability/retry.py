@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 from repro.telemetry import ManualClock
+from repro.telemetry.logging import get_logger
 from repro.util.rng import RngStream
 
 __all__ = [
@@ -175,9 +176,18 @@ class Retry:
                 if attempts > len(delays):
                     if self._giveups is not None:
                         self._giveups.inc()
+                    get_logger().error(
+                        "reliability.retry_giveup",
+                        attempts=attempts, error=type(exc).__name__,
+                    )
                     raise RetryBudgetExceeded(attempts, exc) from exc
                 if self._retries is not None:
                     self._retries.inc()
                 delay = delays[attempts - 1]
+                get_logger().warning(
+                    "reliability.retry",
+                    attempt=attempts, delay_s=round(delay, 6),
+                    error=type(exc).__name__,
+                )
                 if delay > 0:
                     self.sleep(delay)

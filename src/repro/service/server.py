@@ -76,6 +76,7 @@ from repro.serving.artifacts import (
 from repro.serving.cache import LruCache
 from repro.serving.engine import BatchQueryEngine
 from repro.telemetry import Clock, MetricsRegistry, Telemetry, get_telemetry
+from repro.telemetry.logging import get_logger
 
 __all__ = ["ServiceStats", "AcicService"]
 
@@ -520,6 +521,11 @@ class AcicService:
         """
         self.resilience.degraded.inc()
         stale = self._cache.get(request.fingerprint)
+        get_logger().warning(
+            "service.degraded",
+            platform=request.platform, goal=request.goal,
+            fallback="stale_cache" if stale is not None else "baseline",
+        )
         if stale is not None:
             return replace(stale, cached=True, degraded=True)
         database = self._database_for(request.platform)

@@ -53,7 +53,23 @@ from repro.telemetry.report import (
     histogram_quantile,
     render_report,
 )
+from repro.telemetry.logging import (
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    get_logger,
+    set_logger,
+    use_logger,
+)
+from repro.telemetry.slo import SloMonitor, SloObjective
 from repro.telemetry.spans import NullSpan, NullTracer, Span, SpanRecord, Tracer
+from repro.telemetry.stitch import (
+    TraceNode,
+    critical_path,
+    render_trace,
+    stitch_traces,
+)
+from repro.telemetry.tracing import IdGenerator, Sampler, TraceContext
 
 __all__ = [
     "Clock",
@@ -78,6 +94,21 @@ __all__ = [
     "disable",
     "use_telemetry",
     "traced",
+    "TraceContext",
+    "IdGenerator",
+    "Sampler",
+    "TraceNode",
+    "stitch_traces",
+    "critical_path",
+    "render_trace",
+    "SloMonitor",
+    "SloObjective",
+    "JsonLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+    "get_logger",
+    "set_logger",
+    "use_logger",
     "json_snapshot",
     "prometheus_text",
     "write_events_jsonl",
@@ -99,10 +130,23 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, clock: Clock | None = None, max_spans: int = 100_000) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        max_spans: int = 100_000,
+        ids: IdGenerator | None = None,
+    ) -> None:
         self.clock = clock if clock is not None else MonotonicClock()
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(clock=self.clock, max_spans=max_spans)
+        self.tracer = Tracer(
+            clock=self.clock,
+            max_spans=max_spans,
+            ids=ids,
+            drop_counter=self.registry.counter(
+                "telemetry.spans_dropped",
+                "Finished spans discarded past the tracer max_spans bound",
+            ),
+        )
 
     # Convenience passthroughs, so call sites need one object only.
     def span(self, name: str, **attrs) -> Span:

@@ -119,6 +119,9 @@ def read_events_jsonl(path: str | Path) -> list[SpanRecord]:
                 start=event["start"],
                 end=event["end"],
                 attrs=event.get("attrs", {}),
+                trace_id=event.get("trace_id"),
+                trace_span=event.get("trace_span"),
+                trace_parent=event.get("trace_parent"),
             )
         )
     return records

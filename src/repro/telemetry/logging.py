@@ -1,0 +1,190 @@
+"""Structured JSONL logging with trace correlation.
+
+One :class:`JsonLogger` writes one JSON object per line to a sink,
+stamping each record with a wall-clock timestamp (injectable for tests),
+a level, an event name, caller fields, and — when a trace scope is open
+on the active telemetry — the current ``trace_id``, so log lines join
+spans and metrics on the same key.
+
+Repeated identical events are rate-limited per ``(level, event)`` key: a
+burst of up to ``suppress_burst`` records passes per ``suppress_window``
+seconds, then further repeats are swallowed and the *next* emitted
+record carries a ``suppressed_prior`` count — high-frequency failure
+loops (retry storms, shed floods) cost one line per window, not one per
+occurrence.
+
+The process-wide logger mirrors the telemetry facade: the default is a
+shared :class:`NullLogger`, so instrumented call sites pay one method
+call when logging is off.  Install with :func:`set_logger`, scope with
+:func:`use_logger`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, TextIO
+
+__all__ = [
+    "JsonLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+    "get_logger",
+    "set_logger",
+    "use_logger",
+]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonLogger:
+    """Structured logger: one JSON object per line on ``sink``.
+
+    Args:
+        sink: writable text stream (caller owns closing it).
+        level: minimum level emitted (debug/info/warning/error).
+        now: wall-clock source returning seconds (defaults to
+            :func:`time.time`; inject a deterministic one in tests).
+        suppress_window: seconds per suppression window (0 disables).
+        suppress_burst: records allowed per (level, event) per window.
+    """
+
+    def __init__(
+        self,
+        sink: TextIO,
+        level: str = "info",
+        now: Callable[[], float] | None = None,
+        suppress_window: float = 1.0,
+        suppress_burst: int = 5,
+    ) -> None:
+        if level not in _LEVELS:
+            raise ValueError(f"level must be one of {sorted(_LEVELS)}, got {level!r}")
+        if suppress_window < 0:
+            raise ValueError(f"suppress_window must be >= 0, got {suppress_window}")
+        if suppress_burst < 1:
+            raise ValueError(f"suppress_burst must be >= 1, got {suppress_burst}")
+        self.sink = sink
+        self.threshold = _LEVELS[level]
+        self.now = now if now is not None else time.time
+        self.suppress_window = suppress_window
+        self.suppress_burst = suppress_burst
+        self.emitted = 0
+        self.suppressed = 0
+        # (level, event) -> [window_start, emitted_in_window, suppressed]
+        self._windows: dict[tuple[str, str], list] = {}
+
+    # ------------------------------------------------------------------
+    def log(self, level: str, event: str, **fields) -> bool:
+        """Emit one record; returns True if it reached the sink."""
+        rank = _LEVELS.get(level)
+        if rank is None:
+            raise ValueError(f"unknown level {level!r}")
+        if rank < self.threshold:
+            return False
+        ts = self.now()
+        suppressed_prior = 0
+        if self.suppress_window > 0:
+            key = (level, event)
+            window = self._windows.get(key)
+            if window is None or ts - window[0] >= self.suppress_window:
+                window = [ts, 0, window[2] if window else 0]
+                self._windows[key] = window
+            if window[1] >= self.suppress_burst:
+                window[2] += 1
+                self.suppressed += 1
+                return False
+            window[1] += 1
+            suppressed_prior, window[2] = window[2], 0
+        record = {"ts": ts, "level": level, "event": event}
+        record.update(fields)
+        if suppressed_prior:
+            record["suppressed_prior"] = suppressed_prior
+        if "trace_id" not in record:
+            trace_id = _active_trace_id()
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+        self.sink.write(json.dumps(record, default=str) + "\n")
+        self.sink.flush()
+        self.emitted += 1
+        return True
+
+    def debug(self, event: str, **fields) -> bool:
+        """Emit at debug level."""
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> bool:
+        """Emit at info level."""
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> bool:
+        """Emit at warning level."""
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> bool:
+        """Emit at error level."""
+        return self.log("error", event, **fields)
+
+
+class NullLogger:
+    """The disabled mode: every record is swallowed, statelessly."""
+
+    emitted = 0
+    suppressed = 0
+
+    def log(self, level: str, event: str, **fields) -> bool:
+        """Discard the record."""
+        return False
+
+    def debug(self, event: str, **fields) -> bool:
+        """Discard the record."""
+        return False
+
+    def info(self, event: str, **fields) -> bool:
+        """Discard the record."""
+        return False
+
+    def warning(self, event: str, **fields) -> bool:
+        """Discard the record."""
+        return False
+
+    def error(self, event: str, **fields) -> bool:
+        """Discard the record."""
+        return False
+
+
+#: The one shared disabled-mode instance (also the initial active logger).
+NULL_LOGGER = NullLogger()
+
+_active: JsonLogger | NullLogger = NULL_LOGGER
+
+
+def _active_trace_id() -> str | None:
+    # Late import: telemetry.__init__ imports this module.
+    from repro.telemetry import get_telemetry
+
+    ctx = get_telemetry().tracer.current_trace
+    return ctx.trace_id if ctx is not None else None
+
+
+def get_logger() -> JsonLogger | NullLogger:
+    """The active structured logger (the no-op one unless installed)."""
+    return _active
+
+
+def set_logger(logger: JsonLogger | NullLogger) -> JsonLogger | NullLogger:
+    """Install ``logger`` as the active one; returns the previous."""
+    global _active
+    previous = _active
+    _active = logger
+    return previous
+
+
+@contextmanager
+def use_logger(logger: JsonLogger | NullLogger):
+    """Scope ``logger`` as the active one, restoring on exit."""
+    previous = set_logger(logger)
+    try:
+        yield logger
+    finally:
+        set_logger(previous)

@@ -107,8 +107,21 @@ def _format_seconds(seconds: float) -> str:
 
 
 def render_report(registry, records: Sequence[SpanRecord]) -> str:
-    """The full per-stage report: span table, then registry instruments."""
-    lines = ["== spans (per stage) =="]
+    """The full per-stage report: span table, then registry instruments.
+
+    A non-zero ``telemetry.spans_dropped`` counter (spans lost past the
+    tracer's ``max_spans`` bound) is called out up front — a truncated
+    span table silently understates totals otherwise.
+    """
+    lines = []
+    dropped = registry.get("telemetry.spans_dropped")
+    if dropped is not None and dropped.value:
+        lines.append(
+            f"!! {int(dropped.value)} span(s) dropped past the tracer bound "
+            "— stage totals below are incomplete"
+        )
+        lines.append("")
+    lines.append("== spans (per stage) ==")
     stages = aggregate_spans(records)
     if stages:
         lines.append(

@@ -1,0 +1,207 @@
+"""Multi-window burn-rate SLO monitoring on an injectable clock.
+
+An :class:`SloObjective` names a target fraction of *good* requests —
+either an error-rate objective (good = no error) or a latency objective
+(good = completed without error under ``latency_threshold_s``).  The
+:class:`SloMonitor` tallies good/bad events into coarse time buckets and
+evaluates each objective over several look-back windows (the classic
+5-minute / 1-hour pair), reporting the **burn rate**: the observed bad
+fraction divided by the error budget ``1 - target``.  Burn 1.0 spends
+the budget exactly at the sustainable pace; burn 2.0 spends a month of
+budget in half a month.
+
+State per objective follows the multi-window rule: ``page`` when *every*
+window burns at or above ``page_burn`` (fast and sustained — a real
+fire), ``warn`` when the shortest window burns at or above ``warn_burn``
+(budget is being spent too fast right now), else ``ok``.  Everything is
+driven by the injected clock, so a :class:`ManualClock` makes window
+rotation and burn arithmetic exactly testable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.telemetry.clock import Clock, MonotonicClock
+
+__all__ = ["SloObjective", "SloMonitor"]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective.
+
+    Args:
+        name: stable identifier (appears in ``slo_status`` replies).
+        target: required good fraction, in (0, 1) — e.g. 0.999.
+        latency_threshold_s: when set, a request is good only if it
+            completed without error within this many seconds; when None
+            the objective is a pure error-rate objective.
+    """
+
+    name: str
+    target: float
+    latency_threshold_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.latency_threshold_s is not None and self.latency_threshold_s <= 0:
+            raise ValueError(
+                f"latency_threshold_s must be > 0, got {self.latency_threshold_s}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed bad fraction, ``1 - target``."""
+        return 1.0 - self.target
+
+    def is_bad(self, latency_s: float, error: bool) -> bool:
+        """Does one request event violate this objective?"""
+        if error:
+            return True
+        if self.latency_threshold_s is not None:
+            return latency_s > self.latency_threshold_s
+        return False
+
+
+class SloMonitor:
+    """Tallies request events and reports per-window burn rates.
+
+    Args:
+        objectives: the SLOs to track (at least one).
+        windows: look-back horizons in seconds, shortest first
+            (default: 5 minutes and 1 hour).
+        clock: time source (defaults to the process monotonic clock).
+        warn_burn: shortest-window burn rate that raises ``warn``.
+        page_burn: burn rate that, sustained across *all* windows,
+            raises ``page``.
+        bucket_s: tally resolution; events land in ``now // bucket_s``
+            buckets and whole buckets age out of the windows.
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SloObjective, ...] | list[SloObjective],
+        windows: tuple[float, ...] = (300.0, 3600.0),
+        clock: Clock | None = None,
+        warn_burn: float = 1.0,
+        page_burn: float = 2.0,
+        bucket_s: float = 5.0,
+    ) -> None:
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        if not windows or list(windows) != sorted(windows):
+            raise ValueError(f"windows must be ascending, got {windows}")
+        if bucket_s <= 0 or bucket_s > windows[0]:
+            raise ValueError(
+                f"bucket_s must be in (0, {windows[0]}], got {bucket_s}"
+            )
+        if warn_burn <= 0 or page_burn < warn_burn:
+            raise ValueError(
+                f"need 0 < warn_burn <= page_burn, got {warn_burn}, {page_burn}"
+            )
+        self.objectives = tuple(objectives)
+        self.windows = tuple(float(w) for w in windows)
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.warn_burn = warn_burn
+        self.page_burn = page_burn
+        self.bucket_s = float(bucket_s)
+        self.total_events = 0
+        # bucket index -> per-objective [good, bad], oldest first.
+        self._buckets: OrderedDict[int, list[list[int]]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def record(self, latency_s: float, error: bool = False) -> None:
+        """Tally one request event against every objective."""
+        now = self.clock.now()
+        index = int(now // self.bucket_s)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = [[0, 0] for _ in self.objectives]
+            self._buckets[index] = bucket
+            self._evict(now)
+        for slot, objective in zip(bucket, self.objectives):
+            slot[objective.is_bad(latency_s, error)] += 1
+        self.total_events += 1
+
+    def _evict(self, now: float) -> None:
+        horizon = int((now - self.windows[-1]) // self.bucket_s)
+        while self._buckets:
+            oldest = next(iter(self._buckets))
+            if oldest > horizon:
+                break
+            del self._buckets[oldest]
+
+    # ------------------------------------------------------------------
+    def _tally(self, objective_index: int, window_s: float, now: float):
+        horizon = int((now - window_s) // self.bucket_s)
+        good = bad = 0
+        for index, bucket in self._buckets.items():
+            if index <= horizon:
+                continue
+            slot = bucket[objective_index]
+            good += slot[0]
+            bad += slot[1]
+        return good, bad
+
+    def status(self) -> dict:
+        """Point-in-time burn-rate report for every objective.
+
+        Returns a JSON-compatible document::
+
+            {"state": "ok|warn|page",
+             "windows_s": [...],
+             "objectives": [
+               {"name", "target", "error_budget", "latency_threshold_s",
+                "state",
+                "windows": [{"window_s", "total", "bad", "bad_fraction",
+                             "burn_rate"}, ...]},
+               ...]}
+        """
+        now = self.clock.now()
+        ranks = {"ok": 0, "warn": 1, "page": 2}
+        worst = "ok"
+        objectives = []
+        for i, objective in enumerate(self.objectives):
+            windows = []
+            burns = []
+            for window_s in self.windows:
+                good, bad = self._tally(i, window_s, now)
+                total = good + bad
+                bad_fraction = bad / total if total else 0.0
+                burn = bad_fraction / objective.error_budget
+                burns.append(burn)
+                windows.append(
+                    {
+                        "window_s": window_s,
+                        "total": total,
+                        "bad": bad,
+                        "bad_fraction": bad_fraction,
+                        "burn_rate": burn,
+                    }
+                )
+            if all(b >= self.page_burn for b in burns):
+                state = "page"
+            elif burns[0] >= self.warn_burn:
+                state = "warn"
+            else:
+                state = "ok"
+            if ranks[state] > ranks[worst]:
+                worst = state
+            objectives.append(
+                {
+                    "name": objective.name,
+                    "target": objective.target,
+                    "error_budget": objective.error_budget,
+                    "latency_threshold_s": objective.latency_threshold_s,
+                    "state": state,
+                    "windows": windows,
+                }
+            )
+        return {
+            "state": worst,
+            "windows_s": list(self.windows),
+            "objectives": objectives,
+        }

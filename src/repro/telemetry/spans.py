@@ -7,15 +7,25 @@ names joined with ``/``).  Finished spans accumulate in
 ``Tracer.records`` — bounded by ``max_spans``, with a drop counter — and
 export as JSONL through :mod:`repro.telemetry.export`.
 
+Distributed traces: :meth:`Tracer.trace` opens a *trace scope* bound to
+a :class:`~repro.telemetry.tracing.TraceContext`.  Spans finished inside
+the scope carry the context's ``trace_id`` plus their own wire-level
+``trace_span``/``trace_parent`` hex ids, so exports from different
+processes stitch into one tree (:mod:`repro.telemetry.stitch`).  An
+``on_error_only`` scope records tentatively and prunes its spans on a
+clean exit — the "on-error" sampling mode.
+
 The no-op twin :class:`NullTracer` returns one shared, stateless span so
 a disabled hot path pays a single method call per ``with`` block.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.telemetry.clock import Clock, MonotonicClock
+from repro.telemetry.tracing import IdGenerator, TraceContext
 
 __all__ = ["SpanRecord", "Span", "Tracer", "NullSpan", "NullTracer"]
 
@@ -31,6 +41,10 @@ class SpanRecord:
         path: root-to-leaf names joined with ``/``.
         start / end: clock readings in seconds.
         attrs: caller-attached metadata (JSON-compatible values).
+        trace_id: 32-hex distributed trace id, or None outside a trace.
+        trace_span: this span's 16-hex wire id within the trace.
+        trace_parent: the parent's 16-hex wire id (possibly in another
+            process), or None for the trace root.
     """
 
     span_id: int
@@ -40,6 +54,9 @@ class SpanRecord:
     start: float
     end: float
     attrs: dict = field(default_factory=dict)
+    trace_id: str | None = None
+    trace_span: str | None = None
+    trace_parent: str | None = None
 
     @property
     def duration(self) -> float:
@@ -53,7 +70,7 @@ class SpanRecord:
 
     def to_event(self) -> dict:
         """The JSONL export form of this record."""
-        return {
+        event = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -63,6 +80,11 @@ class SpanRecord:
             "duration": self.duration,
             "attrs": self.attrs,
         }
+        if self.trace_id is not None:
+            event["trace_id"] = self.trace_id
+            event["trace_span"] = self.trace_span
+            event["trace_parent"] = self.trace_parent
+        return event
 
 
 class Span:
@@ -72,7 +94,8 @@ class Span:
     """
 
     __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
-                 "path", "start", "end")
+                 "path", "start", "end", "trace_id", "trace_span",
+                 "trace_parent")
 
     def __init__(
         self,
@@ -82,6 +105,9 @@ class Span:
         parent_id: int | None,
         path: str,
         attrs: dict,
+        trace_id: str | None = None,
+        trace_span: str | None = None,
+        trace_parent: str | None = None,
     ) -> None:
         self._tracer = tracer
         self.name = name
@@ -91,6 +117,9 @@ class Span:
         self.path = path
         self.start = 0.0
         self.end: float | None = None
+        self.trace_id = trace_id
+        self.trace_span = trace_span
+        self.trace_parent = trace_parent
 
     def annotate(self, **attrs) -> "Span":
         """Attach metadata to the span; returns self for chaining."""
@@ -124,18 +153,37 @@ class Tracer:
         clock: time source (defaults to the process monotonic clock).
         max_spans: bound on retained records; once full, further spans
             still time correctly but their records are dropped and
-            counted in :attr:`dropped`.
+            counted in :attr:`dropped` (and in ``drop_counter`` when a
+            registry counter is attached).
+        ids: wire-id mint for trace scopes (fresh random one by default).
+        drop_counter: optional registry counter incremented per drop so
+            silent span loss shows up in metric snapshots and reports.
     """
 
-    def __init__(self, clock: Clock | None = None, max_spans: int = 100_000) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        max_spans: int = 100_000,
+        ids: IdGenerator | None = None,
+        drop_counter=None,
+    ) -> None:
         if max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.clock = clock if clock is not None else MonotonicClock()
         self.max_spans = max_spans
+        self.ids = ids if ids is not None else IdGenerator()
+        self.drop_counter = drop_counter
         self.records: list[SpanRecord] = []
         self.dropped = 0
+        self.sampled_out = 0
         self._stack: list[Span] = []
         self._next_id = 0
+        self._trace: TraceContext | None = None
+        self._trace_claim_root = False
+        self._trace_root_claimed = False
+        self._trace_on_error = False
+        self._trace_error = False
+        self._trace_start_index = 0
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs) -> Span:
@@ -143,6 +191,23 @@ class Tracer:
         parent = self._stack[-1] if self._stack else None
         span_id = self._next_id
         self._next_id += 1
+        trace_id = trace_span = trace_parent = None
+        ctx = self._trace
+        if ctx is not None and ctx.sampled:
+            trace_id = ctx.trace_id
+            if parent is not None and parent.trace_span is not None:
+                trace_parent = parent.trace_span
+                trace_span = self.ids.span_id()
+            elif self._trace_claim_root and not self._trace_root_claimed:
+                # The originating hop: its root span *is* the context's
+                # span id, so remote children parent onto it directly.
+                self._trace_root_claimed = True
+                trace_span = ctx.span_id
+            else:
+                # An adopting hop: root spans parent onto the remote
+                # sender's span id under a fresh local wire id.
+                trace_parent = ctx.span_id
+                trace_span = self.ids.span_id()
         return Span(
             tracer=self,
             name=name,
@@ -150,7 +215,77 @@ class Tracer:
             parent_id=parent.span_id if parent is not None else None,
             path=f"{parent.path}/{name}" if parent is not None else name,
             attrs=dict(attrs),
+            trace_id=trace_id,
+            trace_span=trace_span,
+            trace_parent=trace_parent,
         )
+
+    @contextmanager
+    def trace(
+        self,
+        ctx: TraceContext | None,
+        claim_root: bool = False,
+        on_error_only: bool = False,
+    ):
+        """Scope ``ctx`` as the active trace context.
+
+        Spans finished inside the scope carry ``ctx.trace_id`` and wire
+        ids.  ``claim_root=True`` (the originating client) makes the
+        first root span claim ``ctx.span_id`` as its own wire id;
+        adopting servers leave it False so their roots *parent onto*
+        ``ctx.span_id``.  ``on_error_only=True`` prunes the scope's
+        records on clean exit (counted in :attr:`sampled_out`).
+
+        Scopes nest: the inner context shadows the outer and the outer
+        is restored on exit.  ``ctx=None`` is a no-op scope.
+        """
+        if ctx is None:
+            yield None
+            return
+        saved = (
+            self._trace,
+            self._trace_claim_root,
+            self._trace_root_claimed,
+            self._trace_on_error,
+            self._trace_error,
+            self._trace_start_index,
+        )
+        self._trace = ctx
+        self._trace_claim_root = claim_root
+        self._trace_root_claimed = False
+        self._trace_on_error = on_error_only
+        self._trace_error = False
+        self._trace_start_index = len(self.records)
+        try:
+            yield ctx
+        except BaseException:
+            self._trace_error = True
+            raise
+        finally:
+            if self._trace_on_error and not self._trace_error:
+                self._prune_trace(ctx.trace_id, self._trace_start_index)
+            (
+                self._trace,
+                self._trace_claim_root,
+                self._trace_root_claimed,
+                self._trace_on_error,
+                self._trace_error,
+                self._trace_start_index,
+            ) = saved
+
+    def _prune_trace(self, trace_id: str, start_index: int) -> None:
+        kept = self.records[:start_index]
+        for record in self.records[start_index:]:
+            if record.trace_id == trace_id:
+                self.sampled_out += 1
+            else:
+                kept.append(record)
+        self.records = kept
+
+    @property
+    def current_trace(self) -> TraceContext | None:
+        """The active trace context, if a scope is open."""
+        return self._trace
 
     def _push(self, span: Span) -> None:
         self._stack.append(span)
@@ -162,8 +297,12 @@ class Tracer:
             while self._stack:
                 if self._stack.pop() is span:
                     break
+        if self._trace is not None and "error" in span.attrs:
+            self._trace_error = True
         if len(self.records) >= self.max_spans:
             self.dropped += 1
+            if self.drop_counter is not None:
+                self.drop_counter.inc()
             return
         self.records.append(
             SpanRecord(
@@ -174,6 +313,9 @@ class Tracer:
                 start=span.start,
                 end=span.end if span.end is not None else span.start,
                 attrs=span.attrs,
+                trace_id=span.trace_id,
+                trace_span=span.trace_span,
+                trace_parent=span.trace_parent,
             )
         )
 
@@ -195,6 +337,7 @@ class Tracer:
         """Drop finished records and the drop counter (open spans stay)."""
         self.records.clear()
         self.dropped = 0
+        self.sampled_out = 0
 
 
 class NullSpan:
@@ -207,6 +350,9 @@ class NullSpan:
     start = 0.0
     end = 0.0
     duration = 0.0
+    trace_id = None
+    trace_span = None
+    trace_parent = None
 
     def annotate(self, **attrs) -> "NullSpan":
         """Discard the metadata."""
@@ -227,11 +373,19 @@ class NullTracer:
 
     records: tuple = ()
     dropped = 0
+    sampled_out = 0
     depth = 0
+    current_trace = None
 
     def span(self, name: str, **attrs) -> NullSpan:
         """The shared no-op span."""
         return _NULL_SPAN
+
+    @contextmanager
+    def trace(self, ctx=None, claim_root: bool = False,
+              on_error_only: bool = False):
+        """A no-op trace scope."""
+        yield ctx
 
     def roots(self) -> list:
         """Always empty."""

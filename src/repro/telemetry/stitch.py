@@ -1,0 +1,122 @@
+"""Stitch span exports from several processes into per-trace trees.
+
+Each process exports its spans as JSONL
+(:func:`repro.telemetry.export.write_events_jsonl`); records that ran
+inside a trace scope carry ``trace_id`` / ``trace_span`` /
+``trace_parent`` wire ids.  :func:`stitch_traces` merges any number of
+labelled record sets, groups them by ``trace_id`` and links parentage by
+wire id — a child whose parent lives in *another process* attaches just
+the same, which is the whole point.
+
+Clocks are per-process monotonic readings and are **not** comparable
+across processes, so stitching never compares timestamps between
+processes: ordering inside one parent uses start times only among
+same-process siblings, and the *critical path* — the chain from each
+root down through the longest-duration child — uses durations, which
+are process-local and safe.
+
+A record whose ``trace_parent`` is not found in the merged set (its
+parent was pruned, dropped, or exported elsewhere) becomes an extra
+root of the trace rather than vanishing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.spans import SpanRecord
+
+__all__ = ["TraceNode", "stitch_traces", "critical_path", "render_trace"]
+
+
+@dataclass
+class TraceNode:
+    """One span within a stitched trace tree."""
+
+    record: SpanRecord
+    process: str
+    children: list["TraceNode"] = field(default_factory=list)
+    on_critical_path: bool = False
+
+    @property
+    def duration_ms(self) -> float:
+        """The span's own duration in milliseconds."""
+        return self.record.duration * 1e3
+
+
+def stitch_traces(
+    labeled: list[tuple[str, list[SpanRecord]]],
+) -> dict[str, list[TraceNode]]:
+    """Merge labelled record sets into ``{trace_id: [roots...]}``.
+
+    Args:
+        labeled: ``(process_label, records)`` pairs — e.g.
+            ``[("client", client_records), ("server", server_records)]``.
+
+    Only records with a ``trace_id`` participate.  Roots of each trace
+    (no ``trace_parent``, or a parent missing from the merged set) are
+    ordered with true roots first; children are sorted by start time
+    within each process group.  Critical paths are pre-marked.
+    """
+    by_trace: dict[str, dict[str, TraceNode]] = {}
+    orphans: dict[str, list[TraceNode]] = {}
+    for process, records in labeled:
+        for record in records:
+            if record.trace_id is None:
+                continue
+            node = TraceNode(record=record, process=process)
+            index = by_trace.setdefault(record.trace_id, {})
+            if record.trace_span is not None and record.trace_span not in index:
+                index[record.trace_span] = node
+            else:
+                orphans.setdefault(record.trace_id, []).append(node)
+
+    traces: dict[str, list[TraceNode]] = {}
+    for trace_id, index in by_trace.items():
+        roots: list[TraceNode] = []
+        for node in index.values():
+            parent = node.record.trace_parent
+            if parent is not None and parent in index:
+                index[parent].children.append(node)
+            else:
+                roots.append(node)
+        roots.extend(orphans.get(trace_id, ()))
+        for node in index.values():
+            node.children.sort(key=lambda n: (n.process, n.record.start))
+        # True roots (no declared parent) ahead of orphaned subtrees.
+        roots.sort(key=lambda n: n.record.trace_parent is not None)
+        for root in roots:
+            for node in critical_path(root):
+                node.on_critical_path = True
+        traces[trace_id] = roots
+    return traces
+
+
+def critical_path(root: TraceNode) -> list[TraceNode]:
+    """Root-to-leaf chain descending into the longest child each step."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda n: n.record.duration)
+        path.append(node)
+    return path
+
+
+def _render_node(node: TraceNode, indent: int, lines: list[str]) -> None:
+    marker = "*" if node.on_critical_path else " "
+    attrs = node.record.attrs
+    error = f" error={attrs['error']}" if "error" in attrs else ""
+    lines.append(
+        f"{marker} {'  ' * indent}{node.record.name}"
+        f"  [{node.process}]  {node.duration_ms:.3f} ms{error}"
+    )
+    for child in node.children:
+        _render_node(child, indent + 1, lines)
+
+
+def render_trace(trace_id: str, roots: list[TraceNode]) -> str:
+    """A per-trace text tree; ``*`` marks the critical path."""
+    lines = [f"trace {trace_id}"]
+    for root in roots:
+        _render_node(root, 1, lines)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,175 @@
+"""Distributed trace context: W3C-style ids, sampling, wire envelope.
+
+A :class:`TraceContext` is the unit of propagation: a 32-hex-digit
+``trace_id`` naming the whole request tree, a 16-hex-digit ``span_id``
+naming the sender's span, and a ``sampled`` flag.  Clients mint one per
+request (:class:`IdGenerator`), attach it to the frame payload under the
+``"trace"`` key (:meth:`TraceContext.to_wire`), and the server adopts it
+(:meth:`TraceContext.from_wire`) so its spans parent onto the client's.
+
+Sampling decisions (:class:`Sampler`) are deterministic functions of the
+trace_id, so the client and the server independently reach the same
+verdict without negotiating.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.util.rng import RngStream
+
+__all__ = ["TraceContext", "IdGenerator", "Sampler"]
+
+_TRACE_ID_BYTES = 16
+_SPAN_ID_BYTES = 8
+
+
+def _is_hex(value: str, digits: int) -> bool:
+    if not isinstance(value, str) or len(value) != digits:
+        return False
+    try:
+        parsed = int(value, 16)
+    except ValueError:
+        return False
+    return parsed != 0  # the all-zero id is reserved/invalid (as in W3C)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's worth of trace propagation state.
+
+    Attributes:
+        trace_id: 32 lowercase hex digits naming the whole trace.
+        span_id: 16 lowercase hex digits naming the *sender's* span —
+            the receiver parents its root span onto this id.
+        sampled: whether spans for this trace should be recorded.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not _is_hex(self.trace_id, 2 * _TRACE_ID_BYTES):
+            raise ValueError(f"trace_id must be 32 hex digits, got {self.trace_id!r}")
+        if not _is_hex(self.span_id, 2 * _SPAN_ID_BYTES):
+            raise ValueError(f"span_id must be 16 hex digits, got {self.span_id!r}")
+
+    def to_wire(self) -> dict:
+        """The payload-envelope form carried under the ``"trace"`` key."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "TraceContext | None":
+        """Parse a wire envelope; returns None on anything malformed.
+
+        Servers must never fail a request over a bad trace envelope, so
+        this never raises — garbage in, ``None`` out.
+        """
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not _is_hex(trace_id, 2 * _TRACE_ID_BYTES):
+            return None
+        if not _is_hex(span_id, 2 * _SPAN_ID_BYTES):
+            return None
+        return cls(
+            trace_id=trace_id.lower(),
+            span_id=span_id.lower(),
+            sampled=bool(payload.get("sampled", True)),
+        )
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context a downstream hop would carry for ``span_id``."""
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+
+class IdGenerator:
+    """Deterministic trace/span id mint on an :class:`RngStream`.
+
+    Seeded from ``os.urandom`` by default so concurrent processes never
+    collide; pass an explicit seed in tests for reproducible ids.
+    """
+
+    def __init__(self, seed: int | None = None, *context: object) -> None:
+        if seed is None:
+            seed = int.from_bytes(os.urandom(8), "little")
+        self._stream = RngStream(seed, "telemetry.ids", *context)
+
+    def _hex(self, nbytes: int) -> str:
+        value = self._stream.generator.bytes(nbytes).hex()
+        if int(value, 16) == 0:  # the all-zero id is reserved/invalid
+            value = "1".rjust(2 * nbytes, "0")
+        return value
+
+    def trace_id(self) -> str:
+        """A fresh 32-hex-digit trace id."""
+        return self._hex(_TRACE_ID_BYTES)
+
+    def span_id(self) -> str:
+        """A fresh 16-hex-digit span id."""
+        return self._hex(_SPAN_ID_BYTES)
+
+    def context(self, sampled: bool = True) -> TraceContext:
+        """A fresh root :class:`TraceContext`."""
+        return TraceContext(self.trace_id(), self.span_id(), sampled)
+
+
+@dataclass(frozen=True)
+class Sampler:
+    """Head sampling policy, decided deterministically from the trace id.
+
+    Modes:
+        ``always``   every trace is sampled (the default).
+        ``never``    no trace is sampled.
+        ``ratio``    sample ``ratio`` of traces, keyed on the trace id so
+                     every process agrees on the verdict per trace.
+        ``on-error`` record spans tentatively, keep them only if the
+                     request errored (the tracer prunes on clean exit).
+    """
+
+    mode: str = "always"
+    ratio: float = 1.0
+
+    _MODES = ("always", "never", "ratio", "on-error")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(
+                f"mode must be one of {self._MODES}, got {self.mode!r}"
+            )
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in [0, 1], got {self.ratio}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "Sampler":
+        """Parse ``always`` / ``never`` / ``on-error`` / ``ratio:0.1``."""
+        spec = spec.strip().lower()
+        if spec.startswith("ratio:"):
+            return cls(mode="ratio", ratio=float(spec.split(":", 1)[1]))
+        return cls(mode=spec)
+
+    @property
+    def on_error_only(self) -> bool:
+        """True when spans should be pruned unless the request errored."""
+        return self.mode == "on-error"
+
+    def decide(self, trace_id: str) -> bool:
+        """Should this trace be sampled?  Pure function of the trace id."""
+        if self.mode == "never":
+            return False
+        if self.mode != "ratio":
+            return True
+        if self.ratio >= 1.0:
+            return True
+        if self.ratio <= 0.0:
+            return False
+        # Uniform in [0, 1) from the low 52 bits — stable across processes.
+        draw = int(trace_id[-13:], 16) / 16**13
+        return draw < self.ratio

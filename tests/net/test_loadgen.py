@@ -188,3 +188,49 @@ class TestLiveRuns:
         assert report.unstructured_failures == 0
         assert len(report.per_worker) == 2
         assert sum(r.sent for r in report.per_worker) == 30
+
+
+class TestTraceSampling:
+    def test_trace_ratio_bounds_checked(self):
+        with pytest.raises(ValueError, match="trace_ratio"):
+            _config(trace_ratio=1.5)
+
+    def test_traced_run_reports_slowest_trace_ids(self, running_server):
+        _, host, port = running_server
+        report = run_load(
+            LoadConfig(
+                host=host, port=port, processes=1, requests=8,
+                trace_ratio=1.0,
+            )
+        )
+        assert report.slow_traces
+        assert len(report.slow_traces) <= 5
+        for latency_s, trace_id in report.slow_traces:
+            assert latency_s > 0.0
+            assert len(trace_id) == 32 and int(trace_id, 16) != 0
+        assert "slowest traced requests" in report.render()
+
+    def test_partial_ratio_is_seed_deterministic(self, running_server):
+        _, host, port = running_server
+        config = LoadConfig(
+            host=host, port=port, processes=1, requests=10,
+            trace_ratio=0.5, seed=3,
+        )
+        def traced_ids(report):
+            return {
+                tid for worker in report.per_worker
+                for _, tid in worker.traced
+            }
+
+        first = traced_ids(run_load(config))
+        second = traced_ids(run_load(config))
+        assert first == second  # same seed -> same minted trace ids
+        assert 0 < len(first) < 10  # the ratio actually sampled a subset
+
+    def test_zero_ratio_mints_no_traces(self, running_server):
+        _, host, port = running_server
+        report = run_load(
+            LoadConfig(host=host, port=port, processes=1, requests=4)
+        )
+        assert report.slow_traces == ()
+        assert "slowest traced requests" not in report.render()

@@ -1,0 +1,186 @@
+"""Tests for the live ops plane: HEALTH / METRICS / SLO frames.
+
+Ops frames are answered on the event-loop thread without touching the
+worker pool, so they stay cheap under load; the SLO reply comes from the
+server's burn-rate monitor, which these tests drive deterministically by
+injecting a :class:`ManualClock`-backed monitor and pushing real error
+traffic through the wire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.client import AcicClient, AsyncAcicClient, RemoteError
+from repro.net.protocol import PROTOCOL_VERSION, FrameKind
+from repro.net.server import DEFAULT_SLO_OBJECTIVES, AcicServer, ServerThread
+from repro.telemetry import ManualClock, SloMonitor, SloObjective
+
+from .conftest import fresh_service
+
+
+@pytest.fixture()
+def queries(context):
+    from repro.net.loadgen import synthetic_queries
+
+    return synthetic_queries(context.database.platform_name, 4, seed=23)
+
+
+class TestHealth:
+    def test_health_reports_ready_and_limits(self, running_server, context):
+        server, host, port = running_server
+        with AcicClient(host, port) as client:
+            health = client.ops_health()
+        assert health["ops"] == "health"
+        assert health["status"] == "ok"
+        assert health["ready"] is True
+        assert health["uptime_s"] >= 0.0
+        assert health["protocol_version"] == PROTOCOL_VERSION
+        assert health["connections"]["max"] == server.max_conns
+        assert health["queue"]["depth"] == server.admission.depth
+        assert health["breakers"]["service.scoring"] == "closed"
+        assert context.database.platform_name in health["models"]["platforms"]
+
+    def test_health_reports_draining_during_shutdown(self, hosted_service):
+        server = AcicServer(hosted_service, port=0, workers=1)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port) as client:
+                client.ping()  # establish before the drain begins
+                server._stopping = True
+                # Existing connections keep answering ops while draining.
+                assert client.ops_health()["status"] == "draining"
+            server._stopping = False
+
+    def test_not_ready_without_models(self, context):
+        from repro.service.server import AcicService
+
+        server = AcicServer(AcicService(), port=0, workers=1)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port) as client:
+                health = client.ops_health()
+        assert health["ready"] is False
+
+
+class TestLivenessFields:
+    def test_pong_carries_uptime_version_telemetry(self, running_server):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            request_id = client._send(FrameKind.PING, {})
+            pong = client._recv_matching(
+                request_id, expect=FrameKind.PONG
+            ).payload
+        assert pong["uptime_s"] >= 0.0
+        assert pong["protocol_version"] == PROTOCOL_VERSION
+        assert pong["telemetry_enabled"] is False
+
+    def test_server_info_carries_liveness_fields(self, running_server):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            info = client.server_info()
+        assert info["uptime_s"] >= 0.0
+        assert info["protocol_version"] == PROTOCOL_VERSION
+        assert info["telemetry_enabled"] is False
+
+
+class TestMetricsSnapshot:
+    def test_json_snapshot_contains_server_instruments(self, running_server):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            client.ping()
+            reply = client.ops_metrics()
+        assert reply["ops"] == "metrics" and reply["format"] == "json"
+        metrics = reply["metrics"]
+        assert metrics["net.requests"]["kind"] == "counter"
+        assert metrics["net.admission.in_flight"]["kind"] == "gauge"
+
+    def test_prom_text_is_exposition_format(self, running_server):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            reply = client.ops_metrics(format="prom")
+        assert reply["format"] == "prom"
+        assert "# HELP net_requests" in reply["text"]
+
+    def test_unknown_format_is_a_structured_error(self, running_server):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            request_id = client._send(FrameKind.METRICS, {"format": "xml"})
+            with pytest.raises(RemoteError) as err:
+                client._recv_matching(request_id)
+        assert err.value.code == "bad_request"
+
+
+class TestSloStatus:
+    def test_default_monitor_answers_ok_when_idle(self, running_server):
+        _, host, port = running_server
+        with AcicClient(host, port) as client:
+            status = client.ops_slo()
+        assert status["ops"] == "slo"
+        assert status["state"] == "ok"
+        names = {o["name"] for o in status["objectives"]}
+        assert names == {o.name for o in DEFAULT_SLO_OBJECTIVES}
+
+    def test_error_traffic_flips_burn_rate_state(self, context, queries):
+        # Deterministic fault injection: the monitor runs on a
+        # ManualClock frozen at t=0, so every request lands in one
+        # bucket and the burn arithmetic is exact.
+        clock = ManualClock()
+        monitor = SloMonitor(
+            (SloObjective("availability", target=0.9),),
+            windows=(60.0, 600.0), clock=clock,
+        )
+        server = AcicServer(fresh_service(context), port=0, workers=1,
+                            slo=monitor)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port) as client:
+                for query in queries:
+                    client.query(query)
+                assert client.ops_slo()["state"] == "ok"
+                for _ in range(6):   # 6 bad / 10 total >> 2x burn on 0.1 budget
+                    with pytest.raises(RemoteError):
+                        client.query_batch([])
+                status = client.ops_slo()
+        assert status["state"] == "page"
+        objective = status["objectives"][0]
+        for window in objective["windows"]:
+            assert window["total"] == 10
+            assert window["bad"] == 6
+            assert window["burn_rate"] == pytest.approx(6.0)
+
+    def test_errors_age_out_as_the_manual_clock_advances(self, context):
+        clock = ManualClock()
+        monitor = SloMonitor(
+            (SloObjective("availability", target=0.9),),
+            windows=(60.0, 600.0), clock=clock,
+        )
+        server = AcicServer(fresh_service(context), port=0, workers=1,
+                            slo=monitor)
+        with ServerThread(server) as (host, port):
+            with AcicClient(host, port) as client:
+                for _ in range(3):
+                    with pytest.raises(RemoteError):
+                        client.query_batch([])
+                assert client.ops_slo()["state"] == "page"
+                clock.advance(61.0)  # past the short window: page clears
+                assert client.ops_slo()["state"] == "ok"
+
+
+class TestAsyncOps:
+    def test_async_client_speaks_the_ops_plane(self, running_server):
+        import asyncio
+
+        _, host, port = running_server
+
+        async def probe():
+            client = await AsyncAcicClient.connect(host, port)
+            try:
+                health = await client.ops_health()
+                metrics = await client.ops_metrics(format="prom")
+                slo = await client.ops_slo()
+            finally:
+                await client.close()
+            return health, metrics, slo
+
+        health, metrics, slo = asyncio.run(probe())
+        assert health["status"] == "ok"
+        assert "# HELP" in metrics["text"]
+        assert slo["state"] in ("ok", "warn", "page")

@@ -1,0 +1,166 @@
+"""End-to-end distributed tracing: one trace id spans two processes.
+
+A real ``acic serve --listen`` subprocess runs with telemetry and
+structured logging on; this process queries it with a client-side
+telemetry bundle and an explicit trace context.  After SIGTERM, the two
+span exports are stitched by trace id: the client's ``net.client.request``
+span must come out as the parent of the server's ``net.request`` span,
+and every server log line for the request must carry the same trace id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.net.client import AcicClient
+from repro.net.loadgen import synthetic_queries
+from repro.telemetry import (
+    Telemetry,
+    read_events_jsonl,
+    render_trace,
+    stitch_traces,
+    use_telemetry,
+    write_events_jsonl,
+)
+from repro.telemetry.tracing import IdGenerator
+
+from tests.net.conftest import fresh_service
+
+
+@pytest.fixture(scope="module")
+def artifacts_dir(tmp_path_factory, context):
+    from repro.core.objectives import Goal
+
+    out = tmp_path_factory.mktemp("trace-artifacts")
+    service = fresh_service(context)
+    platform = context.database.platform_name
+    for goal in (Goal.PERFORMANCE, Goal.COST):
+        service.warm(platform, goal, "cart")
+    service.save(out)
+    return out
+
+
+@pytest.fixture()
+def traced_subprocess(artifacts_dir, tmp_path):
+    """A serve subprocess exporting spans and JSONL logs on shutdown."""
+    events = tmp_path / "server-events.jsonl"
+    logs = tmp_path / "server-log.jsonl"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--artifacts", str(artifacts_dir),
+            "--listen", "127.0.0.1:0",
+            "--telemetry-out", str(events),
+            "--log-jsonl", str(logs),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    address = None
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("# listening on "):
+            address = line.split()[-1]
+            break
+    if address is None:
+        proc.kill()
+        raise RuntimeError("server subprocess never reported its address")
+    host, port = address.rsplit(":", 1)
+    yield proc, host, int(port), events, logs
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=30.0)
+
+
+class TestCrossProcessTrace:
+    def test_one_trace_id_spans_client_and_server(
+        self, traced_subprocess, context, tmp_path
+    ):
+        proc, host, port, server_events, server_logs = traced_subprocess
+        queries = synthetic_queries(
+            context.database.platform_name, 2, seed=41
+        )
+
+        # Client side: its own telemetry bundle, an explicit trace
+        # context so the test knows the ids in advance.
+        ids = IdGenerator(2024)
+        ctx = ids.context()
+        client_telemetry = Telemetry()
+        with use_telemetry(client_telemetry):
+            with AcicClient(host, port) as client:
+                response = client.query(queries[0], trace=ctx)
+        assert response.recommendations
+        client_events = write_events_jsonl(
+            client_telemetry.tracer, tmp_path / "client-events.jsonl"
+        )
+
+        # Server side: SIGTERM flushes the span export, then stitch.
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60.0) == 0
+
+        client_records = read_events_jsonl(client_events)
+        server_records = read_events_jsonl(server_events)
+        traces = stitch_traces([
+            ("client", client_records),
+            ("server", server_records),
+        ])
+        assert ctx.trace_id in traces
+        (root,) = traces[ctx.trace_id]
+
+        # The client's span is the trace root and claimed the wire id...
+        assert root.process == "client"
+        assert root.record.name == "net.client.request"
+        assert root.record.trace_span == ctx.span_id
+        assert root.record.trace_parent is None
+
+        # ...and the server's net.request span parents onto it, with the
+        # service spans nested beneath — one trace, two processes.
+        (net_request,) = root.children
+        assert net_request.process == "server"
+        assert net_request.record.name == "net.request"
+        assert net_request.record.trace_parent == ctx.span_id
+        server_names = set()
+
+        def collect(node):
+            server_names.add(node.record.name)
+            for child in node.children:
+                collect(child)
+
+        collect(net_request)
+        assert "service.handle" in server_names
+
+        rendered = render_trace(ctx.trace_id, traces[ctx.trace_id])
+        assert "net.client.request  [client]" in rendered
+        assert "net.request  [server]" in rendered
+
+        # Every server log line for the request carries the trace id.
+        log_lines = [
+            json.loads(line)
+            for line in server_events.parent.joinpath(
+                server_logs.name
+            ).read_text().splitlines()
+        ]
+        request_lines = [
+            line for line in log_lines if line["event"] == "net.request"
+        ]
+        assert request_lines, log_lines
+        assert all(
+            line.get("trace_id") == ctx.trace_id for line in request_lines
+        )

@@ -1,0 +1,125 @@
+"""Tests for the structured JSONL logger and its process-wide facade."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry, use_telemetry
+from repro.telemetry.logging import (
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    get_logger,
+    set_logger,
+    use_logger,
+)
+from repro.telemetry.tracing import IdGenerator
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+
+def make_logger(**kwargs):
+    sink = io.StringIO()
+    clock = FakeClock()
+    logger = JsonLogger(sink, now=clock, **kwargs)
+    return logger, sink, clock
+
+
+def lines(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_emits_one_json_object_per_line(self):
+        logger, sink, _ = make_logger()
+        assert logger.info("net.request", request_id=7, status="ok")
+        assert logger.error("net.request", request_id=8, status="error")
+        first, second = lines(sink)
+        assert first == {"ts": 100.0, "level": "info", "event": "net.request",
+                         "request_id": 7, "status": "ok"}
+        assert second["level"] == "error"
+        assert logger.emitted == 2
+
+    def test_level_threshold_filters(self):
+        logger, sink, _ = make_logger(level="warning")
+        assert not logger.info("quiet")
+        assert not logger.debug("quieter")
+        assert logger.warning("loud")
+        assert len(lines(sink)) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            JsonLogger(io.StringIO(), level="loudest")
+
+    def test_repeat_suppression_within_window(self):
+        logger, sink, clock = make_logger(suppress_window=1.0, suppress_burst=2)
+        assert logger.warning("reliability.shed")
+        assert logger.warning("reliability.shed")
+        assert not logger.warning("reliability.shed")   # over burst
+        assert not logger.warning("reliability.shed")
+        assert logger.warning("other.event")            # distinct key unaffected
+        assert logger.suppressed == 2
+        assert len(lines(sink)) == 3
+
+    def test_new_window_reports_suppressed_prior(self):
+        logger, sink, clock = make_logger(suppress_window=1.0, suppress_burst=1)
+        logger.warning("reliability.shed")
+        logger.warning("reliability.shed")
+        logger.warning("reliability.shed")
+        clock.t += 1.5
+        assert logger.warning("reliability.shed")
+        last = lines(sink)[-1]
+        assert last["suppressed_prior"] == 2
+
+    def test_non_serializable_fields_fall_back_to_str(self):
+        logger, sink, _ = make_logger()
+        logger.info("event", obj=object())
+        assert "object object" in lines(sink)[0]["obj"]
+
+    def test_trace_id_attached_from_active_trace(self):
+        telemetry = Telemetry()
+        ctx = IdGenerator(1).context()
+        logger, sink, _ = make_logger()
+        with use_telemetry(telemetry):
+            with telemetry.tracer.trace(ctx):
+                logger.info("net.request")
+            logger.info("net.request")
+        with_trace, without = lines(sink)
+        assert with_trace["trace_id"] == ctx.trace_id
+        assert "trace_id" not in without
+
+    def test_explicit_trace_id_wins(self):
+        logger, sink, _ = make_logger()
+        logger.info("event", trace_id="deadbeef")
+        assert lines(sink)[0]["trace_id"] == "deadbeef"
+
+
+class TestFacade:
+    def test_default_is_null_logger(self):
+        assert isinstance(get_logger(), NullLogger)
+        assert not get_logger().info("nothing")
+
+    def test_use_logger_scopes_and_restores(self):
+        logger, sink, _ = make_logger()
+        with use_logger(logger) as active:
+            assert active is logger
+            assert get_logger() is logger
+            get_logger().info("scoped")
+        assert get_logger() is NULL_LOGGER
+        assert len(lines(sink)) == 1
+
+    def test_set_logger_returns_previous(self):
+        logger, _, _ = make_logger()
+        previous = set_logger(logger)
+        try:
+            assert get_logger() is logger
+        finally:
+            set_logger(previous)
+        assert get_logger() is previous

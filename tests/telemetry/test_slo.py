@@ -1,0 +1,160 @@
+"""Tests for the multi-window burn-rate SLO monitor (ManualClock-driven)."""
+
+import pytest
+
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.slo import SloMonitor, SloObjective
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+def latency_objective(target=0.9, threshold_s=0.5):
+    return SloObjective("latency", target=target, latency_threshold_s=threshold_s)
+
+
+def availability_objective(target=0.9):
+    return SloObjective("availability", target=target)
+
+
+class TestSloObjective:
+    def test_target_bounds(self):
+        with pytest.raises(ValueError):
+            SloObjective("bad", target=1.0)
+        with pytest.raises(ValueError):
+            SloObjective("bad", target=0.0)
+
+    def test_error_budget(self):
+        assert SloObjective("x", target=0.99).error_budget == pytest.approx(0.01)
+
+    def test_is_bad(self):
+        latency = latency_objective(threshold_s=0.5)
+        assert latency.is_bad(0.6, error=False)
+        assert not latency.is_bad(0.4, error=False)
+        assert latency.is_bad(0.1, error=True)
+        availability = availability_objective()
+        assert not availability.is_bad(99.0, error=False)
+        assert availability.is_bad(0.0, error=True)
+
+
+class TestBurnRateMath:
+    def test_burn_rate_is_bad_fraction_over_budget(self, clock):
+        # target 0.9 -> budget 0.1; 2 bad out of 10 -> bad_fraction 0.2,
+        # burn 2.0 in every window.
+        monitor = SloMonitor([availability_objective(0.9)], clock=clock)
+        for i in range(10):
+            monitor.record(0.01, error=i < 2)
+        status = monitor.status()
+        windows = status["objectives"][0]["windows"]
+        for window in windows:
+            assert window["total"] == 10
+            assert window["bad"] == 2
+            assert window["bad_fraction"] == pytest.approx(0.2)
+            assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_latency_objective_counts_slow_requests_as_bad(self, clock):
+        monitor = SloMonitor([latency_objective(0.9, 0.5)], clock=clock)
+        monitor.record(0.7)
+        monitor.record(0.1)
+        window = monitor.status()["objectives"][0]["windows"][0]
+        assert window["bad"] == 1 and window["total"] == 2
+
+    def test_empty_monitor_is_ok_with_zero_burn(self, clock):
+        monitor = SloMonitor([availability_objective()], clock=clock)
+        status = monitor.status()
+        assert status["state"] == "ok"
+        assert status["objectives"][0]["windows"][0]["burn_rate"] == 0.0
+
+
+class TestMultiWindowStates:
+    def test_page_requires_every_window_burning(self, clock):
+        # Fill the long window with good traffic first, then a short
+        # burst of errors: the 60s window burns hard (warn) but the
+        # 600s window is still healthy, so it must NOT page.
+        monitor = SloMonitor(
+            [availability_objective(0.9)], windows=(60.0, 600.0),
+            clock=clock, bucket_s=5.0,
+        )
+        for _ in range(20):
+            for _ in range(5):
+                monitor.record(0.01)
+            clock.advance(25.0)          # 500s of clean traffic
+        for _ in range(10):
+            monitor.record(0.01, error=True)
+        status = monitor.status()
+        assert status["state"] == "warn"
+        burns = [w["burn_rate"]
+                 for w in status["objectives"][0]["windows"]]
+        assert burns[0] >= monitor.page_burn      # short window on fire
+        assert burns[1] < monitor.page_burn       # long window still fine
+
+    def test_sustained_errors_page(self, clock):
+        monitor = SloMonitor(
+            [availability_objective(0.9)], windows=(60.0, 600.0), clock=clock
+        )
+        for _ in range(10):
+            monitor.record(0.01, error=True)
+        assert monitor.status()["state"] == "page"
+
+    def test_recovery_returns_to_ok_as_windows_rotate(self, clock):
+        monitor = SloMonitor(
+            [availability_objective(0.9)], windows=(60.0, 600.0),
+            clock=clock, bucket_s=5.0,
+        )
+        for _ in range(10):
+            monitor.record(0.01, error=True)
+        assert monitor.status()["state"] == "page"
+        clock.advance(61.0)              # errors age out of the short window
+        assert monitor.status()["objectives"][0]["windows"][0]["total"] == 0
+        assert monitor.status()["state"] == "ok"
+        clock.advance(600.0)             # ...and out of the long window too
+        monitor.record(0.01)
+        assert monitor.status()["objectives"][0]["windows"][1]["bad"] == 0
+
+    def test_bucket_eviction_bounds_memory(self, clock):
+        monitor = SloMonitor(
+            [availability_objective()], windows=(60.0, 600.0),
+            clock=clock, bucket_s=5.0,
+        )
+        for _ in range(1000):
+            monitor.record(0.01)
+            clock.advance(5.0)
+        # Only ~window/bucket buckets stay resident.
+        assert len(monitor._buckets) <= 600 / 5 + 2
+        assert monitor.total_events == 1000
+
+    def test_per_objective_states_are_independent(self, clock):
+        monitor = SloMonitor(
+            [latency_objective(0.9, 0.5), availability_objective(0.9)],
+            clock=clock,
+        )
+        for _ in range(10):
+            monitor.record(0.7, error=False)     # slow but successful
+        status = monitor.status()
+        by_name = {o["name"]: o["state"] for o in status["objectives"]}
+        assert by_name["latency"] == "page"
+        assert by_name["availability"] == "ok"
+        assert status["state"] == "page"
+
+
+class TestValidation:
+    def test_requires_objectives(self, clock):
+        with pytest.raises(ValueError):
+            SloMonitor([], clock=clock)
+
+    def test_windows_must_ascend(self, clock):
+        with pytest.raises(ValueError):
+            SloMonitor([availability_objective()], windows=(600.0, 60.0),
+                       clock=clock)
+
+    def test_bucket_must_fit_shortest_window(self, clock):
+        with pytest.raises(ValueError):
+            SloMonitor([availability_objective()], windows=(60.0,),
+                       clock=clock, bucket_s=120.0)
+
+    def test_burn_thresholds_ordered(self, clock):
+        with pytest.raises(ValueError):
+            SloMonitor([availability_objective()], clock=clock,
+                       warn_burn=3.0, page_burn=1.0)

@@ -1,0 +1,140 @@
+"""Tests for cross-process trace stitching (export -> import -> stitch)."""
+
+from repro.telemetry import (
+    Telemetry,
+    critical_path,
+    read_events_jsonl,
+    render_trace,
+    stitch_traces,
+    write_events_jsonl,
+)
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.spans import SpanRecord
+from repro.telemetry.tracing import IdGenerator
+
+
+_NEXT_ID = iter(range(1, 10_000))
+
+
+def record(name, trace_id=None, span=None, parent=None, start=0.0,
+           duration=1.0, **attrs):
+    return SpanRecord(
+        span_id=next(_NEXT_ID), parent_id=None, name=name, path=name,
+        start=start, end=start + duration, attrs=attrs, trace_id=trace_id,
+        trace_span=span, trace_parent=parent,
+    )
+
+
+TRACE = "ab" * 16
+
+
+class TestStitching:
+    def test_cross_process_parentage(self):
+        client = [record("net.client.request", TRACE, span="11" * 8,
+                         duration=5.0)]
+        server = [
+            record("net.request", TRACE, span="22" * 8, parent="11" * 8,
+                   duration=4.0),
+            record("service.handle", TRACE, span="33" * 8, parent="22" * 8,
+                   duration=3.0),
+        ]
+        traces = stitch_traces([("client", client), ("server", server)])
+        (root,) = traces[TRACE]
+        assert root.record.name == "net.client.request"
+        assert root.process == "client"
+        (net,) = root.children
+        assert net.process == "server"
+        (handle,) = net.children
+        assert handle.record.name == "service.handle"
+
+    def test_untraced_records_are_ignored(self):
+        traces = stitch_traces([("p", [record("no-trace"),
+                                       record("yes", TRACE, span="11" * 8)])])
+        assert len(traces) == 1 and len(traces[TRACE]) == 1
+
+    def test_missing_parent_becomes_extra_root(self):
+        spans = [
+            record("root", TRACE, span="11" * 8, duration=9.0),
+            record("orphan", TRACE, span="22" * 8, parent="ee" * 8),
+        ]
+        traces = stitch_traces([("p", spans)])
+        roots = traces[TRACE]
+        assert [n.record.name for n in roots] == ["root", "orphan"]
+
+    def test_critical_path_descends_longest_child(self):
+        spans = [
+            record("root", TRACE, span="11" * 8, duration=10.0),
+            record("short", TRACE, span="22" * 8, parent="11" * 8,
+                   duration=1.0),
+            record("long", TRACE, span="33" * 8, parent="11" * 8,
+                   duration=8.0),
+            record("leaf", TRACE, span="44" * 8, parent="33" * 8,
+                   duration=7.0),
+        ]
+        (root,) = stitch_traces([("p", spans)])[TRACE]
+        assert [n.record.name for n in critical_path(root)] == [
+            "root", "long", "leaf"
+        ]
+        by_name = {n.record.name: n for n in critical_path(root)}
+        assert all(n.on_critical_path for n in by_name.values())
+
+    def test_render_marks_critical_path_and_errors(self):
+        spans = [
+            record("root", TRACE, span="11" * 8, duration=2.0),
+            record("bad", TRACE, span="22" * 8, parent="11" * 8,
+                   duration=1.0, error="RuntimeError"),
+        ]
+        text = render_trace(TRACE, stitch_traces([("p", spans)])[TRACE])
+        assert text.startswith(f"trace {TRACE}\n")
+        assert "*   root  [p]  2000.000 ms" in text
+        assert "error=RuntimeError" in text
+
+
+class TestExportRoundTrip:
+    def _traced_bundle(self, seed, claim_root):
+        clock = ManualClock()
+        telemetry = Telemetry(clock=clock, ids=IdGenerator(seed))
+        return telemetry, clock
+
+    def test_two_process_round_trip_preserves_parentage(self, tmp_path):
+        # "Client process": mints the context, claims the root span.
+        ctx = IdGenerator(99).context()
+        client_tel, client_clock = self._traced_bundle(1, True)
+        with client_tel.tracer.trace(ctx, claim_root=True):
+            with client_tel.span("net.client.request"):
+                client_clock.advance(2.0)
+        # "Server process": separate telemetry, adopts the wire context.
+        server_tel, server_clock = self._traced_bundle(2, False)
+        with server_tel.tracer.trace(ctx):
+            with server_tel.span("net.request"):
+                with server_tel.span("service.handle"):
+                    server_clock.advance(1.0)
+
+        client_path = write_events_jsonl(client_tel.tracer,
+                                         tmp_path / "client.jsonl")
+        server_path = write_events_jsonl(server_tel.tracer,
+                                         tmp_path / "server.jsonl")
+        traces = stitch_traces([
+            ("client", read_events_jsonl(client_path)),
+            ("server", read_events_jsonl(server_path)),
+        ])
+        (root,) = traces[ctx.trace_id]
+        assert root.process == "client"
+        assert root.record.trace_span == ctx.span_id
+        (net,) = root.children
+        assert (net.process, net.record.name) == ("server", "net.request")
+        (handle,) = net.children
+        assert handle.record.name == "service.handle"
+        assert handle.record.trace_parent == net.record.trace_span
+
+    def test_round_trip_without_server_export_keeps_client_root(self, tmp_path):
+        ctx = IdGenerator(7).context()
+        telemetry, clock = self._traced_bundle(3, True)
+        with telemetry.tracer.trace(ctx, claim_root=True):
+            with telemetry.span("net.client.request"):
+                clock.advance(1.0)
+        path = write_events_jsonl(telemetry.tracer, tmp_path / "only.jsonl")
+        traces = stitch_traces([("client", read_events_jsonl(path))])
+        (root,) = traces[ctx.trace_id]
+        assert root.children == []
+        assert root.on_critical_path

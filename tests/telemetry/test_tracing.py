@@ -1,0 +1,162 @@
+"""Tests for trace contexts, deterministic id generation and sampling."""
+
+import pytest
+
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.spans import Tracer
+from repro.telemetry.tracing import IdGenerator, Sampler, TraceContext
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8, sampled=True)
+        wire = ctx.to_wire()
+        assert wire == {"trace_id": "ab" * 16, "span_id": "cd" * 8,
+                        "sampled": True}
+        assert TraceContext.from_wire(wire) == ctx
+
+    def test_from_wire_lowercases(self):
+        wire = {"trace_id": "AB" * 16, "span_id": "CD" * 8, "sampled": False}
+        ctx = TraceContext.from_wire(wire)
+        assert ctx == TraceContext("ab" * 16, "cd" * 8, sampled=False)
+
+    @pytest.mark.parametrize("garbage", [
+        None,
+        "not-a-dict",
+        {},
+        {"trace_id": "xy" * 16, "span_id": "cd" * 8},        # non-hex
+        {"trace_id": "ab" * 15, "span_id": "cd" * 8},        # short
+        {"trace_id": "00" * 16, "span_id": "cd" * 8},        # all-zero
+        {"trace_id": "ab" * 16, "span_id": "00" * 8},
+        {"trace_id": "ab" * 16, "span_id": 1234},            # wrong type
+        {"trace_id": 7, "span_id": "cd" * 8},
+    ])
+    def test_from_wire_rejects_garbage(self, garbage):
+        assert TraceContext.from_wire(garbage) is None
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            TraceContext("zz" * 16, "cd" * 8)
+        with pytest.raises(ValueError):
+            TraceContext("ab" * 16, "cd" * 4)
+
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8)
+        child = ctx.child("ef" * 8)
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == "ef" * 8
+
+
+class TestIdGenerator:
+    def test_seeded_generation_is_deterministic(self):
+        a, b = IdGenerator(7, "test"), IdGenerator(7, "test")
+        assert a.trace_id() == b.trace_id()
+        assert a.span_id() == b.span_id()
+        assert IdGenerator(8, "test").trace_id() != IdGenerator(7, "test").trace_id()
+
+    def test_id_shapes(self):
+        ids = IdGenerator(0)
+        trace_id, span_id = ids.trace_id(), ids.span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) != 0
+        assert len(span_id) == 16 and int(span_id, 16) != 0
+
+    def test_context_mints_valid_trace_context(self):
+        ctx = IdGenerator(3).context()
+        assert ctx.sampled
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_unseeded_ids_differ(self):
+        ids = IdGenerator()
+        assert ids.trace_id() != ids.trace_id()
+
+
+class TestSampler:
+    def test_parse_modes(self):
+        assert Sampler.parse("always").decide("ff" * 16)
+        assert not Sampler.parse("never").decide("ff" * 16)
+        assert Sampler.parse("on-error").decide("ff" * 16)
+        assert Sampler.parse("on-error").on_error_only
+
+    def test_parse_ratio(self):
+        sampler = Sampler.parse("ratio:0.5")
+        assert sampler.mode == "ratio" and sampler.ratio == 0.5
+        assert sampler.decide("00" * 15 + "01")      # tiny hash -> sampled
+        assert not sampler.decide("ff" * 16)         # max hash -> dropped
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Sampler.parse("sometimes")
+        with pytest.raises(ValueError):
+            Sampler.parse("ratio:2.0")
+
+    def test_ratio_is_deterministic_per_trace_id(self):
+        sampler = Sampler("ratio", ratio=0.3)
+        trace_id = IdGenerator(5).trace_id()
+        assert sampler.decide(trace_id) == sampler.decide(trace_id)
+
+
+class TestTracerTraceScope:
+    def test_root_claims_wire_span_id(self):
+        tracer = Tracer(clock=ManualClock(), ids=IdGenerator(1))
+        ctx = IdGenerator(2).context()
+        with tracer.trace(ctx, claim_root=True):
+            with tracer.span("net.client.request"):
+                pass
+        (record,) = tracer.records
+        assert record.trace_id == ctx.trace_id
+        assert record.trace_span == ctx.span_id
+        assert record.trace_parent is None
+
+    def test_adopted_root_parents_on_remote_span(self):
+        tracer = Tracer(clock=ManualClock(), ids=IdGenerator(1))
+        ctx = IdGenerator(2).context()
+        with tracer.trace(ctx):
+            with tracer.span("net.request"):
+                with tracer.span("service.handle"):
+                    pass
+        handle, request = tracer.records
+        assert request.trace_parent == ctx.span_id
+        assert request.trace_span not in (None, ctx.span_id)
+        assert handle.trace_parent == request.trace_span
+
+    def test_unsampled_context_records_no_trace_ids(self):
+        tracer = Tracer(clock=ManualClock(), ids=IdGenerator(1))
+        ctx = IdGenerator(2).context(sampled=False)
+        with tracer.trace(ctx):
+            with tracer.span("net.request"):
+                pass
+        assert tracer.records[0].trace_id is None
+
+    def test_on_error_only_prunes_clean_traces(self):
+        tracer = Tracer(clock=ManualClock(), ids=IdGenerator(1))
+        ctx = IdGenerator(2).context()
+        with tracer.trace(ctx, on_error_only=True):
+            with tracer.span("net.client.request"):
+                pass
+        assert tracer.records == []
+        assert tracer.sampled_out == 1
+
+    def test_on_error_only_keeps_failed_traces(self):
+        tracer = Tracer(clock=ManualClock(), ids=IdGenerator(1))
+        ctx = IdGenerator(2).context()
+        with pytest.raises(RuntimeError):
+            with tracer.trace(ctx, on_error_only=True):
+                with tracer.span("net.client.request"):
+                    raise RuntimeError("boom")
+        assert len(tracer.records) == 1
+        assert tracer.records[0].trace_id == ctx.trace_id
+
+    def test_none_context_is_a_no_op(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.trace(None):
+            with tracer.span("work"):
+                pass
+        assert tracer.records[0].trace_id is None
+        assert tracer.current_trace is None
+
+    def test_current_trace_restored_after_scope(self):
+        tracer = Tracer(clock=ManualClock(), ids=IdGenerator(1))
+        ctx = IdGenerator(2).context()
+        with tracer.trace(ctx):
+            assert tracer.current_trace == ctx
+        assert tracer.current_trace is None

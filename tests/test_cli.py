@@ -248,3 +248,101 @@ class TestReliabilityCli:
 
         assert len(TrainingDatabase.load(out_path)) == 0
         assert "# chaos:" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def _exports(self, tmp_path):
+        """Client+server span exports sharing one trace id."""
+        from repro.telemetry import Telemetry, write_events_jsonl
+        from repro.telemetry.tracing import IdGenerator
+
+        ctx = IdGenerator(77).context()
+        client = Telemetry(ids=IdGenerator(1))
+        with client.tracer.trace(ctx, claim_root=True):
+            with client.span("net.client.request"):
+                pass
+        server = Telemetry(ids=IdGenerator(2))
+        with server.tracer.trace(ctx):
+            with server.span("net.request"):
+                with server.span("service.handle"):
+                    pass
+        return (
+            ctx,
+            write_events_jsonl(client.tracer, tmp_path / "client.jsonl"),
+            write_events_jsonl(server.tracer, tmp_path / "server.jsonl"),
+        )
+
+    def test_trace_show_stitches_two_exports(self, tmp_path, capsys):
+        ctx, client_path, server_path = self._exports(tmp_path)
+        assert main(["trace", "show", "--events", str(client_path),
+                     "--events", str(server_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {ctx.trace_id}" in out
+        assert "net.client.request  [client]" in out
+        assert "net.request  [server]" in out
+
+    def test_trace_show_selects_one_trace_id(self, tmp_path, capsys):
+        ctx, client_path, server_path = self._exports(tmp_path)
+        assert main(["trace", "show", "--events", str(client_path),
+                     "--events", str(server_path),
+                     "--trace-id", ctx.trace_id.upper()]) == 0
+        assert f"trace {ctx.trace_id}" in capsys.readouterr().out
+
+    def test_trace_show_unknown_id_fails(self, tmp_path, capsys):
+        _, client_path, _ = self._exports(tmp_path)
+        assert main(["trace", "show", "--events", str(client_path),
+                     "--trace-id", "ff" * 16]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_trace_show_without_traced_spans_fails(self, tmp_path, capsys):
+        from repro.telemetry import Telemetry, write_events_jsonl
+
+        telemetry = Telemetry()
+        with telemetry.span("untraced"):
+            pass
+        path = write_events_jsonl(telemetry.tracer, tmp_path / "plain.jsonl")
+        assert main(["trace", "show", "--events", str(path)]) == 1
+        assert "no traced spans" in capsys.readouterr().err
+
+    def test_ops_probes_a_live_server(self, context, capsys):
+        from repro.net.server import AcicServer, ServerThread
+        from tests.net.conftest import fresh_service
+
+        server = AcicServer(fresh_service(context), port=0, workers=1)
+        with ServerThread(server) as (host, port):
+            connect = f"{host}:{port}"
+            assert main(["ops", "health", "--connect", connect]) == 0
+            health = json.loads(capsys.readouterr().out)
+            assert health["status"] == "ok" and health["ready"] is True
+
+            assert main(["ops", "slo", "--connect", connect]) == 0
+            slo = json.loads(capsys.readouterr().out)
+            assert slo["state"] == "ok"
+
+            assert main(["ops", "metrics", "--connect", connect,
+                         "--format", "prom"]) == 0
+            assert "# HELP" in capsys.readouterr().out
+
+            assert main(["ops", "metrics", "--connect", connect]) == 0
+            metrics = json.loads(capsys.readouterr().out)
+            assert "net.requests" in metrics["metrics"]
+
+    def test_ops_bad_endpoint_is_usage_error(self, capsys):
+        assert main(["ops", "health", "--connect", "no-port-here"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_obs_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifacts", "models/", "--listen", "127.0.0.1:0",
+             "--log-jsonl", "log.jsonl", "--slo-latency-ms", "250",
+             "--slo-target", "0.95"]
+        )
+        assert args.log_jsonl == "log.jsonl"
+        assert args.slo_latency_ms == 250.0
+        assert args.slo_target == 0.95
+
+    def test_load_trace_ratio_flag_parses(self):
+        args = build_parser().parse_args(
+            ["load", "--connect", "h:1", "--trace-ratio", "0.25"]
+        )
+        assert args.trace_ratio == 0.25
