@@ -177,3 +177,147 @@ def test_tracing_and_logging_overhead_guardrail(context, warm_server):
         f"(bar: {SAMPLED_OFF_SLOWDOWN_BAR}x; baseline {min(baseline):.4f}s, "
         f"sampled-off {min(sampled_off):.4f}s)"
     )
+
+
+# ----------------------------------------------------------------------
+# Cluster guardrails (PR 8).
+#
+# Two promises docs/CLUSTER.md makes get numbers here:
+#
+# * hedging bounds tail latency — with one replica deterministically
+#   slowed by a latency FaultRule, the hedged p99 is at most half the
+#   unhedged p99 (in practice it is ~the hedge delay plus one healthy
+#   round trip, versus the full injected stall);
+# * the router itself is close to free — a mixed-platform batch through
+#   the full scatter-gather path stays within 15% of the same batch as
+#   one frame against a single server hosting every shard.
+
+HEDGE_P99_IMPROVEMENT = 0.5
+FANOUT_OVERHEAD_BAR = 1.15
+FANOUT_ROUNDS = 7
+
+_CLUSTER_PLATFORMS = ("bench_a", "bench_b", "bench_c")
+
+
+@pytest.fixture(scope="module")
+def cluster_fleet(tmp_path_factory, context):
+    """A 3-replica, 2-way-replicated thread-mode fleet plus its pack."""
+    from repro.cluster import ClusterSupervisor, SupervisorConfig
+    from repro.core.database import TrainingDatabase
+
+    service = AcicService(
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    for platform in _CLUSTER_PLATFORMS:
+        clone = TrainingDatabase(platform)
+        clone.extend(context.database.records)
+        service.host_database(clone)
+        for goal in (Goal.PERFORMANCE, Goal.COST):
+            service.warm(platform, goal, "cart")
+    pack = tmp_path_factory.mktemp("bench-cluster-pack")
+    service.save(pack)
+    config = SupervisorConfig(replicas=3, replication=2, mode="thread")
+    with ClusterSupervisor(pack, config) as supervisor:
+        yield supervisor, pack
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def test_hedging_bounds_tail_latency(cluster_fleet):
+    import time
+
+    from repro.cluster.router import RouterConfig
+    from repro.reliability import FaultInjector, FaultPlan, FaultRule, use_injector
+
+    supervisor, _ = cluster_fleet
+    platform = _CLUSTER_PLATFORMS[0]
+    calls, stall_s = 30, 0.15
+    queries = synthetic_queries(platform, 4 * calls, seed=43)
+    batches = [queries[i * 4:(i + 1) * 4] for i in range(calls)]
+
+    def run_arm(config):
+        # A fresh injector per arm replays the identical deterministic
+        # stall schedule (every primary call stalls), so the arms see
+        # the same fault load and differ only in hedging.
+        with supervisor.router(config) as router:
+            primary = router.ring.preference(platform, 2)[0]
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site=f"cluster.replica.{primary}",
+                        kind="latency",
+                        latency_s=stall_s,
+                    ),
+                ),
+            )
+            samples = []
+            with use_injector(FaultInjector(plan)):
+                router.query_batch(batches[0])  # warm engines/connects
+                for batch in batches[1:]:
+                    start = time.perf_counter()
+                    router.query_batch(batch)
+                    samples.append(time.perf_counter() - start)
+            hedges = router.metrics.counter("cluster.hedges").value
+        return samples, hedges
+
+    unhedged, _ = run_arm(RouterConfig(replication=2, hedge_enabled=False))
+    hedged, hedge_count = run_arm(
+        RouterConfig(replication=2, hedge_delay_s=0.02)
+    )
+    assert hedge_count >= 1
+    p99_unhedged = _percentile(unhedged, 0.99)
+    p99_hedged = _percentile(hedged, 0.99)
+    assert p99_unhedged >= stall_s  # the stall really dominated
+    assert p99_hedged <= HEDGE_P99_IMPROVEMENT * p99_unhedged, (
+        f"hedged p99 {p99_hedged * 1e3:.1f} ms vs unhedged "
+        f"{p99_unhedged * 1e3:.1f} ms "
+        f"(bar: {HEDGE_P99_IMPROVEMENT:.2f}x)"
+    )
+
+
+def test_router_fanout_overhead_vs_single_server(cluster_fleet):
+    import time
+
+    from repro.cluster.router import RouterConfig
+
+    supervisor, pack = cluster_fleet
+    # The single-server arm hosts every shard from the same pack.
+    reference = AcicService.load(pack)
+    server = AcicServer(reference, port=0, workers=2)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    per_platform = [
+        synthetic_queries(platform, 32, seed=47 + i)
+        for i, platform in enumerate(_CLUSTER_PLATFORMS)
+    ]
+    batch = [q for group in zip(*per_platform) for q in group]
+    # Hedging idle (delay far above healthy RTT): this measures pure
+    # scatter-gather overhead, not hedge timers.
+    config = RouterConfig(replication=2, hedge_delay_s=1.0)
+    try:
+        with AcicClient(host, port) as client, supervisor.router(
+            config
+        ) as router:
+            client.query_batch(batch)   # engines + connection warm
+            router.query_batch(batch)
+            single, fanned = [], []
+            for _ in range(FANOUT_ROUNDS):
+                reference._cache.clear()
+                start = time.perf_counter()
+                client.query_batch(batch)
+                single.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                router.query_batch(batch)
+                fanned.append(time.perf_counter() - start)
+    finally:
+        thread.stop()
+    ratio = min(fanned) / min(single)
+    assert ratio <= FANOUT_OVERHEAD_BAR, (
+        f"router batch is {ratio:.3f}x the single-server round trip "
+        f"(bar: {FANOUT_OVERHEAD_BAR}x; single {min(single) * 1e3:.2f} ms, "
+        f"router {min(fanned) * 1e3:.2f} ms)"
+    )

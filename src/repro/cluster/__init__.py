@@ -1,0 +1,35 @@
+"""Sharded, replicated serving for ACIC query traffic.
+
+A :class:`ClusterRouter` fronts N replica ``AcicServer`` processes.
+Training databases shard across replicas by *platform* on a consistent
+hash ring (:class:`HashRing`), each shard is replicated R ways, and
+replicas warm-start from the same versioned artifact pack the
+single-node path uses (``AcicService.save``/``load`` with a
+``platforms=`` filter).
+
+Robustness is the point: per-replica circuit breakers and health probes
+drive failover down the ring's preference list, scatter-gather batches
+tolerate partial replica loss by merging degraded responses instead of
+failing, and hedged requests bound tail latency by racing a second
+replica once the first blows past a latency-percentile deadline.
+
+:class:`ClusterSupervisor` boots the whole topology — in-process server
+threads for tests, ``acic serve`` subprocesses for the CLI — and doubles
+as the chaos harness (``kill -9`` a replica mid-batch and the router's
+answers stay byte-identical to a single reference service).
+"""
+
+from repro.cluster.replica import ReplicaHandle, ReplicaSpec
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.cluster.supervisor import ClusterSupervisor, SupervisorConfig
+
+__all__ = [
+    "HashRing",
+    "ReplicaSpec",
+    "ReplicaHandle",
+    "RouterConfig",
+    "ClusterRouter",
+    "SupervisorConfig",
+    "ClusterSupervisor",
+]

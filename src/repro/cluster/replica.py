@@ -1,0 +1,197 @@
+"""One cluster member as the router sees it: address, shards, breaker.
+
+A :class:`ReplicaHandle` wraps the blocking :class:`AcicClient` with the
+three things a shared, failure-prone backend needs:
+
+* a **lock** — the blocking client is one-request-at-a-time, and the
+  router's scatter-gather workers share handles;
+* a **circuit breaker** — consecutive transport failures open it, so a
+  dead replica costs one connect timeout, not one per query, until its
+  cooldown expires and a probe finds it back;
+* **connection hygiene** — any transport error drops the cached
+  connection, so the next call reconnects instead of reusing a socket
+  whose peer is gone.
+
+Fault injection hooks in at site ``cluster.replica.<name>`` *inside*
+``call()``: a deterministic latency rule there simulates a slow replica
+(the hedging benchmark's setup) without touching the server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.net.client import AcicClient, NetClientError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import InjectedError, get_injector
+from repro.telemetry import Clock, MonotonicClock
+
+__all__ = ["ReplicaSpec", "ReplicaHandle", "ReplicaDown"]
+
+
+class ReplicaDown(NetClientError):
+    """The replica refused the call (breaker open) or cannot be reached."""
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"replica {name!r} unavailable: {reason}")
+        self.replica = name
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Static description of one replica.
+
+    Attributes:
+        name: replica id — also its ring token and metric label, so it
+            must satisfy the registry's metric-name charset (``r0``,
+            ``r1``, ... — no dashes).
+        host / port: the replica server's bound address.
+        platforms: platforms the ring assigned this replica (its
+            shards), sorted.
+    """
+
+    name: str
+    host: str
+    port: int
+    platforms: tuple[str, ...] = field(default_factory=tuple)
+
+
+class ReplicaHandle:
+    """A live, breaker-guarded connection slot for one replica.
+
+    Args:
+        spec: the replica's static description.
+        timeout_s: socket timeout for connects and reads — short, so a
+            dead replica fails fast into the failover path rather than
+            stalling a whole batch.
+        connect_retries: extra connect attempts before giving up (0 by
+            default: at query time the ring's next owner is a better
+            bet than a backoff loop against a corpse).
+        failure_threshold / reset_after_s: breaker tuning; the defaults
+            open after 2 consecutive transport failures and re-probe
+            after one second.
+        clock: breaker time source (tests pass a ManualClock).
+    """
+
+    def __init__(
+        self,
+        spec: ReplicaSpec,
+        *,
+        timeout_s: float = 5.0,
+        connect_retries: int = 0,
+        failure_threshold: int = 2,
+        reset_after_s: float = 1.0,
+        clock: Clock | None = None,
+    ) -> None:
+        self.spec = spec
+        self.timeout_s = timeout_s
+        self.connect_retries = connect_retries
+        self.lock = threading.Lock()
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_after_s=reset_after_s,
+            name=f"cluster.replica.{spec.name}",
+            clock=clock if clock is not None else MonotonicClock(),
+        )
+        self._client: AcicClient | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # ------------------------------------------------------------------
+    def _ensure_client(self) -> AcicClient:
+        if self._client is None:
+            # local_spans off: handles are driven from router worker
+            # threads, and the tracer's span stack is single-threaded.
+            self._client = AcicClient(
+                self.spec.host,
+                self.spec.port,
+                timeout_s=self.timeout_s,
+                connect_retries=self.connect_retries,
+                local_spans=False,
+            )
+        return self._client
+
+    def drop_connection(self) -> None:
+        """Close and forget the cached connection (idempotent)."""
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def call(self, fn):
+        """Run ``fn(client)`` under the lock, breaker, and injector.
+
+        The deterministic chaos hook fires first: a latency rule at
+        site ``cluster.replica.<name>`` is *served* as a real sleep
+        (simulating a slow replica), and a ``replica_kill`` decision is
+        surfaced as a transport failure — exactly what the router would
+        see from a SIGKILLed process, minus the process.
+
+        Raises:
+            ReplicaDown: the breaker refused the call.
+            NetClientError: the transport failed (breaker notified,
+                connection dropped).
+        """
+        if not self.breaker.allow():
+            raise ReplicaDown(self.name, "circuit breaker open")
+        try:
+            decision = get_injector().perturb(f"cluster.replica.{self.name}")
+        except InjectedError:
+            # An injected error *is* a backend failure as far as the
+            # breaker is concerned — chaos must trip the same machinery
+            # a real outage would.
+            self.breaker.record_failure()
+            raise
+        if decision.latency_s > 0.0:
+            # Injected latency models a slow path *to* this replica, so
+            # it sleeps outside the client lock: one stalled call must
+            # not serialize every later caller (hedge probes included)
+            # behind it.
+            time.sleep(decision.latency_s)
+        with self.lock:
+            try:
+                if decision.kill:
+                    self.drop_connection()
+                    raise NetClientError(
+                        f"injected replica kill for {self.name!r}"
+                    )
+                result = fn(self._ensure_client())
+            except NetClientError:
+                self.breaker.record_failure()
+                self.drop_connection()
+                raise
+        self.breaker.record_success()
+        return result
+
+    def note_slow(self) -> None:
+        """Count a lost hedge race against this replica's breaker.
+
+        A primary that keeps losing hedges is indistinguishable from a
+        failing one as far as callers are concerned; enough lost races
+        open the breaker and traffic fails over outright until the
+        cooldown probe says otherwise.  Without this, a persistently
+        slow replica stacks abandoned in-flight calls behind the
+        winners until the hedge pool starves.
+        """
+        self.breaker.record_failure()
+
+    # ------------------------------------------------------------------
+    def probe_health(self) -> dict | None:
+        """The replica's HEALTH document, or None when unreachable.
+
+        A successful probe feeds the breaker like any call, so probing
+        a half-open breaker is exactly the probe that closes it.
+        """
+        try:
+            return self.call(lambda client: client.ops_health())
+        except NetClientError:
+            return None
+
+    def close(self) -> None:
+        """Drop the connection (the replica itself is not touched)."""
+        with self.lock:
+            self.drop_connection()

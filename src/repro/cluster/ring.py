@@ -1,0 +1,104 @@
+"""Consistent hashing for platform → replica shard assignment.
+
+The ring places ``vnodes`` virtual points per replica on a 64-bit
+circle (first 8 bytes of ``sha256(f"{name}#{i}")``) and assigns a key
+to the first points clockwise from ``sha256(key)``.  Two properties
+matter here:
+
+* **Stability across processes** — hashes come from :mod:`hashlib`,
+  never Python's randomized ``hash()``, so a router and a supervisor in
+  different processes compute identical shard maps.
+* **Minimal reshuffle** — adding or removing one replica moves only the
+  keys whose nearest points belonged to it; everything else stays put,
+  which is what keeps warm caches warm through topology changes.
+
+``preference(key, n)`` returns *n distinct* replicas in ring order —
+the first is the shard's primary, the rest are its replication targets
+and, at query time, the router's failover order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(token: str) -> int:
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named replicas.
+
+    Args:
+        replicas: replica names (unique, order-insensitive).
+        vnodes: virtual points per replica; more points smooth the
+            load split at the cost of a bigger sorted ring (>= 1).
+    """
+
+    def __init__(self, replicas: list[str] | tuple[str, ...], vnodes: int = 64):
+        names = list(replicas)
+        if not names:
+            raise ValueError("ring needs at least one replica")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate replica names: {sorted(names)}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._names = sorted(names)
+        points: list[tuple[int, str]] = []
+        for name in self._names:
+            for i in range(vnodes):
+                points.append((_point(f"{name}#{i}"), name))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @property
+    def replicas(self) -> list[str]:
+        """All replica names, sorted."""
+        return list(self._names)
+
+    def primary(self, key: str) -> str:
+        """The replica owning ``key`` (first point clockwise)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, n: int) -> list[str]:
+        """The first ``n`` *distinct* replicas clockwise from ``key``.
+
+        Element 0 is the primary; the rest are replication targets in
+        failover order.  ``n`` is clamped to the replica count, so a
+        2-node ring asked for 3-way replication yields 2 owners rather
+        than raising mid-query.
+        """
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        n = min(n, len(self._names))
+        start = bisect.bisect_right(self._points, _point(key))
+        owners: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                owners.append(owner)
+                if len(owners) == n:
+                    break
+        return owners
+
+    def assignments(
+        self, keys: list[str] | tuple[str, ...], replication: int
+    ) -> dict[str, list[str]]:
+        """Replica → sorted keys it must hold at ``replication`` ways.
+
+        Every replica appears in the result (possibly with an empty
+        list) so supervisors can boot nodes that currently hold no
+        shard — they still matter once the ring changes.
+        """
+        out: dict[str, list[str]] = {name: [] for name in self._names}
+        for key in keys:
+            for owner in self.preference(key, replication):
+                out[owner].append(key)
+        return {name: sorted(keys_) for name, keys_ in out.items()}

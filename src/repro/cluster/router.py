@@ -1,0 +1,486 @@
+"""Scatter-gather query routing over a sharded, replicated cluster.
+
+The :class:`ClusterRouter` answers the same ``query``/``query_batch``
+surface an :class:`~repro.service.server.AcicService` does, but against
+N replica servers:
+
+* **Sharding** — each request's platform hashes onto the ring; the
+  first ``replication`` distinct owners clockwise hold that shard, in
+  failover order.
+* **Scatter-gather** — a mixed-platform batch splits into per-platform
+  groups (positions remembered), the groups fan out on a worker pool,
+  and the answers merge back into request order.
+* **Failover** — a transport failure (or an open breaker) on one owner
+  moves the group to the next owner down the preference list; the
+  answer is byte-identical because both owners warmed the same shard
+  from the same artifact pack.  ``cluster.failovers`` counts every
+  reroute.
+* **Hedging** — once the primary's reply is slower than the observed
+  ``hedge_quantile`` of shard latency, the same group is raced against
+  the next owner and the first answer wins, bounding tail latency at
+  the cost of (rare) duplicate work.
+* **Degraded merge** — when *every* owner of a shard is gone, the
+  router answers those positions locally with the service layer's own
+  baseline degradation (``degraded=True``) instead of failing the
+  batch: partial cluster loss degrades the affected shard, never the
+  whole response.
+
+Tracing: the router owns one ``cluster.route`` span per call (in the
+calling thread — the tracer's span stack is single-threaded) and sends
+one shared :class:`TraceContext` to every replica it touches, so each
+replica's server-side ``net.request`` span parents onto the route span.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.cluster.replica import ReplicaHandle
+from repro.cluster.ring import HashRing
+from repro.core.training import DEFAULT_FIXED_VALUES
+from repro.net.client import NetClientError
+from repro.net.server import REQUEST_LATENCY_BUCKETS
+from repro.reliability.faults import InjectedError
+from repro.service.api import (
+    QueryRequest,
+    QueryResponse,
+    RecommendationPayload,
+)
+from repro.space.grid import coerce_valid, config_from_values
+from repro.telemetry import MetricsRegistry, get_telemetry
+from repro.telemetry.report import histogram_quantile
+from repro.telemetry.tracing import IdGenerator, Sampler, TraceContext
+
+__all__ = ["RouterConfig", "ClusterRouter", "ClusterError"]
+
+#: Failures that move a group to the next owner instead of propagating.
+_FAILOVER_ERRORS = (NetClientError, InjectedError)
+
+
+class ClusterError(RuntimeError):
+    """No owner of a shard could answer and local degradation is off."""
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Routing policy knobs.
+
+    Attributes:
+        replication: owners per shard (clamped to the replica count).
+        vnodes: virtual points per replica on the hash ring.
+        hedge_enabled: race a second owner for slow primaries.
+        hedge_quantile: shard-latency quantile that arms the hedge —
+            the delay before the second request fires.
+        hedge_delay_s: explicit hedge delay override (skips the
+            quantile estimate entirely when set).
+        hedge_floor_s: minimum hedge delay, and the fallback while the
+            latency histogram is still empty/unresolvable.
+        fanout_workers: worker threads for per-platform group fan-out.
+        local_degraded: answer shard-total-loss with local baseline
+            degradation instead of raising :class:`ClusterError`.
+    """
+
+    replication: int = 2
+    vnodes: int = 64
+    hedge_enabled: bool = True
+    hedge_quantile: float = 0.95
+    hedge_delay_s: float | None = None
+    hedge_floor_s: float = 0.02
+    fanout_workers: int = 8
+    local_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise ValueError(
+                f"hedge_quantile must be in (0, 1], got {self.hedge_quantile}"
+            )
+        if self.fanout_workers < 1:
+            raise ValueError(
+                f"fanout_workers must be >= 1, got {self.fanout_workers}"
+            )
+
+
+class ClusterRouter:
+    """Client-facing front end for a replica fleet.
+
+    Args:
+        handles: one :class:`ReplicaHandle` per replica.
+        config: routing policy (defaults are test-friendly).
+        metrics: registry for the ``cluster.*`` instruments; defaults
+            to the process telemetry registry when telemetry is on,
+            else a private one.
+    """
+
+    def __init__(
+        self,
+        handles: list[ReplicaHandle],
+        config: RouterConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not handles:
+            raise ValueError("router needs at least one replica handle")
+        self.config = config if config is not None else RouterConfig()
+        self.handles = {handle.name: handle for handle in handles}
+        if len(self.handles) != len(handles):
+            raise ValueError("duplicate replica names in handles")
+        self.ring = HashRing(list(self.handles), vnodes=self.config.vnodes)
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            active = get_telemetry()
+            self.metrics = (
+                active.registry if active.enabled else MetricsRegistry()
+            )
+        self.sampler = Sampler()
+        self.ids = IdGenerator()
+        self._fanout = ThreadPoolExecutor(
+            max_workers=self.config.fanout_workers,
+            thread_name_prefix="cluster-fanout",
+        )
+        # Hedge attempts get their own pool: a group task occupying a
+        # fan-out worker must never wait on a pool it is running in.
+        self._hedge = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(handles)),
+            thread_name_prefix="cluster-hedge",
+        )
+        self._closed = False
+        m = self.metrics
+        self._queries = m.counter("cluster.queries", "queries routed")
+        self._batches = m.counter("cluster.batches", "batch calls routed")
+        self._failovers = m.counter(
+            "cluster.failovers", "groups rerouted past a failed owner"
+        )
+        self._hedges = m.counter("cluster.hedges", "hedge requests launched")
+        self._hedge_wins = m.counter(
+            "cluster.hedge_wins", "hedges that answered before the primary"
+        )
+        self._replica_errors = m.counter(
+            "cluster.replica_errors", "failed replica calls, all causes"
+        )
+        self._degraded_local = m.counter(
+            "cluster.degraded_local",
+            "responses synthesized locally after total shard loss",
+        )
+        self._latency = m.histogram(
+            "cluster.shard_latency_s",
+            buckets=REQUEST_LATENCY_BUCKETS,
+            help="successful replica group-call latency",
+        )
+        m.gauge("cluster.replicas", "configured replica count").set(len(handles))
+
+    # ------------------------------------------------------------------
+    # Public query surface
+    # ------------------------------------------------------------------
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Route one query to its shard's owners."""
+        return self.query_batch([request])[0]
+
+    def query_batch(self, requests: list[QueryRequest]) -> list[QueryResponse]:
+        """Scatter a mixed-platform batch, gather answers in order.
+
+        Raises:
+            ClusterError: a shard lost every owner and
+                ``local_degraded`` is off.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        self._batches.inc()
+        self._queries.inc(len(requests))
+        telemetry = get_telemetry()
+        ctx: TraceContext | None = None
+        if telemetry.enabled:
+            trace_id = self.ids.trace_id()
+            ctx = TraceContext(
+                trace_id, self.ids.span_id(), self.sampler.decide(trace_id)
+            )
+            with telemetry.tracer.trace(ctx, claim_root=True):
+                with telemetry.span(
+                    "cluster.route", queries=len(requests)
+                ) as span:
+                    responses = self._route(requests, ctx)
+                    span.annotate(
+                        degraded=sum(1 for r in responses if r.degraded)
+                    )
+                    return responses
+        return self._route(requests, None)
+
+    # ------------------------------------------------------------------
+    def _route(
+        self, requests: list[QueryRequest], ctx: TraceContext | None
+    ) -> list[QueryResponse]:
+        groups: dict[str, list[int]] = {}
+        for position, request in enumerate(requests):
+            groups.setdefault(request.platform, []).append(position)
+        responses: list[QueryResponse | None] = [None] * len(requests)
+        if len(groups) == 1:
+            # Single-shard batch: answer in the calling thread — no
+            # fan-out hop, so the single-platform path costs one
+            # replica round trip plus ring math.
+            platform, positions = next(iter(groups.items()))
+            answers = self._call_group(
+                platform, [requests[i] for i in positions], ctx
+            )
+            for position, answer in zip(positions, answers):
+                responses[position] = answer
+            return [r for r in responses if r is not None]
+        futures: dict[Future, list[int]] = {}
+        for platform, positions in groups.items():
+            futures[
+                self._fanout.submit(
+                    self._call_group,
+                    platform,
+                    [requests[i] for i in positions],
+                    ctx,
+                )
+            ] = positions
+        for future, positions in futures.items():
+            answers = future.result()
+            for position, answer in zip(positions, answers):
+                responses[position] = answer
+        return [r for r in responses if r is not None]
+
+    def _call_group(
+        self,
+        platform: str,
+        requests: list[QueryRequest],
+        ctx: TraceContext | None,
+    ) -> list[QueryResponse]:
+        """One platform's sub-batch: hedged primary, then failover."""
+        owners = self.ring.preference(platform, self.config.replication)
+        candidates = [self.handles[name] for name in owners]
+        primary = candidates[0]
+        rest = candidates[1:]
+
+        if self.config.hedge_enabled and rest:
+            result = self._hedged_attempt(primary, rest[0], requests, ctx)
+            if result is not None:
+                return result[1]
+            # Both the primary and the first hedge target failed; any
+            # remaining owners are the failover tail.
+            tail = rest[1:]
+        else:
+            try:
+                return self._timed_attempt(primary, requests, ctx)
+            except _FAILOVER_ERRORS:
+                self._replica_errors.inc()
+                tail = rest
+
+        for handle in tail:
+            self._failovers.inc()
+            try:
+                return self._timed_attempt(handle, requests, ctx)
+            except _FAILOVER_ERRORS:
+                self._replica_errors.inc()
+        if not self.config.local_degraded:
+            raise ClusterError(
+                f"no live owner for platform {platform!r} "
+                f"(tried {', '.join(owners)})"
+            )
+        self._degraded_local.inc(len(requests))
+        return [self._degrade_local(r) for r in requests]
+
+    def _degrade_local(self, request: QueryRequest) -> QueryResponse:
+        """The router's own last-resort answer for a lost shard.
+
+        Same contract as the service layer's baseline degradation —
+        the platform default every un-tuned user already runs, with
+        predicted improvement 1.0 by definition — but synthesized with
+        no database at hand (``model_points=0``), because total shard
+        loss means no replica can tell us anything better.
+        """
+        baseline = coerce_valid(
+            config_from_values(DEFAULT_FIXED_VALUES), request.characteristics
+        )
+        return QueryResponse(
+            recommendations=(
+                RecommendationPayload(
+                    rank=1,
+                    config_key=baseline.key,
+                    description=baseline.describe(),
+                    predicted_improvement=1.0,
+                    co_champion_group=1,
+                ),
+            ),
+            goal=request.goal,
+            platform=request.platform,
+            model_points=0,
+            model_epochs=(0, 0),
+            learner=request.learner,
+            cached=False,
+            degraded=True,
+        )
+
+    def _hedged_attempt(
+        self,
+        primary: ReplicaHandle,
+        secondary: ReplicaHandle,
+        requests: list[QueryRequest],
+        ctx: TraceContext | None,
+    ) -> tuple[str, list[QueryResponse]] | None:
+        """Race primary against a delayed hedge; None when both fail.
+
+        Counts ``cluster.failovers`` when the primary fails and the
+        hedge answers — that is a reroute, whatever started it.
+        """
+        first = self._hedge.submit(self._timed_attempt, primary, requests, ctx)
+        done, _ = wait([first], timeout=self.hedge_delay_s())
+        if first in done:
+            try:
+                return primary.name, first.result()
+            except _FAILOVER_ERRORS:
+                self._replica_errors.inc()
+                # Fast primary failure: no need to hedge, plain failover.
+                self._failovers.inc()
+                try:
+                    return secondary.name, self._timed_attempt(
+                        secondary, requests, ctx
+                    )
+                except _FAILOVER_ERRORS:
+                    self._replica_errors.inc()
+                    return None
+        # Primary is slow: arm the hedge and take the first good answer.
+        self._hedges.inc()
+        second = self._hedge.submit(
+            self._timed_attempt, secondary, requests, ctx
+        )
+        pending: set[Future] = {first, second}
+        winner: tuple[str, list[QueryResponse]] | None = None
+        primary_failed = False
+        while pending and winner is None:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    answers = future.result()
+                except _FAILOVER_ERRORS:
+                    self._replica_errors.inc()
+                    if future is first:
+                        primary_failed = True
+                    continue
+                if winner is None:
+                    name = primary.name if future is first else secondary.name
+                    winner = (name, answers)
+        if winner is None:
+            return None
+        if winner[0] == secondary.name:
+            if primary_failed:
+                self._failovers.inc()
+            else:
+                self._hedge_wins.inc()
+                if first in pending:
+                    # The primary is still stuck somewhere behind us:
+                    # slow is the new down.  Charging the lost race to
+                    # its breaker makes sustained slowness trip real
+                    # failover instead of stacking abandoned futures
+                    # until the hedge pool starves; cancel() frees the
+                    # slot outright when the call never even started.
+                    first.cancel()
+                    primary.note_slow()
+        return winner
+
+    def _timed_attempt(
+        self,
+        handle: ReplicaHandle,
+        requests: list[QueryRequest],
+        ctx: TraceContext | None,
+    ) -> list[QueryResponse]:
+        start = time.perf_counter()
+        answers = handle.call(
+            lambda client: client.query_batch(requests, trace=ctx)
+        )
+        self._latency.observe(time.perf_counter() - start)
+        return answers
+
+    def hedge_delay_s(self) -> float:
+        """Seconds to wait on the primary before arming the hedge.
+
+        Explicit override wins; otherwise the observed
+        ``hedge_quantile`` of shard latency, floored at
+        ``hedge_floor_s`` (also the fallback while the histogram is
+        empty or the rank lands in its overflow bucket).
+        """
+        if self.config.hedge_delay_s is not None:
+            return self.config.hedge_delay_s
+        estimate = histogram_quantile(self._latency, self.config.hedge_quantile)
+        if estimate is None:
+            return self.config.hedge_floor_s
+        return max(self.config.hedge_floor_s, estimate)
+
+    # ------------------------------------------------------------------
+    # Operations surface
+    # ------------------------------------------------------------------
+    def probe_health(self) -> dict[str, dict | None]:
+        """HEALTH documents per replica (None = unreachable).
+
+        Probes run concurrently on the fan-out pool; a probe is a real
+        breaker-fed call, so probing is also how an open breaker's
+        half-open slot gets its test request.
+        """
+        futures = {
+            name: self._fanout.submit(handle.probe_health)
+            for name, handle in self.handles.items()
+        }
+        return {name: future.result() for name, future in futures.items()}
+
+    def status(self) -> dict:
+        """Topology + per-replica liveness document for ``acic cluster status``."""
+        health = self.probe_health()
+        replicas = {}
+        for name in sorted(self.handles):
+            handle = self.handles[name]
+            doc = health[name]
+            replicas[name] = {
+                "address": f"{handle.spec.host}:{handle.spec.port}",
+                "platforms": sorted(handle.spec.platforms),
+                "breaker": handle.breaker.state,
+                "alive": doc is not None,
+                "health": doc,
+            }
+        return {
+            "replicas": replicas,
+            "replication": min(self.config.replication, len(self.handles)),
+            "vnodes": self.config.vnodes,
+            "alive": sum(1 for doc in health.values() if doc is not None),
+            "total": len(self.handles),
+            "hedge_delay_s": self.hedge_delay_s(),
+            "counters": {
+                "queries": int(self._queries.value),
+                "failovers": int(self._failovers.value),
+                "hedges": int(self._hedges.value),
+                "hedge_wins": int(self._hedge_wins.value),
+                "replica_errors": int(self._replica_errors.value),
+                "degraded_local": int(self._degraded_local.value),
+            },
+        }
+
+    def shard_map(self) -> dict[str, list[str]]:
+        """Platform → its owners in preference order, for every shard
+        any replica is configured with."""
+        platforms = sorted(
+            {p for h in self.handles.values() for p in h.spec.platforms}
+        )
+        replication = min(self.config.replication, len(self.handles))
+        return {
+            platform: self.ring.preference(platform, replication)
+            for platform in platforms
+        }
+
+    def close(self) -> None:
+        """Shut the pools and drop replica connections (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fanout.shutdown(wait=True)
+        self._hedge.shutdown(wait=True)
+        for handle in self.handles.values():
+            handle.close()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -72,12 +72,41 @@ __all__ = [
 _READ_CHUNK = 64 * 1024
 
 
+def _count_connect_retry() -> None:
+    get_telemetry().registry.counter(
+        "net.client.connect_retries",
+        "connect attempts that failed and were retried",
+    ).inc()
+
+
 class NetClientError(RuntimeError):
     """The transport failed mid-conversation (connection died, bad frame)."""
 
 
 class ConnectError(NetClientError):
-    """No connection could be established within the retry budget."""
+    """No connection could be established within the retry budget.
+
+    The message and the attributes carry the full retry history — not
+    just the last failure — so a flapping DNS entry or a refused first
+    attempt followed by timeouts reads as exactly that.
+
+    Attributes:
+        attempts: total connect attempts made (retries + 1).
+        causes: one message per attempt, in order.
+    """
+
+    def __init__(
+        self, host: str, port: int, causes: list[str]
+    ) -> None:
+        detail = "; ".join(
+            f"attempt {i + 1}: {cause}" for i, cause in enumerate(causes)
+        )
+        super().__init__(
+            f"could not connect to {host}:{port} "
+            f"after {len(causes)} attempt(s): {detail}"
+        )
+        self.attempts = len(causes)
+        self.causes = list(causes)
 
 
 class RemoteError(NetClientError):
@@ -141,6 +170,12 @@ class AcicClient:
             contexts (default: sample every trace).
         ids: trace/span id mint (random-seeded by default; pass a
             seeded one in tests for reproducible ids).
+        local_spans: open a local ``net.client.request`` span per round
+            trip when telemetry is on.  The cluster router disables this
+            for clients driven from its worker threads — the tracer's
+            span stack is single-threaded, so only the thread that owns
+            the route span may record locally; contexts still go on the
+            wire either way.
     """
 
     def __init__(
@@ -155,6 +190,7 @@ class AcicClient:
         sleep=time.sleep,
         sampler: Sampler | None = None,
         ids: IdGenerator | None = None,
+        local_spans: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -162,6 +198,7 @@ class AcicClient:
         self.max_frame_bytes = max_frame_bytes
         self.sampler = sampler if sampler is not None else Sampler()
         self.ids = ids if ids is not None else IdGenerator()
+        self.local_spans = local_spans
         self._decoder = FrameDecoder(max_frame_bytes)
         self._frames: list[Frame] = []
         self._next_id = 1
@@ -172,7 +209,7 @@ class AcicClient:
             max_retries=retries, base_s=0.05, multiplier=2.0, cap_s=2.0, jitter=0.5
         )
         delays = backoff.schedule(RngStream(seed, "net.connect", self.host, self.port))
-        last: Exception | None = None
+        causes: list[str] = []
         for attempt in range(retries + 1):
             try:
                 sock = socket.create_connection(
@@ -181,18 +218,16 @@ class AcicClient:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 return sock
             except OSError as exc:
-                last = exc
+                causes.append(f"{type(exc).__name__}: {exc}")
                 if attempt < len(delays):
+                    _count_connect_retry()
                     get_logger().warning(
                         "net.client.connect_retry",
                         host=self.host, port=self.port,
                         attempt=attempt + 1, error=str(exc),
                     )
                     sleep(delays[attempt])
-        raise ConnectError(
-            f"could not connect to {self.host}:{self.port} "
-            f"after {retries + 1} attempt(s): {last}"
-        )
+        raise ConnectError(self.host, self.port, causes)
 
     # ------------------------------------------------------------------
     def _prepare_trace(self, trace: TraceContext | None):
@@ -204,6 +239,14 @@ class AcicClient:
         local span scope should open.
         """
         telemetry = get_telemetry()
+        if not self.local_spans:
+            if trace is not None:
+                return trace, None
+            if not telemetry.enabled:
+                return None, None
+            trace_id = self.ids.trace_id()
+            sampled = self.sampler.decide(trace_id)
+            return TraceContext(trace_id, self.ids.span_id(), sampled), None
         if trace is not None:
             return trace, (telemetry if telemetry.enabled else None)
         if not telemetry.enabled:
@@ -441,25 +484,23 @@ class AsyncAcicClient:
             cap_s=2.0, jitter=0.5,
         )
         delays = backoff.schedule(RngStream(seed, "net.connect", host, port))
-        last: Exception | None = None
+        causes: list[str] = []
         for attempt in range(connect_retries + 1):
             try:
                 reader, writer = await asyncio.open_connection(host, port)
                 return cls(reader, writer, max_frame_bytes,
                            sampler=sampler, ids=ids)
             except OSError as exc:
-                last = exc
+                causes.append(f"{type(exc).__name__}: {exc}")
                 if attempt < len(delays):
+                    _count_connect_retry()
                     get_logger().warning(
                         "net.client.connect_retry",
                         host=host, port=port,
                         attempt=attempt + 1, error=str(exc),
                     )
                     await asyncio.sleep(delays[attempt])
-        raise ConnectError(
-            f"could not connect to {host}:{port} "
-            f"after {connect_retries + 1} attempt(s): {last}"
-        )
+        raise ConnectError(host, port, causes)
 
     # ------------------------------------------------------------------
     def _mint_trace(self, trace: TraceContext | None) -> TraceContext | None:

@@ -167,7 +167,9 @@ class RunReport:
 
     Latency quantiles are estimated from the ``loadgen.latency_s``
     telemetry histogram, not from a raw sample sort — the same numbers
-    an operator would read off the server's scrape.
+    an operator would read off the server's scrape.  A quantile is
+    ``None`` (rendered ``n/a``) when the histogram cannot answer it:
+    no observations, or a rank past the largest finite bucket bound.
     """
 
     mode: str
@@ -182,9 +184,9 @@ class RunReport:
     transport_errors: int
     reconnects: int
     throughput_qps: float
-    p50_ms: float
-    p95_ms: float
-    p99_ms: float
+    p50_ms: float | None
+    p95_ms: float | None
+    p99_ms: float | None
     mean_ms: float
     degraded_rate: float
     shed_or_rejected_rate: float
@@ -200,6 +202,10 @@ class RunReport:
 
     def render(self) -> str:
         """The printed SLO report."""
+
+        def _ms(value: float | None) -> str:
+            return "       n/a" if value is None else f"{value:10.2f} ms"
+
         lines = [
             f"== load run: {self.mode} loop, {self.arrival} arrivals, "
             f"{self.processes} process(es) ==",
@@ -212,9 +218,9 @@ class RunReport:
             f"  transport     {self.transport_errors:10d}  (unstructured)",
             f"reconnects      {self.reconnects:10d}",
             f"throughput      {self.throughput_qps:10.1f} queries/s",
-            f"latency p50     {self.p50_ms:10.2f} ms",
-            f"latency p95     {self.p95_ms:10.2f} ms",
-            f"latency p99     {self.p99_ms:10.2f} ms",
+            f"latency p50     {_ms(self.p50_ms)}",
+            f"latency p95     {_ms(self.p95_ms)}",
+            f"latency p99     {_ms(self.p99_ms)}",
             f"latency mean    {self.mean_ms:10.2f} ms",
         ]
         if self.slow_traces:
@@ -626,7 +632,9 @@ def run_load(config: LoadConfig) -> RunReport:
     sent = sum(r.sent for r in results)
     degraded = sum(r.degraded for r in results)
     rejected = sum(r.rejected for r in results)
-    has_latency = latency.count > 0
+    p50 = histogram_quantile(latency, 0.50)
+    p95 = histogram_quantile(latency, 0.95)
+    p99 = histogram_quantile(latency, 0.99)
     traced = sorted(
         (pair for r in results for pair in r.traced), reverse=True
     )
@@ -643,10 +651,10 @@ def run_load(config: LoadConfig) -> RunReport:
         transport_errors=sum(r.transport_errors for r in results),
         reconnects=sum(r.reconnects for r in results),
         throughput_qps=sent / duration if duration > 0 else 0.0,
-        p50_ms=histogram_quantile(latency, 0.50) * 1e3 if has_latency else 0.0,
-        p95_ms=histogram_quantile(latency, 0.95) * 1e3 if has_latency else 0.0,
-        p99_ms=histogram_quantile(latency, 0.99) * 1e3 if has_latency else 0.0,
-        mean_ms=(latency.sum / latency.count * 1e3) if has_latency else 0.0,
+        p50_ms=None if p50 is None else p50 * 1e3,
+        p95_ms=None if p95 is None else p95 * 1e3,
+        p99_ms=None if p99 is None else p99 * 1e3,
+        mean_ms=(latency.sum / latency.count * 1e3) if latency.count else 0.0,
         degraded_rate=degraded / sent if sent else 0.0,
         shed_or_rejected_rate=(degraded + rejected) / sent if sent else 0.0,
         worker_failures=tuple(

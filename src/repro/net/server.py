@@ -105,6 +105,10 @@ class AcicServer:
         workers: pool threads for request decode/encode (the service
             call itself is serialized regardless).
         max_frame_bytes: wire-frame body guard, both directions.
+        drain_timeout_s: graceful-shutdown budget — in-flight requests
+            get this long to finish, then remaining connections
+            (including idle clients just holding their socket open) are
+            force-closed so shutdown always terminates.
         clock: time source for request latencies and ``deadline_ms``
             budgets (tests pass a ManualClock).
         telemetry: explicit bundle for request spans; defaults to the
@@ -127,6 +131,7 @@ class AcicServer:
         queue_depth: int = 256,
         workers: int = 2,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        drain_timeout_s: float = 10.0,
         clock: Clock | None = None,
         telemetry=None,
         logger=None,
@@ -136,11 +141,16 @@ class AcicServer:
             raise ValueError(f"max_conns must be >= 1, got {max_conns}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if drain_timeout_s <= 0:
+            raise ValueError(
+                f"drain_timeout_s must be > 0, got {drain_timeout_s}"
+            )
         self.service = service
         self.host = host
         self.port = port
         self.max_conns = max_conns
         self.max_frame_bytes = max_frame_bytes
+        self.drain_timeout_s = drain_timeout_s
         self.clock = clock if clock is not None else MonotonicClock()
         self._telemetry = telemetry
         self._logger = logger
@@ -194,6 +204,10 @@ class AcicServer:
         self._deadline_expired = metrics.counter(
             "net.deadline_expired", "requests whose queue wait outlived deadline_ms"
         )
+        self._drain_forced = metrics.counter(
+            "net.drain.forced_closes",
+            "connections force-closed at the drain timeout",
+        )
         self._latency = metrics.histogram(
             "net.request_latency_s",
             REQUEST_LATENCY_BUCKETS,
@@ -217,21 +231,42 @@ class AcicServer:
         await stop.wait()
         await self.shutdown(drain=drain)
 
-    async def shutdown(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+    async def shutdown(
+        self, drain: bool = True, timeout_s: float | None = None
+    ) -> None:
         """Stop accepting; optionally drain in-flight requests; close.
 
         With ``drain`` every dispatched request finishes and its
         response is written before connections close — the graceful
-        SIGINT/SIGTERM path of ``acic serve --listen``.
+        SIGINT/SIGTERM path of ``acic serve --listen``.  The drain is
+        *bounded*: after ``timeout_s`` (the server's ``drain_timeout_s``
+        when omitted) remaining connections are force-closed and
+        counted in ``net.drain.forced_closes``, so a client that simply
+        holds an idle connection open can never stall shutdown forever
+        (``asyncio.Server.wait_closed`` would otherwise wait on its
+        handler indefinitely on Python >= 3.12.1).
         """
+        timeout_s = self.drain_timeout_s if timeout_s is None else timeout_s
         self._stopping = True
         if self._asyncio_server is not None:
             self._asyncio_server.close()
-            await self._asyncio_server.wait_closed()
         if drain and self._request_tasks:
             await asyncio.wait(list(self._request_tasks), timeout=timeout_s)
         for writer in list(self._writers):
+            # Whatever survived the drain window is idle or stalled:
+            # force the close rather than wait on the peer.
+            self._drain_forced.inc()
             writer.close()
+        if self._asyncio_server is not None:
+            try:
+                await asyncio.wait_for(
+                    self._asyncio_server.wait_closed(), timeout=timeout_s
+                )
+            except asyncio.TimeoutError:
+                get_logger().warning(
+                    "net.drain_timeout", timeout_s=timeout_s,
+                    connections=len(self._writers),
+                )
         self._pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------

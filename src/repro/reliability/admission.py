@@ -17,6 +17,8 @@ Two invariants the property tests pin down:
 
 from __future__ import annotations
 
+import threading
+
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.logging import get_logger
 
@@ -54,6 +56,11 @@ class AdmissionTicket:
 class AdmissionQueue:
     """A fixed in-flight bound with shed accounting.
 
+    Admit/release and the shed tally are atomic under a lock, so the
+    occupancy bound and the ``admitted + shed == attempts`` accounting
+    hold even when callers race from multiple threads (the socket
+    server's pool and the cluster router's fan-out workers both do).
+
     Args:
         depth: maximum concurrently admitted requests (>= 1).
         metrics: registry for the queue's instruments.
@@ -74,6 +81,7 @@ class AdmissionQueue:
         self.depth = depth
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.prefix = prefix
+        self._lock = threading.Lock()
         self._in_flight = 0
         self._admitted = self.metrics.counter(
             f"{prefix}.admitted", "requests admitted"
@@ -89,22 +97,29 @@ class AdmissionQueue:
     # ------------------------------------------------------------------
     def try_admit(self) -> AdmissionTicket | None:
         """Admit if a slot is free; None means the request was shed."""
-        if self._in_flight >= self.depth:
-            self._shed.inc()
+        with self._lock:
+            if self._in_flight >= self.depth:
+                self._shed.inc()
+                in_flight = self._in_flight
+                shed = True
+            else:
+                self._in_flight += 1
+                self._admitted.inc()
+                self._occupancy.set(self._in_flight)
+                shed = False
+        if shed:
             get_logger().warning(
                 "reliability.shed",
-                queue=self.prefix, in_flight=self._in_flight, depth=self.depth,
+                queue=self.prefix, in_flight=in_flight, depth=self.depth,
             )
             return None
-        self._in_flight += 1
-        self._admitted.inc()
-        self._occupancy.set(self._in_flight)
         return AdmissionTicket(self)
 
     def _release(self) -> None:
-        assert self._in_flight > 0, "release without a matching admit"
-        self._in_flight -= 1
-        self._occupancy.set(self._in_flight)
+        with self._lock:
+            assert self._in_flight > 0, "release without a matching admit"
+            self._in_flight -= 1
+            self._occupancy.set(self._in_flight)
 
     # ------------------------------------------------------------------
     @property

@@ -18,6 +18,8 @@ tests walk the full closed → open → half-open → closed cycle on a
 
 from __future__ import annotations
 
+import threading
+
 from repro.telemetry import Clock, MetricsRegistry, MonotonicClock
 from repro.telemetry.logging import get_logger
 
@@ -42,6 +44,12 @@ class BreakerOpen(RuntimeError):
 
 class CircuitBreaker:
     """Consecutive-failure breaker with a timed half-open probe phase.
+
+    State transitions and the half-open probe slot are guarded by a
+    lock: the cluster router shares one breaker per replica across its
+    scatter-gather worker threads, so two threads racing a half-open
+    slot must admit exactly one probe (pinned by the reliability
+    concurrency tests).
 
     Args:
         failure_threshold: consecutive failures that open the breaker.
@@ -77,6 +85,7 @@ class CircuitBreaker:
         self.half_open_max_calls = half_open_max_calls
         self.clock = clock if clock is not None else MonotonicClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -99,30 +108,34 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state, applying the open → half-open timeout lazily."""
-        if self._state == OPEN:
-            elapsed = self.clock.now() - self._opened_at
-            if elapsed >= self.reset_after_s:
-                self._transition(HALF_OPEN)
-                self._probes_in_flight = 0
-        return self._state
+        with self._lock:
+            if self._state == OPEN:
+                elapsed = self.clock.now() - self._opened_at
+                if elapsed >= self.reset_after_s:
+                    self._transition(HALF_OPEN)
+                    self._probes_in_flight = 0
+            return self._state
 
     def allow(self) -> bool:
         """Whether a call may proceed right now.
 
         Half-open admits at most ``half_open_max_calls`` concurrent
-        probes; open refuses everything (and counts the refusal).
+        probes — the check-and-claim is atomic under the breaker lock,
+        so concurrent callers can never over-admit; open refuses
+        everything (and counts the refusal).
         """
-        state = self.state
-        if state == CLOSED:
-            return True
-        if state == HALF_OPEN:
-            if self._probes_in_flight < self.half_open_max_calls:
-                self._probes_in_flight += 1
+        with self._lock:
+            state = self.state
+            if state == CLOSED:
                 return True
+            if state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_max_calls:
+                    self._probes_in_flight += 1
+                    return True
+                self._refused.inc()
+                return False
             self._refused.inc()
             return False
-        self._refused.inc()
-        return False
 
     def check(self) -> None:
         """:meth:`allow` as an assertion.
@@ -138,23 +151,25 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """Note a successful backend call (closes a half-open breaker)."""
-        if self._state == HALF_OPEN:
-            self._transition(CLOSED)
-        self._consecutive_failures = 0
-        self._probes_in_flight = 0
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
 
     def record_failure(self) -> None:
         """Note a failed backend call (may open the breaker)."""
-        if self._state == HALF_OPEN:
-            self._transition(OPEN)
-            self._opened_at = self.clock.now()
-            return
-        self._consecutive_failures += 1
-        if self._state == CLOSED and (
-            self._consecutive_failures >= self.failure_threshold
-        ):
-            self._transition(OPEN)
-            self._opened_at = self.clock.now()
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                self._opened_at = self.clock.now()
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+                self._opened_at = self.clock.now()
 
     # ------------------------------------------------------------------
     def _transition(self, state: str) -> None:

@@ -52,7 +52,7 @@ __all__ = [
 ]
 
 #: Recognized values of :attr:`FaultRule.kind`.
-FaultKind = ("error", "latency", "corrupt")
+FaultKind = ("error", "latency", "corrupt", "replica_kill")
 
 
 class InjectedError(RuntimeError):
@@ -77,7 +77,10 @@ class FaultRule:
             allowed (``"serving.*"``).
         kind: ``"error"`` raises :class:`InjectedError`, ``"latency"``
             adds :attr:`latency_s` to the operation, ``"corrupt"``
-            multiplies the operation's result by :attr:`factor`.
+            multiplies the operation's result by :attr:`factor`, and
+            ``"replica_kill"`` marks the visited replica site for
+            termination (the cluster supervisor/router acts on
+            :attr:`FaultDecision.kill`; non-cluster sites ignore it).
         probability: chance in [0, 1] that the rule fires per visit.
         latency_s: seconds added when a latency rule fires.
         factor: multiplier applied when a corrupt rule fires.
@@ -212,15 +215,18 @@ class FaultDecision:
         latency_s: extra seconds the caller should charge (0 = none).
         factor: multiplier the caller should apply to its result
             (1.0 = untouched).
+        kill: True when a ``replica_kill`` rule fired — the cluster
+            layer terminates (or routes around) the visited replica.
     """
 
     latency_s: float = 0.0
     factor: float = 1.0
+    kill: bool = False
 
     @property
     def clean(self) -> bool:
         """True when the visit was left completely untouched."""
-        return self.latency_s == 0.0 and self.factor == 1.0
+        return self.latency_s == 0.0 and self.factor == 1.0 and not self.kill
 
 
 #: The shared "nothing happened" decision.
@@ -256,6 +262,7 @@ class FaultInjector:
         """
         latency = 0.0
         factor = 1.0
+        kill = False
         error: tuple[str, FaultRule] | None = None
         for index, rule in enumerate(self.plan.rules):
             if not rule.matches(site):
@@ -280,11 +287,13 @@ class FaultInjector:
                 latency += rule.latency_s
             elif rule.kind == "corrupt":
                 factor *= rule.factor
+            elif rule.kind == "replica_kill":
+                kill = True
         if error is not None:
             raise InjectedError(*error)
-        if latency == 0.0 and factor == 1.0:
+        if latency == 0.0 and factor == 1.0 and not kill:
             return NO_FAULT
-        return FaultDecision(latency_s=latency, factor=factor)
+        return FaultDecision(latency_s=latency, factor=factor, kill=kill)
 
     # Alias with the call-site verb: "perturb this operation".
     perturb = decide

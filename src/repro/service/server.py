@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -406,21 +407,12 @@ class AcicService:
         manifest_path.write_text(json.dumps(manifest, indent=2))
         return manifest_path
 
-    @classmethod
-    def load(
-        cls,
-        directory: str | Path,
-        reliability: ReliabilityPolicy | None = None,
-    ) -> "AcicService":
-        """Warm-start a service from a :meth:`save` directory.
-
-        Databases are re-hosted and every packed model is loaded from its
-        verified artifact — no retraining (``models_trained`` stays 0
-        until a query needs a model the pack did not carry).
+    @staticmethod
+    def read_manifest(directory: str | Path) -> dict:
+        """The validated service manifest from a :meth:`save` directory.
 
         Raises:
             ServiceError: missing/malformed manifest.
-            ArtifactError: a tampered or unreadable model artifact.
         """
         directory = Path(directory)
         manifest_path = directory / _MANIFEST_FILE
@@ -438,6 +430,58 @@ class AcicService:
             raise ServiceError(
                 f"unsupported service manifest version {manifest.get('version')!r}"
             )
+        return manifest
+
+    @staticmethod
+    def manifest_platforms(directory: str | Path) -> list[str]:
+        """Platforms packed in a :meth:`save` directory, sorted.
+
+        The cluster supervisor uses this to compute shard assignments
+        before any replica boots.
+        """
+        manifest = AcicService.read_manifest(directory)
+        return sorted(
+            {entry["platform"] for entry in manifest.get("databases", ())}
+        )
+
+    @classmethod
+    def load(
+        cls,
+        directory: str | Path,
+        reliability: ReliabilityPolicy | None = None,
+        platforms: Sequence[str] | None = None,
+    ) -> "AcicService":
+        """Warm-start a service from a :meth:`save` directory.
+
+        Databases are re-hosted and every packed model is loaded from its
+        verified artifact — no retraining (``models_trained`` stays 0
+        until a query needs a model the pack did not carry).
+
+        Args:
+            directory: a :meth:`save` output directory.
+            reliability: optional policy override for the new service.
+            platforms: when given, load only these platforms' databases
+                and models — the shard-aware path cluster replicas use
+                to warm just the shards the ring assigns them.
+
+        Raises:
+            ServiceError: missing/malformed manifest, or a requested
+                platform the pack does not carry.
+            ArtifactError: a tampered or unreadable model artifact.
+        """
+        directory = Path(directory)
+        manifest = cls.read_manifest(directory)
+        wanted = None if platforms is None else set(platforms)
+        if wanted is not None:
+            packed = {
+                entry["platform"] for entry in manifest.get("databases", ())
+            }
+            missing = sorted(wanted - packed)
+            if missing:
+                raise ServiceError(
+                    f"artifact pack at {directory} has no database for "
+                    f"platform(s): {', '.join(missing)}"
+                )
         names = manifest.get("feature_names")
         service = cls(
             feature_names=tuple(names) if names else None,
@@ -445,8 +489,12 @@ class AcicService:
             reliability=reliability,
         )
         for entry in manifest.get("databases", ()):
+            if wanted is not None and entry["platform"] not in wanted:
+                continue
             service.load_database(directory / entry["file"])
         for entry in manifest.get("models", ()):
+            if wanted is not None and entry["platform"] not in wanted:
+                continue
             artifact = load_artifact(directory / entry["file"])
             database = service._database_for(artifact.platform)
             key = (artifact.platform, artifact.goal, artifact.learner)

@@ -21,25 +21,27 @@ __all__ = [
 ]
 
 
-def histogram_quantile(histogram: Histogram, q: float) -> float:
+def histogram_quantile(histogram: Histogram, q: float) -> float | None:
     """Estimate the ``q``-quantile of a fixed-bucket histogram.
 
     Prometheus ``histogram_quantile`` semantics: find the bucket the
     target rank lands in and interpolate linearly inside it (the first
-    bucket interpolates from 0).  Ranks that land in the +Inf overflow
-    bucket return the largest finite bound — the estimate is clamped to
-    what the buckets can resolve, which is exactly how the latency-SLO
-    reports read p50/p95/p99 off ``net.*``/``loadgen.*`` histograms.
+    bucket interpolates from 0) — this is how the latency-SLO reports
+    read p50/p95/p99 off ``net.*``/``loadgen.*`` histograms.
+
+    Returns ``None`` when the histogram cannot honestly answer: an
+    empty histogram has no ranks at all, and a rank that lands in the
+    +Inf overflow bucket is only known to be *above* the largest finite
+    bound — reporting that bound as "the p99" would understate tail
+    latency, so callers render ``n/a`` instead.
 
     Raises:
-        ValueError: ``q`` outside [0, 1] or an empty histogram.
+        ValueError: ``q`` outside [0, 1].
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
     if histogram.count == 0:
-        raise ValueError(
-            f"histogram {histogram.name!r} has no observations to rank"
-        )
+        return None
     target = q * histogram.count
     cumulative = 0
     lower = 0.0
@@ -49,7 +51,8 @@ def histogram_quantile(histogram: Histogram, q: float) -> float:
             return lower + (bound - lower) * max(0.0, fraction)
         cumulative += bucket_count
         lower = bound
-    return histogram.bounds[-1]
+    # The rank sits in the overflow bucket: the buckets cannot resolve it.
+    return None
 
 
 @dataclass(frozen=True)
@@ -162,9 +165,13 @@ def render_report(registry, records: Sequence[SpanRecord]) -> str:
         lines.append("== histograms ==")
         for metric in histograms:
             mean = metric.sum / metric.count if metric.count else 0.0
+            p50 = histogram_quantile(metric, 0.50)
+            p99 = histogram_quantile(metric, 0.99)
             lines.append(
                 f"{metric.name:44s} count={metric.count} "
-                f"sum={metric.sum:g} mean={mean:g}"
+                f"sum={metric.sum:g} mean={mean:g} "
+                f"p50={'n/a' if p50 is None else format(p50, 'g')} "
+                f"p99={'n/a' if p99 is None else format(p99, 'g')}"
             )
             buckets = " ".join(
                 f"le{bound:g}:{count}"

@@ -1,0 +1,75 @@
+"""Fixtures for the sharded-cluster tests.
+
+One artifact pack with several platform shards is built per module from
+the session-memoized pipeline context: the shared training database is
+cloned under distinct platform names (records are platform-agnostic;
+only the database label differs), and both goals' models are pre-warmed
+so replicas never retrain.  Replica fleets then warm-start from the
+pack exactly as production would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSupervisor, SupervisorConfig
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.net.loadgen import synthetic_queries
+from repro.service.server import AcicService
+
+#: Platform shard names (metric-name safe: no dashes).
+PLATFORMS = ("cloud_a", "cloud_b", "cloud_c", "cloud_d")
+
+
+def clone_database(database: TrainingDatabase, platform: str) -> TrainingDatabase:
+    out = TrainingDatabase(platform)
+    out.extend(database.records)
+    return out
+
+
+def mixed_batch(n_per_platform: int, seed: int):
+    """Distinct queries across every platform, interleaved.
+
+    Distinct (never-repeated) queries keep ``cached`` flags False on
+    every node, which is what makes byte-identical comparison across
+    failover meaningful — a repeated query would flip ``cached`` on
+    whichever node happened to serve it before.
+    """
+    per_platform = [
+        synthetic_queries(platform, n_per_platform, seed=seed + index)
+        for index, platform in enumerate(PLATFORMS)
+    ]
+    batch = []
+    for group in zip(*per_platform):
+        batch.extend(group)
+    return batch
+
+
+@pytest.fixture(scope="module")
+def cluster_pack(tmp_path_factory, context):
+    """An artifact pack carrying every platform shard, models warm."""
+    service = AcicService(
+        feature_names=tuple(context.screening.ranked_names()[: context.top_m])
+    )
+    for platform in PLATFORMS:
+        service.host_database(clone_database(context.database, platform))
+        for goal in (Goal.PERFORMANCE, Goal.COST):
+            service.warm(platform, goal, "cart")
+    out = tmp_path_factory.mktemp("cluster-pack")
+    service.save(out)
+    return out
+
+
+@pytest.fixture()
+def reference_service(cluster_pack) -> AcicService:
+    """A fresh single-node service over the full pack (the oracle)."""
+    return AcicService.load(cluster_pack)
+
+
+@pytest.fixture()
+def cluster(cluster_pack):
+    """A running 3-replica, 2-way-replicated in-process fleet."""
+    config = SupervisorConfig(replicas=3, replication=2, mode="thread")
+    with ClusterSupervisor(cluster_pack, config) as supervisor:
+        yield supervisor

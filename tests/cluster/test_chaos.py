@@ -1,0 +1,115 @@
+"""The cluster's headline proof: kill a replica mid-run and the
+router's answers stay byte-identical to a single reference service.
+
+Two kill mechanisms are exercised:
+
+* thread mode — the supervisor stops the replica's server thread
+  without draining (connection resets, same as a crash, hermetic);
+* process mode — a real ``acic serve`` subprocess gets ``SIGKILL``
+  mid-batch, which is what the CI cluster-smoke job does at scale.
+
+Plus the deterministic path: ``replica_kill`` as a first-class
+:class:`FaultRule` kind, executed by the supervisor's chaos sweep.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterSupervisor, SupervisorConfig
+from repro.reliability import FaultInjector, FaultPlan, FaultRule, use_injector
+from repro.reliability.faults import FaultDecision, NO_FAULT
+
+from tests.cluster.conftest import PLATFORMS, mixed_batch
+
+
+def to_json(responses):
+    return [response.to_json() for response in responses]
+
+
+class TestKillMidRun:
+    def test_thread_mode_kill_mid_batches(self, cluster, reference_service):
+        """Failover mid-run: byte-identical answers, failovers >= 1."""
+        batches = [mixed_batch(2, seed=200 + i) for i in range(6)]
+        victim = None
+        with cluster.router() as router:
+            got = []
+            for index, batch in enumerate(batches):
+                if index == 2:
+                    # Kill the primary owner of a shard we keep querying.
+                    victim = router.ring.preference(PLATFORMS[0], 2)[0]
+                    cluster.kill(victim)
+                got.extend(router.query_batch(batch))
+            failovers = router.metrics.counter("cluster.failovers").value
+            errors = router.metrics.counter("cluster.replica_errors").value
+        want = []
+        for batch in batches:
+            want.extend(reference_service.query_batch(batch))
+        assert to_json(got) == to_json(want)
+        assert not any(response.degraded for response in got)
+        assert failovers >= 1
+        assert errors >= 1
+        assert victim is not None and not cluster.alive(victim)
+
+    def test_process_mode_sigkill_mid_batches(
+        self, cluster_pack, reference_service
+    ):
+        """A real subprocess replica SIGKILLed mid-run."""
+        config = SupervisorConfig(replicas=3, replication=2, mode="process")
+        batches = [mixed_batch(2, seed=300 + i) for i in range(4)]
+        with ClusterSupervisor(cluster_pack, config) as supervisor:
+            with supervisor.router() as router:
+                got = []
+                for index, batch in enumerate(batches):
+                    if index == 2:
+                        victim = router.ring.preference(PLATFORMS[1], 2)[0]
+                        supervisor.kill(victim, force=True)  # SIGKILL
+                        assert not supervisor.alive(victim)
+                    got.extend(router.query_batch(batch))
+                failovers = router.metrics.counter(
+                    "cluster.failovers"
+                ).value
+        want = []
+        for batch in batches:
+            want.extend(reference_service.query_batch(batch))
+        assert to_json(got) == to_json(want)
+        assert not any(response.degraded for response in got)
+        assert failovers >= 1
+
+
+class TestReplicaKillFaultKind:
+    def test_rule_round_trips(self):
+        rule = FaultRule(site="cluster.supervisor.r1", kind="replica_kill")
+        assert FaultRule.from_payload(rule.to_payload()) == rule
+
+    def test_decision_carries_kill(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="cluster.supervisor.r1", kind="replica_kill"),)
+        )
+        decision = FaultInjector(plan).decide("cluster.supervisor.r1")
+        assert decision.kill and not decision.clean
+        assert decision.latency_s == 0.0 and decision.factor == 1.0
+
+    def test_no_fault_has_no_kill(self):
+        assert NO_FAULT.kill is False and NO_FAULT.clean
+        assert FaultDecision(kill=True).clean is False
+
+    def test_supervisor_chaos_sweep_executes_plan(self, cluster_pack):
+        # max_hits=1 means exactly one sweep kills r1; replays are
+        # deterministic given the plan — the whole point of scheduling
+        # replica death through the injector.
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="cluster.supervisor.r1",
+                    kind="replica_kill",
+                    max_hits=1,
+                ),
+            ),
+        )
+        config = SupervisorConfig(replicas=3, replication=2, mode="thread")
+        with ClusterSupervisor(cluster_pack, config) as supervisor:
+            with use_injector(FaultInjector(plan)):
+                assert supervisor.apply_chaos() == ["r1"]
+                assert not supervisor.alive("r1")
+                assert supervisor.alive("r0") and supervisor.alive("r2")
+                # Spent rule: the next sweep kills nothing.
+                assert supervisor.apply_chaos() == []

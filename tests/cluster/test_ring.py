@@ -1,0 +1,87 @@
+"""Unit tests for the consistent-hash ring (no cluster needed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+class TestHashRing:
+    def test_primary_is_first_of_preference(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        for key in ("ec2-us-east", "gce-europe", "azure-west"):
+            assert ring.primary(key) == ring.preference(key, 3)[0]
+
+    def test_preference_is_distinct_and_ordered_deterministically(self):
+        ring = HashRing(["r0", "r1", "r2", "r3"])
+        owners = ring.preference("some-platform", 3)
+        assert len(owners) == len(set(owners)) == 3
+        assert owners == ring.preference("some-platform", 3)
+
+    def test_stable_across_processes_and_insertion_order(self):
+        # hashlib-based points, not hash(): two independently built
+        # rings (different construction order) agree exactly — a router
+        # and a supervisor in different processes must compute the same
+        # shard map.
+        a = HashRing(["r0", "r1", "r2"], vnodes=32)
+        b = HashRing(["r2", "r0", "r1"], vnodes=32)
+        for key in [f"platform-{i}" for i in range(50)]:
+            assert a.preference(key, 2) == b.preference(key, 2)
+
+    def test_preference_clamps_to_replica_count(self):
+        ring = HashRing(["r0", "r1"])
+        assert len(ring.preference("k", 5)) == 2
+
+    def test_minimal_reshuffle_on_replica_add(self):
+        keys = [f"platform-{i}" for i in range(200)]
+        before = HashRing(["r0", "r1", "r2"], vnodes=64)
+        after = HashRing(["r0", "r1", "r2", "r3"], vnodes=64)
+        moved = 0
+        for key in keys:
+            old, new = before.primary(key), after.primary(key)
+            if old != new:
+                # A key may only move *to* the new replica; any other
+                # movement would be gratuitous reshuffling.
+                assert new == "r3"
+                moved += 1
+        # Expected share for the new node is ~1/4; allow generous slack.
+        assert 0 < moved < len(keys) // 2
+
+    def test_assignments_cover_every_key_r_ways(self):
+        ring = HashRing(["r0", "r1", "r2"], vnodes=32)
+        keys = [f"p{i}" for i in range(20)]
+        assignments = ring.assignments(keys, replication=2)
+        assert set(assignments) == {"r0", "r1", "r2"}
+        counts = {key: 0 for key in keys}
+        for owned in assignments.values():
+            for key in owned:
+                counts[key] += 1
+        assert all(count == 2 for count in counts.values())
+
+    def test_assignments_match_preference(self):
+        ring = HashRing(["r0", "r1", "r2"], vnodes=32)
+        assignments = ring.assignments(["px"], replication=2)
+        owners = ring.preference("px", 2)
+        for name in ring.replicas:
+            assert ("px" in assignments[name]) == (name in owners)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["r0", "r0"])
+        with pytest.raises(ValueError):
+            HashRing(["r0"], vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(["r0"]).preference("k", 0)
+
+    def test_vnodes_smooth_the_split(self):
+        # With enough virtual points no replica owns a wildly outsized
+        # share of a large keyspace.
+        ring = HashRing(["r0", "r1", "r2", "r3"], vnodes=128)
+        keys = [f"k{i}" for i in range(2000)]
+        loads = {name: 0 for name in ring.replicas}
+        for key in keys:
+            loads[ring.primary(key)] += 1
+        assert max(loads.values()) < 2.2 * (len(keys) / len(loads))

@@ -1,0 +1,200 @@
+"""Router behavior over a live in-process fleet: scatter-gather,
+failover, hedging, degraded merge, and the operations surface."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterSupervisor, SupervisorConfig
+from repro.cluster.router import RouterConfig
+from repro.net.loadgen import synthetic_queries
+from repro.reliability import FaultInjector, FaultPlan, FaultRule, use_injector
+
+from tests.cluster.conftest import PLATFORMS, mixed_batch
+
+
+def to_json(responses):
+    return [response.to_json() for response in responses]
+
+
+class TestScatterGather:
+    def test_mixed_batch_matches_reference_byte_identically(
+        self, cluster, reference_service
+    ):
+        batch = mixed_batch(4, seed=101)
+        with cluster.router() as router:
+            got = router.query_batch(batch)
+        want = reference_service.query_batch(batch)
+        assert to_json(got) == to_json(want)
+        assert not any(response.degraded for response in got)
+
+    def test_single_query_routes_to_shard(self, cluster, reference_service):
+        request = synthetic_queries(PLATFORMS[0], 1, seed=7)[0]
+        with cluster.router() as router:
+            got = router.query(request)
+        want = reference_service.handle(request)
+        assert got.to_json() == want.to_json()
+
+    def test_single_platform_batch_avoids_fanout_pool(
+        self, cluster, reference_service
+    ):
+        batch = synthetic_queries(PLATFORMS[1], 6, seed=11)
+        with cluster.router() as router:
+            got = router.query_batch(batch)
+        assert to_json(got) == to_json(reference_service.query_batch(batch))
+
+    def test_empty_batch(self, cluster):
+        with cluster.router() as router:
+            assert router.query_batch([]) == []
+
+
+class TestFailover:
+    def test_killed_primary_fails_over_byte_identically(
+        self, cluster, reference_service
+    ):
+        platform = PLATFORMS[2]
+        with cluster.router() as router:
+            primary = router.ring.preference(platform, 2)[0]
+            cluster.kill(primary)
+            batch = synthetic_queries(platform, 6, seed=31)
+            got = router.query_batch(batch)
+            failovers = router.metrics.counter("cluster.failovers").value
+        want = reference_service.query_batch(batch)
+        assert to_json(got) == to_json(want)
+        assert not any(response.degraded for response in got)
+        assert failovers >= 1
+
+    def test_breaker_opens_and_recovers_after_restart(self, cluster):
+        platform = PLATFORMS[0]
+        with cluster.router(
+            failure_threshold=1, reset_after_s=0.2
+        ) as router:
+            primary_name = router.ring.preference(platform, 2)[0]
+            handle = router.handles[primary_name]
+            cluster.kill(primary_name)
+            # First call fails over and trips the breaker on the corpse.
+            router.query_batch(synthetic_queries(platform, 2, seed=41))
+            assert handle.breaker.state == "open"
+            cluster.restart(primary_name)
+            time.sleep(0.25)  # past the breaker cooldown
+            assert handle.probe_health() is not None
+            assert handle.breaker.state == "closed"
+
+    def test_total_shard_loss_merges_degraded(self, cluster_pack):
+        config = SupervisorConfig(replicas=2, replication=1, mode="thread")
+        with ClusterSupervisor(cluster_pack, config) as supervisor:
+            with supervisor.router() as router:
+                platform = PLATFORMS[3]
+                only_owner = router.ring.preference(platform, 1)[0]
+                # With replication 1 the killed node is sole owner of
+                # every shard assigned to it — all of them degrade;
+                # shards on the surviving node answer authoritatively.
+                lost = set(supervisor.assignments[only_owner])
+                assert platform in lost and lost != set(PLATFORMS)
+                supervisor.kill(only_owner)
+                batch = mixed_batch(2, seed=51)
+                responses = router.query_batch(batch)
+                assert len(responses) == len(batch)
+                degraded_n = 0
+                for request, response in zip(batch, responses):
+                    if request.platform in lost:
+                        degraded_n += 1
+                        assert response.degraded
+                        assert all(
+                            r.predicted_improvement == 1.0
+                            for r in response.recommendations
+                        )
+                    else:
+                        assert not response.degraded
+                counted = router.metrics.counter(
+                    "cluster.degraded_local"
+                ).value
+                assert counted == degraded_n > 0
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged(self, cluster, reference_service):
+        platform = PLATFORMS[1]
+        config = RouterConfig(
+            replication=2, hedge_delay_s=0.05, hedge_quantile=0.95
+        )
+        with cluster.router(config) as router:
+            primary = router.ring.preference(platform, 2)[0]
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site=f"cluster.replica.{primary}",
+                        kind="latency",
+                        latency_s=0.6,
+                    ),
+                ),
+            )
+            batch = synthetic_queries(platform, 3, seed=61)
+            with use_injector(FaultInjector(plan)):
+                got = router.query_batch(batch)
+            hedges = router.metrics.counter("cluster.hedges").value
+            wins = router.metrics.counter("cluster.hedge_wins").value
+        assert to_json(got) == to_json(reference_service.query_batch(batch))
+        assert hedges >= 1
+        assert wins >= 1
+
+    def test_hedge_delay_derives_from_observed_latency(self, cluster):
+        config = RouterConfig(replication=2, hedge_floor_s=0.004)
+        with cluster.router(config) as router:
+            # Empty histogram: fall back to the floor.
+            assert router.hedge_delay_s() == pytest.approx(0.004)
+            router.query_batch(mixed_batch(2, seed=71))
+            # With observations the estimate is at least the floor and
+            # finite (never None leaking out).
+            delay = router.hedge_delay_s()
+            assert delay >= 0.004
+
+    def test_explicit_delay_overrides_estimate(self, cluster):
+        config = RouterConfig(replication=2, hedge_delay_s=1.25)
+        with cluster.router(config) as router:
+            router.query_batch(mixed_batch(1, seed=81))
+            assert router.hedge_delay_s() == 1.25
+
+
+class TestOps:
+    def test_status_reports_topology_and_liveness(self, cluster):
+        with cluster.router() as router:
+            status = router.status()
+            assert status["total"] == 3
+            assert status["alive"] == 3
+            assert set(status["replicas"]) == {"r0", "r1", "r2"}
+            for doc in status["replicas"].values():
+                assert doc["alive"] and doc["health"]["status"] == "ok"
+                assert doc["breaker"] == "closed"
+            cluster.kill("r1")
+            status = router.status()
+            assert status["alive"] == 2
+            assert status["replicas"]["r1"]["alive"] is False
+            assert status["replicas"]["r1"]["health"] is None
+
+    def test_shard_map_lists_every_platform(self, cluster):
+        with cluster.router() as router:
+            shard_map = router.shard_map()
+            assert set(shard_map) == set(PLATFORMS)
+            for owners in shard_map.values():
+                assert len(owners) == 2 and len(set(owners)) == 2
+
+    def test_replicas_load_only_their_shards(self, cluster):
+        # Each replica's HEALTH document lists exactly the platforms
+        # the ring assigned it — shard-aware warm start, not full copies.
+        with cluster.router() as router:
+            health = router.probe_health()
+        for name, doc in health.items():
+            assert doc is not None
+            assert doc["models"]["platforms"] == sorted(
+                cluster.assignments[name]
+            )
+
+    def test_supervisor_restart_rebinds_same_port(self, cluster):
+        spec_before = next(s for s in cluster.specs() if s.name == "r0")
+        cluster.kill("r0")
+        spec_after = cluster.restart("r0")
+        assert spec_after.port == spec_before.port
+        assert cluster.alive("r0")

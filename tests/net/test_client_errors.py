@@ -1,0 +1,75 @@
+"""Connect-failure reporting: full retry history, counted retries."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.net.client import AcicClient, AsyncAcicClient, ConnectError
+from repro.telemetry import Telemetry, use_telemetry
+
+
+@pytest.fixture()
+def dead_port() -> int:
+    """A port with nothing listening on it."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestConnectError:
+    def test_reports_every_attempt(self, dead_port):
+        with pytest.raises(ConnectError) as excinfo:
+            AcicClient(
+                "127.0.0.1", dead_port,
+                connect_retries=2, sleep=lambda _s: None,
+            )
+        error = excinfo.value
+        assert error.attempts == 3
+        assert len(error.causes) == 3
+        # Every cause names its exception type, and the message lays
+        # out the per-attempt history, not just the last failure.
+        assert all("ConnectionRefusedError" in cause for cause in error.causes)
+        message = str(error)
+        assert "after 3 attempt(s)" in message
+        for attempt in (1, 2, 3):
+            assert f"attempt {attempt}:" in message
+
+    def test_zero_retries_is_one_attempt(self, dead_port):
+        with pytest.raises(ConnectError) as excinfo:
+            AcicClient(
+                "127.0.0.1", dead_port,
+                connect_retries=0, sleep=lambda _s: None,
+            )
+        assert excinfo.value.attempts == 1
+
+    def test_retries_are_counted_in_the_registry(self, dead_port):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            with pytest.raises(ConnectError):
+                AcicClient(
+                    "127.0.0.1", dead_port,
+                    connect_retries=2, sleep=lambda _s: None,
+                )
+        counter = telemetry.registry.counter("net.client.connect_retries")
+        # 3 attempts = 2 retries; the final failure is not a retry.
+        assert counter.value == 2
+
+    def test_async_client_reports_attempts_too(self, dead_port):
+        async def connect():
+            await AsyncAcicClient.connect(
+                "127.0.0.1", dead_port, connect_retries=1
+            )
+
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            with pytest.raises(ConnectError) as excinfo:
+                asyncio.run(connect())
+        assert excinfo.value.attempts == 2
+        assert len(excinfo.value.causes) == 2
+        retries = telemetry.registry.counter("net.client.connect_retries")
+        assert retries.value == 1

@@ -1,0 +1,103 @@
+"""Graceful-drain regression: a stalling client must not hang shutdown.
+
+The failure mode: ``asyncio.Server.wait_closed`` (Python >= 3.12.1)
+waits for every connection handler, so a client that just holds its
+socket open — sending nothing — could stall ``acic serve`` forever
+after SIGTERM.  ``--drain-timeout-s`` bounds the drain: idle
+connections are force-closed after the timeout and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.net.client import AcicClient
+from repro.net.server import AcicServer, ServerThread
+
+from tests.net.conftest import fresh_service
+
+
+class TestDrainTimeout:
+    def test_validation(self, context):
+        with pytest.raises(ValueError):
+            AcicServer(fresh_service(context), drain_timeout_s=0.0)
+
+    def test_stalling_client_cannot_hang_embedded_shutdown(self, context):
+        server = AcicServer(
+            fresh_service(context), port=0, workers=1, drain_timeout_s=0.5
+        )
+        thread = ServerThread(server)
+        host, port = thread.start()
+        staller = socket.create_connection((host, port), timeout=5.0)
+        try:
+            # A real request first, so the connection is established
+            # and served, then left idle and open.
+            with AcicClient(host, port) as client:
+                client.ping()
+            started = time.monotonic()
+            thread.stop()
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0, f"drain took {elapsed:.1f}s"
+            forced = server.service.metrics.counter(
+                "net.drain.forced_closes"
+            ).value
+            assert forced >= 1
+            # The stalled socket was closed server-side.
+            staller.settimeout(5.0)
+            assert staller.recv(1) == b""
+        finally:
+            staller.close()
+
+    def test_cli_serve_exits_zero_with_stalling_client(
+        self, tmp_path, context
+    ):
+        """SIGTERM + held-open connection: drains, force-closes, exit 0."""
+        db_path = tmp_path / "db.json"
+        context.database.save(db_path)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--db", str(db_path),
+                "--listen", "127.0.0.1:0",
+                "--drain-timeout-s", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        staller = None
+        try:
+            address = None
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                assert line, "server exited during boot"
+                if line.startswith("# listening on "):
+                    address = line.split("# listening on ", 1)[1].strip()
+                    break
+            assert address is not None
+            host, _, port = address.rpartition(":")
+            staller = socket.create_connection((host, int(port)), timeout=5.0)
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30.0)
+            assert code == 0
+        finally:
+            if staller is not None:
+                staller.close()
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10.0)
+            proc.stdout.close()

@@ -1,0 +1,127 @@
+"""Thread-safety of the reliability primitives the cluster router
+shares across its scatter-gather workers.
+
+Two races are pinned:
+
+* a half-open breaker's probe slot must admit *exactly one* of N
+  threads hitting it simultaneously;
+* the admission queue's accounting (``admitted + shed == attempts``,
+  occupancy bound, no lost slots) must hold under concurrent
+  enqueue/shed/release traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.reliability import AdmissionQueue, CircuitBreaker
+from repro.telemetry.clock import ManualClock
+
+
+def _run_threads(n: int, target) -> None:
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+
+class TestHalfOpenRace:
+    def test_exactly_one_probe_admitted(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=1.0, half_open_max_calls=1,
+            clock=clock, name="race",
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(1.5)  # cooldown expired: next allow() goes half-open
+
+        barrier = threading.Barrier(8)
+        admitted = []
+        lock = threading.Lock()
+
+        def probe(index: int) -> None:
+            barrier.wait(timeout=10.0)
+            if breaker.allow():
+                with lock:
+                    admitted.append(index)
+
+        _run_threads(8, probe)
+        assert len(admitted) == 1
+        assert breaker.state == "half-open"
+
+    def test_probe_slot_refills_after_success(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        assert not breaker.allow()  # slot taken
+        breaker.record_success()     # probe came back: breaker closes
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_racing_failure_reopens_without_overadmitting(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed: back to open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+
+class TestAdmissionAccounting:
+    def test_concurrent_enqueue_and_shed_balance(self):
+        queue = AdmissionQueue(depth=4)
+        attempts_per_thread = 400
+        threads = 8
+        outcomes = {"admitted": 0, "shed": 0}
+        lock = threading.Lock()
+        bound_violations = []
+
+        def worker(_index: int) -> None:
+            admitted = shed = 0
+            for _ in range(attempts_per_thread):
+                ticket = queue.try_admit()
+                if ticket is None:
+                    shed += 1
+                    continue
+                admitted += 1
+                occupancy = queue.in_flight
+                if occupancy > queue.depth:
+                    bound_violations.append(occupancy)
+                ticket.release()
+            with lock:
+                outcomes["admitted"] += admitted
+                outcomes["shed"] += shed
+
+        _run_threads(threads, worker)
+        total = threads * attempts_per_thread
+        assert outcomes["admitted"] + outcomes["shed"] == total
+        assert not bound_violations
+        # Registry accounting matches the ground truth exactly — no
+        # lost increments under the race.
+        assert queue.shed_count == outcomes["shed"]
+        admitted_metric = queue.metrics.counter(
+            "reliability.admission.admitted"
+        ).value
+        assert admitted_metric == outcomes["admitted"]
+        # Every admit was released: the queue drains to empty.
+        assert queue.in_flight == 0
+
+    def test_held_tickets_force_sheds(self):
+        queue = AdmissionQueue(depth=2)
+        first, second = queue.try_admit(), queue.try_admit()
+        assert first is not None and second is not None
+        assert queue.try_admit() is None
+        assert queue.shed_count == 1
+        first.release()
+        assert queue.try_admit() is not None
+        second.release()

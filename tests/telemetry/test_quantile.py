@@ -34,16 +34,33 @@ class TestHistogramQuantile:
         median = histogram_quantile(histogram, 0.5)
         assert 2.0 < median <= 4.0
 
-    def test_overflow_clamps_to_the_last_finite_bound(self):
-        histogram = _loaded([100.0] * 5)  # all in the +Inf bucket
-        assert histogram_quantile(histogram, 0.99) == 8.0
+    def test_overflow_bucket_is_unresolvable(self):
+        # All observations above the largest finite bound: the buckets
+        # only know the answer is "> 8.0", so clamping to 8.0 would
+        # *understate* tail latency.  The honest answer is None.
+        histogram = _loaded([100.0] * 5)
+        assert histogram_quantile(histogram, 0.99) is None
+
+    def test_partial_overflow_still_resolves_lower_ranks(self):
+        # p50 sits in a finite bucket even when p99 falls off the top.
+        histogram = _loaded([3.0] * 95 + [100.0] * 5)
+        assert histogram_quantile(histogram, 0.50) is not None
+        assert histogram_quantile(histogram, 0.99) is None
+
+    def test_empty_histogram_returns_none(self):
+        assert histogram_quantile(_loaded([]), 0.5) is None
+        assert histogram_quantile(_loaded([]), 0.0) is None
+
+    def test_single_bucket_overflow_only(self):
+        histogram = _loaded([5.0] * 3, bounds=(1.0,))
+        assert histogram_quantile(histogram, 0.5) is None
 
     def test_invalid_inputs_raise(self):
         histogram = _loaded([1.0])
         with pytest.raises(ValueError):
             histogram_quantile(histogram, 1.5)
         with pytest.raises(ValueError):
-            histogram_quantile(_loaded([]), 0.5)
+            histogram_quantile(histogram, -0.1)
 
     def test_p99_on_latency_shaped_data(self):
         bounds = (0.001, 0.01, 0.1, 1.0)
