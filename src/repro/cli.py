@@ -581,17 +581,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.artifacts:
         platforms = None
-        if args.platforms:
+        if args.platforms is not None:
+            # An explicit empty value (--platforms "") is a real shard
+            # assignment meaning "load nothing", distinct from the flag
+            # being absent (load every platform in the pack).
             platforms = [p for p in args.platforms.split(",") if p]
         service = AcicService.load(
             args.artifacts,
             reliability=_reliability_policy(args),
             platforms=platforms,
         )
-        shard = f" (shard: {args.platforms})" if platforms else ""
+        if platforms is None:
+            shard = ""
+        else:
+            shard = f" (shard: {args.platforms or 'none'})"
         print(f"# warm start from {args.artifacts}{shard}", flush=True)
     else:
-        if args.platforms:
+        if args.platforms is not None:
             print("error: --platforms needs --artifacts", file=sys.stderr)
             return 2
         service = AcicService(reliability=_reliability_policy(args))

@@ -23,7 +23,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.net.client import AcicClient, NetClientError
+from repro.net.client import AcicClient, NetClientError, RemoteError
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import InjectedError, get_injector
 from repro.telemetry import Clock, MonotonicClock
@@ -97,6 +97,8 @@ class ReplicaHandle:
             clock=clock if clock is not None else MonotonicClock(),
         )
         self._client: AcicClient | None = None
+        self._slow_lock = threading.Lock()
+        self._slow_debt = 0
 
     @property
     def name(self) -> str:
@@ -160,12 +162,34 @@ class ReplicaHandle:
                         f"injected replica kill for {self.name!r}"
                     )
                 result = fn(self._ensure_client())
+            except RemoteError:
+                # A structured ERROR frame is the *application* refusing
+                # the request over a healthy transport: the replica
+                # answered, so the breaker sees a success and the
+                # connection is kept.  The error itself must surface to
+                # the caller — a deterministic bad request would fail
+                # identically on every owner, so retrying it is not
+                # failover, it is amplification.
+                self._settle_success()
+                raise
             except NetClientError:
                 self.breaker.record_failure()
                 self.drop_connection()
                 raise
-        self.breaker.record_success()
+        self._settle_success()
         return result
+
+    def _settle_success(self) -> None:
+        """Feed a completed round trip to the breaker — unless the call
+        was already charged as a lost hedge race, in which case the
+        strike stands and the late completion is swallowed (else a
+        slow-but-succeeding primary resets its own strikes and the
+        documented slowness-trips-failover protection never fires)."""
+        with self._slow_lock:
+            if self._slow_debt > 0:
+                self._slow_debt -= 1
+                return
+        self.breaker.record_success()
 
     def note_slow(self) -> None:
         """Count a lost hedge race against this replica's breaker.
@@ -176,7 +200,14 @@ class ReplicaHandle:
         cooldown probe says otherwise.  Without this, a persistently
         slow replica stacks abandoned in-flight calls behind the
         winners until the hedge pool starves.
+
+        The strike is also remembered as *debt*: when the abandoned
+        in-flight call eventually completes, its success is consumed by
+        the debt instead of resetting the breaker's consecutive-failure
+        count.
         """
+        with self._slow_lock:
+            self._slow_debt += 1
         self.breaker.record_failure()
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from repro.cluster.replica import ReplicaHandle
 from repro.cluster.ring import HashRing
 from repro.core.training import DEFAULT_FIXED_VALUES
-from repro.net.client import NetClientError
+from repro.net.client import NetClientError, RemoteError
 from repro.net.server import REQUEST_LATENCY_BUCKETS
 from repro.reliability.faults import InjectedError
 from repro.service.api import (
@@ -56,6 +56,12 @@ from repro.telemetry.tracing import IdGenerator, Sampler, TraceContext
 __all__ = ["RouterConfig", "ClusterRouter", "ClusterError"]
 
 #: Failures that move a group to the next owner instead of propagating.
+#: :class:`RemoteError` subclasses ``NetClientError`` but is *not* a
+#: failover error — a structured ERROR frame means the replica answered,
+#: and a deterministic bad request would fail identically on every
+#: owner; every except site below re-raises it before matching this
+#: tuple so application errors surface to the caller instead of
+#: charging breakers or being masked as degraded answers.
 _FAILOVER_ERRORS = (NetClientError, InjectedError)
 
 
@@ -266,6 +272,8 @@ class ClusterRouter:
         else:
             try:
                 return self._timed_attempt(primary, requests, ctx)
+            except RemoteError:
+                raise
             except _FAILOVER_ERRORS:
                 self._replica_errors.inc()
                 tail = rest
@@ -274,6 +282,8 @@ class ClusterRouter:
             self._failovers.inc()
             try:
                 return self._timed_attempt(handle, requests, ctx)
+            except RemoteError:
+                raise
             except _FAILOVER_ERRORS:
                 self._replica_errors.inc()
         if not self.config.local_degraded:
@@ -332,6 +342,8 @@ class ClusterRouter:
         if first in done:
             try:
                 return primary.name, first.result()
+            except RemoteError:
+                raise
             except _FAILOVER_ERRORS:
                 self._replica_errors.inc()
                 # Fast primary failure: no need to hedge, plain failover.
@@ -340,6 +352,8 @@ class ClusterRouter:
                     return secondary.name, self._timed_attempt(
                         secondary, requests, ctx
                     )
+                except RemoteError:
+                    raise
                 except _FAILOVER_ERRORS:
                     self._replica_errors.inc()
                     return None
@@ -356,6 +370,11 @@ class ClusterRouter:
             for future in done:
                 try:
                     answers = future.result()
+                except RemoteError:
+                    # Application error over a healthy transport: both
+                    # racers serve the same shard, so the other side
+                    # would refuse identically — surface it now.
+                    raise
                 except _FAILOVER_ERRORS:
                     self._replica_errors.inc()
                     if future is first:
@@ -392,6 +411,13 @@ class ClusterRouter:
         answers = handle.call(
             lambda client: client.query_batch(requests, trace=ctx)
         )
+        if len(answers) != len(requests):
+            # A short (or long) reply must fail over, never silently
+            # misalign the gathered batch positions.
+            raise NetClientError(
+                f"replica {handle.name!r} returned {len(answers)} answers "
+                f"for {len(requests)} requests"
+            )
         self._latency.observe(time.perf_counter() - start)
         return answers
 

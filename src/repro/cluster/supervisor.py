@@ -24,9 +24,11 @@ machinery as every other injected fault.
 from __future__ import annotations
 
 import os
+import queue
 import signal
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -187,14 +189,7 @@ class ClusterSupervisor:
                 name=name, host=host, port=bound_port, platforms=platforms
             )
             return _ThreadMember(spec, thread)
-        command = [
-            sys.executable, "-m", "repro.cli", "serve",
-            "--artifacts", str(self.artifacts),
-            "--listen", f"{self.config.host}:{port}",
-            "--workers", str(self.config.workers),
-        ]
-        if platforms:
-            command += ["--platforms", ",".join(platforms)]
+        command = self._serve_command(port, platforms)
         src = Path(__file__).resolve().parents[2]
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
@@ -214,19 +209,73 @@ class ClusterSupervisor:
         )
         return _ProcessMember(spec, proc)
 
+    def _serve_command(self, port: int, platforms: tuple[str, ...]) -> list[str]:
+        """The ``acic serve`` argv for one process-mode replica.
+
+        ``--platforms`` is always passed explicitly — an empty value
+        means "load nothing", matching thread mode's ``platforms=()``;
+        omitting the flag would make a shardless replica load the
+        ENTIRE artifact pack.
+        """
+        return [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--artifacts", str(self.artifacts),
+            "--listen", f"{self.config.host}:{port}",
+            "--workers", str(self.config.workers),
+            "--platforms", ",".join(platforms),
+        ]
+
     def _await_banner(self, proc: subprocess.Popen, name: str) -> str:
+        """Wait (bounded) for the child's listening banner.
+
+        ``readline`` blocks with no timeout of its own, so the reads
+        run on a daemon thread and the deadline is enforced around the
+        queue instead — a child that stays alive but never prints the
+        banner is killed when ``boot_timeout_s`` expires rather than
+        hanging ``start()`` forever.  The pump keeps draining stdout
+        after the banner so the child can never block on a full pipe;
+        post-banner output is discarded.
+        """
         assert proc.stdout is not None
+        lines: queue.Queue[str] = queue.Queue()
+        banner_seen = threading.Event()
+
+        def _pump(stream) -> None:
+            try:
+                for line in iter(stream.readline, ""):
+                    if not banner_seen.is_set():
+                        lines.put(line)
+            except (ValueError, OSError):
+                # Stream closed under us during teardown — same as EOF.
+                pass
+            finally:
+                lines.put("")
+
+        threading.Thread(
+            target=_pump,
+            args=(proc.stdout,),
+            name=f"cluster-banner-{name}",
+            daemon=True,
+        ).start()
         deadline = time.monotonic() + self.config.boot_timeout_s
-        while time.monotonic() < deadline:
-            line = proc.stdout.readline()
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                line = lines.get(timeout=remaining)
+            except queue.Empty:
+                break
             if not line:
                 raise RuntimeError(
                     f"replica {name!r} exited during boot "
                     f"(code {proc.poll()})"
                 )
             if line.startswith("# listening on "):
+                banner_seen.set()
                 return line.split("# listening on ", 1)[1].strip()
         proc.kill()
+        proc.wait(timeout=10.0)
         raise RuntimeError(
             f"replica {name!r} did not report an address within "
             f"{self.config.boot_timeout_s:.0f}s"

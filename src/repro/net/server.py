@@ -402,8 +402,13 @@ class AcicServer:
             # Shed: answer degraded from the loop thread — the whole
             # point is not to queue more work behind the pool.
             kind, payload = self._shed_reply(frame)
-            await self._send(writer, write_lock, kind, payload, frame.request_id)
+            # Accounting before the reply hits the wire: once a client
+            # holds the response, the latency histogram / SLO tally /
+            # request log are settled — never racing the client's next
+            # read of the metrics (and a client that vanishes mid-write
+            # still leaves its request counted).
             self._finish_request(frame, ctx, kind, received_at, shed=True)
+            await self._send(writer, write_lock, kind, payload, frame.request_id)
             return
         try:
             loop = asyncio.get_running_loop()
@@ -412,8 +417,8 @@ class AcicServer:
             )
         finally:
             ticket.release()
-        await self._send(writer, write_lock, kind, payload, frame.request_id)
         self._finish_request(frame, ctx, kind, received_at)
+        await self._send(writer, write_lock, kind, payload, frame.request_id)
 
     def _finish_request(
         self,
@@ -423,7 +428,11 @@ class AcicServer:
         received_at: float,
         shed: bool = False,
     ) -> None:
-        """Post-reply accounting: latency, SLO tally, request log line."""
+        """Per-request accounting: latency, SLO tally, request log line.
+
+        Runs *before* the reply is written, so the instruments are
+        settled by the time any client can observe the response.
+        """
         latency = self.clock.now() - received_at
         self._latency.observe(latency)
         error = reply_kind is FrameKind.ERROR

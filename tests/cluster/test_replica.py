@@ -1,0 +1,100 @@
+"""ReplicaHandle breaker semantics that never need a live server.
+
+Two regressions pinned here:
+
+* a structured :class:`RemoteError` (the server *answered* with an
+  ERROR frame) is an application error over a healthy transport — it
+  must surface to the caller and feed the breaker as a success, never
+  charge it as a transport failure;
+* a lost hedge race charged via :meth:`note_slow` stays charged even
+  when the abandoned in-flight call later completes successfully — the
+  late success is consumed by the slow debt instead of resetting the
+  breaker's consecutive-failure count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.replica import ReplicaDown, ReplicaHandle, ReplicaSpec
+from repro.net.client import NetClientError, RemoteError
+
+
+def make_handle(**kwargs) -> ReplicaHandle:
+    handle = ReplicaHandle(
+        ReplicaSpec(name="r9", host="127.0.0.1", port=1),
+        failure_threshold=2,
+        **kwargs,
+    )
+    # No real socket: call() hands fn whatever _ensure_client returns.
+    handle._ensure_client = lambda: None
+    return handle
+
+
+class TestRemoteErrorSemantics:
+    def test_remote_error_propagates_and_feeds_breaker_success(self):
+        handle = make_handle()
+        handle.breaker.record_failure()  # one transport strike pending
+
+        def bad_request(client):
+            raise RemoteError("bad_request", "no such platform")
+
+        with pytest.raises(RemoteError, match="bad_request"):
+            handle.call(bad_request)
+        # The replica answered: strike cleared, breaker closed.
+        assert handle.breaker.state == "closed"
+
+    def test_repeated_remote_errors_never_open_the_breaker(self):
+        handle = make_handle()
+
+        def bad_request(client):
+            raise RemoteError("bad_request", "no such platform")
+
+        for _ in range(5):  # well past failure_threshold=2
+            with pytest.raises(RemoteError):
+                handle.call(bad_request)
+        assert handle.breaker.state == "closed"
+        # Valid traffic is still admitted (no ReplicaDown).
+        assert handle.call(lambda client: "ok") == "ok"
+
+    def test_transport_errors_still_open_the_breaker(self):
+        handle = make_handle()
+
+        def reset(client):
+            raise NetClientError("connection reset")
+
+        for _ in range(2):
+            with pytest.raises(NetClientError):
+                handle.call(reset)
+        assert handle.breaker.state == "open"
+        with pytest.raises(ReplicaDown):
+            handle.call(lambda client: "ok")
+
+
+class TestSlowRaceDebt:
+    def test_late_success_cannot_erase_slow_strikes(self):
+        handle = make_handle()
+        handle.note_slow()  # strike 1; the abandoned call is still running
+        # The abandoned call completes: consumed by the debt, strike stands.
+        assert handle.call(lambda client: ["late answer"]) == ["late answer"]
+        handle.note_slow()  # strike 2 -> sustained slowness opens the breaker
+        assert handle.breaker.state == "open"
+
+    def test_undebted_success_still_resets_strikes(self):
+        handle = make_handle()
+        handle.breaker.record_failure()  # plain transport strike, no debt
+        handle.call(lambda client: "ok")
+        handle.note_slow()  # only one consecutive strike now
+        assert handle.breaker.state == "closed"
+
+    def test_remote_error_completion_is_consumed_by_debt(self):
+        handle = make_handle()
+        handle.note_slow()
+
+        def bad_request(client):
+            raise RemoteError("bad_request", "nope")
+
+        with pytest.raises(RemoteError):
+            handle.call(bad_request)
+        handle.note_slow()
+        assert handle.breaker.state == "open"

@@ -9,6 +9,7 @@ import pytest
 
 from repro.cluster import ClusterSupervisor, SupervisorConfig
 from repro.cluster.router import RouterConfig
+from repro.net.client import NetClientError, RemoteError
 from repro.net.loadgen import synthetic_queries
 from repro.reliability import FaultInjector, FaultPlan, FaultRule, use_injector
 
@@ -112,6 +113,80 @@ class TestFailover:
                     "cluster.degraded_local"
                 ).value
                 assert counted == degraded_n > 0
+
+
+class TestApplicationErrors:
+    def test_bad_request_surfaces_without_failover_or_breaker_charge(
+        self, cluster
+    ):
+        """A deterministic application error (structured ERROR frame)
+        must raise to the caller — not retry against every owner, not
+        charge breakers, not be masked as a degraded local answer."""
+        request = synthetic_queries("no_such_platform", 1, seed=91)[0]
+        with cluster.router() as router:
+            for _ in range(3):  # past every owner's failure_threshold
+                with pytest.raises(RemoteError, match="bad_request"):
+                    router.query(request)
+            assert router.metrics.counter("cluster.failovers").value == 0
+            assert router.metrics.counter("cluster.replica_errors").value == 0
+            assert router.metrics.counter("cluster.degraded_local").value == 0
+            for handle in router.handles.values():
+                assert handle.breaker.state == "closed"
+            # Valid traffic right after the bad requests is still
+            # answered authoritatively — no breaker went open, so
+            # nothing degrades to a locally synthesized baseline.
+            responses = router.query_batch(
+                synthetic_queries(PLATFORMS[0], 2, seed=92)
+            )
+            assert not any(response.degraded for response in responses)
+
+    def test_bad_request_surfaces_with_hedging_disabled(self, cluster):
+        config = RouterConfig(replication=2, hedge_enabled=False)
+        request = synthetic_queries("no_such_platform", 1, seed=93)[0]
+        with cluster.router(config) as router:
+            with pytest.raises(RemoteError, match="bad_request"):
+                router.query(request)
+            assert router.metrics.counter("cluster.failovers").value == 0
+
+
+class TestShortReplies:
+    def test_short_reply_fails_over_instead_of_misaligning(
+        self, cluster, reference_service
+    ):
+        """A replica answering fewer items than asked is a protocol
+        violation: the group must fail over whole, never silently drop
+        or shift batch positions."""
+        platform = PLATFORMS[2]
+        batch = synthetic_queries(platform, 3, seed=94)
+        config = RouterConfig(replication=2, hedge_enabled=False)
+        with cluster.router(config) as router:
+            primary = router.handles[router.ring.preference(platform, 2)[0]]
+            real_call = primary.call
+            primary.call = lambda fn: real_call(fn)[:-1]  # truncate reply
+            got = router.query_batch(batch)
+            assert router.metrics.counter("cluster.failovers").value >= 1
+        assert len(got) == len(batch)
+        assert to_json(got) == to_json(reference_service.query_batch(batch))
+        assert not any(response.degraded for response in got)
+
+    def test_short_reply_from_every_owner_degrades_not_truncates(
+        self, cluster
+    ):
+        platform = PLATFORMS[2]
+        batch = synthetic_queries(platform, 3, seed=95)
+        config = RouterConfig(replication=2, hedge_enabled=False)
+        with cluster.router(config) as router:
+            for name in router.ring.preference(platform, 2):
+                handle = router.handles[name]
+                real_call = handle.call
+                handle.call = (
+                    lambda fn, _real=real_call: _real(fn)[:-1]
+                )
+            got = router.query_batch(batch)
+        # Never a short batch: the lost shard degrades position-for-
+        # position instead of silently shrinking the response list.
+        assert len(got) == len(batch)
+        assert all(response.degraded for response in got)
 
 
 class TestHedging:

@@ -1,0 +1,130 @@
+"""Supervisor lifecycle edges: the boot-banner deadline and the
+explicit empty ``--platforms`` shard sentinel.
+
+These tests deliberately avoid a trained artifact pack — an empty
+``AcicService().save()`` directory is a valid manifest with zero
+platform shards, which is all supervisor construction needs.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster import ClusterSupervisor, SupervisorConfig
+from repro.service.server import AcicService
+
+
+@pytest.fixture()
+def empty_pack(tmp_path):
+    AcicService().save(tmp_path / "pack")
+    return tmp_path / "pack"
+
+
+def child(code: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-c", code],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+
+
+class TestBannerDeadline:
+    def test_silent_child_is_killed_at_boot_timeout(self, empty_pack):
+        """A child that stays alive but never prints the banner must not
+        hang start() forever — the deadline kills it."""
+        supervisor = ClusterSupervisor(
+            empty_pack,
+            SupervisorConfig(replicas=1, mode="process", boot_timeout_s=0.5),
+        )
+        proc = child("import time; time.sleep(60)")
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="did not report an address"):
+            supervisor._await_banner(proc, "r0")
+        assert time.monotonic() - started < 10.0
+        assert proc.poll() is not None  # the corpse was reaped
+        proc.stdout.close()
+
+    def test_chatty_child_without_banner_still_times_out(self, empty_pack):
+        """Output that never matches the banner must not reset the
+        deadline."""
+        supervisor = ClusterSupervisor(
+            empty_pack,
+            SupervisorConfig(replicas=1, mode="process", boot_timeout_s=0.5),
+        )
+        proc = child(
+            "import time\n"
+            "while True:\n"
+            "    print('warming up', flush=True)\n"
+            "    time.sleep(0.05)\n"
+        )
+        with pytest.raises(RuntimeError, match="did not report an address"):
+            supervisor._await_banner(proc, "r0")
+        assert proc.poll() is not None
+        proc.stdout.close()
+
+    def test_child_exit_during_boot_is_reported(self, empty_pack):
+        supervisor = ClusterSupervisor(
+            empty_pack,
+            SupervisorConfig(replicas=1, mode="process", boot_timeout_s=5.0),
+        )
+        proc = child("print('oops'); raise SystemExit(3)")
+        with pytest.raises(RuntimeError, match="exited during boot"):
+            supervisor._await_banner(proc, "r0")
+        proc.wait(timeout=10.0)
+        proc.stdout.close()
+
+    def test_banner_is_parsed_from_normal_child(self, empty_pack):
+        supervisor = ClusterSupervisor(
+            empty_pack,
+            SupervisorConfig(replicas=1, mode="process", boot_timeout_s=5.0),
+        )
+        proc = child("print('# listening on 127.0.0.1:4242', flush=True)")
+        assert supervisor._await_banner(proc, "r0") == "127.0.0.1:4242"
+        proc.wait(timeout=10.0)
+        proc.stdout.close()
+
+
+class TestEmptyShardSentinel:
+    def test_serve_command_always_passes_platforms(self, empty_pack):
+        """A shardless replica gets --platforms '' (load nothing), the
+        same topology thread mode's platforms=() produces — never an
+        omitted flag, which would load the whole pack."""
+        supervisor = ClusterSupervisor(
+            empty_pack, SupervisorConfig(replicas=1, mode="process")
+        )
+        command = supervisor._serve_command(0, ())
+        index = command.index("--platforms")
+        assert command[index + 1] == ""
+        assert supervisor._serve_command(0, ("a", "b"))[index + 1] == "a,b"
+
+    def test_load_with_empty_platform_list_loads_nothing(self, empty_pack):
+        service = AcicService.load(empty_pack, platforms=[])
+        assert service.stats().platforms == 0
+
+    def test_cli_empty_platforms_is_load_nothing(self, empty_pack, tmp_path, capsys):
+        from repro.cli import main
+
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text("")
+        code = main(
+            ["serve", "--artifacts", str(empty_pack),
+             "--platforms", "", "--queries", str(queries)]
+        )
+        assert code == 0
+        assert "(shard: none)" in capsys.readouterr().out
+
+    def test_cli_platforms_without_artifacts_is_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = tmp_path / "db.json"
+        code = main(
+            ["serve", "--db", str(db), "--platforms", "",
+             "--queries", str(tmp_path / "q.jsonl")]
+        )
+        assert code == 2
+        assert "--platforms needs --artifacts" in capsys.readouterr().err
