@@ -152,3 +152,91 @@ def test_batch_speedup_meets_acceptance_bar(context):
     assert batched == sequential
     speedup = sequential_seconds / batched_seconds
     assert speedup >= 3.0, f"batch speedup {speedup:.1f}x is below the 3x bar"
+
+
+def test_retrain_worker_does_not_steal_the_hot_path(context):
+    """Serving p95 with the retrain worker busy <= 1.10x idle.
+
+    The worker is kept genuinely busy: a pending batch behind an
+    unsatisfiable shadow gate makes every cycle train a full candidate
+    and then defer, so a retrain is in flight through every busy
+    measurement without ever swapping the live generation out from
+    under it.  Training runs in the production configuration — an
+    isolated, idle-priority child process at the production poll
+    cadence — because that isolation IS the claim under test:
+    in-process training holds the GIL through every CART split search
+    and inflates serving p95 by multiples (and so does a worker spun at
+    a microsecond interval, which would just benchmark the
+    coordinator's own bookkeeping).  Idle and busy rounds interleave
+    and each condition keeps its best (min) p95, so scheduler noise
+    hits both sides equally.
+    """
+    import dataclasses as _dc
+
+    from repro.core.database import TrainingDatabase
+    from repro.online import (
+        ContributionLog,
+        OnlineConfig,
+        OnlineCoordinator,
+        RetrainWorker,
+        ShadowGateConfig,
+    )
+
+    requests = _query_stream(128)
+    service = _fresh_service(context)
+    service.warm(context.platform.name, Goal.PERFORMANCE)
+    service.warm(context.platform.name, Goal.COST)
+
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = ContributionLog(Path(tmp) / "bench-log.jsonl")
+        coordinator = OnlineCoordinator(
+            service,
+            log,
+            config=OnlineConfig(
+                min_batch=1,
+                # A gate that can never see enough replay: every cycle
+                # builds a candidate, then defers the same batch.
+                shadow=ShadowGateConfig(min_observations=10**9),
+                isolate_retrain=True,
+            ),
+        )
+        try:
+            stream = TrainingDatabase(context.platform.name)
+            for record in list(context.database)[:32]:
+                stream.add(_dc.replace(record, epoch=99))
+            service.contribute(context.platform.name, stream)
+
+            def p95_round() -> float:
+                service._cache.clear()
+                latencies = []
+                for request in requests:
+                    start = time.perf_counter()
+                    service.handle(request)
+                    latencies.append(time.perf_counter() - start)
+                latencies.sort()
+                return latencies[int(0.95 * len(latencies))]
+
+            p95_round()  # warm-up: engines, allocator, branch caches
+            idle, busy = [], []
+            for _ in range(4):
+                idle.append(p95_round())
+                # One retrain cycle per round (production cadence is
+                # seconds, not microseconds): the worker drains the
+                # batch, hands it to the training child, and blocks on
+                # the pipe — the measured window below runs while that
+                # child is alive and training on every spare cycle.
+                with RetrainWorker(coordinator, interval_s=600.0):
+                    time.sleep(0.5)  # let the cycle reach the child
+                    busy.append(p95_round())
+            assert coordinator.last_outcome == "deferred"  # cycles ran
+        finally:
+            coordinator.close()
+
+    ratio = min(busy) / min(idle)
+    assert ratio <= 1.10, (
+        f"retrain worker inflates serving p95 by {ratio:.2f}x "
+        f"(idle {min(idle) * 1e6:.0f}us, busy {min(busy) * 1e6:.0f}us)"
+    )

@@ -179,6 +179,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRAC",
                        help="--listen: latency-SLO target fraction in (0, 1) "
                             "(default 0.99)")
+    serve.add_argument("--online", action="store_true",
+                       help="--listen: accept CONTRIBUTE frames into a "
+                            "durable log and retrain candidate generations "
+                            "in the background (see docs/ONLINE.md)")
+    serve.add_argument("--online-log", default=None, metavar="LOG.JSONL",
+                       help="--online: contribution log path (default: "
+                            "online-log.jsonl next to the artifact pack, "
+                            "or in the working directory for --db)")
+    serve.add_argument("--online-min-batch", type=int, default=8, metavar="N",
+                       help="--online: contributions required before a "
+                            "retrain cycle runs (default 8)")
+    serve.add_argument("--online-interval-s", type=float, default=1.0,
+                       metavar="S",
+                       help="--online: retrain worker poll interval "
+                            "(default 1)")
+    serve.add_argument("--online-inline-retrain", action="store_true",
+                       help="--online: train candidates in-process instead "
+                            "of a spawned idle-priority child (debugging "
+                            "aid; inline training steals hot-path latency)")
     _add_reliability_flags(serve)
 
     cluster = sub.add_parser(
@@ -312,6 +331,35 @@ def build_parser() -> argparse.ArgumentParser:
     ops.add_argument("--timeout", type=float, default=10.0, metavar="S",
                      help="socket timeout (default 10s)")
 
+    online = sub.add_parser(
+        "online",
+        help="inspect or steer a live server's online-learning loop",
+    )
+    online.add_argument("op", choices=("status", "promote", "rollback"),
+                        help="status: generation lineage + gate state; "
+                             "promote: force-run a retrain cycle now; "
+                             "rollback: demote the live generation to its "
+                             "parent")
+    online.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the server's address")
+    online.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                        help="socket timeout (default 30s; promote retrains "
+                             "synchronously)")
+
+    contribute = sub.add_parser(
+        "contribute",
+        help="stream a training database's records to a serve --online "
+             "server",
+    )
+    contribute.add_argument("--connect", required=True, metavar="HOST:PORT",
+                            help="the server's address")
+    contribute.add_argument("--db", required=True,
+                            help="training database JSON to contribute")
+    contribute.add_argument("--chunk", type=int, default=32, metavar="N",
+                            help="records per CONTRIBUTE frame (default 32)")
+    contribute.add_argument("--timeout", type=float, default=10.0,
+                            metavar="S", help="socket timeout (default 10s)")
+
     trace = sub.add_parser(
         "trace", help="stitch + inspect span exports from several processes"
     )
@@ -384,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve-batch": _cmd_serve_batch,
         "telemetry": _cmd_telemetry,
         "ops": _cmd_ops,
+        "online": _cmd_online,
+        "contribute": _cmd_contribute,
         "trace": _cmd_trace,
         "report": _cmd_report,
         "dbcheck": _cmd_dbcheck,
@@ -662,6 +712,42 @@ def _serve_listen(args: argparse.Namespace, service) -> int:
         ),
         SloObjective("availability", target=0.999),
     ))
+
+    coordinator = None
+    worker = None
+    if args.online:
+        from repro.online import (
+            ContributionLog,
+            OnlineConfig,
+            OnlineCoordinator,
+            RetrainWorker,
+        )
+
+        log_path = args.online_log
+        if log_path is None:
+            base = Path(args.artifacts) if args.artifacts else Path(".")
+            log_path = base / "online-log.jsonl"
+        log = ContributionLog(log_path)
+        coordinator = OnlineCoordinator(
+            service,
+            log,
+            config=OnlineConfig(
+                min_batch=args.online_min_batch,
+                poll_interval_s=args.online_interval_s,
+                # Production setting: candidates train in a spawned
+                # idle-priority child so serving latency stays flat.
+                isolate_retrain=not args.online_inline_retrain,
+            ),
+            reliability=_reliability_policy(args),
+        )
+        worker = RetrainWorker(coordinator)
+        print(
+            f"# online learning: log -> {log_path} "
+            f"(min batch {args.online_min_batch}, "
+            f"generation {service.generation})",
+            flush=True,
+        )
+
     server = AcicServer(
         service,
         host=host,
@@ -672,6 +758,7 @@ def _serve_listen(args: argparse.Namespace, service) -> int:
         max_frame_bytes=args.max_frame_bytes or MAX_FRAME_BYTES,
         drain_timeout_s=args.drain_timeout_s,
         slo=slo,
+        online=coordinator,
     )
 
     async def amain() -> None:
@@ -689,7 +776,15 @@ def _serve_listen(args: argparse.Namespace, service) -> int:
         await server.shutdown(drain=True)
 
     with log_stack:
-        asyncio.run(amain())
+        if worker is not None:
+            worker.start()
+        try:
+            asyncio.run(amain())
+        finally:
+            if worker is not None:
+                worker.stop()
+            if coordinator is not None:
+                coordinator.log.close()
     stats = service.stats()
     print(
         f"# served {stats.queries_served} queries over the wire "
@@ -857,6 +952,74 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         return 1
     if args.probe == "slo" and payload.get("state") == "page":
         return 1
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.client import AcicClient, RemoteError
+
+    try:
+        host, port = _parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with AcicClient(host, port, timeout_s=args.timeout) as client:
+            if args.op == "status":
+                payload = client.online_status()
+            elif args.op == "promote":
+                payload = client.online_promote()
+            else:
+                payload = client.online_rollback()
+    except (OSError, RemoteError) as exc:
+        print(f"error: online {args.op} failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_contribute(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.client import AcicClient, RemoteError
+
+    try:
+        host, port = _parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.chunk < 1:
+        print(f"error: --chunk must be >= 1, got {args.chunk}",
+              file=sys.stderr)
+        return 2
+    database = TrainingDatabase.load(args.db)
+    records = list(database.records)
+    accepted = 0
+    last = {}
+    try:
+        with AcicClient(host, port, timeout_s=args.timeout) as client:
+            for start in range(0, len(records), args.chunk):
+                chunk = TrainingDatabase(platform_name=database.platform_name)
+                for record in records[start:start + args.chunk]:
+                    chunk.add(record)
+                last = client.contribute(chunk)
+                accepted += int(last.get("accepted", 0))
+    except (OSError, RemoteError) as exc:
+        print(f"error: contribute failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(
+        {
+            "platform": database.platform_name,
+            "sent": len(records),
+            "accepted": accepted,
+            "generation": last.get("generation"),
+            "pending": last.get("pending"),
+        },
+        indent=2,
+        sort_keys=True,
+    ))
     return 0
 
 

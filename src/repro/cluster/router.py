@@ -464,10 +464,23 @@ class ClusterRouter:
                 "platforms": sorted(handle.spec.platforms),
                 "breaker": handle.breaker.state,
                 "alive": doc is not None,
+                # Per-replica model generation: after a rolling promotion
+                # this is where generation skew becomes visible.
+                "generation": (
+                    doc.get("models", {}).get("generation")
+                    if isinstance(doc, dict)
+                    else None
+                ),
                 "health": doc,
             }
+        generations = {
+            doc["generation"]
+            for doc in replicas.values()
+            if doc["generation"] is not None
+        }
         return {
             "replicas": replicas,
+            "generation_skew": len(generations) > 1,
             "replication": min(self.config.replication, len(self.handles)),
             "vnodes": self.config.vnodes,
             "alive": sum(1 for doc in health.values() if doc is not None),

@@ -57,6 +57,13 @@ class SupervisorConfig:
         workers: scoring worker threads per replica server.
         boot_timeout_s: per-replica startup budget (process mode waits
             this long for the listening banner).
+        auto_restart: when True, a watchdog thread re-runs
+            :meth:`ClusterSupervisor.restart` on any replica found
+            dead, rebinding its old port so routers fail back without
+            a topology change.  Off by default: chaos tests that kill
+            replicas on purpose must not fight a resurrector unless
+            they asked for one.
+        watch_interval_s: seconds between watchdog sweeps.
     """
 
     replicas: int = 3
@@ -66,6 +73,8 @@ class SupervisorConfig:
     host: str = "127.0.0.1"
     workers: int = 2
     boot_timeout_s: float = 30.0
+    auto_restart: bool = False
+    watch_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -76,6 +85,10 @@ class SupervisorConfig:
             )
         if self.mode not in ("thread", "process"):
             raise ValueError(f"mode must be thread|process, got {self.mode!r}")
+        if self.watch_interval_s <= 0:
+            raise ValueError(
+                f"watch_interval_s must be > 0, got {self.watch_interval_s}"
+            )
 
 
 class _ThreadMember:
@@ -153,6 +166,8 @@ class ClusterSupervisor:
         )
         self._members: dict[str, _ThreadMember | _ProcessMember] = {}
         self._started = False
+        self._stop_event = threading.Event()
+        self._watchdog: threading.Thread | None = None
 
     # ------------------------------------------------------------------
     def start(self) -> list[ReplicaSpec]:
@@ -169,6 +184,13 @@ class ClusterSupervisor:
             platforms=len(self.platforms),
             mode=self.config.mode,
         )
+        if self.config.auto_restart:
+            self._watchdog = threading.Thread(
+                target=self._watch,
+                name="acic-cluster-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
         return self.specs()
 
     def _boot(self, name: str, port: int) -> _ThreadMember | _ProcessMember:
@@ -372,8 +394,54 @@ class ClusterSupervisor:
                 killed.append(name)
         return killed
 
+    # ------------------------------------------------------------------
+    def check_replicas(self) -> list[str]:
+        """One watchdog sweep: restart every dead replica.
+
+        Exposed separately from the background thread so tests can
+        drive recovery deterministically (call this instead of waiting
+        out ``watch_interval_s``).  Returns the names restarted.  A
+        replica whose restart fails (e.g. its old port was stolen) is
+        logged and retried on the next sweep rather than crashing the
+        watchdog.
+        """
+        restarted = []
+        for name in self.names:
+            if self._stop_event.is_set():
+                break
+            if name not in self._members or self._members[name].alive:
+                continue
+            try:
+                self.restart(name)
+            except Exception as exc:
+                get_logger().error(
+                    "cluster.watchdog_restart_failed",
+                    replica=name,
+                    error=str(exc),
+                )
+            else:
+                restarted.append(name)
+        return restarted
+
+    def _watch(self) -> None:
+        """Watchdog loop: sweep until :meth:`stop` raises the flag."""
+        while not self._stop_event.wait(self.config.watch_interval_s):
+            restarted = self.check_replicas()
+            if restarted:
+                get_logger().info(
+                    "cluster.watchdog_restarted", replicas=restarted
+                )
+
     def stop(self) -> None:
-        """Take the whole fleet down (idempotent)."""
+        """Take the whole fleet down (idempotent).
+
+        The stop flag is raised *before* any kill so the watchdog
+        cannot resurrect replicas mid-teardown.
+        """
+        self._stop_event.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=10.0)
+            self._watchdog = None
         for name in self.names:
             if name in self._members:
                 self.kill(name)

@@ -88,6 +88,42 @@ class TrainingRecord:
             source=source,
         )
 
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The record as a plain JSON-compatible dict (wire/log form)."""
+        return {
+            "values": {k: _to_json(v) for k, v in self.values.items()},
+            "seconds": self.seconds,
+            "cost": self.cost,
+            "perf_improvement": self.perf_improvement,
+            "cost_improvement": self.cost_improvement,
+            "epoch": self.epoch,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TrainingRecord":
+        """Re-hydrate a record from its :meth:`to_payload` form.
+
+        Raises:
+            ValueError: missing fields or invalid record contents (the
+                dataclass validators run as usual).
+        """
+        try:
+            return cls(
+                values={
+                    k: _from_json(k, v) for k, v in payload["values"].items()
+                },
+                seconds=payload["seconds"],
+                cost=payload["cost"],
+                perf_improvement=payload["perf_improvement"],
+                cost_improvement=payload["cost_improvement"],
+                epoch=payload.get("epoch", 0),
+                source=payload.get("source", "initial-training"),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"malformed training record payload: {exc}") from exc
+
 
 class TrainingDatabase:
     """Append-only store of :class:`TrainingRecord` with merge and aging.
@@ -171,43 +207,38 @@ class TrainingDatabase:
         return X, y
 
     # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The whole database as a JSON-compatible dict (file/wire form)."""
+        return {
+            "platform": self.platform_name,
+            "records": [r.to_payload() for r in self._records],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TrainingDatabase":
+        """Re-hydrate a database from its :meth:`to_payload` form.
+
+        The wire contribution path (``CONTRIBUTE`` frames) and the
+        JSON artifact share this decoder.
+
+        Raises:
+            ValueError: missing fields or an invalid record.
+        """
+        if not isinstance(payload, dict) or "platform" not in payload:
+            raise ValueError("database payload must carry a 'platform'")
+        db = cls(str(payload["platform"]))
+        for raw in payload.get("records", ()):
+            db.add(TrainingRecord.from_payload(raw))
+        return db
+
     def save(self, path: str | Path) -> None:
         """Serialize to JSON (values stringified through their enums)."""
-        payload = {
-            "platform": self.platform_name,
-            "records": [
-                {
-                    "values": {k: _to_json(v) for k, v in r.values.items()},
-                    "seconds": r.seconds,
-                    "cost": r.cost,
-                    "perf_improvement": r.perf_improvement,
-                    "cost_improvement": r.cost_improvement,
-                    "epoch": r.epoch,
-                    "source": r.source,
-                }
-                for r in self._records
-            ],
-        }
-        Path(path).write_text(json.dumps(payload))
+        Path(path).write_text(json.dumps(self.to_payload()))
 
     @classmethod
     def load(cls, path: str | Path) -> "TrainingDatabase":
         """Deserialize a database from its JSON artifact."""
-        payload = json.loads(Path(path).read_text())
-        db = cls(payload["platform"])
-        for raw in payload["records"]:
-            db.add(
-                TrainingRecord(
-                    values={k: _from_json(k, v) for k, v in raw["values"].items()},
-                    seconds=raw["seconds"],
-                    cost=raw["cost"],
-                    perf_improvement=raw["perf_improvement"],
-                    cost_improvement=raw["cost_improvement"],
-                    epoch=raw["epoch"],
-                    source=raw["source"],
-                )
-            )
-        return db
+        return cls.from_payload(json.loads(Path(path).read_text()))
 
 
 def _to_json(value: object) -> object:

@@ -375,6 +375,46 @@ class AcicClient:
         ).payload
 
     # ------------------------------------------------------------------
+    def contribute(self, database) -> dict:
+        """Stream a community contribution to the server.
+
+        Args:
+            database: a :class:`~repro.core.database.TrainingDatabase`
+                (its platform names the target) — sent in its payload
+                form as one CONTRIBUTE frame.
+
+        Returns the server's acknowledgement document (``accepted``
+        count, live ``generation``, and — on an online server — the
+        log's ``pending`` depth).
+        """
+        request_id = self._send(FrameKind.CONTRIBUTE, database.to_payload())
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
+
+    def online_status(self) -> dict:
+        """The online loop's status document (generation, lineage,
+        pending log depth, last shadow report)."""
+        request_id = self._send(FrameKind.ONLINE, {"op": "status"})
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
+
+    def online_promote(self) -> dict:
+        """Force a retrain-and-promote cycle now (gate bypassed)."""
+        request_id = self._send(FrameKind.ONLINE, {"op": "promote"})
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
+
+    def online_rollback(self) -> dict:
+        """Demote the live generation to its parent."""
+        request_id = self._send(FrameKind.ONLINE, {"op": "rollback"})
+        return self._recv_matching(
+            request_id, expect=FrameKind.OPS_REPLY
+        ).payload
+
+    # ------------------------------------------------------------------
     def _send(self, kind: FrameKind, payload: dict) -> int:
         request_id = self._next_id
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1

@@ -91,6 +91,8 @@ class FrameKind(IntEnum):
     METRICS = 11        #: ops: metrics snapshot (``{"format": "json|prom"}``)
     SLO = 12            #: ops: SLO burn-rate status (empty body)
     OPS_REPLY = 13      #: ops reply document for any of the above
+    CONTRIBUTE = 14     #: a ``{"platform": ..., "records": [...]}`` document
+    ONLINE = 15         #: ops: online loop (``{"op": "status|promote|rollback"}``)
 
 
 class ProtocolError(ValueError):

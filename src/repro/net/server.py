@@ -47,6 +47,7 @@ from repro.net.protocol import (
     encode_frame,
     error_payload,
 )
+from repro.core.database import TrainingDatabase
 from repro.reliability import AdmissionQueue
 from repro.reliability.deadline import Deadline
 from repro.service.api import (
@@ -119,6 +120,13 @@ class AcicServer:
             one (:data:`DEFAULT_SLO_OBJECTIVES`, 5m/1h windows on this
             server's clock) is built when omitted, so the ``slo_status``
             ops frame always answers.
+        online: an :class:`repro.online.OnlineCoordinator` running the
+            streaming-ingest loop for this service.  The server points
+            its ``serve_lock`` at the service lock (so generation swaps
+            are atomic w.r.t. requests), accepts CONTRIBUTE frames into
+            its log, and answers ONLINE ops frames from it.  Without
+            one, CONTRIBUTE still works (inline merge) and ONLINE
+            frames answer a structured ``online_disabled`` error.
     """
 
     def __init__(
@@ -136,6 +144,7 @@ class AcicServer:
         telemetry=None,
         logger=None,
         slo: SloMonitor | None = None,
+        online=None,
     ) -> None:
         if max_conns < 1:
             raise ValueError(f"max_conns must be >= 1, got {max_conns}")
@@ -162,6 +171,11 @@ class AcicServer:
             max_workers=workers, thread_name_prefix="acic-net"
         )
         self._service_lock = threading.Lock()
+        self.online = online
+        if online is not None:
+            # Generation swaps must be atomic w.r.t. this server's
+            # request handling, which serializes under _service_lock.
+            online.serve_lock = self._service_lock
         self.admission = AdmissionQueue(
             queue_depth, metrics=service.metrics, prefix="net.admission"
         )
@@ -379,6 +393,22 @@ class AcicServer:
             kind, payload = self._ops_reply(frame)
             await self._send(writer, write_lock, kind, payload, frame.request_id)
             return
+        if frame.kind is FrameKind.ONLINE:
+            await self._answer_online(frame, writer, write_lock)
+            return
+        if frame.kind is FrameKind.CONTRIBUTE:
+            # Ingest rides the pool like queries do (the merge/log write
+            # shares the service lock) but is never shed: with an online
+            # loop the append is O(1) and *is* the buffering.
+            self._requests.inc()
+            received_at = self.clock.now()
+            loop = asyncio.get_running_loop()
+            kind, payload = await loop.run_in_executor(
+                self._pool, self._contribute, frame
+            )
+            self._finish_request(frame, None, kind, received_at)
+            await self._send(writer, write_lock, kind, payload, frame.request_id)
+            return
         if frame.kind not in (FrameKind.QUERY, FrameKind.BATCH):
             self._request_errors.inc()
             await self._send(
@@ -520,6 +550,100 @@ class AcicServer:
                 "internal", f"{type(exc).__name__}: {exc}"
             )
 
+    async def _answer_online(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Dispatch one ONLINE ops frame.
+
+        ``status`` answers from the loop thread (cheap reads); the
+        mutating ops (``promote`` runs a forced retrain cycle,
+        ``rollback`` swaps generations) go through the pool so the
+        event loop never trains a model.
+        """
+        if self.online is None:
+            self._request_errors.inc()
+            await self._send(
+                writer, write_lock, FrameKind.ERROR,
+                error_payload(
+                    "online_disabled",
+                    "server is not running an online loop (serve --online)",
+                ),
+                frame.request_id,
+            )
+            return
+        op = frame.payload.get("op", "status")
+        if op == "status":
+            payload = {"ops": "online", "op": "status", **self.online.status()}
+            await self._send(
+                writer, write_lock, FrameKind.OPS_REPLY, payload, frame.request_id
+            )
+            return
+        if op in ("promote", "rollback"):
+            loop = asyncio.get_running_loop()
+            kind, payload = await loop.run_in_executor(
+                self._pool, self._online_mutate, op
+            )
+            await self._send(writer, write_lock, kind, payload, frame.request_id)
+            return
+        self._request_errors.inc()
+        await self._send(
+            writer, write_lock, FrameKind.ERROR,
+            error_payload(
+                "bad_request", f"unknown online op {op!r} (status|promote|rollback)"
+            ),
+            frame.request_id,
+        )
+
+    def _online_mutate(self, op: str) -> tuple[FrameKind, dict]:
+        """Pool-thread body of an online promote/rollback op."""
+        try:
+            if op == "promote":
+                outcome = self.online.promote()
+            else:
+                self.online.rollback()
+                outcome = "rolled_back"
+            return FrameKind.OPS_REPLY, {
+                "ops": "online", "op": op, "outcome": outcome,
+                **self.online.status(),
+            }
+        except RuntimeError as exc:
+            self._request_errors.inc()
+            return FrameKind.ERROR, error_payload("bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 — envelope, never a traceback
+            self._internal_errors.inc()
+            return FrameKind.ERROR, error_payload(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _contribute(self, frame: Frame) -> tuple[FrameKind, dict]:
+        """Pool-thread body of a CONTRIBUTE frame."""
+        try:
+            contribution = TrainingDatabase.from_payload(frame.payload)
+            with self._service_lock:
+                accepted = self.service.contribute(
+                    contribution.platform_name, contribution
+                )
+            payload = {
+                "ops": "contribute",
+                "platform": contribution.platform_name,
+                "accepted": accepted,
+                "generation": self.service.generation,
+            }
+            if self.online is not None:
+                payload["pending"] = self.online.log.pending_count()
+            return FrameKind.OPS_REPLY, payload
+        except (ServiceError, ValueError) as exc:
+            self._request_errors.inc()
+            return FrameKind.ERROR, error_payload("bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 — envelope, never a traceback
+            self._internal_errors.inc()
+            return FrameKind.ERROR, error_payload(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+
     def _shed_reply(self, frame: Frame) -> tuple[FrameKind, dict]:
         """Degraded (never dropped) reply for a shed request frame."""
         try:
@@ -584,7 +708,8 @@ class AcicServer:
             stats = self.service.stats()
             platforms = list(self.service.platforms)
             breaker_state = self.service.resilience.breaker.state
-        return {
+            generation = self.service.generation
+        payload = {
             "ops": "health",
             "status": "draining" if self._stopping else "ok",
             "ready": bool(platforms),
@@ -596,20 +721,30 @@ class AcicServer:
             },
             "breakers": {"service.scoring": breaker_state},
             "models": {
-                "generation": stats.models_trained,
+                "generation": generation,
                 "trained": stats.models_trained,
                 "platforms": platforms,
             },
         }
+        if self.online is not None:
+            payload["online"] = {
+                "generation": generation,
+                "pending": self.online.log.pending_count(),
+                "last_outcome": self.online.last_outcome,
+            }
+        return payload
 
     def _info_payload(self) -> dict:
         """INFO reply: what a client needs to drive this server."""
         with self._service_lock:
             stats = self.service.stats()
             platforms = list(self.service.platforms)
+            generation = self.service.generation
         return {
             **self._liveness_fields(),
             "platforms": platforms,
+            "generation": generation,
+            "online": self.online is not None,
             "max_frame_bytes": self.max_frame_bytes,
             "stats": {
                 "queries_served": stats.queries_served,

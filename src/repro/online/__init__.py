@@ -1,0 +1,52 @@
+"""repro.online — streaming ingest, background retrain, and
+shadow-gated model promotion.
+
+The paper's community database is a *living* thing: ACIC improves as
+users contribute (config, cost) observations.  This subsystem makes the
+reproduction live the same way, safely:
+
+* :class:`ContributionLog` — durable append-only JSONL ingest buffer
+  with a two-phase commit cursor (``contribute`` appends; nothing on
+  the hot path ever retrains).
+* :class:`OnlineCoordinator` + :class:`RetrainWorker` — a background
+  loop drains the log in batches and trains **candidate** generations
+  off the serving path, behind its own retry/circuit-breaker.
+* :class:`GenerationRegistry` / :class:`ModelGeneration` — immutable
+  model snapshots with lineage, a monotonically increasing generation
+  id, and atomic promote/rollback.
+* :class:`ShadowEvaluator` — candidates audition on a replay buffer of
+  recent *real* queries (top-k overlap, relative error on measured
+  contributions, latency ratio) before promotion.
+* :class:`DriftDetector` — windowed log-residual monitor that demotes a
+  live generation back to its parent when it stops explaining newly
+  measured reality.
+
+See ``docs/ONLINE.md`` for the lifecycle walkthrough.
+"""
+
+from repro.online.coordinator import OnlineConfig, OnlineCoordinator
+from repro.online.drift import DriftConfig, DriftDetector
+from repro.online.generations import (
+    GenerationRegistry,
+    ModelGeneration,
+    generation_hash,
+)
+from repro.online.log import ContributionLog, LogEntry
+from repro.online.shadow import ShadowEvaluator, ShadowGateConfig, ShadowReport
+from repro.online.worker import RetrainWorker
+
+__all__ = [
+    "ContributionLog",
+    "LogEntry",
+    "DriftConfig",
+    "DriftDetector",
+    "GenerationRegistry",
+    "ModelGeneration",
+    "generation_hash",
+    "OnlineConfig",
+    "OnlineCoordinator",
+    "RetrainWorker",
+    "ShadowEvaluator",
+    "ShadowGateConfig",
+    "ShadowReport",
+]

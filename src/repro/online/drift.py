@@ -1,0 +1,138 @@
+"""Drift detection: notice when the live generation stops explaining
+reality.
+
+The shadow gate judges a candidate *once*, at promotion time.  Drift is
+the dual problem: a generation that passed its audition can degrade as
+the platform changes underneath it (the paper's "platform overhaul"
+scenario — Section 5's aging experiments).  The :class:`DriftDetector`
+watches the live generation's prediction residuals against every newly
+*measured* improvement that streams in: each contribution carries
+ground truth, so ``|log(predicted) − log(measured)|`` over a sliding
+window is a continuous, free quality signal (the same log-ratio space
+the learners train in — see ``TrainingDatabase.to_matrix`` — so over-
+and under-prediction weigh symmetrically, mirroring the residual
+analysis in :mod:`repro.experiments.ext_residual`).
+
+When the windowed mean residual crosses the configured ceiling, the
+coordinator demotes the live generation back to its parent — the last
+snapshot that was not trained on (or drifting with) the suspect data.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["DriftConfig", "DriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Shape of the residual window and the demotion trigger.
+
+    Attributes:
+        window: sliding-window length (residuals beyond it age out).
+        min_samples: residuals required before drift can trigger (a
+            single outlier must not demote a healthy generation).
+        max_mean_abs_log_error: windowed mean |log-residual| ceiling;
+            e.g. 0.7 ≈ the model is off by 2× on average.
+    """
+
+    window: int = 64
+    min_samples: int = 8
+    max_mean_abs_log_error: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.min_samples < 1 or self.min_samples > self.window:
+            raise ValueError(
+                f"min_samples must be in [1, window], got {self.min_samples}"
+            )
+        if self.max_mean_abs_log_error <= 0:
+            raise ValueError("max_mean_abs_log_error must be positive")
+
+
+class DriftDetector:
+    """Sliding-window mean |log-residual| monitor for the live models.
+
+    Args:
+        config: window shape and trigger ceiling.
+        metrics: registry for the ``online.drift.mean_abs_log_error``
+            gauge and ``online.drift.samples`` counter (None = none).
+
+    Thread-safe: the coordinator updates it from the retrain worker
+    thread while tests inspect it from the main thread.
+    """
+
+    def __init__(self, config: DriftConfig | None = None, metrics=None) -> None:
+        self.config = config if config is not None else DriftConfig()
+        self._lock = threading.Lock()
+        self._residuals: deque = deque(maxlen=self.config.window)
+        self._gauge = (
+            metrics.gauge(
+                "online.drift.mean_abs_log_error",
+                "windowed mean |log(predicted) - log(measured)|",
+            )
+            if metrics is not None
+            else None
+        )
+        self._samples = (
+            metrics.counter("online.drift.samples", "residuals observed")
+            if metrics is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def update(self, predicted: float, measured: float) -> None:
+        """Record one residual from a (prediction, measured ratio) pair.
+
+        Non-positive inputs cannot be logged; they are counted as a
+        maximal residual rather than dropped — a model predicting a
+        nonsensical ratio *is* drift evidence, not noise.
+        """
+        if predicted > 0 and measured > 0:
+            residual = abs(math.log(predicted) - math.log(measured))
+        else:
+            residual = self.config.max_mean_abs_log_error * 2.0
+        with self._lock:
+            self._residuals.append(residual)
+            if self._samples is not None:
+                self._samples.inc()
+            if self._gauge is not None:
+                self._gauge.set(self._mean_locked())
+
+    def _mean_locked(self) -> float:
+        if not self._residuals:
+            return 0.0
+        return sum(self._residuals) / len(self._residuals)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_abs_log_error(self) -> float:
+        """Current windowed mean residual (0.0 when empty)."""
+        with self._lock:
+            return self._mean_locked()
+
+    @property
+    def samples(self) -> int:
+        """Residuals currently in the window."""
+        with self._lock:
+            return len(self._residuals)
+
+    def drifted(self) -> bool:
+        """True when the window is full enough and the mean is over."""
+        with self._lock:
+            if len(self._residuals) < self.config.min_samples:
+                return False
+            return self._mean_locked() > self.config.max_mean_abs_log_error
+
+    def reset(self) -> None:
+        """Forget the window (after a demotion or promotion the new live
+        generation starts with a clean slate)."""
+        with self._lock:
+            self._residuals.clear()
+            if self._gauge is not None:
+                self._gauge.set(0.0)

@@ -1,0 +1,221 @@
+"""Immutable model generations and the atomic promote/rollback registry.
+
+Online learning turns "the model" into a *lineage*: the boot-time fit is
+generation 0, every shadow-approved retrain becomes generation N with
+parent N-1, and a drift demotion steps back to the parent.  The
+:class:`GenerationRegistry` is the single authority over which
+generation is **live** — promotion and rollback swap one reference under
+a lock, so the serving path always observes a complete, self-consistent
+(models, databases) snapshot and never a half-promoted mix.
+
+Generation ids are monotonically increasing and never reused, even
+across rollbacks: rolling back from 3 to 2 leaves ``next_id`` at 4, so
+the id doubles as a freshness ordinal that ``server_info`` / ops
+``HEALTH`` can expose and cluster status can compare across replicas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+
+__all__ = ["ModelGeneration", "GenerationRegistry", "generation_hash"]
+
+
+def generation_hash(models: dict) -> str:
+    """SHA-256 fingerprint over a generation's model artifacts.
+
+    Hashes the canonical artifact JSON of every model in the generation
+    (sorted by key), so two generations trained on the same data by the
+    same code have the same hash — the identity tests use to prove a
+    promoted generation equals a from-scratch retrain.
+    """
+    from repro.serving.artifacts import ModelArtifact, artifact_to_dict
+
+    digest = hashlib.sha256()
+    for key in sorted(models, key=lambda k: (k[0], k[1].value, k[2])):
+        doc = artifact_to_dict(ModelArtifact.from_acic(models[key]))
+        digest.update(json.dumps(doc, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelGeneration:
+    """One immutable snapshot of the service's trained state.
+
+    Attributes:
+        id: monotonically increasing generation number (0 = boot).
+        parent: the generation this one was retrained from (None for 0).
+        artifact_hash: sha256 over the generation's model artifacts.
+        epoch_span: (oldest, newest) contribution epoch across platforms.
+        platforms: platforms the generation carries data for.
+        created_at: registry-clock reading at registration.
+        source: how it came to be ("boot", "retrain", "rollback", ...).
+        models / databases: the snapshot itself — excluded from equality
+            so two generations compare by identity metadata, and mapped
+            as plain dicts the service can adopt wholesale.
+    """
+
+    id: int
+    parent: int | None
+    artifact_hash: str
+    epoch_span: tuple[int, int]
+    platforms: tuple[str, ...]
+    created_at: float
+    source: str
+    models: dict = field(compare=False, repr=False, default_factory=dict)
+    databases: dict = field(compare=False, repr=False, default_factory=dict)
+
+    def describe(self) -> dict:
+        """JSON-compatible identity (what the ops plane reports)."""
+        return {
+            "id": self.id,
+            "parent": self.parent,
+            "artifact_hash": self.artifact_hash,
+            "epoch_span": list(self.epoch_span),
+            "platforms": list(self.platforms),
+            "created_at": self.created_at,
+            "source": self.source,
+            "models": len(self.models),
+        }
+
+
+class GenerationRegistry:
+    """Thread-safe lineage of :class:`ModelGeneration` objects.
+
+    Args:
+        metrics: registry for the ``online.generation`` gauge (None = no
+            accounting).
+
+    The registry only tracks lineage and the live pointer; *installing*
+    a generation into the service is the coordinator's job (it holds the
+    serve lock while calling :meth:`promote` so the two swaps are one
+    atomic step from the request paths' point of view).
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self._lock = threading.Lock()
+        self._generations: dict[int, ModelGeneration] = {}
+        self._live_id: int | None = None
+        self._next_id = 0
+        self._gauge = (
+            metrics.gauge("online.generation", "live model generation id")
+            if metrics is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def allocate_id(self) -> int:
+        """Reserve the next generation id (never reused)."""
+        with self._lock:
+            allocated = self._next_id
+            self._next_id += 1
+            return allocated
+
+    def register(
+        self,
+        models: dict,
+        databases: dict[str, TrainingDatabase],
+        *,
+        parent: int | None,
+        created_at: float,
+        source: str,
+        generation_id: int | None = None,
+    ) -> ModelGeneration:
+        """Record a new (not yet live) generation; returns it.
+
+        Args:
+            models: {(platform, goal, learner): trained Acic} snapshot.
+            databases: {platform: TrainingDatabase} snapshot.
+            parent: lineage pointer (None only for the boot generation).
+            created_at: clock reading to stamp.
+            source: provenance tag.
+            generation_id: pre-allocated id (default: allocate now).
+        """
+        epochs = [
+            record.epoch
+            for database in databases.values()
+            for record in database
+        ]
+        generation = ModelGeneration(
+            id=self.allocate_id() if generation_id is None else generation_id,
+            parent=parent,
+            artifact_hash=generation_hash(models),
+            epoch_span=(min(epochs), max(epochs)) if epochs else (0, 0),
+            platforms=tuple(sorted(databases)),
+            created_at=created_at,
+            source=source,
+            models=dict(models),
+            databases=dict(databases),
+        )
+        with self._lock:
+            if generation.id in self._generations:
+                raise ValueError(f"generation {generation.id} already registered")
+            self._generations[generation.id] = generation
+        return generation
+
+    # ------------------------------------------------------------------
+    def promote(self, generation_id: int) -> ModelGeneration:
+        """Make a registered generation live; returns it.
+
+        Raises:
+            KeyError: unknown generation id.
+        """
+        with self._lock:
+            generation = self._generations[generation_id]
+            self._live_id = generation.id
+            if self._gauge is not None:
+                self._gauge.set(float(generation.id))
+            return generation
+
+    def rollback(self) -> ModelGeneration:
+        """Demote the live generation to its parent; returns the parent.
+
+        Raises:
+            RuntimeError: no live generation, or the live generation has
+                no parent (generation 0 is the floor — there is nothing
+                older to serve).
+        """
+        with self._lock:
+            if self._live_id is None:
+                raise RuntimeError("no live generation to roll back")
+            live = self._generations[self._live_id]
+            if live.parent is None:
+                raise RuntimeError(
+                    f"generation {live.id} has no parent to roll back to"
+                )
+            parent = self._generations[live.parent]
+            self._live_id = parent.id
+            if self._gauge is not None:
+                self._gauge.set(float(parent.id))
+            return parent
+
+    # ------------------------------------------------------------------
+    def live(self) -> ModelGeneration | None:
+        """The live generation (None before the boot snapshot)."""
+        with self._lock:
+            if self._live_id is None:
+                return None
+            return self._generations[self._live_id]
+
+    def get(self, generation_id: int) -> ModelGeneration | None:
+        """A generation by id (live or not)."""
+        with self._lock:
+            return self._generations.get(generation_id)
+
+    def lineage(self) -> list[dict]:
+        """All registered generations' identities, id order."""
+        with self._lock:
+            return [
+                self._generations[g].describe()
+                for g in sorted(self._generations)
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._generations)

@@ -1,0 +1,226 @@
+"""Durable append-only contribution log: the streaming-ingest buffer.
+
+The paper's community database grows by contribution, but merging a
+contribution straight into the serving database couples ingest to
+retraining: every contribution would stall the next query on a full
+refit.  The :class:`ContributionLog` decouples them — ``contribute``
+*appends* (cheap, durable) and the background
+:class:`~repro.online.worker.RetrainWorker` *drains* in batches on its
+own schedule.
+
+Properties the tests pin down:
+
+* **Append-only JSONL** — one JSON object per line
+  (``{"seq": n, "platform": ..., "record": {...}}``), human-greppable
+  and crash-truncatable: a torn final line is dropped on replay, never
+  poisons the log.
+* **Epoch-stamped, ordered** — every entry carries a monotonically
+  increasing ``seq``; replay preserves contribution order exactly, so
+  a rebuilt database is record-for-record identical to the inline-merge
+  world.
+* **Batched flush** — appends buffer in memory and hit the disk every
+  ``flush_every`` entries (or on :meth:`flush`/:meth:`close`), keeping
+  the ingest path off the fsync treadmill.
+* **Two-phase drain** — :meth:`pending` *peeks*; :meth:`commit`
+  persists the consumed cursor in a sidecar file only after the drained
+  batch was fully handled, so a crashed (or failed) retrain re-drains
+  the same entries instead of losing them.
+* **Replayable on restart** — opening an existing log re-reads the
+  file and the cursor, so pending contributions survive process death.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.database import TrainingRecord
+
+__all__ = ["LogEntry", "ContributionLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged contribution record.
+
+    Attributes:
+        seq: monotonically increasing position in the log (1-based).
+        platform: hosted platform the record belongs to.
+        record: the contributed training record.
+    """
+
+    seq: int
+    platform: str
+    record: TrainingRecord
+
+    def to_line(self) -> str:
+        """The entry's JSONL line (no trailing newline)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "platform": self.platform,
+                "record": self.record.to_payload(),
+            }
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "LogEntry":
+        """Decode one JSONL line.
+
+        Raises:
+            ValueError: malformed JSON or record payload.
+        """
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ValueError("log line must be a JSON object")
+        return cls(
+            seq=int(payload["seq"]),
+            platform=str(payload["platform"]),
+            record=TrainingRecord.from_payload(payload["record"]),
+        )
+
+
+class ContributionLog:
+    """Durable, replayable queue of community contributions.
+
+    Args:
+        path: the JSONL file (created on first append; an existing file
+            is replayed so pending entries survive restarts).
+        flush_every: buffered appends before an automatic disk flush
+            (1 = write-through; the default batches lightly so a
+            contribution burst costs one write).
+
+    Thread safety: every public method takes the internal lock — the
+    ingest path (server pool threads) and the drain path (the retrain
+    worker thread) share one instance.
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 16) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self._lock = threading.Lock()
+        self._buffer: list[LogEntry] = []
+        self._entries: list[LogEntry] = []
+        self._next_seq = 1
+        self._committed = 0
+        self._dropped_lines = 0
+        self._replay()
+
+    # ------------------------------------------------------------------
+    @property
+    def cursor_path(self) -> Path:
+        """Sidecar file holding the last committed ``seq``."""
+        return self.path.with_name(self.path.name + ".cursor")
+
+    def _replay(self) -> None:
+        """Load an existing log + cursor (restart path)."""
+        if self.path.exists():
+            for line in self.path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = LogEntry.from_line(line)
+                except (ValueError, KeyError):
+                    # A torn tail (crash mid-write) or a corrupt line:
+                    # count it and keep going — the log must always
+                    # reopen.
+                    self._dropped_lines += 1
+                    continue
+                self._entries.append(entry)
+                self._next_seq = max(self._next_seq, entry.seq + 1)
+        if self.cursor_path.exists():
+            try:
+                self._committed = int(self.cursor_path.read_text().strip())
+            except ValueError:
+                self._committed = 0
+
+    # ------------------------------------------------------------------
+    def append(self, platform: str, records) -> int:
+        """Append a contribution's records; returns how many were logged.
+
+        Entries buffer in memory and flush to disk in batches of
+        ``flush_every`` (call :meth:`flush` to force).
+        """
+        with self._lock:
+            appended = 0
+            for record in records:
+                entry = LogEntry(
+                    seq=self._next_seq, platform=platform, record=record
+                )
+                self._next_seq += 1
+                self._entries.append(entry)
+                self._buffer.append(entry)
+                appended += 1
+            if len(self._buffer) >= self.flush_every:
+                self._flush_locked()
+            return appended
+
+    def flush(self) -> None:
+        """Force buffered entries to disk."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as sink:
+            for entry in self._buffer:
+                sink.write(entry.to_line() + "\n")
+        self._buffer.clear()
+
+    # ------------------------------------------------------------------
+    def pending(self, limit: int | None = None) -> list[LogEntry]:
+        """Uncommitted entries in order (a *peek*, not a pop).
+
+        Args:
+            limit: cap on how many to return (None = all).
+        """
+        with self._lock:
+            out = [e for e in self._entries if e.seq > self._committed]
+            return out if limit is None else out[:limit]
+
+    def pending_count(self) -> int:
+        """How many entries are logged but not yet committed."""
+        with self._lock:
+            return sum(1 for e in self._entries if e.seq > self._committed)
+
+    def commit(self, through_seq: int) -> None:
+        """Mark everything up to ``through_seq`` consumed (durable).
+
+        Flushes the data file first so the cursor can never point past
+        entries that were not persisted.
+        """
+        with self._lock:
+            if through_seq < self._committed:
+                return
+            self._flush_locked()
+            self._committed = through_seq
+            tmp = self.cursor_path.with_name(self.cursor_path.name + ".tmp")
+            tmp.write_text(str(through_seq))
+            tmp.replace(self.cursor_path)
+
+    @property
+    def committed(self) -> int:
+        """Last committed ``seq`` (0 = nothing consumed yet)."""
+        return self._committed
+
+    @property
+    def total(self) -> int:
+        """Entries ever logged (including committed ones)."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def dropped_lines(self) -> int:
+        """Corrupt/torn lines skipped during replay."""
+        return self._dropped_lines
+
+    def close(self) -> None:
+        """Flush buffered entries (the log has no open handles to close)."""
+        self.flush()

@@ -1,0 +1,115 @@
+"""The background retrain worker: a daemon thread around the loop.
+
+The :class:`RetrainWorker` owns *scheduling only* — all decisions live
+in :meth:`OnlineCoordinator.run_once`, which tests drive directly with
+manual clocks and zero threads.  The worker adds the production shape:
+a daemon thread that wakes every ``poll_interval_s`` (or immediately on
+:meth:`kick`), runs one cycle, and absolutely never lets an exception
+escape — a crashing retrain increments ``online.worker_errors`` and the
+loop keeps breathing, because the one invariant of the subsystem is
+that nothing the worker does can take serving down.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry.logging import get_logger
+
+__all__ = ["RetrainWorker"]
+
+
+class RetrainWorker:
+    """Drives :meth:`OnlineCoordinator.run_once` on a daemon thread.
+
+    Args:
+        coordinator: the loop to drive.
+        interval_s: wait between cycles (default: the coordinator
+            config's ``poll_interval_s``).
+        wait: injectable ``wait(seconds) -> bool`` used between cycles;
+            defaults to an interruptible event wait (:meth:`kick` and
+            :meth:`stop` cut it short).  Tests pass their own to make
+            the thread's cadence deterministic.
+    """
+
+    def __init__(self, coordinator, interval_s: float | None = None, wait=None) -> None:
+        self.coordinator = coordinator
+        self.interval_s = (
+            interval_s
+            if interval_s is not None
+            else coordinator.config.poll_interval_s
+        )
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {self.interval_s}")
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._wait = wait if wait is not None else self._default_wait
+        self._thread: threading.Thread | None = None
+        self._errors = coordinator.metrics.counter(
+            "online.worker_errors", "cycles that raised inside the worker"
+        )
+        self._completed = 0
+
+    def _default_wait(self, seconds: float) -> bool:
+        woken = self._wake.wait(seconds)
+        self._wake.clear()
+        return woken
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def cycles_completed(self) -> int:
+        """Cycles the worker has finished (raised or not)."""
+        return self._completed
+
+    def start(self) -> "RetrainWorker":
+        """Launch the daemon thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="acic-retrain", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def kick(self) -> None:
+        """Wake the worker now instead of at the next interval."""
+        self._wake.set()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop the loop and join the thread."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "RetrainWorker":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.coordinator.run_once()
+            except Exception as exc:
+                # The coordinator already contains its failures; this
+                # catches bugs in the loop itself.  Serving must never
+                # notice.
+                self._errors.inc()
+                get_logger().error(
+                    "online.worker_error",
+                    error=type(exc).__name__, detail=str(exc),
+                )
+            self._completed += 1
+            if self._stop.is_set():
+                break
+            self._wait(self.interval_s)

@@ -182,6 +182,17 @@ class AcicService:
         self._trained = self.metrics.counter(
             "service.models_trained", "models trained since construction"
         )
+        self._invalidations = self.metrics.counter(
+            "service.invalidations", "response-cache entries evicted by invalidation"
+        )
+        #: Live model generation id (repro.online bumps it on promotion).
+        self.generation: int = 0
+        #: Online-loop hooks (installed by an OnlineCoordinator).  With a
+        #: sink, contribute() appends durably instead of merging inline;
+        #: the observer feeds each real request to the shadow replay
+        #: buffer.
+        self.contribution_sink = None
+        self.query_observer = None
 
     def _active_telemetry(self):
         """The bundle requests trace into (override or process-wide)."""
@@ -200,14 +211,34 @@ class AcicService:
         return database.platform_name
 
     def contribute(self, platform: str, contribution: TrainingDatabase) -> int:
-        """Merge a community contribution; retrains lazily.
+        """Accept a community contribution.
 
-        Returns the number of new records accepted.
+        Without an online loop, the contribution merges inline and the
+        platform's models/cache are invalidated (the next query retrains
+        lazily).  With a :class:`repro.online.OnlineCoordinator`
+        attached, the records are appended to its durable log instead —
+        serving keeps answering from the live generation until a
+        candidate passes the shadow gate.
+
+        Returns the number of records accepted (new records for the
+        inline path; records logged for the online path — the log
+        dedups at merge time, not at ingest).
         """
         database = self._database_for(platform)
+        if self.contribution_sink is not None:
+            if contribution.platform_name != platform:
+                raise ServiceError(
+                    f"cannot contribute {contribution.platform_name!r} data "
+                    f"to platform {platform!r}"
+                )
+            return self.contribution_sink(platform, contribution.records)
         accepted = database.merge(contribution)
         if accepted:
-            self._invalidate(platform)
+            self._invalidate(
+                platform,
+                learners={key[2] for key in self._models if key[0] == platform}
+                or None,
+            )
         return accepted
 
     # ------------------------------------------------------------------
@@ -222,6 +253,8 @@ class AcicService:
             "service.handle", platform=request.platform
         ):
             self._queries.inc()
+            if self.query_observer is not None:
+                self.query_observer(request)
             cached = self._cache.get(request.fingerprint)
             if cached is not None:
                 return replace(cached, cached=True)
@@ -259,6 +292,9 @@ class AcicService:
             "service.query_batch", queries=len(requests)
         ) as span:
             self._queries.inc(len(requests))
+            if self.query_observer is not None:
+                for request in requests:
+                    self.query_observer(request)
             responses: list[QueryResponse | None] = [None] * len(requests)
             misses: dict[_ModelKey, list[int]] = {}
             tickets = []
@@ -384,7 +420,8 @@ class AcicService:
             platform, goal, learner = key
             filename = f"model-{_slug(platform)}-{goal.value}-{_slug(learner)}.json"
             content_hash = save_artifact(
-                ModelArtifact.from_acic(self._models[key]), directory / filename
+                ModelArtifact.from_acic(self._models[key], generation=self.generation),
+                directory / filename,
             )
             models.append(
                 {
@@ -400,6 +437,7 @@ class AcicService:
             "version": _MANIFEST_VERSION,
             "feature_names": list(self.feature_names) if self.feature_names else None,
             "cache_capacity": self._cache.capacity,
+            "generation": self.generation,
             "databases": databases,
             "models": models,
         }
@@ -488,6 +526,7 @@ class AcicService:
             cache_capacity=manifest.get("cache_capacity", 1024),
             reliability=reliability,
         )
+        service.generation = int(manifest.get("generation", 0))
         for entry in manifest.get("databases", ()):
             if wanted is not None and entry["platform"] not in wanted:
                 continue
@@ -677,14 +716,59 @@ class AcicService:
             self._engines[key] = engine
         return engine
 
-    def _invalidate(self, platform: str) -> None:
+    def _invalidate(self, platform: str, learners: set[str] | None = None) -> None:
+        """Drop a platform's stale models, engines, and cached responses.
+
+        Args:
+            platform: whose state changed.
+            learners: scope the eviction to these learner names; None
+                drops everything for the platform (database replaced
+                wholesale).  A contribution only cold-starts the
+                learners it actually invalidated — evictions land in
+                the ``service.invalidations`` counter either way.
+        """
+
+        def affected(key: _ModelKey) -> bool:
+            return key[0] == platform and (learners is None or key[2] in learners)
+
         self._models = {
-            key: model for key, model in self._models.items() if key[0] != platform
+            key: model for key, model in self._models.items() if not affected(key)
         }
         self._engines = {
-            key: engine for key, engine in self._engines.items() if key[0] != platform
+            key: engine for key, engine in self._engines.items() if not affected(key)
         }
         self._epoch_spans.pop(platform, None)
-        self._cache.drop_where(
+        dropped = self._cache.drop_where(
             lambda _key, response: response.platform == platform
+            and (learners is None or response.learner in learners)
         )
+        self._invalidations.inc(dropped or 0)
+
+    def adopt_generation(self, generation) -> None:
+        """Install a :class:`repro.online.ModelGeneration` wholesale.
+
+        The caller (the online coordinator) holds the serving lock, so
+        the swap is atomic from the request paths' point of view: every
+        platform's database, the trained models, and the derived state
+        (engines, epoch spans, cached responses) change together.  Only
+        platforms whose database object actually changed are
+        invalidated; within an unchanged platform the eviction is
+        scoped to the learners whose model was replaced.
+        """
+        for platform, database in generation.databases.items():
+            changed = self._databases.get(platform) is not database
+            self._databases[platform] = database
+            if changed:
+                self._invalidate(platform)
+            else:
+                replaced = {
+                    key[2]
+                    for key in generation.models
+                    if key[0] == platform
+                    and self._models.get(key) is not generation.models[key]
+                }
+                if replaced:
+                    self._invalidate(platform, learners=replaced)
+        self._models = dict(generation.models)
+        self._engines = {}
+        self.generation = generation.id

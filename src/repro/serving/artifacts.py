@@ -73,6 +73,8 @@ class ModelArtifact:
         platform: cloud platform the training data describes.
         database_points: training records behind the model.
         database_epochs: (oldest, newest) contribution epochs.
+        generation: online-learning generation the model belongs to
+            (0 = a boot-time fit; see :mod:`repro.online`).
     """
 
     learner: str
@@ -82,9 +84,10 @@ class ModelArtifact:
     platform: str
     database_points: int
     database_epochs: tuple[int, int]
+    generation: int = 0
 
     @classmethod
-    def from_acic(cls, acic: Acic) -> "ModelArtifact":
+    def from_acic(cls, acic: Acic, generation: int = 0) -> "ModelArtifact":
         """Capture a trained configurator (RuntimeError if untrained)."""
         epochs = [record.epoch for record in acic.database]
         return cls(
@@ -95,6 +98,7 @@ class ModelArtifact:
             platform=acic.database.platform_name,
             database_points=len(acic.database),
             database_epochs=(min(epochs), max(epochs)) if epochs else (0, 0),
+            generation=generation,
         )
 
 
@@ -140,6 +144,7 @@ def artifact_to_dict(artifact: ModelArtifact) -> dict:
             "platform": artifact.platform,
             "database_points": artifact.database_points,
             "database_epochs": list(artifact.database_epochs),
+            "generation": artifact.generation,
         },
     }
     payload["content_hash"] = _content_hash(payload)
@@ -176,6 +181,7 @@ def artifact_from_dict(payload: dict) -> ModelArtifact:
             platform=provenance["platform"],
             database_points=int(provenance["database_points"]),
             database_epochs=tuple(provenance["database_epochs"]),
+            generation=int(provenance.get("generation", 0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactError(f"malformed artifact field: {exc}") from exc

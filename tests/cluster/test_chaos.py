@@ -113,3 +113,74 @@ class TestReplicaKillFaultKind:
                 assert supervisor.alive("r0") and supervisor.alive("r2")
                 # Spent rule: the next sweep kills nothing.
                 assert supervisor.apply_chaos() == []
+
+
+class TestAutoRestartWatchdog:
+    """Opt-in self-healing: dead replicas rejoin on their old port."""
+
+    def test_check_replicas_rejoins_on_the_old_port(self, cluster_pack):
+        config = SupervisorConfig(replicas=3, replication=2, mode="thread")
+        with ClusterSupervisor(cluster_pack, config) as supervisor:
+            old_port = supervisor.specs()[1].port
+            supervisor.kill("r1")
+            assert not supervisor.alive("r1")
+            assert supervisor.check_replicas() == ["r1"]
+            assert supervisor.alive("r1")
+            assert supervisor.specs()[1].port == old_port
+            # A healthy fleet sweep is a no-op.
+            assert supervisor.check_replicas() == []
+
+    def test_watchdog_heals_a_sigkilled_replica_and_failovers_stop(
+        self, cluster_pack, reference_service
+    ):
+        """The chaos loop: SIGKILL a subprocess replica, queries fail
+        over while it is down, the watchdog brings it back, and the
+        failover counter stops moving once the fleet is whole."""
+        import time
+
+        config = SupervisorConfig(
+            replicas=3, replication=2, mode="process",
+            auto_restart=True, watch_interval_s=0.1,
+        )
+        batches = [mixed_batch(2, seed=700 + i) for i in range(3)]
+        with ClusterSupervisor(cluster_pack, config) as supervisor:
+            with supervisor.router() as router:
+                victim = router.ring.preference(PLATFORMS[0], 2)[0]
+                supervisor.kill(victim, force=True)  # SIGKILL
+                got = list(router.query_batch(batches[0]))
+                failovers_during = router.metrics.counter(
+                    "cluster.failovers"
+                ).value
+                assert failovers_during >= 1  # served around the corpse
+
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if supervisor.alive(victim):
+                        break
+                    time.sleep(0.05)
+                assert supervisor.alive(victim), "watchdog never restarted"
+
+                # Whole again: the same shards answer with zero new
+                # failovers and byte-identical responses.
+                for batch in batches[1:]:
+                    got.extend(router.query_batch(batch))
+                failovers_after = router.metrics.counter(
+                    "cluster.failovers"
+                ).value
+                assert failovers_after == failovers_during
+        want = []
+        for batch in batches:
+            want.extend(reference_service.query_batch(batch))
+        assert to_json(got) == to_json(want)
+        assert not any(response.degraded for response in got)
+
+    def test_stop_halts_the_watchdog_for_good(self, cluster_pack):
+        config = SupervisorConfig(
+            replicas=2, replication=1, mode="thread",
+            auto_restart=True, watch_interval_s=0.05,
+        )
+        supervisor = ClusterSupervisor(cluster_pack, config)
+        supervisor.start()
+        supervisor.stop()
+        # Every member stays down: the watchdog joined before the kills.
+        assert not any(supervisor.alive(name) for name in supervisor.names)

@@ -1,0 +1,113 @@
+"""Fixtures for the online-learning subsystem tests.
+
+Everything here is deterministic and sleep-free: coordinators run on a
+:class:`ManualClock`, workers are driven by injected waits, and the
+training data comes from the session-memoized pipeline context.  The
+base database is small (top-4 plan) so each test's retrains stay cheap;
+every test gets a *fresh clone* of it because promotions mutate the
+hosted state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.core.training import TrainingCollector, TrainingPlan
+from repro.online import (
+    ContributionLog,
+    DriftConfig,
+    OnlineConfig,
+    OnlineCoordinator,
+    ShadowGateConfig,
+)
+from repro.service.server import AcicService
+from repro.telemetry import ManualClock
+
+
+@pytest.fixture(scope="module")
+def base_database(context):
+    """A small training database (top-5 plan) on the default platform."""
+    database = TrainingDatabase(context.platform.name)
+    TrainingCollector(database, platform=context.platform).collect(
+        TrainingPlan.build(context.screening.ranked_names(), 5)
+    )
+    return database
+
+
+@pytest.fixture(scope="module")
+def contribution_records(context, base_database):
+    """The honest stream: the same plan re-measured at epoch 2.
+
+    The simulated measurements are epoch-independent, so these are
+    confirming re-observations of every base point — new records (the
+    epoch is part of the fingerprint) that leave the learned rankings
+    untouched, which is exactly what the shadow gate should wave
+    through.
+    """
+    contribution = TrainingDatabase(context.platform.name)
+    TrainingCollector(contribution, platform=context.platform).collect(
+        TrainingPlan.build(context.screening.ranked_names(), 5), epoch=2
+    )
+    return tuple(contribution)
+
+
+@pytest.fixture(scope="module")
+def feature_names(context):
+    return tuple(context.screening.ranked_names()[:5])
+
+
+def clone_database(database: TrainingDatabase) -> TrainingDatabase:
+    """Exact clone through the payload codec (float round-trip safe)."""
+    return TrainingDatabase.from_payload(database.to_payload())
+
+
+@pytest.fixture()
+def make_online(context, base_database, feature_names, tmp_path):
+    """Factory for a (service, log, clock, coordinator) quartet.
+
+    The service hosts a private clone of the base database with the
+    (platform, performance, cart) model pre-warmed, so generation 0
+    carries a real model for the gate to defend.
+    """
+
+    built = []
+
+    def build(
+        min_batch: int = 1,
+        shadow: ShadowGateConfig | None = None,
+        drift: DriftConfig | None = None,
+        warm: bool = True,
+        config_overrides: dict | None = None,
+    ):
+        service = AcicService(feature_names=feature_names)
+        service.host_database(clone_database(base_database))
+        if warm:
+            service.warm(context.platform.name, Goal.PERFORMANCE, "cart")
+        log = ContributionLog(
+            tmp_path / f"log-{len(built)}.jsonl", flush_every=1
+        )
+        clock = ManualClock()
+        coordinator = OnlineCoordinator(
+            service,
+            log,
+            config=OnlineConfig(
+                min_batch=min_batch,
+                max_batch=max(256, min_batch),
+                shadow=(
+                    shadow
+                    if shadow is not None
+                    else ShadowGateConfig(min_observations=0)
+                ),
+                drift=drift if drift is not None else DriftConfig(),
+                **(config_overrides or {}),
+            ),
+            clock=clock,
+        )
+        built.append(coordinator)
+        return service, log, clock, coordinator
+
+    yield build
+    for coordinator in built:
+        coordinator.close()

@@ -1,0 +1,210 @@
+"""CLI tests for the online-learning surface: flag parsing, the
+``online`` and ``contribute`` subcommands against a live server, and
+the failure exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.database import TrainingDatabase
+from repro.net.server import AcicServer, ServerThread
+
+
+class TestParsing:
+    def test_serve_online_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifacts", "models/", "--listen", "127.0.0.1:0",
+             "--online",
+             "--online-log", "contrib.jsonl", "--online-min-batch", "4",
+             "--online-interval-s", "0.5"]
+        )
+        assert args.online is True
+        assert args.online_log == "contrib.jsonl"
+        assert args.online_min_batch == 4
+        assert args.online_interval_s == 0.5
+
+    def test_serve_online_defaults_off(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifacts", "models/", "--listen", "127.0.0.1:0"]
+        )
+        assert args.online is False
+        assert args.online_log is None
+        assert args.online_min_batch == 8
+
+    def test_online_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["online", "status"])
+
+    def test_online_op_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["online", "meddle", "--connect", "h:1"]
+            )
+
+    def test_contribute_args(self):
+        args = build_parser().parse_args(
+            ["contribute", "--connect", "h:9", "--db", "db.json",
+             "--chunk", "16"]
+        )
+        assert args.connect == "h:9" and args.db == "db.json"
+        assert args.chunk == 16
+
+
+@pytest.fixture()
+def online_endpoint(make_online):
+    """A live online server's ``host:port`` plus its backing pieces."""
+    service, log, _clock, coordinator = make_online()
+    server = AcicServer(service, port=0, workers=2, online=coordinator)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    yield f"{host}:{port}", service, log
+    thread.stop()
+
+
+class TestOnlineCommand:
+    def test_status_round_trip(self, online_endpoint, capsys):
+        connect, _service, _log = online_endpoint
+        assert main(["online", "status", "--connect", connect]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["generation"] == 0
+        assert status["pending"] == 0
+
+    def test_promote_and_rollback(
+        self, online_endpoint, context, contribution_records, tmp_path, capsys
+    ):
+        connect, service, _log = online_endpoint
+        db_path = tmp_path / "stream.json"
+        database = TrainingDatabase(context.platform.name)
+        for record in contribution_records[:8]:
+            database.add(record)
+        database.save(db_path)
+
+        assert main(["contribute", "--connect", connect,
+                     "--db", str(db_path), "--chunk", "3"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["sent"] == 8 and summary["accepted"] == 8
+        assert summary["pending"] == 8
+
+        assert main(["online", "promote", "--connect", connect]) == 0
+        promoted = json.loads(capsys.readouterr().out)
+        assert promoted["outcome"] == "promoted"
+        assert service.generation == 1
+
+        assert main(["online", "rollback", "--connect", connect]) == 0
+        rolled = json.loads(capsys.readouterr().out)
+        assert rolled["outcome"] == "rolled_back"
+        assert service.generation == 0
+
+    def test_rollback_at_root_fails_cleanly(self, online_endpoint, capsys):
+        connect, _service, _log = online_endpoint
+        assert main(["online", "rollback", "--connect", connect]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_bad_endpoint_is_usage_error(self, capsys):
+        assert main(["online", "status", "--connect", "no-port"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_against_offline_server(self, context, capsys):
+        from tests.net.conftest import fresh_service
+
+        server = AcicServer(fresh_service(context), port=0, workers=1)
+        with ServerThread(server) as (host, port):
+            code = main(["online", "status", "--connect", f"{host}:{port}"])
+        assert code == 1
+        assert "online_disabled" in capsys.readouterr().err
+
+
+class TestContributeCommand:
+    def test_rejects_bad_chunk(self, online_endpoint, tmp_path, capsys):
+        connect, _service, _log = online_endpoint
+        assert main(["contribute", "--connect", connect,
+                     "--db", "x.json", "--chunk", "0"]) == 2
+        assert "--chunk" in capsys.readouterr().err
+
+    def test_bad_endpoint_is_usage_error(self, capsys):
+        assert main(["contribute", "--connect", "nope",
+                     "--db", "x.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeOnline:
+    def test_serve_boots_the_online_stack(
+        self, context, base_database, tmp_path
+    ):
+        """End to end through the real CLI: a ``serve --online``
+        subprocess, one streamed contribution past min-batch, the
+        worker promotes, SIGTERM drains to exit 0."""
+        import dataclasses
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.net.client import AcicClient
+        from repro.service.server import AcicService
+
+        from tests.online.conftest import clone_database
+
+        pack = tmp_path / "pack"
+        service = AcicService(
+            feature_names=tuple(context.screening.ranked_names()[:5])
+        )
+        service.host_database(clone_database(base_database))
+        service.save(pack)
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--artifacts", str(pack), "--listen", "127.0.0.1:0",
+             "--online", "--online-log", str(tmp_path / "contrib.jsonl"),
+             "--online-min-batch", "4", "--online-interval-s", "0.05"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            address, saw_banner = None, False
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("# online learning:"):
+                    saw_banner = True
+                if line.startswith("# listening on "):
+                    address = line.split()[-1]
+                    break
+            assert address is not None, "serve --online never bound"
+            assert saw_banner, "online banner missing from boot output"
+            host, port = address.rsplit(":", 1)
+
+            database = TrainingDatabase(context.platform.name)
+            for record in list(base_database)[:6]:
+                database.add(dataclasses.replace(record, epoch=7))
+            with AcicClient(host, int(port)) as client:
+                reply = client.contribute(database)
+                assert reply["accepted"] == 6
+                assert reply["pending"] == 6
+                # 6 >= min-batch 4: the background worker retrains and
+                # promotes on its own clock.
+                deadline = time.monotonic() + 60.0
+                generation = 0
+                while time.monotonic() < deadline:
+                    generation = client.online_status()["generation"]
+                    if generation == 1:
+                        break
+                    time.sleep(0.05)
+                assert generation == 1
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)

@@ -1,0 +1,377 @@
+"""Coordinator lifecycle tests: the deterministic ingest → retrain →
+shadow → promote/reject/demote loop, with zero threads and zero sleeps
+(every cycle is driven by ``run_once`` on a :class:`ManualClock`)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.configurator import Acic
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.online import DriftConfig, ShadowGateConfig, generation_hash
+from repro.service.api import QueryRequest
+
+from tests.online.conftest import clone_database
+
+
+def contribution_db(platform: str, records) -> TrainingDatabase:
+    database = TrainingDatabase(platform)
+    for record in records:
+        database.add(record)
+    return database
+
+
+def poisoned(records, target: float = 1000.0):
+    """The same observation points claiming an absurd measured ratio."""
+    return [
+        dataclasses.replace(
+            record,
+            perf_improvement=target,
+            cost_improvement=target,
+            epoch=2,
+            source="poison",
+        )
+        for record in records
+    ]
+
+
+@pytest.fixture()
+def query(simple_chars, context):
+    return QueryRequest(
+        characteristics=simple_chars,
+        goal=Goal.PERFORMANCE,
+        platform=context.platform.name,
+    )
+
+
+class TestIngest:
+    def test_contribution_is_logged_not_merged(
+        self, make_online, context, contribution_records, query
+    ):
+        service, log, _clock, coordinator = make_online()
+        before = service.handle(query)
+        accepted = service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert accepted == len(contribution_records)
+        assert log.pending_count() == accepted
+        # Serving is untouched: the cached answer survives, the model
+        # did not grow, the generation did not move.
+        after = service.handle(query)
+        assert after.cached and not before.cached
+        assert after.recommendations == before.recommendations
+        assert after.model_points == before.model_points
+        assert service.generation == 0
+
+    def test_cross_platform_contribution_refused_at_the_sink(
+        self, make_online, context, contribution_records
+    ):
+        from repro.service.api import ServiceError
+
+        service, log, _clock, _coordinator = make_online()
+        foreign = contribution_db("azure-west", [])
+        with pytest.raises(ServiceError):
+            service.contribute(context.platform.name, foreign)
+        assert log.pending_count() == 0
+
+    def test_real_queries_feed_the_replay_buffer(self, make_online, query):
+        service, _log, _clock, coordinator = make_online()
+        service.handle(query)
+        assert coordinator.shadow.replay_buffer() == [query]
+
+
+class TestPromotion:
+    def test_promotion_matches_a_from_scratch_retrain_exactly(
+        self,
+        make_online,
+        context,
+        base_database,
+        contribution_records,
+        feature_names,
+        query,
+    ):
+        service, log, _clock, coordinator = make_online()
+        service.handle(query)  # real traffic for the shadow replay
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert coordinator.run_once() == "promoted"
+
+        live = coordinator.registry.live()
+        assert live.id == 1 and live.parent == 0
+        assert service.generation == 1
+        assert log.pending_count() == 0
+        report = coordinator.last_report
+        assert report.passed and report.observations == 1
+
+        # The promoted generation is *exactly* the model a from-scratch
+        # retrain on (base + stream, in order) produces.
+        scratch = clone_database(base_database)
+        for record in contribution_records:
+            scratch.add(record)
+        acic = Acic(
+            scratch,
+            goal=Goal.PERFORMANCE,
+            learner_name="cart",
+            feature_names=feature_names,
+        )
+        acic.train()
+        key = (context.platform.name, Goal.PERFORMANCE, "cart")
+        assert live.artifact_hash == generation_hash({key: acic})
+
+        # Serving now answers from the new generation.
+        response = service.handle(query)
+        assert not response.cached
+        assert response.model_points == len(scratch)
+        assert response.model_epochs == (1, 2)
+
+    def test_promotion_is_idempotent_across_identical_streams(
+        self, make_online, context, contribution_records
+    ):
+        hashes = []
+        for _ in range(2):
+            service, _log, _clock, coordinator = make_online()
+            service.contribute(
+                context.platform.name,
+                contribution_db(context.platform.name, contribution_records),
+            )
+            assert coordinator.run_once() == "promoted"
+            hashes.append(coordinator.registry.live().artifact_hash)
+        assert hashes[0] == hashes[1]
+
+    def test_model_free_service_promotes_databases_only(
+        self, make_online, context, contribution_records
+    ):
+        service, _log, _clock, coordinator = make_online(warm=False)
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert coordinator.run_once() == "promoted"
+        assert coordinator.last_report.reasons == ("no_models",)
+        assert service.generation == 1
+        assert not coordinator.registry.live().models
+
+
+class TestGate:
+    def test_poisoned_batch_is_rejected_and_quarantined(
+        self, make_online, context, base_database, query
+    ):
+        service, log, _clock, coordinator = make_online()
+        before = service.handle(query)
+        poison = poisoned(list(base_database)[:8])
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, poison),
+        )
+        assert coordinator.run_once() == "rejected"
+        assert any(
+            reason.startswith("relative_error")
+            for reason in coordinator.last_report.reasons
+        )
+        # Quarantined: the cursor moved past the batch, but nothing was
+        # merged and serving still answers from generation 0.
+        assert log.pending_count() == 0
+        assert log.committed == len(poison)
+        assert service.generation == 0
+        after = service.handle(query)
+        assert after.cached
+        assert after.recommendations == before.recommendations
+        assert coordinator.status()["counters"]["rejections"] == 1
+
+    def test_deferral_waits_for_replay_traffic(
+        self, make_online, context, contribution_records, query
+    ):
+        service, log, _clock, coordinator = make_online(
+            shadow=ShadowGateConfig(min_observations=1)
+        )
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        # No real queries yet: the gate cannot judge, the batch waits.
+        assert coordinator.run_once() == "deferred"
+        assert log.pending_count() == len(contribution_records)
+        assert log.committed == 0
+        assert service.generation == 0
+
+        service.handle(query)  # traffic arrives
+        assert coordinator.run_once() == "promoted"
+        assert service.generation == 1
+        assert coordinator.status()["counters"]["deferrals"] == 1
+
+
+class TestDrift:
+    def test_drift_demotes_to_the_parent_generation(
+        self, make_online, context, base_database, contribution_records, query
+    ):
+        service, log, _clock, coordinator = make_online(
+            drift=DriftConfig(window=16, min_samples=4,
+                              max_mean_abs_log_error=0.7)
+        )
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert coordinator.run_once() == "promoted"
+        assert service.generation == 1
+
+        # The platform shifts under the promoted generation: newly
+        # measured ratios contradict everything it believes.
+        drifted = poisoned(list(base_database)[:8], target=500.0)
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, drifted),
+        )
+        assert coordinator.run_once() == "demoted"
+        assert coordinator.registry.live().id == 0
+        assert service.generation == 0
+        # The drifted batch is evidence, not training data: committed.
+        assert log.pending_count() == 0
+        assert coordinator.drift.samples == 0  # reset for the new live
+        response = service.handle(query)
+        assert response.model_points == len(base_database)
+
+    def test_generation_zero_cannot_be_demoted(
+        self, make_online, context, base_database
+    ):
+        # Absurd measurements against the boot generation: with no
+        # parent to fall back to, the loop proceeds to the gate (which
+        # then quarantines the batch) instead of demoting.
+        service, _log, _clock, coordinator = make_online(
+            drift=DriftConfig(window=16, min_samples=4,
+                              max_mean_abs_log_error=0.7)
+        )
+        poison = poisoned(list(base_database)[:8])
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, poison),
+        )
+        assert coordinator.run_once() == "rejected"
+        assert coordinator.registry.live().id == 0
+
+
+class TestRetrainFailure:
+    def test_failed_build_leaves_the_batch_pending(
+        self, make_online, context, contribution_records, monkeypatch
+    ):
+        service, log, _clock, coordinator = make_online()
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        monkeypatch.setattr(
+            coordinator,
+            "_build_candidate",
+            lambda live, entries: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        assert coordinator.run_once() == "failed"
+        # No commit: the same batch re-drains on the next cycle.
+        assert log.pending_count() == len(contribution_records)
+        assert service.generation == 0
+        assert coordinator.status()["counters"]["retrain_failures"] == 1
+
+    def test_repeated_failures_trip_the_breaker_then_recover(
+        self, make_online, context, contribution_records, monkeypatch
+    ):
+        service, _log, clock, coordinator = make_online()
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        build = coordinator._build_candidate
+        monkeypatch.setattr(
+            coordinator,
+            "_build_candidate",
+            lambda live, entries: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        for _ in range(5):  # the default failure threshold
+            assert coordinator.run_once() == "failed"
+        assert coordinator.run_once() == "breaker_open"
+
+        monkeypatch.setattr(coordinator, "_build_candidate", build)
+        clock.advance(31.0)  # past reset_after_s: half-open probe allowed
+        assert coordinator.run_once() == "promoted"
+        assert service.generation == 1
+
+
+class TestOperatorOverrides:
+    def test_promote_forces_past_min_batch_and_gate(
+        self, make_online, context, contribution_records
+    ):
+        service, _log, _clock, coordinator = make_online(
+            min_batch=10_000, shadow=ShadowGateConfig(min_observations=1)
+        )
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records[:3]),
+        )
+        assert coordinator.run_once() == "waiting"
+        assert coordinator.promote() == "promoted"
+        assert service.generation == 1
+
+    def test_rollback_restores_the_parent(
+        self, make_online, context, contribution_records, query
+    ):
+        service, _log, _clock, coordinator = make_online()
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert coordinator.run_once() == "promoted"
+        grown = service.handle(query).model_points
+
+        parent = coordinator.rollback()
+        assert parent.id == 0
+        assert service.generation == 0
+        shrunk = service.handle(query).model_points
+        assert shrunk < grown
+        with pytest.raises(RuntimeError):
+            coordinator.rollback()  # generation 0 is the floor
+
+
+class TestLoopShape:
+    def test_idle_and_waiting(self, make_online, context, contribution_records):
+        service, _log, _clock, coordinator = make_online(min_batch=3)
+        assert coordinator.run_once() == "idle"
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records[:2]),
+        )
+        assert coordinator.run_once() == "waiting"
+
+    def test_status_is_json_compatible_and_complete(
+        self, make_online, context, contribution_records
+    ):
+        service, _log, _clock, coordinator = make_online()
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        coordinator.run_once()
+        status = coordinator.status()
+        json.dumps(status)  # must not raise
+        assert status["generation"] == 1
+        assert status["last_outcome"] == "promoted"
+        assert [g["id"] for g in status["lineage"]] == [0, 1]
+        assert status["counters"]["promotions"] == 1
+        assert status["pending"] == 0
+
+    def test_close_detaches_the_hooks(
+        self, make_online, context, contribution_records
+    ):
+        service, _log, _clock, coordinator = make_online()
+        coordinator.close()
+        # Back to the inline-merge world: contribute grows the model.
+        accepted = service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert accepted > 0
+        assert coordinator.log.pending_count() == 0

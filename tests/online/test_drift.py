@@ -1,0 +1,95 @@
+"""Drift-detector tests: windowing, the trigger, and degenerate inputs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.online import DriftConfig, DriftDetector
+
+
+@pytest.fixture()
+def detector():
+    return DriftDetector(DriftConfig(window=8, min_samples=3,
+                                     max_mean_abs_log_error=0.5))
+
+
+class TestTrigger:
+    def test_empty_detector_is_calm(self, detector):
+        assert not detector.drifted()
+        assert detector.mean_abs_log_error == 0.0
+        assert detector.samples == 0
+
+    def test_below_min_samples_never_triggers(self, detector):
+        detector.update(100.0, 1.0)  # wildly wrong, but only one sample
+        detector.update(100.0, 1.0)
+        assert not detector.drifted()
+
+    def test_accurate_predictions_stay_calm(self, detector):
+        for _ in range(8):
+            detector.update(2.0, 2.1)
+        assert not detector.drifted()
+        assert detector.mean_abs_log_error == pytest.approx(
+            abs(math.log(2.0) - math.log(2.1))
+        )
+
+    def test_systematic_error_triggers(self, detector):
+        for _ in range(3):
+            detector.update(4.0, 1.0)  # off by 4x: |log| ~= 1.39
+        assert detector.drifted()
+
+    def test_over_and_under_prediction_weigh_equally(self, detector):
+        over = DriftDetector(detector.config)
+        under = DriftDetector(detector.config)
+        for _ in range(3):
+            over.update(4.0, 1.0)
+            under.update(1.0, 4.0)
+        assert over.mean_abs_log_error == pytest.approx(
+            under.mean_abs_log_error
+        )
+
+
+class TestWindow:
+    def test_old_residuals_age_out(self, detector):
+        for _ in range(8):
+            detector.update(10.0, 1.0)  # fill the window with drift
+        assert detector.drifted()
+        for _ in range(8):
+            detector.update(1.0, 1.0)  # a full window of perfection
+        assert not detector.drifted()
+        assert detector.mean_abs_log_error == 0.0
+
+    def test_reset_clears_the_window(self, detector):
+        for _ in range(4):
+            detector.update(10.0, 1.0)
+        detector.reset()
+        assert detector.samples == 0
+        assert not detector.drifted()
+
+
+class TestDegenerateInputs:
+    def test_non_positive_counts_as_maximal_drift(self, detector):
+        for _ in range(3):
+            detector.update(-1.0, 2.0)
+        assert detector.drifted()
+        assert detector.mean_abs_log_error == pytest.approx(1.0)  # 2x ceiling
+
+    def test_zero_measured_counts_as_maximal_drift(self, detector):
+        for _ in range(3):
+            detector.update(2.0, 0.0)
+        assert detector.drifted()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            DriftConfig(window=0)
+
+    def test_rejects_min_samples_beyond_window(self):
+        with pytest.raises(ValueError):
+            DriftConfig(window=4, min_samples=5)
+
+    def test_rejects_non_positive_ceiling(self):
+        with pytest.raises(ValueError):
+            DriftConfig(max_mean_abs_log_error=0.0)

@@ -1,0 +1,147 @@
+"""Generation registry tests: lineage, atomic promote/rollback, hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.core.objectives import Goal
+from repro.online import GenerationRegistry, generation_hash
+
+from tests.online.conftest import clone_database
+
+
+def _register(registry, models=None, databases=None, parent=None, at=0.0):
+    return registry.register(
+        models=models or {},
+        databases=databases or {},
+        parent=parent,
+        created_at=at,
+        source="test",
+    )
+
+
+class TestRegistry:
+    def test_ids_are_monotonic_and_never_reused(self):
+        registry = GenerationRegistry()
+        g0 = _register(registry)
+        g1 = _register(registry, parent=g0.id)
+        registry.promote(g1.id)
+        registry.rollback()
+        g2 = _register(registry, parent=g0.id)
+        assert (g0.id, g1.id, g2.id) == (0, 1, 2)
+
+    def test_promote_and_live(self):
+        registry = GenerationRegistry()
+        g0 = _register(registry)
+        assert registry.live() is None
+        registry.promote(g0.id)
+        assert registry.live() is g0
+
+    def test_promote_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            GenerationRegistry().promote(42)
+
+    def test_rollback_returns_parent(self):
+        registry = GenerationRegistry()
+        g0 = _register(registry)
+        g1 = _register(registry, parent=g0.id)
+        registry.promote(g1.id)
+        assert registry.rollback() is g0
+        assert registry.live() is g0
+
+    def test_rollback_without_live_raises(self):
+        with pytest.raises(RuntimeError, match="no live generation"):
+            GenerationRegistry().rollback()
+
+    def test_rollback_at_the_root_raises(self):
+        registry = GenerationRegistry()
+        g0 = _register(registry)
+        registry.promote(g0.id)
+        with pytest.raises(RuntimeError, match="no parent"):
+            registry.rollback()
+
+    def test_lineage_lists_identities_in_order(self):
+        registry = GenerationRegistry()
+        g0 = _register(registry)
+        _register(registry, parent=g0.id)
+        lineage = registry.lineage()
+        assert [g["id"] for g in lineage] == [0, 1]
+        assert lineage[1]["parent"] == 0
+        assert len(registry) == 2
+
+    def test_epoch_span_covers_all_databases(self, base_database):
+        registry = GenerationRegistry()
+        generation = _register(
+            registry, databases={"ec2-us-east": base_database}
+        )
+        epochs = [record.epoch for record in base_database]
+        assert generation.epoch_span == (min(epochs), max(epochs))
+        assert generation.platforms == ("ec2-us-east",)
+
+    def test_describe_is_json_compatible(self):
+        import json
+
+        registry = GenerationRegistry()
+        g0 = _register(registry)
+        json.dumps(g0.describe())  # must not raise
+
+    def test_equality_ignores_the_snapshot_payload(self, base_database):
+        registry = GenerationRegistry()
+        g0 = _register(registry, databases={"ec2-us-east": base_database})
+        twin = type(g0)(
+            id=g0.id,
+            parent=g0.parent,
+            artifact_hash=g0.artifact_hash,
+            epoch_span=g0.epoch_span,
+            platforms=g0.platforms,
+            created_at=g0.created_at,
+            source=g0.source,
+            models={},
+            databases={},
+        )
+        assert twin == g0  # compare=False on models/databases
+
+
+class TestGenerationHash:
+    def test_empty_generations_hash_equal(self):
+        assert generation_hash({}) == generation_hash({})
+
+    def test_hash_is_deterministic_for_retrained_twins(
+        self, context, base_database, feature_names
+    ):
+        from repro.core.configurator import Acic
+
+        def train():
+            acic = Acic(
+                clone_database(base_database),
+                goal=Goal.PERFORMANCE,
+                learner_name="cart",
+                feature_names=feature_names,
+            )
+            acic.train()
+            return {(context.platform.name, Goal.PERFORMANCE, "cart"): acic}
+
+        assert generation_hash(train()) == generation_hash(train())
+
+    def test_hash_sees_the_training_data(
+        self, context, base_database, contribution_records, feature_names
+    ):
+        from repro.core.configurator import Acic
+
+        def train(database: TrainingDatabase):
+            acic = Acic(
+                database,
+                goal=Goal.PERFORMANCE,
+                learner_name="cart",
+                feature_names=feature_names,
+            )
+            acic.train()
+            return {(context.platform.name, Goal.PERFORMANCE, "cart"): acic}
+
+        grown = clone_database(base_database)
+        for record in contribution_records:
+            grown.add(record)
+        assert generation_hash(train(clone_database(base_database))) != (
+            generation_hash(train(grown))
+        )

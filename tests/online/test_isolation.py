@@ -1,0 +1,123 @@
+"""Isolated (out-of-process) candidate training.
+
+The headline property: an isolated build is byte-identical to an
+in-process one — same artifact documents, same generation hash — so
+promotion identity survives the process boundary.  The child itself is
+exercised for real once (a spawned interpreter is slow on a small CI
+box; every other test drives :func:`train_candidate` inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.online import OnlineConfig
+from repro.online.isolation import train_candidate, train_candidate_isolated
+from repro.serving.artifacts import ArtifactError, artifact_from_dict
+
+from tests.online.conftest import clone_database
+from tests.online.test_coordinator import contribution_db
+
+
+def _request(context, base_database, feature_names, extra_records=()):
+    database = clone_database(base_database)
+    for record in extra_records:
+        database.add(record)
+    return {
+        "databases": {context.platform.name: database.to_payload()},
+        "keys": [[context.platform.name, Goal.PERFORMANCE.value, "cart"]],
+        "feature_names": list(feature_names),
+    }
+
+
+class TestInlineFunction:
+    def test_artifacts_verify_and_are_deterministic(
+        self, context, base_database, feature_names
+    ):
+        request = _request(context, base_database, feature_names)
+        first = train_candidate(request)
+        second = train_candidate(request)
+        assert first == second
+        (payload,) = first["artifacts"]
+        artifact = artifact_from_dict(payload)  # content hash verifies
+        assert artifact.platform == context.platform.name
+        assert artifact.database_points == len(base_database)
+
+    def test_unknown_platform_key_is_skipped(
+        self, context, base_database, feature_names
+    ):
+        request = _request(context, base_database, feature_names)
+        request["keys"].append(["gce-nowhere", "performance", "cart"])
+        assert len(train_candidate(request)["artifacts"]) == 1
+
+    def test_unknown_learner_raises(
+        self, context, base_database, feature_names
+    ):
+        request = _request(context, base_database, feature_names)
+        request["keys"][0][2] = "no-such-learner"
+        with pytest.raises(Exception):
+            train_candidate(request)
+
+
+class TestSubprocess:
+    def test_child_matches_the_inline_build(
+        self, context, base_database, feature_names
+    ):
+        request = _request(context, base_database, feature_names)
+        assert train_candidate_isolated(request, timeout_s=300.0) == (
+            train_candidate(request)
+        )
+
+    def test_child_error_surfaces_as_runtime_error(
+        self, context, base_database, feature_names
+    ):
+        request = _request(context, base_database, feature_names)
+        request["keys"][0][2] = "no-such-learner"
+        with pytest.raises(RuntimeError, match="isolated retrain"):
+            train_candidate_isolated(request, timeout_s=300.0)
+
+
+class TestCoordinatorIntegration:
+    def test_isolated_promotion_hash_matches_in_process(
+        self, make_online, context, contribution_records
+    ):
+        """The same stream promotes to the same generation hash whether
+        the candidate trained in this interpreter or a child."""
+        hashes = []
+        for isolate in (False, True):
+            service, _log, _clock, coordinator = make_online(
+                config_overrides={"isolate_retrain": isolate,
+                                  "retrain_timeout_s": 300.0}
+            )
+            service.contribute(
+                context.platform.name,
+                contribution_db(context.platform.name, contribution_records),
+            )
+            assert coordinator.run_once() == "promoted"
+            hashes.append(coordinator.registry.live().artifact_hash)
+        assert hashes[0] == hashes[1]
+
+    def test_isolated_build_failure_feeds_the_breaker(
+        self, make_online, context, contribution_records, monkeypatch
+    ):
+        service, log, _clock, coordinator = make_online(
+            config_overrides={"isolate_retrain": True}
+        )
+        monkeypatch.setattr(
+            "repro.online.coordinator.OnlineCoordinator._train_isolated",
+            lambda self, ordered, databases: (_ for _ in ()).throw(
+                RuntimeError("isolated retrain exceeded 1s")
+            ),
+        )
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        assert coordinator.run_once() == "failed"
+        assert log.pending_count() == len(contribution_records)
+        assert coordinator.status()["counters"]["retrain_failures"] == 1
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(retrain_timeout_s=0.0)

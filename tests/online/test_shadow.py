@@ -1,0 +1,193 @@
+"""Shadow-gate tests, hermetic: stub models make every axis steerable.
+
+The evaluator only needs ``recommend`` (overlap + latency axes) and an
+``encoder``/``model`` pair (relative-error axis), so the stubs below
+steer each axis independently without training anything.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.objectives import Goal
+from repro.online import LogEntry, ShadowEvaluator, ShadowGateConfig
+from repro.service.api import QueryRequest
+from repro.telemetry import ManualClock
+
+KEY = ("p", Goal.PERFORMANCE, "cart")
+
+
+class StubModel:
+    """Answers with fixed config keys and a fixed predicted ratio."""
+
+    def __init__(self, keys, predicted=1.0, clock=None, cost_s=0.0):
+        self._keys = tuple(keys)
+        self._clock = clock
+        self._cost_s = cost_s
+        self.encoder = SimpleNamespace(encode_many=lambda values: values)
+        self.model = SimpleNamespace(
+            predict=lambda X: [math.log(predicted)] * len(X)
+        )
+
+    def recommend(self, characteristics, top_k=3):
+        if self._clock is not None and self._cost_s:
+            self._clock.advance(self._cost_s)
+        return [
+            SimpleNamespace(config=SimpleNamespace(key=key))
+            for key in self._keys[:top_k]
+        ]
+
+
+def request(platform="p", goal=Goal.PERFORMANCE, learner="cart"):
+    from repro.space.characteristics import (
+        AppCharacteristics,
+        IOInterface,
+        OpKind,
+    )
+    from repro.util.units import MIB
+
+    chars = AppCharacteristics(
+        num_processes=64,
+        num_io_processes=64,
+        interface=IOInterface.MPIIO,
+        iterations=10,
+        data_bytes=16 * MIB,
+        request_bytes=4 * MIB,
+        op=OpKind.WRITE,
+        collective=True,
+        shared_file=True,
+    )
+    return QueryRequest(
+        characteristics=chars, goal=goal, platform=platform, learner=learner
+    )
+
+
+class TestReplayBuffer:
+    def test_buffer_is_bounded_oldest_first_out(self):
+        evaluator = ShadowEvaluator(ShadowGateConfig(max_replay=4))
+        for index in range(10):
+            evaluator.observe(index)
+        assert evaluator.replay_buffer() == [6, 7, 8, 9]
+
+    def test_clear_empties_the_buffer(self):
+        evaluator = ShadowEvaluator()
+        evaluator.observe(request())
+        evaluator.clear()
+        assert evaluator.replay_buffer() == []
+
+
+class TestGateAxes:
+    def test_insufficient_replay_defers(self):
+        evaluator = ShadowEvaluator(ShadowGateConfig(min_observations=1))
+        report = evaluator.evaluate({KEY: StubModel("ab")}, {KEY: StubModel("ab")})
+        assert not report.passed
+        assert report.observations == 0
+        assert report.reasons[0].startswith("insufficient_replay")
+
+    def test_identical_candidate_passes_with_full_overlap(self):
+        evaluator = ShadowEvaluator(ShadowGateConfig(min_observations=1))
+        evaluator.observe(request())
+        report = evaluator.evaluate(
+            {KEY: StubModel("abc")}, {KEY: StubModel("abc")}
+        )
+        assert report.passed
+        assert report.observations == 1
+        assert report.topk_overlap == 1.0
+
+    def test_divergent_rankings_fail_overlap(self):
+        evaluator = ShadowEvaluator(
+            ShadowGateConfig(min_observations=1, min_topk_overlap=0.5)
+        )
+        evaluator.observe(request())
+        report = evaluator.evaluate(
+            {KEY: StubModel("abc")}, {KEY: StubModel("xyz")}
+        )
+        assert not report.passed
+        assert report.topk_overlap == 0.0
+        assert any(r.startswith("topk_overlap") for r in report.reasons)
+
+    def test_only_keys_in_both_generations_replay(self):
+        evaluator = ShadowEvaluator(ShadowGateConfig(min_observations=1))
+        evaluator.observe(request(learner="knn"))  # candidate lacks knn
+        evaluator.observe(request())
+        report = evaluator.evaluate(
+            {
+                KEY: StubModel("ab"),
+                ("p", Goal.PERFORMANCE, "knn"): StubModel("ab"),
+            },
+            {KEY: StubModel("ab")},
+        )
+        assert report.observations == 1
+
+    def test_relative_error_checks_contributed_ground_truth(
+        self, contribution_records
+    ):
+        evaluator = ShadowEvaluator(
+            ShadowGateConfig(min_observations=0, max_relative_error=0.75)
+        )
+        record = contribution_records[0]
+        entries = [LogEntry(seq=1, platform="p", record=record)]
+        # Candidate predicts exactly the measured ratio: error 0, passes.
+        honest = StubModel("ab", predicted=record.target(Goal.PERFORMANCE))
+        report = evaluator.evaluate({}, {KEY: honest}, entries)
+        assert report.passed
+        assert report.relative_error == pytest.approx(0.0)
+        # Candidate off by 3x on its own training data: broken.
+        wild = StubModel(
+            "ab", predicted=3.0 * record.target(Goal.PERFORMANCE)
+        )
+        report = evaluator.evaluate({}, {KEY: wild}, entries)
+        assert not report.passed
+        assert report.relative_error == pytest.approx(2.0)
+        assert any(r.startswith("relative_error") for r in report.reasons)
+
+    def test_slow_candidate_fails_latency(self):
+        clock = ManualClock()
+        evaluator = ShadowEvaluator(
+            ShadowGateConfig(min_observations=1, max_latency_ratio=5.0),
+            clock=clock,
+        )
+        evaluator.observe(request())
+        report = evaluator.evaluate(
+            {KEY: StubModel("ab", clock=clock, cost_s=0.01)},
+            {KEY: StubModel("ab", clock=clock, cost_s=0.10)},
+        )
+        assert not report.passed
+        assert report.latency_ratio == pytest.approx(10.0)
+        assert any(r.startswith("latency_ratio") for r in report.reasons)
+
+    def test_zero_live_time_means_latency_parity(self):
+        # A ManualClock that never advances reads zero elapsed time for
+        # both replays: the ratio is unmeasurable, not a failure.
+        evaluator = ShadowEvaluator(
+            ShadowGateConfig(min_observations=1), clock=ManualClock()
+        )
+        evaluator.observe(request())
+        report = evaluator.evaluate(
+            {KEY: StubModel("ab")}, {KEY: StubModel("ab")}
+        )
+        assert report.passed
+        assert report.latency_ratio is None
+
+
+class TestConfigValidation:
+    def test_rejects_bad_replay_capacity(self):
+        with pytest.raises(ValueError):
+            ShadowGateConfig(max_replay=0)
+
+    def test_rejects_overlap_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            ShadowGateConfig(min_topk_overlap=1.5)
+
+    def test_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError):
+            ShadowGateConfig(max_relative_error=0.0)
+
+    def test_report_describe_is_json_compatible(self):
+        import json
+
+        evaluator = ShadowEvaluator(ShadowGateConfig(min_observations=0))
+        json.dumps(evaluator.evaluate({}, {}).describe())

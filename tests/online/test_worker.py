@@ -1,0 +1,97 @@
+"""Retrain-worker tests: scheduling, error containment, lifecycle."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.online import RetrainWorker
+
+from tests.online.test_coordinator import contribution_db
+
+
+def _wait_for(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached within timeout")
+
+
+class TestLifecycle:
+    def test_start_is_idempotent_and_stop_joins(self, make_online):
+        _service, _log, _clock, coordinator = make_online()
+        worker = RetrainWorker(coordinator, interval_s=0.01)
+        assert worker.start() is worker
+        thread_alive = worker.running
+        worker.start()  # second start is a no-op
+        assert thread_alive and worker.running
+        worker.stop()
+        assert not worker.running
+
+    def test_context_manager_runs_and_stops(self, make_online):
+        _service, _log, _clock, coordinator = make_online()
+        with RetrainWorker(coordinator, interval_s=0.01) as worker:
+            _wait_for(lambda: worker.cycles_completed >= 2)
+        assert not worker.running
+
+    def test_rejects_non_positive_interval(self, make_online):
+        _service, _log, _clock, coordinator = make_online()
+        with pytest.raises(ValueError):
+            RetrainWorker(coordinator, interval_s=0.0)
+
+    def test_interval_defaults_to_the_coordinator_config(self, make_online):
+        _service, _log, _clock, coordinator = make_online()
+        worker = RetrainWorker(coordinator)
+        assert worker.interval_s == coordinator.config.poll_interval_s
+
+
+class TestDriving:
+    def test_worker_promotes_a_pending_batch(
+        self, make_online, context, contribution_records
+    ):
+        service, _log, _clock, coordinator = make_online()
+        service.contribute(
+            context.platform.name,
+            contribution_db(context.platform.name, contribution_records),
+        )
+        with RetrainWorker(coordinator, interval_s=0.01):
+            _wait_for(lambda: coordinator.last_outcome == "promoted")
+        assert service.generation == 1
+
+    def test_kick_wakes_the_worker_early(
+        self, make_online, context, contribution_records
+    ):
+        service, _log, _clock, coordinator = make_online()
+        # A long interval the test never waits out: only kick() can get
+        # the second cycle to run promptly.
+        with RetrainWorker(coordinator, interval_s=600.0) as worker:
+            _wait_for(lambda: worker.cycles_completed >= 1)
+            service.contribute(
+                context.platform.name,
+                contribution_db(context.platform.name, contribution_records),
+            )
+            worker.kick()
+            _wait_for(lambda: coordinator.last_outcome == "promoted")
+        assert service.generation == 1
+
+
+class TestErrorContainment:
+    def test_a_crashing_cycle_never_kills_the_loop(
+        self, make_online, monkeypatch
+    ):
+        _service, _log, _clock, coordinator = make_online()
+        monkeypatch.setattr(
+            coordinator,
+            "run_once",
+            lambda force=False: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        errors = coordinator.metrics.counter(
+            "online.worker_errors", "cycles that raised inside the worker"
+        )
+        with RetrainWorker(coordinator, interval_s=0.01) as worker:
+            _wait_for(lambda: worker.cycles_completed >= 3)
+            assert worker.running  # still breathing after the crashes
+        assert errors.value >= 3

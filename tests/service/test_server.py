@@ -330,3 +330,47 @@ class TestPersistence:
         service.save(tmp_path)
         loaded = AcicService.load(tmp_path)
         assert loaded.stats().cache_capacity == 16
+
+
+class TestShardedLoad:
+    """The ``platforms=`` filter cluster replicas use to warm a shard."""
+
+    @pytest.fixture(scope="class")
+    def packed(self, context, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("shard-pack")
+        service = AcicService(
+            feature_names=tuple(
+                context.screening.ranked_names()[: context.top_m]
+            )
+        )
+        service.host_database(context.database)
+        service.warm(context.platform.name, Goal.PERFORMANCE)
+        service.save(directory)
+        return directory
+
+    def test_empty_filter_loads_nothing(self, packed):
+        # platforms=[] is the "--platforms ''" shard sentinel: a real
+        # assignment of zero shards, not "load everything".
+        loaded = AcicService.load(packed, platforms=[])
+        assert loaded.stats().platforms == 0
+        assert loaded.stats().total_records == 0
+        assert list(loaded.platforms) == []
+        assert loaded.stats().models_trained == 0
+
+    def test_named_platform_loads_its_shard(self, packed, context):
+        loaded = AcicService.load(packed, platforms=[context.platform.name])
+        assert list(loaded.platforms) == [context.platform.name]
+        assert loaded.stats().models_trained == 0
+
+    def test_unknown_platform_in_filter_rejected(self, packed, context):
+        with pytest.raises(ServiceError, match="gce-nowhere"):
+            AcicService.load(
+                packed, platforms=[context.platform.name, "gce-nowhere"]
+            )
+
+    def test_manifest_platforms_on_zero_database_pack(self, tmp_path):
+        AcicService(feature_names=("f1",)).save(tmp_path)
+        assert AcicService.manifest_platforms(tmp_path) == []
+        # And the filter against it: nothing is loadable by name.
+        with pytest.raises(ServiceError, match="no database"):
+            AcicService.load(tmp_path, platforms=["ec2-us-east"])
