@@ -84,6 +84,8 @@ def tied_champions(
     scored: Sequence[tuple[float, SystemConfig]]
 ) -> list[SystemConfig]:
     """All candidates tied (within 1e-9) with the best score, key-sorted."""
+    if not scored:
+        return []
     best = max(score for score, _ in scored)
     return sorted(
         (config for score, config in scored if abs(score - best) <= 1e-9),

@@ -5,10 +5,13 @@ but stresses that ACIC "is implemented in the way that different learning
 algorithms can be easily plugged in"; this package provides the from-scratch
 CART regression tree (with cost-complexity pruning), two alternative
 learners (k-NN and ridge regression) and the plug-in registry.
+:mod:`repro.ml.flat` packs fitted trees/forests into flat numpy arrays
+for vectorized, bit-identical inference — the serving hot path.
 """
 
 from repro.ml.encoding import FeatureEncoder
 from repro.ml.cart import CartNode, CartTree
+from repro.ml.flat import FlatForest, FlatTree, flat_from_dict, flatten_learner
 from repro.ml.pruning import cost_complexity_prune, prune_path
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.knn import KnnRegressor
@@ -19,6 +22,10 @@ __all__ = [
     "FeatureEncoder",
     "CartNode",
     "CartTree",
+    "FlatForest",
+    "FlatTree",
+    "flat_from_dict",
+    "flatten_learner",
     "cost_complexity_prune",
     "prune_path",
     "RandomForestRegressor",

@@ -155,7 +155,13 @@ class OnlineCoordinator:
         )
         self.registry = GenerationRegistry(metrics=self.metrics)
         self.shadow = ShadowEvaluator(
-            self.config.shadow, clock=self.clock, metrics=self.metrics
+            self.config.shadow,
+            clock=self.clock,
+            metrics=self.metrics,
+            # Replay through the serving tier's engine configuration —
+            # flat core and shared candidate matrices when present.
+            use_flat=getattr(service, "use_flat", True),
+            matrix_cache=getattr(service, "_matrix_cache", None),
         )
         self.drift = DriftDetector(self.config.drift, metrics=self.metrics)
         self.last_report: ShadowReport | None = None

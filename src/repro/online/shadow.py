@@ -21,6 +21,13 @@ candidate models and grades three axes:
 
 The gate passes only when every axis is within its configured bound and
 enough real traffic was observed to make the replay meaningful.
+
+Replays run through the same :class:`~repro.serving.engine.
+BatchQueryEngine` path production traffic uses (flat core included, and
+sharing the service's candidate-matrix cache when wired by the
+coordinator) — so the latency axis measures the engine the candidate
+would actually serve from.  Engine construction happens *before* the
+timed replay windows; only ``recommend`` calls are clocked.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serving.engine import BatchQueryEngine
 from repro.telemetry import Clock, MonotonicClock
 
 __all__ = ["ShadowGateConfig", "ShadowReport", "ShadowEvaluator"]
@@ -111,6 +119,11 @@ class ShadowEvaluator:
             makes the ratio vacuous — both replays read zero).
         metrics: registry for the ``online.shadow.*`` latency
             histograms (None = no accounting).
+        use_flat: replay through the models' packed flat twins, like
+            the serving path (default); False walks the object trees.
+        matrix_cache: share the serving tier's encoded candidate
+            matrices (:class:`~repro.serving.matrix.
+            CandidateMatrixCache`); None builds private matrices.
 
     :meth:`observe` is called from the serving hot path (under the
     service lock) and only appends to a bounded deque — O(1), no model
@@ -122,8 +135,12 @@ class ShadowEvaluator:
         config: ShadowGateConfig | None = None,
         clock: Clock | None = None,
         metrics=None,
+        use_flat: bool = True,
+        matrix_cache=None,
     ) -> None:
         self.config = config if config is not None else ShadowGateConfig()
+        self.use_flat = use_flat
+        self.matrix_cache = matrix_cache
         self.clock = clock if clock is not None else MonotonicClock()
         self._lock = threading.Lock()
         self._replay: deque = deque(maxlen=self.config.max_replay)
@@ -172,14 +189,30 @@ class ShadowEvaluator:
         requests = self.replay_buffer()
         reasons: list[str] = []
 
+        # Build both generations' engines up front — matrix encoding and
+        # model flattening are cold-start costs, not per-query serving
+        # time, so they stay outside the clocked replay windows.
+        live_engines: dict = {}
+        candidate_engines: dict = {}
+        for request in requests:
+            key = (request.platform, request.goal, request.learner)
+            if key in live_engines:
+                continue
+            live = live_models.get(key)
+            candidate = candidate_models.get(key)
+            if live is None or candidate is None:
+                continue
+            live_engines[key] = self._engine(live, key)
+            candidate_engines[key] = self._engine(candidate, key)
+
         overlaps: list[float] = []
         live_elapsed = 0.0
         candidate_elapsed = 0.0
         replayed = 0
         for request in requests:
             key = (request.platform, request.goal, request.learner)
-            live = live_models.get(key)
-            candidate = candidate_models.get(key)
+            live = live_engines.get(key)
+            candidate = candidate_engines.get(key)
             if live is None or candidate is None:
                 continue
             replayed += 1
@@ -244,6 +277,23 @@ class ShadowEvaluator:
         )
 
     # ------------------------------------------------------------------
+    def _engine(self, acic, key):
+        """A replay engine for one model — the production serving path.
+
+        Anything that is not a full configurator (hermetic stub models
+        in tests expose only ``recommend``) replays as itself; engines
+        and models share the ``recommend(chars, top_k=...)`` surface.
+        """
+        encoder = getattr(acic, "encoder", None)
+        if encoder is None or not hasattr(encoder, "parameters"):
+            return acic
+        return BatchQueryEngine(
+            acic,
+            use_flat=self.use_flat,
+            matrix_cache=self.matrix_cache,
+            cache_scope=(key[0], key[2]) if self.matrix_cache is not None else None,
+        )
+
     @staticmethod
     def _relative_error(candidate_models: dict, entries) -> float | None:
         """Mean |predicted − measured| / measured on contributed records.

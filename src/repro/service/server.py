@@ -76,6 +76,7 @@ from repro.serving.artifacts import (
 )
 from repro.serving.cache import LruCache
 from repro.serving.engine import BatchQueryEngine
+from repro.serving.matrix import CandidateMatrixCache
 from repro.telemetry import Clock, MetricsRegistry, Telemetry, get_telemetry
 from repro.telemetry.logging import get_logger
 
@@ -148,6 +149,10 @@ class AcicService:
             monotonic clock by default; chaos tests pass a ManualClock).
         sleep: ``sleep(seconds)`` used by retry backoff
             (:func:`time.sleep` by default; tests pass a VirtualSleeper).
+        use_flat: serve through the packed :mod:`repro.ml.flat` twins
+            of the hosted models (the raw-speed default); False keeps
+            the legacy object-tree walk.  Answers are identical either
+            way — the differential suite's guarantee.
     """
 
     def __init__(
@@ -158,6 +163,7 @@ class AcicService:
         reliability: ReliabilityPolicy | None = None,
         clock: Clock | None = None,
         sleep=time.sleep,
+        use_flat: bool = True,
     ) -> None:
         self.feature_names = feature_names
         self._telemetry = telemetry
@@ -169,9 +175,11 @@ class AcicService:
         self.resilience: Resilience = policy.build(
             self.metrics, clock=clock, sleep=sleep
         )
+        self.use_flat = use_flat
         self._databases: dict[str, TrainingDatabase] = {}
         self._models: dict[_ModelKey, Acic] = {}
         self._engines: dict[_ModelKey, BatchQueryEngine] = {}
+        self._matrix_cache = CandidateMatrixCache(metrics=self.metrics)
         self._cache: LruCache[tuple, QueryResponse] = LruCache(
             cache_capacity, metrics=self.metrics, name="service.cache"
         )
@@ -488,12 +496,16 @@ class AcicService:
         directory: str | Path,
         reliability: ReliabilityPolicy | None = None,
         platforms: Sequence[str] | None = None,
+        use_flat: bool = True,
     ) -> "AcicService":
         """Warm-start a service from a :meth:`save` directory.
 
         Databases are re-hosted and every packed model is loaded from its
         verified artifact — no retraining (``models_trained`` stays 0
-        until a query needs a model the pack did not carry).
+        until a query needs a model the pack did not carry).  With
+        ``use_flat`` (the default), version-2 artifacts keep their
+        models in packed-array form — cold start is O(header + buffer
+        copy) per model, no node-tree rebuild.
 
         Args:
             directory: a :meth:`save` output directory.
@@ -501,6 +513,8 @@ class AcicService:
             platforms: when given, load only these platforms' databases
                 and models — the shard-aware path cluster replicas use
                 to warm just the shards the ring assigns them.
+            use_flat: serve through packed flat models; False rebuilds
+                the full object trees and walks them (legacy engine).
 
         Raises:
             ServiceError: missing/malformed manifest, or a requested
@@ -525,6 +539,7 @@ class AcicService:
             feature_names=tuple(names) if names else None,
             cache_capacity=manifest.get("cache_capacity", 1024),
             reliability=reliability,
+            use_flat=use_flat,
         )
         service.generation = int(manifest.get("generation", 0))
         for entry in manifest.get("databases", ()):
@@ -534,7 +549,7 @@ class AcicService:
         for entry in manifest.get("models", ()):
             if wanted is not None and entry["platform"] not in wanted:
                 continue
-            artifact = load_artifact(directory / entry["file"])
+            artifact = load_artifact(directory / entry["file"], materialize=not use_flat)
             database = service._database_for(artifact.platform)
             key = (artifact.platform, artifact.goal, artifact.learner)
             service._models[key] = acic_from_artifact(database, artifact)
@@ -712,7 +727,12 @@ class AcicService:
     def _engine_for(self, key: _ModelKey) -> BatchQueryEngine:
         engine = self._engines.get(key)
         if engine is None:
-            engine = BatchQueryEngine(self._model_for(*key))
+            engine = BatchQueryEngine(
+                self._model_for(*key),
+                use_flat=self.use_flat,
+                matrix_cache=self._matrix_cache,
+                cache_scope=(key[0], key[2]),
+            )
             self._engines[key] = engine
         return engine
 
@@ -737,6 +757,7 @@ class AcicService:
         self._engines = {
             key: engine for key, engine in self._engines.items() if not affected(key)
         }
+        self._matrix_cache.invalidate(platform, learners)
         self._epoch_spans.pop(platform, None)
         dropped = self._cache.drop_where(
             lambda _key, response: response.platform == platform

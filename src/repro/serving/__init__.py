@@ -9,7 +9,11 @@ stack:
   versioned, hash-verified JSON artifact (train once, ship everywhere);
 * :mod:`repro.serving.engine` — :class:`BatchQueryEngine` precomputes the
   candidate-grid feature matrix per model and answers query batches with
-  one vectorized prediction pass;
+  one vectorized prediction pass (through the packed
+  :mod:`repro.ml.flat` core by default);
+* :mod:`repro.serving.matrix` — :class:`CandidateMatrixCache` shares
+  those encoded candidate matrices across engine rebuilds, with scoped
+  invalidation on online promotion/rollback;
 * :mod:`repro.serving.cache` — a bounded LRU with hit/miss/eviction
   counters backing the service's response cache.
 
@@ -22,6 +26,7 @@ from repro.serving.artifacts import (
     ARTIFACT_VERSION,
     ArtifactError,
     ModelArtifact,
+    PackedLearner,
     acic_from_artifact,
     artifact_from_dict,
     artifact_to_dict,
@@ -30,12 +35,14 @@ from repro.serving.artifacts import (
 )
 from repro.serving.cache import CacheStats, LruCache
 from repro.serving.engine import BatchQueryEngine
+from repro.serving.matrix import CandidateMatrix, CandidateMatrixCache
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "ArtifactError",
     "ModelArtifact",
+    "PackedLearner",
     "acic_from_artifact",
     "artifact_from_dict",
     "artifact_to_dict",
@@ -44,4 +51,6 @@ __all__ = [
     "CacheStats",
     "LruCache",
     "BatchQueryEngine",
+    "CandidateMatrix",
+    "CandidateMatrixCache",
 ]

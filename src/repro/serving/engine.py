@@ -6,16 +6,21 @@ re-enumerates and re-encodes that grid per query — fine for one user,
 wasteful for a service.  :class:`BatchQueryEngine` hoists the invariant
 work out of the per-query path:
 
-* the candidate set is enumerated once per model,
-* each candidate's system-side feature columns are encoded once into a
-  base matrix,
+* the candidate set is enumerated once per model, its system-side
+  feature columns encoded once into a base matrix (shareable across
+  engines via :class:`~repro.serving.matrix.CandidateMatrixCache`),
+* per-workload valid-row index sets are memoized, so repeat workload
+  shapes skip the Python validity sweep entirely,
 * a query only encodes its nine application-side values (one row, not
   one per candidate), broadcasts them across the base matrix, and runs
-  a single vectorized ``predict`` over all candidates.
+  a single vectorized ``predict`` over all candidates,
+* with ``use_flat`` (the default) that predict runs through the packed
+  :mod:`repro.ml.flat` twin of the model — array passes instead of
+  Python node recursion, bit-identical by the differential suite.
 
 Ranking goes through :func:`repro.core.configurator.rank_scored`, so the
 engine's recommendations are *identical* to the sequential path — the
-property the tier-1 tests pin down.
+property the tier-1 tests pin down, flat or not.
 
 When telemetry is enabled (:mod:`repro.telemetry`), every batch pass
 emits a ``serving.recommend_batch`` span with a nested
@@ -36,13 +41,14 @@ from repro.core.configurator import (
     rank_scored,
     tied_champions,
 )
-from repro.ml.encoding import characteristics_values, config_values
+from repro.ml.encoding import characteristics_values
+from repro.ml.flat import flatten_learner
 from repro.reliability.faults import get_injector
+from repro.serving.artifacts import PackedLearner
+from repro.serving.matrix import CandidateMatrix, CandidateMatrixCache
 from repro.space.characteristics import AppCharacteristics
 from repro.space.configuration import SystemConfig
 from repro.space.grid import candidate_configs
-from repro.space.parameters import ParameterKind
-from repro.space.validity import is_valid_point
 from repro.telemetry import get_telemetry
 
 __all__ = ["BatchQueryEngine"]
@@ -57,48 +63,77 @@ class BatchQueryEngine:
             grid (every valid system configuration).  Per query,
             candidates that cannot host the workload are masked out —
             the same filter :func:`candidate_configs` applies.
+        use_flat: serve predictions through the model's packed flat
+            twin when it has one (CART / forest / artifact-packed);
+            False forces the legacy object-tree walk.  Either way the
+            answers are identical.
+        matrix_cache: share encoded candidate matrices across engine
+            rebuilds through this cache; None builds a private matrix.
+        cache_scope: ``(platform, learner)`` invalidation scope for the
+            shared cache (required when ``matrix_cache`` is given).
     """
 
     def __init__(
-        self, acic: Acic, candidates: Sequence[SystemConfig] | None = None
+        self,
+        acic: Acic,
+        candidates: Sequence[SystemConfig] | None = None,
+        *,
+        use_flat: bool = True,
+        matrix_cache: CandidateMatrixCache | None = None,
+        cache_scope: tuple[str, str] | None = None,
     ) -> None:
         acic.model  # fail fast when untrained
         self.acic = acic
-        self.candidates: tuple[SystemConfig, ...] = tuple(
+        resolved = tuple(
             candidates if candidates is not None else candidate_configs()
         )
-        encoder = acic.encoder
-        kinds = [p.kind for p in encoder.parameters]
-        self._system_columns = np.array(
-            [i for i, kind in enumerate(kinds) if kind is ParameterKind.SYSTEM],
-            dtype=int,
-        )
-        self._application_columns = np.array(
-            [i for i, kind in enumerate(kinds) if kind is ParameterKind.APPLICATION],
-            dtype=int,
-        )
+        if matrix_cache is not None:
+            if cache_scope is None:
+                raise ValueError("matrix_cache requires a (platform, learner) scope")
+            platform, learner = cache_scope
+            self._matrix = matrix_cache.lease(
+                platform, learner, acic.encoder, resolved
+            )
+        else:
+            self._matrix = CandidateMatrix(acic.encoder, resolved)
+        self.candidates: tuple[SystemConfig, ...] = self._matrix.candidates
+        self._system_columns = self._matrix.system_columns
+        self._application_columns = self._matrix.application_columns
         # Base matrix: system-side columns encoded once per candidate;
-        # application-side columns are filled per query.
-        self._base = np.zeros((len(self.candidates), encoder.width), dtype=float)
-        for row, config in enumerate(self.candidates):
-            encoded = encoder.encode_values(config_values(config))
-            self._base[row, self._system_columns] = encoded[self._system_columns]
+        # application-side columns are filled per query (on copies — the
+        # shared base itself is read-only).
+        self._base = self._matrix.base
+        self._flat = flatten_learner(acic.model) if use_flat else None
+        if self._flat is not None:
+            self._predictor = self._flat
+        elif isinstance(acic.model, PackedLearner) and not use_flat:
+            # An artifact-decoded model predicts through its packed twin
+            # by default; a legacy engine must genuinely walk the object
+            # tree, so force materialization.
+            self._predictor = acic.model.materialize()
+        else:
+            self._predictor = acic.model
+
+    @property
+    def engine_kind(self) -> str:
+        """"flat" when serving packed arrays, "tree" on the legacy walk."""
+        return "flat" if self._flat is not None else "tree"
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        """One vectorized model call — flat twin when available."""
+        return self._predictor.predict(X)
 
     # ------------------------------------------------------------------
     def _join(
         self, chars: AppCharacteristics
     ) -> tuple[np.ndarray, list[SystemConfig]]:
         """(feature matrix, candidate list) for one query's valid join."""
-        valid = [
-            row
-            for row, config in enumerate(self.candidates)
-            if is_valid_point(config, chars)
-        ]
-        X = self._base[valid, :]
+        rows = self._matrix.valid_rows(chars)
+        X = self._base[rows, :]
         if self._application_columns.size:
             encoded = self.acic.encoder.encode_values(characteristics_values(chars))
             X[:, self._application_columns] = encoded[self._application_columns]
-        return X, [self.candidates[row] for row in valid]
+        return X, [self.candidates[row] for row in rows]
 
     def score(
         self, chars: AppCharacteristics
@@ -111,7 +146,7 @@ class BatchQueryEngine:
                 return np.empty(0, dtype=float), candidates
             get_injector().perturb("serving.predict")
             with telemetry.span("serving.predict", rows=X.shape[0]):
-                scores = np.exp(self.acic.model.predict(X))
+                scores = np.exp(self._predict(X))
         telemetry.counter("serving.queries").inc()
         telemetry.counter("serving.candidates_scored").inc(X.shape[0])
         return scores, candidates
@@ -136,7 +171,8 @@ class BatchQueryEngine:
 
         Rows for all queries are stacked into a single feature matrix and
         the learner runs once over the whole batch, then each query's
-        slice is ranked independently.
+        slice is ranked independently.  An empty query list is a no-op
+        returning an empty result list.
         """
         telemetry = get_telemetry()
         with telemetry.span("serving.recommend_batch", queries=len(queries)):
@@ -148,7 +184,7 @@ class BatchQueryEngine:
             stacked = np.vstack(blocks)
             get_injector().perturb("serving.predict")
             with telemetry.span("serving.predict", rows=stacked.shape[0]):
-                predictions = np.exp(self.acic.model.predict(stacked))
+                predictions = np.exp(self._predict(stacked))
             with telemetry.span("serving.rank"):
                 results: list[list[Recommendation]] = []
                 offset = 0

@@ -1,0 +1,183 @@
+"""Shared cache of encoded candidate matrices, scoped for invalidation.
+
+Every :class:`~repro.serving.engine.BatchQueryEngine` needs the same
+invariant per model: the candidate set's system-side feature columns
+encoded into a base matrix, plus the per-workload valid-row index sets.
+Engines are rebuilt whenever a model changes — lazily after a community
+contribution, wholesale on an online promotion or rollback — and before
+this cache each rebuild re-encoded the whole grid from scratch.
+
+:class:`CandidateMatrixCache` memoizes those encodings per
+``(platform, learner)`` scope (plus the encoder layout and candidate
+set, so a generation that *does* change the feature columns can never
+be served a stale matrix).  Promotion/rollback invalidation is scoped:
+:meth:`CandidateMatrixCache.invalidate` drops exactly the affected
+``(platform, learner)`` entries and leaves every other platform's
+matrices warm — the property the cache-invalidation tests pin with
+counter assertions (``serving.candidate_matrix.*``).
+
+Entries are shared across goals and across engine rebuilds; the base
+matrix is marked read-only and engines copy rows out of it, so sharing
+is safe.  A lock serializes mutation — the shadow evaluator leases
+entries from the retrain worker's thread while serving leases from the
+request path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+
+from repro.ml.encoding import config_values
+from repro.space.parameters import ParameterKind
+from repro.space.validity import is_valid_point
+
+__all__ = ["CandidateMatrix", "CandidateMatrixCache"]
+
+
+class CandidateMatrix:
+    """One cached encoding of a candidate set for one column layout.
+
+    Attributes:
+        candidates: the candidate configurations, in row order.
+        base: (n_candidates, width) float64 matrix with the system-side
+            columns encoded (read-only; application-side columns are
+            zero and filled per query on copies).
+        system_columns / application_columns: column index arrays by
+            :class:`~repro.space.parameters.ParameterKind`.
+    """
+
+    def __init__(self, encoder, candidates) -> None:
+        self.candidates = tuple(candidates)
+        kinds = [p.kind for p in encoder.parameters]
+        self.system_columns = np.array(
+            [i for i, kind in enumerate(kinds) if kind is ParameterKind.SYSTEM],
+            dtype=int,
+        )
+        self.application_columns = np.array(
+            [i for i, kind in enumerate(kinds) if kind is ParameterKind.APPLICATION],
+            dtype=int,
+        )
+        self.base = np.zeros((len(self.candidates), encoder.width), dtype=float)
+        for row, config in enumerate(self.candidates):
+            encoded = encoder.encode_values(config_values(config))
+            self.base[row, self.system_columns] = encoded[self.system_columns]
+        self.base.setflags(write=False)
+        self._valid_rows: dict[tuple, np.ndarray] = {}
+        self._valid_lock = threading.Lock()
+
+    def valid_rows(self, chars) -> np.ndarray:
+        """Row indices of candidates that can host this workload.
+
+        :func:`is_valid_point` depends on the workload only through the
+        process count (part-time placement needs servers <= compute
+        nodes) and the collective/interface pairing, so the index set
+        is memoized under that exact key — one Python validity sweep
+        per distinct workload shape, then O(1) lookups.
+        """
+        key = (chars.num_processes, chars.collective, chars.interface.base)
+        rows = self._valid_rows.get(key)
+        if rows is None:
+            rows = np.array(
+                [
+                    row
+                    for row, config in enumerate(self.candidates)
+                    if is_valid_point(config, chars)
+                ],
+                dtype=np.intp,
+            )
+            rows.setflags(write=False)
+            with self._valid_lock:
+                self._valid_rows.setdefault(key, rows)
+        return rows
+
+
+def _encoder_signature(encoder) -> str:
+    """Canonical JSON of the column layout — two encoders that encode
+    differently can never collide on a cache key."""
+    return json.dumps(encoder.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class CandidateMatrixCache:
+    """Bounded-scope cache of :class:`CandidateMatrix` entries.
+
+    Args:
+        metrics: registry for the ``<name>.hits`` / ``.misses`` /
+            ``.invalidations`` counters and the ``<name>.entries``
+            gauge (None = private accounting-free operation is not
+            offered; a private registry is created instead so counters
+            always exist).
+        name: metric-name prefix.
+    """
+
+    def __init__(self, metrics=None, name: str = "serving.candidate_matrix") -> None:
+        if metrics is None:
+            from repro.telemetry import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, CandidateMatrix] = {}
+        self._hits = metrics.counter(
+            f"{name}.hits", "candidate-matrix leases served from cache"
+        )
+        self._misses = metrics.counter(
+            f"{name}.misses", "candidate-matrix leases that had to encode"
+        )
+        self._invalidations = metrics.counter(
+            f"{name}.invalidations", "entries dropped by scoped invalidation"
+        )
+        self._size = metrics.gauge(f"{name}.entries", "matrices resident")
+
+    # ------------------------------------------------------------------
+    def lease(self, platform: str, learner: str, encoder, candidates) -> CandidateMatrix:
+        """The cached matrix for this scope and layout, building on miss.
+
+        The key includes the encoder layout and candidate identity, so
+        a promotion that changes the feature columns (or an engine with
+        a restricted candidate set) builds its own entry instead of
+        reusing a stale one.
+        """
+        key = (
+            platform,
+            learner,
+            _encoder_signature(encoder),
+            tuple(config.key for config in candidates),
+        )
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            self._hits.inc()
+            return entry
+        self._misses.inc()
+        entry = CandidateMatrix(encoder, candidates)
+        with self._lock:
+            resident = self._entries.setdefault(key, entry)
+            self._size.set(len(self._entries))
+        return resident
+
+    def invalidate(self, platform: str, learners=None) -> int:
+        """Drop this platform's entries; returns how many were dropped.
+
+        Args:
+            platform: whose models changed.
+            learners: scope to these learner names; None drops every
+                entry for the platform.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if key[0] == platform and (learners is None or key[1] in learners)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._size.set(len(self._entries))
+        self._invalidations.inc(len(doomed))
+        return len(doomed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.cloud.cluster import Placement
 from repro.cloud.storage import DeviceKind
@@ -74,12 +75,14 @@ class SystemConfig:
             if self.stripe_bytes < KIB:
                 raise ValueError(f"stripe_bytes too small: {self.stripe_bytes}")
 
-    @property
+    @cached_property
     def key(self) -> str:
         """Compact unique name, e.g. ``pvfs.4.D.eph.cc2.4MB``.
 
         Mirrors the paper's config naming in Figure 1 (``pvfs.4.P.eph``),
-        extended with instance type and stripe size.
+        extended with instance type and stripe size.  Cached per
+        instance: the serving engines sort one fixed candidate tuple on
+        every query, so the name is computed once, not once per sort.
         """
         fs = {
             FileSystemKind.NFS: "nfs",

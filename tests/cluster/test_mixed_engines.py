@@ -1,0 +1,120 @@
+"""Mixed-engine fleet differential: flat and legacy replicas agree.
+
+A rolling upgrade (or a pinned ``use_flat=False`` escape hatch) can
+leave a fleet serving both engine generations at once: some replicas
+answer from the packed flat core, others walk the legacy object trees.
+The flat core's bit-identity guarantee means a router scattering over
+such a fleet — or failing over from one engine kind to the other
+mid-flight — must return byte-identical wire responses either way.
+This is the test that makes "mixed fleets are safe" a pinned property
+instead of a hope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.replica import ReplicaHandle, ReplicaSpec
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.net.loadgen import synthetic_queries
+from repro.net.server import AcicServer, ServerThread
+from repro.service.server import AcicService
+
+from tests.cluster.conftest import PLATFORMS, mixed_batch
+
+
+@pytest.fixture()
+def mixed_fleet(cluster_pack):
+    """Two full-copy replicas: ``r0`` serves flat, ``r1`` legacy trees.
+
+    Both replicas own every platform (replication=2 over two nodes), so
+    any query can be answered by either engine kind — the condition
+    under which byte-identity is actually load-bearing.
+    """
+    members = []
+    specs = []
+    for name, use_flat in (("r0", True), ("r1", False)):
+        service = AcicService.load(
+            cluster_pack, platforms=PLATFORMS, use_flat=use_flat
+        )
+        # Confirm the fleet really is mixed before asserting sameness.
+        for platform in PLATFORMS:
+            from repro.core.objectives import Goal
+
+            engine = service._engine_for((platform, Goal.PERFORMANCE, "cart"))
+            assert engine.engine_kind == ("flat" if use_flat else "tree")
+        thread = ServerThread(
+            AcicServer(service, host="127.0.0.1", port=0), drain=False
+        )
+        host, port = thread.start()
+        members.append(thread)
+        specs.append(
+            ReplicaSpec(name=name, host=host, port=port, platforms=PLATFORMS)
+        )
+    try:
+        yield specs
+    finally:
+        for thread in members:
+            thread.stop()
+
+
+def router_for(specs) -> ClusterRouter:
+    return ClusterRouter(
+        [ReplicaHandle(spec) for spec in specs],
+        config=RouterConfig(replication=2),
+    )
+
+
+def to_json(responses):
+    return [response.to_json() for response in responses]
+
+
+class TestMixedEngineFleet:
+    def test_both_engine_kinds_answer_byte_identically(
+        self, mixed_fleet, reference_service
+    ):
+        batch = mixed_batch(3, seed=211)
+        router = router_for(mixed_fleet)
+        try:
+            got = router.query_batch(batch)
+        finally:
+            router.close()
+        want = reference_service.query_batch(batch)
+        assert to_json(got) == to_json(want)
+        assert not any(response.degraded for response in got)
+
+    def test_failover_across_engine_kinds_is_byte_identical(
+        self, mixed_fleet, reference_service
+    ):
+        batch = mixed_batch(3, seed=223)
+        want = to_json(reference_service.query_batch(batch))
+        for survivor_index in (0, 1):  # flat survivor, then legacy
+            router = router_for(mixed_fleet)
+            try:
+                doomed = mixed_fleet[1 - survivor_index]
+                router.handles[doomed.name].breaker.record_failure()
+                # Open the corpse's breaker outright: every group call
+                # lands on the surviving engine kind.
+                while router.handles[doomed.name].breaker.state != "open":
+                    router.handles[doomed.name].breaker.record_failure()
+                got = router.query_batch(batch)
+            finally:
+                router.close()
+            assert to_json(got) == want
+            assert not any(response.degraded for response in got)
+
+    def test_direct_replica_answers_match_each_other(self, mixed_fleet):
+        """Ask each replica the same queries point-blank — no routing,
+        no failover — and require byte-identical wire JSON."""
+        from repro.net.client import AcicClient
+
+        batch = [
+            query
+            for platform in PLATFORMS
+            for query in synthetic_queries(platform, 4, seed=229)
+        ]
+        answers = []
+        for spec in mixed_fleet:
+            with AcicClient(spec.host, spec.port) as client:
+                answers.append(to_json(client.query_batch(batch)))
+        assert answers[0] == answers[1]

@@ -97,3 +97,52 @@ class TestConstruction:
             len(candidate_configs()),
             trained.encoder.width,
         )
+
+
+class TestEmptyShapes:
+    """Empty batches and empty candidate sets degrade to well-shaped
+    empties, never exceptions (the flat-path edge regression)."""
+
+    def test_empty_candidate_set_scores_empty(self, trained, simple_chars):
+        engine = BatchQueryEngine(trained, candidates=[])
+        scores, candidates = engine.score(simple_chars)
+        assert scores.shape == (0,) and scores.dtype == float
+        assert candidates == []
+
+    def test_empty_candidate_set_recommends_nothing(
+        self, trained, simple_chars
+    ):
+        engine = BatchQueryEngine(trained, candidates=[])
+        assert engine.recommend(simple_chars, top_k=3) == []
+        assert engine.co_champions(simple_chars) == []
+
+    def test_empty_candidate_set_batch(self, trained, simple_chars):
+        engine = BatchQueryEngine(trained, candidates=[])
+        assert engine.recommend_batch([(simple_chars, 2)]) == [[]]
+
+    def test_empty_batch_on_empty_candidates(self, trained):
+        assert BatchQueryEngine(trained, candidates=[]).recommend_batch([]) == []
+
+
+class TestEngineKinds:
+    def test_flat_engine_matches_legacy_engine_exactly(
+        self, trained, simple_chars, posix_chars
+    ):
+        flat = BatchQueryEngine(trained, use_flat=True)
+        legacy = BatchQueryEngine(trained, use_flat=False)
+        assert flat.engine_kind == "flat"
+        assert legacy.engine_kind == "tree"
+        queries = [(simple_chars, 3), (posix_chars, 2)]
+        assert flat.recommend_batch(queries) == legacy.recommend_batch(queries)
+        flat_scores, _ = flat.score(simple_chars)
+        legacy_scores, _ = legacy.score(simple_chars)
+        assert flat_scores.tobytes() == legacy_scores.tobytes()
+
+    def test_unflattenable_learner_serves_as_tree(self, small_pipeline):
+        screening, database = small_pipeline
+        acic = Acic(
+            database,
+            learner_name="knn",
+            feature_names=tuple(screening.ranked_names()[:5]),
+        ).train()
+        assert BatchQueryEngine(acic, use_flat=True).engine_kind == "tree"

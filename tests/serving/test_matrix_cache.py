@@ -1,0 +1,199 @@
+"""Candidate-matrix cache: scoped invalidation pinned by counters.
+
+The cache's contract is *scoped* staleness control: an online promotion
+or rollback on one (platform, learner) drops exactly that scope's
+encoded matrices and leaves every other entry warm.  These tests pin
+the contract with the ``serving.candidate_matrix.*`` counter values —
+not just behavioural checks — so an accidental cache-key widening or an
+over-eager invalidation shows up as a counter diff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.configurator import Acic
+from repro.core.objectives import Goal
+from repro.serving.engine import BatchQueryEngine
+from repro.serving.matrix import CandidateMatrixCache
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture()
+def acic(small_pipeline):
+    screening, database = small_pipeline
+    return Acic(
+        database,
+        goal=Goal.PERFORMANCE,
+        learner_name="cart",
+        feature_names=tuple(screening.ranked_names()[:5]),
+    ).train()
+
+
+def counters(registry: MetricsRegistry) -> tuple[int, int, int]:
+    return (
+        int(registry.counter("serving.candidate_matrix.hits").value),
+        int(registry.counter("serving.candidate_matrix.misses").value),
+        int(registry.counter("serving.candidate_matrix.invalidations").value),
+    )
+
+
+class TestLease:
+    def test_second_lease_hits_and_shares_the_matrix(self, acic):
+        registry = MetricsRegistry()
+        cache = CandidateMatrixCache(metrics=registry)
+        first = BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("cloud_a", "cart")
+        )
+        assert counters(registry) == (0, 1, 0)
+        second = BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("cloud_a", "cart")
+        )
+        assert counters(registry) == (1, 1, 0)
+        assert second._base is first._base  # shared, not re-encoded
+        assert len(cache) == 1
+
+    def test_distinct_scopes_build_distinct_entries(self, acic):
+        registry = MetricsRegistry()
+        cache = CandidateMatrixCache(metrics=registry)
+        for scope in (("cloud_a", "cart"), ("cloud_a", "forest"),
+                      ("cloud_b", "cart")):
+            BatchQueryEngine(acic, matrix_cache=cache, cache_scope=scope)
+        assert counters(registry) == (0, 3, 0)
+        assert len(cache) == 3
+
+    def test_scope_is_required_with_a_cache(self, acic):
+        with pytest.raises(ValueError):
+            BatchQueryEngine(acic, matrix_cache=CandidateMatrixCache())
+
+    def test_shared_base_matrix_is_read_only(self, acic):
+        cache = CandidateMatrixCache()
+        engine = BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("p", "cart")
+        )
+        with pytest.raises(ValueError):
+            engine._base[0, 0] = 1.0
+
+    def test_valid_rows_memoized_per_workload_shape(self, acic, simple_chars):
+        cache = CandidateMatrixCache()
+        engine = BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("p", "cart")
+        )
+        rows = engine._matrix.valid_rows(simple_chars)
+        assert rows is engine._matrix.valid_rows(simple_chars)  # same object
+        # And they are exactly the sequential path's validity filter.
+        from repro.space.validity import is_valid_point
+
+        expected = [
+            i
+            for i, config in enumerate(engine.candidates)
+            if is_valid_point(config, simple_chars)
+        ]
+        assert rows.tolist() == expected
+
+
+class TestScopedInvalidation:
+    def test_invalidation_drops_exactly_the_affected_scope(self, acic):
+        registry = MetricsRegistry()
+        cache = CandidateMatrixCache(metrics=registry)
+        scopes = [("cloud_a", "cart"), ("cloud_a", "forest"),
+                  ("cloud_b", "cart")]
+        for scope in scopes:
+            BatchQueryEngine(acic, matrix_cache=cache, cache_scope=scope)
+        assert counters(registry) == (0, 3, 0)
+
+        assert cache.invalidate("cloud_a", learners={"cart"}) == 1
+        assert counters(registry) == (0, 3, 1)
+        assert len(cache) == 2
+
+        # The invalidated scope must re-encode; the others stay warm.
+        BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("cloud_a", "cart")
+        )
+        assert counters(registry) == (0, 4, 1)
+        BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("cloud_a", "forest")
+        )
+        BatchQueryEngine(
+            acic, matrix_cache=cache, cache_scope=("cloud_b", "cart")
+        )
+        assert counters(registry) == (2, 4, 1)
+
+    def test_platform_wide_invalidation(self, acic):
+        registry = MetricsRegistry()
+        cache = CandidateMatrixCache(metrics=registry)
+        for scope in (("cloud_a", "cart"), ("cloud_a", "forest"),
+                      ("cloud_b", "cart")):
+            BatchQueryEngine(acic, matrix_cache=cache, cache_scope=scope)
+        assert cache.invalidate("cloud_a") == 2
+        assert counters(registry) == (0, 3, 2)
+        assert len(cache) == 1
+
+    def test_unknown_platform_invalidates_nothing(self, acic):
+        registry = MetricsRegistry()
+        cache = CandidateMatrixCache(metrics=registry)
+        BatchQueryEngine(acic, matrix_cache=cache, cache_scope=("p", "cart"))
+        assert cache.invalidate("elsewhere") == 0
+        assert counters(registry) == (0, 1, 0)
+
+
+class TestServiceIntegration:
+    """Promotion/rollback invalidation through a real service."""
+
+    @pytest.fixture()
+    def service(self, small_pipeline):
+        from repro.core.database import TrainingDatabase
+        from repro.service.server import AcicService
+
+        screening, database = small_pipeline
+        service = AcicService(
+            feature_names=tuple(screening.ranked_names()[:5])
+        )
+
+        def clone(platform):
+            out = TrainingDatabase(platform)
+            out.extend(database.records)
+            return out
+
+        for platform in ("cloud_a", "cloud_b"):
+            service.host_database(clone(platform))
+        return service
+
+    def _warm_engines(self, service):
+        for platform in ("cloud_a", "cloud_b"):
+            service.warm(platform, Goal.PERFORMANCE, "cart")
+            service._engine_for((platform, Goal.PERFORMANCE, "cart"))
+
+    def test_contribution_invalidates_only_its_platform_scope(self, service):
+        from repro.core.database import TrainingDatabase
+        from repro.core.training import TrainingCollector, TrainingPlan
+        from repro.pb.ranking import screen_parameters
+        from repro.cloud.platform import DEFAULT_PLATFORM
+
+        self._warm_engines(service)
+        before = counters(service.metrics)
+        assert before[2] == 0  # nothing invalidated yet
+
+        contribution = TrainingDatabase("cloud_a")
+        collector = TrainingCollector(contribution, platform=DEFAULT_PLATFORM)
+        collector.collect(
+            TrainingPlan.build(
+                screen_parameters(platform=DEFAULT_PLATFORM).ranked_names(), 3
+            ),
+            epoch=2,
+        )
+        accepted = service.contribute("cloud_a", contribution)
+        assert accepted > 0
+        hits, misses, invalidations = counters(service.metrics)
+        assert invalidations == 1  # only (cloud_a, cart)
+
+        # cloud_b's matrix is still warm: a rebuilt engine (as after a
+        # promotion's wholesale engine drop) leases it without encoding.
+        service._engines.pop(("cloud_b", Goal.PERFORMANCE, "cart"))
+        service._engine_for((("cloud_b"), Goal.PERFORMANCE, "cart"))
+        assert counters(service.metrics)[0] == hits + 1
+        # cloud_a re-encodes.
+        service.warm("cloud_a", Goal.PERFORMANCE, "cart")
+        service._engine_for((("cloud_a"), Goal.PERFORMANCE, "cart"))
+        assert counters(service.metrics)[1] == misses + 1
